@@ -1,0 +1,66 @@
+//! Ablation: beam lead time.
+//!
+//! How early must a beam start to hide the transfer completely? We fix
+//! the link and data size and sweep the lead time (the window between
+//! beam initiation and operator execution — in Figure 6 this window is
+//! the query compile time). Probe time should fall linearly until the
+//! transfer is fully overlapped, then flatten at the pure compute floor.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use anydb_bench::{figure_header, ms, row};
+use anydb_core::beaming::{run_q3, ArchMode, BeamVariant, BeamingConfig};
+use anydb_workload::chbench::Q3Spec;
+use anydb_workload::tpcc::{TpccConfig, TpccDb};
+
+fn main() {
+    figure_header(
+        "Ablation: beam lead time vs probe time",
+        "Beam Build & Probe, disaggregated DPI link; lead time = compile window.",
+    );
+
+    let cfg = TpccConfig {
+        warehouses: 2,
+        districts_per_warehouse: 10,
+        customers_per_district: 300,
+        items: 100,
+        orders_per_district: 600,
+        lines_per_order: 1,
+        ..TpccConfig::default()
+    };
+    let db = Arc::new(TpccDb::load(cfg, 0xAB1).unwrap());
+    let spec = Q3Spec::default();
+
+    let widths = [14usize, 12, 12, 12];
+    row(
+        &[
+            "lead ms".into(),
+            "build ms".into(),
+            "probe ms".into(),
+            "total ms".into(),
+        ],
+        &widths,
+    );
+    let mut floor = f64::MAX;
+    for lead in (0..=40).step_by(4) {
+        let cfg = BeamingConfig::paper_default(
+            BeamVariant::BeamBuildProbe,
+            ArchMode::Disaggregated,
+            Duration::from_millis(lead),
+        );
+        let r = run_q3(&db, spec, &cfg);
+        floor = floor.min(r.probe.as_secs_f64() * 1e3);
+        row(
+            &[
+                lead.to_string(),
+                ms(r.build),
+                ms(r.probe),
+                ms(r.total),
+            ],
+            &widths,
+        );
+    }
+    println!();
+    println!("probe floor (transfer fully hidden): {floor:.2} ms");
+}

@@ -1,0 +1,104 @@
+//! Ablation: concurrency-control schemes under a contention sweep.
+//!
+//! §3.3's claim is that ordered event routing removes the coordination
+//! charge that lock-based CC pays precisely when contention is high.
+//! Two measurements:
+//!
+//! 1. virtual-time throughput of wait-die 2PL (DBx TEs) vs streaming CC
+//!    as the fraction of transactions hitting warehouse 1 rises,
+//! 2. real single-thread microcosts: a lock acquire/release pair vs a
+//!    sequencer stamp (the per-record coordination primitive each scheme
+//!    pays).
+
+use std::time::{Duration, Instant};
+
+use anydb_bench::{figure_header, row};
+use anydb_common::dist::HotSpot;
+use anydb_common::{PartitionId, Rid, TableId, TxnId};
+use anydb_sim::{CostModel, SimStrategy, Simulator};
+use anydb_txn::lock::{LockManager, LockMode, LockPolicy};
+use anydb_txn::sequencer::Sequencer;
+use anydb_workload::phases::PhaseKind;
+use anydb_workload::tpcc::TpccConfig;
+
+fn main() {
+    figure_header(
+        "Ablation: CC under contention (2PL wait-die vs streaming CC)",
+        "Virtual-time throughput while sweeping the share of transactions\n\
+         that target warehouse 1 (4 workers; 1.0 = Figure 5's skewed phases).",
+    );
+
+    let sim = Simulator::new(
+        CostModel::default(),
+        TpccConfig {
+            warehouses: 4,
+            ..TpccConfig::default()
+        },
+    );
+    let horizon = Duration::from_millis(200);
+    let widths = [12usize, 14, 16, 10];
+    row(
+        &[
+            "hot share".into(),
+            "2PL (M tx/s)".into(),
+            "stream (M tx/s)".into(),
+            "factor".into(),
+        ],
+        &widths,
+    );
+    for hot in [0.0f64, 0.25, 0.5, 0.75, 1.0] {
+        // hot fraction of txns on warehouse 1, rest uniform.
+        let dist = if hot == 0.0 {
+            HotSpot::uniform(4)
+        } else {
+            HotSpot::new(4, 1, hot.max(0.25))
+        };
+        let twopl = sim.run_with_dist(
+            SimStrategy::DbxTe { executors: 4 },
+            PhaseKind::OltpPartitionable,
+            dist,
+            horizon,
+            7,
+        );
+        let streaming = sim.run_with_dist(
+            SimStrategy::StreamingCc { acs: 4 },
+            PhaseKind::OltpPartitionable,
+            dist,
+            horizon,
+            7,
+        );
+        row(
+            &[
+                format!("{hot:.2}"),
+                format!("{:.2}", twopl.tx_per_sec() / 1e6),
+                format!("{:.2}", streaming.tx_per_sec() / 1e6),
+                format!("{:.2}x", streaming.tx_per_sec() / twopl.tx_per_sec()),
+            ],
+            &widths,
+        );
+    }
+
+    println!();
+    println!("-- real microcosts of the coordination primitives --");
+    const N: u64 = 1_000_000;
+    let lm = LockManager::new();
+    let rid = Rid::new(TableId(0), PartitionId(0), 0);
+    let start = Instant::now();
+    for i in 0..N {
+        lm.acquire(TxnId(i), rid, LockMode::Exclusive, LockPolicy::WaitDie)
+            .unwrap();
+        lm.release(TxnId(i), rid);
+    }
+    let lock_ns = start.elapsed().as_nanos() as f64 / N as f64;
+
+    let seq = Sequencer::new(1);
+    let start = Instant::now();
+    for _ in 0..N {
+        std::hint::black_box(seq.stamp(0));
+    }
+    let stamp_ns = start.elapsed().as_nanos() as f64 / N as f64;
+
+    println!("lock acquire+release pair: {lock_ns:.0} ns");
+    println!("sequencer stamp:           {stamp_ns:.0} ns");
+    println!("ratio: {:.1}x", lock_ns / stamp_ns);
+}

@@ -1,0 +1,116 @@
+//! Ablation: why the Folly-style SPSC ring.
+//!
+//! The paper's local data beaming uses a single-producer/single-consumer
+//! shared-memory queue (its footnote cites Folly's). This ablation
+//! compares our `anydb-stream` ring against a crossbeam bounded channel
+//! and a mutex-guarded `VecDeque` under a one-producer/one-consumer
+//! transfer of 64-bit items.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+use anydb_bench::{figure_header, row};
+use anydb_stream::spsc::spsc_channel;
+use parking_lot::Mutex;
+
+const ITEMS: u64 = 2_000_000;
+const CAP: usize = 1024;
+
+fn bench_spsc() -> f64 {
+    let (mut tx, mut rx) = spsc_channel::<u64>(CAP);
+    let start = Instant::now();
+    let producer = std::thread::spawn(move || {
+        for i in 0..ITEMS {
+            tx.push_blocking(i).unwrap();
+        }
+    });
+    let mut received = 0u64;
+    while rx.pop_blocking().is_some() {
+        received += 1;
+    }
+    producer.join().unwrap();
+    assert_eq!(received, ITEMS);
+    ITEMS as f64 / start.elapsed().as_secs_f64()
+}
+
+fn bench_crossbeam() -> f64 {
+    let (tx, rx) = crossbeam::channel::bounded::<u64>(CAP);
+    let start = Instant::now();
+    let producer = std::thread::spawn(move || {
+        for i in 0..ITEMS {
+            tx.send(i).unwrap();
+        }
+    });
+    let mut received = 0u64;
+    while rx.recv().is_ok() {
+        received += 1;
+    }
+    producer.join().unwrap();
+    assert_eq!(received, ITEMS);
+    ITEMS as f64 / start.elapsed().as_secs_f64()
+}
+
+fn bench_mutex_deque() -> f64 {
+    let q = Arc::new(Mutex::new(VecDeque::<u64>::with_capacity(CAP)));
+    let start = Instant::now();
+    let producer = {
+        let q = q.clone();
+        std::thread::spawn(move || {
+            for i in 0..ITEMS {
+                loop {
+                    let mut g = q.lock();
+                    if g.len() < CAP {
+                        g.push_back(i);
+                        break;
+                    }
+                    drop(g);
+                    std::thread::yield_now();
+                }
+            }
+        })
+    };
+    let mut received = 0u64;
+    let mut idle = anydb_common::backoff::Backoff::new();
+    while received < ITEMS {
+        let popped = q.lock().pop_front();
+        if popped.is_some() {
+            received += 1;
+            idle.reset();
+        } else {
+            idle.wait();
+        }
+    }
+    producer.join().unwrap();
+    ITEMS as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    figure_header(
+        "Ablation: SPSC ring vs alternatives (local data-beam transport)",
+        "One producer, one consumer, 2M u64 items, capacity 1024.",
+    );
+    let widths = [26usize, 16];
+    row(&["queue".into(), "M items/s".into()], &widths);
+    let spsc = bench_spsc();
+    row(
+        &["anydb SpscRing".into(), format!("{:.1}", spsc / 1e6)],
+        &widths,
+    );
+    let cb = bench_crossbeam();
+    row(
+        &["crossbeam bounded".into(), format!("{:.1}", cb / 1e6)],
+        &widths,
+    );
+    let mx = bench_mutex_deque();
+    row(
+        &["Mutex<VecDeque>".into(), format!("{:.1}", mx / 1e6)],
+        &widths,
+    );
+    println!();
+    println!(
+        "SpscRing vs crossbeam: {:.2}x, vs mutex deque: {:.2}x",
+        spsc / cb,
+        spsc / mx
+    );
+}

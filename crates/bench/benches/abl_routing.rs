@@ -1,0 +1,65 @@
+//! Ablation: the price of an event hop.
+//!
+//! §3.2: "the overhead of parallelizing within one transaction dominates"
+//! naive decomposition. This ablation measures, on the *real* engine,
+//! the per-transaction cost of each routing granularity on this host:
+//! whole-transaction events (shared-nothing), two balanced groups
+//! (precise), pipelined stage groups (streaming), and per-op round trips
+//! (static), all with identical storage work.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use anydb_bench::{figure_header, row};
+use anydb_core::{AnyDbEngine, EngineConfig, Strategy};
+use anydb_workload::phases::PhaseKind;
+use anydb_workload::tpcc::{TpccConfig, TpccDb};
+
+fn main() {
+    figure_header(
+        "Ablation: routing granularity overhead (real engine)",
+        "TPC-C payment, skewed to warehouse 1, 2 worker ACs, one driver.\n\
+         Wall-clock on this host; the virtual-time simulator owns the paper\n\
+         figures, this shows the real event-hop overhead ordering.",
+    );
+
+    let cfg = TpccConfig {
+        warehouses: 2,
+        ..TpccConfig::default()
+    };
+    let widths = [28usize, 14, 14];
+    row(
+        &[
+            "strategy".into(),
+            "tx/s".into(),
+            "us per txn".into(),
+        ],
+        &widths,
+    );
+    for strategy in [
+        Strategy::SharedNothing,
+        Strategy::PreciseIntra,
+        Strategy::StreamingCc,
+        Strategy::StaticIntra,
+    ] {
+        let db = Arc::new(TpccDb::load(cfg.clone(), 0xAB2).unwrap());
+        let engine = AnyDbEngine::new(
+            db,
+            EngineConfig {
+                strategy,
+                acs: 2,
+                ..Default::default()
+            },
+        );
+        let r = engine.run_phase(PhaseKind::OltpSkewed, Duration::from_millis(300), 3);
+        let rate = r.tx_per_sec();
+        row(
+            &[
+                strategy.label().to_string(),
+                format!("{rate:.0}"),
+                format!("{:.2}", 1e6 / rate),
+            ],
+            &widths,
+        );
+    }
+}

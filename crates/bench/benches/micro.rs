@@ -1,0 +1,108 @@
+//! Criterion microbenchmarks of the hot substrate primitives, plus the
+//! host-parallelism probe that motivates the virtual-time simulator
+//! (DESIGN.md §2).
+
+use std::time::Duration;
+
+use anydb_bench::host_scaling_probe;
+use anydb_common::dist::Zipf;
+use anydb_common::fxmap::FxHashMap;
+use anydb_common::{PartitionId, Rid, TableId, Tuple, TxnId, Value};
+use anydb_stream::spsc::spsc_channel;
+use anydb_txn::lock::{LockManager, LockMode, LockPolicy};
+use anydb_txn::sequencer::Sequencer;
+use criterion::{criterion_group, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_spsc(c: &mut Criterion) {
+    c.bench_function("spsc_push_pop", |b| {
+        let (mut tx, mut rx) = spsc_channel::<u64>(256);
+        b.iter(|| {
+            tx.push(1).unwrap();
+            rx.pop().unwrap()
+        });
+    });
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let mut fx: FxHashMap<u64, u64> = FxHashMap::default();
+    let mut std_map: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for i in 0..10_000u64 {
+        fx.insert(i, i);
+        std_map.insert(i, i);
+    }
+    let mut i = 0u64;
+    c.bench_function("fxmap_get", |b| {
+        b.iter(|| {
+            i = (i + 7) % 10_000;
+            *fx.get(&i).unwrap()
+        })
+    });
+    let mut j = 0u64;
+    c.bench_function("stdmap_get", |b| {
+        b.iter(|| {
+            j = (j + 7) % 10_000;
+            *std_map.get(&j).unwrap()
+        })
+    });
+}
+
+fn bench_tuple_codec(c: &mut Criterion) {
+    let tuple = Tuple::new(vec![
+        Value::Int(42),
+        Value::Float(1.5),
+        Value::str("customer-name"),
+        Value::Null,
+    ]);
+    c.bench_function("tuple_encode", |b| b.iter(|| tuple.encode()));
+    let bytes = tuple.encode();
+    c.bench_function("tuple_decode", |b| b.iter(|| Tuple::decode(&bytes).unwrap()));
+}
+
+fn bench_cc_primitives(c: &mut Criterion) {
+    let lm = LockManager::new();
+    let rid = Rid::new(TableId(0), PartitionId(0), 0);
+    let mut t = 0u64;
+    c.bench_function("lock_pair", |b| {
+        b.iter(|| {
+            t += 1;
+            lm.acquire(TxnId(t), rid, LockMode::Exclusive, LockPolicy::WaitDie)
+                .unwrap();
+            lm.release(TxnId(t), rid);
+        })
+    });
+    let seq = Sequencer::new(4);
+    c.bench_function("sequencer_stamp", |b| b.iter(|| seq.stamp(0)));
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let z = Zipf::new(100_000, 0.99);
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("zipf_sample", |b| b.iter(|| z.sample(&mut rng)));
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(400))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_spsc, bench_hash, bench_tuple_codec, bench_cc_primitives, bench_zipf
+}
+
+fn main() {
+    // The probe first: this single number justifies the virtual-time
+    // simulator for the OLTP figures.
+    let ratio = host_scaling_probe();
+    println!();
+    println!("host 2-thread scaling of a memory-touching loop: {ratio:.2}x (ideal 2.0x)");
+    println!("(OLTP figures therefore run in virtual time; see DESIGN.md §2)");
+    println!();
+    benches();
+    Criterion::default().final_summary();
+}

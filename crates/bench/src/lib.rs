@@ -1,0 +1,91 @@
+//! # anydb-bench
+//!
+//! Shared helpers for the figure-regeneration harnesses and ablation
+//! benches. Each `benches/*.rs` target regenerates one figure (or one
+//! ablation) of the paper and prints the same rows/series the paper
+//! reports; `EXPERIMENTS.md` records paper-vs-measured side by side.
+
+use std::time::Duration;
+
+/// Prints a figure header with reproduction context.
+pub fn figure_header(title: &str, notes: &str) {
+    println!();
+    println!("=== {title} ===");
+    if !notes.is_empty() {
+        println!("{notes}");
+    }
+    println!("host: {} logical cores", num_cpus_snapshot());
+    println!();
+}
+
+/// Logical CPU count without extra dependencies.
+pub fn num_cpus_snapshot() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Formats a duration as fractional milliseconds.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Formats a throughput as M tx/s with two decimals.
+pub fn mtps(v: f64) -> String {
+    format!("{:.2}", v / 1e6)
+}
+
+/// Prints one table row with `|`-separated, width-padded cells.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = *w))
+        .collect();
+    println!("| {} |", line.join(" | "));
+}
+
+/// Measures wall-clock host parallel efficiency: ratio of 2-thread to
+/// 1-thread throughput of a memory-touching loop. Documents why the OLTP
+/// figures run in virtual time (DESIGN.md §2).
+pub fn host_scaling_probe() -> f64 {
+    use std::time::Instant;
+    fn burn(ms_budget: u64) -> u64 {
+        let start = Instant::now();
+        let mut v = vec![0u64; 1 << 16];
+        let mut i = 0u64;
+        let mut n = 0u64;
+        while start.elapsed() < Duration::from_millis(ms_budget) {
+            for _ in 0..4096 {
+                let idx = (i.wrapping_mul(0x9e3779b97f4a7c15) >> 48) as usize & 0xFFFF;
+                v[idx] = v[idx].wrapping_add(i);
+                i += 1;
+            }
+            n += 4096;
+        }
+        std::hint::black_box(&v);
+        n
+    }
+    let solo = burn(150);
+    let t1 = std::thread::spawn(|| burn(150));
+    let t2 = std::thread::spawn(|| burn(150));
+    let pair = t1.join().unwrap() + t2.join().unwrap();
+    pair as f64 / solo as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(Duration::from_millis(12)), "12.00");
+        assert_eq!(mtps(2_500_000.0), "2.50");
+    }
+
+    #[test]
+    fn scaling_probe_reports_sane_ratio() {
+        let r = host_scaling_probe();
+        assert!(r > 0.3 && r < 4.0, "ratio {r}");
+    }
+}

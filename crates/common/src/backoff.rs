@@ -1,0 +1,92 @@
+//! Escalating backoff for polling loops.
+//!
+//! The reproduction host may have very few cores (CI boxes often have 2),
+//! so every polling loop in the system — AC event loops, idle transaction
+//! executors, blocking queue receives — must escalate from spinning to
+//! yielding to sleeping instead of burning a core. Busy-waiting one
+//! component's loop would otherwise starve the component doing real work
+//! and invert every experiment's results.
+
+use std::time::Duration;
+
+/// Escalating backoff: spin, then yield, then sleep.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    step: u32,
+    spin_limit: u32,
+    yield_limit: u32,
+    sleep: Duration,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Backoff {
+    /// Default tuning: 64 spins, 16 yields, then 50µs sleeps.
+    pub fn new() -> Self {
+        Self::with_limits(64, 16, Duration::from_micros(50))
+    }
+
+    /// Custom tuning.
+    pub fn with_limits(spin_limit: u32, yield_limit: u32, sleep: Duration) -> Self {
+        Self {
+            step: 0,
+            spin_limit,
+            yield_limit,
+            sleep,
+        }
+    }
+
+    /// Waits one escalation step.
+    #[inline]
+    pub fn wait(&mut self) {
+        if self.step < self.spin_limit {
+            std::hint::spin_loop();
+        } else if self.step < self.spin_limit + self.yield_limit {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(self.sleep);
+        }
+        self.step = self.step.saturating_add(1);
+    }
+
+    /// Resets after useful work was found.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// True once the backoff has escalated past spinning (useful for
+    /// "still idle?" heuristics).
+    pub fn is_parked(&self) -> bool {
+        self.step >= self.spin_limit + self.yield_limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalates_and_resets() {
+        let mut b = Backoff::with_limits(2, 2, Duration::from_micros(1));
+        assert!(!b.is_parked());
+        for _ in 0..4 {
+            b.wait();
+        }
+        assert!(b.is_parked());
+        b.reset();
+        assert!(!b.is_parked());
+    }
+
+    #[test]
+    fn parked_backoff_sleeps() {
+        let mut b = Backoff::with_limits(0, 0, Duration::from_millis(2));
+        let start = std::time::Instant::now();
+        b.wait();
+        assert!(start.elapsed() >= Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,273 @@
+//! Random distributions used by the workload generators.
+//!
+//! * [`Zipf`] — Zipfian distribution (YCSB-style, zeta-based) for skewed
+//!   access patterns,
+//! * [`HotSpot`] — a simpler "x% of accesses hit the first item" skew used
+//!   to model the paper's "100% of payments operate on one warehouse",
+//! * [`NuRand`] — TPC-C's non-uniform random function for customer ids and
+//!   item ids.
+
+use rand::Rng;
+
+/// Zipfian distribution over `0..n` with skew parameter `theta` in `[0, 1)`.
+///
+/// Uses the Gray et al. quick method popularised by YCSB: constants are
+/// precomputed once, sampling is O(1).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipfian distribution over `0..n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta` is outside `[0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipf domain must be non-empty");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        let mut sum = 0.0;
+        for i in 1..=n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        sum
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Samples a value in `0..n`; `0` is the most popular item.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.random();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5_f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+}
+
+/// Hot-spot distribution: with probability `hot_prob` the sample falls
+/// uniformly in the first `hot_items` of the domain, otherwise uniformly in
+/// the remainder (or the whole domain if `hot_items == n`).
+#[derive(Debug, Clone, Copy)]
+pub struct HotSpot {
+    n: u64,
+    hot_items: u64,
+    hot_prob: f64,
+}
+
+impl HotSpot {
+    /// Creates a hot-spot distribution over `0..n`.
+    ///
+    /// # Panics
+    /// Panics on an empty domain, `hot_items` > `n`, or `hot_prob` outside
+    /// `[0, 1]`.
+    pub fn new(n: u64, hot_items: u64, hot_prob: f64) -> Self {
+        assert!(n > 0);
+        assert!(hot_items <= n && hot_items > 0);
+        assert!((0.0..=1.0).contains(&hot_prob));
+        Self {
+            n,
+            hot_items,
+            hot_prob,
+        }
+    }
+
+    /// Uniform distribution (no skew).
+    pub fn uniform(n: u64) -> Self {
+        Self::new(n, n, 1.0)
+    }
+
+    /// Fully skewed: every sample hits item 0 — the paper's "100% of TPC-C
+    /// payment transactions operate on one warehouse only".
+    pub fn single(n: u64) -> Self {
+        Self::new(n, 1, 1.0)
+    }
+
+    /// Samples from the distribution.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        if self.hot_items == self.n {
+            return rng.random_range(0..self.n);
+        }
+        if rng.random_bool(self.hot_prob) {
+            rng.random_range(0..self.hot_items)
+        } else {
+            rng.random_range(self.hot_items..self.n)
+        }
+    }
+}
+
+/// TPC-C NURand(A, x, y): non-uniform random over `[x, y]`.
+///
+/// `c` is the per-run constant required by TPC-C §2.1.6; callers fix it at
+/// load time so the same distribution is used by loader and terminals.
+#[derive(Debug, Clone, Copy)]
+pub struct NuRand {
+    a: u64,
+    x: u64,
+    y: u64,
+    c: u64,
+}
+
+impl NuRand {
+    /// Creates a NURand generator; `a` must be 255, 1023 or 8191 per spec.
+    pub fn new(a: u64, x: u64, y: u64, c: u64) -> Self {
+        debug_assert!(matches!(a, 255 | 1023 | 8191));
+        debug_assert!(x <= y);
+        Self { a, x, y, c }
+    }
+
+    /// The standard generator for customer ids (1..=3000).
+    pub fn customer_id(c: u64) -> Self {
+        Self::new(1023, 1, 3000, c)
+    }
+
+    /// The standard generator for item ids (1..=100000).
+    pub fn item_id(c: u64) -> Self {
+        Self::new(8191, 1, 100_000, c)
+    }
+
+    /// The standard generator for customer last names (0..=999).
+    pub fn last_name(c: u64) -> Self {
+        Self::new(255, 0, 999, c)
+    }
+
+    /// Samples a value in `[x, y]`.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let part_a = rng.random_range(0..=self.a);
+        let part_b = rng.random_range(self.x..=self.y);
+        (((part_a | part_b) + self.c) % (self.y - self.x + 1)) + self.x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_respects_bounds() {
+        let z = Zipf::new(100, 0.9);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_zero() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut zero_hits = 0;
+        const SAMPLES: usize = 20_000;
+        for _ in 0..SAMPLES {
+            if z.sample(&mut rng) == 0 {
+                zero_hits += 1;
+            }
+        }
+        // With theta=0.99 over 1000 items, item 0 gets far more than the
+        // uniform share of 0.1%.
+        assert!(
+            zero_hits as f64 / SAMPLES as f64 > 0.05,
+            "zero_hits = {zero_hits}"
+        );
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((2_500..=7_500).contains(&c), "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    fn hotspot_single_always_hits_zero() {
+        let h = HotSpot::single(64);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert_eq!(h.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn hotspot_uniform_covers_domain() {
+        let h = HotSpot::uniform(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[h.sample(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+
+    #[test]
+    fn hotspot_probability_is_respected() {
+        let h = HotSpot::new(100, 10, 0.9);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut hot = 0usize;
+        const SAMPLES: usize = 20_000;
+        for _ in 0..SAMPLES {
+            if h.sample(&mut rng) < 10 {
+                hot += 1;
+            }
+        }
+        let frac = hot as f64 / SAMPLES as f64;
+        assert!((0.85..=0.95).contains(&frac), "hot fraction {frac}");
+    }
+
+    #[test]
+    fn nurand_respects_bounds() {
+        let n = NuRand::customer_id(123);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = n.sample(&mut rng);
+            assert!((1..=3000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn nurand_last_name_bounds() {
+        let n = NuRand::last_name(77);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..10_000 {
+            assert!(n.sample(&mut rng) <= 999);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! The common error type used across all AnyDB crates.
+
+use std::fmt;
+
+use crate::ids::{PartitionId, TableId, TxnId};
+use crate::rid::Rid;
+
+/// Result alias for fallible AnyDB operations.
+pub type DbResult<T> = Result<T, DbError>;
+
+/// Errors surfaced by storage, transaction, and execution layers.
+///
+/// Variants deliberately carry enough context to be actionable in logs
+/// without allocating in the hot path (ids, not strings), except for the
+/// catch-all variants used at API boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// The referenced table does not exist in the catalog.
+    UnknownTable(TableId),
+    /// The referenced table name does not exist in the catalog.
+    UnknownTableName(String),
+    /// The referenced partition does not exist for the table.
+    UnknownPartition(TableId, PartitionId),
+    /// A record lookup failed.
+    RecordNotFound(Rid),
+    /// A unique index rejected a duplicate key.
+    DuplicateKey(TableId),
+    /// An index lookup missed.
+    KeyNotFound(TableId),
+    /// The transaction was aborted by concurrency control (e.g. wait-die).
+    TxnAborted(TxnId),
+    /// A lock could not be acquired under a no-wait policy.
+    LockConflict(TxnId),
+    /// Optimistic validation failed at commit time.
+    ValidationFailed(TxnId),
+    /// Tuple arity or column type did not match the schema.
+    SchemaMismatch(&'static str),
+    /// A value was used with an incompatible type.
+    TypeMismatch(&'static str),
+    /// Decoding a wire-format tuple or message failed.
+    Codec(&'static str),
+    /// A stream endpoint was closed / disconnected.
+    StreamClosed,
+    /// A bounded queue was full and the send policy was fail-fast.
+    QueueFull,
+    /// The engine or a component was shut down.
+    Shutdown,
+    /// Recovery found a corrupt or truncated log entry.
+    CorruptLog(u64),
+    /// Configuration is invalid.
+    Config(String),
+    /// Internal invariant violation; indicates a bug.
+    Internal(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            DbError::UnknownTableName(n) => write!(f, "unknown table '{n}'"),
+            DbError::UnknownPartition(t, p) => {
+                write!(f, "unknown partition {p} of table {t}")
+            }
+            DbError::RecordNotFound(rid) => write!(f, "record not found: {rid}"),
+            DbError::DuplicateKey(t) => write!(f, "duplicate key in table {t}"),
+            DbError::KeyNotFound(t) => write!(f, "key not found in table {t}"),
+            DbError::TxnAborted(t) => write!(f, "transaction {t} aborted"),
+            DbError::LockConflict(t) => write!(f, "lock conflict for transaction {t}"),
+            DbError::ValidationFailed(t) => {
+                write!(f, "optimistic validation failed for transaction {t}")
+            }
+            DbError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            DbError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            DbError::Codec(m) => write!(f, "codec error: {m}"),
+            DbError::StreamClosed => write!(f, "stream closed"),
+            DbError::QueueFull => write!(f, "queue full"),
+            DbError::Shutdown => write!(f, "engine shut down"),
+            DbError::CorruptLog(lsn) => write!(f, "corrupt log entry at lsn {lsn}"),
+            DbError::Config(m) => write!(f, "invalid configuration: {m}"),
+            DbError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl DbError {
+    /// True if the error is a concurrency-control abort that the client is
+    /// expected to retry (as opposed to a logic or configuration error).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            DbError::TxnAborted(_) | DbError::LockConflict(_) | DbError::ValidationFailed(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = DbError::UnknownPartition(TableId(1), PartitionId(2));
+        assert_eq!(e.to_string(), "unknown partition 2 of table 1");
+        assert_eq!(DbError::StreamClosed.to_string(), "stream closed");
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(DbError::TxnAborted(TxnId(1)).is_retryable());
+        assert!(DbError::LockConflict(TxnId(1)).is_retryable());
+        assert!(DbError::ValidationFailed(TxnId(1)).is_retryable());
+        assert!(!DbError::StreamClosed.is_retryable());
+        assert!(!DbError::Codec("x").is_retryable());
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(DbError::QueueFull);
+        assert_eq!(e.to_string(), "queue full");
+    }
+}

@@ -1,0 +1,152 @@
+//! FxHash-style fast hashing.
+//!
+//! SipHash (std's default) is needlessly slow for the integer keys that
+//! dominate our hot paths (RIDs, warehouse ids, lock keys). This is the
+//! well-known Fx multiply-rotate hash used by rustc, implemented in-repo so
+//! we stay within the allowed dependency set (DESIGN.md §5). HashDoS is not
+//! a concern for a self-generated benchmark workload.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with the Fx hasher.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED64: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx multiply-rotate hasher (word-at-a-time).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED64);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(&bytes[..8]);
+            self.add_to_hash(u64::from_le_bytes(word));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            let mut word = [0u8; 4];
+            word.copy_from_slice(&bytes[..4]);
+            self.add_to_hash(u32::from_le_bytes(word) as u64);
+            bytes = &bytes[4..];
+        }
+        for &b in bytes {
+            self.add_to_hash(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Hashes a single `u64` without constructing a map (hot path of hash
+/// partitioning and hash joins).
+#[inline]
+pub fn hash_u64(v: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(v);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"abc"), hash_of(&"abc"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&"a"), hash_of(&"b"));
+        assert_ne!(hash_u64(10), hash_u64(11));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+
+    #[test]
+    fn spreads_sequential_keys() {
+        // Sequential keys (warehouse ids) must not collide in low bits after
+        // hashing, or hash partitioning would be degenerate.
+        let mut buckets = [0usize; 8];
+        for k in 0..10_000u64 {
+            buckets[(hash_u64(k) % 8) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!(b > 500, "bucket underfilled: {buckets:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_width_writes_differ_from_byte_writes() {
+        // Not a correctness requirement, but documents that the hasher is
+        // width-sensitive, like the upstream Fx implementation.
+        let mut a = FxHasher::default();
+        a.write_u64(0x0102_0304_0506_0708);
+        let mut b = FxHasher::default();
+        b.write(&[8, 7, 6, 5, 4, 3, 2, 1]);
+        assert_eq!(a.finish(), b.finish()); // same word, little-endian
+    }
+}

@@ -1,0 +1,111 @@
+//! Strongly typed identifiers used throughout the system.
+//!
+//! All identifiers are thin `u32`/`u64` newtypes. They exist so that a
+//! partition id cannot accidentally be passed where a table id is expected,
+//! which matters in a system whose whole point is routing things around.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $inner:ty) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Returns the raw integer value.
+            #[inline]
+            pub const fn raw(self) -> $inner {
+                self.0
+            }
+
+            /// Returns the id as a `usize`, for indexing into vectors.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            #[inline]
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies one AnyComponent (AC) in the running system.
+    AcId,
+    u32
+);
+define_id!(
+    /// Identifies a (simulated) server hosting a group of ACs.
+    ServerId,
+    u32
+);
+define_id!(
+    /// Identifies a table in the catalog.
+    TableId,
+    u32
+);
+define_id!(
+    /// Identifies a horizontal partition of a table (e.g. a TPC-C warehouse).
+    PartitionId,
+    u32
+);
+define_id!(
+    /// Identifies a transaction. Monotonically increasing per client.
+    TxnId,
+    u64
+);
+define_id!(
+    /// Identifies a query (OLAP) instance.
+    QueryId,
+    u64
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_raw() {
+        assert_eq!(AcId(7).raw(), 7);
+        assert_eq!(TxnId(u64::MAX).raw(), u64::MAX);
+        assert_eq!(PartitionId::from(3u32), PartitionId(3));
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(format!("{:?}", AcId(2)), "AcId(2)");
+        assert_eq!(format!("{}", ServerId(4)), "4");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(TxnId(1) < TxnId(2));
+        let mut v = vec![PartitionId(3), PartitionId(1), PartitionId(2)];
+        v.sort();
+        assert_eq!(v, vec![PartitionId(1), PartitionId(2), PartitionId(3)]);
+    }
+
+    #[test]
+    fn ids_index() {
+        let slots = ["a", "b", "c"];
+        assert_eq!(slots[AcId(1).index()], "b");
+    }
+}

@@ -1,0 +1,35 @@
+//! # anydb-common
+//!
+//! Foundational types shared by every crate of the AnyDB reproduction:
+//!
+//! * [`value`] — dynamically typed datums stored in tuples,
+//! * [`schema`] — table schemas and column metadata,
+//! * [`tuple`] — row representation plus a compact binary wire encoding
+//!   used by data streams,
+//! * [`rid`] — record identifiers (partition, slot),
+//! * [`ids`] — strongly typed identifiers used across the system,
+//! * [`fxmap`] — FxHash-style fast hash maps for hot lookup paths,
+//! * [`dist`] — Zipfian / hot-spot / NURand distributions for workloads,
+//! * [`metrics`] — throughput counters and latency histograms,
+//! * [`error`] — the common error type.
+//!
+//! The crate is dependency-light on purpose: everything downstream (storage,
+//! streams, transactions, the AnyDB core) builds on these definitions.
+
+pub mod backoff;
+pub mod dist;
+pub mod error;
+pub mod fxmap;
+pub mod ids;
+pub mod metrics;
+pub mod rid;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use error::{DbError, DbResult};
+pub use ids::{AcId, PartitionId, QueryId, ServerId, TableId, TxnId};
+pub use rid::Rid;
+pub use schema::{ColumnDef, DataType, Schema};
+pub use tuple::Tuple;
+pub use value::Value;

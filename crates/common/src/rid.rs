@@ -1,0 +1,89 @@
+//! Record identifiers.
+
+use std::fmt;
+
+use crate::ids::{PartitionId, TableId};
+
+/// A record identifier: table, partition, and slot within the partition.
+///
+/// RIDs are stable for the lifetime of a record (our partitions never move
+/// rows), so they can be carried inside events and data-stream items — this
+/// is the `RID` flowing between `Index.lookup` and `Record.read` events in
+/// Figure 4 (a) of the paper.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rid {
+    /// Table the record belongs to.
+    pub table: TableId,
+    /// Horizontal partition holding the record.
+    pub partition: PartitionId,
+    /// Slot index within the partition's row store.
+    pub slot: u32,
+}
+
+impl Rid {
+    /// Creates a new record id.
+    #[inline]
+    pub const fn new(table: TableId, partition: PartitionId, slot: u32) -> Self {
+        Self {
+            table,
+            partition,
+            slot,
+        }
+    }
+
+    /// Packs the RID into a single `u128` (useful as a hash/lock key).
+    #[inline]
+    pub const fn pack(self) -> u128 {
+        ((self.table.0 as u128) << 64) | ((self.partition.0 as u128) << 32) | self.slot as u128
+    }
+
+    /// Reverses [`Rid::pack`].
+    #[inline]
+    pub const fn unpack(packed: u128) -> Self {
+        Self {
+            table: TableId((packed >> 64) as u32),
+            partition: PartitionId(((packed >> 32) & 0xFFFF_FFFF) as u32),
+            slot: (packed & 0xFFFF_FFFF) as u32,
+        }
+    }
+}
+
+impl fmt::Debug for Rid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rid({}:{}:{})", self.table, self.partition, self.slot)
+    }
+}
+
+impl fmt::Display for Rid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.table, self.partition, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let rid = Rid::new(TableId(7), PartitionId(3), 42);
+        assert_eq!(Rid::unpack(rid.pack()), rid);
+        let extreme = Rid::new(TableId(u32::MAX), PartitionId(u32::MAX), u32::MAX);
+        assert_eq!(Rid::unpack(extreme.pack()), extreme);
+    }
+
+    #[test]
+    fn pack_is_injective_across_fields() {
+        let a = Rid::new(TableId(1), PartitionId(0), 0);
+        let b = Rid::new(TableId(0), PartitionId(1), 0);
+        let c = Rid::new(TableId(0), PartitionId(0), 1);
+        assert_ne!(a.pack(), b.pack());
+        assert_ne!(b.pack(), c.pack());
+        assert_ne!(a.pack(), c.pack());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Rid::new(TableId(1), PartitionId(2), 3).to_string(), "1:2:3");
+    }
+}

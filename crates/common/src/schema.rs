@@ -1,0 +1,221 @@
+//! Table schemas and column metadata.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{DbError, DbResult};
+use crate::value::Value;
+
+/// Column data types supported by the storage layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer (also encodes dates as `yyyymmdd`).
+    Int,
+    /// 64-bit float (money amounts).
+    Float,
+    /// Variable-length UTF-8 string.
+    Str,
+}
+
+/// A column definition: name, type, nullability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name, lower-case by convention (e.g. `w_ytd`).
+    pub name: String,
+    /// Declared type.
+    pub ty: DataType,
+    /// Whether NULL is allowed.
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    /// Non-nullable column.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        Self {
+            name: name.into(),
+            ty,
+            nullable: false,
+        }
+    }
+
+    /// Nullable column.
+    pub fn nullable(name: impl Into<String>, ty: DataType) -> Self {
+        Self {
+            name: name.into(),
+            ty,
+            nullable: true,
+        }
+    }
+}
+
+/// A table schema. Cheaply cloneable (`Arc` inside) because schemas ride
+/// along catalog data streams to whichever AC needs them.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Schema {
+    inner: Arc<SchemaInner>,
+}
+
+#[derive(PartialEq, Eq)]
+struct SchemaInner {
+    name: String,
+    columns: Vec<ColumnDef>,
+    /// Indices of the primary-key columns, in key order.
+    primary_key: Vec<usize>,
+}
+
+impl Schema {
+    /// Builds a schema; `primary_key` lists column names in key order.
+    ///
+    /// # Panics
+    /// Panics if a primary-key column name is unknown or duplicated — this
+    /// is a static definition error, not a runtime condition.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<ColumnDef>,
+        primary_key: &[&str],
+    ) -> Self {
+        let name = name.into();
+        let mut pk = Vec::with_capacity(primary_key.len());
+        for key in primary_key {
+            let idx = columns
+                .iter()
+                .position(|c| c.name == *key)
+                .unwrap_or_else(|| panic!("schema {name}: unknown pk column {key}"));
+            assert!(
+                !pk.contains(&idx),
+                "schema {name}: duplicate pk column {key}"
+            );
+            pk.push(idx);
+        }
+        Self {
+            inner: Arc::new(SchemaInner {
+                name,
+                columns,
+                primary_key: pk,
+            }),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// All column definitions, in declaration order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.inner.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.inner.columns.len()
+    }
+
+    /// Positions of the primary-key columns.
+    pub fn primary_key(&self) -> &[usize] {
+        &self.inner.primary_key
+    }
+
+    /// Resolves a column name to its position.
+    pub fn column_index(&self, name: &str) -> DbResult<usize> {
+        self.inner
+            .columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or(DbError::SchemaMismatch("unknown column name"))
+    }
+
+    /// Validates that `values` matches this schema (arity, types, nulls).
+    pub fn check(&self, values: &[Value]) -> DbResult<()> {
+        if values.len() != self.arity() {
+            return Err(DbError::SchemaMismatch("tuple arity"));
+        }
+        for (v, c) in values.iter().zip(self.columns()) {
+            match v.data_type() {
+                Some(ty) if ty == c.ty => {}
+                None if c.nullable => {}
+                None => return Err(DbError::SchemaMismatch("null in non-nullable column")),
+                Some(_) => return Err(DbError::SchemaMismatch("column type")),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Schema({}", self.inner.name)?;
+        for c in &self.inner.columns {
+            write!(f, " {}:{:?}", c.name, c.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("name", DataType::Str),
+                ColumnDef::nullable("score", DataType::Float),
+            ],
+            &["id"],
+        )
+    }
+
+    #[test]
+    fn basic_introspection() {
+        let s = sample();
+        assert_eq!(s.name(), "t");
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.primary_key(), &[0]);
+        assert_eq!(s.column_index("name").unwrap(), 1);
+        assert!(s.column_index("missing").is_err());
+    }
+
+    #[test]
+    fn check_accepts_valid_tuples() {
+        let s = sample();
+        s.check(&[Value::Int(1), Value::str("a"), Value::Float(0.5)])
+            .unwrap();
+        s.check(&[Value::Int(1), Value::str("a"), Value::Null])
+            .unwrap();
+    }
+
+    #[test]
+    fn check_rejects_bad_tuples() {
+        let s = sample();
+        // wrong arity
+        assert!(s.check(&[Value::Int(1)]).is_err());
+        // wrong type
+        assert!(s
+            .check(&[Value::str("x"), Value::str("a"), Value::Null])
+            .is_err());
+        // null in non-nullable
+        assert!(s.check(&[Value::Null, Value::str("a"), Value::Null]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown pk column")]
+    fn unknown_pk_panics() {
+        Schema::new("t", vec![ColumnDef::new("a", DataType::Int)], &["b"]);
+    }
+
+    #[test]
+    fn composite_primary_key_order_preserved() {
+        let s = Schema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", DataType::Int),
+                ColumnDef::new("b", DataType::Int),
+            ],
+            &["b", "a"],
+        );
+        assert_eq!(s.primary_key(), &[1, 0]);
+    }
+}

@@ -1,0 +1,282 @@
+//! Row representation and the compact binary wire encoding used by data
+//! streams.
+//!
+//! Data streams in an architecture-less DBMS ship *all* state between ACs,
+//! so tuples need a cheap clone (Arc'd strings, see [`crate::value`]) and a
+//! compact self-describing binary encoding for links that model network
+//! transfer. The encoding is hand-rolled on `bytes` — we deliberately do not
+//! pull in serde (see DESIGN.md §5).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::{DbError, DbResult};
+use crate::value::Value;
+
+/// Wire tags for the tuple encoding.
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_STR: u8 = 3;
+
+/// A row of values.
+///
+/// `Tuple` is the unit flowing through data streams: scans emit tuples,
+/// joins consume and produce them, and update events carry the new column
+/// values as tuples.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Creates a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Self { values }
+    }
+
+    /// An empty tuple.
+    pub fn empty() -> Self {
+        Self { values: Vec::new() }
+    }
+
+    /// The values in column order.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Mutable access (used by in-place update operators).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [Value] {
+        &mut self.values
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value at `idx`.
+    ///
+    /// # Panics
+    /// Panics if out of range; operators resolve column indices against a
+    /// checked schema before touching tuples.
+    #[inline]
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Replaces the value at `idx`, returning the previous one.
+    #[inline]
+    pub fn set(&mut self, idx: usize, v: Value) -> Value {
+        std::mem::replace(&mut self.values[idx], v)
+    }
+
+    /// Consumes the tuple, returning its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Concatenates two tuples (join output).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.arity() + other.arity());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple::new(values)
+    }
+
+    /// Projects the tuple onto the given column indices.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple::new(indices.iter().map(|&i| self.values[i].clone()).collect())
+    }
+
+    /// Approximate wire size in bytes; used by simulated links to model
+    /// transfer time (latency + size / bandwidth).
+    pub fn wire_size(&self) -> usize {
+        2 + self.values.iter().map(Value::wire_size).sum::<usize>()
+    }
+
+    /// Encodes the tuple into `buf` in the self-describing wire format.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        debug_assert!(self.values.len() <= u16::MAX as usize);
+        buf.put_u16(self.values.len() as u16);
+        for v in &self.values {
+            match v {
+                Value::Null => buf.put_u8(TAG_NULL),
+                Value::Int(i) => {
+                    buf.put_u8(TAG_INT);
+                    buf.put_i64(*i);
+                }
+                Value::Float(f) => {
+                    buf.put_u8(TAG_FLOAT);
+                    buf.put_f64(*f);
+                }
+                Value::Str(s) => {
+                    buf.put_u8(TAG_STR);
+                    buf.put_u32(s.len() as u32);
+                    buf.put_slice(s.as_bytes());
+                }
+            }
+        }
+    }
+
+    /// Encodes the tuple into a fresh buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_size());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Decodes one tuple from `buf`, advancing it past the consumed bytes.
+    pub fn decode_from(buf: &mut impl Buf) -> DbResult<Tuple> {
+        if buf.remaining() < 2 {
+            return Err(DbError::Codec("tuple header truncated"));
+        }
+        let arity = buf.get_u16() as usize;
+        let mut values = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            if buf.remaining() < 1 {
+                return Err(DbError::Codec("value tag truncated"));
+            }
+            let tag = buf.get_u8();
+            let v = match tag {
+                TAG_NULL => Value::Null,
+                TAG_INT => {
+                    if buf.remaining() < 8 {
+                        return Err(DbError::Codec("int truncated"));
+                    }
+                    Value::Int(buf.get_i64())
+                }
+                TAG_FLOAT => {
+                    if buf.remaining() < 8 {
+                        return Err(DbError::Codec("float truncated"));
+                    }
+                    Value::Float(buf.get_f64())
+                }
+                TAG_STR => {
+                    if buf.remaining() < 4 {
+                        return Err(DbError::Codec("str len truncated"));
+                    }
+                    let len = buf.get_u32() as usize;
+                    if buf.remaining() < len {
+                        return Err(DbError::Codec("str body truncated"));
+                    }
+                    let mut bytes = vec![0u8; len];
+                    buf.copy_to_slice(&mut bytes);
+                    let s = String::from_utf8(bytes)
+                        .map_err(|_| DbError::Codec("str not utf-8"))?;
+                    Value::from(s)
+                }
+                _ => return Err(DbError::Codec("unknown value tag")),
+            };
+            values.push(v);
+        }
+        Ok(Tuple::new(values))
+    }
+
+    /// Decodes a tuple from a standalone buffer.
+    pub fn decode(bytes: &Bytes) -> DbResult<Tuple> {
+        let mut buf = bytes.clone();
+        Self::decode_from(&mut buf)
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tuple {
+        Tuple::new(vec![
+            Value::Int(-5),
+            Value::Float(3.25),
+            Value::str("hello"),
+            Value::Null,
+        ])
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let t = sample();
+        let enc = t.encode();
+        assert_eq!(Tuple::decode(&enc).unwrap(), t);
+    }
+
+    #[test]
+    fn empty_tuple_roundtrip() {
+        let t = Tuple::empty();
+        assert_eq!(Tuple::decode(&t.encode()).unwrap(), t);
+    }
+
+    #[test]
+    fn decode_multiple_from_one_buffer() {
+        let a = Tuple::new(vec![Value::Int(1)]);
+        let b = Tuple::new(vec![Value::str("x"), Value::Null]);
+        let mut buf = BytesMut::new();
+        a.encode_into(&mut buf);
+        b.encode_into(&mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(Tuple::decode_from(&mut bytes).unwrap(), a);
+        assert_eq!(Tuple::decode_from(&mut bytes).unwrap(), b);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let t = sample();
+        let enc = t.encode();
+        for cut in 0..enc.len() {
+            let truncated = enc.slice(0..cut);
+            assert!(
+                Tuple::decode(&truncated).is_err(),
+                "decode must fail at cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag() {
+        let mut buf = BytesMut::new();
+        buf.put_u16(1);
+        buf.put_u8(99);
+        assert_eq!(
+            Tuple::decode(&buf.freeze()),
+            Err(DbError::Codec("unknown value tag"))
+        );
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let a = Tuple::new(vec![Value::Int(1), Value::Int(2)]);
+        let b = Tuple::new(vec![Value::str("x")]);
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.project(&[2, 0]).values(), &[Value::str("x"), Value::Int(1)]);
+    }
+
+    #[test]
+    fn wire_size_upper_bounds_encoding() {
+        let t = sample();
+        assert!(t.encode().len() <= t.wire_size() + 8);
+    }
+
+    #[test]
+    fn set_returns_previous() {
+        let mut t = Tuple::new(vec![Value::Int(1)]);
+        let old = t.set(0, Value::Int(2));
+        assert_eq!(old, Value::Int(1));
+        assert_eq!(t.get(0), &Value::Int(2));
+    }
+}

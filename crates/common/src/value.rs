@@ -1,0 +1,211 @@
+//! Dynamically typed datums.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{DbError, DbResult};
+use crate::schema::DataType;
+
+/// A single column value.
+///
+/// Strings are reference counted so that cloning tuples while routing them
+/// through data streams does not copy payload bytes (the guide's advice on
+/// avoiding hot-path allocations).
+#[derive(Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer. Also used for dates encoded as `yyyymmdd`.
+    Int(i64),
+    /// 64-bit float, used for money amounts (like DBx1000 does).
+    Float(f64),
+    /// UTF-8 string.
+    Str(Arc<str>),
+    /// Null / absent.
+    Null,
+}
+
+impl Value {
+    /// Creates a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The runtime type of this value; `None` for `Null`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Null => None,
+        }
+    }
+
+    /// Extracts an integer, erroring on other types.
+    #[inline]
+    pub fn as_int(&self) -> DbResult<i64> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            _ => Err(DbError::TypeMismatch("expected Int")),
+        }
+    }
+
+    /// Extracts a float; integers widen losslessly.
+    #[inline]
+    pub fn as_float(&self) -> DbResult<f64> {
+        match self {
+            Value::Float(v) => Ok(*v),
+            Value::Int(v) => Ok(*v as f64),
+            _ => Err(DbError::TypeMismatch("expected Float")),
+        }
+    }
+
+    /// Extracts a string slice, erroring on other types.
+    #[inline]
+    pub fn as_str(&self) -> DbResult<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            _ => Err(DbError::TypeMismatch("expected Str")),
+        }
+    }
+
+    /// True if the value is SQL NULL.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Approximate in-memory/wire size in bytes, used by the simulated
+    /// network to model transfer cost of data-stream items.
+    #[inline]
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Value::Int(_) => 9,
+            Value::Float(_) => 9,
+            Value::Str(s) => 5 + s.len(),
+            Value::Null => 1,
+        }
+    }
+
+    /// Total order used by sort/merge operators: Null < Int/Float < Str;
+    /// numeric values compare numerically across Int/Float.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Str(_), _) => Ordering::Greater,
+            (_, Str(_)) => Ordering::Less,
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v:.2}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.into_boxed_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int().unwrap(), 5);
+        assert_eq!(Value::Int(5).as_float().unwrap(), 5.0);
+        assert_eq!(Value::Float(2.5).as_float().unwrap(), 2.5);
+        assert_eq!(Value::str("ab").as_str().unwrap(), "ab");
+        assert!(Value::Null.is_null());
+        assert!(Value::str("x").as_int().is_err());
+        assert!(Value::Int(1).as_str().is_err());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(3u32), Value::Int(3));
+        assert_eq!(Value::from(1.5f64), Value::Float(1.5));
+        assert_eq!(Value::from("hi"), Value::str("hi"));
+        assert_eq!(Value::from(String::from("hi")), Value::str("hi"));
+    }
+
+    #[test]
+    fn total_order() {
+        use std::cmp::Ordering::*;
+        assert_eq!(Value::Null.total_cmp(&Value::Int(0)), Less);
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Less);
+        assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(3)), Equal);
+        assert_eq!(Value::str("b").total_cmp(&Value::str("a")), Greater);
+        assert_eq!(Value::str("a").total_cmp(&Value::Int(9)), Greater);
+    }
+
+    #[test]
+    fn wire_size_accounts_for_payload() {
+        assert_eq!(Value::Int(1).wire_size(), 9);
+        assert_eq!(Value::Null.wire_size(), 1);
+        assert_eq!(Value::str("abcd").wire_size(), 9);
+    }
+
+    #[test]
+    fn clone_is_cheap_for_strings() {
+        let v = Value::str("payload");
+        let w = v.clone();
+        match (&v, &w) {
+            (Value::Str(a), Value::Str(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for distributions, metrics, and the codec substrate.
+
+use anydb_common::dist::{HotSpot, NuRand, Zipf};
+use anydb_common::metrics::Histogram;
+use anydb_common::{Rid, Tuple, Value};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Zipf samples always stay inside the domain, for any (n, theta).
+    #[test]
+    fn zipf_stays_in_domain(n in 1u64..5_000, theta in 0.0f64..0.999, seed: u64) {
+        let z = Zipf::new(n, theta);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Hot-spot samples stay inside the domain and respect the hot set
+    /// when the probability is 1.
+    #[test]
+    fn hotspot_stays_in_domain(n in 1u64..1_000, hot in 1u64..1_000, seed: u64) {
+        let hot = hot.min(n);
+        let h = HotSpot::new(n, hot, 1.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(h.sample(&mut rng) < hot.max(1));
+        }
+    }
+
+    /// NURand respects its [x, y] bounds for all spec constants.
+    #[test]
+    fn nurand_stays_in_bounds(c: u64, seed: u64) {
+        for (a, x, y) in [(255u64, 0u64, 999u64), (1023, 1, 3000), (8191, 1, 100_000)] {
+            let n = NuRand::new(a, x, y, c);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..100 {
+                let v = n.sample(&mut rng);
+                prop_assert!((x..=y).contains(&v));
+            }
+        }
+    }
+
+    /// RID packing is a bijection.
+    #[test]
+    fn rid_pack_roundtrips(t: u32, p: u32, s: u32) {
+        use anydb_common::{PartitionId, TableId};
+        let rid = Rid::new(TableId(t), PartitionId(p), s);
+        prop_assert_eq!(Rid::unpack(rid.pack()), rid);
+    }
+
+    /// Histogram percentiles are monotone in p.
+    #[test]
+    fn histogram_percentiles_monotone(samples in prop::collection::vec(1u64..1_000_000, 1..100)) {
+        let h = Histogram::new();
+        for s in &samples {
+            h.record(std::time::Duration::from_nanos(*s));
+        }
+        let p50 = h.percentile(50.0);
+        let p90 = h.percentile(90.0);
+        let p99 = h.percentile(99.0);
+        prop_assert!(p50 <= p90);
+        prop_assert!(p90 <= p99);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+    }
+
+    /// Projection then concat never panics and preserves arity sums.
+    #[test]
+    fn tuple_ops_compose(vals in prop::collection::vec(any::<i64>(), 1..8)) {
+        let t = Tuple::new(vals.iter().copied().map(Value::Int).collect());
+        let all: Vec<usize> = (0..t.arity()).collect();
+        let projected = t.project(&all);
+        prop_assert_eq!(&projected, &t);
+        let doubled = t.concat(&projected);
+        prop_assert_eq!(doubled.arity(), t.arity() * 2);
+    }
+}

@@ -1,0 +1,418 @@
+//! Data beaming (§4, Figure 6).
+//!
+//! "We propose data beaming, a technique initiating data streams early and
+//! pushing data to ACs where events will be executed" — concretely: the
+//! moment a query is admitted (before the optimizer has even compiled it),
+//! the storage-side ACs start streaming the tables the query is known to
+//! touch toward the AC that will execute the operators. By the time
+//! compilation finishes, the data is already local and transfer latency is
+//! hidden.
+//!
+//! The experiment reproduces Figure 6's three variants — no beaming
+//! (baseline pull), beaming the build sides, beaming build *and* probe —
+//! across the two architectures: **aggregated** (compute collocated with
+//! storage, shared-memory/NUMA-class links, filtering costs host CPU) and
+//! **disaggregated** (compute on another server behind a DPI-class link
+//! that *offloads* the filter flows to the NIC). The DPI offload is why
+//! disaggregated execution can beat aggregated execution, the paper's
+//! §4 punchline.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use anydb_storage::Table;
+use anydb_stream::flow::{Flow, FlowSender};
+use anydb_stream::link::{LinkSpec, SimLink};
+use anydb_workload::chbench::Q3Spec;
+use anydb_workload::tpcc::TpccDb;
+
+use crate::olap::{stream_scan, Q3Compute};
+
+/// Which streams are beamed ahead of query compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BeamVariant {
+    /// No beaming: all streams start after compilation (passive pull).
+    Baseline,
+    /// Build sides (customer, new-order) beam at admission.
+    BeamBuild,
+    /// Build and probe (orders) sides beam at admission.
+    BeamBuildProbe,
+}
+
+impl BeamVariant {
+    /// Figure legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BeamVariant::Baseline => "Baseline",
+            BeamVariant::BeamBuild => "Beam Build",
+            BeamVariant::BeamBuildProbe => "Beam Build & Probe",
+        }
+    }
+}
+
+/// Where the consuming AC sits relative to storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchMode {
+    /// Same server: NUMA-class links, filter flows run on host cores.
+    Aggregated,
+    /// Remote server: DPI-class links, filter flows offloaded to the NIC.
+    Disaggregated,
+}
+
+impl ArchMode {
+    /// Figure legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ArchMode::Aggregated => "Aggregated",
+            ArchMode::Disaggregated => "Disaggregated",
+        }
+    }
+}
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct BeamingConfig {
+    /// Beaming variant.
+    pub variant: BeamVariant,
+    /// Architecture (link class + offload).
+    pub arch: ArchMode,
+    /// Modeled query-compilation time (the x-axis of Figure 6; the paper
+    /// marks the commercial optimizer "DB-C" at 30 ms).
+    pub compile_time: Duration,
+    /// Link used by all three data streams.
+    pub link: LinkSpec,
+    /// Host-side flow processing rate (bytes/s) charged when the link
+    /// does not offload; ignored for offload links.
+    pub host_filter_bytes_per_sec: f64,
+    /// Rows per stream batch.
+    pub batch_rows: usize,
+}
+
+impl BeamingConfig {
+    /// Paper-shaped defaults for a variant/arch/compile-time point.
+    ///
+    /// Bandwidths are scaled so that, with the Figure-6 database scale
+    /// used by the bench harness, the baseline probe transfer sits around
+    /// 30 ms — matching the paper's axis, not its hardware.
+    pub fn paper_default(variant: BeamVariant, arch: ArchMode, compile_time: Duration) -> Self {
+        let link = match arch {
+            ArchMode::Aggregated => LinkSpec {
+                latency: Duration::from_micros(1),
+                bytes_per_sec: 30e6,
+                offload: false,
+            },
+            ArchMode::Disaggregated => LinkSpec {
+                latency: Duration::from_micros(20),
+                bytes_per_sec: 35e6,
+                offload: true,
+            },
+        };
+        Self {
+            variant,
+            arch,
+            compile_time,
+            link,
+            host_filter_bytes_per_sec: 300e6,
+            batch_rows: 512,
+        }
+    }
+}
+
+/// Result of one Figure-6 run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeamingResult {
+    /// End-to-end query time including compilation (Figure 6 a).
+    pub total: Duration,
+    /// Build-phase time after compilation (Figure 6 b).
+    pub build: Duration,
+    /// Probe-phase time after the build (Figure 6 c).
+    pub probe: Duration,
+    /// Qualifying open orders found.
+    pub rows: usize,
+}
+
+/// Spawns a storage-side producer streaming `table` through `flow`.
+/// When the link does not offload, the producer pays the host-side
+/// processing cost of the flow (sleep proportional to pre-filter bytes).
+fn spawn_producer(
+    db: &Arc<TpccDb>,
+    table: fn(&TpccDb) -> &Table,
+    flow: Flow,
+    link: LinkSpec,
+    host_rate: f64,
+    batch_rows: usize,
+    ring: usize,
+) -> (anydb_stream::link::LinkReceiver<anydb_stream::batch::Batch>, JoinHandle<usize>) {
+    let (tx, rx) = SimLink::channel(link, ring);
+    let db = db.clone();
+    let handle = std::thread::spawn(move || {
+        let sender = FlowSender::new(tx, flow);
+        if link.offload {
+            stream_scan(table(&db), sender, batch_rows)
+        } else {
+            // Charge host CPU for the flow: the scan thread throttles to
+            // the host filter rate (it is the component doing the work).
+            stream_scan_throttled(table(&db), sender, batch_rows, host_rate)
+        }
+    });
+    (rx, handle)
+}
+
+/// Like [`stream_scan`] but throttled to `bytes_per_sec` of *input* data,
+/// modeling a host core applying the flow. The throttle accumulates debt
+/// and sleeps in ≥1 ms quanta: per-batch micro-sleeps oversleep massively
+/// on stock Linux timers and would swamp the model with noise.
+fn stream_scan_throttled(
+    table: &Table,
+    mut flow: FlowSender,
+    batch_rows: usize,
+    bytes_per_sec: f64,
+) -> usize {
+    use anydb_common::PartitionId;
+    use anydb_stream::batch::Batch;
+    let mut scanned = 0usize;
+    let mut buffer = Vec::with_capacity(batch_rows);
+    let mut debt = Duration::ZERO;
+    for p in 0..table.partition_count() {
+        let Ok(part) = table.partition(PartitionId(p)) else {
+            continue;
+        };
+        part.scan(|_, row| {
+            buffer.push(row.tuple().clone());
+            scanned += 1;
+        });
+        for chunk in Batch::split(std::mem::take(&mut buffer), batch_rows) {
+            debt += Duration::from_secs_f64(chunk.bytes() as f64 / bytes_per_sec);
+            if debt >= Duration::from_millis(1) {
+                std::thread::sleep(debt);
+                debt = Duration::ZERO;
+            }
+            if flow.send_blocking(chunk).is_err() {
+                return scanned;
+            }
+        }
+    }
+    if !debt.is_zero() {
+        std::thread::sleep(debt);
+    }
+    flow.finish();
+    scanned
+}
+
+/// Runs one Figure-6 data point: admits Q3, beams per `cfg.variant`,
+/// "compiles" for `cfg.compile_time`, executes, and reports timings.
+pub fn run_q3(db: &Arc<TpccDb>, spec: Q3Spec, cfg: &BeamingConfig) -> BeamingResult {
+    let ring = 1 << 13;
+    let t0 = Instant::now();
+
+    // Flows: filters execute en route (on the NIC when offloaded). The
+    // compute side re-applies them idempotently, so correctness never
+    // depends on where filtering ran.
+    let cust_flow = {
+        let spec = spec;
+        Flow::identity().filter(move |t| spec.customer_filter(t))
+    };
+    let ord_flow = {
+        let spec = spec;
+        Flow::identity().filter(move |t| spec.order_filter(t))
+    };
+    let no_flow = Flow::identity();
+
+    let beam_build = cfg.variant != BeamVariant::Baseline;
+    let beam_probe = cfg.variant == BeamVariant::BeamBuildProbe;
+
+    // Streams beamed at admission start now…
+    let mut early: Vec<JoinHandle<usize>> = Vec::new();
+    let mut cust_rx = None;
+    let mut no_rx = None;
+    let mut ord_rx = None;
+    if beam_build {
+        let (rx, h) = spawn_producer(
+            db,
+            |db| &db.customer,
+            cust_flow.clone(),
+            cfg.link,
+            cfg.host_filter_bytes_per_sec,
+            cfg.batch_rows,
+            ring,
+        );
+        cust_rx = Some(rx);
+        early.push(h);
+        let (rx, h) = spawn_producer(
+            db,
+            |db| &db.neworder,
+            no_flow.clone(),
+            cfg.link,
+            cfg.host_filter_bytes_per_sec,
+            cfg.batch_rows,
+            ring,
+        );
+        no_rx = Some(rx);
+        early.push(h);
+    }
+    if beam_probe {
+        let (rx, h) = spawn_producer(
+            db,
+            |db| &db.orders,
+            ord_flow.clone(),
+            cfg.link,
+            cfg.host_filter_bytes_per_sec,
+            cfg.batch_rows,
+            ring,
+        );
+        ord_rx = Some(rx);
+        early.push(h);
+    }
+
+    // …while the QO compiles the query.
+    std::thread::sleep(cfg.compile_time);
+
+    // Compilation done: late (non-beamed) streams start now — this is the
+    // "passively pull data when needed" baseline behavior.
+    let mut late: Vec<JoinHandle<usize>> = Vec::new();
+    if cust_rx.is_none() {
+        let (rx, h) = spawn_producer(
+            db,
+            |db| &db.customer,
+            cust_flow,
+            cfg.link,
+            cfg.host_filter_bytes_per_sec,
+            cfg.batch_rows,
+            ring,
+        );
+        cust_rx = Some(rx);
+        late.push(h);
+        let (rx, h) = spawn_producer(
+            db,
+            |db| &db.neworder,
+            no_flow,
+            cfg.link,
+            cfg.host_filter_bytes_per_sec,
+            cfg.batch_rows,
+            ring,
+        );
+        no_rx = Some(rx);
+        late.push(h);
+    }
+    if ord_rx.is_none() {
+        let (rx, h) = spawn_producer(
+            db,
+            |db| &db.orders,
+            ord_flow,
+            cfg.link,
+            cfg.host_filter_bytes_per_sec,
+            cfg.batch_rows,
+            ring,
+        );
+        ord_rx = Some(rx);
+        late.push(h);
+    }
+
+    // The consuming AC executes the two joins.
+    let result = Q3Compute::new(spec).run(
+        &mut cust_rx.expect("customer stream"),
+        &mut no_rx.expect("neworder stream"),
+        &mut ord_rx.expect("orders stream"),
+    );
+
+    for h in early.into_iter().chain(late) {
+        let _ = h.join();
+    }
+
+    BeamingResult {
+        total: t0.elapsed(),
+        build: result.build,
+        probe: result.probe,
+        rows: result.rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::olap::exec_q3_local;
+    use anydb_workload::tpcc::TpccConfig;
+
+    fn db() -> Arc<TpccDb> {
+        Arc::new(TpccDb::load(TpccConfig::small(), 71).unwrap())
+    }
+
+    fn fast_cfg(variant: BeamVariant, compile_ms: u64) -> BeamingConfig {
+        BeamingConfig {
+            variant,
+            arch: ArchMode::Disaggregated,
+            compile_time: Duration::from_millis(compile_ms),
+            link: LinkSpec::instant(),
+            host_filter_bytes_per_sec: f64::INFINITY,
+            batch_rows: 128,
+        }
+    }
+
+    #[test]
+    fn all_variants_agree_on_the_answer() {
+        let db = db();
+        let spec = Q3Spec::default();
+        let expected = exec_q3_local(&db, &spec);
+        for variant in [
+            BeamVariant::Baseline,
+            BeamVariant::BeamBuild,
+            BeamVariant::BeamBuildProbe,
+        ] {
+            let r = run_q3(&db, spec, &fast_cfg(variant, 0));
+            assert_eq!(r.rows, expected, "variant {variant:?}");
+        }
+    }
+
+    #[test]
+    fn total_includes_compile_time() {
+        let db = db();
+        let r = run_q3(&db, Q3Spec::default(), &fast_cfg(BeamVariant::Baseline, 20));
+        assert!(r.total >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn beaming_hides_transfer_latency() {
+        // With a slow link and a compile window longer than the transfer,
+        // the beamed variant's post-compile work is much cheaper than the
+        // baseline's. The link must be slow enough that transfer time
+        // (tens of ms) dominates scheduler noise on a loaded 2-core host.
+        let db = db();
+        let slow_link = LinkSpec {
+            latency: Duration::from_micros(10),
+            bytes_per_sec: 1e6,
+            offload: true,
+        };
+        let mk = |variant| BeamingConfig {
+            variant,
+            arch: ArchMode::Disaggregated,
+            compile_time: Duration::from_millis(60),
+            link: slow_link,
+            host_filter_bytes_per_sec: f64::INFINITY,
+            batch_rows: 128,
+        };
+        let spec = Q3Spec::default();
+        let baseline = run_q3(&db, spec, &mk(BeamVariant::Baseline));
+        let beamed = run_q3(&db, spec, &mk(BeamVariant::BeamBuildProbe));
+        // Post-compile work: baseline pays the full transfer (tens of ms),
+        // the beamed variant only the compute floor.
+        assert!(
+            (beamed.build + beamed.probe).as_secs_f64()
+                < (baseline.build + baseline.probe).as_secs_f64() * 0.7,
+            "beamed {:?}+{:?} vs baseline {:?}+{:?}",
+            beamed.build,
+            beamed.probe,
+            baseline.build,
+            baseline.probe
+        );
+        // Totals follow from the work comparison (both pay the same
+        // compile window); not asserted separately because total time is
+        // the one quantity a loaded CI host can distort past any margin.
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(BeamVariant::BeamBuild.label(), "Beam Build");
+        assert_eq!(ArchMode::Disaggregated.label(), "Disaggregated");
+    }
+}

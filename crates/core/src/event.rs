@@ -1,0 +1,237 @@
+//! The event algebra.
+//!
+//! Figure 4 (a) of the paper disaggregates a transaction into events such
+//! as `Index.lookup`, `Lock.acquire`, `Record.update`. We group the lock
+//! events out (streaming CC replaces them with order stamps, §3.3) and
+//! carry the remaining operations as [`TxnOp`]s. Events also cover OLAP
+//! operator instantiation (§4) and engine control.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+
+use anydb_common::{QueryId, TxnId};
+use anydb_txn::sequencer::SeqNo;
+use anydb_workload::chbench::Q3Spec;
+use anydb_workload::tpcc::gen::TxnRequest;
+use anydb_workload::tpcc::CustomerSelector;
+use crossbeam::channel::Sender;
+
+/// One storage operation of a decomposed transaction.
+///
+/// Operations are *self-contained*: everything needed to execute them
+/// arrives with the event (the data-stream role of §2.1 — for OLTP the
+/// state is small enough to ride along with the event itself).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TxnOp {
+    /// Payment: `W_YTD += amount`.
+    PayWarehouse {
+        /// Warehouse id.
+        w: i64,
+        /// Payment amount.
+        amount: f64,
+    },
+    /// Payment: `D_YTD += amount`.
+    PayDistrict {
+        /// Warehouse id.
+        w: i64,
+        /// District id.
+        d: i64,
+        /// Payment amount.
+        amount: f64,
+    },
+    /// Payment: resolve customer (possibly a last-name range scan),
+    /// update balance/ytd/count, and insert the history row.
+    PayCustomer {
+        /// Customer warehouse.
+        w: i64,
+        /// Customer district.
+        d: i64,
+        /// Customer selection (id or last name).
+        selector: CustomerSelector,
+        /// Payment amount.
+        amount: f64,
+        /// Payment date (yyyymmdd).
+        date: i64,
+    },
+    /// No-op used to keep order gates dense when a transaction does not
+    /// touch a stage (§3.3: events of conflicting transactions must flow
+    /// through all involved ACs in one consistent order).
+    Skip,
+}
+
+impl TxnOp {
+    /// The conflict domain (warehouse, 1-based) of the operation; `None`
+    /// for `Skip`.
+    pub fn warehouse(&self) -> Option<i64> {
+        match self {
+            TxnOp::PayWarehouse { w, .. }
+            | TxnOp::PayDistrict { w, .. }
+            | TxnOp::PayCustomer { w, .. } => Some(*w),
+            TxnOp::Skip => None,
+        }
+    }
+}
+
+/// Completion notice for a transaction (all its op groups finished).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpDone {
+    /// The finished transaction.
+    pub txn: TxnId,
+    /// False if any op failed (engine treats this as fatal — ordered
+    /// execution has no CC aborts).
+    pub ok: bool,
+}
+
+/// Tracks outstanding op groups of one transaction; the AC finishing the
+/// last group emits the completion notice.
+pub struct TxnTracker {
+    txn: TxnId,
+    remaining: AtomicU32,
+    failed: AtomicBool,
+    done: Sender<OpDone>,
+}
+
+impl TxnTracker {
+    /// Tracker expecting `groups` op-group completions.
+    pub fn new(txn: TxnId, groups: u32, done: Sender<OpDone>) -> Arc<Self> {
+        assert!(groups > 0);
+        Arc::new(Self {
+            txn,
+            remaining: AtomicU32::new(groups),
+            failed: AtomicBool::new(false),
+            done,
+        })
+    }
+
+    /// Marks one op group complete; the last completion sends the notice.
+    pub fn group_done(&self, ok: bool) {
+        if !ok {
+            self.failed.store(true, Ordering::Release);
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let ok = !self.failed.load(Ordering::Acquire);
+            // Receiver may be gone during shutdown; that is fine.
+            let _ = self.done.send(OpDone { txn: self.txn, ok });
+        }
+    }
+
+    /// The transaction being tracked.
+    pub fn txn(&self) -> TxnId {
+        self.txn
+    }
+}
+
+/// An event consumed by an AnyComponent.
+pub enum Event {
+    /// Execute a whole transaction at the receiving AC (the *physically
+    /// aggregated* execution of Figure 4 (b): shared-nothing locality,
+    /// no locks, serial per partition).
+    ExecuteTxn {
+        /// Transaction id.
+        txn: TxnId,
+        /// Full request parameters.
+        req: TxnRequest,
+        /// Completion notification.
+        done: Sender<OpDone>,
+    },
+    /// Execute a group of operations of a decomposed transaction at the
+    /// receiving AC, in streaming-CC stamp order (Figure 4 (c)/(d)).
+    OpGroup {
+        /// Transaction id.
+        txn: TxnId,
+        /// Stage discriminator: gates are per `(stage, domain)` so one AC
+        /// can host several stages without confusing their orders.
+        stage: u32,
+        /// Conflict domain (warehouse index, 0-based).
+        domain: u32,
+        /// Order stamp within the domain.
+        seq: SeqNo,
+        /// The operations to apply (possibly just `Skip`).
+        ops: Vec<TxnOp>,
+        /// Group tracker.
+        tracker: Arc<TxnTracker>,
+    },
+    /// Act as an OLAP worker: execute CH-Q3 locally (used by the HTAP
+    /// phases where AnyDB routes analytics to dedicated ACs).
+    QueryQ3 {
+        /// Query id.
+        query: QueryId,
+        /// Query parameters.
+        spec: Q3Spec,
+        /// Result (row count) notification.
+        done: Sender<(QueryId, usize)>,
+    },
+    /// Stop the component after draining already-admitted work.
+    Shutdown,
+}
+
+impl std::fmt::Debug for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Event::ExecuteTxn { txn, .. } => write!(f, "ExecuteTxn({txn})"),
+            Event::OpGroup {
+                txn,
+                stage,
+                domain,
+                seq,
+                ops,
+                ..
+            } => write!(
+                f,
+                "OpGroup(txn={txn} stage={stage} domain={domain} seq={seq:?} ops={})",
+                ops.len()
+            ),
+            Event::QueryQ3 { query, .. } => write!(f, "QueryQ3({query})"),
+            Event::Shutdown => write!(f, "Shutdown"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    #[test]
+    fn txn_op_warehouse() {
+        assert_eq!(TxnOp::PayWarehouse { w: 3, amount: 1.0 }.warehouse(), Some(3));
+        assert_eq!(TxnOp::Skip.warehouse(), None);
+    }
+
+    #[test]
+    fn tracker_fires_after_all_groups() {
+        let (tx, rx) = unbounded();
+        let t = TxnTracker::new(TxnId(7), 3, tx);
+        t.group_done(true);
+        t.group_done(true);
+        assert!(rx.try_recv().is_err());
+        t.group_done(true);
+        assert_eq!(rx.try_recv().unwrap(), OpDone { txn: TxnId(7), ok: true });
+    }
+
+    #[test]
+    fn tracker_propagates_failure() {
+        let (tx, rx) = unbounded();
+        let t = TxnTracker::new(TxnId(1), 2, tx);
+        t.group_done(false);
+        t.group_done(true);
+        assert_eq!(rx.try_recv().unwrap(), OpDone { txn: TxnId(1), ok: false });
+    }
+
+    #[test]
+    fn event_debug_formats() {
+        let (tx, _rx) = unbounded();
+        let tracker = TxnTracker::new(TxnId(1), 1, tx);
+        let e = Event::OpGroup {
+            txn: TxnId(1),
+            stage: 2,
+            domain: 0,
+            seq: SeqNo(5),
+            ops: vec![TxnOp::Skip],
+            tracker,
+        };
+        let s = format!("{e:?}");
+        assert!(s.contains("stage=2"));
+        assert!(s.contains("ops=1"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # anydb-core — the architecture-less DBMS
+//!
+//! This crate is the reproduction of the paper's primary contribution: a
+//! DBMS composed of a single generic component type, the
+//! **AnyComponent (AC)**, instrumented at runtime by an *event stream*
+//! (what to do) and a *data stream* (the state needed to do it).
+//!
+//! * [`event`] — the event algebra of Figure 4: whole transactions,
+//!   operation sub-sequences with streaming-CC order stamps, OLAP
+//!   operator events, and control events,
+//! * [`ops`] — execution of transaction operations against the storage
+//!   substrate (no locks — consistency comes from event ordering),
+//! * [`component`] — the AC run loop: non-blocking polling of the event
+//!   inbox, order-gate admission, parking of early events (§2.1),
+//! * [`engine`] — boots a set of ACs and drives OLTP phases under any of
+//!   the four execution strategies of §3 (shared-nothing aggregated,
+//!   static intra-transaction, precise intra-transaction, streaming CC),
+//! * [`olap`] — streaming Q3 operators (filtered scans feeding data
+//!   streams, hash joins consuming them),
+//! * [`beaming`] — the data-beaming experiment of §4 / Figure 6,
+//! * [`strategy`] — transaction decomposition per execution strategy.
+//!
+//! The engine executes *for real* (threads, queues, storage mutations) and
+//! is verified for serializability and TPC-C invariants; the companion
+//! `anydb-sim` crate reproduces the paper's timing figures in virtual time
+//! (see DESIGN.md §2 on why).
+
+pub mod beaming;
+pub mod component;
+pub mod engine;
+pub mod event;
+pub mod olap;
+pub mod ops;
+pub mod strategy;
+
+pub use engine::{AnyDbEngine, EngineConfig, PhaseResult};
+pub use event::{Event, OpDone, TxnOp};
+pub use strategy::Strategy;

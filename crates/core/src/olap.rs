@@ -1,0 +1,255 @@
+//! Streaming OLAP operators for CH-benCHmark Q3.
+//!
+//! §4 of the paper: OLAP operations are data-intensive, so data streams
+//! must bring data to wherever events execute. This module provides both
+//! sides of that flow:
+//!
+//! * [`stream_scan`] — the storage-side producer: scan a table partition
+//!   range, batch the tuples, and push them through a [`FlowSender`]
+//!   (which may filter/project en route, possibly offloaded à la DPI),
+//! * [`Q3Compute`] — the compute-side consumer: builds hash sets from the
+//!   customer and new-order streams, then probes the orders stream —
+//!   3 filtered scans and 2 joins, as the paper describes,
+//! * [`exec_q3_local`] — the fully aggregated (single-AC) execution used
+//!   by HTAP OLAP workers.
+
+use std::time::{Duration, Instant};
+
+use anydb_common::fxmap::FxHashSet;
+use anydb_common::{PartitionId, Tuple};
+use anydb_storage::Table;
+use anydb_stream::batch::Batch;
+use anydb_stream::flow::FlowSender;
+use anydb_stream::link::LinkReceiver;
+use anydb_workload::chbench::Q3Spec;
+use anydb_workload::tpcc::TpccDb;
+
+/// Scans every partition of `table`, batches rows (`batch_rows` each) and
+/// pushes them through the flow. Closes the stream by dropping the sender.
+/// Returns the number of tuples scanned (pre-flow).
+pub fn stream_scan(table: &Table, mut flow: FlowSender, batch_rows: usize) -> usize {
+    let mut scanned = 0usize;
+    let mut batch = Vec::with_capacity(batch_rows);
+    for p in 0..table.partition_count() {
+        let Ok(part) = table.partition(PartitionId(p)) else {
+            continue;
+        };
+        part.scan(|_, row| {
+            batch.push(row.tuple().clone());
+            scanned += 1;
+        });
+        // Ship per-partition remainder in batch_rows chunks.
+        for chunk in Batch::split(std::mem::take(&mut batch), batch_rows) {
+            if flow.send_blocking(chunk).is_err() {
+                return scanned; // consumer gone
+            }
+        }
+    }
+    flow.finish();
+    scanned
+}
+
+/// Compute-side Q3: consumes three data streams and reports phase timings.
+pub struct Q3Compute {
+    spec: Q3Spec,
+}
+
+/// Result of a compute-side Q3 execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Q3ComputeResult {
+    /// Qualifying open orders.
+    pub rows: usize,
+    /// Time to consume both build-side streams and build the hash sets.
+    pub build: Duration,
+    /// Time to consume and probe the orders stream.
+    pub probe: Duration,
+}
+
+impl Q3Compute {
+    /// New executor for the given spec.
+    pub fn new(spec: Q3Spec) -> Self {
+        Self { spec }
+    }
+
+    /// Runs the pipeline: build from `customers` and `neworders`, probe
+    /// `orders`. Filters are applied defensively on the compute side too
+    /// (idempotent), so producers may or may not pre-filter (beamed flows
+    /// filter at the source / on the NIC).
+    pub fn run(
+        &self,
+        customers: &mut LinkReceiver<Batch>,
+        neworders: &mut LinkReceiver<Batch>,
+        orders: &mut LinkReceiver<Batch>,
+    ) -> Q3ComputeResult {
+        let build_start = Instant::now();
+
+        // Join-1 build: qualifying customers.
+        let mut cust_keys: FxHashSet<(i64, i64, i64)> = FxHashSet::default();
+        while let Some(batch) = customers.recv_blocking() {
+            for t in batch.tuples() {
+                if self.spec.customer_filter(t) {
+                    cust_keys.insert(Q3Spec::customer_join_key(t));
+                }
+            }
+        }
+        // Join-2 build: open orders (new-order rows).
+        let mut open_keys: FxHashSet<(i64, i64, i64)> = FxHashSet::default();
+        while let Some(batch) = neworders.recv_blocking() {
+            for t in batch.tuples() {
+                open_keys.insert(Q3Spec::neworder_key(t));
+            }
+        }
+        let build = build_start.elapsed();
+
+        // Probe: orders against both builds.
+        let probe_start = Instant::now();
+        let mut rows = 0usize;
+        while let Some(batch) = orders.recv_blocking() {
+            for t in batch.tuples() {
+                if self.spec.order_filter(t)
+                    && cust_keys.contains(&Q3Spec::order_customer_key(t))
+                    && open_keys.contains(&Q3Spec::order_key(t))
+                {
+                    rows += 1;
+                }
+            }
+        }
+        let probe = probe_start.elapsed();
+
+        Q3ComputeResult { rows, build, probe }
+    }
+}
+
+/// Fully local Q3 (one AC acting as the whole pipeline): used by HTAP
+/// OLAP workers and as the oracle for the streamed variant.
+pub fn exec_q3_local(db: &TpccDb, spec: &Q3Spec) -> usize {
+    let mut cust_keys: FxHashSet<(i64, i64, i64)> = FxHashSet::default();
+    for p in 0..db.customer.partition_count() {
+        if let Ok(part) = db.customer.partition(PartitionId(p)) {
+            part.scan(|_, row| {
+                if spec.customer_filter(row.tuple()) {
+                    cust_keys.insert(Q3Spec::customer_join_key(row.tuple()));
+                }
+            });
+        }
+    }
+    let mut open_keys: FxHashSet<(i64, i64, i64)> = FxHashSet::default();
+    for p in 0..db.neworder.partition_count() {
+        if let Ok(part) = db.neworder.partition(PartitionId(p)) {
+            part.scan(|_, row| {
+                open_keys.insert(Q3Spec::neworder_key(row.tuple()));
+            });
+        }
+    }
+    let mut rows = 0usize;
+    for p in 0..db.orders.partition_count() {
+        if let Ok(part) = db.orders.partition(PartitionId(p)) {
+            part.scan(|_, row| {
+                let t = row.tuple();
+                if spec.order_filter(t)
+                    && cust_keys.contains(&Q3Spec::order_customer_key(t))
+                    && open_keys.contains(&Q3Spec::order_key(t))
+                {
+                    rows += 1;
+                }
+            });
+        }
+    }
+    rows
+}
+
+/// Collects all tuples of a table (test/diagnostic helper).
+pub fn collect_table(table: &Table) -> Vec<Tuple> {
+    let mut out = Vec::with_capacity(table.row_count());
+    for p in 0..table.partition_count() {
+        if let Ok(part) = table.partition(PartitionId(p)) {
+            part.scan(|_, row| out.push(row.tuple().clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anydb_stream::flow::Flow;
+    use anydb_stream::link::{LinkSpec, SimLink};
+    use anydb_workload::chbench::reference_q3;
+    use anydb_workload::tpcc::TpccConfig;
+
+    #[test]
+    fn local_matches_reference() {
+        let db = TpccDb::load(TpccConfig::small(), 51).unwrap();
+        let spec = Q3Spec::default();
+        let expected = reference_q3(
+            &spec,
+            &collect_table(&db.customer),
+            &collect_table(&db.orders),
+            &collect_table(&db.neworder),
+        );
+        assert_eq!(exec_q3_local(&db, &spec), expected);
+    }
+
+    #[test]
+    fn streamed_matches_local() {
+        let db = std::sync::Arc::new(TpccDb::load(TpccConfig::small(), 52).unwrap());
+        let spec = Q3Spec::default();
+        let expected = exec_q3_local(&db, &spec);
+
+        let (ctx, mut crx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
+        let (ntx, mut nrx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
+        let (otx, mut orx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
+
+        let producers = {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                stream_scan(&db.customer, FlowSender::new(ctx, Flow::identity()), 256);
+                stream_scan(&db.neworder, FlowSender::new(ntx, Flow::identity()), 256);
+                stream_scan(&db.orders, FlowSender::new(otx, Flow::identity()), 256);
+            })
+        };
+        let result = Q3Compute::new(spec).run(&mut crx, &mut nrx, &mut orx);
+        producers.join().unwrap();
+        assert_eq!(result.rows, expected);
+        assert!(result.build > Duration::ZERO);
+    }
+
+    #[test]
+    fn prefiltered_streams_give_same_answer() {
+        // Producer-side filtering (what a DPI flow does) must not change
+        // the result because compute-side filters are idempotent.
+        let db = std::sync::Arc::new(TpccDb::load(TpccConfig::small(), 53).unwrap());
+        let spec = Q3Spec::default();
+        let expected = exec_q3_local(&db, &spec);
+
+        let (ctx, mut crx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
+        let (ntx, mut nrx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
+        let (otx, mut orx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
+        let producers = {
+            let db = db.clone();
+            let spec = spec;
+            std::thread::spawn(move || {
+                stream_scan(
+                    &db.customer,
+                    FlowSender::new(ctx, Flow::identity().filter(move |t| spec.customer_filter(t))),
+                    256,
+                );
+                stream_scan(&db.neworder, FlowSender::new(ntx, Flow::identity()), 256);
+                stream_scan(
+                    &db.orders,
+                    FlowSender::new(otx, Flow::identity().filter(move |t| spec.order_filter(t))),
+                    256,
+                );
+            })
+        };
+        let result = Q3Compute::new(spec).run(&mut crx, &mut nrx, &mut orx);
+        producers.join().unwrap();
+        assert_eq!(result.rows, expected);
+    }
+
+    #[test]
+    fn collect_table_sees_all_rows() {
+        let db = TpccDb::load(TpccConfig::small(), 54).unwrap();
+        assert_eq!(collect_table(&db.warehouse).len(), db.warehouse.row_count());
+    }
+}

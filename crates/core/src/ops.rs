@@ -1,0 +1,334 @@
+//! Executing transaction operations against the storage substrate.
+//!
+//! No locks appear anywhere in this module: in the architecture-less
+//! engine, consistency of conflicting operations comes entirely from the
+//! *order* in which events reach the executing ACs (§3.3). The functions
+//! here are therefore plain storage mutations; the component layer
+//! guarantees they run in stamp order per conflict domain.
+
+use anydb_common::{DbError, DbResult, Rid, TxnId, Tuple, Value};
+use anydb_txn::history::History;
+use anydb_workload::tpcc::cols::{customer, district, stock, warehouse};
+use anydb_workload::tpcc::gen::{NewOrderParams, PaymentParams, TxnRequest};
+use anydb_workload::tpcc::{CustomerSelector, TpccDb};
+
+use crate::event::TxnOp;
+
+/// Resolves a payment customer RID (by id, or middle-by-first-name for
+/// last-name selection — the long range scan of Figure 4 (d)).
+pub fn resolve_customer(
+    db: &TpccDb,
+    w: i64,
+    d: i64,
+    selector: &CustomerSelector,
+) -> DbResult<Rid> {
+    match selector {
+        CustomerSelector::ById(c) => db.customer_rid(w, d, *c),
+        CustomerSelector::ByLastName(name) => {
+            let rids = db.customers_by_last_name(w, d, name)?;
+            if rids.is_empty() {
+                return Err(DbError::KeyNotFound(db.customer.id()));
+            }
+            let mut named: Vec<(String, Rid)> = rids
+                .into_iter()
+                .map(|rid| {
+                    let first = db
+                        .customer
+                        .read_with(rid, |t, _| {
+                            t.get(customer::C_FIRST).as_str().unwrap_or("").to_string()
+                        })
+                        .unwrap_or_default();
+                    (first, rid)
+                })
+                .collect();
+            named.sort();
+            Ok(named[named.len() / 2].1)
+        }
+    }
+}
+
+/// Executes one decomposed operation. Returns `Ok` on success; errors are
+/// engine bugs (ordered execution cannot conflict-abort).
+pub fn exec_op(
+    db: &TpccDb,
+    txn: TxnId,
+    op: &TxnOp,
+    history: Option<&History>,
+) -> DbResult<()> {
+    match op {
+        TxnOp::Skip => Ok(()),
+        TxnOp::PayWarehouse { w, amount } => {
+            let rid = db.warehouse_rid(*w)?;
+            let ((), v) = db.warehouse.update(rid, |t| {
+                let ytd = t.get(warehouse::W_YTD).as_float().unwrap_or(0.0);
+                t.set(warehouse::W_YTD, Value::Float(ytd + amount));
+            })?;
+            if let Some(h) = history {
+                h.record_write(txn, rid, v);
+            }
+            Ok(())
+        }
+        TxnOp::PayDistrict { w, d, amount } => {
+            let rid = db.district_rid(*w, *d)?;
+            let ((), v) = db.district.update(rid, |t| {
+                let ytd = t.get(district::D_YTD).as_float().unwrap_or(0.0);
+                t.set(district::D_YTD, Value::Float(ytd + amount));
+            })?;
+            if let Some(h) = history {
+                h.record_write(txn, rid, v);
+            }
+            Ok(())
+        }
+        TxnOp::PayCustomer {
+            w,
+            d,
+            selector,
+            amount,
+            date,
+        } => {
+            let rid = resolve_customer(db, *w, *d, selector)?;
+            let (c_id, v) = db.customer.update(rid, |t| {
+                let bal = t.get(customer::C_BALANCE).as_float().unwrap_or(0.0);
+                t.set(customer::C_BALANCE, Value::Float(bal - amount));
+                let ytd = t.get(customer::C_YTD_PAYMENT).as_float().unwrap_or(0.0);
+                t.set(customer::C_YTD_PAYMENT, Value::Float(ytd + amount));
+                let cnt = t.get(customer::C_PAYMENT_CNT).as_int().unwrap_or(0);
+                t.set(customer::C_PAYMENT_CNT, Value::Int(cnt + 1));
+                t.get(customer::C_ID).as_int().unwrap_or(0)
+            })?;
+            if let Some(h) = history {
+                h.record_write(txn, rid, v);
+            }
+            db.history.insert(Tuple::new(vec![
+                Value::Int(*w),
+                Value::Int(db.next_history_id()),
+                Value::Int(*d),
+                Value::Int(c_id),
+                Value::Int(*date),
+                Value::Float(*amount),
+            ]))?;
+            Ok(())
+        }
+    }
+}
+
+/// Executes a whole transaction at one AC (physically aggregated
+/// execution, Figure 4 (b)). Returns `Ok(false)` for the TPC-C §2.4.1.4
+/// user rollback of new-order (a completed business outcome).
+pub fn exec_whole_txn(
+    db: &TpccDb,
+    txn: TxnId,
+    req: &TxnRequest,
+    history: Option<&History>,
+) -> DbResult<bool> {
+    match req {
+        TxnRequest::Payment(p) => {
+            exec_whole_payment(db, txn, p, history)?;
+            Ok(true)
+        }
+        TxnRequest::NewOrder(n) => exec_whole_new_order(db, txn, n, history),
+    }
+}
+
+fn exec_whole_payment(
+    db: &TpccDb,
+    txn: TxnId,
+    p: &PaymentParams,
+    history: Option<&History>,
+) -> DbResult<()> {
+    for op in crate::strategy::payment_ops(p) {
+        exec_op(db, txn, &op, history)?;
+    }
+    Ok(())
+}
+
+fn exec_whole_new_order(
+    db: &TpccDb,
+    txn: TxnId,
+    p: &NewOrderParams,
+    history: Option<&History>,
+) -> DbResult<bool> {
+    if p.rollback {
+        // Nothing written yet: the invalid item is discovered while
+        // assembling the order.
+        return Ok(false);
+    }
+    let d_rid = db.district_rid(p.w_id, p.d_id)?;
+    let (o_id, dv) = db.district.update(d_rid, |t| {
+        let next = t.get(district::D_NEXT_O_ID).as_int().unwrap_or(1);
+        t.set(district::D_NEXT_O_ID, Value::Int(next + 1));
+        next
+    })?;
+    if let Some(h) = history {
+        h.record_write(txn, d_rid, dv);
+    }
+    let c_rid = db.customer_rid(p.w_id, p.d_id, p.c_id)?;
+    let cv = db.customer.read_with(c_rid, |_, v| v)?;
+    if let Some(h) = history {
+        h.record_read(txn, c_rid, cv);
+    }
+    for (item_id, qty) in &p.lines {
+        let s_rid = db
+            .stock
+            .get_rid(&anydb_storage::key::int_keys(&[p.w_id, *item_id]))?;
+        let ((), sv) = db.stock.update(s_rid, |t| {
+            let q = t.get(stock::S_QUANTITY).as_int().unwrap_or(0);
+            let newq = if q - qty >= 10 { q - qty } else { q - qty + 91 };
+            t.set(stock::S_QUANTITY, Value::Int(newq));
+            let ytd = t.get(stock::S_YTD).as_int().unwrap_or(0);
+            t.set(stock::S_YTD, Value::Int(ytd + qty));
+        })?;
+        if let Some(h) = history {
+            h.record_write(txn, s_rid, sv);
+        }
+    }
+    db.orders.insert(Tuple::new(vec![
+        Value::Int(p.w_id),
+        Value::Int(p.d_id),
+        Value::Int(o_id),
+        Value::Int(p.c_id),
+        Value::Int(p.entry_date),
+        Value::Null,
+        Value::Int(p.lines.len() as i64),
+    ]))?;
+    db.neworder.insert(Tuple::new(vec![
+        Value::Int(p.w_id),
+        Value::Int(p.d_id),
+        Value::Int(o_id),
+    ]))?;
+    for (i, (item_id, qty)) in p.lines.iter().enumerate() {
+        db.orderline.insert(Tuple::new(vec![
+            Value::Int(p.w_id),
+            Value::Int(p.d_id),
+            Value::Int(o_id),
+            Value::Int(i as i64 + 1),
+            Value::Int(*item_id),
+            Value::Int(*qty),
+            Value::Float(1.0 * *qty as f64),
+        ]))?;
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anydb_workload::tpcc::TpccConfig;
+
+    fn db() -> TpccDb {
+        TpccDb::load(TpccConfig::small(), 31).unwrap()
+    }
+
+    #[test]
+    fn pay_warehouse_applies_delta() {
+        let db = db();
+        exec_op(
+            &db,
+            TxnId(1),
+            &TxnOp::PayWarehouse { w: 1, amount: 50.0 },
+            None,
+        )
+        .unwrap();
+        let ytd = db
+            .warehouse
+            .read(db.warehouse_rid(1).unwrap())
+            .unwrap()
+            .0
+            .get(warehouse::W_YTD)
+            .as_float()
+            .unwrap();
+        assert!((ytd - 300_050.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pay_customer_inserts_history() {
+        let db = db();
+        exec_op(
+            &db,
+            TxnId(1),
+            &TxnOp::PayCustomer {
+                w: 1,
+                d: 1,
+                selector: CustomerSelector::ById(2),
+                amount: 10.0,
+                date: 2020_01_01,
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(db.history.row_count(), 1);
+        let bal = db
+            .customer
+            .read(db.customer_rid(1, 1, 2).unwrap())
+            .unwrap()
+            .0
+            .get(customer::C_BALANCE)
+            .as_float()
+            .unwrap();
+        assert!((bal - (-20.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skip_is_a_noop() {
+        let db = db();
+        exec_op(&db, TxnId(1), &TxnOp::Skip, None).unwrap();
+        assert_eq!(db.history.row_count(), 0);
+    }
+
+    #[test]
+    fn whole_new_order_commits_and_rolls_back() {
+        let db = db();
+        let committed = exec_whole_txn(
+            &db,
+            TxnId(1),
+            &TxnRequest::NewOrder(NewOrderParams {
+                w_id: 1,
+                d_id: 1,
+                c_id: 1,
+                lines: vec![(1, 1)],
+                entry_date: 2020_01_01,
+                rollback: false,
+            }),
+            None,
+        )
+        .unwrap();
+        assert!(committed);
+        let rolled = exec_whole_txn(
+            &db,
+            TxnId(2),
+            &TxnRequest::NewOrder(NewOrderParams {
+                w_id: 1,
+                d_id: 1,
+                c_id: 1,
+                lines: vec![(1, 1)],
+                entry_date: 2020_01_01,
+                rollback: true,
+            }),
+            None,
+        )
+        .unwrap();
+        assert!(!rolled);
+    }
+
+    #[test]
+    fn history_records_versions() {
+        let db = db();
+        let h = History::new();
+        exec_op(
+            &db,
+            TxnId(1),
+            &TxnOp::PayWarehouse { w: 1, amount: 1.0 },
+            Some(&h),
+        )
+        .unwrap();
+        exec_op(
+            &db,
+            TxnId(2),
+            &TxnOp::PayWarehouse { w: 1, amount: 1.0 },
+            Some(&h),
+        )
+        .unwrap();
+        assert_eq!(h.len(), 2);
+        assert!(h.is_serializable());
+    }
+}

@@ -1,0 +1,196 @@
+//! Transaction decomposition per execution strategy (§3.2, Figure 4).
+//!
+//! The same payment transaction can be executed:
+//!
+//! * **aggregated** (Figure 4 b): the whole event stream at one AC,
+//! * **static intra-transaction** (Figure 4 c): every operation farmed
+//!   out to a different AC, with a round trip per operation — the naive
+//!   parallelization whose overhead dominates in Figure 5,
+//! * **precise intra-transaction** (Figure 4 d): two *balanced*
+//!   sub-sequences — the brief updates (warehouse + district) and the
+//!   long customer range scan — each on its own AC,
+//! * **streaming CC** (§3.3): per-stage ACs consuming ops of all
+//!   transactions in one consistent stamp order, forming a pipeline.
+
+use anydb_workload::tpcc::gen::PaymentParams;
+
+use crate::event::TxnOp;
+
+/// The four execution strategies the engine supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Whole transaction at the AC owning the home warehouse; no
+    /// decomposition, no locks (serial per partition).
+    SharedNothing,
+    /// Each operation dispatched to its stage AC *sequentially*, waiting
+    /// for the ack before sending the next (naive intra-txn parallelism).
+    StaticIntra,
+    /// Two balanced sub-sequences dispatched in parallel.
+    PreciseIntra,
+    /// All stage ops dispatched at once; stages pipeline independently in
+    /// stamp order (coordination-free streaming CC).
+    StreamingCc,
+}
+
+impl Strategy {
+    /// Label used by the figure harnesses (matches the paper's legend).
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::SharedNothing => "AnyDB Shared-Nothing",
+            Strategy::StaticIntra => "AnyDB Static Intra-Txn",
+            Strategy::PreciseIntra => "AnyDB Precise Intra-Txn",
+            Strategy::StreamingCc => "AnyDB Streaming CC",
+        }
+    }
+}
+
+/// The ordered operations of one payment transaction (Figure 4 a).
+pub fn payment_ops(p: &PaymentParams) -> Vec<TxnOp> {
+    vec![
+        TxnOp::PayWarehouse {
+            w: p.w_id,
+            amount: p.amount,
+        },
+        TxnOp::PayDistrict {
+            w: p.w_id,
+            d: p.d_id,
+            amount: p.amount,
+        },
+        TxnOp::PayCustomer {
+            w: p.c_w_id,
+            d: p.c_d_id,
+            selector: p.customer.clone(),
+            amount: p.amount,
+            date: p.date,
+        },
+    ]
+}
+
+/// Stage ids used by the decomposed strategies. Stages are logical; the
+/// engine maps them onto however many ACs it has.
+pub mod stages {
+    /// Warehouse-update stage.
+    pub const WAREHOUSE: u32 = 0;
+    /// District-update stage.
+    pub const DISTRICT: u32 = 1;
+    /// Customer-resolve/update (+history) stage.
+    pub const CUSTOMER: u32 = 2;
+    /// Number of stages.
+    pub const COUNT: u32 = 3;
+}
+
+/// Groups payment ops by stage: `(stage, ops)`, one entry per stage, in
+/// stage order. Every stage appears (with `Skip` if untouched) so order
+/// gates stay dense.
+pub fn payment_stage_groups(p: &PaymentParams) -> Vec<(u32, Vec<TxnOp>)> {
+    vec![
+        (
+            stages::WAREHOUSE,
+            vec![TxnOp::PayWarehouse {
+                w: p.w_id,
+                amount: p.amount,
+            }],
+        ),
+        (
+            stages::DISTRICT,
+            vec![TxnOp::PayDistrict {
+                w: p.w_id,
+                d: p.d_id,
+                amount: p.amount,
+            }],
+        ),
+        (
+            stages::CUSTOMER,
+            vec![TxnOp::PayCustomer {
+                w: p.c_w_id,
+                d: p.c_d_id,
+                selector: p.customer.clone(),
+                amount: p.amount,
+                date: p.date,
+            }],
+        ),
+    ]
+}
+
+/// The two balanced sub-sequences of Figure 4 (d): brief updates
+/// (warehouse + district) on one AC, the customer scan on another. Both
+/// groups are expressed as stage groups so the same gate machinery
+/// applies; `PreciseIntra` maps the first two stages to one AC.
+pub fn payment_precise_groups(p: &PaymentParams) -> [(u32, Vec<TxnOp>); 2] {
+    [
+        (
+            stages::WAREHOUSE,
+            vec![
+                TxnOp::PayWarehouse {
+                    w: p.w_id,
+                    amount: p.amount,
+                },
+                TxnOp::PayDistrict {
+                    w: p.w_id,
+                    d: p.d_id,
+                    amount: p.amount,
+                },
+            ],
+        ),
+        (
+            stages::CUSTOMER,
+            vec![TxnOp::PayCustomer {
+                w: p.c_w_id,
+                d: p.c_d_id,
+                selector: p.customer.clone(),
+                amount: p.amount,
+                date: p.date,
+            }],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anydb_workload::tpcc::CustomerSelector;
+
+    fn p() -> PaymentParams {
+        PaymentParams {
+            w_id: 2,
+            d_id: 3,
+            c_w_id: 2,
+            c_d_id: 3,
+            customer: CustomerSelector::ById(7),
+            amount: 42.0,
+            date: 2020_01_01,
+        }
+    }
+
+    #[test]
+    fn payment_ops_order_matches_figure_4a() {
+        let ops = payment_ops(&p());
+        assert_eq!(ops.len(), 3);
+        assert!(matches!(ops[0], TxnOp::PayWarehouse { w: 2, .. }));
+        assert!(matches!(ops[1], TxnOp::PayDistrict { w: 2, d: 3, .. }));
+        assert!(matches!(ops[2], TxnOp::PayCustomer { .. }));
+    }
+
+    #[test]
+    fn stage_groups_cover_all_stages() {
+        let groups = payment_stage_groups(&p());
+        assert_eq!(groups.len(), stages::COUNT as usize);
+        let stages_seen: Vec<u32> = groups.iter().map(|(s, _)| *s).collect();
+        assert_eq!(stages_seen, vec![0, 1, 2]);
+        assert!(groups.iter().all(|(_, ops)| !ops.is_empty()));
+    }
+
+    #[test]
+    fn precise_groups_balance_updates_vs_scan() {
+        let [a, b] = payment_precise_groups(&p());
+        assert_eq!(a.1.len(), 2); // brief updates
+        assert_eq!(b.1.len(), 1); // long scan
+        assert!(matches!(b.1[0], TxnOp::PayCustomer { .. }));
+    }
+
+    #[test]
+    fn labels_match_paper_legend() {
+        assert_eq!(Strategy::StreamingCc.label(), "AnyDB Streaming CC");
+        assert_eq!(Strategy::SharedNothing.label(), "AnyDB Shared-Nothing");
+    }
+}

@@ -1,0 +1,29 @@
+//! # anydb-dbx1000
+//!
+//! A from-scratch reimplementation of the *static* baseline the paper
+//! compares against: a DBx1000-style main-memory DBMS with a fixed
+//! shared-nothing architecture (see DESIGN.md §2 for the substitution
+//! rationale).
+//!
+//! Structure:
+//!
+//! * a fixed pool of **transaction executor (TE)** threads pulling client
+//!   requests from a shared queue,
+//! * record-level two-phase locking with the wait-die policy
+//!   ([`anydb_txn::lock`]) — the configuration whose contention collapse
+//!   Figure 5 shows ("4 TEs perform like a single TE"),
+//! * OLAP queries execute **on the same TEs** as transactions — the
+//!   resource coupling that costs DBx1000 OLTP throughput in the HTAP
+//!   phases of Figure 1, and which AnyDB avoids by routing analytics to
+//!   disaggregated ACs.
+//!
+//! The baseline shares the storage substrate (`anydb-storage`) and the
+//! workload generators (`anydb-workload`) with AnyDB, so figure
+//! comparisons measure architecture, not implementation quality.
+
+pub mod engine;
+pub mod olap;
+pub mod txns;
+
+pub use engine::{Dbx1000, Dbx1000Config, PhaseResult};
+pub use olap::exec_q3;

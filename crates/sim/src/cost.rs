@@ -1,0 +1,108 @@
+//! The calibrated per-operation cost model.
+//!
+//! Costs are virtual nanoseconds per operation. The defaults are
+//! calibrated so that a single executor running TPC-C payment lands near
+//! the paper's single-TE baseline (~0.55–0.7 M tx/s) and match the
+//! relative op weights we measured in the real engine (`anydb-core`),
+//! where the customer leg (index scan + update + history insert)
+//! dominates the two YTD updates. The `micro` bench re-measures the real
+//! engine so the calibration can be checked against the host.
+
+/// Virtual-time cost model (nanoseconds).
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Warehouse YTD update.
+    pub op_warehouse_ns: u64,
+    /// District YTD update.
+    pub op_district_ns: u64,
+    /// Customer resolve by primary key.
+    pub resolve_by_id_ns: u64,
+    /// Customer resolve by last name (the long range scan of Fig. 4 d).
+    pub resolve_by_name_ns: u64,
+    /// Customer balance/ytd/count update.
+    pub op_customer_update_ns: u64,
+    /// History row insert.
+    pub op_history_ns: u64,
+    /// Per-transaction begin/commit bookkeeping at an executor.
+    pub txn_wrapup_ns: u64,
+    /// Per-event hop: enqueue + dequeue + dispatch of one event.
+    pub msg_ns: u64,
+    /// Coordinator-side processing of one dispatched event or ack.
+    pub coord_ns: u64,
+    /// Lock acquire+release pair per record (lock-based baseline only).
+    pub lock_pair_ns: u64,
+    /// One full CH-Q3 execution on one executor.
+    pub olap_q3_ns: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            op_warehouse_ns: 250,
+            op_district_ns: 250,
+            resolve_by_id_ns: 150,
+            resolve_by_name_ns: 430,
+            op_customer_update_ns: 280,
+            op_history_ns: 220,
+            txn_wrapup_ns: 120,
+            msg_ns: 120,
+            coord_ns: 100,
+            lock_pair_ns: 60,
+            olap_q3_ns: 5_000_000,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of the customer leg for a given selector kind.
+    pub fn customer_leg_ns(&self, by_name: bool) -> u64 {
+        let resolve = if by_name {
+            self.resolve_by_name_ns
+        } else {
+            self.resolve_by_id_ns
+        };
+        resolve + self.op_customer_update_ns + self.op_history_ns
+    }
+
+    /// Serial cost of one payment's storage work (no locks, no messages).
+    pub fn payment_serial_ns(&self, by_name: bool) -> u64 {
+        self.op_warehouse_ns + self.op_district_ns + self.customer_leg_ns(by_name)
+    }
+
+    /// Serial payment cost in the lock-based baseline (3 record locks).
+    pub fn payment_locked_ns(&self, by_name: bool) -> u64 {
+        self.payment_serial_ns(by_name) + 3 * self.lock_pair_ns + self.txn_wrapup_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_land_near_the_paper_baseline() {
+        let c = CostModel::default();
+        // Average payment (60% by name) under locks:
+        let avg =
+            0.6 * c.payment_locked_ns(true) as f64 + 0.4 * c.payment_locked_ns(false) as f64;
+        let tx_per_sec = 1e9 / avg;
+        // Paper's single-TE baseline is ~0.55–0.7 M tx/s.
+        assert!(
+            (450_000.0..900_000.0).contains(&tx_per_sec),
+            "calibration drifted: {tx_per_sec} tx/s"
+        );
+    }
+
+    #[test]
+    fn by_name_is_more_expensive() {
+        let c = CostModel::default();
+        assert!(c.customer_leg_ns(true) > c.customer_leg_ns(false));
+        assert!(c.payment_serial_ns(true) > c.payment_serial_ns(false));
+    }
+
+    #[test]
+    fn customer_leg_dominates_updates() {
+        let c = CostModel::default();
+        assert!(c.customer_leg_ns(true) > c.op_warehouse_ns + c.op_district_ns);
+    }
+}

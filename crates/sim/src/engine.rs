@@ -1,0 +1,552 @@
+//! The virtual-time queueing simulator.
+//!
+//! Every TE/AC is an *entity* with a virtual clock (`free_at`). A
+//! saturated closed-loop client generates real TPC-C payment parameters
+//! (same generators as the real engines, so skew and the 60/40
+//! by-name/by-id mix are faithful); each transaction's work is charged to
+//! entities according to the strategy's routing, and a transaction counts
+//! as committed if it completes inside the virtual horizon.
+//!
+//! What emerges from the queue dynamics — without per-strategy formulas:
+//!
+//! * partitioned executors idle under skew (the Figure 5 collapse),
+//! * pipeline throughput limited by the slowest stage (streaming CC),
+//! * balanced vs. unbalanced sub-sequences (precise vs. static intra),
+//! * per-op coordination overhead (static intra's round trips),
+//! * OLAP jobs stealing executor time in the coupled baseline vs.
+//!   running on a dedicated AC in AnyDB (the HTAP phases of Figure 1).
+
+use std::time::Duration;
+
+use anydb_common::dist::HotSpot;
+use anydb_workload::phases::PhaseKind;
+use anydb_workload::tpcc::gen::PaymentGen;
+use anydb_workload::tpcc::{CustomerSelector, TpccConfig};
+
+use crate::cost::CostModel;
+
+/// Strategy under simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimStrategy {
+    /// DBx1000-style static shared-nothing with lock overhead; OLAP
+    /// queries run *on* the TEs.
+    DbxTe {
+        /// Number of transaction executors.
+        executors: u32,
+    },
+    /// AnyDB acting shared-nothing (aggregated execution, no locks);
+    /// OLAP on a dedicated AC.
+    SharedNothing {
+        /// Worker ACs.
+        acs: u32,
+    },
+    /// Naive intra-transaction parallelism: one event per op, one
+    /// coordinator round trip each.
+    StaticIntra {
+        /// Worker ACs (stage entities).
+        acs: u32,
+    },
+    /// Balanced two-way split (Figure 4 d).
+    PreciseIntra {
+        /// Worker ACs.
+        acs: u32,
+    },
+    /// Streaming CC: four-stage pipeline in stamp order.
+    StreamingCc {
+        /// Worker ACs.
+        acs: u32,
+    },
+}
+
+impl SimStrategy {
+    /// Legend label.
+    pub fn label(&self) -> String {
+        match self {
+            SimStrategy::DbxTe { executors } => format!("DBx1000 {executors}TE"),
+            SimStrategy::SharedNothing { .. } => "AnyDB Shared-Nothing".into(),
+            SimStrategy::StaticIntra { .. } => "AnyDB Static Intra-Txn".into(),
+            SimStrategy::PreciseIntra { .. } => "AnyDB Precise Intra-Txn".into(),
+            SimStrategy::StreamingCc { .. } => "AnyDB Streaming CC".into(),
+        }
+    }
+}
+
+/// Result of one simulated phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimResult {
+    /// Transactions committed within the horizon.
+    pub committed: u64,
+    /// OLAP queries completed within the horizon.
+    pub olap_queries: u64,
+    /// The virtual horizon.
+    pub horizon: Duration,
+}
+
+impl SimResult {
+    /// OLTP throughput in (virtual) transactions per second.
+    pub fn tx_per_sec(&self) -> f64 {
+        self.committed as f64 / self.horizon.as_secs_f64()
+    }
+}
+
+/// The simulator: cost model + workload scale.
+pub struct Simulator {
+    cost: CostModel,
+    tpcc: TpccConfig,
+    /// OLAP slowdown multiplier when queries share executors with OLTP
+    /// (cache/latch interference in the coupled baseline).
+    olap_interference: f64,
+}
+
+impl Simulator {
+    /// New simulator over a workload scale.
+    pub fn new(cost: CostModel, tpcc: TpccConfig) -> Self {
+        Self {
+            cost,
+            tpcc,
+            olap_interference: 1.25,
+        }
+    }
+
+    /// The cost model in use.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Runs one phase in virtual time.
+    pub fn run_phase(
+        &self,
+        strategy: SimStrategy,
+        kind: PhaseKind,
+        horizon: Duration,
+        seed: u64,
+    ) -> SimResult {
+        let dist = kind.warehouse_dist(self.tpcc.warehouses);
+        self.run_with_dist(strategy, kind, dist, horizon, seed)
+    }
+
+    /// Runs with an explicit warehouse distribution (contention-sweep
+    /// ablations use this to dial skew continuously).
+    pub fn run_with_dist(
+        &self,
+        strategy: SimStrategy,
+        kind: PhaseKind,
+        dist: HotSpot,
+        horizon: Duration,
+        seed: u64,
+    ) -> SimResult {
+        match strategy {
+            SimStrategy::DbxTe { executors } => {
+                self.run_partitioned(executors, kind, dist, horizon, seed, true)
+            }
+            SimStrategy::SharedNothing { acs } => {
+                self.run_partitioned(acs, kind, dist, horizon, seed, false)
+            }
+            SimStrategy::StreamingCc { acs } => {
+                self.run_pipelined(acs, kind, dist, horizon, seed, PipelineKind::Streaming)
+            }
+            SimStrategy::PreciseIntra { acs } => {
+                self.run_pipelined(acs, kind, dist, horizon, seed, PipelineKind::Precise)
+            }
+            SimStrategy::StaticIntra { acs } => {
+                self.run_pipelined(acs, kind, dist, horizon, seed, PipelineKind::Static)
+            }
+        }
+    }
+
+    /// Whole transactions at the entity owning the home warehouse.
+    /// `locked` charges the 2PL overhead (DBx1000); otherwise the
+    /// aggregated AnyDB execution (ordering by ownership, no locks).
+    fn run_partitioned(
+        &self,
+        n: u32,
+        kind: PhaseKind,
+        dist: HotSpot,
+        horizon: Duration,
+        seed: u64,
+        locked: bool,
+    ) -> SimResult {
+        let n = n.max(1) as usize;
+        let horizon_ns = horizon.as_nanos() as u64;
+        let mut gen = PaymentGen::new(self.tpcc.clone(), dist, seed);
+
+        // OLAP budgeting (fluid): one query outstanding system-wide.
+        // Coupled baseline: queries round-robin over the TEs, stealing
+        // executor time (and running slower from interference).
+        // AnyDB: a dedicated OLAP AC; worker budgets untouched.
+        let mut budget = vec![horizon_ns; n];
+        let olap_queries = if kind.has_olap() {
+            if locked {
+                let q = (self.cost.olap_q3_ns as f64 * self.olap_interference) as u64;
+                let total = horizon_ns / q;
+                // Each TE loses its round-robin share of query time.
+                for b in budget.iter_mut() {
+                    *b -= (total / n as u64) * q;
+                }
+                total
+            } else {
+                horizon_ns / self.cost.olap_q3_ns
+            }
+        } else {
+            0
+        };
+
+        let mut used = vec![0u64; n];
+        let mut committed = 0u64;
+        loop {
+            let p = gen.next();
+            let by_name = matches!(p.customer, CustomerSelector::ByLastName(_));
+            let cost = if locked {
+                self.cost.payment_locked_ns(by_name)
+            } else {
+                self.cost.payment_serial_ns(by_name) + self.cost.txn_wrapup_ns
+            };
+            let e = ((p.w_id - 1) as usize) % n;
+            if used[e] + cost <= budget[e] {
+                used[e] += cost;
+                committed += 1;
+            } else {
+                // The phase ends when the *bottleneck* partition can no
+                // longer absorb the offered stream: clients are a closed
+                // loop over one shared arrival order, so once the hottest
+                // entity falls behind, the system as a whole is saturated.
+                // (Letting the cold entities keep filling would measure
+                // aggregate capacity, not throughput under this skew.)
+                break;
+            }
+        }
+        SimResult {
+            committed,
+            olap_queries,
+            horizon,
+        }
+    }
+
+    /// Decomposed execution over stage entities.
+    fn run_pipelined(
+        &self,
+        acs: u32,
+        kind: PhaseKind,
+        dist: HotSpot,
+        horizon: Duration,
+        seed: u64,
+        pk: PipelineKind,
+    ) -> SimResult {
+        let horizon_ns = horizon.as_nanos() as u64;
+        let mut gen = PaymentGen::new(self.tpcc.clone(), dist, seed);
+        let c = &self.cost;
+
+        let n_entities = acs.max(1) as usize;
+        let mut entity_free = vec![0u64; n_entities];
+        // A coordinator entity serializes per-op dispatch/ack processing
+        // for the naive static strategy.
+        let mut coord_free = 0u64;
+        let mut committed = 0u64;
+
+        // AnyDB routes OLAP to a dedicated AC in HTAP phases: the OLTP
+        // pipeline is unaffected.
+        let olap_queries = if kind.has_olap() {
+            horizon_ns / c.olap_q3_ns
+        } else {
+            0
+        };
+
+        loop {
+            let p = gen.next();
+            let by_name = matches!(p.customer, CustomerSelector::ByLastName(_));
+
+            // Stage decomposition: (stage index, op cost) per group.
+            let groups: Vec<(usize, u64)> = match pk {
+                PipelineKind::Streaming => vec![
+                    (0, c.op_warehouse_ns),
+                    (1, c.op_district_ns),
+                    (
+                        2,
+                        if by_name {
+                            c.resolve_by_name_ns
+                        } else {
+                            c.resolve_by_id_ns
+                        },
+                    ),
+                    (3, c.op_customer_update_ns + c.op_history_ns),
+                ],
+                PipelineKind::Precise => vec![
+                    (0, c.op_warehouse_ns + c.op_district_ns),
+                    (1, c.customer_leg_ns(by_name)),
+                ],
+                PipelineKind::Static => vec![
+                    (0, c.op_warehouse_ns),
+                    (1, c.op_district_ns),
+                    (
+                        2,
+                        if by_name {
+                            c.resolve_by_name_ns
+                        } else {
+                            c.resolve_by_id_ns
+                        },
+                    ),
+                    (3, c.op_customer_update_ns),
+                    (4, c.op_history_ns),
+                ],
+            };
+
+            let mut completion = 0u64;
+            for (stage, op_cost) in &groups {
+                let e = stage % n_entities;
+                // Stamp order == generation order: each stage is a FIFO
+                // queue, so its clock just accumulates.
+                let msgs = match pk {
+                    // Fire-and-forget: one inbound event hop per group.
+                    PipelineKind::Streaming | PipelineKind::Precise => c.msg_ns,
+                    // Per-op dispatch *and* ack hop charged at the stage.
+                    PipelineKind::Static => 2 * c.msg_ns,
+                };
+                entity_free[e] += msgs + op_cost;
+                completion = completion.max(entity_free[e]);
+            }
+            if pk == PipelineKind::Static {
+                // Coordinator processes one dispatch and one ack per op,
+                // plus commit bookkeeping; overlapped across transactions
+                // (the client keeps a window open) but serialized at the
+                // coordinator itself.
+                coord_free += groups.len() as u64 * 2 * c.coord_ns + c.txn_wrapup_ns;
+                completion = completion.max(coord_free);
+            }
+
+            if completion <= horizon_ns {
+                committed += 1;
+            }
+            let all_saturated = entity_free.iter().all(|f| *f >= horizon_ns)
+                && (pk != PipelineKind::Static || coord_free >= horizon_ns);
+            if all_saturated || completion > horizon_ns.saturating_mul(2) {
+                break;
+            }
+        }
+
+        SimResult {
+            committed,
+            olap_queries,
+            horizon,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PipelineKind {
+    Streaming,
+    Precise,
+    Static,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> Simulator {
+        Simulator::new(
+            CostModel::default(),
+            TpccConfig {
+                warehouses: 4,
+                ..TpccConfig::default()
+            },
+        )
+    }
+
+    fn mtps(r: &SimResult) -> f64 {
+        r.tx_per_sec() / 1e6
+    }
+
+    const HORIZON: Duration = Duration::from_millis(40);
+
+    #[test]
+    fn dbx_scales_when_partitionable() {
+        let s = sim();
+        let one = s.run_phase(
+            SimStrategy::DbxTe { executors: 1 },
+            PhaseKind::OltpPartitionable,
+            HORIZON,
+            1,
+        );
+        let four = s.run_phase(
+            SimStrategy::DbxTe { executors: 4 },
+            PhaseKind::OltpPartitionable,
+            HORIZON,
+            1,
+        );
+        let ratio = four.tx_per_sec() / one.tx_per_sec();
+        assert!(
+            (3.3..=4.2).contains(&ratio),
+            "expected ~4x scaling, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn dbx_collapses_under_skew() {
+        // The Figure 5 anchor: 4 TEs perform like 1 TE under full skew.
+        let s = sim();
+        let one = s.run_phase(
+            SimStrategy::DbxTe { executors: 1 },
+            PhaseKind::OltpSkewed,
+            HORIZON,
+            2,
+        );
+        let four = s.run_phase(
+            SimStrategy::DbxTe { executors: 4 },
+            PhaseKind::OltpSkewed,
+            HORIZON,
+            2,
+        );
+        let ratio = four.tx_per_sec() / one.tx_per_sec();
+        assert!((0.9..=1.1).contains(&ratio), "4TE/1TE under skew: {ratio}");
+    }
+
+    #[test]
+    fn paper_ordering_under_skew() {
+        // Figure 5, phases 3-5: baseline < static intra < precise intra
+        // < streaming CC.
+        let s = sim();
+        let base = s.run_phase(
+            SimStrategy::DbxTe { executors: 4 },
+            PhaseKind::OltpSkewed,
+            HORIZON,
+            3,
+        );
+        let stat = s.run_phase(
+            SimStrategy::StaticIntra { acs: 5 },
+            PhaseKind::OltpSkewed,
+            HORIZON,
+            3,
+        );
+        let precise = s.run_phase(
+            SimStrategy::PreciseIntra { acs: 2 },
+            PhaseKind::OltpSkewed,
+            HORIZON,
+            3,
+        );
+        let streaming = s.run_phase(
+            SimStrategy::StreamingCc { acs: 4 },
+            PhaseKind::OltpSkewed,
+            HORIZON,
+            3,
+        );
+        assert!(
+            base.tx_per_sec() < stat.tx_per_sec(),
+            "baseline {} !< static {}",
+            mtps(&base),
+            mtps(&stat)
+        );
+        assert!(
+            stat.tx_per_sec() < precise.tx_per_sec(),
+            "static {} !< precise {}",
+            mtps(&stat),
+            mtps(&precise)
+        );
+        assert!(
+            precise.tx_per_sec() < streaming.tx_per_sec(),
+            "precise {} !< streaming {}",
+            mtps(&precise),
+            mtps(&streaming)
+        );
+        // Rough factors from the paper: streaming ≈ 2.4x baseline.
+        let factor = streaming.tx_per_sec() / base.tx_per_sec();
+        assert!((1.8..=3.5).contains(&factor), "streaming/baseline {factor}");
+    }
+
+    #[test]
+    fn shared_nothing_matches_baseline_when_partitionable() {
+        let s = sim();
+        let dbx = s.run_phase(
+            SimStrategy::DbxTe { executors: 4 },
+            PhaseKind::OltpPartitionable,
+            HORIZON,
+            4,
+        );
+        let sn = s.run_phase(
+            SimStrategy::SharedNothing { acs: 4 },
+            PhaseKind::OltpPartitionable,
+            HORIZON,
+            4,
+        );
+        let ratio = sn.tx_per_sec() / dbx.tx_per_sec();
+        assert!(
+            (0.95..=1.35).contains(&ratio),
+            "AnyDB SN vs DBx partitionable: {ratio}"
+        );
+    }
+
+    #[test]
+    fn htap_hurts_coupled_baseline_not_anydb() {
+        let s = sim();
+        let dbx_oltp = s.run_phase(
+            SimStrategy::DbxTe { executors: 4 },
+            PhaseKind::OltpPartitionable,
+            HORIZON,
+            5,
+        );
+        let dbx_htap = s.run_phase(
+            SimStrategy::DbxTe { executors: 4 },
+            PhaseKind::HtapPartitionable,
+            HORIZON,
+            5,
+        );
+        assert!(
+            dbx_htap.tx_per_sec() < dbx_oltp.tx_per_sec() * 0.9,
+            "coupled baseline should dip: {} vs {}",
+            mtps(&dbx_htap),
+            mtps(&dbx_oltp)
+        );
+        assert!(dbx_htap.olap_queries > 0);
+
+        let any_oltp = s.run_phase(
+            SimStrategy::SharedNothing { acs: 4 },
+            PhaseKind::OltpPartitionable,
+            HORIZON,
+            5,
+        );
+        let any_htap = s.run_phase(
+            SimStrategy::SharedNothing { acs: 4 },
+            PhaseKind::HtapPartitionable,
+            HORIZON,
+            5,
+        );
+        let ratio = any_htap.tx_per_sec() / any_oltp.tx_per_sec();
+        assert!(
+            ratio > 0.97,
+            "AnyDB OLTP must be isolated from OLAP: {ratio}"
+        );
+        // And AnyDB completes at least as many analytics queries.
+        assert!(any_htap.olap_queries >= dbx_htap.olap_queries);
+    }
+
+    #[test]
+    fn absolute_throughput_in_paper_ballpark() {
+        // Paper: ~2.1 M tx/s partitionable with 4 workers, ~0.7 M serial.
+        let s = sim();
+        let four = s.run_phase(
+            SimStrategy::DbxTe { executors: 4 },
+            PhaseKind::OltpPartitionable,
+            HORIZON,
+            6,
+        );
+        let m = mtps(&four);
+        assert!((1.5..=3.5).contains(&m), "partitionable 4TE = {m} M tx/s");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let s = sim();
+        let a = s.run_phase(
+            SimStrategy::StreamingCc { acs: 4 },
+            PhaseKind::OltpSkewed,
+            HORIZON,
+            7,
+        );
+        let b = s.run_phase(
+            SimStrategy::StreamingCc { acs: 4 },
+            PhaseKind::OltpSkewed,
+            HORIZON,
+            7,
+        );
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,30 @@
+//! # anydb-sim
+//!
+//! A deterministic virtual-time simulator of transaction execution for the
+//! paper's OLTP experiments (Figures 1 and 5).
+//!
+//! ## Why a simulator?
+//!
+//! The paper's throughput claims are *architectural*: how serialization,
+//! pipelining, and coordination overhead shift when the same transactions
+//! are routed differently over the same components. Reproducing those
+//! factors with wall-clock threads requires hardware parallelism the
+//! reproduction host does not have (its 2 vCPUs were measured at ~1.3×
+//! effective parallel speedup — see DESIGN.md §2). So, per the
+//! substitution rule, the missing multi-core testbed is *simulated*: each
+//! TE/AC is a queueing entity with a virtual clock; operation costs come
+//! from a calibrated [`cost::CostModel`]; pipelining, idle partitions,
+//! contended stages, and HTAP resource sharing all emerge from the queue
+//! dynamics rather than from hand-written formulas.
+//!
+//! The real threaded engine (`anydb-core`) executes the identical
+//! strategies for *correctness* (serializability, TPC-C invariants); this
+//! crate reproduces their *timing*.
+
+pub mod cost;
+pub mod engine;
+pub mod scenario;
+
+pub use cost::CostModel;
+pub use engine::{SimResult, SimStrategy, Simulator};
+pub use scenario::{figure1_series, figure5_series, SeriesPoint};

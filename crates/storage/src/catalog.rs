@@ -1,0 +1,230 @@
+//! Catalog: table metadata and statistics.
+//!
+//! The catalog is itself "state" in the architecture-less model — Figure 2
+//! shows `Catalog+Stats` arriving at an AC via a data stream before it can
+//! act as the query optimizer. [`Catalog::snapshot`] produces the
+//! self-contained value that gets shipped.
+
+use anydb_common::fxmap::FxHashMap;
+use anydb_common::{Schema, TableId};
+use parking_lot::RwLock;
+
+use crate::index::SecondaryIndexSpec;
+use crate::store::Partitioner;
+
+/// Everything needed to create (or re-create, for recovery) a table.
+#[derive(Clone)]
+pub struct TableSpec {
+    /// Schema including primary key.
+    pub schema: Schema,
+    /// Number of horizontal partitions.
+    pub partitions: u32,
+    /// Partition placement function.
+    pub partitioner: Partitioner,
+    /// Secondary indexes to maintain.
+    pub secondaries: Vec<SecondaryIndexSpec>,
+}
+
+impl TableSpec {
+    /// Spec without secondary indexes.
+    pub fn new(schema: Schema, partitions: u32, partitioner: Partitioner) -> Self {
+        Self {
+            schema,
+            partitions,
+            partitioner,
+            secondaries: Vec::new(),
+        }
+    }
+
+    /// Adds a secondary index.
+    pub fn with_secondary(mut self, spec: SecondaryIndexSpec) -> Self {
+        self.secondaries.push(spec);
+        self
+    }
+}
+
+/// Table statistics the query optimizer consumes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TableStats {
+    /// Total row count at the last refresh.
+    pub rows: u64,
+    /// Mean tuple wire size in bytes (for transfer estimates).
+    pub avg_tuple_bytes: u64,
+}
+
+/// A registry of table specs plus refreshable statistics.
+#[derive(Default)]
+pub struct Catalog {
+    entries: RwLock<Vec<CatalogEntry>>,
+    by_name: RwLock<FxHashMap<String, TableId>>,
+}
+
+struct CatalogEntry {
+    id: TableId,
+    spec: TableSpec,
+    stats: TableStats,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a table. Called by `Store::create_table`.
+    pub(crate) fn register(&self, id: TableId, spec: TableSpec) {
+        let name = spec.schema.name().to_string();
+        self.entries.write().push(CatalogEntry {
+            id,
+            spec,
+            stats: TableStats::default(),
+        });
+        self.by_name.write().insert(name, id);
+    }
+
+    /// Id for a table name.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.by_name.read().get(name).copied()
+    }
+
+    /// Spec for a table.
+    pub fn spec(&self, id: TableId) -> Option<TableSpec> {
+        self.entries
+            .read()
+            .iter()
+            .find(|e| e.id == id)
+            .map(|e| e.spec.clone())
+    }
+
+    /// Current statistics for a table.
+    pub fn stats(&self, id: TableId) -> Option<TableStats> {
+        self.entries
+            .read()
+            .iter()
+            .find(|e| e.id == id)
+            .map(|e| e.stats.clone())
+    }
+
+    /// Updates statistics (loaders and background refresh call this).
+    pub fn set_stats(&self, id: TableId, stats: TableStats) {
+        if let Some(e) = self.entries.write().iter_mut().find(|e| e.id == id) {
+            e.stats = stats;
+        }
+    }
+
+    /// All table names, in creation order.
+    pub fn table_names(&self) -> Vec<String> {
+        self.entries
+            .read()
+            .iter()
+            .map(|e| e.spec.schema.name().to_string())
+            .collect()
+    }
+
+    /// A self-contained snapshot of specs and stats, shippable on a data
+    /// stream to whichever AC acts as the QO.
+    pub fn snapshot(&self) -> CatalogSnapshot {
+        let entries = self.entries.read();
+        CatalogSnapshot {
+            tables: entries
+                .iter()
+                .map(|e| (e.id, e.spec.clone(), e.stats.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// An immutable catalog snapshot (the `Catalog+Stats` data stream of
+/// Figure 2).
+#[derive(Clone, Default)]
+pub struct CatalogSnapshot {
+    /// `(id, spec, stats)` per table.
+    pub tables: Vec<(TableId, TableSpec, TableStats)>,
+}
+
+impl CatalogSnapshot {
+    /// Stats by table id.
+    pub fn stats(&self, id: TableId) -> Option<&TableStats> {
+        self.tables
+            .iter()
+            .find(|(t, _, _)| *t == id)
+            .map(|(_, _, s)| s)
+    }
+
+    /// Estimated rows, defaulting to zero for unknown tables.
+    pub fn estimated_rows(&self, id: TableId) -> u64 {
+        self.stats(id).map(|s| s.rows).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anydb_common::{ColumnDef, DataType};
+
+    fn spec(name: &str) -> TableSpec {
+        TableSpec::new(
+            Schema::new(name, vec![ColumnDef::new("id", DataType::Int)], &["id"]),
+            2,
+            Partitioner::Single,
+        )
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let c = Catalog::new();
+        c.register(TableId(0), spec("a"));
+        c.register(TableId(1), spec("b"));
+        assert_eq!(c.table_id("b"), Some(TableId(1)));
+        assert_eq!(c.table_id("x"), None);
+        assert_eq!(c.spec(TableId(0)).unwrap().partitions, 2);
+        assert_eq!(c.table_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let c = Catalog::new();
+        c.register(TableId(0), spec("a"));
+        assert_eq!(c.stats(TableId(0)).unwrap(), TableStats::default());
+        c.set_stats(
+            TableId(0),
+            TableStats {
+                rows: 100,
+                avg_tuple_bytes: 64,
+            },
+        );
+        assert_eq!(c.stats(TableId(0)).unwrap().rows, 100);
+    }
+
+    #[test]
+    fn snapshot_is_self_contained() {
+        let c = Catalog::new();
+        c.register(TableId(0), spec("a"));
+        c.set_stats(
+            TableId(0),
+            TableStats {
+                rows: 7,
+                avg_tuple_bytes: 9,
+            },
+        );
+        let snap = c.snapshot();
+        assert_eq!(snap.estimated_rows(TableId(0)), 7);
+        assert_eq!(snap.estimated_rows(TableId(5)), 0);
+        // Mutating the catalog after the snapshot does not affect it.
+        c.set_stats(
+            TableId(0),
+            TableStats {
+                rows: 999,
+                avg_tuple_bytes: 9,
+            },
+        );
+        assert_eq!(snap.estimated_rows(TableId(0)), 7);
+    }
+
+    #[test]
+    fn with_secondary_builder() {
+        let s = spec("a").with_secondary(SecondaryIndexSpec::ordered("o", vec![0]));
+        assert_eq!(s.secondaries.len(), 1);
+        assert_eq!(s.secondaries[0].name, "o");
+    }
+}

@@ -1,0 +1,137 @@
+//! Index key values.
+//!
+//! Index keys exclude floats (no total equality) and NULLs (not
+//! indexable), which keeps `Eq + Ord + Hash` honest. Converting a
+//! [`Value`] into a [`KeyValue`] fails loudly on either.
+
+use std::sync::Arc;
+
+use anydb_common::{DbError, DbResult, Value};
+
+/// A single indexable value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum KeyValue {
+    /// Integer key component.
+    Int(i64),
+    /// String key component.
+    Str(Arc<str>),
+}
+
+impl TryFrom<&Value> for KeyValue {
+    type Error = DbError;
+
+    fn try_from(v: &Value) -> DbResult<Self> {
+        match v {
+            Value::Int(i) => Ok(KeyValue::Int(*i)),
+            Value::Str(s) => Ok(KeyValue::Str(s.clone())),
+            Value::Float(_) => Err(DbError::TypeMismatch("float not indexable")),
+            Value::Null => Err(DbError::TypeMismatch("null not indexable")),
+        }
+    }
+}
+
+impl From<i64> for KeyValue {
+    fn from(v: i64) -> Self {
+        KeyValue::Int(v)
+    }
+}
+
+impl From<&str> for KeyValue {
+    fn from(v: &str) -> Self {
+        KeyValue::Str(Arc::from(v))
+    }
+}
+
+/// A (possibly composite) index key.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IndexKey(Vec<KeyValue>);
+
+impl IndexKey {
+    /// Builds a key from components.
+    pub fn new(parts: Vec<KeyValue>) -> Self {
+        Self(parts)
+    }
+
+    /// Extracts the key for `columns` out of a tuple's values.
+    pub fn from_values(values: &[Value], columns: &[usize]) -> DbResult<Self> {
+        let mut parts = Vec::with_capacity(columns.len());
+        for &c in columns {
+            parts.push(KeyValue::try_from(
+                values
+                    .get(c)
+                    .ok_or(DbError::SchemaMismatch("key column out of range"))?,
+            )?);
+        }
+        Ok(Self(parts))
+    }
+
+    /// The key components.
+    pub fn parts(&self) -> &[KeyValue] {
+        &self.0
+    }
+
+    /// First component as an integer, if it is one. Used by hash
+    /// partitioners keyed on a leading integer column (warehouse ids).
+    pub fn leading_int(&self) -> Option<i64> {
+        match self.0.first() {
+            Some(KeyValue::Int(i)) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+/// Shorthand for a single-column integer key.
+pub fn int_key(v: i64) -> IndexKey {
+    IndexKey::new(vec![KeyValue::Int(v)])
+}
+
+/// Shorthand for composite integer keys.
+pub fn int_keys(vs: &[i64]) -> IndexKey {
+    IndexKey::new(vs.iter().map(|&v| KeyValue::Int(v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_conversion() {
+        assert_eq!(
+            KeyValue::try_from(&Value::Int(5)).unwrap(),
+            KeyValue::Int(5)
+        );
+        assert_eq!(
+            KeyValue::try_from(&Value::str("a")).unwrap(),
+            KeyValue::from("a")
+        );
+        assert!(KeyValue::try_from(&Value::Float(1.0)).is_err());
+        assert!(KeyValue::try_from(&Value::Null).is_err());
+    }
+
+    #[test]
+    fn from_values_extracts_columns() {
+        let values = vec![Value::Int(1), Value::str("x"), Value::Int(3)];
+        let k = IndexKey::from_values(&values, &[2, 0]).unwrap();
+        assert_eq!(k, int_keys(&[3, 1]));
+    }
+
+    #[test]
+    fn from_values_rejects_out_of_range() {
+        assert!(IndexKey::from_values(&[Value::Int(1)], &[4]).is_err());
+    }
+
+    #[test]
+    fn leading_int() {
+        assert_eq!(int_keys(&[7, 8]).leading_int(), Some(7));
+        assert_eq!(
+            IndexKey::new(vec![KeyValue::from("a")]).leading_int(),
+            None
+        );
+    }
+
+    #[test]
+    fn keys_order_lexicographically() {
+        assert!(int_keys(&[1, 2]) < int_keys(&[1, 3]));
+        assert!(int_keys(&[1, 2]) < int_keys(&[2]));
+    }
+}

@@ -1,0 +1,33 @@
+//! # anydb-storage
+//!
+//! The in-memory storage substrate: partitioned row tables with per-row
+//! versioned latching, hash and ordered secondary indexes, a catalog with
+//! statistics, and a write-ahead log with replay-based recovery.
+//!
+//! In the architecture-less model, storage is just "state that data streams
+//! ship to ACs"; physically, partitions live in [`Store`] and are served by
+//! whichever AC acts as the storage component (or accessed directly by an
+//! AC collocated with the partition — the shared-nothing configuration).
+//!
+//! Both AnyDB (`anydb-core`) and the static baseline (`anydb-dbx1000`)
+//! build on this same substrate so that Figure 1/5 comparisons measure
+//! architecture, not storage implementation differences.
+
+pub mod catalog;
+pub mod index;
+pub mod key;
+pub mod partition;
+pub mod record;
+pub mod recovery;
+pub mod store;
+pub mod table;
+pub mod wal;
+
+pub use catalog::{Catalog, TableSpec};
+pub use index::{HashIndex, OrderedIndex, SecondaryIndexSpec};
+pub use key::{IndexKey, KeyValue};
+pub use partition::Partition;
+pub use record::Row;
+pub use store::{Partitioner, Store};
+pub use table::Table;
+pub use wal::{LogOp, LogRecord, Wal};

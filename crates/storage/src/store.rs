@@ -1,0 +1,246 @@
+//! The physical database: a collection of partitioned tables.
+
+use std::sync::Arc;
+
+use anydb_common::fxmap::FxHashMap;
+use anydb_common::{DbError, DbResult, PartitionId, TableId, Value};
+use parking_lot::RwLock;
+
+use crate::catalog::{Catalog, TableSpec};
+use crate::key::IndexKey;
+use crate::table::Table;
+
+/// Maps tuples to partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioner {
+    /// Everything in partition 0 (small reference tables, e.g. TPC-C item).
+    Single,
+    /// `partition = (int_column - offset) % partition_count`. The TPC-C
+    /// tables use the leading warehouse-id column with offset 1.
+    ByColumn {
+        /// Tuple column holding the partitioning integer.
+        column: usize,
+        /// Subtracted before the modulo (ids are often 1-based).
+        offset: i64,
+    },
+}
+
+impl Partitioner {
+    /// Column partitioner with a 1-based id convention.
+    pub fn by_warehouse(column: usize) -> Self {
+        Partitioner::ByColumn { column, offset: 1 }
+    }
+
+    /// Column partitioner with explicit offset.
+    pub fn by_column(column: usize, offset: i64) -> Self {
+        Partitioner::ByColumn { column, offset }
+    }
+
+    /// Partition for a full tuple.
+    pub fn partition_of(&self, values: &[Value], partitions: u32) -> DbResult<PartitionId> {
+        match self {
+            Partitioner::Single => Ok(PartitionId(0)),
+            Partitioner::ByColumn { column, offset } => {
+                let v = values
+                    .get(*column)
+                    .ok_or(DbError::SchemaMismatch("partition column out of range"))?
+                    .as_int()?;
+                Ok(Self::fold(v - offset, partitions))
+            }
+        }
+    }
+
+    /// Partition for a primary key. Requires the partitioning column to be
+    /// the leading primary-key column (true for every TPC-C table), so the
+    /// key's first component determines placement.
+    pub fn partition_of_key(&self, key: &IndexKey, partitions: u32) -> DbResult<PartitionId> {
+        match self {
+            Partitioner::Single => Ok(PartitionId(0)),
+            Partitioner::ByColumn { offset, .. } => {
+                let v = key
+                    .leading_int()
+                    .ok_or(DbError::SchemaMismatch("key must lead with partition column"))?;
+                Ok(Self::fold(v - offset, partitions))
+            }
+        }
+    }
+
+    #[inline]
+    fn fold(v: i64, partitions: u32) -> PartitionId {
+        PartitionId((v.rem_euclid(partitions as i64)) as u32)
+    }
+}
+
+/// The physical database.
+///
+/// `Store` is shared (`Arc`) between all ACs / transaction executors; the
+/// tables inside provide their own fine-grained synchronization.
+#[derive(Default)]
+pub struct Store {
+    tables: RwLock<Vec<Arc<Table>>>,
+    by_name: RwLock<FxHashMap<String, TableId>>,
+    catalog: Catalog,
+}
+
+impl Store {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a table from a spec, registering it in the catalog.
+    pub fn create_table(&self, spec: TableSpec) -> DbResult<Arc<Table>> {
+        let mut tables = self.tables.write();
+        let mut by_name = self.by_name.write();
+        let name = spec.schema.name().to_string();
+        if by_name.contains_key(&name) {
+            return Err(DbError::Config(format!("table '{name}' already exists")));
+        }
+        let id = TableId(tables.len() as u32);
+        let table = Arc::new(Table::new(
+            id,
+            spec.schema.clone(),
+            spec.partitioner,
+            spec.partitions,
+            spec.secondaries.clone(),
+        ));
+        tables.push(table.clone());
+        by_name.insert(name, id);
+        self.catalog.register(id, spec);
+        Ok(table)
+    }
+
+    /// Looks a table up by id.
+    pub fn table(&self, id: TableId) -> DbResult<Arc<Table>> {
+        self.tables
+            .read()
+            .get(id.index())
+            .cloned()
+            .ok_or(DbError::UnknownTable(id))
+    }
+
+    /// Looks a table up by name.
+    pub fn table_by_name(&self, name: &str) -> DbResult<Arc<Table>> {
+        let id = *self
+            .by_name
+            .read()
+            .get(name)
+            .ok_or_else(|| DbError::UnknownTableName(name.to_string()))?;
+        self.table(id)
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.read().len()
+    }
+
+    /// The catalog (metadata + statistics input for the QO).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// All tables (snapshot), for scans/statistics.
+    pub fn tables(&self) -> Vec<Arc<Table>> {
+        self.tables.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anydb_common::{ColumnDef, DataType, Schema, Tuple};
+
+    fn spec(name: &str, partitions: u32) -> TableSpec {
+        TableSpec::new(
+            Schema::new(
+                name,
+                vec![
+                    ColumnDef::new("w_id", DataType::Int),
+                    ColumnDef::new("v", DataType::Int),
+                ],
+                &["w_id"],
+            ),
+            partitions,
+            Partitioner::by_warehouse(0),
+        )
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let store = Store::new();
+        let t = store.create_table(spec("wh", 4)).unwrap();
+        assert_eq!(t.id(), TableId(0));
+        assert_eq!(store.table(TableId(0)).unwrap().id(), TableId(0));
+        assert_eq!(store.table_by_name("wh").unwrap().id(), TableId(0));
+        assert!(store.table_by_name("nope").is_err());
+        assert!(store.table(TableId(9)).is_err());
+        assert_eq!(store.table_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let store = Store::new();
+        store.create_table(spec("t", 1)).unwrap();
+        assert!(store.create_table(spec("t", 1)).is_err());
+    }
+
+    #[test]
+    fn partitioner_by_warehouse_is_one_based() {
+        let p = Partitioner::by_warehouse(0);
+        let t = |w: i64| vec![Value::Int(w), Value::Int(0)];
+        assert_eq!(p.partition_of(&t(1), 4).unwrap(), PartitionId(0));
+        assert_eq!(p.partition_of(&t(4), 4).unwrap(), PartitionId(3));
+        assert_eq!(p.partition_of(&t(5), 4).unwrap(), PartitionId(0));
+    }
+
+    #[test]
+    fn partitioner_key_and_tuple_agree() {
+        let p = Partitioner::by_warehouse(0);
+        for w in 1..=8i64 {
+            let by_tuple = p
+                .partition_of(&[Value::Int(w), Value::Int(9)], 4)
+                .unwrap();
+            let by_key = p
+                .partition_of_key(&crate::key::int_key(w), 4)
+                .unwrap();
+            assert_eq!(by_tuple, by_key);
+        }
+    }
+
+    #[test]
+    fn single_partitioner_always_zero() {
+        let p = Partitioner::Single;
+        assert_eq!(
+            p.partition_of(&[Value::Int(42)], 8).unwrap(),
+            PartitionId(0)
+        );
+    }
+
+    #[test]
+    fn partitioner_handles_negative_ids() {
+        let p = Partitioner::by_column(0, 0);
+        // rem_euclid keeps partitions in range even for negatives.
+        assert_eq!(p.partition_of(&[Value::Int(-3)], 4).unwrap(), PartitionId(1));
+    }
+
+    #[test]
+    fn store_tables_snapshot() {
+        let store = Store::new();
+        store.create_table(spec("a", 1)).unwrap();
+        store.create_table(spec("b", 2)).unwrap();
+        let ts = store.tables();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[1].partition_count(), 2);
+    }
+
+    #[test]
+    fn end_to_end_insert_via_store() {
+        let store = Store::new();
+        let t = store.create_table(spec("wh", 2)).unwrap();
+        let rid = t
+            .insert(Tuple::new(vec![Value::Int(2), Value::Int(7)]))
+            .unwrap();
+        assert_eq!(rid.partition, PartitionId(1));
+        assert_eq!(store.catalog().table_names(), vec!["wh".to_string()]);
+    }
+}

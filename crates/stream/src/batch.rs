@@ -1,0 +1,125 @@
+//! Tuple batches — the unit shipped on data streams.
+//!
+//! Data streams move state between ACs in batches rather than tuple-at-a-
+//! time; the batch also carries its wire size so simulated links can model
+//! transfer time without re-measuring every tuple.
+
+use anydb_common::Tuple;
+
+/// A batch of tuples with a precomputed wire size.
+#[derive(Debug, Clone, Default)]
+pub struct Batch {
+    tuples: Vec<Tuple>,
+    bytes: usize,
+}
+
+impl Batch {
+    /// Creates a batch, computing its wire size.
+    pub fn new(tuples: Vec<Tuple>) -> Self {
+        let bytes = tuples.iter().map(Tuple::wire_size).sum();
+        Self { tuples, bytes }
+    }
+
+    /// An empty batch (also used as an end-of-stream marker by convention
+    /// of some operators; streams additionally close their link).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The tuples.
+    #[inline]
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Consumes the batch.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if there are no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Wire size in bytes, used by link transfer modeling.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Appends a tuple, maintaining the size.
+    pub fn push(&mut self, t: Tuple) {
+        self.bytes += t.wire_size();
+        self.tuples.push(t);
+    }
+
+    /// Splits a vector of tuples into batches of at most `batch_rows` rows.
+    pub fn split(tuples: Vec<Tuple>, batch_rows: usize) -> Vec<Batch> {
+        assert!(batch_rows > 0);
+        let mut out = Vec::with_capacity(tuples.len().div_ceil(batch_rows));
+        let mut cur = Vec::with_capacity(batch_rows.min(tuples.len()));
+        for t in tuples {
+            cur.push(t);
+            if cur.len() == batch_rows {
+                out.push(Batch::new(std::mem::replace(
+                    &mut cur,
+                    Vec::with_capacity(batch_rows),
+                )));
+            }
+        }
+        if !cur.is_empty() {
+            out.push(Batch::new(cur));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anydb_common::Value;
+
+    fn t(i: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(i)])
+    }
+
+    #[test]
+    fn new_computes_bytes() {
+        let b = Batch::new(vec![t(1), t(2)]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.bytes(), 2 * t(0).wire_size());
+    }
+
+    #[test]
+    fn push_maintains_bytes() {
+        let mut b = Batch::empty();
+        assert!(b.is_empty());
+        b.push(t(5));
+        assert_eq!(b.bytes(), t(5).wire_size());
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn split_respects_batch_rows() {
+        let batches = Batch::split((0..10).map(t).collect(), 4);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 4);
+        assert_eq!(batches[1].len(), 4);
+        assert_eq!(batches[2].len(), 2);
+        let total: usize = batches.iter().map(Batch::len).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn split_empty_produces_no_batches() {
+        assert!(Batch::split(Vec::new(), 4).is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Data beams: data streams initiated before their consuming events exist.
+//!
+//! §2.3/§4 of the paper: "in DBMS execution one often knows which data is
+//! accessed way ahead of time … AnyDB initiates data streams as early as
+//! possible. Once initiated, a data stream actively pushes data to the AC
+//! where, for example, a filter operator will be executed once query
+//! optimization finished."
+//!
+//! Mechanically, a beam is the receiving half of a link carrying
+//! [`Batch`]es, registered under a [`BeamId`] by whoever initiates the
+//! stream (the QO, at query admission). The operator event that eventually
+//! executes carries the id and *attaches* to the beam via
+//! [`BeamRegistry::take`] — by which point the data is typically already
+//! buffered locally, hiding the transfer entirely.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use anydb_common::fxmap::FxHashMap;
+use parking_lot::Mutex;
+
+use crate::batch::Batch;
+use crate::link::LinkReceiver;
+
+/// Identifies one beamed data stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BeamId(pub u64);
+
+/// Allocates unique beam ids.
+#[derive(Debug, Default)]
+pub struct BeamIdGen {
+    next: AtomicU64,
+}
+
+impl BeamIdGen {
+    /// New generator starting at zero.
+    pub const fn new() -> Self {
+        Self {
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// Allocates the next id.
+    pub fn next(&self) -> BeamId {
+        BeamId(self.next.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// Where consumers pick up the receiving ends of initiated beams.
+///
+/// The registry is the rendezvous between the QO (which initiates beams
+/// during/before query compilation) and the ACs that later execute the
+/// consuming operators. Registration always happens before the consuming
+/// event is dispatched, so `take` never races with `register` for the same
+/// id in correct usage; `take` returning `None` means the beam was already
+/// claimed (a routing bug) or never initiated (a planning bug).
+#[derive(Default)]
+pub struct BeamRegistry {
+    slots: Mutex<FxHashMap<BeamId, LinkReceiver<Batch>>>,
+}
+
+impl BeamRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the receiving end of a beam.
+    ///
+    /// # Panics
+    /// Panics if the id is already registered — beam ids are unique by
+    /// construction, so a duplicate is a bug worth failing loudly on.
+    pub fn register(&self, id: BeamId, rx: LinkReceiver<Batch>) {
+        let prev = self.slots.lock().insert(id, rx);
+        assert!(prev.is_none(), "beam {id:?} registered twice");
+    }
+
+    /// Claims the receiving end of a beam (each beam has one consumer).
+    pub fn take(&self, id: BeamId) -> Option<LinkReceiver<Batch>> {
+        self.slots.lock().remove(&id)
+    }
+
+    /// Number of currently unclaimed beams.
+    pub fn pending(&self) -> usize {
+        self.slots.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{LinkSpec, SimLink};
+    use anydb_common::{Tuple, Value};
+
+    #[test]
+    fn idgen_is_unique() {
+        let g = BeamIdGen::new();
+        let a = g.next();
+        let b = g.next();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn register_then_take() {
+        let reg = BeamRegistry::new();
+        let (_tx, rx) = SimLink::channel::<Batch>(LinkSpec::instant(), 4);
+        reg.register(BeamId(1), rx);
+        assert_eq!(reg.pending(), 1);
+        assert!(reg.take(BeamId(1)).is_some());
+        assert!(reg.take(BeamId(1)).is_none());
+        assert_eq!(reg.pending(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let reg = BeamRegistry::new();
+        let (_tx1, rx1) = SimLink::channel::<Batch>(LinkSpec::instant(), 4);
+        let (_tx2, rx2) = SimLink::channel::<Batch>(LinkSpec::instant(), 4);
+        reg.register(BeamId(1), rx1);
+        reg.register(BeamId(1), rx2);
+    }
+
+    #[test]
+    fn beamed_data_is_buffered_before_attach() {
+        // The whole point of beaming: by the time the consumer attaches,
+        // data already sits in the local ring.
+        let reg = BeamRegistry::new();
+        let (mut tx, rx) = SimLink::channel::<Batch>(LinkSpec::instant(), 16);
+        reg.register(BeamId(9), rx);
+        for i in 0..5 {
+            let b = Batch::new(vec![Tuple::new(vec![Value::Int(i)])]);
+            let bytes = b.bytes();
+            tx.send(b, bytes).unwrap();
+        }
+        drop(tx);
+        let mut rx = reg.take(BeamId(9)).unwrap();
+        let mut total = 0;
+        while let Some(b) = rx.recv_blocking() {
+            total += b.len();
+        }
+        assert_eq!(total, 5);
+    }
+}

@@ -1,0 +1,198 @@
+//! DPI-style flows: stream transformations applied *en route*.
+//!
+//! The paper (§4, Figure 6) observes that with DPI [1] the network itself
+//! acts as a co-processor: data beams across InfiniBand arrive pre-filtered
+//! and pre-placed, making the disaggregated architecture *faster* than the
+//! aggregated one. A [`Flow`] is an ordered list of relational stages
+//! (filter, project) applied to every batch a [`FlowSender`] ships.
+//!
+//! Cost model: on an `offload` link (see [`crate::link::LinkSpec`]) the
+//! stage CPU time is charged to nobody — the NIC does it. On a non-offload
+//! link the sending thread pays for the processing, which is exactly what
+//! happens when it executes the closure.
+
+use std::sync::Arc;
+
+use anydb_common::Tuple;
+
+use crate::batch::Batch;
+use crate::link::LinkSender;
+use crate::spsc::PushError;
+
+/// One transformation stage.
+#[derive(Clone)]
+pub enum FlowStage {
+    /// Keep only tuples matching the predicate.
+    Filter(Arc<dyn Fn(&Tuple) -> bool + Send + Sync>),
+    /// Project onto the given column indices.
+    Project(Vec<usize>),
+}
+
+impl std::fmt::Debug for FlowStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowStage::Filter(_) => write!(f, "Filter(..)"),
+            FlowStage::Project(cols) => write!(f, "Project({cols:?})"),
+        }
+    }
+}
+
+/// An ordered pipeline of stages.
+#[derive(Clone, Debug, Default)]
+pub struct Flow {
+    stages: Vec<FlowStage>,
+}
+
+impl Flow {
+    /// The identity flow (ships batches unchanged).
+    pub fn identity() -> Self {
+        Self::default()
+    }
+
+    /// Appends a filter stage.
+    pub fn filter(mut self, pred: impl Fn(&Tuple) -> bool + Send + Sync + 'static) -> Self {
+        self.stages.push(FlowStage::Filter(Arc::new(pred)));
+        self
+    }
+
+    /// Appends a projection stage.
+    pub fn project(mut self, cols: Vec<usize>) -> Self {
+        self.stages.push(FlowStage::Project(cols));
+        self
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True for the identity flow.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Applies all stages to a batch.
+    pub fn apply(&self, batch: Batch) -> Batch {
+        if self.stages.is_empty() {
+            return batch;
+        }
+        let mut tuples = batch.into_tuples();
+        for stage in &self.stages {
+            match stage {
+                FlowStage::Filter(pred) => tuples.retain(|t| pred(t)),
+                FlowStage::Project(cols) => {
+                    for t in &mut tuples {
+                        *t = t.project(cols);
+                    }
+                }
+            }
+        }
+        Batch::new(tuples)
+    }
+}
+
+/// A link sender that pushes every batch through a [`Flow`] first.
+///
+/// The modeled transfer size is the *post-flow* size: this is the DPI
+/// advantage — less data crosses the wire, and on offload links the
+/// filtering itself is free.
+pub struct FlowSender {
+    link: LinkSender<Batch>,
+    flow: Flow,
+}
+
+impl FlowSender {
+    /// Wraps a link sender with a flow.
+    pub fn new(link: LinkSender<Batch>, flow: Flow) -> Self {
+        Self { link, flow }
+    }
+
+    /// Whether the underlying link offloads flow processing.
+    pub fn is_offloaded(&self) -> bool {
+        self.link.spec().offload
+    }
+
+    /// Applies the flow and ships the surviving tuples. Empty results are
+    /// still shipped (zero-byte control message) so consumers can count
+    /// batches for end-of-stream accounting.
+    pub fn send(&mut self, batch: Batch) -> Result<(), PushError<Batch>> {
+        let out = self.flow.apply(batch);
+        let bytes = out.bytes();
+        self.link.send(out, bytes)
+    }
+
+    /// Blocking variant of [`FlowSender::send`].
+    pub fn send_blocking(&mut self, batch: Batch) -> Result<(), Batch> {
+        let out = self.flow.apply(batch);
+        let bytes = out.bytes();
+        self.link.send_blocking(out, bytes)
+    }
+
+    /// Consumes the sender, closing the stream.
+    pub fn finish(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{LinkSpec, SimLink};
+    use anydb_common::Value;
+
+    fn t2(a: i64, s: &str) -> Tuple {
+        Tuple::new(vec![Value::Int(a), Value::str(s)])
+    }
+
+    #[test]
+    fn identity_flow_passes_through() {
+        let b = Batch::new(vec![t2(1, "a")]);
+        let out = Flow::identity().apply(b.clone());
+        assert_eq!(out.tuples(), b.tuples());
+    }
+
+    #[test]
+    fn filter_stage_drops_tuples() {
+        let flow = Flow::identity().filter(|t| t.get(0).as_int().unwrap() > 1);
+        let out = flow.apply(Batch::new(vec![t2(1, "a"), t2(2, "b"), t2(3, "c")]));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn project_stage_narrows_tuples() {
+        let flow = Flow::identity().project(vec![1]);
+        let out = flow.apply(Batch::new(vec![t2(1, "a")]));
+        assert_eq!(out.tuples()[0].values(), &[Value::str("a")]);
+    }
+
+    #[test]
+    fn stages_compose_in_order() {
+        let flow = Flow::identity()
+            .filter(|t| t.get(0).as_int().unwrap() % 2 == 0)
+            .project(vec![1]);
+        let out = flow.apply(Batch::new(vec![t2(1, "a"), t2(2, "b"), t2(4, "d")]));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.tuples()[0].arity(), 1);
+    }
+
+    #[test]
+    fn flow_reduces_wire_bytes() {
+        let flow = Flow::identity().filter(|t| t.get(0).as_int().unwrap() == 0);
+        let big = Batch::new((0..100).map(|i| t2(i, "payload")).collect());
+        let out = flow.apply(big.clone());
+        assert!(out.bytes() < big.bytes() / 10);
+    }
+
+    #[test]
+    fn flow_sender_ships_post_flow_size() {
+        let (tx, mut rx) = SimLink::channel::<Batch>(LinkSpec::instant(), 8);
+        let mut sender = FlowSender::new(
+            tx,
+            Flow::identity().filter(|t| t.get(0).as_int().unwrap() < 2),
+        );
+        assert!(!sender.is_offloaded());
+        sender
+            .send(Batch::new(vec![t2(1, "a"), t2(5, "b")]))
+            .unwrap();
+        let got = rx.try_recv().unwrap();
+        assert_eq!(got.len(), 1);
+    }
+}

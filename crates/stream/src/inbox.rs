@@ -1,0 +1,184 @@
+//! Multi-producer event inbox.
+//!
+//! Each AC has one inbox for its *event stream*: many components (clients,
+//! the QO, other ACs) enqueue events, one AC drains them. Built on
+//! crossbeam's `SegQueue` (unbounded MPMC used MPSC-style) with explicit
+//! sender accounting for disconnect detection.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::queue::SegQueue;
+
+use crate::spsc::PopState;
+
+struct Shared<T> {
+    queue: SegQueue<T>,
+    senders: AtomicUsize,
+}
+
+/// The receiving half of an event inbox (owned by one AC).
+pub struct Inbox<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// A cloneable sending half.
+pub struct InboxSender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Inbox<T> {
+    /// Creates an inbox and its first sender.
+    pub fn new() -> (InboxSender<T>, Inbox<T>) {
+        let shared = Arc::new(Shared {
+            queue: SegQueue::new(),
+            senders: AtomicUsize::new(1),
+        });
+        (
+            InboxSender {
+                shared: shared.clone(),
+            },
+            Inbox { shared },
+        )
+    }
+
+    /// Non-blocking pop.
+    pub fn pop(&self) -> Result<T, PopState> {
+        match self.shared.queue.pop() {
+            Some(v) => Ok(v),
+            None => {
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    // Senders may have pushed right before dropping; check
+                    // the queue once more to not lose a final message.
+                    match self.shared.queue.pop() {
+                        Some(v) => Ok(v),
+                        None => Err(PopState::Disconnected),
+                    }
+                } else {
+                    Err(PopState::Empty)
+                }
+            }
+        }
+    }
+
+    /// Pops, spinning until a message arrives or all senders are gone.
+    pub fn pop_blocking(&self) -> Option<T> {
+        loop {
+            match self.pop() {
+                Ok(v) => return Some(v),
+                Err(PopState::Disconnected) => return None,
+                Err(PopState::Empty) => {
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Current queue length (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// True if the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.shared.queue.is_empty()
+    }
+
+    /// Number of live senders.
+    pub fn sender_count(&self) -> usize {
+        self.shared.senders.load(Ordering::Acquire)
+    }
+}
+
+impl<T> InboxSender<T> {
+    /// Enqueues a message. Never blocks (unbounded queue).
+    pub fn send(&self, value: T) {
+        self.shared.queue.push(value);
+    }
+}
+
+impl<T> Clone for InboxSender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::AcqRel);
+        InboxSender {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for InboxSender<T> {
+    fn drop(&mut self) {
+        self.shared.senders.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_pop() {
+        let (tx, rx) = Inbox::new();
+        tx.send(1);
+        tx.send(2);
+        assert_eq!(rx.pop(), Ok(1));
+        assert_eq!(rx.pop(), Ok(2));
+        assert_eq!(rx.pop(), Err(PopState::Empty));
+    }
+
+    #[test]
+    fn multiple_senders() {
+        let (tx, rx) = Inbox::new();
+        let tx2 = tx.clone();
+        assert_eq!(rx.sender_count(), 2);
+        tx.send(1);
+        tx2.send(2);
+        let mut got = vec![rx.pop().unwrap(), rx.pop().unwrap()];
+        got.sort();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn disconnect_when_all_senders_dropped() {
+        let (tx, rx) = Inbox::new();
+        let tx2 = tx.clone();
+        tx.send(7);
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.pop(), Ok(7));
+        assert_eq!(rx.pop(), Err(PopState::Disconnected));
+    }
+
+    #[test]
+    fn concurrent_senders_deliver_everything() {
+        let (tx, rx) = Inbox::new();
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    tx.send(t * 10_000 + i);
+                }
+            }));
+        }
+        drop(tx);
+        let mut seen = 0u64;
+        while rx.pop_blocking().is_some() {
+            seen += 1;
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(seen, 40_000);
+    }
+
+    #[test]
+    fn pop_blocking_wakes_on_late_send() {
+        let (tx, rx) = Inbox::new();
+        let h = std::thread::spawn(move || rx.pop_blocking());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        tx.send(99);
+        assert_eq!(h.join().unwrap(), Some(99));
+    }
+}

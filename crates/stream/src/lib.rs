@@ -1,0 +1,36 @@
+//! # anydb-stream
+//!
+//! The streaming substrate of the AnyDB reproduction. The paper's execution
+//! model instruments generic components (ACs) with an *event stream* and a
+//! *data stream*; this crate provides the transport for both:
+//!
+//! * [`spsc`] — a lock-free single-producer/single-consumer ring buffer,
+//!   our stand-in for the Folly SPSC queue the paper uses for local
+//!   shared-memory beaming (footnote 1 in §4),
+//! * [`inbox`] — a multi-producer event inbox used as an AC's event queue,
+//! * [`link`] — [`link::SimLink`]: an SPSC ring with a latency/bandwidth
+//!   delivery model, simulating NUMA links, InfiniBand/DPI flows, and TCP,
+//! * [`network`] — link classes and the simulated server topology,
+//! * [`batch`] — tuple batches (the unit shipped on data streams),
+//! * [`flow`] — DPI-style flows that filter/project/partition *en route*
+//!   (the "NIC as co-processor" effect of Figure 6),
+//! * [`beam`] — data beams: data streams initiated before their consuming
+//!   events exist, plus the registry consumers use to attach to them.
+//!
+//! Everything is non-blocking: receivers never wait for data — exactly the
+//! execution model of §2.1.
+
+pub mod batch;
+pub mod beam;
+pub mod flow;
+pub mod inbox;
+pub mod link;
+pub mod network;
+pub mod spsc;
+
+pub use batch::Batch;
+pub use beam::{BeamId, BeamRegistry};
+pub use inbox::{Inbox, InboxSender};
+pub use link::{LinkReceiver, LinkSender, LinkSpec, RecvState, SimLink};
+pub use network::{LinkClass, Topology};
+pub use spsc::{spsc_channel, PopState, SpscConsumer, SpscProducer};

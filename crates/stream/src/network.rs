@@ -1,0 +1,224 @@
+//! Link classes and the simulated server topology.
+//!
+//! The paper's testbed is two 4-core servers connected by InfiniBand with
+//! DPI flow offload; local beaming uses shared-memory queues to hide NUMA
+//! latencies. We model exactly those transport classes (constants chosen to
+//! be representative, see DESIGN.md §2) and a [`Topology`] that says which
+//! class connects any two ACs given their server placement.
+
+use std::time::Duration;
+
+use anydb_common::{AcId, ServerId};
+
+use crate::link::LinkSpec;
+
+/// Transport classes between ACs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkClass {
+    /// Same socket, shared memory: effectively free (modeled as instant so
+    /// OLTP paths avoid clock reads).
+    SharedMemory,
+    /// Cross-NUMA shared-memory queue: sub-microsecond latency, high
+    /// bandwidth.
+    Numa,
+    /// InfiniBand with DPI flow offload: microsecond latency, ~12 GB/s,
+    /// and `offload = true` — flows process data "on the NIC" for free.
+    DpiFlow,
+    /// Plain datacenter TCP: tens of microseconds, ~1 GB/s, no offload.
+    Tcp,
+}
+
+impl LinkClass {
+    /// The delivery-model constants for this class.
+    pub fn spec(self) -> LinkSpec {
+        match self {
+            LinkClass::SharedMemory => LinkSpec::instant(),
+            LinkClass::Numa => LinkSpec {
+                latency: Duration::from_nanos(400),
+                bytes_per_sec: 20e9,
+                offload: false,
+            },
+            LinkClass::DpiFlow => LinkSpec {
+                latency: Duration::from_micros(2),
+                bytes_per_sec: 12e9,
+                offload: true,
+            },
+            LinkClass::Tcp => LinkSpec {
+                latency: Duration::from_micros(50),
+                bytes_per_sec: 1.2e9,
+                offload: false,
+            },
+        }
+    }
+}
+
+/// Placement of ACs onto simulated servers and the transport classes
+/// connecting them.
+///
+/// Figure 3 of the paper shows the same AnyDB acting shared-nothing on two
+/// servers or disaggregated across four; the topology is what makes
+/// "remote" meaningful in those experiments.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// `placement[ac] = server`.
+    placement: Vec<ServerId>,
+    /// Cores per server (capacity accounting for experiments).
+    cores: Vec<u32>,
+    /// Class used between distinct servers.
+    inter_server: LinkClass,
+    /// Class used within one server.
+    intra_server: LinkClass,
+}
+
+impl Topology {
+    /// Builds a topology for `servers` servers with `cores` cores each and
+    /// no ACs placed yet.
+    pub fn new(servers: u32, cores: u32, inter_server: LinkClass) -> Self {
+        Self {
+            placement: Vec::new(),
+            cores: vec![cores; servers as usize],
+            inter_server,
+            intra_server: LinkClass::SharedMemory,
+        }
+    }
+
+    /// Overrides the intra-server class (e.g. `Numa` to model cross-socket
+    /// queues, as in Figure 6's "aggregated" variant).
+    pub fn with_intra_server(mut self, class: LinkClass) -> Self {
+        self.intra_server = class;
+        self
+    }
+
+    /// Places the next AC on `server`, returning its id.
+    ///
+    /// # Panics
+    /// Panics if the server does not exist.
+    pub fn place_ac(&mut self, server: ServerId) -> AcId {
+        assert!(
+            server.index() < self.cores.len(),
+            "unknown server {server}"
+        );
+        let id = AcId(self.placement.len() as u32);
+        self.placement.push(server);
+        id
+    }
+
+    /// Adds a new server with `cores` cores (elasticity: the paper adds
+    /// "servers with additional ACs" under load). Returns its id.
+    pub fn add_server(&mut self, cores: u32) -> ServerId {
+        let id = ServerId(self.cores.len() as u32);
+        self.cores.push(cores);
+        id
+    }
+
+    /// Number of ACs placed.
+    pub fn ac_count(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The server hosting `ac`.
+    pub fn server_of(&self, ac: AcId) -> ServerId {
+        self.placement[ac.index()]
+    }
+
+    /// Cores on `server`.
+    pub fn cores_of(&self, server: ServerId) -> u32 {
+        self.cores[server.index()]
+    }
+
+    /// The link class connecting two ACs.
+    pub fn link_class(&self, from: AcId, to: AcId) -> LinkClass {
+        if self.server_of(from) == self.server_of(to) {
+            self.intra_server
+        } else {
+            self.inter_server
+        }
+    }
+
+    /// The link spec connecting two ACs.
+    pub fn link_spec(&self, from: AcId, to: AcId) -> LinkSpec {
+        self.link_class(from, to).spec()
+    }
+
+    /// All ACs placed on `server`.
+    pub fn acs_on(&self, server: ServerId) -> Vec<AcId> {
+        self.placement
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == server)
+            .map(|(i, _)| AcId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_specs_are_ordered_by_cost() {
+        let shm = LinkClass::SharedMemory.spec();
+        let numa = LinkClass::Numa.spec();
+        let dpi = LinkClass::DpiFlow.spec();
+        let tcp = LinkClass::Tcp.spec();
+        assert!(shm.is_instant());
+        assert!(numa.latency < dpi.latency);
+        assert!(dpi.latency < tcp.latency);
+        assert!(dpi.bytes_per_sec > tcp.bytes_per_sec);
+        assert!(dpi.offload);
+        assert!(!tcp.offload);
+    }
+
+    #[test]
+    fn placement_and_link_classes() {
+        let mut topo = Topology::new(2, 4, LinkClass::DpiFlow);
+        let a = topo.place_ac(ServerId(0));
+        let b = topo.place_ac(ServerId(0));
+        let c = topo.place_ac(ServerId(1));
+        assert_eq!(topo.link_class(a, b), LinkClass::SharedMemory);
+        assert_eq!(topo.link_class(a, c), LinkClass::DpiFlow);
+        assert_eq!(topo.ac_count(), 3);
+        assert_eq!(topo.server_of(c), ServerId(1));
+    }
+
+    #[test]
+    fn intra_server_override() {
+        let mut topo =
+            Topology::new(1, 4, LinkClass::Tcp).with_intra_server(LinkClass::Numa);
+        let a = topo.place_ac(ServerId(0));
+        let b = topo.place_ac(ServerId(0));
+        assert_eq!(topo.link_class(a, b), LinkClass::Numa);
+    }
+
+    #[test]
+    fn elastic_server_addition() {
+        let mut topo = Topology::new(1, 4, LinkClass::DpiFlow);
+        let a = topo.place_ac(ServerId(0));
+        let s2 = topo.add_server(4);
+        let b = topo.place_ac(s2);
+        assert_eq!(topo.server_count(), 2);
+        assert_eq!(topo.link_class(a, b), LinkClass::DpiFlow);
+        assert_eq!(topo.cores_of(s2), 4);
+    }
+
+    #[test]
+    fn acs_on_lists_per_server() {
+        let mut topo = Topology::new(2, 4, LinkClass::Tcp);
+        let a = topo.place_ac(ServerId(0));
+        let _b = topo.place_ac(ServerId(1));
+        let c = topo.place_ac(ServerId(0));
+        assert_eq!(topo.acs_on(ServerId(0)), vec![a, c]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown server")]
+    fn placing_on_missing_server_panics() {
+        let mut topo = Topology::new(1, 4, LinkClass::Tcp);
+        topo.place_ac(ServerId(5));
+    }
+}

@@ -1,0 +1,368 @@
+//! Lock-free single-producer/single-consumer ring buffer.
+//!
+//! This is our stand-in for the Folly SPSC queue the paper uses for local
+//! data beaming. One writer, one reader, a fixed-capacity ring, and two
+//! cache-padded positions. The producer owns `tail`, the consumer owns
+//! `head`; each reads the other side's position with `Acquire` and
+//! publishes its own with `Release`, so a popped element is always fully
+//! initialized and a pushed slot is always fully vacated.
+//!
+//! On top of plain `push`/`pop`, the consumer can [`SpscConsumer::peek`] —
+//! needed by the simulated network link to look at a message's delivery
+//! time without consuming it (non-blocking "data not there yet").
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::utils::CachePadded;
+
+/// Result of a non-blocking pop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PopState {
+    /// Ring is empty but the producer is still connected.
+    Empty,
+    /// Ring is empty and the producer is gone: no more data will ever come.
+    Disconnected,
+}
+
+struct Ring<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    cap: usize,
+    /// Next slot the consumer will read. Owned by the consumer.
+    head: CachePadded<AtomicUsize>,
+    /// Next slot the producer will write. Owned by the producer.
+    tail: CachePadded<AtomicUsize>,
+    producer_alive: AtomicBool,
+    consumer_alive: AtomicBool,
+}
+
+// SAFETY: the ring is shared between exactly one producer and one consumer
+// (enforced by the non-Clone `SpscProducer` / `SpscConsumer` wrappers). All
+// slot accesses are ordered by the Acquire/Release pair on head/tail.
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // Only reachable once both endpoints are gone; drain leftovers.
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        for pos in head..tail {
+            let slot = &self.buf[pos % self.cap];
+            // SAFETY: slots in [head, tail) were initialized by the producer
+            // and never consumed.
+            unsafe { (*slot.get()).assume_init_drop() };
+        }
+    }
+}
+
+/// The sending half. Not cloneable: single producer by construction.
+pub struct SpscProducer<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// The receiving half. Not cloneable: single consumer by construction.
+pub struct SpscConsumer<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// Creates an SPSC channel with capacity for `cap` elements.
+///
+/// # Panics
+/// Panics if `cap == 0`.
+pub fn spsc_channel<T>(cap: usize) -> (SpscProducer<T>, SpscConsumer<T>) {
+    assert!(cap > 0, "spsc capacity must be positive");
+    let ring = Arc::new(Ring {
+        buf: (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect(),
+        cap,
+        head: CachePadded::new(AtomicUsize::new(0)),
+        tail: CachePadded::new(AtomicUsize::new(0)),
+        producer_alive: AtomicBool::new(true),
+        consumer_alive: AtomicBool::new(true),
+    });
+    (
+        SpscProducer { ring: ring.clone() },
+        SpscConsumer { ring },
+    )
+}
+
+impl<T> SpscProducer<T> {
+    /// Attempts to push; returns the value back if the ring is full or the
+    /// consumer is gone.
+    pub fn push(&mut self, value: T) -> Result<(), PushError<T>> {
+        let ring = &*self.ring;
+        if !ring.consumer_alive.load(Ordering::Acquire) {
+            return Err(PushError::Disconnected(value));
+        }
+        let tail = ring.tail.load(Ordering::Relaxed);
+        let head = ring.head.load(Ordering::Acquire);
+        if tail - head == ring.cap {
+            return Err(PushError::Full(value));
+        }
+        let slot = &ring.buf[tail % ring.cap];
+        // SAFETY: slot at `tail` is vacant: consumer has released it
+        // (head > tail - cap) and only this producer writes.
+        unsafe { (*slot.get()).write(value) };
+        ring.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Pushes, spinning until space is available. Returns `Err` with the
+    /// value if the consumer disconnects while waiting.
+    pub fn push_blocking(&mut self, mut value: T) -> Result<(), T> {
+        loop {
+            match self.push(value) {
+                Ok(()) => return Ok(()),
+                Err(PushError::Disconnected(v)) => return Err(v),
+                Err(PushError::Full(v)) => {
+                    value = v;
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Number of elements currently queued.
+    pub fn len(&self) -> usize {
+        let ring = &*self.ring;
+        ring.tail.load(Ordering::Relaxed) - ring.head.load(Ordering::Acquire)
+    }
+
+    /// True if no elements are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.ring.cap
+    }
+
+    /// True if the consumer half has been dropped.
+    pub fn is_disconnected(&self) -> bool {
+        !self.ring.consumer_alive.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Drop for SpscProducer<T> {
+    fn drop(&mut self) {
+        self.ring.producer_alive.store(false, Ordering::Release);
+    }
+}
+
+/// Why a push failed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// Ring full; retry later.
+    Full(T),
+    /// Consumer dropped; no push will ever succeed again.
+    Disconnected(T),
+}
+
+impl<T> PushError<T> {
+    /// Recovers the value that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(v) | PushError::Disconnected(v) => v,
+        }
+    }
+}
+
+impl<T> SpscConsumer<T> {
+    /// Non-blocking pop.
+    pub fn pop(&mut self) -> Result<T, PopState> {
+        let ring = &*self.ring;
+        let head = ring.head.load(Ordering::Relaxed);
+        let tail = ring.tail.load(Ordering::Acquire);
+        if head == tail {
+            return if ring.producer_alive.load(Ordering::Acquire) {
+                // Re-check: the producer may have pushed between our tail
+                // load and the liveness check; report Empty either way —
+                // callers poll again.
+                Err(PopState::Empty)
+            } else if ring.tail.load(Ordering::Acquire) != head {
+                Err(PopState::Empty)
+            } else {
+                Err(PopState::Disconnected)
+            };
+        }
+        let slot = &ring.buf[head % ring.cap];
+        // SAFETY: slot at `head` was initialized by the producer (head <
+        // tail) and only this consumer reads it.
+        let value = unsafe { (*slot.get()).assume_init_read() };
+        ring.head.store(head + 1, Ordering::Release);
+        Ok(value)
+    }
+
+    /// Peeks at the next element without consuming it.
+    ///
+    /// Safe because only the consumer advances `head`, so the referenced
+    /// slot cannot be overwritten while the borrow lives.
+    pub fn peek(&self) -> Option<&T> {
+        let ring = &*self.ring;
+        let head = ring.head.load(Ordering::Relaxed);
+        let tail = ring.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let slot = &ring.buf[head % ring.cap];
+        // SAFETY: see above; slot is initialized and stable under `&self`.
+        Some(unsafe { (*slot.get()).assume_init_ref() })
+    }
+
+    /// Pops, spinning until an element arrives or the producer disconnects.
+    pub fn pop_blocking(&mut self) -> Option<T> {
+        loop {
+            match self.pop() {
+                Ok(v) => return Some(v),
+                Err(PopState::Disconnected) => return None,
+                Err(PopState::Empty) => {
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Number of elements currently queued.
+    pub fn len(&self) -> usize {
+        let ring = &*self.ring;
+        ring.tail.load(Ordering::Acquire) - ring.head.load(Ordering::Relaxed)
+    }
+
+    /// True if no elements are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if the producer half has been dropped (data may still be queued).
+    pub fn is_disconnected(&self) -> bool {
+        !self.ring.producer_alive.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Drop for SpscConsumer<T> {
+    fn drop(&mut self) {
+        self.ring.consumer_alive.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_fifo() {
+        let (mut tx, mut rx) = spsc_channel(4);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(rx.pop(), Ok(1));
+        tx.push(3).unwrap();
+        assert_eq!(rx.pop(), Ok(2));
+        assert_eq!(rx.pop(), Ok(3));
+        assert_eq!(rx.pop(), Err(PopState::Empty));
+    }
+
+    #[test]
+    fn full_ring_rejects_push() {
+        let (mut tx, mut rx) = spsc_channel(2);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(tx.push(3), Err(PushError::Full(3)));
+        assert_eq!(rx.pop(), Ok(1));
+        tx.push(3).unwrap();
+        assert_eq!(tx.len(), 2);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let (mut tx, mut rx) = spsc_channel(2);
+        tx.push(42).unwrap();
+        assert_eq!(rx.peek(), Some(&42));
+        assert_eq!(rx.peek(), Some(&42));
+        assert_eq!(rx.pop(), Ok(42));
+        assert_eq!(rx.peek(), None);
+    }
+
+    #[test]
+    fn disconnect_detected_by_consumer() {
+        let (mut tx, mut rx) = spsc_channel(2);
+        tx.push(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.pop(), Ok(1));
+        assert_eq!(rx.pop(), Err(PopState::Disconnected));
+    }
+
+    #[test]
+    fn disconnect_detected_by_producer() {
+        let (mut tx, rx) = spsc_channel(2);
+        drop(rx);
+        assert_eq!(tx.push(1), Err(PushError::Disconnected(1)));
+        assert!(tx.is_disconnected());
+    }
+
+    #[test]
+    fn leftover_elements_are_dropped() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (mut tx, rx) = spsc_channel(4);
+        tx.push(D).unwrap();
+        tx.push(D).unwrap();
+        drop(tx);
+        drop(rx);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn wraps_around_many_times() {
+        let (mut tx, mut rx) = spsc_channel(3);
+        for i in 0..1000 {
+            tx.push(i).unwrap();
+            assert_eq!(rx.pop(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn cross_thread_transfer_preserves_order_and_count() {
+        const N: u64 = 200_000;
+        let (mut tx, mut rx) = spsc_channel(1024);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                tx.push_blocking(i).unwrap();
+            }
+        });
+        let mut expected = 0u64;
+        while let Some(v) = rx.pop_blocking() {
+            assert_eq!(v, expected);
+            expected += 1;
+        }
+        assert_eq!(expected, N);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn pop_blocking_returns_none_after_disconnect() {
+        let (tx, mut rx) = spsc_channel::<u32>(2);
+        let h = std::thread::spawn(move || rx.pop_blocking());
+        drop(tx);
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn capacity_reported() {
+        let (tx, _rx) = spsc_channel::<u8>(7);
+        assert_eq!(tx.capacity(), 7);
+    }
+}

@@ -1,0 +1,59 @@
+//! Property tests for the streaming substrate.
+
+use anydb_common::{Tuple, Value};
+use anydb_stream::batch::Batch;
+use anydb_stream::flow::Flow;
+use anydb_stream::link::{LinkSpec, SimLink};
+use proptest::prelude::*;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Batch splitting conserves every tuple in order.
+    #[test]
+    fn batch_split_conserves(values in prop::collection::vec(any::<i64>(), 0..200), rows in 1usize..64) {
+        let tuples: Vec<Tuple> = values.iter().map(|v| Tuple::new(vec![Value::Int(*v)])).collect();
+        let batches = Batch::split(tuples.clone(), rows);
+        let rejoined: Vec<Tuple> = batches.into_iter().flat_map(Batch::into_tuples).collect();
+        prop_assert_eq!(rejoined, tuples);
+    }
+
+    /// Flows are order-preserving filters: output is a subsequence of the
+    /// input and exactly the tuples matching the predicate.
+    #[test]
+    fn flow_filter_is_exact(values in prop::collection::vec(any::<i64>(), 0..100), threshold: i64) {
+        let flow = Flow::identity().filter(move |t| t.get(0).as_int().unwrap() >= threshold);
+        let batch = Batch::new(values.iter().map(|v| Tuple::new(vec![Value::Int(*v)])).collect());
+        let out = flow.apply(batch);
+        let got: Vec<i64> = out.tuples().iter().map(|t| t.get(0).as_int().unwrap()).collect();
+        let expected: Vec<i64> = values.iter().copied().filter(|v| *v >= threshold).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Links deliver every message exactly once in order for arbitrary
+    /// latency/bandwidth settings (within quick test ranges).
+    #[test]
+    fn link_is_fifo_and_lossless(
+        n in 1usize..64,
+        latency_us in 0u64..200,
+        bw in prop::option::of(1e6f64..1e9),
+    ) {
+        let spec = LinkSpec {
+            latency: Duration::from_micros(latency_us),
+            bytes_per_sec: bw.unwrap_or(f64::INFINITY),
+            offload: false,
+        };
+        let (mut tx, mut rx) = SimLink::channel::<usize>(spec, n.max(1));
+        let producer = std::thread::spawn(move || {
+            for i in 0..n {
+                tx.send_blocking(i, 64).unwrap();
+            }
+        });
+        for i in 0..n {
+            prop_assert_eq!(rx.recv_blocking(), Some(i));
+        }
+        prop_assert_eq!(rx.recv_blocking(), None);
+        producer.join().unwrap();
+    }
+}

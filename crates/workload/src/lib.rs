@@ -1,0 +1,20 @@
+//! # anydb-workload
+//!
+//! Workload generators for the AnyDB reproduction:
+//!
+//! * [`tpcc`] — the TPC-C schema, loader, and parameter generators for the
+//!   two dominant transactions the paper evaluates (payment, new-order),
+//! * [`chbench`] — the CH-benCHmark Q3 analytical query of §4 ("open
+//!   orders for all customers from states beginning with 'A' since 2007"),
+//! * [`phases`] — the evolving 12-phase workload of Figure 1 and the
+//!   6-phase OLTP schedule of Figure 5.
+
+pub mod chbench;
+pub mod phases;
+pub mod tpcc;
+
+pub use chbench::Q3Spec;
+pub use phases::{Phase, PhaseKind, PhaseSchedule};
+pub use tpcc::{
+    CustomerSelector, NewOrderParams, PaymentGen, PaymentParams, TpccConfig, TpccDb,
+};

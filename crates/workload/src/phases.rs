@@ -1,0 +1,177 @@
+//! The evolving workload of Figure 1 and the OLTP schedule of Figure 5.
+//!
+//! Figure 1 runs twelve phases: partitionable OLTP (0–2), skewed OLTP
+//! (3–5), skewed HTAP (6–8), partitionable HTAP (9–11). Figure 5 runs the
+//! first six (OLTP only). A phase determines the warehouse access
+//! distribution and whether a concurrent OLAP query stream is active.
+
+use anydb_common::dist::HotSpot;
+
+/// The four workload regimes of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseKind {
+    /// Uniform warehouse access, no OLAP.
+    OltpPartitionable,
+    /// 100% of transactions on warehouse 1, no OLAP.
+    OltpSkewed,
+    /// Skewed OLTP plus a concurrent CH-Q3 stream.
+    HtapSkewed,
+    /// Uniform OLTP plus a concurrent CH-Q3 stream.
+    HtapPartitionable,
+}
+
+impl PhaseKind {
+    /// The warehouse distribution for this regime.
+    pub fn warehouse_dist(self, warehouses: u32) -> HotSpot {
+        match self {
+            PhaseKind::OltpPartitionable | PhaseKind::HtapPartitionable => {
+                HotSpot::uniform(warehouses as u64)
+            }
+            PhaseKind::OltpSkewed | PhaseKind::HtapSkewed => {
+                HotSpot::single(warehouses as u64)
+            }
+        }
+    }
+
+    /// Whether a concurrent OLAP stream runs.
+    pub fn has_olap(self) -> bool {
+        matches!(self, PhaseKind::HtapSkewed | PhaseKind::HtapPartitionable)
+    }
+
+    /// Whether OLTP access is skewed to one warehouse.
+    pub fn is_skewed(self) -> bool {
+        matches!(self, PhaseKind::OltpSkewed | PhaseKind::HtapSkewed)
+    }
+
+    /// Human-readable name matching the figure labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            PhaseKind::OltpPartitionable => "OLTP partitionable",
+            PhaseKind::OltpSkewed => "OLTP skewed",
+            PhaseKind::HtapSkewed => "HTAP skewed",
+            PhaseKind::HtapPartitionable => "HTAP partitionable",
+        }
+    }
+}
+
+/// One phase of a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Phase {
+    /// Position on the x-axis.
+    pub index: u32,
+    /// Regime.
+    pub kind: PhaseKind,
+}
+
+/// An ordered list of phases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSchedule {
+    phases: Vec<Phase>,
+}
+
+impl PhaseSchedule {
+    /// The 12-phase schedule of Figure 1.
+    pub fn figure1() -> Self {
+        let kinds = [
+            PhaseKind::OltpPartitionable,
+            PhaseKind::OltpSkewed,
+            PhaseKind::HtapSkewed,
+            PhaseKind::HtapPartitionable,
+        ];
+        Self {
+            phases: kinds
+                .iter()
+                .flat_map(|&k| std::iter::repeat_n(k, 3))
+                .enumerate()
+                .map(|(i, kind)| Phase {
+                    index: i as u32,
+                    kind,
+                })
+                .collect(),
+        }
+    }
+
+    /// The 6-phase OLTP-only schedule of Figure 5.
+    pub fn figure5() -> Self {
+        Self {
+            phases: (0..6)
+                .map(|i| Phase {
+                    index: i,
+                    kind: if i < 3 {
+                        PhaseKind::OltpPartitionable
+                    } else {
+                        PhaseKind::OltpSkewed
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// The phases in order.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Number of phases.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// True if the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn figure1_has_twelve_phases_in_order() {
+        let s = PhaseSchedule::figure1();
+        assert_eq!(s.len(), 12);
+        assert_eq!(s.phases()[0].kind, PhaseKind::OltpPartitionable);
+        assert_eq!(s.phases()[3].kind, PhaseKind::OltpSkewed);
+        assert_eq!(s.phases()[6].kind, PhaseKind::HtapSkewed);
+        assert_eq!(s.phases()[9].kind, PhaseKind::HtapPartitionable);
+        assert_eq!(s.phases()[11].index, 11);
+    }
+
+    #[test]
+    fn figure5_is_oltp_only() {
+        let s = PhaseSchedule::figure5();
+        assert_eq!(s.len(), 6);
+        assert!(s.phases().iter().all(|p| !p.kind.has_olap()));
+        assert!(s.phases()[3].kind.is_skewed());
+        assert!(!s.phases()[2].kind.is_skewed());
+    }
+
+    #[test]
+    fn skewed_dist_hits_warehouse_zero_only() {
+        let d = PhaseKind::OltpSkewed.warehouse_dist(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn partitionable_dist_covers_warehouses() {
+        let d = PhaseKind::HtapPartitionable.warehouse_dist(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[d.sample(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+
+    #[test]
+    fn labels_match_figure() {
+        assert_eq!(PhaseKind::HtapSkewed.label(), "HTAP skewed");
+        assert!(PhaseKind::HtapSkewed.has_olap());
+    }
+}

@@ -1,0 +1,209 @@
+//! Column-position constants for the TPC-C schemas.
+//!
+//! Executors address tuples positionally in hot paths; these constants
+//! keep those positions in one reviewed place. Each block mirrors the
+//! corresponding `*_schema()` in the parent module (asserted by tests).
+
+/// WAREHOUSE columns.
+pub mod warehouse {
+    /// w_id
+    pub const W_ID: usize = 0;
+    /// w_name
+    pub const W_NAME: usize = 1;
+    /// w_state
+    pub const W_STATE: usize = 2;
+    /// w_ytd
+    pub const W_YTD: usize = 3;
+}
+
+/// DISTRICT columns.
+pub mod district {
+    /// d_w_id
+    pub const D_W_ID: usize = 0;
+    /// d_id
+    pub const D_ID: usize = 1;
+    /// d_name
+    pub const D_NAME: usize = 2;
+    /// d_ytd
+    pub const D_YTD: usize = 3;
+    /// d_next_o_id
+    pub const D_NEXT_O_ID: usize = 4;
+}
+
+/// CUSTOMER columns.
+pub mod customer {
+    /// c_w_id
+    pub const C_W_ID: usize = 0;
+    /// c_d_id
+    pub const C_D_ID: usize = 1;
+    /// c_id
+    pub const C_ID: usize = 2;
+    /// c_first
+    pub const C_FIRST: usize = 3;
+    /// c_last
+    pub const C_LAST: usize = 4;
+    /// c_state
+    pub const C_STATE: usize = 5;
+    /// c_balance
+    pub const C_BALANCE: usize = 6;
+    /// c_ytd_payment
+    pub const C_YTD_PAYMENT: usize = 7;
+    /// c_payment_cnt
+    pub const C_PAYMENT_CNT: usize = 8;
+    /// c_data
+    pub const C_DATA: usize = 9;
+}
+
+/// HISTORY columns.
+pub mod history {
+    /// h_w_id
+    pub const H_W_ID: usize = 0;
+    /// h_id (surrogate)
+    pub const H_ID: usize = 1;
+    /// h_d_id
+    pub const H_D_ID: usize = 2;
+    /// h_c_id
+    pub const H_C_ID: usize = 3;
+    /// h_date
+    pub const H_DATE: usize = 4;
+    /// h_amount
+    pub const H_AMOUNT: usize = 5;
+}
+
+/// NEW-ORDER columns.
+pub mod neworder {
+    /// no_w_id
+    pub const NO_W_ID: usize = 0;
+    /// no_d_id
+    pub const NO_D_ID: usize = 1;
+    /// no_o_id
+    pub const NO_O_ID: usize = 2;
+}
+
+/// ORDER columns.
+pub mod orders {
+    /// o_w_id
+    pub const O_W_ID: usize = 0;
+    /// o_d_id
+    pub const O_D_ID: usize = 1;
+    /// o_id
+    pub const O_ID: usize = 2;
+    /// o_c_id
+    pub const O_C_ID: usize = 3;
+    /// o_entry_d
+    pub const O_ENTRY_D: usize = 4;
+    /// o_carrier_id
+    pub const O_CARRIER_ID: usize = 5;
+    /// o_ol_cnt
+    pub const O_OL_CNT: usize = 6;
+}
+
+/// ORDER-LINE columns.
+pub mod orderline {
+    /// ol_w_id
+    pub const OL_W_ID: usize = 0;
+    /// ol_d_id
+    pub const OL_D_ID: usize = 1;
+    /// ol_o_id
+    pub const OL_O_ID: usize = 2;
+    /// ol_number
+    pub const OL_NUMBER: usize = 3;
+    /// ol_i_id
+    pub const OL_I_ID: usize = 4;
+    /// ol_quantity
+    pub const OL_QUANTITY: usize = 5;
+    /// ol_amount
+    pub const OL_AMOUNT: usize = 6;
+}
+
+/// ITEM columns.
+pub mod item {
+    /// i_id
+    pub const I_ID: usize = 0;
+    /// i_name
+    pub const I_NAME: usize = 1;
+    /// i_price
+    pub const I_PRICE: usize = 2;
+}
+
+/// STOCK columns.
+pub mod stock {
+    /// s_w_id
+    pub const S_W_ID: usize = 0;
+    /// s_i_id
+    pub const S_I_ID: usize = 1;
+    /// s_quantity
+    pub const S_QUANTITY: usize = 2;
+    /// s_ytd
+    pub const S_YTD: usize = 3;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tpcc;
+
+    /// Every constant block must agree with its schema definition.
+    #[test]
+    fn constants_match_schemas() {
+        let checks: Vec<(anydb_common::Schema, Vec<(&str, usize)>)> = vec![
+            (
+                tpcc::warehouse_schema(),
+                vec![
+                    ("w_id", super::warehouse::W_ID),
+                    ("w_ytd", super::warehouse::W_YTD),
+                ],
+            ),
+            (
+                tpcc::district_schema(),
+                vec![
+                    ("d_ytd", super::district::D_YTD),
+                    ("d_next_o_id", super::district::D_NEXT_O_ID),
+                ],
+            ),
+            (
+                tpcc::customer_schema(),
+                vec![
+                    ("c_last", super::customer::C_LAST),
+                    ("c_state", super::customer::C_STATE),
+                    ("c_balance", super::customer::C_BALANCE),
+                    ("c_data", super::customer::C_DATA),
+                ],
+            ),
+            (
+                tpcc::history_schema(),
+                vec![("h_amount", super::history::H_AMOUNT)],
+            ),
+            (
+                tpcc::neworder_schema(),
+                vec![("no_o_id", super::neworder::NO_O_ID)],
+            ),
+            (
+                tpcc::order_schema(),
+                vec![
+                    ("o_c_id", super::orders::O_C_ID),
+                    ("o_entry_d", super::orders::O_ENTRY_D),
+                    ("o_carrier_id", super::orders::O_CARRIER_ID),
+                ],
+            ),
+            (
+                tpcc::orderline_schema(),
+                vec![("ol_amount", super::orderline::OL_AMOUNT)],
+            ),
+            (tpcc::item_schema(), vec![("i_price", super::item::I_PRICE)]),
+            (
+                tpcc::stock_schema(),
+                vec![("s_quantity", super::stock::S_QUANTITY)],
+            ),
+        ];
+        for (schema, cols) in checks {
+            for (name, idx) in cols {
+                assert_eq!(
+                    schema.column_index(name).unwrap(),
+                    idx,
+                    "{}::{name}",
+                    schema.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Transaction parameter generators for payment and new-order.
+//!
+//! Skew is injected through the warehouse distribution: the paper's
+//! "skewed OLTP" phases route *100% of payments to one warehouse* (§3.2),
+//! which [`anydb_common::dist::HotSpot::single`] models; the partitionable
+//! phases use a uniform warehouse distribution.
+
+use anydb_common::dist::{HotSpot, NuRand};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::{last_name, TpccConfig};
+
+/// How the payment transaction selects its customer (TPC-C §2.5.1.2:
+/// 60% by last name, 40% by id).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CustomerSelector {
+    /// Direct customer id (NURand 1023).
+    ById(i64),
+    /// Last-name lookup (NURand 255 over syllable names) — this is the
+    /// "long range scan" sub-sequence of Figure 4 (d).
+    ByLastName(String),
+}
+
+/// Parameters of one TPC-C payment transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaymentParams {
+    /// Home warehouse.
+    pub w_id: i64,
+    /// District within the warehouse.
+    pub d_id: i64,
+    /// Customer's warehouse (== `w_id`; remote payments are disabled to
+    /// keep the partitionable phases perfectly partitionable, like the
+    /// paper's setup).
+    pub c_w_id: i64,
+    /// Customer's district.
+    pub c_d_id: i64,
+    /// Customer selection.
+    pub customer: CustomerSelector,
+    /// Payment amount.
+    pub amount: f64,
+    /// Date stamp (yyyymmdd).
+    pub date: i64,
+}
+
+/// Parameters of one TPC-C new-order transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewOrderParams {
+    /// Home warehouse.
+    pub w_id: i64,
+    /// District.
+    pub d_id: i64,
+    /// Ordering customer.
+    pub c_id: i64,
+    /// `(item id, quantity)` per line.
+    pub lines: Vec<(i64, i64)>,
+    /// Entry date (yyyymmdd).
+    pub entry_date: i64,
+    /// TPC-C §2.4.1.4: 1% of new-orders carry an invalid item and must
+    /// roll back.
+    pub rollback: bool,
+}
+
+/// Generates payment parameters under a warehouse skew.
+pub struct PaymentGen {
+    cfg: TpccConfig,
+    warehouse_dist: HotSpot,
+    cust_id: NuRand,
+    cust_name: NuRand,
+    rng: StdRng,
+}
+
+impl PaymentGen {
+    /// New generator; `warehouse_dist` must cover `cfg.warehouses` items.
+    pub fn new(cfg: TpccConfig, warehouse_dist: HotSpot, seed: u64) -> Self {
+        let cust_id = NuRand::new(
+            1023,
+            1,
+            cfg.customers_per_district as u64,
+            cfg.c_for_customer,
+        );
+        let cust_name = NuRand::last_name(cfg.c_for_lastname);
+        Self {
+            cfg,
+            warehouse_dist,
+            cust_id,
+            cust_name,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next payment.
+    pub fn next(&mut self) -> PaymentParams {
+        let w_id = self.warehouse_dist.sample(&mut self.rng) as i64 + 1;
+        self.next_for_warehouse(w_id)
+    }
+
+    /// Samples only the home warehouse (cheap: no allocation). Partitioned
+    /// clients use this to decide routing before building full parameters.
+    pub fn next_warehouse(&mut self) -> i64 {
+        self.warehouse_dist.sample(&mut self.rng) as i64 + 1
+    }
+
+    /// Next payment pinned to a warehouse.
+    pub fn next_for_warehouse(&mut self, w_id: i64) -> PaymentParams {
+        let d_id = self
+            .rng
+            .random_range(1..=self.cfg.districts_per_warehouse as i64);
+        let customer = if self.rng.random_bool(0.6) {
+            // At reduced customer scale not every syllable name exists;
+            // clamp to the names the loader actually created.
+            let max_name = (self.cfg.customers_per_district as u64).min(1000) - 1;
+            let num = self.cust_name.sample(&mut self.rng).min(max_name);
+            CustomerSelector::ByLastName(last_name(num))
+        } else {
+            CustomerSelector::ById(self.cust_id.sample(&mut self.rng) as i64)
+        };
+        PaymentParams {
+            w_id,
+            d_id,
+            c_w_id: w_id,
+            c_d_id: d_id,
+            customer,
+            amount: self.rng.random_range(1.0..5000.0),
+            date: 2020_01_01,
+        }
+    }
+}
+
+/// Generates new-order parameters under a warehouse skew.
+pub struct NewOrderGen {
+    cfg: TpccConfig,
+    warehouse_dist: HotSpot,
+    cust_id: NuRand,
+    item_id: NuRand,
+    rng: StdRng,
+}
+
+impl NewOrderGen {
+    /// New generator.
+    pub fn new(cfg: TpccConfig, warehouse_dist: HotSpot, seed: u64) -> Self {
+        let cust_id = NuRand::new(
+            1023,
+            1,
+            cfg.customers_per_district as u64,
+            cfg.c_for_customer,
+        );
+        let item_id = NuRand::new(8191, 1, cfg.items as u64, cfg.c_for_item);
+        Self {
+            cfg,
+            warehouse_dist,
+            cust_id,
+            item_id,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next new-order.
+    pub fn next(&mut self) -> NewOrderParams {
+        let w_id = self.warehouse_dist.sample(&mut self.rng) as i64 + 1;
+        self.next_for_warehouse(w_id)
+    }
+
+    /// Samples only the home warehouse (cheap: no allocation).
+    pub fn next_warehouse(&mut self) -> i64 {
+        self.warehouse_dist.sample(&mut self.rng) as i64 + 1
+    }
+
+    /// Next new-order pinned to a warehouse.
+    pub fn next_for_warehouse(&mut self, w_id: i64) -> NewOrderParams {
+        let d_id = self
+            .rng
+            .random_range(1..=self.cfg.districts_per_warehouse as i64);
+        let c_id = self.cust_id.sample(&mut self.rng) as i64;
+        let ol_cnt = self.rng.random_range(5..=15);
+        let mut lines = Vec::with_capacity(ol_cnt);
+        for _ in 0..ol_cnt {
+            lines.push((
+                self.item_id.sample(&mut self.rng) as i64,
+                self.rng.random_range(1..=10),
+            ));
+        }
+        NewOrderParams {
+            w_id,
+            d_id,
+            c_id,
+            lines,
+            entry_date: 2020_01_01,
+            rollback: self.rng.random_bool(0.01),
+        }
+    }
+}
+
+/// A request from the OLTP client stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TxnRequest {
+    /// TPC-C payment.
+    Payment(PaymentParams),
+    /// TPC-C new-order.
+    NewOrder(NewOrderParams),
+}
+
+impl TxnRequest {
+    /// Home warehouse of the request.
+    pub fn w_id(&self) -> i64 {
+        match self {
+            TxnRequest::Payment(p) => p.w_id,
+            TxnRequest::NewOrder(n) => n.w_id,
+        }
+    }
+}
+
+/// Generates a payment/new-order mix.
+pub struct MixGen {
+    payment: PaymentGen,
+    neworder: NewOrderGen,
+    payment_fraction: f64,
+    rng: StdRng,
+}
+
+impl MixGen {
+    /// `payment_fraction` of requests are payments, the rest new-orders.
+    pub fn new(
+        cfg: TpccConfig,
+        warehouse_dist: HotSpot,
+        payment_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&payment_fraction));
+        Self {
+            payment: PaymentGen::new(cfg.clone(), warehouse_dist, seed ^ 0x5eed),
+            neworder: NewOrderGen::new(cfg, warehouse_dist, seed ^ 0xdead),
+            payment_fraction,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next request.
+    pub fn next(&mut self) -> TxnRequest {
+        if self.rng.random_bool(self.payment_fraction) {
+            TxnRequest::Payment(self.payment.next())
+        } else {
+            TxnRequest::NewOrder(self.neworder.next())
+        }
+    }
+
+    /// Samples only the home warehouse of the next request (no
+    /// allocation). Follow with [`MixGen::next_for_warehouse`].
+    pub fn next_warehouse(&mut self) -> i64 {
+        self.payment.next_warehouse()
+    }
+
+    /// Next request pinned to a warehouse.
+    pub fn next_for_warehouse(&mut self, w_id: i64) -> TxnRequest {
+        if self.rng.random_bool(self.payment_fraction) {
+            TxnRequest::Payment(self.payment.next_for_warehouse(w_id))
+        } else {
+            TxnRequest::NewOrder(self.neworder.next_for_warehouse(w_id))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TpccConfig {
+        TpccConfig::small()
+    }
+
+    #[test]
+    fn payment_params_in_bounds() {
+        let c = cfg();
+        let mut g = PaymentGen::new(c.clone(), HotSpot::uniform(c.warehouses as u64), 1);
+        for _ in 0..1000 {
+            let p = g.next();
+            assert!((1..=c.warehouses as i64).contains(&p.w_id));
+            assert!((1..=c.districts_per_warehouse as i64).contains(&p.d_id));
+            assert_eq!(p.c_w_id, p.w_id);
+            assert!(p.amount >= 1.0 && p.amount < 5000.0);
+            if let CustomerSelector::ById(id) = p.customer {
+                assert!((1..=c.customers_per_district as i64).contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn payment_selector_mix_is_roughly_60_40() {
+        let c = cfg();
+        let mut g = PaymentGen::new(c.clone(), HotSpot::uniform(c.warehouses as u64), 2);
+        let mut by_name = 0;
+        for _ in 0..10_000 {
+            if matches!(g.next().customer, CustomerSelector::ByLastName(_)) {
+                by_name += 1;
+            }
+        }
+        let frac = by_name as f64 / 10_000.0;
+        assert!((0.55..=0.65).contains(&frac), "by-name fraction {frac}");
+    }
+
+    #[test]
+    fn single_warehouse_skew_hits_warehouse_one() {
+        let c = cfg();
+        let mut g = PaymentGen::new(c.clone(), HotSpot::single(c.warehouses as u64), 3);
+        for _ in 0..100 {
+            assert_eq!(g.next().w_id, 1);
+        }
+    }
+
+    #[test]
+    fn neworder_params_in_bounds() {
+        let c = cfg();
+        let mut g = NewOrderGen::new(c.clone(), HotSpot::uniform(c.warehouses as u64), 4);
+        for _ in 0..1000 {
+            let n = g.next();
+            assert!((5..=15).contains(&n.lines.len()));
+            for (item, qty) in &n.lines {
+                assert!((1..=c.items as i64).contains(item));
+                assert!((1..=10).contains(qty));
+            }
+        }
+    }
+
+    #[test]
+    fn neworder_rollback_rate_is_about_one_percent() {
+        let c = cfg();
+        let mut g = NewOrderGen::new(c.clone(), HotSpot::uniform(c.warehouses as u64), 5);
+        let rollbacks = (0..20_000).filter(|_| g.next().rollback).count();
+        let frac = rollbacks as f64 / 20_000.0;
+        assert!((0.005..=0.02).contains(&frac), "rollback fraction {frac}");
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let c = cfg();
+        let mut a = PaymentGen::new(c.clone(), HotSpot::uniform(c.warehouses as u64), 9);
+        let mut b = PaymentGen::new(c.clone(), HotSpot::uniform(c.warehouses as u64), 9);
+        for _ in 0..100 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+
+    #[test]
+    fn mix_respects_fraction() {
+        let c = cfg();
+        let mut g = MixGen::new(c.clone(), HotSpot::uniform(c.warehouses as u64), 0.5, 6);
+        let payments = (0..10_000)
+            .filter(|_| matches!(g.next(), TxnRequest::Payment(_)))
+            .count();
+        let frac = payments as f64 / 10_000.0;
+        assert!((0.45..=0.55).contains(&frac), "payment fraction {frac}");
+    }
+
+    #[test]
+    fn request_w_id_accessor() {
+        let c = cfg();
+        let mut g = MixGen::new(c.clone(), HotSpot::single(c.warehouses as u64), 0.5, 7);
+        for _ in 0..50 {
+            assert_eq!(g.next().w_id(), 1);
+        }
+    }
+}

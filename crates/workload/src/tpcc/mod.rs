@@ -1,0 +1,304 @@
+//! TPC-C schema, configuration, loader, and transaction parameter
+//! generators.
+//!
+//! The paper evaluates "the two dominant transactions of the TPC-C
+//! benchmark (i.e., payment and new-order)" (§3). This module provides the
+//! nine TPC-C tables partitioned by warehouse, a scalable loader, and
+//! skew-controllable parameter generators for both transactions.
+
+pub mod cols;
+pub mod gen;
+pub mod load;
+
+pub use gen::{
+    CustomerSelector, NewOrderGen, NewOrderParams, PaymentGen, PaymentParams,
+};
+pub use load::TpccDb;
+
+use anydb_common::{ColumnDef, DataType, Schema};
+use anydb_storage::{Partitioner, SecondaryIndexSpec, TableSpec};
+
+/// TPC-C last-name syllables (spec §4.3.2.3).
+pub const LAST_NAME_SYLLABLES: [&str; 10] = [
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+];
+
+/// Builds a TPC-C customer last name from a number in `0..=999`.
+pub fn last_name(num: u64) -> String {
+    debug_assert!(num <= 999);
+    let mut s = String::with_capacity(15);
+    s.push_str(LAST_NAME_SYLLABLES[(num / 100 % 10) as usize]);
+    s.push_str(LAST_NAME_SYLLABLES[(num / 10 % 10) as usize]);
+    s.push_str(LAST_NAME_SYLLABLES[(num % 10) as usize]);
+    s
+}
+
+/// Scale configuration.
+///
+/// Defaults follow TPC-C shape but at reduced scale so tests and benches
+/// load in milliseconds; the figure harnesses raise what they need.
+#[derive(Debug, Clone)]
+pub struct TpccConfig {
+    /// Number of warehouses (= number of partitions of every partitioned
+    /// table).
+    pub warehouses: u32,
+    /// Districts per warehouse (spec: 10).
+    pub districts_per_warehouse: u32,
+    /// Customers per district (spec: 3000).
+    pub customers_per_district: u32,
+    /// Item catalog size (spec: 100_000).
+    pub items: u32,
+    /// Pre-loaded orders per district (spec: 3000).
+    pub orders_per_district: u32,
+    /// Fraction of pre-loaded orders that are still open (have a NEW-ORDER
+    /// row; spec: the last 900 of 3000).
+    pub open_order_fraction: f64,
+    /// Order lines per order (spec: 5-15; we load the midpoint).
+    pub lines_per_order: u32,
+    /// NURand C constant for customer ids.
+    pub c_for_customer: u64,
+    /// NURand C constant for item ids.
+    pub c_for_item: u64,
+    /// NURand C constant for last names.
+    pub c_for_lastname: u64,
+}
+
+impl Default for TpccConfig {
+    fn default() -> Self {
+        Self {
+            warehouses: 4,
+            districts_per_warehouse: 10,
+            customers_per_district: 300,
+            items: 1000,
+            orders_per_district: 300,
+            open_order_fraction: 0.3,
+            lines_per_order: 10,
+            c_for_customer: 259,
+            c_for_item: 7911,
+            c_for_lastname: 173,
+        }
+    }
+}
+
+impl TpccConfig {
+    /// A tiny configuration for unit tests (loads in ~a millisecond).
+    pub fn small() -> Self {
+        Self {
+            warehouses: 2,
+            districts_per_warehouse: 2,
+            customers_per_district: 30,
+            items: 50,
+            orders_per_district: 20,
+            ..Self::default()
+        }
+    }
+
+    /// Total customers.
+    pub fn total_customers(&self) -> u64 {
+        self.warehouses as u64
+            * self.districts_per_warehouse as u64
+            * self.customers_per_district as u64
+    }
+}
+
+/// Schema of the WAREHOUSE table.
+pub fn warehouse_schema() -> Schema {
+    Schema::new(
+        "warehouse",
+        vec![
+            ColumnDef::new("w_id", DataType::Int),
+            ColumnDef::new("w_name", DataType::Str),
+            ColumnDef::new("w_state", DataType::Str),
+            ColumnDef::new("w_ytd", DataType::Float),
+        ],
+        &["w_id"],
+    )
+}
+
+/// Schema of the DISTRICT table.
+pub fn district_schema() -> Schema {
+    Schema::new(
+        "district",
+        vec![
+            ColumnDef::new("d_w_id", DataType::Int),
+            ColumnDef::new("d_id", DataType::Int),
+            ColumnDef::new("d_name", DataType::Str),
+            ColumnDef::new("d_ytd", DataType::Float),
+            ColumnDef::new("d_next_o_id", DataType::Int),
+        ],
+        &["d_w_id", "d_id"],
+    )
+}
+
+/// Schema of the CUSTOMER table.
+pub fn customer_schema() -> Schema {
+    Schema::new(
+        "customer",
+        vec![
+            ColumnDef::new("c_w_id", DataType::Int),
+            ColumnDef::new("c_d_id", DataType::Int),
+            ColumnDef::new("c_id", DataType::Int),
+            ColumnDef::new("c_first", DataType::Str),
+            ColumnDef::new("c_last", DataType::Str),
+            ColumnDef::new("c_state", DataType::Str),
+            ColumnDef::new("c_balance", DataType::Float),
+            ColumnDef::new("c_ytd_payment", DataType::Float),
+            ColumnDef::new("c_payment_cnt", DataType::Int),
+            ColumnDef::new("c_data", DataType::Str),
+        ],
+        &["c_w_id", "c_d_id", "c_id"],
+    )
+}
+
+/// Schema of the HISTORY table. TPC-C history has no primary key; we add a
+/// per-warehouse surrogate (`h_id`) because our storage requires one.
+pub fn history_schema() -> Schema {
+    Schema::new(
+        "history",
+        vec![
+            ColumnDef::new("h_w_id", DataType::Int),
+            ColumnDef::new("h_id", DataType::Int),
+            ColumnDef::new("h_d_id", DataType::Int),
+            ColumnDef::new("h_c_id", DataType::Int),
+            ColumnDef::new("h_date", DataType::Int),
+            ColumnDef::new("h_amount", DataType::Float),
+        ],
+        &["h_w_id", "h_id"],
+    )
+}
+
+/// Schema of the NEW-ORDER table.
+pub fn neworder_schema() -> Schema {
+    Schema::new(
+        "neworder",
+        vec![
+            ColumnDef::new("no_w_id", DataType::Int),
+            ColumnDef::new("no_d_id", DataType::Int),
+            ColumnDef::new("no_o_id", DataType::Int),
+        ],
+        &["no_w_id", "no_d_id", "no_o_id"],
+    )
+}
+
+/// Schema of the ORDER table.
+pub fn order_schema() -> Schema {
+    Schema::new(
+        "orders",
+        vec![
+            ColumnDef::new("o_w_id", DataType::Int),
+            ColumnDef::new("o_d_id", DataType::Int),
+            ColumnDef::new("o_id", DataType::Int),
+            ColumnDef::new("o_c_id", DataType::Int),
+            ColumnDef::new("o_entry_d", DataType::Int),
+            ColumnDef::nullable("o_carrier_id", DataType::Int),
+            ColumnDef::new("o_ol_cnt", DataType::Int),
+        ],
+        &["o_w_id", "o_d_id", "o_id"],
+    )
+}
+
+/// Schema of the ORDER-LINE table.
+pub fn orderline_schema() -> Schema {
+    Schema::new(
+        "orderline",
+        vec![
+            ColumnDef::new("ol_w_id", DataType::Int),
+            ColumnDef::new("ol_d_id", DataType::Int),
+            ColumnDef::new("ol_o_id", DataType::Int),
+            ColumnDef::new("ol_number", DataType::Int),
+            ColumnDef::new("ol_i_id", DataType::Int),
+            ColumnDef::new("ol_quantity", DataType::Int),
+            ColumnDef::new("ol_amount", DataType::Float),
+        ],
+        &["ol_w_id", "ol_d_id", "ol_o_id", "ol_number"],
+    )
+}
+
+/// Schema of the ITEM table (reference data, single partition).
+pub fn item_schema() -> Schema {
+    Schema::new(
+        "item",
+        vec![
+            ColumnDef::new("i_id", DataType::Int),
+            ColumnDef::new("i_name", DataType::Str),
+            ColumnDef::new("i_price", DataType::Float),
+        ],
+        &["i_id"],
+    )
+}
+
+/// Schema of the STOCK table.
+pub fn stock_schema() -> Schema {
+    Schema::new(
+        "stock",
+        vec![
+            ColumnDef::new("s_w_id", DataType::Int),
+            ColumnDef::new("s_i_id", DataType::Int),
+            ColumnDef::new("s_quantity", DataType::Int),
+            ColumnDef::new("s_ytd", DataType::Int),
+        ],
+        &["s_w_id", "s_i_id"],
+    )
+}
+
+/// All nine table specs for a given warehouse count, in creation order.
+pub fn table_specs(warehouses: u32) -> Vec<TableSpec> {
+    let by_wh = Partitioner::by_warehouse(0);
+    vec![
+        TableSpec::new(warehouse_schema(), warehouses, by_wh),
+        TableSpec::new(district_schema(), warehouses, by_wh),
+        TableSpec::new(customer_schema(), warehouses, by_wh).with_secondary(
+            SecondaryIndexSpec::ordered("cust_by_name", vec![0, 1, 4]),
+        ),
+        TableSpec::new(history_schema(), warehouses, by_wh),
+        TableSpec::new(neworder_schema(), warehouses, by_wh),
+        TableSpec::new(order_schema(), warehouses, by_wh),
+        TableSpec::new(orderline_schema(), warehouses, by_wh),
+        TableSpec::new(item_schema(), 1, Partitioner::Single),
+        TableSpec::new(stock_schema(), warehouses, by_wh),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_name_matches_spec_examples() {
+        assert_eq!(last_name(0), "BARBARBAR");
+        assert_eq!(last_name(371), "PRICALLYOUGHT");
+        assert_eq!(last_name(999), "EINGEINGEING");
+    }
+
+    #[test]
+    fn specs_cover_nine_tables() {
+        let specs = table_specs(4);
+        assert_eq!(specs.len(), 9);
+        let names: Vec<&str> = specs.iter().map(|s| s.schema.name()).collect();
+        assert!(names.contains(&"warehouse"));
+        assert!(names.contains(&"orderline"));
+        // item is a single-partition reference table
+        let item = specs.iter().find(|s| s.schema.name() == "item").unwrap();
+        assert_eq!(item.partitions, 1);
+        // customer carries the last-name index
+        let cust = specs.iter().find(|s| s.schema.name() == "customer").unwrap();
+        assert_eq!(cust.secondaries.len(), 1);
+    }
+
+    #[test]
+    fn config_totals() {
+        let cfg = TpccConfig::small();
+        assert_eq!(cfg.total_customers(), 2 * 2 * 30);
+    }
+
+    #[test]
+    fn schemas_have_leading_partition_column_in_pk() {
+        for spec in table_specs(2) {
+            let pk = spec.schema.primary_key();
+            assert!(!pk.is_empty(), "{} has no pk", spec.schema.name());
+            if spec.partitioner != Partitioner::Single {
+                assert_eq!(pk[0], 0, "{} must lead pk with w_id", spec.schema.name());
+            }
+        }
+    }
+}

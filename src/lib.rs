@@ -1,0 +1,19 @@
+//! # anydb — facade crate
+//!
+//! Re-exports every crate of the AnyDB reproduction under one roof so that
+//! examples and cross-crate integration tests have a single dependency, and
+//! downstream users can depend on `anydb` alone.
+//!
+//! ```
+//! use anydb::common::Value;
+//! assert_eq!(Value::Int(1).as_int().unwrap(), 1);
+//! ```
+
+pub use anydb_common as common;
+pub use anydb_core as core;
+pub use anydb_dbx1000 as dbx1000;
+pub use anydb_sim as sim;
+pub use anydb_storage as storage;
+pub use anydb_stream as stream;
+pub use anydb_txn as txn;
+pub use anydb_workload as workload;

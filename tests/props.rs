@@ -1,0 +1,155 @@
+//! Cross-crate property-based tests on core invariants.
+
+use anydb::common::{Tuple, Value};
+use anydb::storage::key::IndexKey;
+use anydb::storage::{HashIndex, Wal};
+use anydb::stream::spsc::spsc_channel;
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Float),
+        "[a-zA-Z0-9 ]{0,24}".prop_map(|s| Value::str(&s)),
+        Just(Value::Null),
+    ]
+}
+
+fn arb_tuple() -> impl Strategy<Value = Tuple> {
+    prop::collection::vec(arb_value(), 0..8).prop_map(Tuple::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The wire codec roundtrips every representable tuple.
+    #[test]
+    fn tuple_codec_roundtrips(t in arb_tuple()) {
+        let encoded = t.encode();
+        let decoded = Tuple::decode(&encoded).unwrap();
+        prop_assert_eq!(decoded, t);
+    }
+
+    /// Concatenating tuples preserves both sides' values.
+    #[test]
+    fn tuple_concat_preserves(a in arb_tuple(), b in arb_tuple()) {
+        let c = a.concat(&b);
+        prop_assert_eq!(c.arity(), a.arity() + b.arity());
+        prop_assert_eq!(&c.values()[..a.arity()], a.values());
+        prop_assert_eq!(&c.values()[a.arity()..], b.values());
+    }
+
+    /// The SPSC ring delivers everything exactly once, in order, for any
+    /// push/pop interleaving (driven by a schedule of operations).
+    #[test]
+    fn spsc_is_fifo_and_lossless(
+        cap in 1usize..32,
+        schedule in prop::collection::vec(any::<bool>(), 0..256),
+    ) {
+        let (mut tx, mut rx) = spsc_channel::<u64>(cap);
+        let mut next_push = 0u64;
+        let mut next_pop = 0u64;
+        for push in schedule {
+            if push {
+                if tx.push(next_push).is_ok() {
+                    next_push += 1;
+                }
+            } else if let Ok(v) = rx.pop() {
+                prop_assert_eq!(v, next_pop);
+                next_pop += 1;
+            }
+        }
+        while let Ok(v) = rx.pop() {
+            prop_assert_eq!(v, next_pop);
+            next_pop += 1;
+        }
+        prop_assert_eq!(next_pop, next_push);
+    }
+
+    /// The hash index behaves like a model map under arbitrary
+    /// insert/remove/lookup sequences.
+    #[test]
+    fn hash_index_matches_model(ops in prop::collection::vec((0i64..32, any::<bool>()), 0..128)) {
+        use anydb::common::{PartitionId, Rid, TableId};
+        let idx = HashIndex::new();
+        let mut model: std::collections::HashMap<i64, Rid> = Default::default();
+        let mut slot = 0u32;
+        for (key, insert) in ops {
+            let k = IndexKey::new(vec![key.into()]);
+            if insert {
+                let rid = Rid::new(TableId(0), PartitionId(0), slot);
+                slot += 1;
+                match idx.insert(k.clone(), rid) {
+                    Ok(()) => { prop_assert!(model.insert(key, rid).is_none()); }
+                    Err(_) => { prop_assert!(model.contains_key(&key)); }
+                }
+            } else {
+                prop_assert_eq!(idx.remove(&k), model.remove(&key));
+            }
+            prop_assert_eq!(idx.get(&k), model.get(&key).copied());
+        }
+        prop_assert_eq!(idx.len(), model.len());
+    }
+
+    /// WAL serialization roundtrips arbitrary logs.
+    #[test]
+    fn wal_roundtrips(entries in prop::collection::vec((any::<u64>(), 0u8..4, 0u32..8), 0..32)) {
+        use anydb::common::{PartitionId, Rid, TableId, TxnId};
+        use anydb::storage::LogOp;
+        let wal = Wal::new();
+        for (txn, kind, slot) in entries {
+            let op = match kind {
+                0 => LogOp::Insert {
+                    table: TableId(0),
+                    partition: PartitionId(0),
+                    slot,
+                    tuple: Tuple::new(vec![Value::Int(slot as i64)]),
+                },
+                1 => LogOp::Update {
+                    rid: Rid::new(TableId(0), PartitionId(0), slot),
+                    after: Tuple::new(vec![Value::Int(slot as i64 + 1)]),
+                },
+                2 => LogOp::Commit,
+                _ => LogOp::Abort,
+            };
+            wal.append(TxnId(txn), op);
+        }
+        let parsed = Wal::deserialize(wal.serialize()).unwrap();
+        prop_assert_eq!(parsed, wal.snapshot());
+    }
+}
+
+/// Streaming CC produces serializable histories for randomized skew
+/// mixes. Kept outside `proptest!` (each case spins real threads) with a
+/// bounded number of seeds.
+#[test]
+fn streaming_cc_serializable_across_seeds() {
+    use anydb::core::{AnyDbEngine, EngineConfig, Strategy};
+    use anydb::txn::history::History;
+    use anydb::workload::phases::PhaseKind;
+    use anydb::workload::tpcc::{TpccConfig, TpccDb};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    for seed in [1u64, 7, 23, 99] {
+        let db = Arc::new(TpccDb::load(TpccConfig::small(), seed).unwrap());
+        let hist = Arc::new(History::new());
+        let engine = AnyDbEngine::new(
+            db,
+            EngineConfig {
+                strategy: Strategy::StreamingCc,
+                acs: 2,
+                drivers: 2,
+                ..Default::default()
+            },
+        )
+        .with_history(hist.clone());
+        let kind = if seed % 2 == 0 {
+            PhaseKind::OltpPartitionable
+        } else {
+            PhaseKind::OltpSkewed
+        };
+        engine.run_phase(kind, Duration::from_millis(60), seed);
+        assert!(hist.is_serializable(), "seed {seed} not serializable");
+    }
+}

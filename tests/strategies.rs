@@ -1,0 +1,104 @@
+//! Integration: every execution strategy (Figure 4 b/c/d + streaming CC)
+//! executes the same workload correctly — serializable histories and
+//! intact TPC-C money invariants — on the real threaded engine.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use anydb::core::{AnyDbEngine, EngineConfig, Strategy};
+use anydb::txn::history::History;
+use anydb::workload::phases::PhaseKind;
+use anydb::workload::tpcc::cols::{district, warehouse};
+use anydb::workload::tpcc::{TpccConfig, TpccDb};
+
+fn run(strategy: Strategy, kind: PhaseKind, seed: u64) -> (Arc<TpccDb>, Arc<History>, u64) {
+    let db = Arc::new(TpccDb::load(TpccConfig::small(), seed).unwrap());
+    let hist = Arc::new(History::new());
+    let engine = AnyDbEngine::new(
+        db.clone(),
+        EngineConfig {
+            strategy,
+            acs: 2,
+            drivers: 2,
+            ..Default::default()
+        },
+    )
+    .with_history(hist.clone());
+    let r = engine.run_phase(kind, Duration::from_millis(120), seed);
+    (db, hist, r.committed)
+}
+
+/// Σ warehouse-YTD deltas must equal Σ district-YTD deltas (every payment
+/// adds its amount to exactly one of each).
+fn money_invariant(db: &TpccDb) {
+    let mut w_delta = 0.0;
+    for w in 1..=db.cfg.warehouses as i64 {
+        let ytd = db
+            .warehouse
+            .read(db.warehouse_rid(w).unwrap())
+            .unwrap()
+            .0
+            .get(warehouse::W_YTD)
+            .as_float()
+            .unwrap();
+        w_delta += ytd - 300_000.0;
+    }
+    let mut d_delta = 0.0;
+    for w in 1..=db.cfg.warehouses as i64 {
+        for d in 1..=db.cfg.districts_per_warehouse as i64 {
+            let ytd = db
+                .district
+                .read(db.district_rid(w, d).unwrap())
+                .unwrap()
+                .0
+                .get(district::D_YTD)
+                .as_float()
+                .unwrap();
+            d_delta += ytd - 30_000.0;
+        }
+    }
+    assert!(
+        (w_delta - d_delta).abs() < 1e-6,
+        "money leaked: warehouses {w_delta} vs districts {d_delta}"
+    );
+}
+
+#[test]
+fn shared_nothing_is_serializable_with_invariants() {
+    let (db, hist, committed) = run(Strategy::SharedNothing, PhaseKind::OltpPartitionable, 101);
+    assert!(committed > 100);
+    assert!(hist.is_serializable());
+    money_invariant(&db);
+}
+
+#[test]
+fn streaming_cc_is_serializable_under_skew() {
+    let (db, hist, committed) = run(Strategy::StreamingCc, PhaseKind::OltpSkewed, 102);
+    assert!(committed > 100);
+    assert!(hist.is_serializable());
+    money_invariant(&db);
+}
+
+#[test]
+fn precise_intra_is_serializable_under_skew() {
+    let (db, hist, committed) = run(Strategy::PreciseIntra, PhaseKind::OltpSkewed, 103);
+    assert!(committed > 100);
+    assert!(hist.is_serializable());
+    money_invariant(&db);
+}
+
+#[test]
+fn static_intra_is_serializable_under_skew() {
+    let (db, hist, committed) = run(Strategy::StaticIntra, PhaseKind::OltpSkewed, 104);
+    assert!(committed > 20);
+    assert!(hist.is_serializable());
+    money_invariant(&db);
+}
+
+#[test]
+fn history_row_count_matches_committed_payments() {
+    // Every committed payment inserts exactly one history row; the
+    // streaming pipeline must not lose or duplicate any.
+    let (db, _, committed) = run(Strategy::StreamingCc, PhaseKind::OltpPartitionable, 105);
+    assert_eq!(db.history.row_count() as u64, committed);
+}
