@@ -1,0 +1,192 @@
+//! Ablation: batched vs. unbatched event transfer (PR 1 tentpole).
+//!
+//! Every architecture AnyDB morphs into pays the event hot path on every
+//! transaction: an SPSC ring crossing for local data beaming and an inbox
+//! crossing for the AC event stream. This ablation measures the two
+//! transports under a one-producer/one-consumer transfer of 64-bit events
+//! at batch sizes {1, 8, 64, 256} — batch 1 being the seed's
+//! one-atomic-handshake-per-event behavior, the larger sizes the
+//! `push_slice`/`pop_chunk` and `send_many`/`drain_into` bulk paths.
+//!
+//! The printed ratio (batch 64 vs. batch 1) is the acceptance number for
+//! the batched-event-streams PR: ≥ 1.5× events/sec on both transports.
+
+use std::time::Instant;
+
+use anydb_bench::{figure_header, row};
+use anydb_stream::inbox::Inbox;
+use anydb_stream::spsc::{spsc_channel, PopState};
+use criterion::{criterion_group, Criterion};
+
+const ITEMS: u64 = 2_000_000;
+const CAP: usize = 1024;
+const BATCHES: [usize; 4] = [1, 8, 64, 256];
+
+/// SPSC ring, per-event push/pop (batch = 1) or bulk slice/chunk paths.
+fn bench_spsc(batch: usize) -> f64 {
+    let (mut tx, mut rx) = spsc_channel::<u64>(CAP);
+    let start = Instant::now();
+    let producer = std::thread::spawn(move || {
+        if batch == 1 {
+            for i in 0..ITEMS {
+                tx.push_blocking(i).unwrap();
+            }
+        } else {
+            let mut sent = 0u64;
+            let mut chunk: Vec<u64> = Vec::with_capacity(batch);
+            while sent < ITEMS {
+                chunk.clear();
+                chunk.extend(sent..(sent + batch as u64).min(ITEMS));
+                let mut off = 0;
+                while off < chunk.len() {
+                    match tx.push_slice(&chunk[off..]) {
+                        Ok(0) => std::thread::yield_now(),
+                        Ok(n) => off += n,
+                        Err(_) => panic!("consumer vanished"),
+                    }
+                }
+                sent += chunk.len() as u64;
+            }
+        }
+    });
+    let mut received = 0u64;
+    if batch == 1 {
+        while rx.pop_blocking().is_some() {
+            received += 1;
+        }
+    } else {
+        let mut out: Vec<u64> = Vec::with_capacity(batch);
+        loop {
+            out.clear();
+            match rx.pop_chunk(&mut out, batch) {
+                Ok(n) => received += n as u64,
+                Err(PopState::Empty) => std::thread::yield_now(),
+                Err(PopState::Disconnected) => break,
+            }
+        }
+    }
+    producer.join().unwrap();
+    assert_eq!(received, ITEMS);
+    ITEMS as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Event inbox, per-event send/pop (batch = 1) or send_many/drain_into.
+fn bench_inbox(batch: usize) -> f64 {
+    let (tx, rx) = Inbox::<u64>::new();
+    let start = Instant::now();
+    let producer = std::thread::spawn(move || {
+        if batch == 1 {
+            for i in 0..ITEMS {
+                tx.send(i);
+            }
+        } else {
+            let mut i = 0u64;
+            while i < ITEMS {
+                let hi = (i + batch as u64).min(ITEMS);
+                tx.send_many(i..hi);
+                i = hi;
+            }
+        }
+    });
+    let mut received = 0u64;
+    if batch == 1 {
+        while rx.pop_blocking().is_some() {
+            received += 1;
+        }
+    } else {
+        let mut out: Vec<u64> = Vec::with_capacity(batch);
+        loop {
+            out.clear();
+            match rx.drain_into(&mut out, batch) {
+                Ok(n) => received += n as u64,
+                Err(PopState::Empty) => std::thread::yield_now(),
+                Err(PopState::Disconnected) => break,
+            }
+        }
+    }
+    producer.join().unwrap();
+    assert_eq!(received, ITEMS);
+    ITEMS as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Criterion micro views of the per-call costs (uncontended).
+fn bench_micro(c: &mut Criterion) {
+    c.bench_function("spsc_push_pop_single", |b| {
+        let (mut tx, mut rx) = spsc_channel::<u64>(256);
+        b.iter(|| {
+            tx.push(1).unwrap();
+            rx.pop().unwrap()
+        });
+    });
+    c.bench_function("spsc_push_slice_pop_chunk_64", |b| {
+        let (mut tx, mut rx) = spsc_channel::<u64>(256);
+        let chunk: Vec<u64> = (0..64).collect();
+        let mut out = Vec::with_capacity(64);
+        b.iter(|| {
+            tx.push_slice(&chunk).unwrap();
+            out.clear();
+            rx.pop_chunk(&mut out, 64).unwrap()
+        });
+    });
+    c.bench_function("inbox_send_pop_single", |b| {
+        let (tx, rx) = Inbox::<u64>::new();
+        b.iter(|| {
+            tx.send(1);
+            rx.pop().unwrap()
+        });
+    });
+    c.bench_function("inbox_send_many_drain_64", |b| {
+        let (tx, rx) = Inbox::<u64>::new();
+        let mut out = Vec::with_capacity(64);
+        b.iter(|| {
+            tx.send_many(0..64u64);
+            out.clear();
+            rx.drain_into(&mut out, 64).unwrap()
+        });
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(15);
+    targets = bench_micro
+}
+
+fn main() {
+    figure_header(
+        "Ablation: batched vs unbatched event transfer (SPSC + inbox)",
+        "One producer, one consumer, 2M u64 events. batch=1 is the seed's\n\
+         per-event handshake; larger batches use the bulk paths.",
+    );
+
+    let widths = [10usize, 16, 16];
+    row(
+        &["batch".into(), "spsc M ev/s".into(), "inbox M ev/s".into()],
+        &widths,
+    );
+    let mut spsc = Vec::new();
+    let mut inbox = Vec::new();
+    for &b in &BATCHES {
+        let s = bench_spsc(b);
+        let i = bench_inbox(b);
+        row(
+            &[
+                b.to_string(),
+                format!("{:.1}", s / 1e6),
+                format!("{:.1}", i / 1e6),
+            ],
+            &widths,
+        );
+        spsc.push(s);
+        inbox.push(i);
+    }
+    println!();
+    let spsc_ratio = spsc[2] / spsc[0];
+    let inbox_ratio = inbox[2] / inbox[0];
+    println!("spsc  batched(64)/unbatched(1): {spsc_ratio:.2}x");
+    println!("inbox batched(64)/unbatched(1): {inbox_ratio:.2}x");
+    println!("(acceptance: both >= 1.5x)");
+    println!();
+
+    micro();
+}

@@ -12,7 +12,7 @@ proptest! {
 
     /// Zipf samples always stay inside the domain, for any (n, theta).
     #[test]
-    fn zipf_stays_in_domain(n in 1u64..5_000, theta in 0.0f64..0.999, seed: u64) {
+    fn zipf_stays_in_domain(n in 1u64..5_000, theta in 0.0f64..0.999, seed in any::<u64>()) {
         let z = Zipf::new(n, theta);
         let mut rng = StdRng::seed_from_u64(seed);
         for _ in 0..200 {
@@ -23,7 +23,7 @@ proptest! {
     /// Hot-spot samples stay inside the domain and respect the hot set
     /// when the probability is 1.
     #[test]
-    fn hotspot_stays_in_domain(n in 1u64..1_000, hot in 1u64..1_000, seed: u64) {
+    fn hotspot_stays_in_domain(n in 1u64..1_000, hot in 1u64..1_000, seed in any::<u64>()) {
         let hot = hot.min(n);
         let h = HotSpot::new(n, hot, 1.0);
         let mut rng = StdRng::seed_from_u64(seed);
@@ -34,7 +34,7 @@ proptest! {
 
     /// NURand respects its [x, y] bounds for all spec constants.
     #[test]
-    fn nurand_stays_in_bounds(c: u64, seed: u64) {
+    fn nurand_stays_in_bounds(c in any::<u64>(), seed in any::<u64>()) {
         for (a, x, y) in [(255u64, 0u64, 999u64), (1023, 1, 3000), (8191, 1, 100_000)] {
             let n = NuRand::new(a, x, y, c);
             let mut rng = StdRng::seed_from_u64(seed);
@@ -47,7 +47,7 @@ proptest! {
 
     /// RID packing is a bijection.
     #[test]
-    fn rid_pack_roundtrips(t: u32, p: u32, s: u32) {
+    fn rid_pack_roundtrips(t in any::<u32>(), p in any::<u32>(), s in any::<u32>()) {
         use anydb_common::{PartitionId, TableId};
         let rid = Rid::new(TableId(t), PartitionId(p), s);
         prop_assert_eq!(Rid::unpack(rid.pack()), rid);

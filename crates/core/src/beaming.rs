@@ -209,14 +209,8 @@ pub fn run_q3(db: &Arc<TpccDb>, spec: Q3Spec, cfg: &BeamingConfig) -> BeamingRes
     // Flows: filters execute en route (on the NIC when offloaded). The
     // compute side re-applies them idempotently, so correctness never
     // depends on where filtering ran.
-    let cust_flow = {
-        let spec = spec;
-        Flow::identity().filter(move |t| spec.customer_filter(t))
-    };
-    let ord_flow = {
-        let spec = spec;
-        Flow::identity().filter(move |t| spec.order_filter(t))
-    };
+    let cust_flow = Flow::identity().filter(move |t| spec.customer_filter(t));
+    let ord_flow = Flow::identity().filter(move |t| spec.order_filter(t));
     let no_flow = Flow::identity();
 
     let beam_build = cfg.variant != BeamVariant::Baseline;
@@ -311,9 +305,9 @@ pub fn run_q3(db: &Arc<TpccDb>, spec: Q3Spec, cfg: &BeamingConfig) -> BeamingRes
 
     // The consuming AC executes the two joins.
     let result = Q3Compute::new(spec).run(
-        &mut cust_rx.expect("customer stream"),
-        &mut no_rx.expect("neworder stream"),
-        &mut ord_rx.expect("orders stream"),
+        cust_rx.expect("customer stream"),
+        no_rx.expect("neworder stream"),
+        ord_rx.expect("orders stream"),
     );
 
     for h in early.into_iter().chain(late) {

@@ -8,6 +8,17 @@
 //! yet admissible) is *parked*, and the AC keeps processing other events;
 //! when nothing is runnable the AC backs off instead of spinning so it
 //! never starves collocated components on small hosts.
+//!
+//! ## Batched wakeups
+//!
+//! The loop drains a *chunk* of events per wakeup
+//! ([`Inbox::drain_into`]) instead of popping one at a time, and executes
+//! every op group in the chunk through one amortized dispatch: envelopes
+//! are ordered by `(stage, domain, seq)` so each gate and parked-heap is
+//! looked up once per run of same-key envelopes, not once per event. With
+//! the drivers shipping [`Event::OpBatch`] groups, the per-transaction
+//! queue handshake and hash lookups of the unbatched path collapse into
+//! per-chunk costs (see DESIGN.md on the batching design).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -19,14 +30,18 @@ use anydb_common::fxmap::FxHashMap;
 use anydb_common::metrics::Counter;
 use anydb_common::{AcId, TxnId};
 use anydb_txn::history::History;
-use anydb_txn::sequencer::SeqNo;
 use anydb_workload::tpcc::TpccDb;
 use anydb_stream::inbox::{Inbox, InboxSender};
 use anydb_stream::spsc::PopState;
 
-use crate::event::{Event, TxnOp, TxnTracker};
+use crate::event::{Event, OpEnvelope, TxnOp, TxnTracker};
 use crate::olap::exec_q3_local;
 use crate::ops::{exec_op, exec_whole_txn};
+
+/// Default number of events drained per wakeup when using
+/// [`AnyComponent::spawn`]; engines tune it via
+/// [`AnyComponent::spawn_with_chunk`].
+pub const DEFAULT_DRAIN_CHUNK: usize = 64;
 
 /// A parked op group waiting for its stamp's turn.
 struct Parked {
@@ -67,16 +82,31 @@ pub struct AnyComponent {
     parked: FxHashMap<(u32, u32), BinaryHeap<Reverse<ParkedEntry>>>,
     /// Transactions completed at this AC (aggregated execution).
     committed: Arc<Counter>,
+    /// Events drained per wakeup.
+    drain_chunk: usize,
 }
 
 impl AnyComponent {
-    /// Spawns an AC thread; returns its event-stream sender and handle.
+    /// Spawns an AC thread with the default drain chunk; returns its
+    /// event-stream sender and handle.
     pub fn spawn(
         id: AcId,
         db: Arc<TpccDb>,
         history: Option<Arc<History>>,
         committed: Arc<Counter>,
     ) -> (InboxSender<Event>, JoinHandle<()>) {
+        Self::spawn_with_chunk(id, db, history, committed, DEFAULT_DRAIN_CHUNK)
+    }
+
+    /// Spawns an AC thread draining up to `drain_chunk` events per wakeup.
+    pub fn spawn_with_chunk(
+        id: AcId,
+        db: Arc<TpccDb>,
+        history: Option<Arc<History>>,
+        committed: Arc<Counter>,
+        drain_chunk: usize,
+    ) -> (InboxSender<Event>, JoinHandle<()>) {
+        assert!(drain_chunk > 0, "drain chunk must be positive");
         let (tx, inbox) = Inbox::new();
         let handle = std::thread::Builder::new()
             .name(format!("ac-{id}"))
@@ -89,6 +119,7 @@ impl AnyComponent {
                     gates: FxHashMap::default(),
                     parked: FxHashMap::default(),
                     committed,
+                    drain_chunk,
                 };
                 ac.run();
             })
@@ -98,12 +129,37 @@ impl AnyComponent {
 
     fn run(&mut self) {
         let mut backoff = Backoff::new();
-        loop {
-            match self.inbox.pop() {
-                Ok(event) => {
+        let mut chunk: Vec<Event> = Vec::with_capacity(self.drain_chunk);
+        let mut envelopes: Vec<OpEnvelope> = Vec::new();
+        'outer: loop {
+            chunk.clear();
+            match self.inbox.drain_into(&mut chunk, self.drain_chunk) {
+                Ok(_) => {
                     backoff.reset();
-                    if self.handle(event) {
-                        break;
+                    // Coalesce runs of consecutive op-group events into one
+                    // amortized dispatch; handle other events in place so
+                    // chunking never reorders them relative to op groups.
+                    let mut events = chunk.drain(..);
+                    for event in events.by_ref() {
+                        match event {
+                            Event::OpGroup(env) => envelopes.push(env),
+                            Event::OpBatch(mut envs) => envelopes.append(&mut envs),
+                            other => {
+                                if !envelopes.is_empty() {
+                                    self.dispatch_envelopes(&mut envelopes);
+                                }
+                                if self.handle(other) {
+                                    // Shutdown: events behind it are
+                                    // dropped, as with one-at-a-time
+                                    // dispatch.
+                                    drop(events);
+                                    break 'outer;
+                                }
+                            }
+                        }
+                    }
+                    if !envelopes.is_empty() {
+                        self.dispatch_envelopes(&mut envelopes);
                     }
                 }
                 Err(PopState::Empty) => backoff.wait(),
@@ -117,7 +173,7 @@ impl AnyComponent {
         );
     }
 
-    /// Handles one event; returns `true` on shutdown.
+    /// Handles one non-op-group event; returns `true` on shutdown.
     fn handle(&mut self, event: Event) -> bool {
         match event {
             Event::Shutdown => return true,
@@ -128,15 +184,8 @@ impl AnyComponent {
                 }
                 let _ = done.send(crate::event::OpDone { txn, ok });
             }
-            Event::OpGroup {
-                txn,
-                stage,
-                domain,
-                seq,
-                ops,
-                tracker,
-            } => {
-                self.admit_or_park(txn, stage, domain, seq, ops, tracker);
+            Event::OpGroup(..) | Event::OpBatch(..) => {
+                unreachable!("op groups are dispatched in batches by run()")
             }
             Event::QueryQ3 { query, spec, done } => {
                 let rows = exec_q3_local(&self.db, &spec);
@@ -146,28 +195,59 @@ impl AnyComponent {
         false
     }
 
-    fn admit_or_park(
-        &mut self,
-        txn: TxnId,
-        stage: u32,
-        domain: u32,
-        seq: SeqNo,
-        ops: Vec<TxnOp>,
-        tracker: Arc<TxnTracker>,
-    ) {
-        let key = (stage, domain);
-        let next = *self.gates.entry(key).or_insert(0);
-        if seq.0 == next {
-            self.exec_group(txn, &ops, &tracker);
-            *self.gates.get_mut(&key).expect("gate exists") = next + 1;
-            self.drain_parked(key);
-        } else {
-            debug_assert!(seq.0 > next, "stamp {seq:?} executed twice at {key:?}");
-            self.parked
-                .entry(key)
-                .or_default()
-                .push(Reverse(ParkedEntry(seq.0, Parked { txn, ops, tracker })));
+    /// Admits or parks every envelope, amortizing gate and parked-heap
+    /// lookups over runs of same-`(stage, domain)` envelopes. Sorting by
+    /// `(stage, domain, seq)` groups the runs and maximizes in-order
+    /// admission; it cannot violate correctness because admission order is
+    /// defined by the stamps alone.
+    fn dispatch_envelopes(&mut self, envelopes: &mut Vec<OpEnvelope>) {
+        envelopes.sort_by(|a, b| {
+            (a.stage, a.domain, a.seq.0).cmp(&(b.stage, b.domain, b.seq.0))
+        });
+        // (key, next-admissible-stamp) for the run being executed; written
+        // back when the run ends.
+        let mut run: Option<((u32, u32), u64)> = None;
+        for env in envelopes.drain(..) {
+            let key = env.gate_key();
+            let next = match &mut run {
+                Some((k, next)) if *k == key => next,
+                _ => {
+                    if let Some((k, next)) = run.take() {
+                        self.close_run(k, next);
+                    }
+                    let next = *self.gates.entry(key).or_insert(0);
+                    &mut run.insert((key, next)).1
+                }
+            };
+            if env.seq.0 == *next {
+                self.exec_group(env.txn, &env.ops, &env.tracker);
+                *next += 1;
+            } else {
+                debug_assert!(
+                    env.seq.0 > *next,
+                    "stamp {:?} executed twice at {key:?}",
+                    env.seq
+                );
+                self.parked.entry(key).or_default().push(Reverse(ParkedEntry(
+                    env.seq.0,
+                    Parked {
+                        txn: env.txn,
+                        ops: env.ops,
+                        tracker: env.tracker,
+                    },
+                )));
+            }
         }
+        if let Some((k, next)) = run {
+            self.close_run(k, next);
+        }
+    }
+
+    /// Publishes a run's advanced gate and unparks whatever became
+    /// admissible behind it.
+    fn close_run(&mut self, key: (u32, u32), next: u64) {
+        *self.gates.get_mut(&key).expect("gate exists") = next;
+        self.drain_parked(key);
     }
 
     fn drain_parked(&mut self, key: (u32, u32)) {
@@ -212,6 +292,7 @@ impl AnyComponent {
 mod tests {
     use super::*;
     use crate::event::OpDone;
+    use anydb_txn::sequencer::SeqNo;
     use anydb_workload::tpcc::gen::TxnRequest;
     use anydb_workload::tpcc::{CustomerSelector, PaymentParams, TpccConfig};
     use crossbeam::channel::unbounded;
@@ -226,6 +307,17 @@ mod tests {
             amount,
             date: 2020_01_01,
         })
+    }
+
+    fn env(txn: u64, stage: u32, seq: u64, tracker: Arc<TxnTracker>) -> OpEnvelope {
+        OpEnvelope {
+            txn: TxnId(txn),
+            stage,
+            domain: 0,
+            seq: SeqNo(seq),
+            ops: vec![TxnOp::Skip],
+            tracker,
+        }
     }
 
     #[test]
@@ -259,14 +351,14 @@ mod tests {
         // completion order via the done channel.
         for seq in [2u64, 1, 0] {
             let tracker = TxnTracker::new(TxnId(seq), 1, done_tx.clone());
-            tx.send(Event::OpGroup {
+            tx.send(Event::OpGroup(OpEnvelope {
                 txn: TxnId(seq),
                 stage: 0,
                 domain: 0,
                 seq: SeqNo(seq),
                 ops: vec![TxnOp::PayWarehouse { w: 1, amount: 1.0 }],
                 tracker,
-            });
+            }));
         }
         let order: Vec<u64> = (0..3).map(|_| done_rx.recv().unwrap().txn.raw()).collect();
         assert_eq!(order, vec![0, 1, 2]);
@@ -282,37 +374,68 @@ mod tests {
         let (done_tx, done_rx) = unbounded();
         // Stage 1 seq 0 must run even though stage 0 waits for seq 0.
         let t1 = TxnTracker::new(TxnId(10), 1, done_tx.clone());
-        tx.send(Event::OpGroup {
-            txn: TxnId(10),
-            stage: 0,
-            domain: 0,
-            seq: SeqNo(1), // parked: stage 0 expects 0
-            ops: vec![TxnOp::Skip],
-            tracker: t1,
-        });
+        tx.send(Event::OpGroup(env(10, 0, 1, t1))); // parked: stage 0 expects 0
         let t2 = TxnTracker::new(TxnId(11), 1, done_tx.clone());
-        tx.send(Event::OpGroup {
-            txn: TxnId(11),
-            stage: 1,
-            domain: 0,
-            seq: SeqNo(0),
-            ops: vec![TxnOp::Skip],
-            tracker: t2,
-        });
+        tx.send(Event::OpGroup(env(11, 1, 0, t2)));
         assert_eq!(done_rx.recv().unwrap().txn, TxnId(11));
         // Unblock stage 0.
         let t3 = TxnTracker::new(TxnId(12), 1, done_tx);
-        tx.send(Event::OpGroup {
-            txn: TxnId(12),
-            stage: 0,
-            domain: 0,
-            seq: SeqNo(0),
-            ops: vec![TxnOp::Skip],
-            tracker: t3,
-        });
+        tx.send(Event::OpGroup(env(12, 0, 0, t3)));
         let mut rest: Vec<u64> = (0..2).map(|_| done_rx.recv().unwrap().txn.raw()).collect();
         rest.sort();
         assert_eq!(rest, vec![10, 12]);
+        tx.send(Event::Shutdown);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn op_batch_executes_all_envelopes_in_stamp_order() {
+        let db = Arc::new(TpccDb::load(TpccConfig::small(), 45).unwrap());
+        let committed = Arc::new(Counter::new());
+        let (tx, handle) = AnyComponent::spawn_with_chunk(AcId(0), db, None, committed, 8);
+        let (done_tx, done_rx) = unbounded();
+        // One batch carrying stamps 3,1,2,0 out of order across two
+        // stages: all must complete, each stage in stamp order.
+        let mut batch = Vec::new();
+        for (txn, stage, seq) in [(3u64, 0u32, 1u64), (1, 1, 1), (2, 0, 0), (0, 1, 0)] {
+            let tracker = TxnTracker::new(TxnId(txn), 1, done_tx.clone());
+            batch.push(env(txn, stage, seq, tracker));
+        }
+        tx.send(Event::OpBatch(batch));
+        let mut done: Vec<u64> = (0..4).map(|_| done_rx.recv().unwrap().txn.raw()).collect();
+        done.sort();
+        assert_eq!(done, vec![0, 1, 2, 3]);
+        tx.send(Event::Shutdown);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn batched_chunks_interleave_with_whole_txns() {
+        // A chunk mixing ExecuteTxn and op groups must run both kinds.
+        let db = Arc::new(TpccDb::load(TpccConfig::small(), 46).unwrap());
+        let committed = Arc::new(Counter::new());
+        let (tx, handle) =
+            AnyComponent::spawn_with_chunk(AcId(0), db, None, committed.clone(), 16);
+        let (done_tx, done_rx) = unbounded();
+        let tracker = TxnTracker::new(TxnId(5), 1, done_tx.clone());
+        tx.send_many([
+            Event::OpGroup(env(5, 0, 0, tracker)),
+            Event::ExecuteTxn {
+                txn: TxnId(6),
+                req: payment(1, 1.0),
+                done: done_tx.clone(),
+            },
+            Event::OpGroup(env(
+                7,
+                0,
+                1,
+                TxnTracker::new(TxnId(7), 1, done_tx),
+            )),
+        ]);
+        let mut done: Vec<u64> = (0..3).map(|_| done_rx.recv().unwrap().txn.raw()).collect();
+        done.sort();
+        assert_eq!(done, vec![5, 6, 7]);
+        assert_eq!(committed.get(), 1);
         tx.send(Event::Shutdown);
         handle.join().unwrap();
     }

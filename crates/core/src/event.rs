@@ -121,6 +121,46 @@ impl TxnTracker {
     }
 }
 
+/// One stamped op group addressed to a stage AC — the payload of both the
+/// single [`Event::OpGroup`] and the grouped [`Event::OpBatch`].
+pub struct OpEnvelope {
+    /// Transaction id.
+    pub txn: TxnId,
+    /// Stage discriminator: gates are per `(stage, domain)` so one AC can
+    /// host several stages without confusing their orders.
+    pub stage: u32,
+    /// Conflict domain (warehouse index, 0-based).
+    pub domain: u32,
+    /// Order stamp within the domain.
+    pub seq: SeqNo,
+    /// The operations to apply (possibly just `Skip`).
+    pub ops: Vec<TxnOp>,
+    /// Group tracker.
+    pub tracker: Arc<TxnTracker>,
+}
+
+impl OpEnvelope {
+    /// The AC-private gate this envelope is admitted through.
+    #[inline]
+    pub fn gate_key(&self) -> (u32, u32) {
+        (self.stage, self.domain)
+    }
+}
+
+impl std::fmt::Debug for OpEnvelope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "OpEnvelope(txn={} stage={} domain={} seq={:?} ops={})",
+            self.txn,
+            self.stage,
+            self.domain,
+            self.seq,
+            self.ops.len()
+        )
+    }
+}
+
 /// An event consumed by an AnyComponent.
 pub enum Event {
     /// Execute a whole transaction at the receiving AC (the *physically
@@ -136,21 +176,12 @@ pub enum Event {
     },
     /// Execute a group of operations of a decomposed transaction at the
     /// receiving AC, in streaming-CC stamp order (Figure 4 (c)/(d)).
-    OpGroup {
-        /// Transaction id.
-        txn: TxnId,
-        /// Stage discriminator: gates are per `(stage, domain)` so one AC
-        /// can host several stages without confusing their orders.
-        stage: u32,
-        /// Conflict domain (warehouse index, 0-based).
-        domain: u32,
-        /// Order stamp within the domain.
-        seq: SeqNo,
-        /// The operations to apply (possibly just `Skip`).
-        ops: Vec<TxnOp>,
-        /// Group tracker.
-        tracker: Arc<TxnTracker>,
-    },
+    OpGroup(OpEnvelope),
+    /// A group of op groups shipped as one event: the batched form the
+    /// drivers emit when several transactions' ops target the same AC.
+    /// One event-stream crossing and one dispatch cover every envelope;
+    /// admission order is still governed entirely by the stamps inside.
+    OpBatch(Vec<OpEnvelope>),
     /// Act as an OLAP worker: execute CH-Q3 locally (used by the HTAP
     /// phases where AnyDB routes analytics to dedicated ACs).
     QueryQ3 {
@@ -169,18 +200,8 @@ impl std::fmt::Debug for Event {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Event::ExecuteTxn { txn, .. } => write!(f, "ExecuteTxn({txn})"),
-            Event::OpGroup {
-                txn,
-                stage,
-                domain,
-                seq,
-                ops,
-                ..
-            } => write!(
-                f,
-                "OpGroup(txn={txn} stage={stage} domain={domain} seq={seq:?} ops={})",
-                ops.len()
-            ),
+            Event::OpGroup(env) => write!(f, "OpGroup({env:?})"),
+            Event::OpBatch(envs) => write!(f, "OpBatch(len={})", envs.len()),
             Event::QueryQ3 { query, .. } => write!(f, "QueryQ3({query})"),
             Event::Shutdown => write!(f, "Shutdown"),
         }
@@ -222,16 +243,18 @@ mod tests {
     fn event_debug_formats() {
         let (tx, _rx) = unbounded();
         let tracker = TxnTracker::new(TxnId(1), 1, tx);
-        let e = Event::OpGroup {
+        let e = Event::OpGroup(OpEnvelope {
             txn: TxnId(1),
             stage: 2,
             domain: 0,
             seq: SeqNo(5),
             ops: vec![TxnOp::Skip],
             tracker,
-        };
+        });
         let s = format!("{e:?}");
         assert!(s.contains("stage=2"));
         assert!(s.contains("ops=1"));
+        let b = Event::OpBatch(Vec::new());
+        assert!(format!("{b:?}").contains("len=0"));
     }
 }

@@ -19,6 +19,7 @@ use anydb_common::fxmap::FxHashSet;
 use anydb_common::{PartitionId, Tuple};
 use anydb_storage::Table;
 use anydb_stream::batch::Batch;
+use anydb_stream::beam::BeamReader;
 use anydb_stream::flow::FlowSender;
 use anydb_stream::link::LinkReceiver;
 use anydb_workload::chbench::Q3Spec;
@@ -27,6 +28,12 @@ use anydb_workload::tpcc::TpccDb;
 /// Scans every partition of `table`, batches rows (`batch_rows` each) and
 /// pushes them through the flow. Closes the stream by dropping the sender.
 /// Returns the number of tuples scanned (pre-flow).
+///
+/// Each partition ships through the bulk flow path
+/// ([`FlowSender::send_split_blocking`]): one clock read and bulk ring
+/// crossings per partition's worth of batches, while every batch keeps
+/// its own serialized wire transfer so consumers overlap compute with
+/// the in-flight remainder.
 pub fn stream_scan(table: &Table, mut flow: FlowSender, batch_rows: usize) -> usize {
     let mut scanned = 0usize;
     let mut batch = Vec::with_capacity(batch_rows);
@@ -38,11 +45,11 @@ pub fn stream_scan(table: &Table, mut flow: FlowSender, batch_rows: usize) -> us
             batch.push(row.tuple().clone());
             scanned += 1;
         });
-        // Ship per-partition remainder in batch_rows chunks.
-        for chunk in Batch::split(std::mem::take(&mut batch), batch_rows) {
-            if flow.send_blocking(chunk).is_err() {
-                return scanned; // consumer gone
-            }
+        if flow
+            .send_split_blocking(std::mem::take(&mut batch), batch_rows)
+            .is_err()
+        {
+            return scanned; // consumer gone
         }
     }
     flow.finish();
@@ -75,45 +82,57 @@ impl Q3Compute {
     /// `orders`. Filters are applied defensively on the compute side too
     /// (idempotent), so producers may or may not pre-filter (beamed flows
     /// filter at the source / on the NIC).
+    ///
+    /// Streams are consumed through [`BeamReader`]: each refill drains
+    /// every delivered batch off the ring with one clock read, falling
+    /// back to the waiting receive only when nothing is deliverable.
     pub fn run(
         &self,
-        customers: &mut LinkReceiver<Batch>,
-        neworders: &mut LinkReceiver<Batch>,
-        orders: &mut LinkReceiver<Batch>,
+        customers: LinkReceiver<Batch>,
+        neworders: LinkReceiver<Batch>,
+        orders: LinkReceiver<Batch>,
     ) -> Q3ComputeResult {
+        fn for_each_batch(rx: LinkReceiver<Batch>, mut f: impl FnMut(&Batch)) {
+            let mut reader = BeamReader::new(rx);
+            while let Some(batch) = reader.next_batch() {
+                f(&batch);
+            }
+        }
+
         let build_start = Instant::now();
 
         // Join-1 build: qualifying customers.
         let mut cust_keys: FxHashSet<(i64, i64, i64)> = FxHashSet::default();
-        while let Some(batch) = customers.recv_blocking() {
+        let spec = self.spec;
+        for_each_batch(customers, |batch| {
             for t in batch.tuples() {
-                if self.spec.customer_filter(t) {
+                if spec.customer_filter(t) {
                     cust_keys.insert(Q3Spec::customer_join_key(t));
                 }
             }
-        }
+        });
         // Join-2 build: open orders (new-order rows).
         let mut open_keys: FxHashSet<(i64, i64, i64)> = FxHashSet::default();
-        while let Some(batch) = neworders.recv_blocking() {
+        for_each_batch(neworders, |batch| {
             for t in batch.tuples() {
                 open_keys.insert(Q3Spec::neworder_key(t));
             }
-        }
+        });
         let build = build_start.elapsed();
 
         // Probe: orders against both builds.
         let probe_start = Instant::now();
         let mut rows = 0usize;
-        while let Some(batch) = orders.recv_blocking() {
+        for_each_batch(orders, |batch| {
             for t in batch.tuples() {
-                if self.spec.order_filter(t)
+                if spec.order_filter(t)
                     && cust_keys.contains(&Q3Spec::order_customer_key(t))
                     && open_keys.contains(&Q3Spec::order_key(t))
                 {
                     rows += 1;
                 }
             }
-        }
+        });
         let probe = probe_start.elapsed();
 
         Q3ComputeResult { rows, build, probe }
@@ -196,9 +215,9 @@ mod tests {
         let spec = Q3Spec::default();
         let expected = exec_q3_local(&db, &spec);
 
-        let (ctx, mut crx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
-        let (ntx, mut nrx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
-        let (otx, mut orx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
+        let (ctx, crx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
+        let (ntx, nrx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
+        let (otx, orx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
 
         let producers = {
             let db = db.clone();
@@ -208,7 +227,7 @@ mod tests {
                 stream_scan(&db.orders, FlowSender::new(otx, Flow::identity()), 256);
             })
         };
-        let result = Q3Compute::new(spec).run(&mut crx, &mut nrx, &mut orx);
+        let result = Q3Compute::new(spec).run(crx, nrx, orx);
         producers.join().unwrap();
         assert_eq!(result.rows, expected);
         assert!(result.build > Duration::ZERO);
@@ -222,9 +241,9 @@ mod tests {
         let spec = Q3Spec::default();
         let expected = exec_q3_local(&db, &spec);
 
-        let (ctx, mut crx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
-        let (ntx, mut nrx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
-        let (otx, mut orx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
+        let (ctx, crx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
+        let (ntx, nrx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
+        let (otx, orx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
         let producers = {
             let db = db.clone();
             let spec = spec;
@@ -242,7 +261,7 @@ mod tests {
                 );
             })
         };
-        let result = Q3Compute::new(spec).run(&mut crx, &mut nrx, &mut orx);
+        let result = Q3Compute::new(spec).run(crx, nrx, orx);
         producers.join().unwrap();
         assert_eq!(result.rows, expected);
     }

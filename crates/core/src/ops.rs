@@ -29,19 +29,22 @@ pub fn resolve_customer(
             if rids.is_empty() {
                 return Err(DbError::KeyNotFound(db.customer.id()));
             }
-            let mut named: Vec<(String, Rid)> = rids
+            // Sort candidates by C_FIRST without materializing owned
+            // `String`s: string values are `Arc<str>`, so cloning the
+            // `Value` out of the row is a refcount bump, not a copy.
+            let mut named: Vec<(Value, Rid)> = rids
                 .into_iter()
                 .map(|rid| {
                     let first = db
                         .customer
-                        .read_with(rid, |t, _| {
-                            t.get(customer::C_FIRST).as_str().unwrap_or("").to_string()
-                        })
-                        .unwrap_or_default();
+                        .read_with(rid, |t, _| t.get(customer::C_FIRST).clone())
+                        .unwrap_or(Value::Null);
                     (first, rid)
                 })
                 .collect();
-            named.sort();
+            named.sort_by(|(a, _), (b, _)| {
+                a.as_str().unwrap_or("").cmp(b.as_str().unwrap_or(""))
+            });
             Ok(named[named.len() / 2].1)
         }
     }

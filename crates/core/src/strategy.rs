@@ -13,8 +13,9 @@
 //!   transactions in one consistent stamp order, forming a pipeline.
 
 use anydb_workload::tpcc::gen::PaymentParams;
+use anydb_stream::inbox::InboxSender;
 
-use crate::event::TxnOp;
+use crate::event::{Event, OpEnvelope, TxnOp};
 
 /// The four execution strategies the engine supports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -145,6 +146,68 @@ pub fn payment_precise_groups(p: &PaymentParams) -> [(u32, Vec<TxnOp>); 2] {
     ]
 }
 
+/// Maps a logical stage onto one of `n_acs` workers — the routing rule
+/// every decomposed strategy shares.
+#[inline]
+pub fn stage_ac(stage: u32, n_acs: usize) -> usize {
+    stage as usize % n_acs
+}
+
+/// Groups op events per destination AC before sending.
+///
+/// Drivers push envelopes as transactions decompose; the batcher holds
+/// them per AC and ships a whole group as one [`Event::OpBatch`] when the
+/// configured batch size is reached (or on [`DispatchBatcher::flush_all`],
+/// which drivers MUST call before blocking on completions — an envelope
+/// held here is invisible to the gates, and stamps only advance when every
+/// envelope eventually arrives). With `batch <= 1` every envelope is sent
+/// immediately as a plain [`Event::OpGroup`], which is exactly the
+/// pre-batching behavior — that end of the knob trades throughput back
+/// for minimum latency.
+pub struct DispatchBatcher {
+    pending: Vec<Vec<OpEnvelope>>,
+    batch: usize,
+}
+
+impl DispatchBatcher {
+    /// Batcher over `n_acs` destinations flushing at `batch` envelopes.
+    pub fn new(n_acs: usize, batch: usize) -> Self {
+        Self {
+            pending: (0..n_acs).map(|_| Vec::new()).collect(),
+            batch,
+        }
+    }
+
+    /// Queues an envelope for `ac`, flushing that AC's group if full.
+    pub fn push(&mut self, ac: usize, env: OpEnvelope, senders: &[InboxSender<Event>]) {
+        if self.batch <= 1 {
+            senders[ac].send(Event::OpGroup(env));
+            return;
+        }
+        let slot = &mut self.pending[ac];
+        slot.push(env);
+        if slot.len() >= self.batch {
+            senders[ac].send(Event::OpBatch(std::mem::take(slot)));
+        }
+    }
+
+    /// Ships every held envelope. Call before waiting on completions.
+    pub fn flush_all(&mut self, senders: &[InboxSender<Event>]) {
+        for (ac, slot) in self.pending.iter_mut().enumerate() {
+            match slot.len() {
+                0 => {}
+                1 => senders[ac].send(Event::OpGroup(slot.pop().expect("len 1"))),
+                _ => senders[ac].send(Event::OpBatch(std::mem::take(slot))),
+            }
+        }
+    }
+
+    /// Envelopes currently held (all ACs).
+    pub fn held(&self) -> usize {
+        self.pending.iter().map(Vec::len).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +255,46 @@ mod tests {
     fn labels_match_paper_legend() {
         assert_eq!(Strategy::StreamingCc.label(), "AnyDB Streaming CC");
         assert_eq!(Strategy::SharedNothing.label(), "AnyDB Shared-Nothing");
+    }
+
+    #[test]
+    fn dispatch_batcher_groups_per_destination() {
+        use crate::event::TxnTracker;
+        use anydb_common::TxnId;
+        use anydb_stream::inbox::Inbox;
+        use anydb_txn::sequencer::SeqNo;
+        use crossbeam::channel::unbounded;
+
+        let (tx0, rx0) = Inbox::new();
+        let (tx1, rx1) = Inbox::new();
+        let senders = vec![tx0, tx1];
+        let (done_tx, _done_rx) = unbounded();
+        let env = |txn: u64, stage: u32| OpEnvelope {
+            txn: TxnId(txn),
+            stage,
+            domain: 0,
+            seq: SeqNo(txn),
+            ops: vec![TxnOp::Skip],
+            tracker: TxnTracker::new(TxnId(txn), 1, done_tx.clone()),
+        };
+
+        let mut b = DispatchBatcher::new(2, 2);
+        b.push(stage_ac(0, 2), env(0, 0), &senders);
+        b.push(stage_ac(1, 2), env(1, 1), &senders);
+        assert_eq!(b.held(), 2);
+        // Second envelope for AC 0 hits the batch size and flushes.
+        b.push(stage_ac(2, 2), env(2, 2), &senders);
+        assert_eq!(b.held(), 1);
+        assert!(matches!(rx0.pop(), Ok(Event::OpBatch(envs)) if envs.len() == 2));
+        // AC 1 still held; flush_all ships the single leftover as OpGroup.
+        b.flush_all(&senders);
+        assert_eq!(b.held(), 0);
+        assert!(matches!(rx1.pop(), Ok(Event::OpGroup(_))));
+
+        // batch <= 1 bypasses grouping entirely.
+        let mut unbatched = DispatchBatcher::new(2, 1);
+        unbatched.push(0, env(9, 0), &senders);
+        assert_eq!(unbatched.held(), 0);
+        assert!(matches!(rx0.pop(), Ok(Event::OpGroup(_))));
     }
 }

@@ -132,7 +132,7 @@ impl Dbx1000 {
                 scope.spawn(move || {
                     let mut gen = MixGen::new(
                         db.cfg.clone(),
-                        kind.warehouse_dist(db.cfg.warehouses as u32),
+                        kind.warehouse_dist(db.cfg.warehouses),
                         cfg.payment_fraction,
                         seed ^ (te as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
                     );

@@ -153,7 +153,8 @@ pub fn exec_new_order(ctx: &TxnCtx<'_>, txn: TxnId, p: &NewOrderParams) -> DbRes
     let mut held: Vec<Rid> = Vec::with_capacity(2 + p.lines.len());
 
     // Growing phase.
-    let locked = (|| -> DbResult<(Rid, Rid, Vec<(Rid, f64)>)> {
+    type Locked = (Rid, Rid, Vec<(Rid, f64)>);
+    let locked = (|| -> DbResult<Locked> {
         let d_rid = db.district_rid(p.w_id, p.d_id)?;
         ctx.lock(txn, d_rid, LockMode::Exclusive, &mut held)?;
         let c_rid = db.customer_rid(p.w_id, p.d_id, p.c_id)?;

@@ -1,0 +1,267 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so the external
+//! dependencies of the seed are provided as local shims implementing
+//! exactly the API surface AnyDB uses (see the workspace manifest). This
+//! one covers the `Buf`/`BufMut`/`Bytes`/`BytesMut` subset the tuple and
+//! WAL codecs rely on. Encoding is big-endian, matching the real crate's
+//! `put_u32`/`get_u32` family.
+
+use std::sync::Arc;
+
+/// Read cursor over a contiguous byte buffer.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// The unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+    /// Consumes `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a big-endian u16.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian u32.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian u64.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian i64.
+    fn get_i64(&mut self) -> i64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        i64::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian f64.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+
+    /// Copies `dst.len()` bytes out, consuming them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let n = dst.len();
+        dst.copy_from_slice(&self.chunk()[..n]);
+        self.advance(n);
+    }
+}
+
+/// Write sink for the codec side.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian i64.
+    fn put_i64(&mut self, v: i64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian f64.
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+}
+
+/// Growable byte buffer; freeze into an immutable [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts to an immutable, cheaply clonable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: Arc::from(self.data.into_boxed_slice()),
+            pos: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Immutable shared byte buffer with an internal read cursor.
+///
+/// Cloning is cheap (the storage is `Arc`'d); each clone has its own
+/// cursor, so `Tuple::decode(&bytes)` can read without disturbing the
+/// caller's view — same observable behavior as the real crate's
+/// slice-advancing `Bytes`.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(src),
+            pos: 0,
+        }
+    }
+
+    /// Buffer over a static slice (copied; see [`Bytes::slice`]).
+    pub fn from_static(src: &'static [u8]) -> Self {
+        Bytes::copy_from_slice(src)
+    }
+
+    /// Unconsumed length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// A new buffer over `range` of the unconsumed bytes. Copies rather
+    /// than sharing storage (the real crate shares; no caller here is on a
+    /// path where the copy matters).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes::copy_from_slice(&self.chunk()[range])
+    }
+
+    /// True if fully consumed (or empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes {
+            data: Arc::from(Vec::new().into_boxed_slice()),
+            pos: 0,
+        }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.chunk() == other.chunk()
+    }
+}
+impl Eq for Bytes {}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of Bytes");
+        self.pos += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_u8(7);
+        b.put_u16(300);
+        b.put_u32(70_000);
+        b.put_u64(1 << 40);
+        b.put_i64(-5);
+        b.put_f64(1.5);
+        b.put_slice(b"xyz");
+        let mut r = b.freeze();
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16(), 300);
+        assert_eq!(r.get_u32(), 70_000);
+        assert_eq!(r.get_u64(), 1 << 40);
+        assert_eq!(r.get_i64(), -5);
+        assert_eq!(r.get_f64(), 1.5);
+        let mut s = [0u8; 3];
+        r.copy_to_slice(&mut s);
+        assert_eq!(&s, b"xyz");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn clone_has_independent_cursor() {
+        let mut b = BytesMut::new();
+        b.put_u32(9);
+        let frozen = b.freeze();
+        let mut a = frozen.clone();
+        assert_eq!(a.get_u32(), 9);
+        assert_eq!(a.remaining(), 0);
+        assert_eq!(frozen.remaining(), 4);
+    }
+}

@@ -1,0 +1,187 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A real measuring harness, not a no-op: `bench_function` calibrates an
+//! iteration count against the configured measurement time, takes
+//! `sample_size` samples, and reports min/mean/max nanoseconds per
+//! iteration in criterion's familiar `time: [..]` shape. What it drops
+//! relative to the real crate is the statistics machinery (outlier
+//! classification, regression against saved baselines, HTML reports).
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark harness configuration + runner.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(800),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Untimed warm-up duration before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total time budget split across the samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Warm-up + calibration: double iters until one batch costs ≥ ~1ms
+        // or the warm-up budget is spent.
+        let warm_start = Instant::now();
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(1)
+                || warm_start.elapsed() >= self.warm_up_time
+                || b.iters >= 1 << 30
+            {
+                break;
+            }
+            b.iters *= 2;
+        }
+        let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        b.iters = if per_iter > 0.0 {
+            ((budget / per_iter) as u64).clamp(1, 1 << 32)
+        } else {
+            1 << 20
+        };
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / b.iters as f64 * 1e9);
+        }
+        samples.sort_by(|a, z| a.total_cmp(z));
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!("{name:<40} time: [{:>10} {:>10} {:>10}]", ns(min), ns(mean), ns(max));
+        self
+    }
+
+    /// Prints the run footer (kept for call-site compatibility).
+    pub fn final_summary(&self) {
+        println!();
+    }
+}
+
+fn ns(v: f64) -> String {
+    if v < 1_000.0 {
+        format!("{v:.2} ns")
+    } else if v < 1_000_000.0 {
+        format!("{:.2} µs", v / 1e3)
+    } else if v < 1_000_000_000.0 {
+        format!("{:.2} ms", v / 1e6)
+    } else {
+        format!("{:.2} s", v / 1e9)
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )*
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15));
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(ns(12.0), "12.00 ns");
+        assert_eq!(ns(1_500.0), "1.50 µs");
+        assert_eq!(ns(2_000_000.0), "2.00 ms");
+    }
+}

@@ -1,0 +1,64 @@
+//! Unbounded MPMC queue (`SegQueue`) with crossbeam's API shape.
+//!
+//! Mutex-backed. AnyDB's event inbox no longer routes through this type —
+//! it keeps its own queue with a bulk-drain path (see
+//! `anydb-stream::inbox`) — so this shim only serves ad-hoc uses.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+/// Unbounded concurrent queue.
+#[derive(Debug, Default)]
+pub struct SegQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> SegQueue<T> {
+    /// Empty queue.
+    pub const fn new() -> Self {
+        Self {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Enqueues a value.
+    pub fn push(&self, value: T) {
+        self.lock().push_back(value);
+    }
+
+    /// Dequeues the oldest value, if any.
+    pub fn pop(&self) -> Option<T> {
+        self.lock().pop_front()
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True if currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo() {
+        let q = SegQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+}

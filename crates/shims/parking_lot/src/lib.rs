@@ -1,0 +1,128 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Wraps the std locks behind parking_lot's API shape: `lock()` /
+//! `read()` / `write()` return guards directly (no poisoning in the
+//! signature). A poisoned std lock is recovered rather than propagated —
+//! parking_lot has no poisoning at all, and AnyDB treats a panic while
+//! holding a lock as fatal to the test anyway.
+
+use std::sync::PoisonError;
+
+/// Guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+/// Guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+/// Guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+/// Mutual exclusion lock with parking_lot's non-poisoning API.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Reader-writer lock with parking_lot's non-poisoning API.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new rwlock.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_basic() {
+        let l = RwLock::new(5);
+        assert_eq!(*l.read(), 5);
+        *l.write() = 6;
+        assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn try_lock_contended() {
+        let m = Mutex::new(0);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+}

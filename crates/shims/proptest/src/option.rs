@@ -1,0 +1,40 @@
+//! Option strategies (`prop::option::of`).
+
+use crate::strategy::{Strategy, TestRng};
+use rand::Rng;
+
+/// Generates `None` about a quarter of the time, `Some` otherwise (same
+/// default weighting as the real crate).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Strategy returned by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.random_bool(0.25) {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = crate::rng_for("option-tests");
+        let s = of(0..5u32);
+        let out: Vec<_> = (0..200).map(|_| s.generate(&mut rng)).collect();
+        assert!(out.iter().any(Option::is_none));
+        assert!(out.iter().any(Option::is_some));
+    }
+}

@@ -1,0 +1,249 @@
+//! Offline stand-in for `rand` 0.9.
+//!
+//! Implements the API subset AnyDB's workload generators and tests use:
+//! `rngs::StdRng` (here: xoshiro256**, seeded via SplitMix64 like the
+//! reference `seed_from_u64`), the `Rng` extension trait with `random`,
+//! `random_range`, and `random_bool`, and `SeedableRng::seed_from_u64`.
+//! Statistical quality is far beyond what TPC-C parameter generation
+//! needs; the point is determinism per seed, which this provides.
+
+/// Core source of randomness.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG from a 64-bit seed (stream-splitting via SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible uniformly by [`Rng::random`].
+pub trait StandardUniform: Sized {
+    /// Samples one value.
+    fn sample(rng: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl StandardUniform for u64 {
+    fn sample(rng: &mut dyn FnMut() -> u64) -> Self {
+        rng()
+    }
+}
+
+impl StandardUniform for u32 {
+    fn sample(rng: &mut dyn FnMut() -> u64) -> Self {
+        (rng() >> 32) as u32
+    }
+}
+
+impl StandardUniform for i64 {
+    fn sample(rng: &mut dyn FnMut() -> u64) -> Self {
+        rng() as i64
+    }
+}
+
+impl StandardUniform for bool {
+    fn sample(rng: &mut dyn FnMut() -> u64) -> Self {
+        rng() & 1 == 1
+    }
+}
+
+impl StandardUniform for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample(rng: &mut dyn FnMut() -> u64) -> Self {
+        (rng() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Element types uniformly samplable from a half-open or closed interval.
+pub trait SampleUniform: Sized {
+    /// Samples from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_between(lo: Self, hi: Self, inclusive: bool, rng: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between(lo: Self, hi: Self, inclusive: bool, rng: &mut dyn FnMut() -> u64) -> Self {
+                let span = (hi as i128 - lo as i128) + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "empty range");
+                (lo as i128 + (rng() as u128 % span as u128) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_between(lo: Self, hi: Self, _inclusive: bool, rng: &mut dyn FnMut() -> u64) -> Self {
+        assert!(lo < hi, "empty range");
+        let u = (rng() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + u * (hi - lo)
+    }
+}
+
+/// Ranges samplable by [`Rng::random_range`]. The blanket impls over
+/// [`SampleUniform`] (rather than per-type impls) matter for inference:
+/// `Range<?T>::Output == i64` unifies `?T = i64` structurally, so
+/// unsuffixed integer literals pick up their type from the call site
+/// exactly as with the real crate.
+pub trait SampleRange {
+    /// The sampled element type.
+    type Output;
+    /// Samples one value from the range.
+    fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> Self::Output;
+}
+
+impl<T: SampleUniform> SampleRange for std::ops::Range<T> {
+    type Output = T;
+    fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> T {
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange for std::ops::RangeInclusive<T> {
+    type Output = T;
+    fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> T {
+        T::sample_between(*self.start(), *self.end(), true, rng)
+    }
+}
+
+/// Extension methods every RNG gets.
+pub trait Rng: RngCore {
+    /// Samples a uniformly distributed value of `T`.
+    fn random<T: StandardUniform>(&mut self) -> T {
+        let mut f = || self.next_u64();
+        T::sample(&mut f)
+    }
+
+    /// Samples uniformly from a range.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        let mut f = || self.next_u64();
+        range.sample_from(&mut f)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named RNGs.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic RNG: xoshiro256** seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_float_in_range() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f: f64 = r.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let v = r.random_range(3..10u64);
+            assert!((3..10).contains(&v));
+            let w = r.random_range(-5..=5i64);
+            assert!((-5..=5).contains(&w));
+            let f = r.random_range(1.0..5000.0f64);
+            assert!((1.0..5000.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut r = StdRng::seed_from_u64(3);
+        assert!(!(0..100).any(|_| r.random_bool(0.0)));
+        assert!((0..100).all(|_| r.random_bool(1.0)));
+        let heads = (0..10_000).filter(|_| r.random_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads {heads}");
+    }
+
+    #[test]
+    fn full_domain_ranges_do_not_overflow() {
+        let mut r = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let _ = r.random_range(0..=u64::MAX);
+            let _ = r.random_range(i64::MIN..=i64::MAX);
+        }
+    }
+}

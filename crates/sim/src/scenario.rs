@@ -8,6 +8,9 @@ use anydb_workload::tpcc::TpccConfig;
 use crate::cost::CostModel;
 use crate::engine::{SimStrategy, Simulator};
 
+/// Per-phase choice of simulated strategy for one plotted series.
+type StrategyFactory = Box<dyn Fn(PhaseKind) -> SimStrategy>;
+
 /// One point of one series: phase index on the x-axis, M tx/s on the y.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SeriesPoint {
@@ -103,7 +106,7 @@ pub fn figure5_series(
         },
     );
     let schedule = PhaseSchedule::figure5();
-    let strategies: Vec<(String, Box<dyn Fn(PhaseKind) -> SimStrategy>)> = vec![
+    let strategies: Vec<(String, StrategyFactory)> = vec![
         (
             format!("DBx1000 {workers}TE"),
             Box::new(move |_| SimStrategy::DbxTe { executors: workers }),
@@ -134,7 +137,7 @@ pub fn figure5_series(
         .map(|(label, f)| {
             (
                 label,
-                run_series(&sim, &schedule, |k| f(k), horizon, seed),
+                run_series(&sim, &schedule, f, horizon, seed),
             )
         })
         .collect()

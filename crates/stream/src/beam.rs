@@ -79,9 +79,66 @@ impl BeamRegistry {
         self.slots.lock().remove(&id)
     }
 
+    /// Claims a beam wrapped in a batch-draining [`BeamReader`].
+    pub fn attach(&self, id: BeamId) -> Option<BeamReader> {
+        self.take(id).map(BeamReader::new)
+    }
+
     /// Number of currently unclaimed beams.
     pub fn pending(&self) -> usize {
         self.slots.lock().len()
+    }
+}
+
+/// Batch-amortized consumer of one beam.
+///
+/// Wraps the beam's link receiver so consumption happens in chunks: a
+/// refill pulls every already-delivered batch off the ring with a single
+/// clock read ([`LinkReceiver::drain_ready_max`]) and hands them out one
+/// by one from local staging — the receiving mirror of the bulk send path.
+pub struct BeamReader {
+    rx: LinkReceiver<Batch>,
+    staged: std::collections::VecDeque<Batch>,
+    /// Reused across refills so an empty drain attempt costs no
+    /// allocation (the common case when the producer is the slower side).
+    refill: Vec<Batch>,
+}
+
+impl BeamReader {
+    /// Chunk size of one staging refill; bounds local buffering.
+    const REFILL: usize = 64;
+
+    /// Wraps a claimed beam receiver.
+    pub fn new(rx: LinkReceiver<Batch>) -> Self {
+        Self {
+            rx,
+            staged: std::collections::VecDeque::new(),
+            refill: Vec::new(),
+        }
+    }
+
+    /// Next batch, blocking until one is delivered; `None` once the
+    /// producer is gone and everything was consumed.
+    pub fn next_batch(&mut self) -> Option<Batch> {
+        if let Some(b) = self.staged.pop_front() {
+            return Some(b);
+        }
+        if self.rx.drain_ready_max(&mut self.refill, Self::REFILL) > 0 {
+            self.staged.extend(self.refill.drain(..));
+            return self.staged.pop_front();
+        }
+        // Nothing deliverable yet: fall back to the waiting receive.
+        self.rx.recv_blocking()
+    }
+
+    /// Drains the whole beam into a tuple vector; returns the tuple count.
+    pub fn drain_tuples(&mut self, out: &mut Vec<anydb_common::Tuple>) -> usize {
+        let mut n = 0;
+        while let Some(batch) = self.next_batch() {
+            n += batch.len();
+            out.extend(batch.into_tuples());
+        }
+        n
     }
 }
 
@@ -139,5 +196,23 @@ mod tests {
             total += b.len();
         }
         assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn beam_reader_drains_bulk_sent_batches() {
+        let reg = BeamRegistry::new();
+        let (mut tx, rx) = SimLink::channel::<Batch>(LinkSpec::instant(), 256);
+        reg.register(BeamId(3), rx);
+        let batches: Vec<Batch> = (0..100)
+            .map(|i| Batch::new(vec![Tuple::new(vec![Value::Int(i)])]))
+            .collect();
+        let bytes = batches.iter().map(Batch::bytes).sum();
+        tx.send_many_blocking(batches, bytes).unwrap();
+        drop(tx);
+        let mut reader = reg.attach(BeamId(3)).unwrap();
+        let mut tuples = Vec::new();
+        assert_eq!(reader.drain_tuples(&mut tuples), 100);
+        let got: Vec<i64> = tuples.iter().map(|t| t.get(0).as_int().unwrap()).collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
     }
 }

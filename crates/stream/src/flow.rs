@@ -128,6 +128,32 @@ impl FlowSender {
         self.link.send_blocking(out, bytes)
     }
 
+    /// Bulk path: splits `tuples` into `batch_rows`-sized [`Batch`]es,
+    /// applies the flow to each, and ships the group through
+    /// [`LinkSender::send_pipelined_blocking`] — one clock read and bulk
+    /// ring crossings, but each batch keeps its own serialized wire
+    /// transfer, so receivers still overlap consumption with the rest of
+    /// the transfer (the pipelining Figure 6 depends on). Returns the
+    /// number of batches shipped, or `Err` with how many were still
+    /// unsent when the receiver vanished.
+    pub fn send_split_blocking(
+        &mut self,
+        tuples: Vec<anydb_common::Tuple>,
+        batch_rows: usize,
+    ) -> Result<usize, usize> {
+        let batches: Vec<(Batch, usize)> = Batch::split(tuples, batch_rows)
+            .into_iter()
+            .map(|b| {
+                let out = self.flow.apply(b);
+                let bytes = out.bytes();
+                (out, bytes)
+            })
+            .collect();
+        let n = batches.len();
+        self.link.send_pipelined_blocking(batches)?;
+        Ok(n)
+    }
+
     /// Consumes the sender, closing the stream.
     pub fn finish(self) {}
 }

@@ -1,19 +1,30 @@
-//! Multi-producer event inbox.
+//! Multi-producer event inbox with bulk transfer.
 //!
 //! Each AC has one inbox for its *event stream*: many components (clients,
-//! the QO, other ACs) enqueue events, one AC drains them. Built on
-//! crossbeam's `SegQueue` (unbounded MPMC used MPSC-style) with explicit
-//! sender accounting for disconnect detection.
+//! the QO, other ACs) enqueue events, one AC drains them. The queue is a
+//! mutex-guarded `VecDeque` with explicit sender accounting — and that
+//! choice is deliberate: the hot-path cost of an event queue is dominated
+//! by per-event synchronization, so the API is built around *batched*
+//! crossings ([`InboxSender::send_many`], [`Inbox::drain_into`]) that move
+//! a whole group of events per lock acquisition. A `len` counter kept
+//! outside the lock lets the idle AC poll emptiness without touching the
+//! mutex at all.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crossbeam::queue::SegQueue;
+use anydb_common::backoff::Backoff;
+use parking_lot::Mutex;
 
 use crate::spsc::PopState;
 
 struct Shared<T> {
-    queue: SegQueue<T>,
+    queue: Mutex<VecDeque<T>>,
+    /// Mirror of `queue.len()`, only ever updated while holding the queue
+    /// lock (so it cannot drift from the queue), but readable without it —
+    /// empty polls never acquire the mutex.
+    len: AtomicUsize,
     senders: AtomicUsize,
 }
 
@@ -31,7 +42,8 @@ impl<T> Inbox<T> {
     /// Creates an inbox and its first sender.
     pub fn new() -> (InboxSender<T>, Inbox<T>) {
         let shared = Arc::new(Shared {
-            queue: SegQueue::new(),
+            queue: Mutex::new(VecDeque::new()),
+            len: AtomicUsize::new(0),
             senders: AtomicUsize::new(1),
         });
         (
@@ -44,45 +56,78 @@ impl<T> Inbox<T> {
 
     /// Non-blocking pop.
     pub fn pop(&self) -> Result<T, PopState> {
-        match self.shared.queue.pop() {
-            Some(v) => Ok(v),
-            None => {
-                if self.shared.senders.load(Ordering::Acquire) == 0 {
-                    // Senders may have pushed right before dropping; check
-                    // the queue once more to not lose a final message.
-                    match self.shared.queue.pop() {
-                        Some(v) => Ok(v),
-                        None => Err(PopState::Disconnected),
-                    }
-                } else {
-                    Err(PopState::Empty)
-                }
+        if self.shared.len.load(Ordering::Acquire) > 0 {
+            let mut queue = self.shared.queue.lock();
+            if let Some(v) = queue.pop_front() {
+                self.shared.len.fetch_sub(1, Ordering::AcqRel);
+                return Ok(v);
             }
+        }
+        if self.shared.senders.load(Ordering::Acquire) == 0 {
+            // Senders may have pushed right before dropping; check the
+            // queue once more to not lose a final message.
+            let mut queue = self.shared.queue.lock();
+            if let Some(v) = queue.pop_front() {
+                self.shared.len.fetch_sub(1, Ordering::AcqRel);
+                Ok(v)
+            } else {
+                Err(PopState::Disconnected)
+            }
+        } else {
+            Err(PopState::Empty)
         }
     }
 
-    /// Pops, spinning until a message arrives or all senders are gone.
+    /// Bulk pop: moves up to `max` queued events into `out` under a single
+    /// lock acquisition; returns how many were taken. `Err(Empty)` /
+    /// `Err(Disconnected)` when nothing was queued.
+    ///
+    /// This is the AC-side half of batched event streaming: one wakeup
+    /// drains a chunk, and the cost of the mutex handshake is amortized
+    /// over every event in it.
+    pub fn drain_into(&self, out: &mut Vec<T>, max: usize) -> Result<usize, PopState> {
+        debug_assert!(max > 0, "drain_into with max = 0 can never make progress");
+        if self.shared.len.load(Ordering::Acquire) == 0
+            && self.shared.senders.load(Ordering::Acquire) > 0
+        {
+            return Err(PopState::Empty);
+        }
+        let mut queue = self.shared.queue.lock();
+        let n = queue.len().min(max);
+        if n == 0 {
+            drop(queue);
+            return if self.shared.senders.load(Ordering::Acquire) == 0 {
+                Err(PopState::Disconnected)
+            } else {
+                Err(PopState::Empty)
+            };
+        }
+        out.extend(queue.drain(..n));
+        self.shared.len.fetch_sub(n, Ordering::AcqRel);
+        Ok(n)
+    }
+
+    /// Pops, backing off (spin → yield → sleep) until a message arrives or
+    /// all senders are gone, so an idle AC never burns a whole core.
     pub fn pop_blocking(&self) -> Option<T> {
+        let mut backoff = Backoff::new();
         loop {
             match self.pop() {
                 Ok(v) => return Some(v),
                 Err(PopState::Disconnected) => return None,
-                Err(PopState::Empty) => {
-                    std::hint::spin_loop();
-                    std::thread::yield_now();
-                }
+                Err(PopState::Empty) => backoff.wait(),
             }
         }
     }
 
     /// Current queue length (approximate under concurrency).
     pub fn len(&self) -> usize {
-        self.shared.queue.len()
+        self.shared.len.load(Ordering::Acquire)
     }
 
     /// True if the queue is currently empty.
     pub fn is_empty(&self) -> bool {
-        self.shared.queue.is_empty()
+        self.len() == 0
     }
 
     /// Number of live senders.
@@ -94,7 +139,21 @@ impl<T> Inbox<T> {
 impl<T> InboxSender<T> {
     /// Enqueues a message. Never blocks (unbounded queue).
     pub fn send(&self, value: T) {
-        self.shared.queue.push(value);
+        let mut queue = self.shared.queue.lock();
+        queue.push_back(value);
+        self.shared.len.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Enqueues a group of messages under one lock acquisition — the
+    /// sender-side half of batched event streaming.
+    pub fn send_many(&self, values: impl IntoIterator<Item = T>) {
+        let mut queue = self.shared.queue.lock();
+        let before = queue.len();
+        queue.extend(values);
+        let added = queue.len() - before;
+        if added > 0 {
+            self.shared.len.fetch_add(added, Ordering::AcqRel);
+        }
     }
 }
 
@@ -180,5 +239,79 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(10));
         tx.send(99);
         assert_eq!(h.join().unwrap(), Some(99));
+    }
+
+    #[test]
+    fn send_many_preserves_order_across_senders() {
+        let (tx, rx) = Inbox::new();
+        tx.send_many([1, 2, 3]);
+        let tx2 = tx.clone();
+        tx2.send_many(vec![4, 5]);
+        assert_eq!(rx.len(), 5);
+        let mut out = Vec::new();
+        assert_eq!(rx.drain_into(&mut out, 100), Ok(5));
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn drain_into_respects_max() {
+        let (tx, rx) = Inbox::new();
+        tx.send_many(0..10);
+        let mut out = Vec::new();
+        assert_eq!(rx.drain_into(&mut out, 4), Ok(4));
+        assert_eq!(rx.drain_into(&mut out, 4), Ok(4));
+        assert_eq!(rx.drain_into(&mut out, 4), Ok(2));
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        assert_eq!(rx.drain_into(&mut out, 4), Err(PopState::Empty));
+        drop(tx);
+        assert_eq!(rx.drain_into(&mut out, 4), Err(PopState::Disconnected));
+    }
+
+    #[test]
+    fn drain_sees_final_messages_after_disconnect() {
+        let (tx, rx) = Inbox::new();
+        tx.send_many([1, 2]);
+        drop(tx);
+        let mut out = Vec::new();
+        assert_eq!(rx.drain_into(&mut out, 10), Ok(2));
+        assert_eq!(rx.drain_into(&mut out, 10), Err(PopState::Disconnected));
+    }
+
+    #[test]
+    fn concurrent_bulk_senders_bulk_receiver() {
+        let (tx, rx) = Inbox::new();
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for chunk in 0..100u64 {
+                    let base = t * 100_000 + chunk * 100;
+                    tx.send_many(base..base + 100);
+                }
+            }));
+        }
+        drop(tx);
+        let mut all = Vec::new();
+        let mut backoff = Backoff::new();
+        loop {
+            match rx.drain_into(&mut all, 256) {
+                Ok(_) => backoff.reset(),
+                Err(PopState::Empty) => backoff.wait(),
+                Err(PopState::Disconnected) => break,
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(all.len(), 40_000);
+        // Per-sender order must hold even though senders interleave.
+        for t in 0..4u64 {
+            let mine: Vec<u64> = all
+                .iter()
+                .copied()
+                .filter(|v| v / 100_000 == t)
+                .collect();
+            assert!(mine.windows(2).all(|w| w[0] < w[1]), "sender {t} reordered");
+        }
     }
 }

@@ -29,7 +29,7 @@ pub mod network;
 pub mod spsc;
 
 pub use batch::Batch;
-pub use beam::{BeamId, BeamRegistry};
+pub use beam::{BeamId, BeamReader, BeamRegistry};
 pub use inbox::{Inbox, InboxSender};
 pub use link::{LinkReceiver, LinkSender, LinkSpec, RecvState, SimLink};
 pub use network::{LinkClass, Topology};

@@ -129,6 +129,76 @@ impl<T> LinkSender<T> {
             .map_err(|t| t.item)
     }
 
+    /// Bulk send: ships every item as one wire transfer of `total_bytes`.
+    ///
+    /// All items share a single modeled delivery time — exactly how one
+    /// batched message behaves on a real link — so the whole group costs
+    /// one clock read and one `busy_until` update instead of one per item,
+    /// and the ring crossing uses the bulk [`SpscProducer::push_drain`]
+    /// path. Spins under backpressure; returns `Err(remaining)` count if
+    /// the receiver disconnects mid-batch.
+    ///
+    /// Use this when the group really is one logical message. For a
+    /// sequence of *separate* transfers (a scan's batches), use
+    /// [`LinkSender::send_pipelined_blocking`], which keeps per-item
+    /// delivery times so the receiver can overlap consumption with the
+    /// rest of the transfer.
+    pub fn send_many_blocking(&mut self, items: Vec<T>, total_bytes: usize) -> Result<(), usize> {
+        let deliver_at = self.compute_deliver_at(total_bytes);
+        let timed: Vec<Timed<T>> = items
+            .into_iter()
+            .map(|item| Timed { deliver_at, item })
+            .collect();
+        self.push_all(timed)
+    }
+
+    /// Bulk send of *separate* transfers: each item keeps its own wire
+    /// size and serialized delivery time (transfer `k+1` starts when `k`
+    /// leaves the link), preserving the transfer/compute overlap of a
+    /// `send_blocking` loop — but the whole group costs one clock read,
+    /// and the ring crossing uses the bulk path. Spins under
+    /// backpressure; returns `Err(remaining)` on receiver disconnect.
+    pub fn send_pipelined_blocking(
+        &mut self,
+        items: impl IntoIterator<Item = (T, usize)>,
+    ) -> Result<(), usize> {
+        let now = if self.spec.is_instant() {
+            None
+        } else {
+            Some(Instant::now())
+        };
+        let timed: Vec<Timed<T>> = items
+            .into_iter()
+            .map(|(item, bytes)| {
+                let deliver_at = now.map(|now| {
+                    let start = match self.busy_until {
+                        Some(b) if b > now => b,
+                        _ => now,
+                    };
+                    let busy = start + self.spec.transfer_time(bytes);
+                    self.busy_until = Some(busy);
+                    busy + self.spec.latency
+                });
+                Timed { deliver_at, item }
+            })
+            .collect();
+        self.push_all(timed)
+    }
+
+    fn push_all(&mut self, mut timed: Vec<Timed<T>>) -> Result<(), usize> {
+        while !timed.is_empty() {
+            match self.ring.push_drain(&mut timed) {
+                Ok(0) => {
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                }
+                Ok(_) => {}
+                Err(_) => return Err(timed.len()),
+            }
+        }
+        Ok(())
+    }
+
     fn compute_deliver_at(&mut self, bytes: usize) -> Option<Instant> {
         if self.spec.is_instant() {
             return None;
@@ -220,10 +290,38 @@ impl<T> LinkReceiver<T> {
     /// Drains every message that is already deliverable into `out`;
     /// returns how many were drained.
     pub fn drain_ready(&mut self, out: &mut Vec<T>) -> usize {
+        self.drain_ready_max(out, usize::MAX)
+    }
+
+    /// Like [`LinkReceiver::drain_ready`] but takes at most `max`
+    /// messages, and reads the clock once for the whole drain instead of
+    /// once per message (in-flight checks compare against that one
+    /// timestamp — correct because delivery times are monotone per link).
+    pub fn drain_ready_max(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut now: Option<Instant> = None;
         let mut n = 0;
-        while let Ok(v) = self.try_recv() {
-            out.push(v);
-            n += 1;
+        while n < max {
+            match self.ring.peek() {
+                Some(timed) => {
+                    if let Some(at) = timed.deliver_at {
+                        let now = *now.get_or_insert_with(Instant::now);
+                        if at > now {
+                            break;
+                        }
+                    }
+                    match self.ring.pop() {
+                        Ok(t) => {
+                            out.push(t.item);
+                            n += 1;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                None => break,
+            }
         }
         n
     }
@@ -368,6 +466,79 @@ mod tests {
         tx.send(2u8, 0).unwrap(); // not deliverable yet
         assert_eq!(rx.drain_ready(&mut out), 1);
         assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn send_many_shares_one_delivery_time() {
+        // A 10-message batch of 1 MB total at 100 MB/s occupies the link
+        // for one 10 ms transfer, not ten serialized ones. Asserted on
+        // the modeled `busy_until` (deterministic), not wall-clock
+        // delivery, which a loaded 1-core host can delay arbitrarily.
+        let spec = LinkSpec {
+            latency: Duration::ZERO,
+            bytes_per_sec: 100.0 * 1024.0 * 1024.0,
+            offload: false,
+        };
+        let (mut tx, mut rx) = SimLink::channel(spec, 16);
+        let start = Instant::now();
+        tx.send_many_blocking((0..10u8).collect(), 1024 * 1024).unwrap();
+        let busy = tx.busy_until().expect("transfer modeled") - start;
+        assert!(
+            busy < Duration::from_millis(50),
+            "batch occupied the link per-message: {busy:?}"
+        );
+        let mut out = Vec::new();
+        while out.len() < 10 {
+            match rx.recv_blocking() {
+                Some(v) => out.push(v),
+                None => break,
+            }
+        }
+        let elapsed = start.elapsed();
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        assert!(elapsed >= Duration::from_millis(9), "too early: {elapsed:?}");
+    }
+
+    #[test]
+    fn send_pipelined_keeps_per_item_transfers() {
+        // Two 10 ms transfers shipped with one call still serialize on
+        // the link: the first is deliverable ~10 ms in, the second ~20 ms
+        // — so a consumer can overlap work with the in-flight remainder.
+        let spec = LinkSpec {
+            latency: Duration::ZERO,
+            bytes_per_sec: 100.0 * 1024.0 * 1024.0,
+            offload: false,
+        };
+        let (mut tx, mut rx) = SimLink::channel(spec, 16);
+        let start = Instant::now();
+        tx.send_pipelined_blocking([(1u8, 1024 * 1024), (2u8, 1024 * 1024)])
+            .unwrap();
+        let busy = tx.busy_until().expect("transfers modeled") - start;
+        assert!(
+            busy >= Duration::from_millis(18),
+            "transfers overlapped on the link: {busy:?}"
+        );
+        assert_eq!(rx.recv_blocking(), Some(1));
+        assert_eq!(rx.recv_blocking(), Some(2));
+        assert!(start.elapsed() >= Duration::from_millis(18));
+    }
+
+    #[test]
+    fn send_many_reports_disconnect_with_remainder() {
+        let (mut tx, rx) = SimLink::channel::<u8>(LinkSpec::instant(), 4);
+        drop(rx);
+        assert_eq!(tx.send_many_blocking(vec![1, 2, 3], 30), Err(3));
+    }
+
+    #[test]
+    fn drain_ready_max_caps_the_chunk() {
+        let (mut tx, mut rx) = SimLink::channel(LinkSpec::instant(), 16);
+        tx.send_many_blocking((0..10u32).collect(), 0).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(rx.drain_ready_max(&mut out, 4), 4);
+        assert_eq!(rx.drain_ready_max(&mut out, 100), 6);
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        assert_eq!(rx.drain_ready_max(&mut out, 4), 0);
     }
 
     #[test]

@@ -3,7 +3,9 @@
 use anydb_common::{Tuple, Value};
 use anydb_stream::batch::Batch;
 use anydb_stream::flow::Flow;
+use anydb_stream::inbox::Inbox;
 use anydb_stream::link::{LinkSpec, SimLink};
+use anydb_stream::spsc::{spsc_channel, PopState};
 use proptest::prelude::*;
 use std::time::Duration;
 
@@ -22,13 +24,95 @@ proptest! {
     /// Flows are order-preserving filters: output is a subsequence of the
     /// input and exactly the tuples matching the predicate.
     #[test]
-    fn flow_filter_is_exact(values in prop::collection::vec(any::<i64>(), 0..100), threshold: i64) {
+    fn flow_filter_is_exact(values in prop::collection::vec(any::<i64>(), 0..100), threshold in any::<i64>()) {
         let flow = Flow::identity().filter(move |t| t.get(0).as_int().unwrap() >= threshold);
         let batch = Batch::new(values.iter().map(|v| Tuple::new(vec![Value::Int(*v)])).collect());
         let out = flow.apply(batch);
         let got: Vec<i64> = out.tuples().iter().map(|t| t.get(0).as_int().unwrap()).collect();
         let expected: Vec<i64> = values.iter().copied().filter(|v| *v >= threshold).collect();
         prop_assert_eq!(got, expected);
+    }
+
+    /// Bulk SPSC transfer round-trips any payload exactly once, in order,
+    /// for any ring capacity and any interleaving of bulk push/pop sizes —
+    /// including partial batches that straddle the ring's wrap-around.
+    #[test]
+    fn spsc_bulk_roundtrip(
+        cap in 1usize..17,
+        payload in prop::collection::vec(any::<i64>(), 0..300),
+        sizes in prop::collection::vec((1usize..9, 1usize..9), 1..64),
+    ) {
+        let (mut tx, mut rx) = spsc_channel::<i64>(cap);
+        let mut sent = 0usize;
+        let mut got: Vec<i64> = Vec::new();
+        let mut out: Vec<i64> = Vec::new();
+        let mut step = 0usize;
+        // Alternate bulk pushes and bounded bulk pops until the payload is
+        // fully transferred; sizes deliberately disagree with `cap` so
+        // partial batches and wrap-around occur constantly.
+        while got.len() < payload.len() {
+            let (push_n, pop_n) = sizes[step % sizes.len()];
+            step += 1;
+            if sent < payload.len() {
+                let hi = (sent + push_n).min(payload.len());
+                sent += tx.push_slice(&payload[sent..hi]).unwrap();
+            }
+            out.clear();
+            match rx.pop_chunk(&mut out, pop_n) {
+                Ok(n) => {
+                    prop_assert!(n > 0 && n <= pop_n);
+                    prop_assert_eq!(n, out.len());
+                    got.extend_from_slice(&out);
+                }
+                Err(PopState::Empty) => {}
+                Err(PopState::Disconnected) => unreachable!("producer alive"),
+            }
+        }
+        prop_assert_eq!(got, payload);
+    }
+
+    /// A consumer disconnect mid-batch loses nothing that was accepted:
+    /// push_slice reports Disconnected without taking elements, and
+    /// everything accepted earlier is dropped safely with the ring.
+    #[test]
+    fn spsc_disconnect_mid_batch(
+        cap in 1usize..16,
+        first in prop::collection::vec(any::<u32>(), 0..32),
+        second in prop::collection::vec(any::<u32>(), 1..32),
+    ) {
+        let (mut tx, rx) = spsc_channel::<u32>(cap);
+        let taken = tx.push_slice(&first).unwrap();
+        prop_assert_eq!(taken, first.len().min(cap));
+        drop(rx);
+        prop_assert_eq!(tx.push_slice(&second), Err(PopState::Disconnected));
+        let mut rest = second.clone();
+        prop_assert_eq!(tx.push_drain(&mut rest), Err(PopState::Disconnected));
+        prop_assert_eq!(rest.len(), second.len());
+    }
+
+    /// Inbox bulk send/drain conserves every event and preserves order,
+    /// for any chunking on either side; a drain after the last sender
+    /// drops still surfaces queued events before reporting disconnect.
+    #[test]
+    fn inbox_bulk_roundtrip(
+        payload in prop::collection::vec(any::<i64>(), 0..300),
+        send_chunk in 1usize..33,
+        drain_chunk in 1usize..33,
+    ) {
+        let (tx, rx) = Inbox::<i64>::new();
+        for chunk in payload.chunks(send_chunk) {
+            tx.send_many(chunk.iter().copied());
+        }
+        drop(tx);
+        let mut got = Vec::new();
+        loop {
+            match rx.drain_into(&mut got, drain_chunk) {
+                Ok(n) => prop_assert!(n > 0 && n <= drain_chunk),
+                Err(PopState::Disconnected) => break,
+                Err(PopState::Empty) => unreachable!("sender already dropped"),
+            }
+        }
+        prop_assert_eq!(got, payload);
     }
 
     /// Links deliver every message exactly once in order for arbitrary

@@ -56,9 +56,7 @@ impl LockEntry {
     /// wait-die requester may wait).
     fn may_wait(&self, txn: TxnId, mode: LockMode) -> bool {
         self.holders.iter().all(|(t, m)| {
-            *t == txn
-                || *t > txn
-                || (mode == LockMode::Shared && *m == LockMode::Shared)
+            *t >= txn || (mode == LockMode::Shared && *m == LockMode::Shared)
         })
     }
 }

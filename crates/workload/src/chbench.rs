@@ -36,7 +36,7 @@ impl Default for Q3Spec {
     fn default() -> Self {
         Self {
             state_prefix: 'A',
-            entry_date_min: 2007_01_01,
+            entry_date_min: 20070101, // 2007-01-01
         }
     }
 }
@@ -109,13 +109,13 @@ pub fn reference_q3(
     let qualifying_customers: HashSet<(i64, i64, i64)> = customers
         .iter()
         .filter(|t| spec.customer_filter(t))
-        .map(|t| Q3Spec::customer_join_key(t))
+        .map(Q3Spec::customer_join_key)
         .collect();
     let qualifying_orders: HashSet<(i64, i64, i64)> = orders
         .iter()
         .filter(|t| spec.order_filter(t))
         .filter(|t| qualifying_customers.contains(&Q3Spec::order_customer_key(t)))
-        .map(|t| Q3Spec::order_key(t))
+        .map(Q3Spec::order_key)
         .collect();
     neworders
         .iter()

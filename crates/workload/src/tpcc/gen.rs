@@ -90,6 +90,7 @@ impl PaymentGen {
     }
 
     /// Next payment.
+    #[allow(clippy::should_implement_trait)] // generator API, not an Iterator
     pub fn next(&mut self) -> PaymentParams {
         let w_id = self.warehouse_dist.sample(&mut self.rng) as i64 + 1;
         self.next_for_warehouse(w_id)
@@ -122,7 +123,7 @@ impl PaymentGen {
             c_d_id: d_id,
             customer,
             amount: self.rng.random_range(1.0..5000.0),
-            date: 2020_01_01,
+            date: 20200101, // 2020-01-01
         }
     }
 }
@@ -156,6 +157,7 @@ impl NewOrderGen {
     }
 
     /// Next new-order.
+    #[allow(clippy::should_implement_trait)] // generator API, not an Iterator
     pub fn next(&mut self) -> NewOrderParams {
         let w_id = self.warehouse_dist.sample(&mut self.rng) as i64 + 1;
         self.next_for_warehouse(w_id)
@@ -185,7 +187,7 @@ impl NewOrderGen {
             d_id,
             c_id,
             lines,
-            entry_date: 2020_01_01,
+            entry_date: 20200101, // 2020-01-01
             rollback: self.rng.random_bool(0.01),
         }
     }
@@ -236,6 +238,7 @@ impl MixGen {
     }
 
     /// Next request.
+    #[allow(clippy::should_implement_trait)] // generator API, not an Iterator
     pub fn next(&mut self) -> TxnRequest {
         if self.rng.random_bool(self.payment_fraction) {
             TxnRequest::Payment(self.payment.next())

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use anydb::common::metrics::Counter;
 use anydb::common::{AcId, TxnId};
 use anydb::core::component::AnyComponent;
-use anydb::core::event::{Event, TxnTracker};
+use anydb::core::event::{Event, OpEnvelope, TxnTracker};
 use anydb::core::strategy::payment_stage_groups;
 use anydb::txn::sequencer::Sequencer;
 use anydb::workload::tpcc::gen::TxnRequest;
@@ -66,14 +66,14 @@ fn main() {
     let groups = payment_stage_groups(&p);
     let tracker = TxnTracker::new(TxnId(2), groups.len() as u32, done_tx.clone());
     for (stage, ops) in groups {
-        senders[stage as usize % senders.len()].send(Event::OpGroup {
+        senders[stage as usize % senders.len()].send(Event::OpGroup(OpEnvelope {
             txn: TxnId(2),
             stage,
             domain,
             seq,
             ops,
             tracker: tracker.clone(),
-        });
+        }));
     }
     let d = done_rx.recv().unwrap();
     println!(

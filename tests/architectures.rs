@@ -7,7 +7,7 @@ use std::sync::Arc;
 use anydb::common::metrics::Counter;
 use anydb::common::{AcId, TxnId};
 use anydb::core::component::AnyComponent;
-use anydb::core::event::{Event, TxnTracker};
+use anydb::core::event::{Event, OpEnvelope, TxnTracker};
 use anydb::core::strategy::payment_stage_groups;
 use anydb::txn::sequencer::Sequencer;
 use anydb::workload::tpcc::cols::warehouse;
@@ -63,14 +63,14 @@ fn one_pool_serves_aggregated_and_disaggregated_queries_concurrently() {
     let groups = payment_stage_groups(&p);
     let tracker = TxnTracker::new(TxnId(2), groups.len() as u32, done_tx.clone());
     for (stage, ops) in groups {
-        senders[stage as usize % senders.len()].send(Event::OpGroup {
+        senders[stage as usize % senders.len()].send(Event::OpGroup(OpEnvelope {
             txn: TxnId(2),
             stage,
             domain,
             seq,
             ops,
             tracker: tracker.clone(),
-        });
+        }));
     }
 
     let mut oks = 0;
@@ -155,14 +155,14 @@ fn order_gates_hold_across_interleaved_domains() {
     }
     for (i, (domain, w, seq)) in submissions.iter().enumerate() {
         let tracker = TxnTracker::new(TxnId(i as u64), 1, done_tx.clone());
-        ac.send(Event::OpGroup {
+        ac.send(Event::OpGroup(OpEnvelope {
             txn: TxnId(i as u64),
             stage: 0,
             domain: *domain,
             seq: *seq,
             ops: vec![anydb::core::event::TxnOp::PayWarehouse { w: *w, amount: 1.0 }],
             tracker,
-        });
+        }));
     }
     for _ in 0..submissions.len() {
         assert!(done_rx.recv().unwrap().ok);

@@ -13,7 +13,11 @@ use anydb::workload::tpcc::{TpccConfig, TpccDb};
 
 #[test]
 fn both_systems_answer_q3_identically() {
-    let db = Arc::new(TpccDb::load(TpccConfig::small(), 301).unwrap());
+    // Seed 302: under the workspace's deterministic RNG, seed 301 happens
+    // to load zero open A-state orders at small scale, which would make
+    // the `a > 0` assertion below vacuous-fail for reasons unrelated to
+    // the engines being compared.
+    let db = Arc::new(TpccDb::load(TpccConfig::small(), 302).unwrap());
     let spec = Q3Spec::default();
     let a = anydb::dbx1000::exec_q3(&db, &spec);
     let b = anydb::core::olap::exec_q3_local(&db, &spec);
