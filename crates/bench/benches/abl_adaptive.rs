@@ -1,0 +1,295 @@
+//! Ablation: adaptive vs. static batch sizing (PR 2 tentpole).
+//!
+//! The batched event streams of PR 1 left the batch size a static knob:
+//! 1 is the latency end, 64 the throughput end, and nothing picks between
+//! them. This ablation measures the `AdaptiveBatch` controller against
+//! both static endpoints on the two event transports:
+//!
+//! * **loaded**: one producer floods 2M events; both sides size their
+//!   transfer chunks per their controller, fed by the queue-depth
+//!   mirrors. Adaptive must match static(64) — backlog drives it to the
+//!   cap almost immediately.
+//! * **idle**: events trickle in one at a time; the producer-side batcher
+//!   holds events until its current batch size fills (the dispatch-
+//!   batcher model). Static(64) turns the trickle into multi-millisecond
+//!   queueing delay; adaptive decays to per-event shipping.
+//!
+//! Acceptance (gated in CI via `tools/bench_gate.rs` against
+//! `tools/bench_baseline.json`): adaptive ≥ 95% of static(64) events/sec
+//! on both loaded transports, and far below static(64)'s idle latency.
+//! The run emits `BENCH_adaptive.json` at the repo root for the gate and
+//! the CI artifact.
+
+use std::time::{Duration, Instant};
+
+use anydb_bench::{figure_header, row};
+use anydb_stream::adaptive::AdaptiveBatch;
+use anydb_stream::inbox::Inbox;
+use anydb_stream::spsc::{spsc_channel, PopState};
+
+const ITEMS: u64 = 2_000_000;
+const CAP: usize = 1024;
+/// Trickle events for the idle-latency model.
+const IDLE_EVENTS: usize = 512;
+/// Inter-arrival gap of the trickle.
+const IDLE_GAP: Duration = Duration::from_micros(50);
+/// Loaded runs per mode; the median filters scheduler noise on the
+/// 1-core CI host.
+const REPS: usize = 3;
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Static1,
+    Static64,
+    Adaptive,
+}
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Static1 => "static(1)",
+            Mode::Static64 => "static(64)",
+            Mode::Adaptive => "adaptive(1..64)",
+        }
+    }
+
+    fn controller(self) -> AdaptiveBatch {
+        match self {
+            Mode::Static1 => AdaptiveBatch::fixed(1),
+            Mode::Static64 => AdaptiveBatch::fixed(64),
+            Mode::Adaptive => AdaptiveBatch::new(1, 64),
+        }
+    }
+}
+
+/// Loaded SPSC transfer: producer and consumer each size their chunks
+/// with their own controller, fed by the ring's occupancy.
+fn bench_spsc(mode: Mode) -> f64 {
+    let (mut tx, mut rx) = spsc_channel::<u64>(CAP);
+    let start = Instant::now();
+    let producer = std::thread::spawn(move || {
+        let mut ctrl = mode.controller();
+        let mut chunk: Vec<u64> = Vec::with_capacity(ctrl.max());
+        let mut sent = 0u64;
+        while sent < ITEMS {
+            let hi = (sent + ctrl.current() as u64).min(ITEMS);
+            chunk.clear();
+            chunk.extend(sent..hi);
+            let mut off = 0;
+            while off < chunk.len() {
+                match tx.push_slice(&chunk[off..]) {
+                    Ok(0) => std::thread::yield_now(),
+                    Ok(n) => off += n,
+                    Err(_) => panic!("consumer vanished"),
+                }
+            }
+            sent = hi;
+            ctrl.observe(tx.len());
+        }
+    });
+    let mut ctrl = mode.controller();
+    let mut out: Vec<u64> = Vec::with_capacity(ctrl.max());
+    let mut received = 0u64;
+    loop {
+        out.clear();
+        match rx.pop_chunk(&mut out, ctrl.current()) {
+            Ok(n) => {
+                received += n as u64;
+                ctrl.observe(rx.len());
+            }
+            Err(PopState::Empty) => std::thread::yield_now(),
+            Err(PopState::Disconnected) => break,
+        }
+    }
+    producer.join().unwrap();
+    assert_eq!(received, ITEMS);
+    ITEMS as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Loaded inbox transfer: `send_many` / `drain_into` sized per controller.
+fn bench_inbox(mode: Mode) -> f64 {
+    let (tx, rx) = Inbox::<u64>::new();
+    let start = Instant::now();
+    let producer = std::thread::spawn(move || {
+        let mut ctrl = mode.controller();
+        let mut i = 0u64;
+        while i < ITEMS {
+            let hi = (i + ctrl.current() as u64).min(ITEMS);
+            tx.send_many(i..hi);
+            i = hi;
+            ctrl.observe(tx.len());
+        }
+    });
+    let mut ctrl = mode.controller();
+    let mut out: Vec<u64> = Vec::with_capacity(ctrl.max());
+    let mut received = 0u64;
+    loop {
+        out.clear();
+        match rx.drain_into(&mut out, ctrl.current()) {
+            Ok(n) => {
+                received += n as u64;
+                ctrl.observe(rx.len());
+            }
+            Err(PopState::Empty) => std::thread::yield_now(),
+            Err(PopState::Disconnected) => break,
+        }
+    }
+    producer.join().unwrap();
+    assert_eq!(received, ITEMS);
+    ITEMS as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Idle-queue latency: a trickle of timestamped events through a
+/// sender-side batcher that ships when the controller's current batch
+/// fills (the `DispatchBatcher` hold-until-full model). Returns the mean
+/// enqueue→receive latency in microseconds.
+fn bench_idle_latency(mode: Mode) -> f64 {
+    let (tx, rx) = Inbox::<Instant>::new();
+    let producer = std::thread::spawn(move || {
+        let mut ctrl = mode.controller();
+        let mut pending: Vec<Instant> = Vec::with_capacity(ctrl.max());
+        for _ in 0..IDLE_EVENTS {
+            std::thread::sleep(IDLE_GAP);
+            pending.push(Instant::now());
+            if pending.len() >= ctrl.current() {
+                tx.send_many(pending.drain(..));
+            }
+            ctrl.observe(tx.len());
+        }
+        if !pending.is_empty() {
+            tx.send_many(pending.drain(..));
+        }
+    });
+    let mut out: Vec<Instant> = Vec::new();
+    let mut total = Duration::ZERO;
+    let mut n = 0usize;
+    let mut backoff = anydb_common::backoff::Backoff::new();
+    loop {
+        out.clear();
+        match rx.drain_into(&mut out, usize::MAX) {
+            Ok(_) => {
+                let now = Instant::now();
+                for sent in &out {
+                    total += now.duration_since(*sent);
+                    n += 1;
+                }
+                backoff.reset();
+            }
+            Err(PopState::Empty) => backoff.wait(),
+            Err(PopState::Disconnected) => break,
+        }
+    }
+    producer.join().unwrap();
+    assert_eq!(n, IDLE_EVENTS);
+    total.as_secs_f64() * 1e6 / n as f64
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN throughput"));
+    v[v.len() / 2]
+}
+
+fn write_json(path: &std::path::Path, pairs: &[(String, f64)]) {
+    use std::io::Write;
+    let mut f =
+        std::fs::File::create(path).unwrap_or_else(|e| panic!("create {}: {e}", path.display()));
+    writeln!(f, "{{").unwrap();
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        let comma = if i + 1 == pairs.len() { "" } else { "," };
+        writeln!(f, "  \"{k}\": {v:.4}{comma}").unwrap();
+    }
+    writeln!(f, "}}").unwrap();
+}
+
+fn main() {
+    figure_header(
+        "Ablation: adaptive vs static batch sizing (SPSC + inbox)",
+        "Loaded: 2M u64 events, one producer, one consumer, chunks sized\n\
+         per mode. Idle: 512 events trickling at 50us, sender-side batcher\n\
+         holds until the current batch fills.",
+    );
+
+    let modes = [Mode::Static1, Mode::Static64, Mode::Adaptive];
+    let widths = [16usize, 16, 16, 18];
+    row(
+        &[
+            "mode".into(),
+            "spsc M ev/s".into(),
+            "inbox M ev/s".into(),
+            "idle lat us/ev".into(),
+        ],
+        &widths,
+    );
+    let mut spsc = Vec::new();
+    let mut inbox = Vec::new();
+    let mut idle = Vec::new();
+    for &mode in &modes {
+        let s = median((0..REPS).map(|_| bench_spsc(mode)).collect());
+        let i = median((0..REPS).map(|_| bench_inbox(mode)).collect());
+        let l = bench_idle_latency(mode);
+        row(
+            &[
+                mode.label().into(),
+                format!("{:.1}", s / 1e6),
+                format!("{:.1}", i / 1e6),
+                format!("{l:.1}"),
+            ],
+            &widths,
+        );
+        spsc.push(s);
+        inbox.push(i);
+        idle.push(l);
+    }
+
+    let pairs: Vec<(String, f64)> = vec![
+        ("spsc_static1_mev_s".into(), spsc[0] / 1e6),
+        ("spsc_static64_mev_s".into(), spsc[1] / 1e6),
+        ("spsc_adaptive_mev_s".into(), spsc[2] / 1e6),
+        ("inbox_static1_mev_s".into(), inbox[0] / 1e6),
+        ("inbox_static64_mev_s".into(), inbox[1] / 1e6),
+        ("inbox_adaptive_mev_s".into(), inbox[2] / 1e6),
+        ("idle_latency_us_static1".into(), idle[0]),
+        ("idle_latency_us_static64".into(), idle[1]),
+        ("idle_latency_us_adaptive".into(), idle[2]),
+        ("ratio_spsc_static64_vs_static1".into(), spsc[1] / spsc[0]),
+        (
+            "ratio_inbox_static64_vs_static1".into(),
+            inbox[1] / inbox[0],
+        ),
+        ("ratio_spsc_adaptive_vs_static64".into(), spsc[2] / spsc[1]),
+        (
+            "ratio_inbox_adaptive_vs_static64".into(),
+            inbox[2] / inbox[1],
+        ),
+        (
+            "ratio_idle_latency_adaptive_vs_static64".into(),
+            idle[2] / idle[1],
+        ),
+    ];
+
+    println!();
+    println!(
+        "spsc  adaptive/static(64): {:.2}x   inbox adaptive/static(64): {:.2}x",
+        spsc[2] / spsc[1],
+        inbox[2] / inbox[1]
+    );
+    println!(
+        "idle latency adaptive/static(64): {:.3}x",
+        idle[2] / idle[1]
+    );
+    println!("(acceptance: loaded ratios >= 0.95, idle ratio well below 1)");
+
+    // Emitted at the repo root for tools/bench_gate.rs and the CI
+    // artifact; overridable for local experiments.
+    let out = std::env::var("BENCH_ADAPTIVE_JSON").map_or_else(
+        |_| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_adaptive.json")
+        },
+        std::path::PathBuf::from,
+    );
+    write_json(&out, &pairs);
+    println!();
+    println!("wrote {}", out.display());
+}

@@ -52,12 +52,7 @@ fn main() {
         let r = run_q3(&db, spec, &cfg);
         floor = floor.min(r.probe.as_secs_f64() * 1e3);
         row(
-            &[
-                lead.to_string(),
-                ms(r.build),
-                ms(r.probe),
-                ms(r.total),
-            ],
+            &[lead.to_string(), ms(r.build), ms(r.probe), ms(r.total)],
             &widths,
         );
     }

@@ -29,11 +29,7 @@ fn main() {
     };
     let widths = [28usize, 14, 14];
     row(
-        &[
-            "strategy".into(),
-            "tx/s".into(),
-            "us per txn".into(),
-        ],
+        &["strategy".into(), "tx/s".into(), "us per txn".into()],
         &widths,
     );
     for strategy in [

@@ -27,7 +27,7 @@ fn main() {
     );
 
     let horizon = Duration::from_millis(400);
-    let (anydb, dbx) = figure1_series(4, horizon, 0xF16_1);
+    let (anydb, dbx) = figure1_series(4, horizon, 0xF161);
 
     let widths = [5usize, 20, 12, 12, 14];
     row(
@@ -60,7 +60,7 @@ fn main() {
         warehouses: 2,
         ..TpccConfig::default()
     };
-    let db = Arc::new(TpccDb::load(cfg.clone(), 0xF16_1).unwrap());
+    let db = Arc::new(TpccDb::load(cfg.clone(), 0xF161).unwrap());
     let schedule = PhaseSchedule::figure1();
     let phase_time = Duration::from_millis(120);
 
@@ -74,7 +74,7 @@ fn main() {
     );
     let any_real = anydb_engine.run_schedule(&schedule, phase_time, 1);
 
-    let db2 = Arc::new(TpccDb::load(cfg, 0xF16_2).unwrap());
+    let db2 = Arc::new(TpccDb::load(cfg, 0xF162).unwrap());
     let baseline = Dbx1000::new(
         db2,
         Dbx1000Config {

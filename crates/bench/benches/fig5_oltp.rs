@@ -16,7 +16,7 @@ fn main() {
     );
 
     let horizon = Duration::from_millis(400);
-    let series = figure5_series(4, horizon, 0xF16_5);
+    let series = figure5_series(4, horizon, 0xF165);
 
     let mut widths = vec![26usize];
     widths.extend(std::iter::repeat_n(8usize, 6));

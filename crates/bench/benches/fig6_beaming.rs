@@ -35,7 +35,7 @@ fn main() {
         lines_per_order: 1,
         ..TpccConfig::default()
     };
-    let db = Arc::new(TpccDb::load(cfg, 0xF16_6).unwrap());
+    let db = Arc::new(TpccDb::load(cfg, 0xF166).unwrap());
     let spec = Q3Spec::default();
 
     let compile_points: Vec<u64> = (0..=40).step_by(5).collect();
@@ -48,11 +48,8 @@ fn main() {
 
     // Untimed warmup: fault in the tables and warm the allocator so the
     // first measured cell is not polluted by cold-start costs.
-    let warm = BeamingConfig::paper_default(
-        BeamVariant::Baseline,
-        ArchMode::Aggregated,
-        Duration::ZERO,
-    );
+    let warm =
+        BeamingConfig::paper_default(BeamVariant::Baseline, ArchMode::Aggregated, Duration::ZERO);
     let _ = run_q3(&db, spec, &warm);
 
     // Collect all runs first: runs[(variant, arch)][compile] -> result.
@@ -61,8 +58,7 @@ fn main() {
         for &arch in &archs {
             let mut series = Vec::new();
             for &cms in &compile_points {
-                let cfg =
-                    BeamingConfig::paper_default(variant, arch, Duration::from_millis(cms));
+                let cfg = BeamingConfig::paper_default(variant, arch, Duration::from_millis(cms));
                 let r = run_q3(&db, spec, &cfg);
                 series.push(r);
             }
@@ -96,7 +92,8 @@ fn main() {
         println!();
     }
     let rows = results[0].2[0].rows;
-    println!("qualifying open orders per query: {rows} (identical across all runs: {})",
+    println!(
+        "qualifying open orders per query: {rows} (identical across all runs: {})",
         results
             .iter()
             .all(|(_, _, s)| s.iter().all(|r| r.rows == rows))

@@ -57,7 +57,9 @@ fn bench_tuple_codec(c: &mut Criterion) {
     ]);
     c.bench_function("tuple_encode", |b| b.iter(|| tuple.encode()));
     let bytes = tuple.encode();
-    c.bench_function("tuple_decode", |b| b.iter(|| Tuple::decode(&bytes).unwrap()));
+    c.bench_function("tuple_decode", |b| {
+        b.iter(|| Tuple::decode(&bytes).unwrap())
+    });
 }
 
 fn bench_cc_primitives(c: &mut Criterion) {

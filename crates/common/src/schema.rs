@@ -69,11 +69,7 @@ impl Schema {
     /// # Panics
     /// Panics if a primary-key column name is unknown or duplicated — this
     /// is a static definition error, not a runtime condition.
-    pub fn new(
-        name: impl Into<String>,
-        columns: Vec<ColumnDef>,
-        primary_key: &[&str],
-    ) -> Self {
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>, primary_key: &[&str]) -> Self {
         let name = name.into();
         let mut pk = Vec::with_capacity(primary_key.len());
         for key in primary_key {
@@ -197,7 +193,9 @@ mod tests {
             .check(&[Value::str("x"), Value::str("a"), Value::Null])
             .is_err());
         // null in non-nullable
-        assert!(s.check(&[Value::Null, Value::str("a"), Value::Null]).is_err());
+        assert!(s
+            .check(&[Value::Null, Value::str("a"), Value::Null])
+            .is_err());
     }
 
     #[test]

@@ -164,8 +164,8 @@ impl Tuple {
                     }
                     let mut bytes = vec![0u8; len];
                     buf.copy_to_slice(&mut bytes);
-                    let s = String::from_utf8(bytes)
-                        .map_err(|_| DbError::Codec("str not utf-8"))?;
+                    let s =
+                        String::from_utf8(bytes).map_err(|_| DbError::Codec("str not utf-8"))?;
                     Value::from(s)
                 }
                 _ => return Err(DbError::Codec("unknown value tag")),
@@ -263,7 +263,10 @@ mod tests {
         let b = Tuple::new(vec![Value::str("x")]);
         let c = a.concat(&b);
         assert_eq!(c.arity(), 3);
-        assert_eq!(c.project(&[2, 0]).values(), &[Value::str("x"), Value::Int(1)]);
+        assert_eq!(
+            c.project(&[2, 0]).values(),
+            &[Value::str("x"), Value::Int(1)]
+        );
     }
 
     #[test]

@@ -143,7 +143,10 @@ fn spawn_producer(
     host_rate: f64,
     batch_rows: usize,
     ring: usize,
-) -> (anydb_stream::link::LinkReceiver<anydb_stream::batch::Batch>, JoinHandle<usize>) {
+) -> (
+    anydb_stream::link::LinkReceiver<anydb_stream::batch::Batch>,
+    JoinHandle<usize>,
+) {
     let (tx, rx) = SimLink::channel(link, ring);
     let db = db.clone();
     let handle = std::thread::spawn(move || {

@@ -19,6 +19,20 @@
 //! the drivers shipping [`Event::OpBatch`] groups, the per-transaction
 //! queue handshake and hash lookups of the unbatched path collapse into
 //! per-chunk costs (see DESIGN.md on the batching design).
+//!
+//! The chunk size itself is adaptive: an [`AdaptiveBatch`] controller fed
+//! with the inbox backlog left after each drain grows the chunk when the
+//! AC is behind and decays it toward one when the inbox runs dry, so an
+//! idle AC never holds a wakeup's worth of latency hostage to a static
+//! setting.
+//!
+//! ## Batched completions
+//!
+//! Completion notices produced while working through one chunk are not
+//! sent per transaction: they collect in a [`CompletionBatcher`] and ship
+//! as one [`crate::event::DoneBatch`] per driver channel per wakeup —
+//! flushed before the loop blocks, so a waiting driver observes every
+//! completion its events produced.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -29,12 +43,13 @@ use anydb_common::backoff::Backoff;
 use anydb_common::fxmap::FxHashMap;
 use anydb_common::metrics::Counter;
 use anydb_common::{AcId, TxnId};
-use anydb_txn::history::History;
-use anydb_workload::tpcc::TpccDb;
+use anydb_stream::adaptive::AdaptiveBatch;
 use anydb_stream::inbox::{Inbox, InboxSender};
 use anydb_stream::spsc::PopState;
+use anydb_txn::history::History;
+use anydb_workload::tpcc::TpccDb;
 
-use crate::event::{Event, OpEnvelope, TxnOp, TxnTracker};
+use crate::event::{CompletionBatcher, Event, OpEnvelope, TxnOp, TxnTracker};
 use crate::olap::exec_q3_local;
 use crate::ops::{exec_op, exec_whole_txn};
 
@@ -82,13 +97,13 @@ pub struct AnyComponent {
     parked: FxHashMap<(u32, u32), BinaryHeap<Reverse<ParkedEntry>>>,
     /// Transactions completed at this AC (aggregated execution).
     committed: Arc<Counter>,
-    /// Events drained per wakeup.
-    drain_chunk: usize,
+    /// Controller sizing the per-wakeup drain chunk.
+    ctrl: AdaptiveBatch,
 }
 
 impl AnyComponent {
-    /// Spawns an AC thread with the default drain chunk; returns its
-    /// event-stream sender and handle.
+    /// Spawns an AC thread with the default (static) drain chunk; returns
+    /// its event-stream sender and handle.
     pub fn spawn(
         id: AcId,
         db: Arc<TpccDb>,
@@ -98,7 +113,9 @@ impl AnyComponent {
         Self::spawn_with_chunk(id, db, history, committed, DEFAULT_DRAIN_CHUNK)
     }
 
-    /// Spawns an AC thread draining up to `drain_chunk` events per wakeup.
+    /// Spawns an AC thread draining a fixed `drain_chunk` events per
+    /// wakeup (the static end of the knob; engines pass a controller via
+    /// [`AnyComponent::spawn_with_ctrl`]).
     pub fn spawn_with_chunk(
         id: AcId,
         db: Arc<TpccDb>,
@@ -106,7 +123,24 @@ impl AnyComponent {
         committed: Arc<Counter>,
         drain_chunk: usize,
     ) -> (InboxSender<Event>, JoinHandle<()>) {
-        assert!(drain_chunk > 0, "drain chunk must be positive");
+        Self::spawn_with_ctrl(
+            id,
+            db,
+            history,
+            committed,
+            AdaptiveBatch::fixed(drain_chunk),
+        )
+    }
+
+    /// Spawns an AC thread whose drain chunk is sized by `ctrl`, fed with
+    /// the inbox backlog remaining after each drain.
+    pub fn spawn_with_ctrl(
+        id: AcId,
+        db: Arc<TpccDb>,
+        history: Option<Arc<History>>,
+        committed: Arc<Counter>,
+        ctrl: AdaptiveBatch,
+    ) -> (InboxSender<Event>, JoinHandle<()>) {
         let (tx, inbox) = Inbox::new();
         let handle = std::thread::Builder::new()
             .name(format!("ac-{id}"))
@@ -119,7 +153,7 @@ impl AnyComponent {
                     gates: FxHashMap::default(),
                     parked: FxHashMap::default(),
                     committed,
-                    drain_chunk,
+                    ctrl,
                 };
                 ac.run();
             })
@@ -129,11 +163,12 @@ impl AnyComponent {
 
     fn run(&mut self) {
         let mut backoff = Backoff::new();
-        let mut chunk: Vec<Event> = Vec::with_capacity(self.drain_chunk);
+        let mut chunk: Vec<Event> = Vec::with_capacity(self.ctrl.max());
         let mut envelopes: Vec<OpEnvelope> = Vec::new();
+        let mut completions = CompletionBatcher::new();
         'outer: loop {
             chunk.clear();
-            match self.inbox.drain_into(&mut chunk, self.drain_chunk) {
+            match self.inbox.drain_into(&mut chunk, self.ctrl.current()) {
                 Ok(_) => {
                     backoff.reset();
                     // Coalesce runs of consecutive op-group events into one
@@ -146,9 +181,9 @@ impl AnyComponent {
                             Event::OpBatch(mut envs) => envelopes.append(&mut envs),
                             other => {
                                 if !envelopes.is_empty() {
-                                    self.dispatch_envelopes(&mut envelopes);
+                                    self.dispatch_envelopes(&mut envelopes, &mut completions);
                                 }
-                                if self.handle(other) {
+                                if self.handle(other, &mut completions) {
                                     // Shutdown: events behind it are
                                     // dropped, as with one-at-a-time
                                     // dispatch.
@@ -159,13 +194,27 @@ impl AnyComponent {
                         }
                     }
                     if !envelopes.is_empty() {
-                        self.dispatch_envelopes(&mut envelopes);
+                        self.dispatch_envelopes(&mut envelopes, &mut completions);
                     }
+                    // One DoneBatch per driver channel for the whole
+                    // chunk; must precede any wait, or drivers blocked on
+                    // these completions would deadlock against us.
+                    completions.flush();
+                    // Backlog left behind is the depth signal: still deep
+                    // means drain more per wakeup, drained dry means decay
+                    // toward per-event latency.
+                    self.ctrl.observe(self.inbox.len());
                 }
-                Err(PopState::Empty) => backoff.wait(),
+                Err(PopState::Empty) => {
+                    self.ctrl.observe(0);
+                    backoff.wait();
+                }
                 Err(PopState::Disconnected) => break,
             }
         }
+        // Shutdown mid-chunk may have completed work after the last
+        // flush; deliver it before the thread exits.
+        completions.flush();
         debug_assert!(
             self.parked.values().all(BinaryHeap::is_empty),
             "AC {} shut down with parked events",
@@ -174,7 +223,7 @@ impl AnyComponent {
     }
 
     /// Handles one non-op-group event; returns `true` on shutdown.
-    fn handle(&mut self, event: Event) -> bool {
+    fn handle(&mut self, event: Event, completions: &mut CompletionBatcher) -> bool {
         match event {
             Event::Shutdown => return true,
             Event::ExecuteTxn { txn, req, done } => {
@@ -182,12 +231,18 @@ impl AnyComponent {
                 if ok {
                     self.committed.incr();
                 }
-                let _ = done.send(crate::event::OpDone { txn, ok });
+                completions.push(&done, crate::event::OpDone { txn, ok });
             }
             Event::OpGroup(..) | Event::OpBatch(..) => {
                 unreachable!("op groups are dispatched in batches by run()")
             }
             Event::QueryQ3 { query, spec, done } => {
+                // The scan below runs for milliseconds: ship every
+                // already-collected completion first so drivers blocked
+                // on them do not wait out an OLAP query. (Cheap events
+                // like ExecuteTxn deliberately do NOT flush — that would
+                // degrade the batched protocol to per-txn sends.)
+                completions.flush();
                 let rows = exec_q3_local(&self.db, &spec);
                 let _ = done.send((query, rows));
             }
@@ -200,10 +255,12 @@ impl AnyComponent {
     /// `(stage, domain, seq)` groups the runs and maximizes in-order
     /// admission; it cannot violate correctness because admission order is
     /// defined by the stamps alone.
-    fn dispatch_envelopes(&mut self, envelopes: &mut Vec<OpEnvelope>) {
-        envelopes.sort_by(|a, b| {
-            (a.stage, a.domain, a.seq.0).cmp(&(b.stage, b.domain, b.seq.0))
-        });
+    fn dispatch_envelopes(
+        &mut self,
+        envelopes: &mut Vec<OpEnvelope>,
+        completions: &mut CompletionBatcher,
+    ) {
+        envelopes.sort_by_key(|e| (e.stage, e.domain, e.seq.0));
         // (key, next-admissible-stamp) for the run being executed; written
         // back when the run ends.
         let mut run: Option<((u32, u32), u64)> = None;
@@ -213,14 +270,14 @@ impl AnyComponent {
                 Some((k, next)) if *k == key => next,
                 _ => {
                     if let Some((k, next)) = run.take() {
-                        self.close_run(k, next);
+                        self.close_run(k, next, completions);
                     }
                     let next = *self.gates.entry(key).or_insert(0);
                     &mut run.insert((key, next)).1
                 }
             };
             if env.seq.0 == *next {
-                self.exec_group(env.txn, &env.ops, &env.tracker);
+                self.exec_group(env.txn, &env.ops, &env.tracker, completions);
                 *next += 1;
             } else {
                 debug_assert!(
@@ -228,29 +285,32 @@ impl AnyComponent {
                     "stamp {:?} executed twice at {key:?}",
                     env.seq
                 );
-                self.parked.entry(key).or_default().push(Reverse(ParkedEntry(
-                    env.seq.0,
-                    Parked {
-                        txn: env.txn,
-                        ops: env.ops,
-                        tracker: env.tracker,
-                    },
-                )));
+                self.parked
+                    .entry(key)
+                    .or_default()
+                    .push(Reverse(ParkedEntry(
+                        env.seq.0,
+                        Parked {
+                            txn: env.txn,
+                            ops: env.ops,
+                            tracker: env.tracker,
+                        },
+                    )));
             }
         }
         if let Some((k, next)) = run {
-            self.close_run(k, next);
+            self.close_run(k, next, completions);
         }
     }
 
     /// Publishes a run's advanced gate and unparks whatever became
     /// admissible behind it.
-    fn close_run(&mut self, key: (u32, u32), next: u64) {
+    fn close_run(&mut self, key: (u32, u32), next: u64, completions: &mut CompletionBatcher) {
         *self.gates.get_mut(&key).expect("gate exists") = next;
-        self.drain_parked(key);
+        self.drain_parked(key, completions);
     }
 
-    fn drain_parked(&mut self, key: (u32, u32)) {
+    fn drain_parked(&mut self, key: (u32, u32), completions: &mut CompletionBatcher) {
         loop {
             let next = *self.gates.get(&key).expect("gate exists");
             let popped = self.parked.get_mut(&key).and_then(|heap| {
@@ -265,7 +325,7 @@ impl AnyComponent {
             });
             match popped {
                 Some(Reverse(ParkedEntry(_, parked))) => {
-                    self.exec_group(parked.txn, &parked.ops, &parked.tracker);
+                    self.exec_group(parked.txn, &parked.ops, &parked.tracker, completions);
                     *self.gates.get_mut(&key).expect("gate exists") += 1;
                 }
                 None => return,
@@ -273,7 +333,13 @@ impl AnyComponent {
         }
     }
 
-    fn exec_group(&self, txn: TxnId, ops: &[TxnOp], tracker: &TxnTracker) {
+    fn exec_group(
+        &self,
+        txn: TxnId,
+        ops: &[TxnOp],
+        tracker: &TxnTracker,
+        completions: &mut CompletionBatcher,
+    ) {
         let mut ok = true;
         for op in ops {
             if let Err(e) = exec_op(&self.db, txn, op, self.history.as_deref()) {
@@ -284,18 +350,32 @@ impl AnyComponent {
                 break;
             }
         }
-        tracker.group_done(ok);
+        if let Some(done) = tracker.group_done(ok) {
+            completions.push(tracker.done_sender(), done);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::OpDone;
+    use crate::event::{DoneBatch, OpDone};
     use anydb_txn::sequencer::SeqNo;
     use anydb_workload::tpcc::gen::TxnRequest;
     use anydb_workload::tpcc::{CustomerSelector, PaymentParams, TpccConfig};
-    use crossbeam::channel::unbounded;
+    use crossbeam::channel::{unbounded, Receiver};
+
+    /// Collects `n` completion notices, flattening the batched protocol
+    /// (one `DoneBatch` per drained chunk per channel) back into the
+    /// per-transaction order the assertions reason about.
+    fn recv_flat(rx: &Receiver<DoneBatch>, n: usize) -> Vec<OpDone> {
+        let mut out = Vec::new();
+        while out.len() < n {
+            out.extend(rx.recv().expect("completion channel open").0);
+        }
+        assert_eq!(out.len(), n, "more completions than expected");
+        out
+    }
 
     fn payment(w: i64, amount: f64) -> TxnRequest {
         TxnRequest::Payment(PaymentParams {
@@ -305,7 +385,7 @@ mod tests {
             c_d_id: 1,
             customer: CustomerSelector::ById(1),
             amount,
-            date: 2020_01_01,
+            date: 20_200_101,
         })
     }
 
@@ -331,8 +411,14 @@ mod tests {
             req: payment(1, 10.0),
             done: done_tx,
         });
-        let done = done_rx.recv().unwrap();
-        assert_eq!(done, OpDone { txn: TxnId(1), ok: true });
+        let done = recv_flat(&done_rx, 1);
+        assert_eq!(
+            done,
+            vec![OpDone {
+                txn: TxnId(1),
+                ok: true
+            }]
+        );
         assert_eq!(committed.get(), 1);
         tx.send(Event::Shutdown);
         handle.join().unwrap();
@@ -360,7 +446,7 @@ mod tests {
                 tracker,
             }));
         }
-        let order: Vec<u64> = (0..3).map(|_| done_rx.recv().unwrap().txn.raw()).collect();
+        let order: Vec<u64> = recv_flat(&done_rx, 3).iter().map(|d| d.txn.raw()).collect();
         assert_eq!(order, vec![0, 1, 2]);
         tx.send(Event::Shutdown);
         handle.join().unwrap();
@@ -377,11 +463,11 @@ mod tests {
         tx.send(Event::OpGroup(env(10, 0, 1, t1))); // parked: stage 0 expects 0
         let t2 = TxnTracker::new(TxnId(11), 1, done_tx.clone());
         tx.send(Event::OpGroup(env(11, 1, 0, t2)));
-        assert_eq!(done_rx.recv().unwrap().txn, TxnId(11));
+        assert_eq!(recv_flat(&done_rx, 1)[0].txn, TxnId(11));
         // Unblock stage 0.
         let t3 = TxnTracker::new(TxnId(12), 1, done_tx);
         tx.send(Event::OpGroup(env(12, 0, 0, t3)));
-        let mut rest: Vec<u64> = (0..2).map(|_| done_rx.recv().unwrap().txn.raw()).collect();
+        let mut rest: Vec<u64> = recv_flat(&done_rx, 2).iter().map(|d| d.txn.raw()).collect();
         rest.sort();
         assert_eq!(rest, vec![10, 12]);
         tx.send(Event::Shutdown);
@@ -402,7 +488,7 @@ mod tests {
             batch.push(env(txn, stage, seq, tracker));
         }
         tx.send(Event::OpBatch(batch));
-        let mut done: Vec<u64> = (0..4).map(|_| done_rx.recv().unwrap().txn.raw()).collect();
+        let mut done: Vec<u64> = recv_flat(&done_rx, 4).iter().map(|d| d.txn.raw()).collect();
         done.sort();
         assert_eq!(done, vec![0, 1, 2, 3]);
         tx.send(Event::Shutdown);
@@ -414,8 +500,7 @@ mod tests {
         // A chunk mixing ExecuteTxn and op groups must run both kinds.
         let db = Arc::new(TpccDb::load(TpccConfig::small(), 46).unwrap());
         let committed = Arc::new(Counter::new());
-        let (tx, handle) =
-            AnyComponent::spawn_with_chunk(AcId(0), db, None, committed.clone(), 16);
+        let (tx, handle) = AnyComponent::spawn_with_chunk(AcId(0), db, None, committed.clone(), 16);
         let (done_tx, done_rx) = unbounded();
         let tracker = TxnTracker::new(TxnId(5), 1, done_tx.clone());
         tx.send_many([
@@ -425,17 +510,66 @@ mod tests {
                 req: payment(1, 1.0),
                 done: done_tx.clone(),
             },
-            Event::OpGroup(env(
-                7,
-                0,
-                1,
-                TxnTracker::new(TxnId(7), 1, done_tx),
-            )),
+            Event::OpGroup(env(7, 0, 1, TxnTracker::new(TxnId(7), 1, done_tx))),
         ]);
-        let mut done: Vec<u64> = (0..3).map(|_| done_rx.recv().unwrap().txn.raw()).collect();
+        let mut done: Vec<u64> = recv_flat(&done_rx, 3).iter().map(|d| d.txn.raw()).collect();
         done.sort();
         assert_eq!(done, vec![5, 6, 7]);
         assert_eq!(committed.get(), 1);
+        tx.send(Event::Shutdown);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn one_done_batch_per_drained_chunk() {
+        // An OpBatch of four single-group transactions arrives as one
+        // event, so the AC processes it in one wakeup and must emit
+        // exactly ONE DoneBatch carrying all four notices — the batched
+        // completion protocol.
+        let db = Arc::new(TpccDb::load(TpccConfig::small(), 47).unwrap());
+        let committed = Arc::new(Counter::new());
+        let (tx, handle) = AnyComponent::spawn_with_chunk(AcId(0), db, None, committed, 8);
+        let (done_tx, done_rx) = unbounded();
+        let batch: Vec<OpEnvelope> = (0..4u64)
+            .map(|i| env(i, 0, i, TxnTracker::new(TxnId(i), 1, done_tx.clone())))
+            .collect();
+        tx.send(Event::OpBatch(batch));
+        let first = done_rx.recv().unwrap();
+        assert_eq!(first.0.len(), 4, "completions were not batched: {first:?}");
+        assert!(first.0.iter().all(|d| d.ok));
+        tx.send(Event::Shutdown);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn completions_flush_before_olap_queries_run() {
+        // A chunk carrying [OpGroup, QueryQ3]: the op group's completion
+        // must be shipped BEFORE the (expensive) Q3 scan runs, so by the
+        // time the query result arrives the notice is already waiting.
+        let db = Arc::new(TpccDb::load(TpccConfig::small(), 48).unwrap());
+        let committed = Arc::new(Counter::new());
+        let (tx, handle) = AnyComponent::spawn_with_chunk(AcId(0), db, None, committed, 8);
+        let (done_tx, done_rx) = unbounded();
+        let (q3_tx, q3_rx) = unbounded();
+        tx.send_many([
+            Event::OpGroup(env(1, 0, 0, TxnTracker::new(TxnId(1), 1, done_tx))),
+            Event::QueryQ3 {
+                query: anydb_common::QueryId(9),
+                spec: anydb_workload::chbench::Q3Spec::default(),
+                done: q3_tx,
+            },
+        ]);
+        let (qid, _) = q3_rx.recv().unwrap();
+        assert_eq!(qid, anydb_common::QueryId(9));
+        // Happens-before: the flush preceded the scan, so this cannot
+        // block (and must not be Empty).
+        assert_eq!(
+            done_rx.try_recv().unwrap().0,
+            vec![OpDone {
+                txn: TxnId(1),
+                ok: true
+            }]
+        );
         tx.send(Event::Shutdown);
         handle.join().unwrap();
     }

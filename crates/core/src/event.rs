@@ -82,18 +82,30 @@ pub struct OpDone {
     pub ok: bool,
 }
 
+/// A group of completion notices delivered as one channel message — the
+/// batched completion protocol: an AC emits one `DoneBatch` per drained
+/// event chunk (per driver channel) instead of one `done` send per
+/// transaction, collapsing the last per-transaction channel crossing into
+/// a per-chunk cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DoneBatch(pub Vec<OpDone>);
+
+/// The channel completion notices travel on.
+pub type DoneSender = Sender<DoneBatch>;
+
 /// Tracks outstanding op groups of one transaction; the AC finishing the
-/// last group emits the completion notice.
+/// last group *collects* the completion notice (it does not send it —
+/// notices are grouped per drained chunk by [`CompletionBatcher`]).
 pub struct TxnTracker {
     txn: TxnId,
     remaining: AtomicU32,
     failed: AtomicBool,
-    done: Sender<OpDone>,
+    done: DoneSender,
 }
 
 impl TxnTracker {
     /// Tracker expecting `groups` op-group completions.
-    pub fn new(txn: TxnId, groups: u32, done: Sender<OpDone>) -> Arc<Self> {
+    pub fn new(txn: TxnId, groups: u32, done: DoneSender) -> Arc<Self> {
         assert!(groups > 0);
         Arc::new(Self {
             txn,
@@ -103,21 +115,72 @@ impl TxnTracker {
         })
     }
 
-    /// Marks one op group complete; the last completion sends the notice.
-    pub fn group_done(&self, ok: bool) {
+    /// Marks one op group complete. The last completion *returns* the
+    /// notice instead of sending it; the caller owes it to a
+    /// [`CompletionBatcher`] (or a direct [`DoneBatch`] send) before it
+    /// next blocks — a collected-but-unflushed notice is a stalled driver.
+    #[must_use = "the final notice must be flushed to the done channel"]
+    pub fn group_done(&self, ok: bool) -> Option<OpDone> {
         if !ok {
             self.failed.store(true, Ordering::Release);
         }
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             let ok = !self.failed.load(Ordering::Acquire);
-            // Receiver may be gone during shutdown; that is fine.
-            let _ = self.done.send(OpDone { txn: self.txn, ok });
+            Some(OpDone { txn: self.txn, ok })
+        } else {
+            None
         }
+    }
+
+    /// The channel the completion notice must be delivered on.
+    pub fn done_sender(&self) -> &DoneSender {
+        &self.done
     }
 
     /// The transaction being tracked.
     pub fn txn(&self) -> TxnId {
         self.txn
+    }
+}
+
+/// Groups completion notices per driver channel while an AC works through
+/// one drained event chunk; `flush` ships each group as a single
+/// [`DoneBatch`] send.
+///
+/// Keyed by channel identity ([`Sender::same_channel`]) with a linear
+/// scan: the number of distinct driver channels per chunk is the number
+/// of driver threads, i.e. tiny.
+#[derive(Default)]
+pub struct CompletionBatcher {
+    slots: Vec<(DoneSender, Vec<OpDone>)>,
+}
+
+impl CompletionBatcher {
+    /// Empty batcher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues `done` for delivery on `sender`'s channel.
+    pub fn push(&mut self, sender: &DoneSender, done: OpDone) {
+        match self.slots.iter_mut().find(|(s, _)| s.same_channel(sender)) {
+            Some((_, batch)) => batch.push(done),
+            None => self.slots.push((sender.clone(), vec![done])),
+        }
+    }
+
+    /// Ships every held notice, one `DoneBatch` send per channel. Must be
+    /// called before the owning AC blocks or shuts down.
+    pub fn flush(&mut self) {
+        for (sender, batch) in self.slots.drain(..) {
+            // Receiver may be gone during shutdown; that is fine.
+            let _ = sender.send(DoneBatch(batch));
+        }
+    }
+
+    /// Notices currently held (all channels).
+    pub fn pending(&self) -> usize {
+        self.slots.iter().map(|(_, b)| b.len()).sum()
     }
 }
 
@@ -171,8 +234,9 @@ pub enum Event {
         txn: TxnId,
         /// Full request parameters.
         req: TxnRequest,
-        /// Completion notification.
-        done: Sender<OpDone>,
+        /// Completion notification (batched per drained chunk, like op
+        /// groups).
+        done: DoneSender,
     },
     /// Execute a group of operations of a decomposed transaction at the
     /// receiving AC, in streaming-CC stamp order (Figure 4 (c)/(d)).
@@ -215,28 +279,107 @@ mod tests {
 
     #[test]
     fn txn_op_warehouse() {
-        assert_eq!(TxnOp::PayWarehouse { w: 3, amount: 1.0 }.warehouse(), Some(3));
+        assert_eq!(
+            TxnOp::PayWarehouse { w: 3, amount: 1.0 }.warehouse(),
+            Some(3)
+        );
         assert_eq!(TxnOp::Skip.warehouse(), None);
     }
 
     #[test]
-    fn tracker_fires_after_all_groups() {
-        let (tx, rx) = unbounded();
+    fn tracker_yields_notice_after_all_groups() {
+        let (tx, _rx) = unbounded();
         let t = TxnTracker::new(TxnId(7), 3, tx);
-        t.group_done(true);
-        t.group_done(true);
-        assert!(rx.try_recv().is_err());
-        t.group_done(true);
-        assert_eq!(rx.try_recv().unwrap(), OpDone { txn: TxnId(7), ok: true });
+        assert_eq!(t.group_done(true), None);
+        assert_eq!(t.group_done(true), None);
+        assert_eq!(
+            t.group_done(true),
+            Some(OpDone {
+                txn: TxnId(7),
+                ok: true
+            })
+        );
     }
 
     #[test]
     fn tracker_propagates_failure() {
-        let (tx, rx) = unbounded();
+        let (tx, _rx) = unbounded();
         let t = TxnTracker::new(TxnId(1), 2, tx);
-        t.group_done(false);
-        t.group_done(true);
-        assert_eq!(rx.try_recv().unwrap(), OpDone { txn: TxnId(1), ok: false });
+        assert_eq!(t.group_done(false), None);
+        assert_eq!(
+            t.group_done(true),
+            Some(OpDone {
+                txn: TxnId(1),
+                ok: false
+            })
+        );
+    }
+
+    #[test]
+    fn completion_batcher_groups_per_channel() {
+        let (tx_a, rx_a) = unbounded();
+        let (tx_b, rx_b) = unbounded();
+        let mut batcher = CompletionBatcher::new();
+        batcher.push(
+            &tx_a,
+            OpDone {
+                txn: TxnId(1),
+                ok: true,
+            },
+        );
+        batcher.push(
+            &tx_b,
+            OpDone {
+                txn: TxnId(2),
+                ok: true,
+            },
+        );
+        batcher.push(
+            &tx_a,
+            OpDone {
+                txn: TxnId(3),
+                ok: false,
+            },
+        );
+        assert_eq!(batcher.pending(), 3);
+        // Nothing crosses a channel until flush.
+        assert!(rx_a.try_recv().is_err());
+        batcher.flush();
+        assert_eq!(batcher.pending(), 0);
+        let a = rx_a.try_recv().unwrap();
+        assert_eq!(
+            a.0,
+            vec![
+                OpDone {
+                    txn: TxnId(1),
+                    ok: true
+                },
+                OpDone {
+                    txn: TxnId(3),
+                    ok: false
+                }
+            ]
+        );
+        assert_eq!(rx_b.try_recv().unwrap().0.len(), 1);
+        // One message per channel, not per notice.
+        assert!(rx_a.try_recv().is_err());
+    }
+
+    #[test]
+    fn tracker_exposes_its_channel() {
+        let (tx, rx) = unbounded();
+        let t = TxnTracker::new(TxnId(9), 1, tx);
+        let mut batcher = CompletionBatcher::new();
+        let notice = t.group_done(true).expect("last group");
+        batcher.push(t.done_sender(), notice);
+        batcher.flush();
+        assert_eq!(
+            rx.try_recv().unwrap().0,
+            vec![OpDone {
+                txn: TxnId(9),
+                ok: true
+            }]
+        );
     }
 
     #[test]

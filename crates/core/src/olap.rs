@@ -15,13 +15,13 @@
 
 use std::time::{Duration, Instant};
 
+use anydb_common::backoff::Backoff;
 use anydb_common::fxmap::FxHashSet;
 use anydb_common::{PartitionId, Tuple};
 use anydb_storage::Table;
 use anydb_stream::batch::Batch;
-use anydb_stream::beam::BeamReader;
 use anydb_stream::flow::FlowSender;
-use anydb_stream::link::LinkReceiver;
+use anydb_stream::link::{LinkReceiver, RecvState};
 use anydb_workload::chbench::Q3Spec;
 use anydb_workload::tpcc::TpccDb;
 
@@ -56,6 +56,9 @@ pub fn stream_scan(table: &Table, mut flow: FlowSender, batch_rows: usize) -> us
     scanned
 }
 
+/// A join key: `(w, d, id)` for customers, `(w, d, o)` for orders.
+type JoinKey = (i64, i64, i64);
+
 /// Compute-side Q3: consumes three data streams and reports phase timings.
 pub struct Q3Compute {
     spec: Q3Spec,
@@ -83,58 +86,153 @@ impl Q3Compute {
     /// (idempotent), so producers may or may not pre-filter (beamed flows
     /// filter at the source / on the NIC).
     ///
-    /// Streams are consumed through [`BeamReader`]: each refill drains
-    /// every delivered batch off the ring with one clock read, falling
-    /// back to the waiting receive only when nothing is deliverable.
+    /// All three streams are consumed **round-robin** with
+    /// [`LinkReceiver::drain_ready_max`] (one clock read per drained
+    /// chunk), so build and probe transfers overlap instead of
+    /// serializing: both build sides fill their hash sets concurrently,
+    /// and order batches arriving early are filtered immediately and
+    /// staged (pre-filter, so staging is small) until the builds close —
+    /// a sequential consumer would instead leave two producers blocked on
+    /// ring backpressure while it worked through the first stream.
     pub fn run(
         &self,
-        customers: LinkReceiver<Batch>,
-        neworders: LinkReceiver<Batch>,
-        orders: LinkReceiver<Batch>,
+        mut customers: LinkReceiver<Batch>,
+        mut neworders: LinkReceiver<Batch>,
+        mut orders: LinkReceiver<Batch>,
     ) -> Q3ComputeResult {
-        fn for_each_batch(rx: LinkReceiver<Batch>, mut f: impl FnMut(&Batch)) {
-            let mut reader = BeamReader::new(rx);
-            while let Some(batch) = reader.next_batch() {
-                f(&batch);
+        /// Chunk of one round-robin visit; bounds per-stream bias.
+        const CHUNK: usize = 64;
+
+        /// Outcome of one non-blocking visit to a stream.
+        enum Pull {
+            /// Batches were drained into the scratch buffer.
+            Got,
+            /// Nothing queued (producer still working).
+            Idle,
+            /// Next message is in flight until the given instant.
+            InFlight(Instant),
+            /// Producer gone and everything consumed.
+            Done,
+        }
+
+        fn pull(rx: &mut LinkReceiver<Batch>, scratch: &mut Vec<Batch>) -> Pull {
+            if rx.drain_ready_max(scratch, CHUNK) > 0 {
+                return Pull::Got;
+            }
+            // Nothing deliverable: classify why via a peeking receive.
+            match rx.try_recv() {
+                Ok(batch) => {
+                    // Race: became deliverable between the two calls.
+                    scratch.push(batch);
+                    Pull::Got
+                }
+                Err(RecvState::NotReady(at)) => Pull::InFlight(at),
+                Err(RecvState::Empty) => Pull::Idle,
+                Err(RecvState::Disconnected) => Pull::Done,
             }
         }
 
-        let build_start = Instant::now();
-
-        // Join-1 build: qualifying customers.
-        let mut cust_keys: FxHashSet<(i64, i64, i64)> = FxHashSet::default();
         let spec = self.spec;
-        for_each_batch(customers, |batch| {
-            for t in batch.tuples() {
-                if spec.customer_filter(t) {
-                    cust_keys.insert(Q3Spec::customer_join_key(t));
-                }
-            }
-        });
-        // Join-2 build: open orders (new-order rows).
-        let mut open_keys: FxHashSet<(i64, i64, i64)> = FxHashSet::default();
-        for_each_batch(neworders, |batch| {
-            for t in batch.tuples() {
-                open_keys.insert(Q3Spec::neworder_key(t));
-            }
-        });
-        let build = build_start.elapsed();
-
-        // Probe: orders against both builds.
-        let probe_start = Instant::now();
+        let build_start = Instant::now();
+        let mut cust_keys: FxHashSet<JoinKey> = FxHashSet::default();
+        let mut open_keys: FxHashSet<JoinKey> = FxHashSet::default();
+        // Probe keys of order rows that passed the filter before both
+        // builds closed — only the two join keys are staged, not the
+        // tuples, so early-arrival buffering costs 48 bytes per row.
+        let mut staged: Vec<(JoinKey, JoinKey)> = Vec::new();
         let mut rows = 0usize;
-        for_each_batch(orders, |batch| {
-            for t in batch.tuples() {
-                if spec.order_filter(t)
-                    && cust_keys.contains(&Q3Spec::order_customer_key(t))
-                    && open_keys.contains(&Q3Spec::order_key(t))
-                {
-                    rows += 1;
+        let (mut cust_done, mut no_done, mut ord_done) = (false, false, false);
+        let mut build: Option<Duration> = None;
+        let mut scratch: Vec<Batch> = Vec::new();
+        let mut backoff = Backoff::new();
+
+        while !(cust_done && no_done && ord_done) {
+            let mut progressed = false;
+            let mut idle_seen = false;
+            // Earliest in-flight delivery this round, to sleep precisely.
+            let mut wake: Option<Instant> = None;
+            let mut note = |p: &Pull, done: &mut bool, progressed: &mut bool| match p {
+                Pull::Got => *progressed = true,
+                Pull::Done => {
+                    *done = true;
+                    *progressed = true;
+                }
+                Pull::InFlight(at) => wake = Some(wake.map_or(*at, |w| w.min(*at))),
+                Pull::Idle => idle_seen = true,
+            };
+
+            if !cust_done {
+                let p = pull(&mut customers, &mut scratch);
+                note(&p, &mut cust_done, &mut progressed);
+                for batch in scratch.drain(..) {
+                    for t in batch.tuples() {
+                        if spec.customer_filter(t) {
+                            cust_keys.insert(Q3Spec::customer_join_key(t));
+                        }
+                    }
                 }
             }
-        });
-        let probe = probe_start.elapsed();
+            if !no_done {
+                let p = pull(&mut neworders, &mut scratch);
+                note(&p, &mut no_done, &mut progressed);
+                for batch in scratch.drain(..) {
+                    for t in batch.tuples() {
+                        open_keys.insert(Q3Spec::neworder_key(t));
+                    }
+                }
+            }
+            if !ord_done {
+                let p = pull(&mut orders, &mut scratch);
+                note(&p, &mut ord_done, &mut progressed);
+                let builds_closed = build.is_some();
+                for batch in scratch.drain(..) {
+                    for t in batch.tuples() {
+                        if !spec.order_filter(t) {
+                            continue;
+                        }
+                        if builds_closed {
+                            if cust_keys.contains(&Q3Spec::order_customer_key(t))
+                                && open_keys.contains(&Q3Spec::order_key(t))
+                            {
+                                rows += 1;
+                            }
+                        } else {
+                            staged.push((Q3Spec::order_customer_key(t), Q3Spec::order_key(t)));
+                        }
+                    }
+                }
+            }
 
+            if cust_done && no_done && build.is_none() {
+                build = Some(build_start.elapsed());
+                // Builds closed: probe everything staged, then switch to
+                // probing arrivals directly.
+                for (cust_key, order_key) in staged.drain(..) {
+                    if cust_keys.contains(&cust_key) && open_keys.contains(&order_key) {
+                        rows += 1;
+                    }
+                }
+                staged.shrink_to_fit();
+            }
+
+            if progressed {
+                backoff.reset();
+            } else if let (Some(at), false) = (wake, idle_seen) {
+                // Every unfinished stream has a message in flight: sleep
+                // until the earliest modeled delivery. (With an idle
+                // stream in the mix its producer could deliver sooner, so
+                // fall through to the short backoff instead.)
+                let now = Instant::now();
+                if at > now {
+                    std::thread::sleep(at - now);
+                }
+            } else {
+                backoff.wait();
+            }
+        }
+
+        let build = build.unwrap_or_else(|| build_start.elapsed());
+        let probe = build_start.elapsed().saturating_sub(build);
         Q3ComputeResult { rows, build, probe }
     }
 }
@@ -246,11 +344,13 @@ mod tests {
         let (otx, orx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
         let producers = {
             let db = db.clone();
-            let spec = spec;
             std::thread::spawn(move || {
                 stream_scan(
                     &db.customer,
-                    FlowSender::new(ctx, Flow::identity().filter(move |t| spec.customer_filter(t))),
+                    FlowSender::new(
+                        ctx,
+                        Flow::identity().filter(move |t| spec.customer_filter(t)),
+                    ),
                     256,
                 );
                 stream_scan(&db.neworder, FlowSender::new(ntx, Flow::identity()), 256);
@@ -263,6 +363,27 @@ mod tests {
         };
         let result = Q3Compute::new(spec).run(crx, nrx, orx);
         producers.join().unwrap();
+        assert_eq!(result.rows, expected);
+    }
+
+    #[test]
+    fn early_order_arrivals_are_staged_and_probed() {
+        // All three streams are fully delivered before the consumer
+        // starts, so the first round-robin pass sees order batches while
+        // both builds are still open: they must be filtered, staged, and
+        // probed when the builds close — same answer as the oracle.
+        let db = TpccDb::load(TpccConfig::small(), 55).unwrap();
+        let spec = Q3Spec::default();
+        let expected = exec_q3_local(&db, &spec);
+
+        let (ctx, crx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
+        let (ntx, nrx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
+        let (otx, orx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
+        stream_scan(&db.orders, FlowSender::new(otx, Flow::identity()), 256);
+        stream_scan(&db.customer, FlowSender::new(ctx, Flow::identity()), 256);
+        stream_scan(&db.neworder, FlowSender::new(ntx, Flow::identity()), 256);
+
+        let result = Q3Compute::new(spec).run(crx, nrx, orx);
         assert_eq!(result.rows, expected);
     }
 

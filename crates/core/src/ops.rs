@@ -6,7 +6,7 @@
 //! here are therefore plain storage mutations; the component layer
 //! guarantees they run in stamp order per conflict domain.
 
-use anydb_common::{DbError, DbResult, Rid, TxnId, Tuple, Value};
+use anydb_common::{DbError, DbResult, Rid, Tuple, TxnId, Value};
 use anydb_txn::history::History;
 use anydb_workload::tpcc::cols::{customer, district, stock, warehouse};
 use anydb_workload::tpcc::gen::{NewOrderParams, PaymentParams, TxnRequest};
@@ -16,12 +16,7 @@ use crate::event::TxnOp;
 
 /// Resolves a payment customer RID (by id, or middle-by-first-name for
 /// last-name selection — the long range scan of Figure 4 (d)).
-pub fn resolve_customer(
-    db: &TpccDb,
-    w: i64,
-    d: i64,
-    selector: &CustomerSelector,
-) -> DbResult<Rid> {
+pub fn resolve_customer(db: &TpccDb, w: i64, d: i64, selector: &CustomerSelector) -> DbResult<Rid> {
     match selector {
         CustomerSelector::ById(c) => db.customer_rid(w, d, *c),
         CustomerSelector::ByLastName(name) => {
@@ -42,9 +37,7 @@ pub fn resolve_customer(
                     (first, rid)
                 })
                 .collect();
-            named.sort_by(|(a, _), (b, _)| {
-                a.as_str().unwrap_or("").cmp(b.as_str().unwrap_or(""))
-            });
+            named.sort_by(|(a, _), (b, _)| a.as_str().unwrap_or("").cmp(b.as_str().unwrap_or("")));
             Ok(named[named.len() / 2].1)
         }
     }
@@ -52,12 +45,7 @@ pub fn resolve_customer(
 
 /// Executes one decomposed operation. Returns `Ok` on success; errors are
 /// engine bugs (ordered execution cannot conflict-abort).
-pub fn exec_op(
-    db: &TpccDb,
-    txn: TxnId,
-    op: &TxnOp,
-    history: Option<&History>,
-) -> DbResult<()> {
+pub fn exec_op(db: &TpccDb, txn: TxnId, op: &TxnOp, history: Option<&History>) -> DbResult<()> {
     match op {
         TxnOp::Skip => Ok(()),
         TxnOp::PayWarehouse { w, amount } => {
@@ -254,7 +242,7 @@ mod tests {
                 d: 1,
                 selector: CustomerSelector::ById(2),
                 amount: 10.0,
-                date: 2020_01_01,
+                date: 20_200_101,
             },
             None,
         )
@@ -289,7 +277,7 @@ mod tests {
                 d_id: 1,
                 c_id: 1,
                 lines: vec![(1, 1)],
-                entry_date: 2020_01_01,
+                entry_date: 20_200_101,
                 rollback: false,
             }),
             None,
@@ -304,7 +292,7 @@ mod tests {
                 d_id: 1,
                 c_id: 1,
                 lines: vec![(1, 1)],
-                entry_date: 2020_01_01,
+                entry_date: 20_200_101,
                 rollback: true,
             }),
             None,

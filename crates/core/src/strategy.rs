@@ -12,8 +12,9 @@
 //! * **streaming CC** (§3.3): per-stage ACs consuming ops of all
 //!   transactions in one consistent stamp order, forming a pipeline.
 
-use anydb_workload::tpcc::gen::PaymentParams;
+pub use anydb_stream::adaptive::AdaptiveBatch;
 use anydb_stream::inbox::InboxSender;
+use anydb_workload::tpcc::gen::PaymentParams;
 
 use crate::event::{Event, OpEnvelope, TxnOp};
 
@@ -153,40 +154,109 @@ pub fn stage_ac(stage: u32, n_acs: usize) -> usize {
     stage as usize % n_acs
 }
 
+/// How event batches are sized: pinned, or adapted online from backlog.
+///
+/// This replaces the old static `EngineConfig::batch` knob. `Static(n)`
+/// reproduces it exactly (`Static(1)` is the per-event path); `Adaptive`
+/// sizes batches from the depth mirrors the streams maintain — deep
+/// queues grow the batch toward `max` (throughput), empty queues decay it
+/// toward `min` (latency) — so one configuration serves both a loaded and
+/// an idle system, the workload-adaptivity the paper's routing argument
+/// extends to every knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchMode {
+    /// Fixed batch size for the whole run.
+    Static(usize),
+    /// Depth-driven batch size ranging over `[min, max]`.
+    Adaptive {
+        /// Idle-side floor (1 = per-event dispatch when the queue drains).
+        min: usize,
+        /// Loaded-side cap.
+        max: usize,
+    },
+}
+
+impl BatchMode {
+    /// The default adaptive range: per-event when idle, up to the old
+    /// static default of 64 under load.
+    pub const fn adaptive() -> Self {
+        BatchMode::Adaptive { min: 1, max: 64 }
+    }
+
+    /// Builds the controller realizing this mode.
+    pub fn controller(self) -> AdaptiveBatch {
+        match self {
+            BatchMode::Static(n) => AdaptiveBatch::fixed(n),
+            BatchMode::Adaptive { min, max } => AdaptiveBatch::new(min, max),
+        }
+    }
+
+    /// Largest batch this mode can produce (what to pre-allocate for).
+    pub fn max(self) -> usize {
+        match self {
+            BatchMode::Static(n) => n,
+            BatchMode::Adaptive { max, .. } => max,
+        }
+    }
+}
+
+impl Default for BatchMode {
+    fn default() -> Self {
+        Self::adaptive()
+    }
+}
+
 /// Groups op events per destination AC before sending.
 ///
 /// Drivers push envelopes as transactions decompose; the batcher holds
 /// them per AC and ships a whole group as one [`Event::OpBatch`] when the
-/// configured batch size is reached (or on [`DispatchBatcher::flush_all`],
+/// current batch size is reached (or on [`DispatchBatcher::flush_all`],
 /// which drivers MUST call before blocking on completions — an envelope
 /// held here is invisible to the gates, and stamps only advance when every
-/// envelope eventually arrives). With `batch <= 1` every envelope is sent
-/// immediately as a plain [`Event::OpGroup`], which is exactly the
-/// pre-batching behavior — that end of the knob trades throughput back
-/// for minimum latency.
+/// envelope eventually arrives). While the current batch size is 1 every
+/// envelope is sent immediately as a plain [`Event::OpGroup`], which is
+/// exactly the pre-batching behavior — that end of the knob trades
+/// throughput back for minimum latency.
+///
+/// The batch size comes from an [`AdaptiveBatch`] controller; drivers
+/// feed it destination backlog via [`DispatchBatcher::observe`] once per
+/// dispatch window, so the flush threshold deepens under load and decays
+/// to per-event dispatch when the ACs are keeping up.
 pub struct DispatchBatcher {
     pending: Vec<Vec<OpEnvelope>>,
-    batch: usize,
+    ctrl: AdaptiveBatch,
 }
 
 impl DispatchBatcher {
-    /// Batcher over `n_acs` destinations flushing at `batch` envelopes.
-    pub fn new(n_acs: usize, batch: usize) -> Self {
+    /// Batcher over `n_acs` destinations sized by `mode`.
+    pub fn new(n_acs: usize, mode: BatchMode) -> Self {
         Self {
             pending: (0..n_acs).map(|_| Vec::new()).collect(),
-            batch,
+            ctrl: mode.controller(),
         }
+    }
+
+    /// Feeds the controller one backlog sample (deepest destination
+    /// queue); returns the batch size now in effect.
+    pub fn observe(&mut self, depth: usize) -> usize {
+        self.ctrl.observe(depth)
+    }
+
+    /// The flush threshold currently in effect.
+    pub fn batch(&self) -> usize {
+        self.ctrl.current()
     }
 
     /// Queues an envelope for `ac`, flushing that AC's group if full.
     pub fn push(&mut self, ac: usize, env: OpEnvelope, senders: &[InboxSender<Event>]) {
-        if self.batch <= 1 {
+        let batch = self.ctrl.current();
+        if batch <= 1 {
             senders[ac].send(Event::OpGroup(env));
             return;
         }
         let slot = &mut self.pending[ac];
         slot.push(env);
-        if slot.len() >= self.batch {
+        if slot.len() >= batch {
             senders[ac].send(Event::OpBatch(std::mem::take(slot)));
         }
     }
@@ -221,7 +291,7 @@ mod tests {
             c_d_id: 3,
             customer: CustomerSelector::ById(7),
             amount: 42.0,
-            date: 2020_01_01,
+            date: 20_200_101,
         }
     }
 
@@ -278,7 +348,7 @@ mod tests {
             tracker: TxnTracker::new(TxnId(txn), 1, done_tx.clone()),
         };
 
-        let mut b = DispatchBatcher::new(2, 2);
+        let mut b = DispatchBatcher::new(2, BatchMode::Static(2));
         b.push(stage_ac(0, 2), env(0, 0), &senders);
         b.push(stage_ac(1, 2), env(1, 1), &senders);
         assert_eq!(b.held(), 2);
@@ -292,9 +362,61 @@ mod tests {
         assert!(matches!(rx1.pop(), Ok(Event::OpGroup(_))));
 
         // batch <= 1 bypasses grouping entirely.
-        let mut unbatched = DispatchBatcher::new(2, 1);
+        let mut unbatched = DispatchBatcher::new(2, BatchMode::Static(1));
         unbatched.push(0, env(9, 0), &senders);
         assert_eq!(unbatched.held(), 0);
         assert!(matches!(rx0.pop(), Ok(Event::OpGroup(_))));
+    }
+
+    #[test]
+    fn batch_mode_builds_matching_controllers() {
+        let pinned = BatchMode::Static(8).controller();
+        assert_eq!((pinned.min(), pinned.max()), (8, 8));
+        assert!(!pinned.is_adaptive());
+        let adaptive = BatchMode::default().controller();
+        assert_eq!((adaptive.min(), adaptive.max()), (1, 64));
+        assert_eq!(BatchMode::default().max(), 64);
+    }
+
+    #[test]
+    fn adaptive_batcher_follows_backlog() {
+        use crate::event::TxnTracker;
+        use anydb_common::TxnId;
+        use anydb_stream::inbox::Inbox;
+        use anydb_txn::sequencer::SeqNo;
+        use crossbeam::channel::unbounded;
+
+        let (tx0, rx0) = Inbox::new();
+        let senders = vec![tx0];
+        let (done_tx, _done_rx) = unbounded();
+        let env = |txn: u64| OpEnvelope {
+            txn: TxnId(txn),
+            stage: 0,
+            domain: 0,
+            seq: SeqNo(txn),
+            ops: vec![TxnOp::Skip],
+            tracker: TxnTracker::new(TxnId(txn), 1, done_tx.clone()),
+        };
+
+        let mut b = DispatchBatcher::new(1, BatchMode::Adaptive { min: 1, max: 4 });
+        // Idle destination: per-event dispatch.
+        assert_eq!(b.observe(0), 1);
+        b.push(0, env(0), &senders);
+        assert_eq!(b.held(), 0);
+        assert!(matches!(rx0.pop(), Ok(Event::OpGroup(_))));
+        // Deep destination: threshold grows (doubling, capped at max) and
+        // envelopes group.
+        assert_eq!(b.observe(100), 2);
+        assert_eq!(b.observe(100), 4);
+        assert_eq!(b.observe(100), 4);
+        for t in 1..=4 {
+            b.push(0, env(t), &senders);
+        }
+        assert_eq!(b.held(), 0);
+        assert!(matches!(rx0.pop(), Ok(Event::OpBatch(envs)) if envs.len() == 4));
+        // Drained again: decays back toward 1.
+        b.observe(0);
+        b.observe(0);
+        assert_eq!(b.batch(), 1);
     }
 }

@@ -267,11 +267,7 @@ mod tests {
     #[test]
     fn partitionable_phase_commits_transactions() {
         let e = engine(2);
-        let r = e.run_phase(
-            PhaseKind::OltpPartitionable,
-            Duration::from_millis(100),
-            1,
-        );
+        let r = e.run_phase(PhaseKind::OltpPartitionable, Duration::from_millis(100), 1);
         assert!(r.committed > 100, "committed = {}", r.committed);
         assert_eq!(r.olap_queries, 0);
         assert!(r.tx_per_sec() > 0.0);
@@ -310,11 +306,7 @@ mod tests {
                 ..Default::default()
             },
         );
-        let uniform = e.run_phase(
-            PhaseKind::OltpPartitionable,
-            Duration::from_millis(300),
-            4,
-        );
+        let uniform = e.run_phase(PhaseKind::OltpPartitionable, Duration::from_millis(300), 4);
         let skewed = e.run_phase(PhaseKind::OltpSkewed, Duration::from_millis(300), 5);
         assert!(
             skewed.tx_per_sec() < uniform.tx_per_sec() * 0.9,
@@ -327,11 +319,7 @@ mod tests {
     #[test]
     fn schedule_produces_one_result_per_phase() {
         let e = engine(2);
-        let results = e.run_schedule(
-            &PhaseSchedule::figure5(),
-            Duration::from_millis(30),
-            7,
-        );
+        let results = e.run_schedule(&PhaseSchedule::figure5(), Duration::from_millis(30), 7);
         assert_eq!(results.len(), 6);
         assert!(results.iter().all(|(_, r)| r.committed > 0));
     }

@@ -6,12 +6,12 @@
 //! resolves conflicts; callers retry aborted transactions with a fresh,
 //! *younger* id.
 
+use anydb_common::Tuple;
 use anydb_common::{DbError, DbResult, Rid, TxnId, Value};
 use anydb_txn::history::History;
 use anydb_txn::lock::{LockManager, LockMode, LockPolicy};
 use anydb_workload::tpcc::cols::{customer, district, stock, warehouse};
 use anydb_workload::tpcc::{CustomerSelector, NewOrderParams, PaymentParams, TpccDb};
-use anydb_common::Tuple;
 
 /// Shared context for transaction execution.
 pub struct TxnCtx<'a> {
@@ -57,20 +57,21 @@ pub fn resolve_customer(
             if rids.is_empty() {
                 return Err(DbError::KeyNotFound(db.customer.id()));
             }
-            // Order candidates by c_first and take the middle one.
-            let mut named: Vec<(String, Rid)> = rids
+            // Order candidates by c_first and take the middle one. As in
+            // the architecture-less engine's copy of this scan: string
+            // values are `Arc<str>`, so cloning the `Value` out of the
+            // row is a refcount bump, not a per-candidate `String` copy.
+            let mut named: Vec<(Value, Rid)> = rids
                 .into_iter()
                 .map(|rid| {
                     let first = db
                         .customer
-                        .read_with(rid, |t, _| {
-                            t.get(customer::C_FIRST).as_str().unwrap_or("").to_string()
-                        })
-                        .unwrap_or_default();
+                        .read_with(rid, |t, _| t.get(customer::C_FIRST).clone())
+                        .unwrap_or(Value::Null);
                     (first, rid)
                 })
                 .collect();
-            named.sort();
+            named.sort_by(|(a, _), (b, _)| a.as_str().unwrap_or("").cmp(b.as_str().unwrap_or("")));
             Ok(named[named.len() / 2].1)
         }
     }
@@ -285,7 +286,7 @@ mod tests {
             c_d_id: 1,
             customer: CustomerSelector::ById(3),
             amount: 100.0,
-            date: 2020_01_01,
+            date: 20_200_101,
         };
         exec_payment(&ctx, ids.next(), &p).unwrap();
         let after = db
@@ -318,7 +319,7 @@ mod tests {
             c_d_id: 1,
             customer: CustomerSelector::ByLastName("BARBARBAR".into()),
             amount: 10.0,
-            date: 2020_01_01,
+            date: 20_200_101,
         };
         exec_payment(&ctx, ids.next(), &p).unwrap();
     }
@@ -339,7 +340,7 @@ mod tests {
             d_id: 1,
             c_id: 1,
             lines: vec![(1, 2), (2, 3)],
-            entry_date: 2020_01_02,
+            entry_date: 20_200_102,
             rollback: false,
         };
         exec_new_order(&ctx, ids.next(), &p).unwrap();
@@ -363,7 +364,7 @@ mod tests {
             d_id: 2,
             c_id: 1,
             lines: vec![(1, 1)],
-            entry_date: 2020_01_02,
+            entry_date: 20_200_102,
             rollback: true,
         };
         assert!(exec_new_order(&ctx, ids.next(), &p).is_err());
@@ -403,10 +404,7 @@ mod tests {
                 while committed < 200 {
                     let p = gen.next();
                     // fixed amount so the invariant is easy to assert
-                    let p = PaymentParams {
-                        amount: 1.0,
-                        ..p
-                    };
+                    let p = PaymentParams { amount: 1.0, ..p };
                     if exec_payment(&ctx, ids.next(), &p).is_ok() {
                         committed += 1;
                         total.incr();
@@ -465,6 +463,9 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert!(hist.is_serializable(), "2PL produced a non-serializable history");
+        assert!(
+            hist.is_serializable(),
+            "2PL produced a non-serializable history"
+        );
     }
 }

@@ -93,7 +93,12 @@ impl Criterion {
         let min = samples[0];
         let max = samples[samples.len() - 1];
         let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
-        println!("{name:<40} time: [{:>10} {:>10} {:>10}]", ns(min), ns(mean), ns(max));
+        println!(
+            "{name:<40} time: [{:>10} {:>10} {:>10}]",
+            ns(min),
+            ns(mean),
+            ns(max)
+        );
         self
     }
 

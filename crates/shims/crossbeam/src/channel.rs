@@ -2,8 +2,16 @@
 //!
 //! Mutex + condvar implementation covering exactly what AnyDB calls:
 //! `unbounded`/`bounded` constructors, cloneable senders and receivers,
-//! `send`, `recv`, `try_recv`, `recv_timeout`, and disconnect detection on
-//! both sides.
+//! `send`, `recv`, `try_recv`, `recv_timeout`, `same_channel`, and
+//! disconnect detection on both sides.
+//!
+//! One deliberate extension beyond the real crate's API:
+//! [`Receiver::try_recv_many`], a bulk non-blocking receive that moves a
+//! whole group of messages per lock acquisition. Real crossbeam spells
+//! this `try_iter().take(max)`, which locks once per element; when this
+//! shim is swapped for the real crate, `try_recv_many` needs a one-line
+//! adapter on top of `try_iter` (the call sites are the engine's
+//! completion loops — see `anydb-core::engine`).
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -116,6 +124,11 @@ impl<T> Sender<T> {
         shared.not_empty.notify_one();
         Ok(())
     }
+
+    /// True if `other` sends into the same channel as `self`.
+    pub fn same_channel(&self, other: &Sender<T>) -> bool {
+        Arc::ptr_eq(&self.shared, &other.shared)
+    }
 }
 
 impl<T> Clone for Sender<T> {
@@ -171,6 +184,36 @@ impl<T> Receiver<T> {
         } else {
             Err(TryRecvError::Empty)
         }
+    }
+
+    /// Bulk non-blocking receive: moves up to `max` queued messages into
+    /// `out` under a single lock acquisition; returns how many were taken.
+    /// `Err(Empty)` / `Err(Disconnected)` when nothing was queued.
+    ///
+    /// This is the receiver-side mirror of batched event streaming for
+    /// the completion path: one mutex crossing covers a whole group of
+    /// completion notices instead of one `try_recv` handshake each.
+    pub fn try_recv_many(&self, out: &mut Vec<T>, max: usize) -> Result<usize, TryRecvError> {
+        debug_assert!(max > 0, "try_recv_many with max = 0 cannot make progress");
+        let shared = &*self.shared;
+        let mut queue = shared.lock();
+        let n = queue.len().min(max);
+        if n == 0 {
+            drop(queue);
+            return if shared.senders.load(Ordering::Acquire) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            };
+        }
+        out.extend(queue.drain(..n));
+        drop(queue);
+        if shared.cap.is_some() {
+            // Freed `n` slots; blocked senders of a bounded channel can
+            // make progress again.
+            shared.not_full.notify_all();
+        }
+        Ok(n)
     }
 
     /// Receives with a deadline.
@@ -261,6 +304,46 @@ mod tests {
         );
         tx.send(9).unwrap();
         assert_eq!(rx.recv_timeout(Duration::from_millis(50)), Ok(9));
+    }
+
+    #[test]
+    fn try_recv_many_takes_chunks_in_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(rx.try_recv_many(&mut out, 4), Ok(4));
+        assert_eq!(rx.try_recv_many(&mut out, 100), Ok(6));
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        assert_eq!(rx.try_recv_many(&mut out, 4), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(
+            rx.try_recv_many(&mut out, 4),
+            Err(TryRecvError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn try_recv_many_unblocks_bounded_senders() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let h = std::thread::spawn(move || tx.send(3));
+        std::thread::sleep(Duration::from_millis(20));
+        let mut out = Vec::new();
+        assert_eq!(rx.try_recv_many(&mut out, 8), Ok(2));
+        h.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn same_channel_tracks_identity() {
+        let (tx, _rx) = unbounded::<u8>();
+        let tx2 = tx.clone();
+        let (other, _orx) = unbounded::<u8>();
+        assert!(tx.same_channel(&tx2));
+        assert!(!tx.same_channel(&other));
     }
 
     #[test]

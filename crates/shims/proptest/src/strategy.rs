@@ -235,8 +235,8 @@ impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
 impl Strategy for &'static str {
     type Value = String;
     fn generate(&self, rng: &mut TestRng) -> String {
-        let (chars, min, max) = parse_pattern(self)
-            .unwrap_or_else(|| panic!("unsupported string pattern {self:?}"));
+        let (chars, min, max) =
+            parse_pattern(self).unwrap_or_else(|| panic!("unsupported string pattern {self:?}"));
         let len = rng.random_range(min..=max);
         (0..len)
             .map(|_| chars[rng.random_range(0..chars.len())])

@@ -83,8 +83,7 @@ mod tests {
     fn defaults_land_near_the_paper_baseline() {
         let c = CostModel::default();
         // Average payment (60% by name) under locks:
-        let avg =
-            0.6 * c.payment_locked_ns(true) as f64 + 0.4 * c.payment_locked_ns(false) as f64;
+        let avg = 0.6 * c.payment_locked_ns(true) as f64 + 0.4 * c.payment_locked_ns(false) as f64;
         let tx_per_sec = 1e9 / avg;
         // Paper's single-TE baseline is ~0.55–0.7 M tx/s.
         assert!(

@@ -134,12 +134,7 @@ pub fn figure5_series(
     ];
     strategies
         .into_iter()
-        .map(|(label, f)| {
-            (
-                label,
-                run_series(&sim, &schedule, f, horizon, seed),
-            )
-        })
+        .map(|(label, f)| (label, run_series(&sim, &schedule, f, horizon, seed)))
         .collect()
 }
 

@@ -61,9 +61,7 @@ impl HashIndex {
     pub fn insert(&self, key: IndexKey, rid: Rid) -> DbResult<()> {
         let mut map = self.map.write();
         match map.entry(key) {
-            std::collections::hash_map::Entry::Occupied(_) => {
-                Err(DbError::DuplicateKey(rid.table))
-            }
+            std::collections::hash_map::Entry::Occupied(_) => Err(DbError::DuplicateKey(rid.table)),
             std::collections::hash_map::Entry::Vacant(e) => {
                 e.insert(rid);
                 Ok(())

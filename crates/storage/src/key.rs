@@ -123,10 +123,7 @@ mod tests {
     #[test]
     fn leading_int() {
         assert_eq!(int_keys(&[7, 8]).leading_int(), Some(7));
-        assert_eq!(
-            IndexKey::new(vec![KeyValue::from("a")]).leading_int(),
-            None
-        );
+        assert_eq!(IndexKey::new(vec![KeyValue::from("a")]).leading_int(), None);
     }
 
     #[test]

@@ -109,7 +109,11 @@ mod tests {
         assert_eq!(s0, 0);
         assert_eq!(s1, 1);
         assert_eq!(p.read_tuple(0).unwrap().0, t(10));
-        let ((), v) = p.update(1, |tu| { tu.set(0, Value::Int(21)); }).unwrap();
+        let ((), v) = p
+            .update(1, |tu| {
+                tu.set(0, Value::Int(21));
+            })
+            .unwrap();
         assert_eq!(v, 1);
         assert_eq!(p.read_tuple(1).unwrap(), (t(21), 1));
     }

@@ -166,9 +166,7 @@ mod tests {
         assert_eq!(stats.updates, 1);
 
         let rt = recovered.table(TableId(0)).unwrap();
-        let (got, _) = rt
-            .read(Rid::new(TableId(0), PartitionId(0), 0))
-            .unwrap();
+        let (got, _) = rt.read(Rid::new(TableId(0), PartitionId(0), 0)).unwrap();
         assert_eq!(got, tuple(1, 11));
     }
 
@@ -204,10 +202,7 @@ mod tests {
         );
         wal.append(TxnId(1), LogOp::Commit);
         let store = fresh_store();
-        assert!(matches!(
-            replay(&wal, &store),
-            Err(DbError::CorruptLog(_))
-        ));
+        assert!(matches!(replay(&wal, &store), Err(DbError::CorruptLog(_))));
     }
 
     #[test]
@@ -224,10 +219,7 @@ mod tests {
         );
         wal.append(TxnId(1), LogOp::Commit);
         let store = fresh_store();
-        assert!(matches!(
-            replay(&wal, &store),
-            Err(DbError::CorruptLog(_))
-        ));
+        assert!(matches!(replay(&wal, &store), Err(DbError::CorruptLog(_))));
     }
 
     #[test]

@@ -57,9 +57,9 @@ impl Partitioner {
         match self {
             Partitioner::Single => Ok(PartitionId(0)),
             Partitioner::ByColumn { offset, .. } => {
-                let v = key
-                    .leading_int()
-                    .ok_or(DbError::SchemaMismatch("key must lead with partition column"))?;
+                let v = key.leading_int().ok_or(DbError::SchemaMismatch(
+                    "key must lead with partition column",
+                ))?;
                 Ok(Self::fold(v - offset, partitions))
             }
         }
@@ -197,12 +197,8 @@ mod tests {
     fn partitioner_key_and_tuple_agree() {
         let p = Partitioner::by_warehouse(0);
         for w in 1..=8i64 {
-            let by_tuple = p
-                .partition_of(&[Value::Int(w), Value::Int(9)], 4)
-                .unwrap();
-            let by_key = p
-                .partition_of_key(&crate::key::int_key(w), 4)
-                .unwrap();
+            let by_tuple = p.partition_of(&[Value::Int(w), Value::Int(9)], 4).unwrap();
+            let by_key = p.partition_of_key(&crate::key::int_key(w), 4).unwrap();
             assert_eq!(by_tuple, by_key);
         }
     }
@@ -220,7 +216,10 @@ mod tests {
     fn partitioner_handles_negative_ids() {
         let p = Partitioner::by_column(0, 0);
         // rem_euclid keeps partitions in range even for negatives.
-        assert_eq!(p.partition_of(&[Value::Int(-3)], 4).unwrap(), PartitionId(1));
+        assert_eq!(
+            p.partition_of(&[Value::Int(-3)], 4).unwrap(),
+            PartitionId(1)
+        );
     }
 
     #[test]

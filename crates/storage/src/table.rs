@@ -372,7 +372,8 @@ mod tests {
         );
         let jones = IndexKey::new(vec![1i64.into(), "jones".into()]);
         assert_eq!(
-            t.lookup_secondary("by_name", PartitionId(0), &jones).unwrap(),
+            t.lookup_secondary("by_name", PartitionId(0), &jones)
+                .unwrap(),
             vec![rid]
         );
     }
@@ -385,7 +386,9 @@ mod tests {
         }
         let lo = IndexKey::new(vec![1i64.into(), "a".into()]);
         let hi = IndexKey::new(vec![1i64.into(), "bz".into()]);
-        let rids = t.range_secondary("by_name", PartitionId(0), &lo, &hi).unwrap();
+        let rids = t
+            .range_secondary("by_name", PartitionId(0), &lo, &hi)
+            .unwrap();
         assert_eq!(rids.len(), 2);
     }
 
@@ -396,9 +399,7 @@ mod tests {
             .lookup_secondary("missing", PartitionId(0), &int_key(1))
             .is_err());
         assert!(t.partition(PartitionId(9)).is_err());
-        assert!(t
-            .read(Rid::new(TableId(1), PartitionId(9), 0))
-            .is_err());
+        assert!(t.read(Rid::new(TableId(1), PartitionId(9), 0)).is_err());
         assert!(t.read(Rid::new(TableId(2), PartitionId(0), 0)).is_err());
     }
 

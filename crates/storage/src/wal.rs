@@ -229,10 +229,7 @@ mod tests {
         buf.put_u64(0);
         buf.put_u64(0);
         buf.put_u8(9); // bogus tag
-        assert_eq!(
-            Wal::deserialize(buf.freeze()),
-            Err(DbError::CorruptLog(0))
-        );
+        assert_eq!(Wal::deserialize(buf.freeze()), Err(DbError::CorruptLog(0)));
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Depth-driven batch sizing.
+//!
+//! Static batch sizes force a single throughput/latency trade-off on every
+//! workload phase — exactly the fixed-architecture thinking the paper
+//! argues against. [`AdaptiveBatch`] sizes event batches *online* from the
+//! backlog the streams already mirror ([`crate::inbox::Inbox::len`], the
+//! SPSC ring's occupancy): when a queue is deep, one more event per batch
+//! costs nothing extra in latency (everything behind it waits anyway) and
+//! buys amortization, so the batch grows; when the queue runs empty, any
+//! held-back event is pure queueing delay, so the batch shrinks toward
+//! one. This is the SEDA/morsel-style feedback loop: queue depth is the
+//! control signal, batch size the actuator.
+//!
+//! The controller is multiplicative in both directions (double on backlog,
+//! halve on idle), so it spans its whole `[min, max]` range in
+//! `log2(max/min)` observations — fast enough to follow workload phase
+//! changes measured in tens of events, while the hold band (`0 < depth <
+//! current`) keeps it from oscillating on a half-full queue.
+
+/// Online batch-size controller fed by observed queue depth.
+///
+/// `observe` is called once per batch boundary (a driver about to group
+/// events, an AC about to drain its inbox) with the depth of the queue in
+/// question; `current` is the batch size to use for the next transfer.
+/// With `min == max` the controller is pinned — the static modes of the
+/// ablation — and `observe` becomes a no-op.
+#[derive(Debug, Clone)]
+pub struct AdaptiveBatch {
+    min: usize,
+    max: usize,
+    cur: usize,
+}
+
+impl AdaptiveBatch {
+    /// Controller ranging over `[min, max]`, starting at `min` (an idle
+    /// system should begin at the latency end of the knob).
+    ///
+    /// # Panics
+    /// Panics unless `1 <= min <= max`.
+    pub fn new(min: usize, max: usize) -> Self {
+        assert!(min >= 1, "batch size must be positive");
+        assert!(min <= max, "adaptive range inverted: {min} > {max}");
+        Self { min, max, cur: min }
+    }
+
+    /// A pinned controller: `current` is always `n` (static batching).
+    pub fn fixed(n: usize) -> Self {
+        Self::new(n, n)
+    }
+
+    /// The batch size to use for the next transfer.
+    #[inline]
+    pub fn current(&self) -> usize {
+        self.cur
+    }
+
+    /// Lower bound of the range.
+    pub fn min(&self) -> usize {
+        self.min
+    }
+
+    /// Upper bound of the range (what callers should pre-allocate for).
+    pub fn max(&self) -> usize {
+        self.max
+    }
+
+    /// True if the controller can actually move (`min != max`).
+    pub fn is_adaptive(&self) -> bool {
+        self.min != self.max
+    }
+
+    /// Feeds one queue-depth sample and returns the adjusted batch size.
+    ///
+    /// * `depth >= current`: at least one full batch is already waiting —
+    ///   grow (double, capped at `max`).
+    /// * `depth == 0`: the queue drained — shrink (halve, floored at
+    ///   `min`) so a lone event is not held hostage by a big threshold.
+    /// * otherwise: hold, to avoid oscillating around a half-full queue.
+    #[inline]
+    pub fn observe(&mut self, depth: usize) -> usize {
+        if depth >= self.cur {
+            self.cur = (self.cur * 2).min(self.max);
+        } else if depth == 0 {
+            self.cur = (self.cur / 2).max(self.min);
+        }
+        self.cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_under_backlog_up_to_max() {
+        let mut c = AdaptiveBatch::new(1, 64);
+        for _ in 0..20 {
+            c.observe(1 << 20);
+        }
+        assert_eq!(c.current(), 64);
+    }
+
+    #[test]
+    fn decays_to_min_when_idle() {
+        let mut c = AdaptiveBatch::new(1, 64);
+        for _ in 0..10 {
+            c.observe(usize::MAX);
+        }
+        assert_eq!(c.current(), 64);
+        for _ in 0..10 {
+            c.observe(0);
+        }
+        assert_eq!(c.current(), 1);
+    }
+
+    #[test]
+    fn holds_in_the_band() {
+        let mut c = AdaptiveBatch::new(1, 64);
+        c.observe(100);
+        c.observe(100);
+        c.observe(100);
+        let level = c.current();
+        assert!(level > 1);
+        // depth strictly between 0 and current: no movement.
+        c.observe(level - 1);
+        assert_eq!(c.current(), level);
+    }
+
+    #[test]
+    fn fixed_never_moves() {
+        let mut c = AdaptiveBatch::fixed(8);
+        assert!(!c.is_adaptive());
+        c.observe(0);
+        assert_eq!(c.current(), 8);
+        c.observe(usize::MAX);
+        assert_eq!(c.current(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_range_panics() {
+        AdaptiveBatch::new(9, 3);
+    }
+}

@@ -155,6 +155,19 @@ impl<T> InboxSender<T> {
             self.shared.len.fetch_add(added, Ordering::AcqRel);
         }
     }
+
+    /// Destination backlog as seen from the sending side (the `len`
+    /// mirror, read without the lock). This is the depth signal adaptive
+    /// batching feeds on: a deep inbox means the receiver is behind and
+    /// grouping more events per crossing costs no extra latency.
+    pub fn len(&self) -> usize {
+        self.shared.len.load(Ordering::Acquire)
+    }
+
+    /// True if the destination queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 impl<T> Clone for InboxSender<T> {
@@ -306,11 +319,7 @@ mod tests {
         assert_eq!(all.len(), 40_000);
         // Per-sender order must hold even though senders interleave.
         for t in 0..4u64 {
-            let mine: Vec<u64> = all
-                .iter()
-                .copied()
-                .filter(|v| v / 100_000 == t)
-                .collect();
+            let mine: Vec<u64> = all.iter().copied().filter(|v| v / 100_000 == t).collect();
             assert!(mine.windows(2).all(|w| w[0] < w[1]), "sender {t} reordered");
         }
     }

@@ -4,6 +4,8 @@
 //! model instruments generic components (ACs) with an *event stream* and a
 //! *data stream*; this crate provides the transport for both:
 //!
+//! * [`adaptive`] — depth-driven batch sizing: the feedback controller
+//!   that turns the queues' depth mirrors into an online batch-size knob,
 //! * [`spsc`] — a lock-free single-producer/single-consumer ring buffer,
 //!   our stand-in for the Folly SPSC queue the paper uses for local
 //!   shared-memory beaming (footnote 1 in §4),
@@ -20,6 +22,7 @@
 //! Everything is non-blocking: receivers never wait for data — exactly the
 //! execution model of §2.1.
 
+pub mod adaptive;
 pub mod batch;
 pub mod beam;
 pub mod flow;

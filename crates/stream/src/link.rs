@@ -481,7 +481,8 @@ mod tests {
         };
         let (mut tx, mut rx) = SimLink::channel(spec, 16);
         let start = Instant::now();
-        tx.send_many_blocking((0..10u8).collect(), 1024 * 1024).unwrap();
+        tx.send_many_blocking((0..10u8).collect(), 1024 * 1024)
+            .unwrap();
         let busy = tx.busy_until().expect("transfer modeled") - start;
         assert!(
             busy < Duration::from_millis(50),
@@ -496,7 +497,10 @@ mod tests {
         }
         let elapsed = start.elapsed();
         assert_eq!(out, (0..10).collect::<Vec<_>>());
-        assert!(elapsed >= Duration::from_millis(9), "too early: {elapsed:?}");
+        assert!(
+            elapsed >= Duration::from_millis(9),
+            "too early: {elapsed:?}"
+        );
     }
 
     #[test]

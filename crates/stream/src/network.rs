@@ -94,10 +94,7 @@ impl Topology {
     /// # Panics
     /// Panics if the server does not exist.
     pub fn place_ac(&mut self, server: ServerId) -> AcId {
-        assert!(
-            server.index() < self.cores.len(),
-            "unknown server {server}"
-        );
+        assert!(server.index() < self.cores.len(), "unknown server {server}");
         let id = AcId(self.placement.len() as u32);
         self.placement.push(server);
         id
@@ -188,8 +185,7 @@ mod tests {
 
     #[test]
     fn intra_server_override() {
-        let mut topo =
-            Topology::new(1, 4, LinkClass::Tcp).with_intra_server(LinkClass::Numa);
+        let mut topo = Topology::new(1, 4, LinkClass::Tcp).with_intra_server(LinkClass::Numa);
         let a = topo.place_ac(ServerId(0));
         let b = topo.place_ac(ServerId(0));
         assert_eq!(topo.link_class(a, b), LinkClass::Numa);

@@ -84,10 +84,7 @@ pub fn spsc_channel<T>(cap: usize) -> (SpscProducer<T>, SpscConsumer<T>) {
         producer_alive: AtomicBool::new(true),
         consumer_alive: AtomicBool::new(true),
     });
-    (
-        SpscProducer { ring: ring.clone() },
-        SpscConsumer { ring },
-    )
+    (SpscProducer { ring: ring.clone() }, SpscConsumer { ring })
 }
 
 impl<T> SpscProducer<T> {

@@ -1,11 +1,13 @@
 //! Property tests for the streaming substrate.
 
 use anydb_common::{Tuple, Value};
+use anydb_stream::adaptive::AdaptiveBatch;
 use anydb_stream::batch::Batch;
 use anydb_stream::flow::Flow;
 use anydb_stream::inbox::Inbox;
 use anydb_stream::link::{LinkSpec, SimLink};
 use anydb_stream::spsc::{spsc_channel, PopState};
+use crossbeam::channel::{unbounded, TryRecvError};
 use proptest::prelude::*;
 use std::time::Duration;
 
@@ -113,6 +115,84 @@ proptest! {
             }
         }
         prop_assert_eq!(got, payload);
+    }
+
+    /// Bulk channel receive (`try_recv_many`) returns exactly what a
+    /// sequence of singleton `try_recv`s would: same elements, same
+    /// order, no loss, no duplication — for any interleaving of the two
+    /// receive forms and any chunk sizes.
+    #[test]
+    fn try_recv_many_matches_singleton_try_recv(
+        payload in prop::collection::vec(any::<i64>(), 0..300),
+        steps in prop::collection::vec((any::<bool>(), 1usize..17), 1..64),
+    ) {
+        let (tx, rx) = unbounded();
+        for v in &payload {
+            tx.send(*v).unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<i64> = Vec::new();
+        let mut out: Vec<i64> = Vec::new();
+        let mut step = 0usize;
+        loop {
+            let (bulk, max) = steps[step % steps.len()];
+            step += 1;
+            if bulk {
+                out.clear();
+                match rx.try_recv_many(&mut out, max) {
+                    Ok(n) => {
+                        prop_assert!(n > 0 && n <= max);
+                        prop_assert_eq!(n, out.len());
+                        got.extend_from_slice(&out);
+                    }
+                    Err(TryRecvError::Disconnected) => break,
+                    Err(TryRecvError::Empty) => unreachable!("sender dropped"),
+                }
+            } else {
+                match rx.try_recv() {
+                    Ok(v) => got.push(v),
+                    Err(TryRecvError::Disconnected) => break,
+                    Err(TryRecvError::Empty) => unreachable!("sender dropped"),
+                }
+            }
+        }
+        prop_assert_eq!(got, payload);
+    }
+
+    /// The adaptive batch controller never leaves its `[min, max]` range,
+    /// whatever depth sequence it observes.
+    #[test]
+    fn adaptive_batch_stays_in_bounds(
+        min in 1usize..16,
+        span in 0usize..9,
+        depths in prop::collection::vec(any::<usize>(), 0..200),
+    ) {
+        let max = min << span; // power-of-two span keeps ranges honest
+        let mut ctrl = AdaptiveBatch::new(min, max);
+        for d in depths {
+            let cur = ctrl.observe(d);
+            prop_assert!(cur >= min && cur <= max, "current {cur} outside [{min}, {max}]");
+            prop_assert_eq!(cur, ctrl.current());
+        }
+    }
+
+    /// Whatever state load drove it to, a drained (depth 0) queue decays
+    /// the controller back to its floor within log2(max) observations —
+    /// the idle-latency guarantee.
+    #[test]
+    fn adaptive_batch_decays_to_floor_when_idle(
+        max in 1usize..4096,
+        depths in prop::collection::vec(any::<usize>(), 0..64),
+    ) {
+        let mut ctrl = AdaptiveBatch::new(1, max);
+        for d in depths {
+            ctrl.observe(d);
+        }
+        // usize::BITS zero-samples bound log2 of any reachable state.
+        for _ in 0..usize::BITS {
+            ctrl.observe(0);
+        }
+        prop_assert_eq!(ctrl.current(), 1);
     }
 
     /// Links deliver every message exactly once in order for arbitrary

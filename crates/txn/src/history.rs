@@ -292,11 +292,11 @@ mod tests {
         h.record_write(TxnId(2), rid(1), 1);
         h.record_read(TxnId(3), rid(1), 1); // T2 -> T3
         h.record_write(TxnId(3), rid(2), 1);
-        h.record_read(TxnId(1), rid(2), 0); // rw: T1 -> T3? no: T1 read v0, T3 wrote v1 -> T1 -> T3
-        // Make it a genuine cycle: T3 must precede T1. T1 read z at v0 and
-        // T3 wrote z v1 gives T1 -> T3, which is NOT a cycle. Flip it:
-        // record T3 reading something T1 later overwrote is covered above
-        // via x. Instead assert this particular chain is acyclic:
+        // rw: T1 read z at v0 and T3 wrote z v1 gives T1 -> T3, which is
+        // NOT a cycle (a genuine cycle needs T3 preceding T1; T3 reading
+        // something T1 later overwrote is covered above via x). So this
+        // particular chain is still acyclic:
+        h.record_read(TxnId(1), rid(2), 0);
         assert!(h.is_serializable());
 
         // Now add the closing edge: T3 reads w v0, T1 writes w v1 -> T3->T1

@@ -55,9 +55,9 @@ impl LockEntry {
     /// True if every conflicting holder is younger than `txn` (so a
     /// wait-die requester may wait).
     fn may_wait(&self, txn: TxnId, mode: LockMode) -> bool {
-        self.holders.iter().all(|(t, m)| {
-            *t >= txn || (mode == LockMode::Shared && *m == LockMode::Shared)
-        })
+        self.holders
+            .iter()
+            .all(|(t, m)| *t >= txn || (mode == LockMode::Shared && *m == LockMode::Shared))
     }
 }
 
@@ -86,8 +86,8 @@ impl LockManager {
 
     #[inline]
     fn shard(&self, key: u128) -> &Mutex<FxHashMap<u128, LockEntry>> {
-        &self.shards[anydb_common::fxmap::hash_u64(key as u64 ^ (key >> 64) as u64) as usize
-            % SHARDS]
+        &self.shards
+            [anydb_common::fxmap::hash_u64(key as u64 ^ (key >> 64) as u64) as usize % SHARDS]
     }
 
     /// Tries to acquire once; on conflict reports whether waiting is

@@ -3,11 +3,11 @@
 
 use std::sync::Arc;
 
+use anydb_common::{PartitionId, Rid, TableId, TxnId};
 use anydb_txn::history::History;
 use anydb_txn::lock::{LockManager, LockMode, LockPolicy};
 use anydb_txn::sequencer::{OrderGate, Sequencer};
 use anydb_txn::ts::TxnIdGen;
-use anydb_common::{PartitionId, Rid, TableId, TxnId};
 use proptest::prelude::*;
 
 fn rid(slot: u32) -> Rid {

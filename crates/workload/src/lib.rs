@@ -15,6 +15,4 @@ pub mod tpcc;
 
 pub use chbench::Q3Spec;
 pub use phases::{Phase, PhaseKind, PhaseSchedule};
-pub use tpcc::{
-    CustomerSelector, NewOrderParams, PaymentGen, PaymentParams, TpccConfig, TpccDb,
-};
+pub use tpcc::{CustomerSelector, NewOrderParams, PaymentGen, PaymentParams, TpccConfig, TpccDb};

@@ -27,9 +27,7 @@ impl PhaseKind {
             PhaseKind::OltpPartitionable | PhaseKind::HtapPartitionable => {
                 HotSpot::uniform(warehouses as u64)
             }
-            PhaseKind::OltpSkewed | PhaseKind::HtapSkewed => {
-                HotSpot::single(warehouses as u64)
-            }
+            PhaseKind::OltpSkewed | PhaseKind::HtapSkewed => HotSpot::single(warehouses as u64),
         }
     }
 

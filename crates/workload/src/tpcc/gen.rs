@@ -222,12 +222,7 @@ pub struct MixGen {
 
 impl MixGen {
     /// `payment_fraction` of requests are payments, the rest new-orders.
-    pub fn new(
-        cfg: TpccConfig,
-        warehouse_dist: HotSpot,
-        payment_fraction: f64,
-        seed: u64,
-    ) -> Self {
+    pub fn new(cfg: TpccConfig, warehouse_dist: HotSpot, payment_fraction: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&payment_fraction));
         Self {
             payment: PaymentGen::new(cfg.clone(), warehouse_dist, seed ^ 0x5eed),

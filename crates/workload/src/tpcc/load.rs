@@ -16,8 +16,8 @@ use super::{last_name, table_specs, TpccConfig};
 /// starts with 'A' so CH-benCHmark Q3's `state LIKE 'A%'` predicate has
 /// predictable selectivity (4 of 20 ≈ 20%).
 const STATES: [&str; 20] = [
-    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "IL", "IN", "KY", "MD",
-    "NY", "OH", "PA", "TX", "UT", "WA",
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "IL", "IN", "KY", "MD", "NY", "OH",
+    "PA", "TX", "UT", "WA",
 ];
 
 /// A loaded TPC-C database: the store plus typed table handles.
@@ -139,15 +139,13 @@ impl TpccDb {
                 }
 
                 // Pre-loaded order backlog.
-                let open_from = ((cfg.orders_per_district as f64)
-                    * (1.0 - cfg.open_order_fraction))
+                let open_from = ((cfg.orders_per_district as f64) * (1.0 - cfg.open_order_fraction))
                     .floor() as i64;
                 for o in 1..=cfg.orders_per_district as i64 {
                     let c_id = rng.random_range(1..=cfg.customers_per_district as i64);
                     let year = rng.random_range(2004..=2011);
-                    let entry_d = year * 10_000
-                        + rng.random_range(1..=12) * 100
-                        + rng.random_range(1..=28);
+                    let entry_d =
+                        year * 10_000 + rng.random_range(1..=12) * 100 + rng.random_range(1..=28);
                     let open = o > open_from;
                     self.orders.insert(Tuple::new(vec![
                         Value::Int(w),
@@ -197,12 +195,13 @@ impl TpccDb {
                 .and_then(|p| p.read_tuple(0).ok())
                 .map(|(t, _)| t.wire_size() as u64)
                 .unwrap_or(32);
-            self.store
-                .catalog()
-                .set_stats(table.id(), TableStats {
+            self.store.catalog().set_stats(
+                table.id(),
+                TableStats {
                     rows,
                     avg_tuple_bytes: avg,
-                });
+                },
+            );
         }
     }
 
@@ -213,7 +212,8 @@ impl TpccDb {
 
     /// RID of warehouse `w`.
     pub fn warehouse_rid(&self, w: i64) -> DbResult<Rid> {
-        self.warehouse.get_rid(&IndexKey::new(vec![KeyValue::Int(w)]))
+        self.warehouse
+            .get_rid(&IndexKey::new(vec![KeyValue::Int(w)]))
     }
 
     /// RID of district `(w, d)`.
@@ -271,12 +271,9 @@ mod tests {
         );
         assert_eq!(db.customer.row_count(), cfg.total_customers() as usize);
         assert_eq!(db.item.row_count(), cfg.items as usize);
-        assert_eq!(
-            db.stock.row_count(),
-            (cfg.warehouses * cfg.items) as usize
-        );
-        let orders = (cfg.warehouses * cfg.districts_per_warehouse * cfg.orders_per_district)
-            as usize;
+        assert_eq!(db.stock.row_count(), (cfg.warehouses * cfg.items) as usize);
+        let orders =
+            (cfg.warehouses * cfg.districts_per_warehouse * cfg.orders_per_district) as usize;
         assert_eq!(db.orders.row_count(), orders);
         assert_eq!(
             db.orderline.row_count(),

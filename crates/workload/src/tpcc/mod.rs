@@ -10,9 +10,7 @@ pub mod cols;
 pub mod gen;
 pub mod load;
 
-pub use gen::{
-    CustomerSelector, NewOrderGen, NewOrderParams, PaymentGen, PaymentParams,
-};
+pub use gen::{CustomerSelector, NewOrderGen, NewOrderParams, PaymentGen, PaymentParams};
 pub use load::TpccDb;
 
 use anydb_common::{ColumnDef, DataType, Schema};
@@ -247,9 +245,8 @@ pub fn table_specs(warehouses: u32) -> Vec<TableSpec> {
     vec![
         TableSpec::new(warehouse_schema(), warehouses, by_wh),
         TableSpec::new(district_schema(), warehouses, by_wh),
-        TableSpec::new(customer_schema(), warehouses, by_wh).with_secondary(
-            SecondaryIndexSpec::ordered("cust_by_name", vec![0, 1, 4]),
-        ),
+        TableSpec::new(customer_schema(), warehouses, by_wh)
+            .with_secondary(SecondaryIndexSpec::ordered("cust_by_name", vec![0, 1, 4])),
         TableSpec::new(history_schema(), warehouses, by_wh),
         TableSpec::new(neworder_schema(), warehouses, by_wh),
         TableSpec::new(order_schema(), warehouses, by_wh),
@@ -281,7 +278,10 @@ mod tests {
         let item = specs.iter().find(|s| s.schema.name() == "item").unwrap();
         assert_eq!(item.partitions, 1);
         // customer carries the last-name index
-        let cust = specs.iter().find(|s| s.schema.name() == "customer").unwrap();
+        let cust = specs
+            .iter()
+            .find(|s| s.schema.name() == "customer")
+            .unwrap();
         assert_eq!(cust.secondaries.len(), 1);
     }
 

@@ -7,8 +7,8 @@
 
 use std::time::Duration;
 
-use anydb::workload::phases::PhaseSchedule;
 use anydb::sim::figure1_series;
+use anydb::workload::phases::PhaseSchedule;
 
 fn main() {
     println!("Evolving workload (Figure 1), virtual-time simulation, 4 workers\n");
@@ -17,7 +17,10 @@ fn main() {
     let (anydb, dbx) = figure1_series(4, horizon, 7);
 
     let schedule = PhaseSchedule::figure1();
-    println!("{:>5}  {:<20} {:>10} {:>10}", "phase", "regime", "AnyDB", "DBx1000");
+    println!(
+        "{:>5}  {:<20} {:>10} {:>10}",
+        "phase", "regime", "AnyDB", "DBx1000"
+    );
     for ((phase, a), d) in schedule.phases().iter().zip(&anydb).zip(&dbx) {
         println!(
             "{:>5}  {:<20} {:>10.2} {:>10.2}   {}",

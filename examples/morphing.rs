@@ -28,7 +28,7 @@ fn payment(w: i64, amount: f64) -> PaymentParams {
         c_d_id: 1,
         customer: CustomerSelector::ById(1),
         amount,
-        date: 2020_06_10,
+        date: 20_200_610,
     }
 }
 
@@ -39,8 +39,7 @@ fn main() {
     let mut senders = Vec::new();
     let mut handles = Vec::new();
     for i in 0..3u32 {
-        let (tx, handle) =
-            AnyComponent::spawn(AcId(i), db.clone(), None, Arc::new(Counter::new()));
+        let (tx, handle) = AnyComponent::spawn(AcId(i), db.clone(), None, Arc::new(Counter::new()));
         senders.push(tx);
         handles.push(handle);
     }
@@ -53,8 +52,11 @@ fn main() {
         req: TxnRequest::Payment(payment(1, 10.0)),
         done: done_tx.clone(),
     });
-    let d = done_rx.recv().unwrap();
-    println!("txn {} ran aggregated on AC 0 (shared-nothing view): ok={}", d.txn, d.ok);
+    let d = done_rx.recv().unwrap().0[0];
+    println!(
+        "txn {} ran aggregated on AC 0 (shared-nothing view): ok={}",
+        d.txn, d.ok
+    );
 
     // Query 2, concurrently, perceives a DISAGGREGATED system: the same
     // kind of transaction is decomposed into stage events across all
@@ -75,7 +77,7 @@ fn main() {
             tracker: tracker.clone(),
         }));
     }
-    let d = done_rx.recv().unwrap();
+    let d = done_rx.recv().unwrap().0[0];
     println!(
         "txn {} ran disaggregated across ACs 0-2 (pipeline view): ok={}",
         d.txn, d.ok
@@ -89,8 +91,11 @@ fn main() {
         req: TxnRequest::Payment(payment(1, 5.0)),
         done: done_tx.clone(),
     });
-    let d = done_rx.recv().unwrap();
-    println!("txn {} ran on the elastically added AC 3: ok={}", d.txn, d.ok);
+    let d = done_rx.recv().unwrap().0[0];
+    println!(
+        "txn {} ran on the elastically added AC 3: ok={}",
+        d.txn, d.ok
+    );
 
     tx.send(Event::Shutdown);
     handle.join().unwrap();

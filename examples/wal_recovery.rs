@@ -3,11 +3,11 @@
 //!
 //! Run with: `cargo run --release --example wal_recovery`
 
+use anydb::common::{ColumnDef, DataType, Schema, Tuple};
 use anydb::common::{TableId, TxnId, Value};
 use anydb::storage::catalog::TableSpec;
 use anydb::storage::recovery::replay_records;
 use anydb::storage::{LogOp, Partitioner, Store, Wal};
-use anydb::common::{ColumnDef, DataType, Schema, Tuple};
 
 fn fresh_store() -> Store {
     let store = Store::new();
@@ -54,14 +54,40 @@ fn main() {
     // txn 2: transfer 50, commit.
     let a = table.get_rid(&anydb::storage::key::int_key(1)).unwrap();
     let b = table.get_rid(&anydb::storage::key::int_key(2)).unwrap();
-    table.update(a, |t| { t.set(1, Value::Int(50)); }).unwrap();
-    wal.append(TxnId(2), LogOp::Update { rid: a, after: Tuple::new(vec![Value::Int(1), Value::Int(50)]) });
-    table.update(b, |t| { t.set(1, Value::Int(250)); }).unwrap();
-    wal.append(TxnId(2), LogOp::Update { rid: b, after: Tuple::new(vec![Value::Int(2), Value::Int(250)]) });
+    table
+        .update(a, |t| {
+            t.set(1, Value::Int(50));
+        })
+        .unwrap();
+    wal.append(
+        TxnId(2),
+        LogOp::Update {
+            rid: a,
+            after: Tuple::new(vec![Value::Int(1), Value::Int(50)]),
+        },
+    );
+    table
+        .update(b, |t| {
+            t.set(1, Value::Int(250));
+        })
+        .unwrap();
+    wal.append(
+        TxnId(2),
+        LogOp::Update {
+            rid: b,
+            after: Tuple::new(vec![Value::Int(2), Value::Int(250)]),
+        },
+    );
     wal.append(TxnId(2), LogOp::Commit);
 
     // txn 3: in flight when the system "crashes" — never commits.
-    wal.append(TxnId(3), LogOp::Update { rid: a, after: Tuple::new(vec![Value::Int(1), Value::Int(0)]) });
+    wal.append(
+        TxnId(3),
+        LogOp::Update {
+            rid: a,
+            after: Tuple::new(vec![Value::Int(1), Value::Int(0)]),
+        },
+    );
 
     // The log is serialized ("what would hit disk") and replayed into a
     // fresh store after the crash.

@@ -7,13 +7,24 @@ use std::sync::Arc;
 use anydb::common::metrics::Counter;
 use anydb::common::{AcId, TxnId};
 use anydb::core::component::AnyComponent;
-use anydb::core::event::{Event, OpEnvelope, TxnTracker};
+use anydb::core::event::{DoneBatch, Event, OpDone, OpEnvelope, TxnTracker};
 use anydb::core::strategy::payment_stage_groups;
 use anydb::txn::sequencer::Sequencer;
 use anydb::workload::tpcc::cols::warehouse;
 use anydb::workload::tpcc::gen::TxnRequest;
 use anydb::workload::tpcc::{CustomerSelector, PaymentParams, TpccConfig, TpccDb};
-use crossbeam::channel::unbounded;
+use crossbeam::channel::{unbounded, Receiver};
+
+/// Collects `n` completion notices, flattening the batched protocol (ACs
+/// emit one `DoneBatch` per drained chunk per channel).
+fn recv_flat(rx: &Receiver<DoneBatch>, n: usize) -> Vec<OpDone> {
+    let mut out = Vec::new();
+    while out.len() < n {
+        out.extend(rx.recv().expect("completion channel open").0);
+    }
+    assert_eq!(out.len(), n, "more completions than expected");
+    out
+}
 
 fn payment(w: i64, amount: f64) -> PaymentParams {
     PaymentParams {
@@ -23,7 +34,7 @@ fn payment(w: i64, amount: f64) -> PaymentParams {
         c_d_id: 1,
         customer: CustomerSelector::ById(1),
         amount,
-        date: 2020_06_10,
+        date: 20_200_610,
     }
 }
 
@@ -73,13 +84,9 @@ fn one_pool_serves_aggregated_and_disaggregated_queries_concurrently() {
         }));
     }
 
-    let mut oks = 0;
-    for _ in 0..2 {
-        let d = done_rx.recv().unwrap();
+    for d in recv_flat(&done_rx, 2) {
         assert!(d.ok, "txn {} failed", d.txn);
-        oks += 1;
     }
-    assert_eq!(oks, 2);
     assert!((w_ytd(&db, 1) - 300_010.0).abs() < 1e-6);
     assert!((w_ytd(&db, 2) - 300_020.0).abs() < 1e-6);
 
@@ -108,9 +115,7 @@ fn failed_ac_is_replaced_by_rerouting_its_partition() {
             done: done_tx.clone(),
         });
     }
-    for _ in 0..10 {
-        assert!(done_rx.recv().unwrap().ok);
-    }
+    assert!(recv_flat(&done_rx, 10).iter().all(|d| d.ok));
     // Failure: component stops (drained first — the streams would be
     // rerouted by the reliable-streams mechanism the paper sketches).
     ac0.send(Event::Shutdown);
@@ -125,9 +130,7 @@ fn failed_ac_is_replaced_by_rerouting_its_partition() {
             done: done_tx.clone(),
         });
     }
-    for _ in 0..10 {
-        assert!(done_rx.recv().unwrap().ok);
-    }
+    assert!(recv_flat(&done_rx, 10).iter().all(|d| d.ok));
     ac1.send(Event::Shutdown);
     h1.join().unwrap();
 
@@ -164,9 +167,7 @@ fn order_gates_hold_across_interleaved_domains() {
             tracker,
         }));
     }
-    for _ in 0..submissions.len() {
-        assert!(done_rx.recv().unwrap().ok);
-    }
+    assert!(recv_flat(&done_rx, submissions.len()).iter().all(|d| d.ok));
     assert!((w_ytd(&db, 1) - 300_004.0).abs() < 1e-6);
     assert!((w_ytd(&db, 2) - 300_004.0).abs() < 1e-6);
     ac.send(Event::Shutdown);

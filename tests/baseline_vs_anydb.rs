@@ -73,7 +73,10 @@ fn figure1_ordering_holds_in_simulation() {
         assert!(a.mtps >= d.mtps * 0.95, "phase {}", a.phase);
     }
     assert!(anydb[4].mtps > dbx[4].mtps * 1.8, "skew advantage missing");
-    assert!(anydb[10].mtps > dbx[10].mtps * 1.2, "HTAP isolation missing");
+    assert!(
+        anydb[10].mtps > dbx[10].mtps * 1.2,
+        "HTAP isolation missing"
+    );
 }
 
 #[test]

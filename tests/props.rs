@@ -9,7 +9,9 @@ use proptest::prelude::*;
 fn arb_value() -> impl Strategy<Value = Value> {
     prop_oneof![
         any::<i64>().prop_map(Value::Int),
-        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Float),
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Value::Float),
         "[a-zA-Z0-9 ]{0,24}".prop_map(|s| Value::str(&s)),
         Just(Value::Null),
     ]

@@ -1,0 +1,206 @@
+//! CI bench regression gate.
+//!
+//! Compares the JSON emitted by `cargo bench --bench abl_adaptive`
+//! (`BENCH_adaptive.json`) against the checked-in baseline
+//! (`tools/bench_baseline.json`) and exits non-zero on regression, so
+//! the batching wins cannot silently rot.
+//!
+//! The baseline deliberately pins only **ratio** metrics (adaptive vs.
+//! static(64), batched vs. unbatched, idle-latency ratio): absolute
+//! events/sec vary with the CI host, ratios between two modes measured
+//! in the same run do not. Absolute metrics in the current JSON are
+//! reported but not gated. The baseline values are the *acceptance
+//! floors* the batching PRs committed to (batched >= 1.5x unbatched,
+//! adaptive >= 0.95x static-64, adaptive idle latency <= 0.5x
+//! static-64's) — not last-measured ratios — so an improvement to one
+//! mode can never trip the gate on the ratio it appears under.
+//!
+//! Rules, per baseline key:
+//! * key contains `latency`  → lower is better: fail if
+//!   `current > baseline * (1 + TOLERANCE)`.
+//! * otherwise               → higher is better: fail if
+//!   `current < baseline * (1 - TOLERANCE)`.
+//! * key missing from the current JSON → fail (a silently dropped
+//!   metric is a regression of the gate itself).
+//!
+//! Usage: `bench_gate [baseline.json] [current.json]` (defaults:
+//! `tools/bench_baseline.json`, `BENCH_adaptive.json` — the paths CI
+//! uses from the repo root).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Allowed relative regression before the gate trips.
+const TOLERANCE: f64 = 0.15;
+
+/// Parses the flat `{"key": number, ...}` JSON both the bench and the
+/// baseline use. Not a general JSON parser on purpose: nesting or
+/// non-numeric values are a format error worth failing loudly on.
+fn parse_flat_json(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let body = text.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or("expected a top-level JSON object")?;
+    let mut out = BTreeMap::new();
+    for entry in body.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (key, value) = entry
+            .split_once(':')
+            .ok_or_else(|| format!("malformed entry: {entry:?}"))?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted key: {key:?}"))?;
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad number for {key:?}: {e}"))?;
+        out.insert(key.to_string(), value);
+    }
+    Ok(out)
+}
+
+fn lower_is_better(key: &str) -> bool {
+    key.contains("latency")
+}
+
+/// Checks every baseline metric; returns human-readable failures.
+fn check(baseline: &BTreeMap<String, f64>, current: &BTreeMap<String, f64>) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (key, base) in baseline {
+        let Some(cur) = current.get(key) else {
+            failures.push(format!("{key}: missing from current results"));
+            continue;
+        };
+        if lower_is_better(key) {
+            let ceiling = base * (1.0 + TOLERANCE);
+            if *cur > ceiling {
+                failures.push(format!(
+                    "{key}: {cur:.4} exceeds ceiling {ceiling:.4} (baseline {base:.4})"
+                ));
+            }
+        } else {
+            let floor = base * (1.0 - TOLERANCE);
+            if *cur < floor {
+                failures.push(format!(
+                    "{key}: {cur:.4} below floor {floor:.4} (baseline {base:.4})"
+                ));
+            }
+        }
+    }
+    failures
+}
+
+fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    parse_flat_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let baseline_path = args
+        .next()
+        .unwrap_or_else(|| "tools/bench_baseline.json".into());
+    let current_path = args.next().unwrap_or_else(|| "BENCH_adaptive.json".into());
+
+    let (baseline, current) = match (load(&baseline_path), load(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench_gate: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("bench_gate: {} vs baseline {}", current_path, baseline_path);
+    for (key, base) in &baseline {
+        let cur = current.get(key).copied();
+        println!(
+            "  {key}: current {} / baseline {base:.4}",
+            cur.map_or("<missing>".into(), |v| format!("{v:.4}"))
+        );
+    }
+
+    let failures = check(&baseline, &current);
+    if failures.is_empty() {
+        println!(
+            "bench_gate: OK ({} gated metrics within {:.0}% of baseline)",
+            baseline.len(),
+            TOLERANCE * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("bench_gate: REGRESSION {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn parses_the_bench_emitter_format() {
+        let text = "{\n  \"a_mev_s\": 12.5,\n  \"ratio_b\": 0.9700\n}\n";
+        let parsed = parse_flat_json(text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed["a_mev_s"], 12.5);
+        assert_eq!(parsed["ratio_b"], 0.97);
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(parse_flat_json("not json").is_err());
+        assert!(parse_flat_json("{\"k\": \"text\"}").is_err());
+        assert!(parse_flat_json("{k: 1}").is_err());
+    }
+
+    #[test]
+    fn passes_within_tolerance() {
+        let base = map(&[("ratio_x", 1.0)]);
+        let cur = map(&[("ratio_x", 0.90)]);
+        assert!(check(&base, &cur).is_empty());
+    }
+
+    #[test]
+    fn fails_beyond_tolerance() {
+        let base = map(&[("ratio_x", 1.0)]);
+        let cur = map(&[("ratio_x", 0.80)]);
+        assert_eq!(check(&base, &cur).len(), 1);
+    }
+
+    #[test]
+    fn latency_keys_gate_upward() {
+        let base = map(&[("ratio_idle_latency_a_vs_b", 0.15)]);
+        let ok = map(&[("ratio_idle_latency_a_vs_b", 0.05)]);
+        assert!(check(&base, &ok).is_empty());
+        let bad = map(&[("ratio_idle_latency_a_vs_b", 0.50)]);
+        assert_eq!(check(&base, &bad).len(), 1);
+    }
+
+    #[test]
+    fn missing_metric_fails() {
+        let base = map(&[("ratio_x", 1.0)]);
+        let cur = map(&[("ratio_y", 1.0)]);
+        assert_eq!(check(&base, &cur).len(), 1);
+    }
+
+    #[test]
+    fn extra_current_metrics_are_ignored() {
+        let base = map(&[("ratio_x", 1.0)]);
+        let cur = map(&[("ratio_x", 1.0), ("spsc_static1_mev_s", 74.0)]);
+        assert!(check(&base, &cur).is_empty());
+    }
+}
