@@ -22,7 +22,7 @@
 
 use std::time::{Duration, Instant};
 
-use anydb_bench::{figure_header, row};
+use anydb_bench::{bench_json_path, figure_header, median, row, write_flat_json};
 use anydb_stream::adaptive::AdaptiveBatch;
 use anydb_stream::inbox::Inbox;
 use anydb_stream::spsc::{spsc_channel, PopState};
@@ -184,23 +184,6 @@ fn bench_idle_latency(mode: Mode) -> f64 {
     total.as_secs_f64() * 1e6 / n as f64
 }
 
-fn median(mut v: Vec<f64>) -> f64 {
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN throughput"));
-    v[v.len() / 2]
-}
-
-fn write_json(path: &std::path::Path, pairs: &[(String, f64)]) {
-    use std::io::Write;
-    let mut f =
-        std::fs::File::create(path).unwrap_or_else(|e| panic!("create {}: {e}", path.display()));
-    writeln!(f, "{{").unwrap();
-    for (i, (k, v)) in pairs.iter().enumerate() {
-        let comma = if i + 1 == pairs.len() { "" } else { "," };
-        writeln!(f, "  \"{k}\": {v:.4}{comma}").unwrap();
-    }
-    writeln!(f, "}}").unwrap();
-}
-
 fn main() {
     figure_header(
         "Ablation: adaptive vs static batch sizing (SPSC + inbox)",
@@ -281,15 +264,8 @@ fn main() {
 
     // Emitted at the repo root for tools/bench_gate.rs and the CI
     // artifact; overridable for local experiments.
-    let out = std::env::var("BENCH_ADAPTIVE_JSON").map_or_else(
-        |_| {
-            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-                .join("../..")
-                .join("BENCH_adaptive.json")
-        },
-        std::path::PathBuf::from,
-    );
-    write_json(&out, &pairs);
+    let out = bench_json_path("BENCH_ADAPTIVE_JSON", "BENCH_adaptive.json");
+    write_flat_json(&out, &pairs);
     println!();
     println!("wrote {}", out.display());
 }

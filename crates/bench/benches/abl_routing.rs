@@ -6,14 +6,56 @@
 //! whole-transaction events (shared-nothing), two balanced groups
 //! (precise), pipelined stage groups (streaming), and per-op round trips
 //! (static), all with identical storage work.
+//!
+//! Since PR 3 this is also the engine-level number the CI perf gate
+//! watches (the ROADMAP follow-up on gating beyond transport-level
+//! metrics): the run emits `BENCH_routing.json` with two ratios —
+//! shared-nothing/static and streaming/static throughput — that
+//! `tools/bench_gate.rs` checks against `tools/bench_baseline.json`.
+//!
+//! Run-to-run variance, measured on the 1-core CI-class host this repo
+//! benches on (5 back-to-back runs of per-strategy medians of 3): the
+//! shared-nothing/static ratio sat in 3.8–5.3 and streaming/static in
+//! 3.2–4.0 — noisier than the transport-level ratios because a full
+//! engine run (drivers + ACs + completion channels) exposes more
+//! scheduler surface, though both strategies in a ratio still share the
+//! run's conditions. The checked-in floors (3.0 and 2.0) are therefore
+//! acceptance thresholds below the observed band, not last-measured
+//! values: with the gate's 15% tolerance the build fails only below
+//! 2.55 / 1.70 — batching or routing rotting to where an event hop
+//! costs what a whole transaction should (the Figure-5 ordering
+//! collapsing), not noise.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use anydb_bench::{figure_header, row};
+use anydb_bench::{bench_json_path, figure_header, median, row, write_flat_json};
 use anydb_core::{AnyDbEngine, EngineConfig, Strategy};
 use anydb_workload::phases::PhaseKind;
 use anydb_workload::tpcc::{TpccConfig, TpccDb};
+
+/// Runs per strategy; the median filters scheduler noise.
+const REPS: usize = 3;
+
+fn bench_strategy(cfg: &TpccConfig, strategy: Strategy) -> f64 {
+    let runs: Vec<f64> = (0..REPS)
+        .map(|rep| {
+            let db = Arc::new(TpccDb::load(cfg.clone(), 0xAB2 + rep as u64).unwrap());
+            let engine = AnyDbEngine::new(
+                db,
+                EngineConfig {
+                    strategy,
+                    acs: 2,
+                    ..Default::default()
+                },
+            );
+            engine
+                .run_phase(PhaseKind::OltpSkewed, Duration::from_millis(300), 3)
+                .tx_per_sec()
+        })
+        .collect();
+    median(runs)
+}
 
 fn main() {
     figure_header(
@@ -32,23 +74,15 @@ fn main() {
         &["strategy".into(), "tx/s".into(), "us per txn".into()],
         &widths,
     );
-    for strategy in [
+    let strategies = [
         Strategy::SharedNothing,
         Strategy::PreciseIntra,
         Strategy::StreamingCc,
         Strategy::StaticIntra,
-    ] {
-        let db = Arc::new(TpccDb::load(cfg.clone(), 0xAB2).unwrap());
-        let engine = AnyDbEngine::new(
-            db,
-            EngineConfig {
-                strategy,
-                acs: 2,
-                ..Default::default()
-            },
-        );
-        let r = engine.run_phase(PhaseKind::OltpSkewed, Duration::from_millis(300), 3);
-        let rate = r.tx_per_sec();
+    ];
+    let mut rates = Vec::new();
+    for strategy in strategies {
+        let rate = bench_strategy(&cfg, strategy);
         row(
             &[
                 strategy.label().to_string(),
@@ -57,5 +91,33 @@ fn main() {
             ],
             &widths,
         );
+        rates.push(rate);
     }
+
+    let sn_vs_static = rates[0] / rates[3];
+    let streaming_vs_static = rates[2] / rates[3];
+    println!();
+    println!(
+        "shared-nothing/static: {sn_vs_static:.2}x   streaming/static: {streaming_vs_static:.2}x"
+    );
+    println!("(acceptance: >= 3.0 and >= 2.0 — the Figure-5 ordering must hold with margin)");
+
+    let pairs: Vec<(String, f64)> = vec![
+        ("routing_shared_nothing_tx_s".into(), rates[0]),
+        ("routing_precise_tx_s".into(), rates[1]),
+        ("routing_streaming_tx_s".into(), rates[2]),
+        ("routing_static_tx_s".into(), rates[3]),
+        (
+            "ratio_routing_shared_nothing_vs_static".into(),
+            sn_vs_static,
+        ),
+        (
+            "ratio_routing_streaming_vs_static".into(),
+            streaming_vs_static,
+        ),
+    ];
+    let out = bench_json_path("BENCH_ROUTING_JSON", "BENCH_routing.json");
+    write_flat_json(&out, &pairs);
+    println!();
+    println!("wrote {}", out.display());
 }

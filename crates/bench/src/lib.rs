@@ -45,6 +45,49 @@ pub fn row(cells: &[String], widths: &[usize]) {
     println!("| {} |", line.join(" | "));
 }
 
+/// Median of a sample set — what the repeated-run benches report, to
+/// filter scheduler noise on the small CI host.
+///
+/// # Panics
+/// Panics on an empty or NaN-containing sample set.
+pub fn median(mut v: Vec<f64>) -> f64 {
+    assert!(!v.is_empty(), "median of no samples");
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+    v[v.len() / 2]
+}
+
+/// Writes a flat `{"key": number, ...}` JSON file — the format
+/// `tools/bench_gate.rs` parses. Shared by every JSON-emitting ablation.
+///
+/// # Panics
+/// Panics if the file cannot be created or written (a bench host problem
+/// worth failing loudly on).
+pub fn write_flat_json(path: &std::path::Path, pairs: &[(String, f64)]) {
+    use std::io::Write;
+    let mut f =
+        std::fs::File::create(path).unwrap_or_else(|e| panic!("create {}: {e}", path.display()));
+    writeln!(f, "{{").unwrap();
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        let comma = if i + 1 == pairs.len() { "" } else { "," };
+        writeln!(f, "  \"{k}\": {v:.4}{comma}").unwrap();
+    }
+    writeln!(f, "}}").unwrap();
+}
+
+/// Resolves where a bench writes its JSON: the `env_var` override when
+/// set (local experiments), else `file_name` at the repo root (where CI's
+/// bench gate and artifact upload expect it).
+pub fn bench_json_path(env_var: &str, file_name: &str) -> std::path::PathBuf {
+    std::env::var(env_var).map_or_else(
+        |_| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(file_name)
+        },
+        std::path::PathBuf::from,
+    )
+}
+
 /// Measures wall-clock host parallel efficiency: ratio of 2-thread to
 /// 1-thread throughput of a memory-touching loop. Documents why the OLTP
 /// figures run in virtual time (DESIGN.md §2).

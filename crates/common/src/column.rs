@@ -1,0 +1,931 @@
+//! Columnar batches: the struct-of-arrays representation data streams ship
+//! for OLAP state.
+//!
+//! Row [`Tuple`]s are the right unit for OLTP events (a handful of values
+//! riding along with the event), but §4 data streams move *millions* of
+//! rows per query, and a `Vec<Value>` per row costs an allocation, an enum
+//! tag per value, and — on the wire — a self-describing tag per value. A
+//! [`ColumnBatch`] stores the same rows column-organized (C-Store-style):
+//! one typed vector per column (`Vec<i64>` / `Vec<f64>` / a string arena),
+//! a null bitmap per column, and a wire encoding that spends one tag per
+//! *column* with the values packed contiguously. Operators work on column
+//! slices with selection vectors and materialize rows only at the final
+//! output (late materialization).
+//!
+//! The modeled wire size is computable in O(columns) from the vector
+//! lengths — no per-row accounting — which is what lets producers maintain
+//! batch sizes incrementally instead of re-walking every tuple.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::{DbError, DbResult};
+use crate::schema::{DataType, Schema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Wire tags for the columnar encoding (one per column, not per value).
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_STR: u8 = 3;
+
+/// Hard cap on decoded batch geometry, so a corrupt header cannot ask the
+/// decoder to reserve gigabytes.
+const MAX_DECODE_ROWS: usize = 1 << 24;
+
+/// Typed value storage of one column. Null positions hold a placeholder
+/// (`0` / `0.0` / empty string); the owning [`Column`]'s bitmap is
+/// authoritative.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// 64-bit integers.
+    Int(Vec<i64>),
+    /// 64-bit floats.
+    Float(Vec<f64>),
+    /// Strings in a shared arena: value `i` is
+    /// `arena[offsets[i] .. offsets[i + 1]]` (`offsets.len() == rows + 1`).
+    Str {
+        /// Row boundaries into the arena, monotone, starting at 0.
+        offsets: Vec<u32>,
+        /// Concatenated string payloads.
+        arena: String,
+    },
+}
+
+/// One column: typed values plus a null bitmap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    data: ColumnData,
+    /// Bit `i` set = row `i` is NULL. Empty while the column has no nulls
+    /// (the common case), sized to `ceil(rows / 8)` after the first null.
+    nulls: Vec<u8>,
+}
+
+impl Column {
+    /// An empty column of the given type.
+    pub fn new(ty: DataType) -> Self {
+        let data = match ty {
+            DataType::Int => ColumnData::Int(Vec::new()),
+            DataType::Float => ColumnData::Float(Vec::new()),
+            DataType::Str => ColumnData::Str {
+                offsets: vec![0],
+                arena: String::new(),
+            },
+        };
+        Self {
+            data,
+            nulls: Vec::new(),
+        }
+    }
+
+    /// The column's declared type.
+    pub fn data_type(&self) -> DataType {
+        match &self.data {
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Float(_) => DataType::Float,
+            ColumnData::Str { .. } => DataType::Str,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match &self.data {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str { offsets, .. } => offsets.len() - 1,
+        }
+    }
+
+    /// True if the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The raw values (`None` if this is not an Int column). Null rows
+    /// hold `0`; consult [`Column::is_null`].
+    #[inline]
+    pub fn ints(&self) -> Option<&[i64]> {
+        match &self.data {
+            ColumnData::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw values (`None` if this is not a Float column).
+    #[inline]
+    pub fn floats(&self) -> Option<&[f64]> {
+        match &self.data {
+            ColumnData::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string at `row` (`None` for non-Str columns; empty for nulls).
+    ///
+    /// # Panics
+    /// Panics if `row` is out of range.
+    #[inline]
+    pub fn str_at(&self, row: usize) -> Option<&str> {
+        match &self.data {
+            ColumnData::Str { offsets, arena } => {
+                Some(&arena[offsets[row] as usize..offsets[row + 1] as usize])
+            }
+            _ => None,
+        }
+    }
+
+    /// True if the value at `row` is NULL.
+    #[inline]
+    pub fn is_null(&self, row: usize) -> bool {
+        self.nulls
+            .get(row / 8)
+            .is_some_and(|b| b & (1 << (row % 8)) != 0)
+    }
+
+    /// True if the column holds any NULLs.
+    pub fn has_nulls(&self) -> bool {
+        !self.nulls.is_empty()
+    }
+
+    /// Materializes the value at `row`.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of range.
+    pub fn value(&self, row: usize) -> Value {
+        if self.is_null(row) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[row]),
+            ColumnData::Float(v) => Value::Float(v[row]),
+            ColumnData::Str { .. } => Value::str(self.str_at(row).expect("str column")),
+        }
+    }
+
+    /// Appends `v`, type-checked against the column type; NULL is allowed
+    /// in any column (null-ability is the schema's concern, checked at
+    /// insert — streams just carry what storage holds).
+    pub fn push(&mut self, v: &Value) -> DbResult<()> {
+        match (&mut self.data, v) {
+            (ColumnData::Int(col), Value::Int(i)) => col.push(*i),
+            (ColumnData::Float(col), Value::Float(f)) => col.push(*f),
+            (ColumnData::Str { offsets, arena }, Value::Str(s)) => {
+                arena.push_str(s);
+                offsets.push(arena.len() as u32);
+            }
+            (_, Value::Null) => {
+                self.push_null();
+                return Ok(());
+            }
+            _ => return Err(DbError::TypeMismatch("value type vs column type")),
+        }
+        Ok(())
+    }
+
+    /// Appends a NULL (placeholder value + bitmap bit).
+    pub fn push_null(&mut self) {
+        let row = self.len();
+        match &mut self.data {
+            ColumnData::Int(col) => col.push(0),
+            ColumnData::Float(col) => col.push(0.0),
+            ColumnData::Str { offsets, arena } => offsets.push(arena.len() as u32),
+        }
+        self.set_null_bit(row);
+    }
+
+    fn set_null_bit(&mut self, row: usize) {
+        if self.nulls.len() <= row / 8 {
+            self.nulls.resize(row / 8 + 1, 0);
+        }
+        self.nulls[row / 8] |= 1 << (row % 8);
+    }
+
+    /// Modeled wire size of this column's payload: one tag + null flag,
+    /// the bitmap when present, and the packed values. O(1).
+    pub fn wire_size(&self) -> usize {
+        let rows = self.len();
+        let bitmap = if self.nulls.is_empty() {
+            0
+        } else {
+            rows.div_ceil(8)
+        };
+        let payload = match &self.data {
+            ColumnData::Int(_) | ColumnData::Float(_) => 8 * rows,
+            ColumnData::Str { offsets, arena } => 4 * offsets.len() + arena.len(),
+        };
+        2 + bitmap + payload
+    }
+
+    /// Copies the rows listed in `sel` (in order) into a new column.
+    ///
+    /// # Panics
+    /// Panics if a selection index is out of range.
+    pub fn take(&self, sel: &[u32]) -> Column {
+        let mut out = Column::new(self.data_type());
+        match &self.data {
+            ColumnData::Int(v) => {
+                let ColumnData::Int(dst) = &mut out.data else {
+                    unreachable!()
+                };
+                dst.reserve(sel.len());
+                dst.extend(sel.iter().map(|&i| v[i as usize]));
+            }
+            ColumnData::Float(v) => {
+                let ColumnData::Float(dst) = &mut out.data else {
+                    unreachable!()
+                };
+                dst.reserve(sel.len());
+                dst.extend(sel.iter().map(|&i| v[i as usize]));
+            }
+            ColumnData::Str { .. } => {
+                let mut dst_offsets = Vec::with_capacity(sel.len() + 1);
+                dst_offsets.push(0u32);
+                let mut dst_arena = String::new();
+                for &i in sel {
+                    dst_arena.push_str(self.str_at(i as usize).expect("str column"));
+                    dst_offsets.push(dst_arena.len() as u32);
+                }
+                out.data = ColumnData::Str {
+                    offsets: dst_offsets,
+                    arena: dst_arena,
+                };
+            }
+        }
+        if self.has_nulls() {
+            for (row, &i) in sel.iter().enumerate() {
+                if self.is_null(i as usize) {
+                    out.set_null_bit(row);
+                }
+            }
+        }
+        out
+    }
+
+    /// Copies rows `lo..hi` into a new column.
+    fn slice(&self, lo: usize, hi: usize) -> Column {
+        let mut out = Column::new(self.data_type());
+        match &self.data {
+            ColumnData::Int(v) => out.data = ColumnData::Int(v[lo..hi].to_vec()),
+            ColumnData::Float(v) => out.data = ColumnData::Float(v[lo..hi].to_vec()),
+            ColumnData::Str { offsets, arena } => {
+                let base = offsets[lo];
+                out.data = ColumnData::Str {
+                    offsets: offsets[lo..=hi].iter().map(|&o| o - base).collect(),
+                    arena: arena[base as usize..offsets[hi] as usize].to_string(),
+                };
+            }
+        }
+        if self.has_nulls() {
+            for row in lo..hi {
+                if self.is_null(row) {
+                    out.set_null_bit(row - lo);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A columnar predicate that can be *pushed down* to the scan (evaluated
+/// per row while the scan still holds the row) or evaluated vectorized
+/// over a [`ColumnBatch`] into a selection vector. The enum is the
+/// deliberately small pushdown language: what a NIC flow / storage AC can
+/// apply without running user code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColPredicate {
+    /// `col >= min` over Int values; NULLs and non-Int values fail.
+    IntGe {
+        /// Column position (pre-projection, i.e. in scan input order).
+        col: usize,
+        /// Inclusive lower bound.
+        min: i64,
+    },
+    /// Str value at `col` starts with `prefix`; NULLs and non-Str fail.
+    StrPrefix {
+        /// Column position (pre-projection).
+        col: usize,
+        /// Required prefix.
+        prefix: String,
+    },
+}
+
+impl ColPredicate {
+    /// Row-at-a-time evaluation (scan pushdown and row-path parity).
+    pub fn matches(&self, values: &[Value]) -> bool {
+        match self {
+            ColPredicate::IntGe { col, min } => {
+                matches!(values.get(*col), Some(Value::Int(v)) if v >= min)
+            }
+            ColPredicate::StrPrefix { col, prefix } => {
+                matches!(values.get(*col), Some(Value::Str(s)) if s.starts_with(prefix.as_str()))
+            }
+        }
+    }
+
+    /// Row-at-a-time evaluation over a tuple.
+    pub fn matches_tuple(&self, t: &Tuple) -> bool {
+        self.matches(t.values())
+    }
+
+    /// Vectorized evaluation: appends the indices of passing rows of
+    /// `batch` to `sel`. The predicate's `col` addresses `batch`'s own
+    /// column order here (apply [`ColPredicate::at`] after projection).
+    pub fn select(&self, batch: &ColumnBatch, sel: &mut Vec<u32>) {
+        match self {
+            ColPredicate::IntGe { col, min } => {
+                let column = batch.column(*col);
+                let Some(vals) = column.ints() else { return };
+                if column.has_nulls() {
+                    sel.extend((0..vals.len()).filter_map(|i| {
+                        (vals[i] >= *min && !column.is_null(i)).then_some(i as u32)
+                    }));
+                } else {
+                    sel.extend(
+                        vals.iter()
+                            .enumerate()
+                            .filter_map(|(i, v)| (v >= min).then_some(i as u32)),
+                    );
+                }
+            }
+            ColPredicate::StrPrefix { col, prefix } => {
+                let column = batch.column(*col);
+                if !matches!(column.data_type(), DataType::Str) {
+                    return;
+                }
+                for i in 0..column.len() {
+                    if !column.is_null(i)
+                        && column
+                            .str_at(i)
+                            .is_some_and(|s| s.starts_with(prefix.as_str()))
+                    {
+                        sel.push(i as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The same predicate re-addressed to column position `col` (used
+    /// when a projection reorders columns between scan and flow).
+    pub fn at(&self, col: usize) -> ColPredicate {
+        match self {
+            ColPredicate::IntGe { min, .. } => ColPredicate::IntGe { col, min: *min },
+            ColPredicate::StrPrefix { prefix, .. } => ColPredicate::StrPrefix {
+                col,
+                prefix: prefix.clone(),
+            },
+        }
+    }
+}
+
+/// A column-organized batch of rows — the vectorized counterpart of a
+/// tuple batch. All columns always hold the same number of rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnBatch {
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl ColumnBatch {
+    /// An empty batch with the given column types.
+    pub fn new(types: &[DataType]) -> Self {
+        Self {
+            columns: types.iter().map(|&ty| Column::new(ty)).collect(),
+            rows: 0,
+        }
+    }
+
+    /// An empty batch typed from a projection of `schema`.
+    ///
+    /// # Panics
+    /// Panics if a projection index is out of range — projections are
+    /// resolved against the checked schema, so this is a plan bug.
+    pub fn for_projection(schema: &Schema, proj: &[usize]) -> Self {
+        Self::new(
+            &proj
+                .iter()
+                .map(|&i| schema.columns()[i].ty)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// True if there are no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The columns.
+    #[inline]
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// One column.
+    ///
+    /// # Panics
+    /// Panics if out of range; operators resolve positions against the
+    /// batch's schema before touching columns.
+    #[inline]
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// The column types in order.
+    pub fn types(&self) -> Vec<DataType> {
+        self.columns.iter().map(Column::data_type).collect()
+    }
+
+    /// Appends one row given in this batch's column order.
+    ///
+    /// On `Err` the batch is left with ragged columns and must be
+    /// discarded — rows reaching this path were schema-checked at insert,
+    /// so a mismatch means the batch was typed for another table.
+    pub fn push_row(&mut self, values: &[Value]) -> DbResult<()> {
+        if values.len() != self.columns.len() {
+            return Err(DbError::SchemaMismatch("row arity vs batch arity"));
+        }
+        for (col, v) in self.columns.iter_mut().zip(values) {
+            col.push(v)?;
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Appends the `proj` positions of a full-width row — the projection
+    /// pushdown entry point used by scans: only the projected values are
+    /// ever copied. On `Err` the batch must be discarded (see
+    /// [`ColumnBatch::push_row`]).
+    pub fn push_projected(&mut self, values: &[Value], proj: &[usize]) -> DbResult<()> {
+        if proj.len() != self.columns.len() {
+            return Err(DbError::SchemaMismatch("projection arity vs batch arity"));
+        }
+        for (col, &i) in self.columns.iter_mut().zip(proj) {
+            let v = values
+                .get(i)
+                .ok_or(DbError::SchemaMismatch("projection index out of range"))?;
+            col.push(v)?;
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Materializes row `i` as a tuple (late materialization boundary).
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn row_tuple(&self, i: usize) -> Tuple {
+        Tuple::new(self.columns.iter().map(|c| c.value(i)).collect())
+    }
+
+    /// Materializes every row (row-path interop and tests).
+    pub fn to_tuples(&self) -> Vec<Tuple> {
+        (0..self.rows).map(|i| self.row_tuple(i)).collect()
+    }
+
+    /// Builds a batch from tuples with the given column types.
+    pub fn from_tuples(types: &[DataType], tuples: &[Tuple]) -> DbResult<Self> {
+        let mut out = Self::new(types);
+        for t in tuples {
+            out.push_row(t.values())?;
+        }
+        Ok(out)
+    }
+
+    /// Modeled wire size in bytes — O(columns), derived from vector
+    /// lengths, so producers never re-walk rows to size a batch.
+    pub fn bytes(&self) -> usize {
+        6 + self.columns.iter().map(Column::wire_size).sum::<usize>()
+    }
+
+    /// Gathers the rows listed in `sel` (a selection vector) into a new
+    /// batch — how vectorized filters materialize their survivors.
+    pub fn take(&self, sel: &[u32]) -> ColumnBatch {
+        ColumnBatch {
+            columns: self.columns.iter().map(|c| c.take(sel)).collect(),
+            rows: sel.len(),
+        }
+    }
+
+    /// Keeps only the listed columns, in the given order.
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    pub fn project(&self, cols: &[usize]) -> ColumnBatch {
+        ColumnBatch {
+            columns: cols.iter().map(|&i| self.columns[i].clone()).collect(),
+            rows: self.rows,
+        }
+    }
+
+    /// Copies rows `lo..hi` into a new batch.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, lo: usize, hi: usize) -> ColumnBatch {
+        assert!(
+            lo <= hi && hi <= self.rows,
+            "slice {lo}..{hi} of {}",
+            self.rows
+        );
+        ColumnBatch {
+            columns: self.columns.iter().map(|c| c.slice(lo, hi)).collect(),
+            rows: hi - lo,
+        }
+    }
+
+    /// Splits into batches of at most `batch_rows` rows (wire batching).
+    ///
+    /// # Panics
+    /// Panics if `batch_rows` is zero.
+    pub fn split(self, batch_rows: usize) -> Vec<ColumnBatch> {
+        assert!(batch_rows > 0);
+        if self.rows <= batch_rows {
+            return if self.rows == 0 {
+                Vec::new()
+            } else {
+                vec![self]
+            };
+        }
+        let mut out = Vec::with_capacity(self.rows.div_ceil(batch_rows));
+        let mut lo = 0;
+        while lo < self.rows {
+            let hi = (lo + batch_rows).min(self.rows);
+            out.push(self.slice(lo, hi));
+            lo = hi;
+        }
+        out
+    }
+
+    /// Encodes the batch in the columnar wire format: a `(rows, ncols)`
+    /// header, then per column one tag byte, a null-bitmap flag (+ bitmap
+    /// when set) and the values packed contiguously — replacing the
+    /// per-value tags of the row encoding.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        debug_assert!(self.columns.len() <= u16::MAX as usize);
+        buf.put_u32(self.rows as u32);
+        buf.put_u16(self.columns.len() as u16);
+        for col in &self.columns {
+            match &col.data {
+                ColumnData::Int(_) => buf.put_u8(TAG_INT),
+                ColumnData::Float(_) => buf.put_u8(TAG_FLOAT),
+                ColumnData::Str { .. } => buf.put_u8(TAG_STR),
+            }
+            if col.nulls.is_empty() {
+                buf.put_u8(0);
+            } else {
+                buf.put_u8(1);
+                let want = self.rows.div_ceil(8);
+                buf.put_slice(&col.nulls);
+                // The bitmap is allocated lazily up to the last null row;
+                // pad to the full row count for a self-describing layout.
+                for _ in col.nulls.len()..want {
+                    buf.put_u8(0);
+                }
+            }
+            match &col.data {
+                ColumnData::Int(v) => {
+                    for &i in v {
+                        buf.put_i64(i);
+                    }
+                }
+                ColumnData::Float(v) => {
+                    for &f in v {
+                        buf.put_f64(f);
+                    }
+                }
+                ColumnData::Str { offsets, arena } => {
+                    for &o in offsets {
+                        buf.put_u32(o);
+                    }
+                    buf.put_slice(arena.as_bytes());
+                }
+            }
+        }
+    }
+
+    /// Encodes into a fresh buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.bytes());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Decodes one batch, advancing `buf` past the consumed bytes.
+    /// Rejects truncation, unknown tags, and malformed string layouts.
+    pub fn decode_from(buf: &mut impl Buf) -> DbResult<ColumnBatch> {
+        if buf.remaining() < 6 {
+            return Err(DbError::Codec("column batch header truncated"));
+        }
+        let rows = buf.get_u32() as usize;
+        let ncols = buf.get_u16() as usize;
+        if rows > MAX_DECODE_ROWS {
+            return Err(DbError::Codec("column batch row count implausible"));
+        }
+        let mut columns = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            if buf.remaining() < 2 {
+                return Err(DbError::Codec("column header truncated"));
+            }
+            let tag = buf.get_u8();
+            let has_nulls = match buf.get_u8() {
+                0 => false,
+                1 => true,
+                _ => return Err(DbError::Codec("bad null-bitmap flag")),
+            };
+            let nulls = if has_nulls {
+                let want = rows.div_ceil(8);
+                if buf.remaining() < want {
+                    return Err(DbError::Codec("null bitmap truncated"));
+                }
+                let mut bm = vec![0u8; want];
+                buf.copy_to_slice(&mut bm);
+                // Canonicalize to the builder's lazy form (bits are only
+                // ever set, so an in-memory bitmap never ends in a zero
+                // byte); keeps decoded batches `==` to their originals.
+                while bm.last() == Some(&0) {
+                    bm.pop();
+                }
+                bm
+            } else {
+                Vec::new()
+            };
+            let data = match tag {
+                TAG_INT => {
+                    if buf.remaining() < 8 * rows {
+                        return Err(DbError::Codec("int column truncated"));
+                    }
+                    ColumnData::Int((0..rows).map(|_| buf.get_i64()).collect())
+                }
+                TAG_FLOAT => {
+                    if buf.remaining() < 8 * rows {
+                        return Err(DbError::Codec("float column truncated"));
+                    }
+                    ColumnData::Float((0..rows).map(|_| buf.get_f64()).collect())
+                }
+                TAG_STR => {
+                    if buf.remaining() < 4 * (rows + 1) {
+                        return Err(DbError::Codec("str offsets truncated"));
+                    }
+                    let offsets: Vec<u32> = (0..=rows).map(|_| buf.get_u32()).collect();
+                    if offsets[0] != 0 || offsets.windows(2).any(|w| w[0] > w[1]) {
+                        return Err(DbError::Codec("str offsets not monotone"));
+                    }
+                    let arena_len = offsets[rows] as usize;
+                    if buf.remaining() < arena_len {
+                        return Err(DbError::Codec("str arena truncated"));
+                    }
+                    let mut bytes = vec![0u8; arena_len];
+                    buf.copy_to_slice(&mut bytes);
+                    let arena =
+                        String::from_utf8(bytes).map_err(|_| DbError::Codec("str not utf-8"))?;
+                    if offsets.iter().any(|&o| !arena.is_char_boundary(o as usize)) {
+                        return Err(DbError::Codec("str offset splits a character"));
+                    }
+                    ColumnData::Str { offsets, arena }
+                }
+                _ => return Err(DbError::Codec("unknown column tag")),
+            };
+            columns.push(Column { data, nulls });
+        }
+        Ok(ColumnBatch { columns, rows })
+    }
+
+    /// Decodes from a standalone buffer.
+    pub fn decode(bytes: &Bytes) -> DbResult<ColumnBatch> {
+        let mut buf = bytes.clone();
+        Self::decode_from(&mut buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+
+    fn types() -> Vec<DataType> {
+        vec![DataType::Int, DataType::Float, DataType::Str]
+    }
+
+    fn sample() -> ColumnBatch {
+        let mut b = ColumnBatch::new(&types());
+        b.push_row(&[Value::Int(1), Value::Float(1.5), Value::str("alpha")])
+            .unwrap();
+        b.push_row(&[Value::Int(-2), Value::Null, Value::str("")])
+            .unwrap();
+        b.push_row(&[Value::Null, Value::Float(2.5), Value::Null])
+            .unwrap();
+        b
+    }
+
+    #[test]
+    fn push_and_materialize_roundtrip() {
+        let b = sample();
+        assert_eq!(b.rows(), 3);
+        assert_eq!(b.arity(), 3);
+        assert_eq!(
+            b.row_tuple(1).values(),
+            &[Value::Int(-2), Value::Null, Value::str("")]
+        );
+        assert_eq!(b.row_tuple(2).get(0), &Value::Null);
+        let tuples = b.to_tuples();
+        let back = ColumnBatch::from_tuples(&types(), &tuples).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut b = ColumnBatch::new(&[DataType::Int]);
+        assert!(b.push_row(&[Value::str("x")]).is_err());
+        assert!(b.push_row(&[Value::Int(1), Value::Int(2)]).is_err());
+        assert!(b.push_row(&[Value::Int(1)]).is_ok());
+    }
+
+    #[test]
+    fn projection_pushdown_copies_only_projected() {
+        let mut b = ColumnBatch::new(&[DataType::Str, DataType::Int]);
+        let wide = [
+            Value::Int(7),
+            Value::str("keep"),
+            Value::Float(9.9),
+            Value::Int(42),
+        ];
+        b.push_projected(&wide, &[1, 3]).unwrap();
+        assert_eq!(
+            b.row_tuple(0).values(),
+            &[Value::str("keep"), Value::Int(42)]
+        );
+        assert!(b.push_projected(&wide, &[0]).is_err()); // arity
+        assert!(b.push_projected(&wide, &[1, 9]).is_err()); // range
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let b = sample();
+        let enc = b.encode();
+        assert_eq!(ColumnBatch::decode(&enc).unwrap(), b);
+        // The modeled size upper-bounds the encoding closely.
+        assert!(enc.len() <= b.bytes() + 8, "{} vs {}", enc.len(), b.bytes());
+    }
+
+    #[test]
+    fn empty_batch_roundtrip() {
+        let b = ColumnBatch::new(&types());
+        assert_eq!(ColumnBatch::decode(&b.encode()).unwrap(), b);
+        let none = ColumnBatch::new(&[]);
+        assert_eq!(ColumnBatch::decode(&none.encode()).unwrap(), none);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let enc = sample().encode();
+        for cut in 0..enc.len() {
+            assert!(
+                ColumnBatch::decode(&enc.slice(0..cut)).is_err(),
+                "decode must fail at cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag_and_bad_offsets() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(1);
+        buf.put_u16(1);
+        buf.put_u8(99);
+        buf.put_u8(0);
+        assert_eq!(
+            ColumnBatch::decode(&buf.freeze()),
+            Err(DbError::Codec("unknown column tag"))
+        );
+        // Non-monotone string offsets.
+        let mut buf = BytesMut::new();
+        buf.put_u32(1);
+        buf.put_u16(1);
+        buf.put_u8(TAG_STR);
+        buf.put_u8(0);
+        buf.put_u32(0);
+        buf.put_u32(4);
+        buf.put_slice(b"ab"); // arena shorter than declared
+        assert!(ColumnBatch::decode(&buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn columnar_wire_beats_row_wire_for_ints() {
+        // 3 int columns, 100 rows: row encoding pays a tag per value.
+        let types = vec![DataType::Int; 3];
+        let tuples: Vec<Tuple> = (0..100)
+            .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i * 2), Value::Int(i * 3)]))
+            .collect();
+        let col = ColumnBatch::from_tuples(&types, &tuples).unwrap();
+        let row_bytes: usize = tuples.iter().map(Tuple::wire_size).sum();
+        assert!(
+            col.bytes() < row_bytes,
+            "columnar {} !< row {row_bytes}",
+            col.bytes()
+        );
+        assert!(col.encode().len() < row_bytes);
+    }
+
+    #[test]
+    fn take_gathers_selection() {
+        let b = sample();
+        let sel = vec![2u32, 0];
+        let took = b.take(&sel);
+        assert_eq!(took.rows(), 2);
+        assert_eq!(took.row_tuple(0), b.row_tuple(2));
+        assert_eq!(took.row_tuple(1), b.row_tuple(0));
+    }
+
+    #[test]
+    fn slice_and_split_preserve_rows() {
+        let mut b = ColumnBatch::new(&types());
+        for i in 0..10 {
+            b.push_row(&[Value::Int(i), Value::Float(i as f64), Value::str("s")])
+                .unwrap();
+        }
+        let all = b.to_tuples();
+        let parts = b.split(4);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts.iter().map(ColumnBatch::rows).sum::<usize>(), 10);
+        let glued: Vec<Tuple> = parts.iter().flat_map(ColumnBatch::to_tuples).collect();
+        assert_eq!(glued, all);
+        assert!(ColumnBatch::new(&types()).split(4).is_empty());
+    }
+
+    #[test]
+    fn predicates_row_and_vectorized_agree() {
+        let mut b = ColumnBatch::new(&[DataType::Int, DataType::Str]);
+        for (i, s) in [(5i64, "Alpha"), (20, "beta"), (30, "Ax"), (1, "A")] {
+            b.push_row(&[Value::Int(i), Value::str(s)]).unwrap();
+        }
+        b.push_row(&[Value::Null, Value::Null]).unwrap();
+        for pred in [
+            ColPredicate::IntGe { col: 0, min: 10 },
+            ColPredicate::StrPrefix {
+                col: 1,
+                prefix: "A".into(),
+            },
+        ] {
+            let mut sel = Vec::new();
+            pred.select(&b, &mut sel);
+            let by_row: Vec<u32> = (0..b.rows())
+                .filter(|&i| pred.matches_tuple(&b.row_tuple(i)))
+                .map(|i| i as u32)
+                .collect();
+            assert_eq!(sel, by_row, "{pred:?}");
+            assert!(!sel.contains(&4), "null row must fail {pred:?}");
+        }
+    }
+
+    #[test]
+    fn predicate_readdress() {
+        let p = ColPredicate::StrPrefix {
+            col: 5,
+            prefix: "A".into(),
+        };
+        assert_eq!(
+            p.at(0),
+            ColPredicate::StrPrefix {
+                col: 0,
+                prefix: "A".into()
+            }
+        );
+    }
+
+    #[test]
+    fn for_projection_types_from_schema() {
+        let schema = Schema::new(
+            "t",
+            vec![
+                ColumnDef::new("a", DataType::Int),
+                ColumnDef::new("b", DataType::Str),
+                ColumnDef::new("c", DataType::Float),
+            ],
+            &["a"],
+        );
+        let b = ColumnBatch::for_projection(&schema, &[2, 0]);
+        assert_eq!(b.types(), vec![DataType::Float, DataType::Int]);
+    }
+
+    #[test]
+    fn bytes_tracks_growth_without_row_walks() {
+        let mut b = ColumnBatch::new(&types());
+        let empty = b.bytes();
+        b.push_row(&[Value::Int(1), Value::Float(0.5), Value::str("abcd")])
+            .unwrap();
+        // int 8 + float 8 + str offset 4 + 4 arena bytes
+        assert_eq!(b.bytes(), empty + 8 + 8 + 4 + 4);
+    }
+}

@@ -3,7 +3,7 @@
 //! SipHash (std's default) is needlessly slow for the integer keys that
 //! dominate our hot paths (RIDs, warehouse ids, lock keys). This is the
 //! well-known Fx multiply-rotate hash used by rustc, implemented in-repo so
-//! we stay within the allowed dependency set (DESIGN.md §5). HashDoS is not
+//! we stay within the allowed dependency set (DESIGN.md §4). HashDoS is not
 //! a concern for a self-generated benchmark workload.
 
 use std::collections::{HashMap, HashSet};

@@ -6,6 +6,8 @@
 //! * [`schema`] — table schemas and column metadata,
 //! * [`tuple`] — row representation plus a compact binary wire encoding
 //!   used by data streams,
+//! * [`column`] — columnar (struct-of-arrays) batches with pushdown
+//!   predicates and a one-tag-per-column wire encoding for OLAP streams,
 //! * [`rid`] — record identifiers (partition, slot),
 //! * [`ids`] — strongly typed identifiers used across the system,
 //! * [`fxmap`] — FxHash-style fast hash maps for hot lookup paths,
@@ -17,6 +19,7 @@
 //! streams, transactions, the AnyDB core) builds on these definitions.
 
 pub mod backoff;
+pub mod column;
 pub mod dist;
 pub mod error;
 pub mod fxmap;
@@ -27,6 +30,7 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
+pub use column::{ColPredicate, Column, ColumnBatch};
 pub use error::{DbError, DbResult};
 pub use ids::{AcId, PartitionId, QueryId, ServerId, TableId, TxnId};
 pub use rid::Rid;

@@ -5,7 +5,7 @@
 //! so tuples need a cheap clone (Arc'd strings, see [`crate::value`]) and a
 //! compact self-describing binary encoding for links that model network
 //! transfer. The encoding is hand-rolled on `bytes` — we deliberately do not
-//! pull in serde (see DESIGN.md §5).
+//! pull in serde (see DESIGN.md §4).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 

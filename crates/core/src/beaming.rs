@@ -16,18 +16,26 @@
 //! that *offloads* the filter flows to the NIC). The DPI offload is why
 //! disaggregated execution can beat aggregated execution, the paper's
 //! §4 punchline.
+//!
+//! All three data streams run the **columnar path**: scans push the Q3
+//! predicates down and ship only the join-key columns as
+//! [`ColumnBatch`]es (one wire tag per column), and the consuming AC
+//! builds and probes straight from the column slices
+//! ([`Q3Compute::run_columns`]). See `crate::olap` for the stream
+//! protocol and DESIGN.md §3 for why pushdown lives at the scan.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use anydb_common::{ColPredicate, ColumnBatch};
 use anydb_storage::Table;
-use anydb_stream::flow::{Flow, FlowSender};
+use anydb_stream::flow::{ColFlowSender, Flow};
 use anydb_stream::link::{LinkSpec, SimLink};
 use anydb_workload::chbench::Q3Spec;
 use anydb_workload::tpcc::TpccDb;
 
-use crate::olap::{stream_scan, Q3Compute};
+use crate::olap::{stream_scan_columns, Q3Compute};
 
 /// Which streams are beamed ahead of query compilation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -94,17 +102,20 @@ impl BeamingConfig {
     ///
     /// Bandwidths are scaled so that, with the Figure-6 database scale
     /// used by the bench harness, the baseline probe transfer sits around
-    /// 30 ms — matching the paper's axis, not its hardware.
+    /// 30 ms — matching the paper's axis, not its hardware. (Re-scaled
+    /// down ~2.5× when the streams went columnar: the probe stream now
+    /// ships four packed key columns instead of filtered full rows, so
+    /// the same axis point needs a proportionally slower modeled link.)
     pub fn paper_default(variant: BeamVariant, arch: ArchMode, compile_time: Duration) -> Self {
         let link = match arch {
             ArchMode::Aggregated => LinkSpec {
                 latency: Duration::from_micros(1),
-                bytes_per_sec: 30e6,
+                bytes_per_sec: 12e6,
                 offload: false,
             },
             ArchMode::Disaggregated => LinkSpec {
                 latency: Duration::from_micros(20),
-                bytes_per_sec: 35e6,
+                bytes_per_sec: 14e6,
                 offload: true,
             },
         };
@@ -132,68 +143,91 @@ pub struct BeamingResult {
     pub rows: usize,
 }
 
-/// Spawns a storage-side producer streaming `table` through `flow`.
-/// When the link does not offload, the producer pays the host-side
-/// processing cost of the flow (sleep proportional to pre-filter bytes).
+/// Spawns a storage-side producer streaming `table` as columnar key
+/// batches: the `proj`ection and `pred`icate are pushed down to the scan
+/// (the stream ships only the join-key columns, in the one-tag-per-column
+/// wire encoding). On an offload link the pushdown work is the NIC's —
+/// free for the host; on a non-offload link the producer pays the
+/// host-side processing cost (sleep proportional to pre-filter input
+/// bytes, exactly as the row path charged its flows).
 fn spawn_producer(
     db: &Arc<TpccDb>,
     table: fn(&TpccDb) -> &Table,
-    flow: Flow,
-    link: LinkSpec,
-    host_rate: f64,
-    batch_rows: usize,
+    proj: &'static [usize],
+    pred: Option<ColPredicate>,
+    cfg: &BeamingConfig,
     ring: usize,
 ) -> (
-    anydb_stream::link::LinkReceiver<anydb_stream::batch::Batch>,
+    anydb_stream::link::LinkReceiver<ColumnBatch>,
     JoinHandle<usize>,
 ) {
+    let link = cfg.link;
+    let host_rate = cfg.host_filter_bytes_per_sec;
+    let batch_rows = cfg.batch_rows;
     let (tx, rx) = SimLink::channel(link, ring);
     let db = db.clone();
     let handle = std::thread::spawn(move || {
-        let sender = FlowSender::new(tx, flow);
+        let sender = ColFlowSender::new(tx, Flow::identity());
         if link.offload {
-            stream_scan(table(&db), sender, batch_rows)
+            stream_scan_columns(table(&db), sender, batch_rows, proj, pred.as_ref())
         } else {
-            // Charge host CPU for the flow: the scan thread throttles to
-            // the host filter rate (it is the component doing the work).
-            stream_scan_throttled(table(&db), sender, batch_rows, host_rate)
+            // Charge host CPU for the pushdown: the scan thread throttles
+            // to the host filter rate (it is the component doing the
+            // work).
+            stream_scan_columns_throttled(
+                table(&db),
+                sender,
+                batch_rows,
+                proj,
+                pred.as_ref(),
+                host_rate,
+            )
         }
     });
     (rx, handle)
 }
 
-/// Like [`stream_scan`] but throttled to `bytes_per_sec` of *input* data,
-/// modeling a host core applying the flow. The throttle accumulates debt
-/// and sleeps in ≥1 ms quanta: per-batch micro-sleeps oversleep massively
-/// on stock Linux timers and would swamp the model with noise.
-fn stream_scan_throttled(
+/// Like [`stream_scan_columns`] but throttled to `bytes_per_sec` of
+/// *input* (pre-filter, full-row) data, modeling a host core applying the
+/// pushdown. The throttle accumulates debt and sleeps in ≥1 ms quanta:
+/// per-batch micro-sleeps oversleep massively on stock Linux timers and
+/// would swamp the model with noise.
+fn stream_scan_columns_throttled(
     table: &Table,
-    mut flow: FlowSender,
+    mut flow: ColFlowSender,
     batch_rows: usize,
+    proj: &[usize],
+    pred: Option<&ColPredicate>,
     bytes_per_sec: f64,
 ) -> usize {
     use anydb_common::PartitionId;
-    use anydb_stream::batch::Batch;
     let mut scanned = 0usize;
-    let mut buffer = Vec::with_capacity(batch_rows);
     let mut debt = Duration::ZERO;
     for p in 0..table.partition_count() {
         let Ok(part) = table.partition(PartitionId(p)) else {
             continue;
         };
+        // Materialize with pushdown while metering the input the host
+        // "read" to do it: every scanned row's full wire size, matching
+        // what the row path charged for its flow stages.
+        let mut out = table.column_batch(proj);
+        let mut input_bytes = 0usize;
         part.scan(|_, row| {
-            buffer.push(row.tuple().clone());
+            let t = row.tuple();
+            input_bytes += t.wire_size();
             scanned += 1;
+            if pred.is_none_or(|p| p.matches(t.values())) {
+                out.push_projected(t.values(), proj)
+                    .expect("scan rows match the table schema");
+            }
         });
-        for chunk in Batch::split(std::mem::take(&mut buffer), batch_rows) {
-            debt += Duration::from_secs_f64(chunk.bytes() as f64 / bytes_per_sec);
-            if debt >= Duration::from_millis(1) {
-                std::thread::sleep(debt);
-                debt = Duration::ZERO;
-            }
-            if flow.send_blocking(chunk).is_err() {
-                return scanned;
-            }
+        debt += Duration::from_secs_f64(input_bytes as f64 / bytes_per_sec);
+        if debt >= Duration::from_millis(1) {
+            std::thread::sleep(debt);
+            debt = Duration::ZERO;
+        }
+        if flow.send_split_blocking(out, batch_rows).is_err() {
+            return scanned;
         }
     }
     if !debt.is_zero() {
@@ -209,12 +243,11 @@ pub fn run_q3(db: &Arc<TpccDb>, spec: Q3Spec, cfg: &BeamingConfig) -> BeamingRes
     let ring = 1 << 13;
     let t0 = Instant::now();
 
-    // Flows: filters execute en route (on the NIC when offloaded). The
-    // compute side re-applies them idempotently, so correctness never
-    // depends on where filtering ran.
-    let cust_flow = Flow::identity().filter(move |t| spec.customer_filter(t));
-    let ord_flow = Flow::identity().filter(move |t| spec.order_filter(t));
-    let no_flow = Flow::identity();
+    // Pushdown predicates: filters execute at the scan (on the NIC when
+    // offloaded), so only the key projections ever cross the link — the
+    // columnar stream protocol of `crate::olap`.
+    let cust_pred = spec.customer_pred();
+    let ord_pred = spec.order_pred();
 
     let beam_build = cfg.variant != BeamVariant::Baseline;
     let beam_probe = cfg.variant == BeamVariant::BeamBuildProbe;
@@ -228,10 +261,9 @@ pub fn run_q3(db: &Arc<TpccDb>, spec: Q3Spec, cfg: &BeamingConfig) -> BeamingRes
         let (rx, h) = spawn_producer(
             db,
             |db| &db.customer,
-            cust_flow.clone(),
-            cfg.link,
-            cfg.host_filter_bytes_per_sec,
-            cfg.batch_rows,
+            &Q3Spec::CUSTOMER_KEY_PROJ,
+            Some(cust_pred.clone()),
+            cfg,
             ring,
         );
         cust_rx = Some(rx);
@@ -239,10 +271,9 @@ pub fn run_q3(db: &Arc<TpccDb>, spec: Q3Spec, cfg: &BeamingConfig) -> BeamingRes
         let (rx, h) = spawn_producer(
             db,
             |db| &db.neworder,
-            no_flow.clone(),
-            cfg.link,
-            cfg.host_filter_bytes_per_sec,
-            cfg.batch_rows,
+            &Q3Spec::NEWORDER_KEY_PROJ,
+            None,
+            cfg,
             ring,
         );
         no_rx = Some(rx);
@@ -252,10 +283,9 @@ pub fn run_q3(db: &Arc<TpccDb>, spec: Q3Spec, cfg: &BeamingConfig) -> BeamingRes
         let (rx, h) = spawn_producer(
             db,
             |db| &db.orders,
-            ord_flow.clone(),
-            cfg.link,
-            cfg.host_filter_bytes_per_sec,
-            cfg.batch_rows,
+            &Q3Spec::ORDER_KEY_PROJ,
+            Some(ord_pred.clone()),
+            cfg,
             ring,
         );
         ord_rx = Some(rx);
@@ -272,10 +302,9 @@ pub fn run_q3(db: &Arc<TpccDb>, spec: Q3Spec, cfg: &BeamingConfig) -> BeamingRes
         let (rx, h) = spawn_producer(
             db,
             |db| &db.customer,
-            cust_flow,
-            cfg.link,
-            cfg.host_filter_bytes_per_sec,
-            cfg.batch_rows,
+            &Q3Spec::CUSTOMER_KEY_PROJ,
+            Some(cust_pred),
+            cfg,
             ring,
         );
         cust_rx = Some(rx);
@@ -283,10 +312,9 @@ pub fn run_q3(db: &Arc<TpccDb>, spec: Q3Spec, cfg: &BeamingConfig) -> BeamingRes
         let (rx, h) = spawn_producer(
             db,
             |db| &db.neworder,
-            no_flow,
-            cfg.link,
-            cfg.host_filter_bytes_per_sec,
-            cfg.batch_rows,
+            &Q3Spec::NEWORDER_KEY_PROJ,
+            None,
+            cfg,
             ring,
         );
         no_rx = Some(rx);
@@ -296,18 +324,18 @@ pub fn run_q3(db: &Arc<TpccDb>, spec: Q3Spec, cfg: &BeamingConfig) -> BeamingRes
         let (rx, h) = spawn_producer(
             db,
             |db| &db.orders,
-            ord_flow,
-            cfg.link,
-            cfg.host_filter_bytes_per_sec,
-            cfg.batch_rows,
+            &Q3Spec::ORDER_KEY_PROJ,
+            Some(ord_pred),
+            cfg,
             ring,
         );
         ord_rx = Some(rx);
         late.push(h);
     }
 
-    // The consuming AC executes the two joins.
-    let result = Q3Compute::new(spec).run(
+    // The consuming AC executes the two joins, vectorized over the key
+    // columns.
+    let result = Q3Compute::new(spec).run_columns(
         cust_rx.expect("customer stream"),
         no_rx.expect("neworder stream"),
         ord_rx.expect("orders stream"),

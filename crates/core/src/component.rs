@@ -49,7 +49,7 @@ use anydb_stream::spsc::PopState;
 use anydb_txn::history::History;
 use anydb_workload::tpcc::TpccDb;
 
-use crate::event::{CompletionBatcher, Event, OpEnvelope, TxnOp, TxnTracker};
+use crate::event::{Completion, CompletionBatcher, Event, OpEnvelope, TxnOp, TxnTracker};
 use crate::olap::exec_q3_local;
 use crate::ops::{exec_op, exec_whole_txn};
 
@@ -231,7 +231,7 @@ impl AnyComponent {
                 if ok {
                     self.committed.incr();
                 }
-                completions.push(&done, crate::event::OpDone { txn, ok });
+                completions.push(&done, Completion::Txn(crate::event::OpDone { txn, ok }));
             }
             Event::OpGroup(..) | Event::OpBatch(..) => {
                 unreachable!("op groups are dispatched in batches by run()")
@@ -244,7 +244,9 @@ impl AnyComponent {
                 // degrade the batched protocol to per-txn sends.)
                 completions.flush();
                 let rows = exec_q3_local(&self.db, &spec);
-                let _ = done.send((query, rows));
+                // The result joins the batched protocol like any other
+                // completion: grouped into this chunk's DoneBatch.
+                completions.push(&done, Completion::Query { query, rows });
             }
         }
         false
@@ -351,7 +353,7 @@ impl AnyComponent {
             }
         }
         if let Some(done) = tracker.group_done(ok) {
-            completions.push(tracker.done_sender(), done);
+            completions.push(tracker.done_sender(), Completion::Txn(done));
         }
     }
 }
@@ -365,13 +367,18 @@ mod tests {
     use anydb_workload::tpcc::{CustomerSelector, PaymentParams, TpccConfig};
     use crossbeam::channel::{unbounded, Receiver};
 
-    /// Collects `n` completion notices, flattening the batched protocol
-    /// (one `DoneBatch` per drained chunk per channel) back into the
-    /// per-transaction order the assertions reason about.
+    /// Collects `n` transaction completion notices, flattening the batched
+    /// protocol (one `DoneBatch` per drained chunk per channel) back into
+    /// the per-transaction order the assertions reason about.
     fn recv_flat(rx: &Receiver<DoneBatch>, n: usize) -> Vec<OpDone> {
         let mut out = Vec::new();
         while out.len() < n {
-            out.extend(rx.recv().expect("completion channel open").0);
+            for c in rx.recv().expect("completion channel open").0 {
+                match c {
+                    Completion::Txn(done) => out.push(done),
+                    Completion::Query { .. } => panic!("unexpected query completion"),
+                }
+            }
         }
         assert_eq!(out.len(), n, "more completions than expected");
         out
@@ -536,16 +543,20 @@ mod tests {
         tx.send(Event::OpBatch(batch));
         let first = done_rx.recv().unwrap();
         assert_eq!(first.0.len(), 4, "completions were not batched: {first:?}");
-        assert!(first.0.iter().all(|d| d.ok));
+        assert!(first
+            .0
+            .iter()
+            .all(|c| matches!(c, Completion::Txn(d) if d.ok)));
         tx.send(Event::Shutdown);
         handle.join().unwrap();
     }
 
     #[test]
     fn completions_flush_before_olap_queries_run() {
-        // A chunk carrying [OpGroup, QueryQ3]: the op group's completion
-        // must be shipped BEFORE the (expensive) Q3 scan runs, so by the
-        // time the query result arrives the notice is already waiting.
+        // A chunk carrying [OpGroup, QueryQ3] on separate channels: the
+        // op group's completion must be shipped BEFORE the (expensive) Q3
+        // scan runs, so by the time the query result arrives the notice
+        // is already waiting.
         let db = Arc::new(TpccDb::load(TpccConfig::small(), 48).unwrap());
         let committed = Arc::new(Counter::new());
         let (tx, handle) = AnyComponent::spawn_with_chunk(AcId(0), db, None, committed, 8);
@@ -559,17 +570,63 @@ mod tests {
                 done: q3_tx,
             },
         ]);
-        let (qid, _) = q3_rx.recv().unwrap();
-        assert_eq!(qid, anydb_common::QueryId(9));
+        let batch = q3_rx.recv().unwrap();
+        assert!(matches!(
+            batch.0.as_slice(),
+            [Completion::Query {
+                query: anydb_common::QueryId(9),
+                rows: _
+            }]
+        ));
         // Happens-before: the flush preceded the scan, so this cannot
         // block (and must not be Empty).
         assert_eq!(
             done_rx.try_recv().unwrap().0,
-            vec![OpDone {
+            vec![Completion::Txn(OpDone {
                 txn: TxnId(1),
                 ok: true
-            }]
+            })]
         );
+        tx.send(Event::Shutdown);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn olap_and_txn_completions_share_one_batch_per_channel() {
+        // A chunk carrying [OpGroup, QueryQ3] on the SAME channel: the op
+        // group's notice flushes before the scan, the query completion
+        // ships in the end-of-chunk batch — both on the one done channel,
+        // no singleton side path anywhere.
+        let db = Arc::new(TpccDb::load(TpccConfig::small(), 49).unwrap());
+        let committed = Arc::new(Counter::new());
+        let (tx, handle) = AnyComponent::spawn_with_chunk(AcId(0), db, None, committed, 8);
+        let (done_tx, done_rx) = unbounded();
+        tx.send_many([
+            Event::OpGroup(env(1, 0, 0, TxnTracker::new(TxnId(1), 1, done_tx.clone()))),
+            Event::QueryQ3 {
+                query: anydb_common::QueryId(5),
+                spec: anydb_workload::chbench::Q3Spec::default(),
+                done: done_tx,
+            },
+        ]);
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            got.extend(done_rx.recv().unwrap().0);
+        }
+        assert_eq!(
+            got[0],
+            Completion::Txn(OpDone {
+                txn: TxnId(1),
+                ok: true
+            })
+        );
+        assert!(matches!(
+            got[1],
+            Completion::Query {
+                query: anydb_common::QueryId(5),
+                rows: _
+            }
+        ));
         tx.send(Event::Shutdown);
         handle.join().unwrap();
     }
@@ -585,9 +642,14 @@ mod tests {
             spec: anydb_workload::chbench::Q3Spec::default(),
             done: done_tx,
         });
-        let (qid, rows) = done_rx.recv().unwrap();
-        assert_eq!(qid, anydb_common::QueryId(1));
-        assert!(rows > 0);
+        let batch = done_rx.recv().unwrap();
+        match batch.0.as_slice() {
+            [Completion::Query { query, rows }] => {
+                assert_eq!(*query, anydb_common::QueryId(1));
+                assert!(*rows > 0);
+            }
+            other => panic!("expected one query completion, got {other:?}"),
+        }
         tx.send(Event::Shutdown);
         handle.join().unwrap();
     }

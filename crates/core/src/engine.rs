@@ -25,7 +25,7 @@ use anydb_workload::tpcc::TpccDb;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, TryRecvError};
 
 use crate::component::AnyComponent;
-use crate::event::{DoneBatch, Event, OpEnvelope, TxnTracker};
+use crate::event::{Completion, DoneBatch, Event, OpEnvelope, TxnTracker};
 use crate::strategy::{
     payment_precise_groups, payment_stage_groups, stage_ac, BatchMode, DispatchBatcher, Strategy,
 };
@@ -100,12 +100,21 @@ impl PhaseResult {
     }
 }
 
-/// Applies one completion group to a driver's window accounting.
+/// Applies one completion group to a driver's window accounting. OLTP
+/// driver channels only ever carry transaction notices; a query
+/// completion here would mean a channel mix-up.
 fn absorb_completions(batch: DoneBatch, inflight: &mut usize, committed: &Counter) {
-    for done in batch.0 {
-        *inflight -= 1;
-        if done.ok {
-            committed.incr();
+    for c in batch.0 {
+        match c {
+            Completion::Txn(done) => {
+                *inflight -= 1;
+                if done.ok {
+                    committed.incr();
+                }
+            }
+            Completion::Query { .. } => {
+                debug_assert!(false, "query completion on an OLTP driver channel");
+            }
         }
     }
 }
@@ -204,10 +213,20 @@ impl AnyDbEngine {
                             done: done_tx.clone(),
                         });
                         qid += 1;
-                        if done_rx.recv().is_err() {
-                            break;
+                        // Query completions arrive on the batched done
+                        // channel like transaction notices (one DoneBatch
+                        // per drained chunk); with one query in flight
+                        // the batch carries exactly its completion.
+                        match done_rx.recv() {
+                            Ok(batch) => {
+                                for c in batch.0 {
+                                    if matches!(c, Completion::Query { .. }) {
+                                        olap_done.incr();
+                                    }
+                                }
+                            }
+                            Err(_) => break,
                         }
-                        olap_done.incr();
                     }
                 });
             }
@@ -479,7 +498,12 @@ impl AnyDbEngine {
                 // measured): the batch protocol degenerates to singleton
                 // DoneBatches here.
                 match done_rx.recv() {
-                    Ok(batch) => ok &= batch.0.iter().all(|d| d.ok),
+                    Ok(batch) => {
+                        ok &= batch.0.iter().all(|c| match c {
+                            Completion::Txn(done) => done.ok,
+                            Completion::Query { .. } => true,
+                        })
+                    }
                     Err(_) => return,
                 }
             }

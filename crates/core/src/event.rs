@@ -82,13 +82,30 @@ pub struct OpDone {
     pub ok: bool,
 }
 
+/// One completion notice on the batched done channel: transaction and
+/// OLAP-query completions share the protocol, so HTAP query results ride
+/// the same per-chunk `DoneBatch` sends as transaction notices instead of
+/// taking a singleton side channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// A transaction's op groups all finished.
+    Txn(OpDone),
+    /// An OLAP query finished.
+    Query {
+        /// The finished query.
+        query: QueryId,
+        /// Its result (qualifying row count).
+        rows: usize,
+    },
+}
+
 /// A group of completion notices delivered as one channel message — the
 /// batched completion protocol: an AC emits one `DoneBatch` per drained
 /// event chunk (per driver channel) instead of one `done` send per
-/// transaction, collapsing the last per-transaction channel crossing into
-/// a per-chunk cost.
+/// transaction or query, collapsing the last per-completion channel
+/// crossing into a per-chunk cost.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct DoneBatch(pub Vec<OpDone>);
+pub struct DoneBatch(pub Vec<Completion>);
 
 /// The channel completion notices travel on.
 pub type DoneSender = Sender<DoneBatch>;
@@ -152,7 +169,7 @@ impl TxnTracker {
 /// of driver threads, i.e. tiny.
 #[derive(Default)]
 pub struct CompletionBatcher {
-    slots: Vec<(DoneSender, Vec<OpDone>)>,
+    slots: Vec<(DoneSender, Vec<Completion>)>,
 }
 
 impl CompletionBatcher {
@@ -162,7 +179,7 @@ impl CompletionBatcher {
     }
 
     /// Queues `done` for delivery on `sender`'s channel.
-    pub fn push(&mut self, sender: &DoneSender, done: OpDone) {
+    pub fn push(&mut self, sender: &DoneSender, done: Completion) {
         match self.slots.iter_mut().find(|(s, _)| s.same_channel(sender)) {
             Some((_, batch)) => batch.push(done),
             None => self.slots.push((sender.clone(), vec![done])),
@@ -253,8 +270,9 @@ pub enum Event {
         query: QueryId,
         /// Query parameters.
         spec: Q3Spec,
-        /// Result (row count) notification.
-        done: Sender<(QueryId, usize)>,
+        /// Completion notification — a [`Completion::Query`] on the
+        /// batched done channel, like every other completion.
+        done: DoneSender,
     },
     /// Stop the component after draining already-admitted work.
     Shutdown,
@@ -322,23 +340,23 @@ mod tests {
         let mut batcher = CompletionBatcher::new();
         batcher.push(
             &tx_a,
-            OpDone {
+            Completion::Txn(OpDone {
                 txn: TxnId(1),
                 ok: true,
-            },
+            }),
         );
         batcher.push(
             &tx_b,
-            OpDone {
+            Completion::Txn(OpDone {
                 txn: TxnId(2),
                 ok: true,
-            },
+            }),
         );
         batcher.push(
             &tx_a,
-            OpDone {
-                txn: TxnId(3),
-                ok: false,
+            Completion::Query {
+                query: QueryId(7),
+                rows: 41,
             },
         );
         assert_eq!(batcher.pending(), 3);
@@ -347,16 +365,17 @@ mod tests {
         batcher.flush();
         assert_eq!(batcher.pending(), 0);
         let a = rx_a.try_recv().unwrap();
+        // Transaction and query completions share one batch.
         assert_eq!(
             a.0,
             vec![
-                OpDone {
+                Completion::Txn(OpDone {
                     txn: TxnId(1),
                     ok: true
-                },
-                OpDone {
-                    txn: TxnId(3),
-                    ok: false
+                }),
+                Completion::Query {
+                    query: QueryId(7),
+                    rows: 41
                 }
             ]
         );
@@ -371,14 +390,14 @@ mod tests {
         let t = TxnTracker::new(TxnId(9), 1, tx);
         let mut batcher = CompletionBatcher::new();
         let notice = t.group_done(true).expect("last group");
-        batcher.push(t.done_sender(), notice);
+        batcher.push(t.done_sender(), Completion::Txn(notice));
         batcher.flush();
         assert_eq!(
             rx.try_recv().unwrap().0,
-            vec![OpDone {
+            vec![Completion::Txn(OpDone {
                 txn: TxnId(9),
                 ok: true
-            }]
+            })]
         );
     }
 

@@ -2,25 +2,43 @@
 //!
 //! §4 of the paper: OLAP operations are data-intensive, so data streams
 //! must bring data to wherever events execute. This module provides both
-//! sides of that flow:
+//! sides of that flow, in two representations:
 //!
-//! * [`stream_scan`] — the storage-side producer: scan a table partition
+//! * [`stream_scan`] — the row-path producer: scan a table partition
 //!   range, batch the tuples, and push them through a [`FlowSender`]
 //!   (which may filter/project en route, possibly offloaded à la DPI),
+//! * [`stream_scan_columns`] — the vectorized producer: scan straight
+//!   into [`ColumnBatch`] column vectors with projection and filter
+//!   **pushdown at the scan** (no per-row `Tuple` clone, no post-hoc
+//!   flow pass over already-copied rows), shipped in the columnar wire
+//!   encoding,
 //! * [`Q3Compute`] — the compute-side consumer: builds hash sets from the
 //!   customer and new-order streams, then probes the orders stream —
-//!   3 filtered scans and 2 joins, as the paper describes,
+//!   3 filtered scans and 2 joins, as the paper describes. [`Q3Compute::run`]
+//!   consumes row batches; [`Q3Compute::run_columns`] consumes column
+//!   batches, building keys straight from `(w, d, id)` column slices and
+//!   probing without materializing a single row,
 //! * [`exec_q3_local`] — the fully aggregated (single-AC) execution used
 //!   by HTAP OLAP workers.
+//!
+//! ## The columnar stream protocol
+//!
+//! Columnar Q3 streams ship exactly the join-key projections
+//! ([`Q3Spec::CUSTOMER_KEY_PROJ`] / [`Q3Spec::ORDER_KEY_PROJ`] /
+//! [`Q3Spec::NEWORDER_KEY_PROJ`]) with the spec's filters pushed down to
+//! the scan. The compute side therefore does not (and cannot) re-apply
+//! filters — the filter columns never cross the wire. This is the late-
+//! materialization contract: predicates run where the data lives, keys
+//! travel as packed columns, and rows exist only as the final count.
 
 use std::time::{Duration, Instant};
 
 use anydb_common::backoff::Backoff;
 use anydb_common::fxmap::FxHashSet;
-use anydb_common::{PartitionId, Tuple};
+use anydb_common::{ColPredicate, ColumnBatch, PartitionId, Tuple};
 use anydb_storage::Table;
 use anydb_stream::batch::Batch;
-use anydb_stream::flow::FlowSender;
+use anydb_stream::flow::{ColFlowSender, FlowSender};
 use anydb_stream::link::{LinkReceiver, RecvState};
 use anydb_workload::chbench::Q3Spec;
 use anydb_workload::tpcc::TpccDb;
@@ -29,26 +47,60 @@ use anydb_workload::tpcc::TpccDb;
 /// pushes them through the flow. Closes the stream by dropping the sender.
 /// Returns the number of tuples scanned (pre-flow).
 ///
-/// Each partition ships through the bulk flow path
-/// ([`FlowSender::send_split_blocking`]): one clock read and bulk ring
-/// crossings per partition's worth of batches, while every batch keeps
-/// its own serialized wire transfer so consumers overlap compute with
-/// the in-flight remainder.
+/// Batches are built *during* the scan with an incrementally-maintained
+/// byte count (each tuple is measured exactly once, as it is cloned), and
+/// each partition's worth ships through the bulk flow path
+/// ([`FlowSender::send_batches_blocking`]): one clock read and bulk ring
+/// crossings per partition, while every batch keeps its own serialized
+/// wire transfer so consumers overlap compute with the in-flight
+/// remainder.
 pub fn stream_scan(table: &Table, mut flow: FlowSender, batch_rows: usize) -> usize {
     let mut scanned = 0usize;
-    let mut batch = Vec::with_capacity(batch_rows);
     for p in 0..table.partition_count() {
         let Ok(part) = table.partition(PartitionId(p)) else {
             continue;
         };
+        let mut batches: Vec<Batch> = Vec::new();
+        let mut cur = Batch::empty();
         part.scan(|_, row| {
-            batch.push(row.tuple().clone());
+            cur.push(row.tuple().clone());
             scanned += 1;
+            if cur.len() == batch_rows {
+                batches.push(std::mem::replace(&mut cur, Batch::empty()));
+            }
         });
-        if flow
-            .send_split_blocking(std::mem::take(&mut batch), batch_rows)
-            .is_err()
-        {
+        if !cur.is_empty() {
+            batches.push(cur);
+        }
+        if flow.send_batches_blocking(batches).is_err() {
+            return scanned; // consumer gone
+        }
+    }
+    flow.finish();
+    scanned
+}
+
+/// Vectorized scan producer: materializes each partition straight into
+/// [`ColumnBatch`] column vectors with `proj`ection and `pred` filter
+/// pushdown (rows failing the predicate are skipped before any value is
+/// copied; non-projected columns are never touched), then ships
+/// `batch_rows`-row column batches through the flow, pipelined per
+/// partition. Returns rows scanned (pre-filter).
+pub fn stream_scan_columns(
+    table: &Table,
+    mut flow: ColFlowSender,
+    batch_rows: usize,
+    proj: &[usize],
+    pred: Option<&ColPredicate>,
+) -> usize {
+    let mut scanned = 0usize;
+    for p in 0..table.partition_count() {
+        let mut out = table.column_batch(proj);
+        match table.scan_columns(PartitionId(p), proj, pred, &mut out) {
+            Ok(n) => scanned += n,
+            Err(_) => continue,
+        }
+        if flow.send_split_blocking(out, batch_rows).is_err() {
             return scanned; // consumer gone
         }
     }
@@ -73,6 +125,302 @@ pub struct Q3ComputeResult {
     pub build: Duration,
     /// Time to consume and probe the orders stream.
     pub probe: Duration,
+    /// Modeled wire bytes received per stream
+    /// `[customers, neworders, orders]` — what the link-transfer model
+    /// charged for this execution.
+    pub stream_bytes: [usize; 3],
+}
+
+/// Which of the three Q3 input streams a batch arrived on. Indexes
+/// [`Q3ComputeResult::stream_bytes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Q3Stream {
+    /// Build side 1 (customer keys).
+    Customers = 0,
+    /// Build side 2 (open-order keys).
+    Neworders = 1,
+    /// Probe side.
+    Orders = 2,
+}
+
+/// A batch consumer plugged into the shared three-stream round-robin
+/// loop ([`consume_streams`]); implemented once over row batches and once
+/// over column batches.
+trait Q3Sink<T> {
+    /// Absorbs one batch. `builds_closed` is true once both build-side
+    /// streams have finished (probe directly instead of staging).
+    fn absorb(&mut self, stream: Q3Stream, batch: T, builds_closed: bool);
+    /// Both build streams just closed: probe everything staged.
+    fn close_builds(&mut self);
+}
+
+/// Outcome of one non-blocking visit to a stream.
+enum Pull {
+    /// Batches were drained into the scratch buffer.
+    Got,
+    /// Nothing queued (producer still working).
+    Idle,
+    /// Next message is in flight until the given instant.
+    InFlight(Instant),
+    /// Producer gone and everything consumed.
+    Done,
+}
+
+fn pull<T>(rx: &mut LinkReceiver<T>, scratch: &mut Vec<T>, chunk: usize) -> Pull {
+    if rx.drain_ready_max(scratch, chunk) > 0 {
+        return Pull::Got;
+    }
+    // Nothing deliverable: classify why via a peeking receive.
+    match rx.try_recv() {
+        Ok(batch) => {
+            // Race: became deliverable between the two calls.
+            scratch.push(batch);
+            Pull::Got
+        }
+        Err(RecvState::NotReady(at)) => Pull::InFlight(at),
+        Err(RecvState::Empty) => Pull::Idle,
+        Err(RecvState::Disconnected) => Pull::Done,
+    }
+}
+
+/// The shared consumption loop: all three streams are drained
+/// **round-robin** with [`LinkReceiver::drain_ready_max`] (one clock read
+/// per drained chunk), so build and probe transfers overlap instead of
+/// serializing — both build sides fill their hash sets concurrently, and
+/// order batches arriving early are absorbed immediately (the sinks
+/// pre-filter and stage only join keys, so staging is small) until the
+/// builds close. A sequential consumer would instead leave two producers
+/// blocked on ring backpressure while it worked through the first stream.
+/// Returns `(build, probe)` phase durations.
+fn consume_streams<T, S: Q3Sink<T>>(
+    sink: &mut S,
+    mut customers: LinkReceiver<T>,
+    mut neworders: LinkReceiver<T>,
+    mut orders: LinkReceiver<T>,
+) -> (Duration, Duration) {
+    /// Chunk of one round-robin visit; bounds per-stream bias.
+    const CHUNK: usize = 64;
+
+    let build_start = Instant::now();
+    let (mut cust_done, mut no_done, mut ord_done) = (false, false, false);
+    let mut build: Option<Duration> = None;
+    let mut scratch: Vec<T> = Vec::new();
+    let mut backoff = Backoff::new();
+
+    while !(cust_done && no_done && ord_done) {
+        let mut progressed = false;
+        let mut idle_seen = false;
+        // Earliest in-flight delivery this round, to sleep precisely.
+        let mut wake: Option<Instant> = None;
+        let mut note = |p: &Pull, done: &mut bool, progressed: &mut bool| match p {
+            Pull::Got => *progressed = true,
+            Pull::Done => {
+                *done = true;
+                *progressed = true;
+            }
+            Pull::InFlight(at) => wake = Some(wake.map_or(*at, |w| w.min(*at))),
+            Pull::Idle => idle_seen = true,
+        };
+
+        let builds_closed = build.is_some();
+        if !cust_done {
+            let p = pull(&mut customers, &mut scratch, CHUNK);
+            note(&p, &mut cust_done, &mut progressed);
+            for batch in scratch.drain(..) {
+                sink.absorb(Q3Stream::Customers, batch, builds_closed);
+            }
+        }
+        if !no_done {
+            let p = pull(&mut neworders, &mut scratch, CHUNK);
+            note(&p, &mut no_done, &mut progressed);
+            for batch in scratch.drain(..) {
+                sink.absorb(Q3Stream::Neworders, batch, builds_closed);
+            }
+        }
+        if !ord_done {
+            let p = pull(&mut orders, &mut scratch, CHUNK);
+            note(&p, &mut ord_done, &mut progressed);
+            for batch in scratch.drain(..) {
+                sink.absorb(Q3Stream::Orders, batch, builds_closed);
+            }
+        }
+
+        if cust_done && no_done && build.is_none() {
+            build = Some(build_start.elapsed());
+            sink.close_builds();
+        }
+
+        if progressed {
+            backoff.reset();
+        } else if let (Some(at), false) = (wake, idle_seen) {
+            // Every unfinished stream has a message in flight: sleep
+            // until the earliest modeled delivery. (With an idle
+            // stream in the mix its producer could deliver sooner, so
+            // fall through to the short backoff instead.)
+            let now = Instant::now();
+            if at > now {
+                std::thread::sleep(at - now);
+            }
+        } else {
+            backoff.wait();
+        }
+    }
+
+    let build = build.unwrap_or_else(|| build_start.elapsed());
+    let probe = build_start.elapsed().saturating_sub(build);
+    (build, probe)
+}
+
+/// Shared join state of both sinks: the two build-side key sets, the
+/// early-arrival staging area, and the result counter.
+#[derive(Default)]
+struct JoinState {
+    cust_keys: FxHashSet<JoinKey>,
+    open_keys: FxHashSet<JoinKey>,
+    /// Probe keys of order rows that passed the filter before both
+    /// builds closed — only the two join keys are staged, not the
+    /// rows, so early-arrival buffering costs 48 bytes per row.
+    staged: Vec<(JoinKey, JoinKey)>,
+    rows: usize,
+    bytes: [usize; 3],
+}
+
+impl JoinState {
+    #[inline]
+    fn probe(&mut self, cust_key: JoinKey, order_key: JoinKey) {
+        if self.cust_keys.contains(&cust_key) && self.open_keys.contains(&order_key) {
+            self.rows += 1;
+        }
+    }
+
+    fn close_builds(&mut self) {
+        let staged = std::mem::take(&mut self.staged);
+        for (cust_key, order_key) in staged {
+            self.probe(cust_key, order_key);
+        }
+    }
+}
+
+/// Row-batch sink: applies the spec's filters defensively (idempotent —
+/// producers may or may not have pre-filtered) and extracts keys tuple
+/// by tuple.
+struct RowSink {
+    spec: Q3Spec,
+    join: JoinState,
+}
+
+impl Q3Sink<Batch> for RowSink {
+    fn absorb(&mut self, stream: Q3Stream, batch: Batch, builds_closed: bool) {
+        self.join.bytes[stream as usize] += batch.bytes();
+        match stream {
+            Q3Stream::Customers => {
+                for t in batch.tuples() {
+                    if self.spec.customer_filter(t) {
+                        self.join.cust_keys.insert(Q3Spec::customer_join_key(t));
+                    }
+                }
+            }
+            Q3Stream::Neworders => {
+                for t in batch.tuples() {
+                    self.join.open_keys.insert(Q3Spec::neworder_key(t));
+                }
+            }
+            Q3Stream::Orders => {
+                for t in batch.tuples() {
+                    if !self.spec.order_filter(t) {
+                        continue;
+                    }
+                    let keys = (Q3Spec::order_customer_key(t), Q3Spec::order_key(t));
+                    if builds_closed {
+                        self.join.probe(keys.0, keys.1);
+                    } else {
+                        self.join.staged.push(keys);
+                    }
+                }
+            }
+        }
+    }
+
+    fn close_builds(&mut self) {
+        self.join.close_builds();
+    }
+}
+
+/// Column-batch sink: builds keys straight from `(w, d, id)` column
+/// slices and probes by zipping the key columns — no tuple is ever
+/// materialized. Relies on the columnar stream protocol (filters pushed
+/// down at the scan, key projections only; see the module docs).
+#[derive(Default)]
+struct ColSink {
+    join: JoinState,
+}
+
+/// Borrows the int column at `i`, `None` if absent or mistyped — so a
+/// protocol-violating batch degrades to the guarded skip path instead of
+/// panicking in the consumer thread.
+fn int_column(batch: &ColumnBatch, i: usize) -> Option<&[i64]> {
+    batch.columns().get(i)?.ints()
+}
+
+/// Borrows the three key columns of a protocol-conforming batch.
+fn key_columns(batch: &ColumnBatch) -> Option<(&[i64], &[i64], &[i64])> {
+    Some((
+        int_column(batch, 0)?,
+        int_column(batch, 1)?,
+        int_column(batch, 2)?,
+    ))
+}
+
+impl Q3Sink<ColumnBatch> for ColSink {
+    fn absorb(&mut self, stream: Q3Stream, batch: ColumnBatch, builds_closed: bool) {
+        self.join.bytes[stream as usize] += batch.bytes();
+        if batch.is_empty() {
+            return;
+        }
+        // Key columns ship in (w, d, id) order on every stream; orders
+        // additionally carry o_c_id as column 3 (ORDER_KEY_PROJ).
+        let Some((w, d, id)) = key_columns(&batch) else {
+            debug_assert!(false, "columnar Q3 stream violated the key protocol");
+            return;
+        };
+        // Zipped slice iteration: no per-row bounds checks in the hot
+        // build/probe loops.
+        match stream {
+            Q3Stream::Customers => {
+                self.join
+                    .cust_keys
+                    .extend(w.iter().zip(d).zip(id).map(|((&w, &d), &id)| (w, d, id)));
+            }
+            Q3Stream::Neworders => {
+                self.join
+                    .open_keys
+                    .extend(w.iter().zip(d).zip(id).map(|((&w, &d), &id)| (w, d, id)));
+            }
+            Q3Stream::Orders => {
+                let Some(c) = int_column(&batch, 3) else {
+                    debug_assert!(false, "orders stream missing o_c_id column");
+                    return;
+                };
+                let keys = w
+                    .iter()
+                    .zip(d)
+                    .zip(id)
+                    .zip(c)
+                    .map(|(((&w, &d), &id), &c)| ((w, d, c), (w, d, id)));
+                if builds_closed {
+                    for (cust_key, order_key) in keys {
+                        self.join.probe(cust_key, order_key);
+                    }
+                } else {
+                    self.join.staged.extend(keys);
+                }
+            }
+        }
+    }
+
+    fn close_builds(&mut self) {
+        self.join.close_builds();
+    }
 }
 
 impl Q3Compute {
@@ -81,159 +429,47 @@ impl Q3Compute {
         Self { spec }
     }
 
-    /// Runs the pipeline: build from `customers` and `neworders`, probe
-    /// `orders`. Filters are applied defensively on the compute side too
-    /// (idempotent), so producers may or may not pre-filter (beamed flows
-    /// filter at the source / on the NIC).
-    ///
-    /// All three streams are consumed **round-robin** with
-    /// [`LinkReceiver::drain_ready_max`] (one clock read per drained
-    /// chunk), so build and probe transfers overlap instead of
-    /// serializing: both build sides fill their hash sets concurrently,
-    /// and order batches arriving early are filtered immediately and
-    /// staged (pre-filter, so staging is small) until the builds close —
-    /// a sequential consumer would instead leave two producers blocked on
-    /// ring backpressure while it worked through the first stream.
+    /// Runs the row-batch pipeline: build from `customers` and
+    /// `neworders`, probe `orders`. Filters are applied defensively on
+    /// the compute side too (idempotent), so producers may or may not
+    /// pre-filter (beamed flows filter at the source / on the NIC).
     pub fn run(
         &self,
-        mut customers: LinkReceiver<Batch>,
-        mut neworders: LinkReceiver<Batch>,
-        mut orders: LinkReceiver<Batch>,
+        customers: LinkReceiver<Batch>,
+        neworders: LinkReceiver<Batch>,
+        orders: LinkReceiver<Batch>,
     ) -> Q3ComputeResult {
-        /// Chunk of one round-robin visit; bounds per-stream bias.
-        const CHUNK: usize = 64;
-
-        /// Outcome of one non-blocking visit to a stream.
-        enum Pull {
-            /// Batches were drained into the scratch buffer.
-            Got,
-            /// Nothing queued (producer still working).
-            Idle,
-            /// Next message is in flight until the given instant.
-            InFlight(Instant),
-            /// Producer gone and everything consumed.
-            Done,
+        let mut sink = RowSink {
+            spec: self.spec,
+            join: JoinState::default(),
+        };
+        let (build, probe) = consume_streams(&mut sink, customers, neworders, orders);
+        Q3ComputeResult {
+            rows: sink.join.rows,
+            build,
+            probe,
+            stream_bytes: sink.join.bytes,
         }
+    }
 
-        fn pull(rx: &mut LinkReceiver<Batch>, scratch: &mut Vec<Batch>) -> Pull {
-            if rx.drain_ready_max(scratch, CHUNK) > 0 {
-                return Pull::Got;
-            }
-            // Nothing deliverable: classify why via a peeking receive.
-            match rx.try_recv() {
-                Ok(batch) => {
-                    // Race: became deliverable between the two calls.
-                    scratch.push(batch);
-                    Pull::Got
-                }
-                Err(RecvState::NotReady(at)) => Pull::InFlight(at),
-                Err(RecvState::Empty) => Pull::Idle,
-                Err(RecvState::Disconnected) => Pull::Done,
-            }
+    /// Runs the vectorized pipeline over columnar streams following the
+    /// key protocol (see the module docs): hash sets are built from
+    /// column slices and the probe zips the order key columns — filters
+    /// already ran at the scans, and no row is materialized anywhere.
+    pub fn run_columns(
+        &self,
+        customers: LinkReceiver<ColumnBatch>,
+        neworders: LinkReceiver<ColumnBatch>,
+        orders: LinkReceiver<ColumnBatch>,
+    ) -> Q3ComputeResult {
+        let mut sink = ColSink::default();
+        let (build, probe) = consume_streams(&mut sink, customers, neworders, orders);
+        Q3ComputeResult {
+            rows: sink.join.rows,
+            build,
+            probe,
+            stream_bytes: sink.join.bytes,
         }
-
-        let spec = self.spec;
-        let build_start = Instant::now();
-        let mut cust_keys: FxHashSet<JoinKey> = FxHashSet::default();
-        let mut open_keys: FxHashSet<JoinKey> = FxHashSet::default();
-        // Probe keys of order rows that passed the filter before both
-        // builds closed — only the two join keys are staged, not the
-        // tuples, so early-arrival buffering costs 48 bytes per row.
-        let mut staged: Vec<(JoinKey, JoinKey)> = Vec::new();
-        let mut rows = 0usize;
-        let (mut cust_done, mut no_done, mut ord_done) = (false, false, false);
-        let mut build: Option<Duration> = None;
-        let mut scratch: Vec<Batch> = Vec::new();
-        let mut backoff = Backoff::new();
-
-        while !(cust_done && no_done && ord_done) {
-            let mut progressed = false;
-            let mut idle_seen = false;
-            // Earliest in-flight delivery this round, to sleep precisely.
-            let mut wake: Option<Instant> = None;
-            let mut note = |p: &Pull, done: &mut bool, progressed: &mut bool| match p {
-                Pull::Got => *progressed = true,
-                Pull::Done => {
-                    *done = true;
-                    *progressed = true;
-                }
-                Pull::InFlight(at) => wake = Some(wake.map_or(*at, |w| w.min(*at))),
-                Pull::Idle => idle_seen = true,
-            };
-
-            if !cust_done {
-                let p = pull(&mut customers, &mut scratch);
-                note(&p, &mut cust_done, &mut progressed);
-                for batch in scratch.drain(..) {
-                    for t in batch.tuples() {
-                        if spec.customer_filter(t) {
-                            cust_keys.insert(Q3Spec::customer_join_key(t));
-                        }
-                    }
-                }
-            }
-            if !no_done {
-                let p = pull(&mut neworders, &mut scratch);
-                note(&p, &mut no_done, &mut progressed);
-                for batch in scratch.drain(..) {
-                    for t in batch.tuples() {
-                        open_keys.insert(Q3Spec::neworder_key(t));
-                    }
-                }
-            }
-            if !ord_done {
-                let p = pull(&mut orders, &mut scratch);
-                note(&p, &mut ord_done, &mut progressed);
-                let builds_closed = build.is_some();
-                for batch in scratch.drain(..) {
-                    for t in batch.tuples() {
-                        if !spec.order_filter(t) {
-                            continue;
-                        }
-                        if builds_closed {
-                            if cust_keys.contains(&Q3Spec::order_customer_key(t))
-                                && open_keys.contains(&Q3Spec::order_key(t))
-                            {
-                                rows += 1;
-                            }
-                        } else {
-                            staged.push((Q3Spec::order_customer_key(t), Q3Spec::order_key(t)));
-                        }
-                    }
-                }
-            }
-
-            if cust_done && no_done && build.is_none() {
-                build = Some(build_start.elapsed());
-                // Builds closed: probe everything staged, then switch to
-                // probing arrivals directly.
-                for (cust_key, order_key) in staged.drain(..) {
-                    if cust_keys.contains(&cust_key) && open_keys.contains(&order_key) {
-                        rows += 1;
-                    }
-                }
-                staged.shrink_to_fit();
-            }
-
-            if progressed {
-                backoff.reset();
-            } else if let (Some(at), false) = (wake, idle_seen) {
-                // Every unfinished stream has a message in flight: sleep
-                // until the earliest modeled delivery. (With an idle
-                // stream in the mix its producer could deliver sooner, so
-                // fall through to the short backoff instead.)
-                let now = Instant::now();
-                if at > now {
-                    std::thread::sleep(at - now);
-                }
-            } else {
-                backoff.wait();
-            }
-        }
-
-        let build = build.unwrap_or_else(|| build_start.elapsed());
-        let probe = build_start.elapsed().saturating_sub(build);
-        Q3ComputeResult { rows, build, probe }
     }
 }
 
@@ -329,6 +565,103 @@ mod tests {
         producers.join().unwrap();
         assert_eq!(result.rows, expected);
         assert!(result.build > Duration::ZERO);
+        assert!(result.stream_bytes.iter().all(|&b| b > 0));
+    }
+
+    /// Spawns the three columnar Q3 producers (key projections, filters
+    /// pushed down) over instant links and returns the receivers.
+    fn columnar_streams(
+        db: &std::sync::Arc<TpccDb>,
+        spec: Q3Spec,
+        batch_rows: usize,
+    ) -> (
+        LinkReceiver<ColumnBatch>,
+        LinkReceiver<ColumnBatch>,
+        LinkReceiver<ColumnBatch>,
+        std::thread::JoinHandle<()>,
+    ) {
+        let (ctx, crx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
+        let (ntx, nrx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
+        let (otx, orx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
+        let db = db.clone();
+        let producers = std::thread::spawn(move || {
+            stream_scan_columns(
+                &db.customer,
+                ColFlowSender::new(ctx, Flow::identity()),
+                batch_rows,
+                &Q3Spec::CUSTOMER_KEY_PROJ,
+                Some(&spec.customer_pred()),
+            );
+            stream_scan_columns(
+                &db.neworder,
+                ColFlowSender::new(ntx, Flow::identity()),
+                batch_rows,
+                &Q3Spec::NEWORDER_KEY_PROJ,
+                None,
+            );
+            stream_scan_columns(
+                &db.orders,
+                ColFlowSender::new(otx, Flow::identity()),
+                batch_rows,
+                &Q3Spec::ORDER_KEY_PROJ,
+                Some(&spec.order_pred()),
+            );
+        });
+        (crx, nrx, orx, producers)
+    }
+
+    #[test]
+    fn columnar_streams_match_local() {
+        let db = std::sync::Arc::new(TpccDb::load(TpccConfig::small(), 56).unwrap());
+        let spec = Q3Spec::default();
+        let expected = exec_q3_local(&db, &spec);
+        let (crx, nrx, orx, producers) = columnar_streams(&db, spec, 256);
+        let result = Q3Compute::new(spec).run_columns(crx, nrx, orx);
+        producers.join().unwrap();
+        assert_eq!(result.rows, expected);
+        assert!(result.stream_bytes.iter().all(|&b| b > 0));
+    }
+
+    #[test]
+    fn columnar_wire_bytes_beat_row_wire_bytes_per_stream() {
+        // Same database, both paths as beaming runs them (row path
+        // pre-filters via flows, columnar pushes down filter+projection):
+        // every stream must model fewer wire bytes columnar.
+        let db = std::sync::Arc::new(TpccDb::load(TpccConfig::small(), 57).unwrap());
+        let spec = Q3Spec::default();
+
+        let (ctx, crx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
+        let (ntx, nrx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
+        let (otx, orx) = SimLink::channel(LinkSpec::instant(), 1 << 14);
+        stream_scan(
+            &db.customer,
+            FlowSender::new(
+                ctx,
+                Flow::identity().filter(move |t| spec.customer_filter(t)),
+            ),
+            256,
+        );
+        stream_scan(&db.neworder, FlowSender::new(ntx, Flow::identity()), 256);
+        stream_scan(
+            &db.orders,
+            FlowSender::new(otx, Flow::identity().filter(move |t| spec.order_filter(t))),
+            256,
+        );
+        let row = Q3Compute::new(spec).run(crx, nrx, orx);
+
+        let (crx, nrx, orx, producers) = columnar_streams(&db, spec, 256);
+        let col = Q3Compute::new(spec).run_columns(crx, nrx, orx);
+        producers.join().unwrap();
+
+        assert_eq!(row.rows, col.rows);
+        for i in 0..3 {
+            assert!(
+                col.stream_bytes[i] < row.stream_bytes[i],
+                "stream {i}: columnar {} !< row {}",
+                col.stream_bytes[i],
+                row.stream_bytes[i]
+            );
+        }
     }
 
     #[test]
@@ -384,6 +717,19 @@ mod tests {
         stream_scan(&db.neworder, FlowSender::new(ntx, Flow::identity()), 256);
 
         let result = Q3Compute::new(spec).run(crx, nrx, orx);
+        assert_eq!(result.rows, expected);
+    }
+
+    #[test]
+    fn early_columnar_order_arrivals_are_staged_and_probed() {
+        // Columnar mirror of the staging test: orders fully delivered
+        // before the consumer starts.
+        let db = std::sync::Arc::new(TpccDb::load(TpccConfig::small(), 58).unwrap());
+        let spec = Q3Spec::default();
+        let expected = exec_q3_local(&db, &spec);
+        let (crx, nrx, orx, producers) = columnar_streams(&db, spec, 256);
+        producers.join().unwrap(); // everything buffered before consumption
+        let result = Q3Compute::new(spec).run_columns(crx, nrx, orx);
         assert_eq!(result.rows, expected);
     }
 

@@ -14,9 +14,26 @@ pub struct Batch {
 }
 
 impl Batch {
-    /// Creates a batch, computing its wire size.
+    /// Creates a batch, computing its wire size with a full pass over the
+    /// tuples. Producers that already know the size (scans and flows
+    /// maintain a running count as they touch each tuple once) should use
+    /// [`Batch::with_bytes`] instead and skip the second walk.
     pub fn new(tuples: Vec<Tuple>) -> Self {
         let bytes = tuples.iter().map(Tuple::wire_size).sum();
+        Self { tuples, bytes }
+    }
+
+    /// Creates a batch from tuples whose total wire size the producer
+    /// already maintained incrementally.
+    ///
+    /// Debug builds verify the claimed size; release builds trust it —
+    /// the whole point is not to re-walk the tuples.
+    pub fn with_bytes(tuples: Vec<Tuple>, bytes: usize) -> Self {
+        debug_assert_eq!(
+            bytes,
+            tuples.iter().map(Tuple::wire_size).sum::<usize>(),
+            "incremental byte count out of sync"
+        );
         Self { tuples, bytes }
     }
 
@@ -61,22 +78,23 @@ impl Batch {
         self.tuples.push(t);
     }
 
-    /// Splits a vector of tuples into batches of at most `batch_rows` rows.
+    /// Splits a vector of tuples into batches of at most `batch_rows`
+    /// rows, sizing each batch with one incremental pass.
     pub fn split(tuples: Vec<Tuple>, batch_rows: usize) -> Vec<Batch> {
         assert!(batch_rows > 0);
         let mut out = Vec::with_capacity(tuples.len().div_ceil(batch_rows));
-        let mut cur = Vec::with_capacity(batch_rows.min(tuples.len()));
+        let mut cur = Batch::with_bytes(Vec::with_capacity(batch_rows.min(tuples.len())), 0);
         for t in tuples {
             cur.push(t);
             if cur.len() == batch_rows {
-                out.push(Batch::new(std::mem::replace(
+                out.push(std::mem::replace(
                     &mut cur,
-                    Vec::with_capacity(batch_rows),
-                )));
+                    Batch::with_bytes(Vec::with_capacity(batch_rows), 0),
+                ));
             }
         }
         if !cur.is_empty() {
-            out.push(Batch::new(cur));
+            out.push(cur);
         }
         out
     }
@@ -121,5 +139,13 @@ mod tests {
     #[test]
     fn split_empty_produces_no_batches() {
         assert!(Batch::split(Vec::new(), 4).is_empty());
+    }
+
+    #[test]
+    fn with_bytes_agrees_with_measured() {
+        let size = t(0).wire_size();
+        let measured = Batch::new(vec![t(1), t(2)]);
+        let claimed = Batch::with_bytes(vec![t(1), t(2)], 2 * size);
+        assert_eq!(measured.bytes(), claimed.bytes());
     }
 }

@@ -53,12 +53,23 @@ impl BeamIdGen {
 /// event is dispatched, so `take` never races with `register` for the same
 /// id in correct usage; `take` returning `None` means the beam was already
 /// claimed (a routing bug) or never initiated (a planning bug).
-#[derive(Default)]
-pub struct BeamRegistry {
-    slots: Mutex<FxHashMap<BeamId, LinkReceiver<Batch>>>,
+///
+/// Generic over the stream payload: row [`Batch`]es (the default) or
+/// columnar `ColumnBatch`es, matching whichever representation the scan
+/// producer ships.
+pub struct BeamRegistry<T = Batch> {
+    slots: Mutex<FxHashMap<BeamId, LinkReceiver<T>>>,
 }
 
-impl BeamRegistry {
+impl<T> Default for BeamRegistry<T> {
+    fn default() -> Self {
+        Self {
+            slots: Mutex::new(FxHashMap::default()),
+        }
+    }
+}
+
+impl<T> BeamRegistry<T> {
     /// Empty registry.
     pub fn new() -> Self {
         Self::default()
@@ -69,24 +80,26 @@ impl BeamRegistry {
     /// # Panics
     /// Panics if the id is already registered — beam ids are unique by
     /// construction, so a duplicate is a bug worth failing loudly on.
-    pub fn register(&self, id: BeamId, rx: LinkReceiver<Batch>) {
+    pub fn register(&self, id: BeamId, rx: LinkReceiver<T>) {
         let prev = self.slots.lock().insert(id, rx);
         assert!(prev.is_none(), "beam {id:?} registered twice");
     }
 
     /// Claims the receiving end of a beam (each beam has one consumer).
-    pub fn take(&self, id: BeamId) -> Option<LinkReceiver<Batch>> {
+    pub fn take(&self, id: BeamId) -> Option<LinkReceiver<T>> {
         self.slots.lock().remove(&id)
-    }
-
-    /// Claims a beam wrapped in a batch-draining [`BeamReader`].
-    pub fn attach(&self, id: BeamId) -> Option<BeamReader> {
-        self.take(id).map(BeamReader::new)
     }
 
     /// Number of currently unclaimed beams.
     pub fn pending(&self) -> usize {
         self.slots.lock().len()
+    }
+}
+
+impl BeamRegistry<Batch> {
+    /// Claims a beam wrapped in a batch-draining [`BeamReader`].
+    pub fn attach(&self, id: BeamId) -> Option<BeamReader> {
+        self.take(id).map(BeamReader::new)
     }
 }
 

@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use anydb_common::Tuple;
+use anydb_common::{ColPredicate, ColumnBatch, Tuple};
 
 use crate::batch::Batch;
 use crate::link::LinkSender;
@@ -22,9 +22,18 @@ use crate::spsc::PushError;
 /// One transformation stage.
 #[derive(Clone)]
 pub enum FlowStage {
-    /// Keep only tuples matching the predicate.
+    /// Keep only tuples matching an opaque row predicate. Works on both
+    /// batch representations, but a columnar batch must materialize a
+    /// scratch tuple per row to ask it — prefer [`FlowStage::FilterCol`]
+    /// for anything hot.
     Filter(Arc<dyn Fn(&Tuple) -> bool + Send + Sync>),
-    /// Project onto the given column indices.
+    /// Keep only rows matching a columnar predicate: evaluated vectorized
+    /// into a selection vector on column batches, per-row on tuple
+    /// batches. This is also the form a scan can push down (see
+    /// `anydb_storage`'s `scan_columns`).
+    FilterCol(ColPredicate),
+    /// Project onto the given column indices (per-column copy on columnar
+    /// batches, per-tuple rebuild on row batches).
     Project(Vec<usize>),
 }
 
@@ -32,6 +41,7 @@ impl std::fmt::Debug for FlowStage {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FlowStage::Filter(_) => write!(f, "Filter(..)"),
+            FlowStage::FilterCol(p) => write!(f, "FilterCol({p:?})"),
             FlowStage::Project(cols) => write!(f, "Project({cols:?})"),
         }
     }
@@ -49,9 +59,15 @@ impl Flow {
         Self::default()
     }
 
-    /// Appends a filter stage.
+    /// Appends a filter stage over an opaque row predicate.
     pub fn filter(mut self, pred: impl Fn(&Tuple) -> bool + Send + Sync + 'static) -> Self {
         self.stages.push(FlowStage::Filter(Arc::new(pred)));
+        self
+    }
+
+    /// Appends a columnar (vectorizable) filter stage.
+    pub fn filter_col(mut self, pred: ColPredicate) -> Self {
+        self.stages.push(FlowStage::FilterCol(pred));
         self
     }
 
@@ -71,23 +87,75 @@ impl Flow {
         self.stages.is_empty()
     }
 
-    /// Applies all stages to a batch.
+    /// Applies all stages to a row batch. The wire size is maintained
+    /// incrementally across stages (subtracting dropped tuples, resizing
+    /// projections as they are built) — never a second walk over the
+    /// surviving tuples.
     pub fn apply(&self, batch: Batch) -> Batch {
         if self.stages.is_empty() {
             return batch;
         }
+        let mut bytes = batch.bytes();
         let mut tuples = batch.into_tuples();
         for stage in &self.stages {
             match stage {
-                FlowStage::Filter(pred) => tuples.retain(|t| pred(t)),
+                FlowStage::Filter(pred) => tuples.retain(|t| {
+                    let keep = pred(t);
+                    if !keep {
+                        bytes -= t.wire_size();
+                    }
+                    keep
+                }),
+                FlowStage::FilterCol(p) => tuples.retain(|t| {
+                    let keep = p.matches_tuple(t);
+                    if !keep {
+                        bytes -= t.wire_size();
+                    }
+                    keep
+                }),
                 FlowStage::Project(cols) => {
+                    bytes = 0;
                     for t in &mut tuples {
                         *t = t.project(cols);
+                        bytes += t.wire_size();
                     }
                 }
             }
         }
-        Batch::new(tuples)
+        Batch::with_bytes(tuples, bytes)
+    }
+
+    /// Applies all stages to a column batch: columnar filters run
+    /// vectorized (selection vector + gather), projections copy whole
+    /// columns, and only opaque row-closure filters fall back to a
+    /// scratch tuple per row.
+    pub fn apply_columns(&self, batch: ColumnBatch) -> ColumnBatch {
+        let mut batch = batch;
+        let mut sel: Vec<u32> = Vec::new();
+        for stage in &self.stages {
+            match stage {
+                FlowStage::FilterCol(pred) => {
+                    sel.clear();
+                    pred.select(&batch, &mut sel);
+                    if sel.len() != batch.rows() {
+                        batch = batch.take(&sel);
+                    }
+                }
+                FlowStage::Filter(pred) => {
+                    sel.clear();
+                    sel.extend(
+                        (0..batch.rows())
+                            .filter(|&i| pred(&batch.row_tuple(i)))
+                            .map(|i| i as u32),
+                    );
+                    if sel.len() != batch.rows() {
+                        batch = batch.take(&sel);
+                    }
+                }
+                FlowStage::Project(cols) => batch = batch.project(cols),
+            }
+        }
+        batch
     }
 }
 
@@ -141,10 +209,82 @@ impl FlowSender {
         tuples: Vec<anydb_common::Tuple>,
         batch_rows: usize,
     ) -> Result<usize, usize> {
-        let batches: Vec<(Batch, usize)> = Batch::split(tuples, batch_rows)
+        self.send_batches_blocking(Batch::split(tuples, batch_rows))
+    }
+
+    /// Bulk path for producers that already built (incrementally sized)
+    /// batches: applies the flow to each and ships the group pipelined.
+    /// Returns the number of batches shipped, or `Err` with how many were
+    /// still unsent when the receiver vanished.
+    pub fn send_batches_blocking(&mut self, batches: Vec<Batch>) -> Result<usize, usize> {
+        let batches: Vec<(Batch, usize)> = batches
             .into_iter()
             .map(|b| {
                 let out = self.flow.apply(b);
+                let bytes = out.bytes();
+                (out, bytes)
+            })
+            .collect();
+        let n = batches.len();
+        self.link.send_pipelined_blocking(batches)?;
+        Ok(n)
+    }
+
+    /// Consumes the sender, closing the stream.
+    pub fn finish(self) {}
+}
+
+/// The columnar counterpart of [`FlowSender`]: ships [`ColumnBatch`]es
+/// through a flow, modeling the *post-flow* columnar wire size (one tag
+/// per column, values packed) — this is where the link-transfer savings
+/// of the columnar path come from.
+pub struct ColFlowSender {
+    link: LinkSender<ColumnBatch>,
+    flow: Flow,
+}
+
+impl ColFlowSender {
+    /// Wraps a columnar link sender with a flow.
+    pub fn new(link: LinkSender<ColumnBatch>, flow: Flow) -> Self {
+        Self { link, flow }
+    }
+
+    /// Whether the underlying link offloads flow processing.
+    pub fn is_offloaded(&self) -> bool {
+        self.link.spec().offload
+    }
+
+    /// Applies the flow and ships the batch (empty results included, for
+    /// end-of-stream accounting parity with the row path).
+    pub fn send(&mut self, batch: ColumnBatch) -> Result<(), PushError<ColumnBatch>> {
+        let out = self.flow.apply_columns(batch);
+        let bytes = out.bytes();
+        self.link.send(out, bytes)
+    }
+
+    /// Blocking variant of [`ColFlowSender::send`].
+    pub fn send_blocking(&mut self, batch: ColumnBatch) -> Result<(), ColumnBatch> {
+        let out = self.flow.apply_columns(batch);
+        let bytes = out.bytes();
+        self.link.send_blocking(out, bytes)
+    }
+
+    /// Bulk path mirroring [`FlowSender::send_split_blocking`]: splits a
+    /// scan's worth of columns into `batch_rows`-row wire batches, applies
+    /// the flow to each, and ships the group pipelined (one clock read;
+    /// each batch keeps its own serialized transfer). Returns the number
+    /// of batches shipped, or `Err` with how many were unsent when the
+    /// receiver vanished.
+    pub fn send_split_blocking(
+        &mut self,
+        batch: ColumnBatch,
+        batch_rows: usize,
+    ) -> Result<usize, usize> {
+        let batches: Vec<(ColumnBatch, usize)> = batch
+            .split(batch_rows)
+            .into_iter()
+            .map(|b| {
+                let out = self.flow.apply_columns(b);
                 let bytes = out.bytes();
                 (out, bytes)
             })
@@ -205,6 +345,59 @@ mod tests {
         let big = Batch::new((0..100).map(|i| t2(i, "payload")).collect());
         let out = flow.apply(big.clone());
         assert!(out.bytes() < big.bytes() / 10);
+    }
+
+    #[test]
+    fn apply_maintains_bytes_incrementally() {
+        let flow = Flow::identity()
+            .filter(|t| t.get(0).as_int().unwrap() % 2 == 0)
+            .project(vec![1]);
+        let out = flow.apply(Batch::new((0..10).map(|i| t2(i, "abc")).collect()));
+        // with_bytes debug-asserts the count; re-check against a fresh sum.
+        assert_eq!(out.bytes(), Batch::new(out.tuples().to_vec()).bytes());
+    }
+
+    #[test]
+    fn columnar_and_row_application_agree() {
+        use anydb_common::{ColPredicate, ColumnBatch, DataType};
+        let flow = Flow::identity()
+            .filter_col(ColPredicate::IntGe { col: 0, min: 2 })
+            .project(vec![1]);
+        let tuples: Vec<Tuple> = (0..6).map(|i| t2(i, &format!("s{i}"))).collect();
+        let cols = ColumnBatch::from_tuples(&[DataType::Int, DataType::Str], &tuples).unwrap();
+        let row_out = flow.apply(Batch::new(tuples));
+        let col_out = flow.apply_columns(cols);
+        assert_eq!(col_out.to_tuples(), row_out.tuples());
+        // Same surviving rows, cheaper columnar wire encoding.
+        assert!(col_out.bytes() <= row_out.bytes());
+    }
+
+    #[test]
+    fn row_closure_filter_works_on_columns() {
+        use anydb_common::{ColumnBatch, DataType};
+        let flow = Flow::identity().filter(|t| t.get(1).as_str().unwrap() == "b");
+        let tuples = vec![t2(1, "a"), t2(2, "b"), t2(3, "b")];
+        let cols = ColumnBatch::from_tuples(&[DataType::Int, DataType::Str], &tuples).unwrap();
+        assert_eq!(flow.apply_columns(cols).rows(), 2);
+    }
+
+    #[test]
+    fn col_flow_sender_ships_post_flow_size() {
+        use anydb_common::{ColPredicate, ColumnBatch, DataType};
+        let (tx, mut rx) = SimLink::channel::<ColumnBatch>(LinkSpec::instant(), 8);
+        let mut sender = ColFlowSender::new(
+            tx,
+            Flow::identity().filter_col(ColPredicate::IntGe { col: 0, min: 5 }),
+        );
+        assert!(!sender.is_offloaded());
+        let tuples: Vec<Tuple> = (0..10).map(|i| t2(i, "x")).collect();
+        let batch = ColumnBatch::from_tuples(&[DataType::Int, DataType::Str], &tuples).unwrap();
+        assert_eq!(sender.send_split_blocking(batch, 4), Ok(3));
+        let mut rows = 0;
+        while let Ok(b) = rx.try_recv() {
+            rows += b.rows();
+        }
+        assert_eq!(rows, 5);
     }
 
     #[test]

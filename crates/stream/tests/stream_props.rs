@@ -1,6 +1,6 @@
 //! Property tests for the streaming substrate.
 
-use anydb_common::{Tuple, Value};
+use anydb_common::{ColPredicate, ColumnBatch, DataType, Tuple, Value};
 use anydb_stream::adaptive::AdaptiveBatch;
 use anydb_stream::batch::Batch;
 use anydb_stream::flow::Flow;
@@ -33,6 +33,55 @@ proptest! {
         let got: Vec<i64> = out.tuples().iter().map(|t| t.get(0).as_int().unwrap()).collect();
         let expected: Vec<i64> = values.iter().copied().filter(|v| *v >= threshold).collect();
         prop_assert_eq!(got, expected);
+    }
+
+    /// Row-`Batch` ↔ `ColumnBatch` conversion roundtrips (values incl.
+    /// nulls), and for null-free batches of a few rows or more the
+    /// columnar wire model beats the row model — the point of one tag
+    /// per column. (With nulls the row codec can win: it spends 1 byte
+    /// per null where the columnar layout packs an 8-byte placeholder.)
+    #[test]
+    fn column_batch_roundtrips_row_batch(
+        rows in prop::collection::vec((any::<i64>(), prop::option::of(0u8..26), any::<bool>()), 0..80),
+    ) {
+        let tuples: Vec<Tuple> = rows.iter().map(|(i, s, null_float)| {
+            Tuple::new(vec![
+                Value::Int(*i),
+                match s {
+                    Some(c) => Value::str(String::from(char::from(b'a' + c))),
+                    None => Value::Null,
+                },
+                if *null_float { Value::Null } else { Value::Float(*i as f64) },
+            ])
+        }).collect();
+        let batch = Batch::new(tuples);
+        let types = [DataType::Int, DataType::Str, DataType::Float];
+        let cols = ColumnBatch::from_tuples(&types, batch.tuples()).unwrap();
+        prop_assert_eq!(cols.rows(), batch.len());
+        let back = Batch::new(cols.to_tuples());
+        prop_assert_eq!(back.tuples(), batch.tuples());
+        prop_assert_eq!(back.bytes(), batch.bytes());
+        let has_nulls = batch.tuples().iter().any(|t| t.values().iter().any(Value::is_null));
+        if !has_nulls && batch.len() >= 4 {
+            prop_assert!(cols.bytes() < batch.bytes());
+        }
+    }
+
+    /// A columnar flow (vectorized filter + projection) agrees with the
+    /// row flow applying the same stages, for any threshold.
+    #[test]
+    fn columnar_flow_agrees_with_row_flow(values in prop::collection::vec(any::<i64>(), 0..100), threshold in any::<i64>()) {
+        let flow = Flow::identity()
+            .filter_col(ColPredicate::IntGe { col: 0, min: threshold })
+            .project(vec![1]);
+        let tuples: Vec<Tuple> = values
+            .iter()
+            .map(|v| Tuple::new(vec![Value::Int(*v), Value::Int(v.wrapping_mul(3))]))
+            .collect();
+        let cols = ColumnBatch::from_tuples(&[DataType::Int, DataType::Int], &tuples).unwrap();
+        let row_out = flow.apply(Batch::new(tuples));
+        let col_out = flow.apply_columns(cols);
+        prop_assert_eq!(col_out.to_tuples(), row_out.tuples());
     }
 
     /// Bulk SPSC transfer round-trips any payload exactly once, in order,

@@ -19,7 +19,7 @@
 //! execution lives in the engines so that AnyDB and reference
 //! implementations run the identical specification.
 
-use anydb_common::{Tuple, Value};
+use anydb_common::{ColPredicate, Tuple, Value};
 
 use crate::tpcc::cols;
 
@@ -42,6 +42,33 @@ impl Default for Q3Spec {
 }
 
 impl Q3Spec {
+    /// Key columns a columnar customer stream ships: `(c_w_id, c_d_id,
+    /// c_id)` — with the state filter pushed to the scan, nothing else
+    /// needs to cross the wire.
+    pub const CUSTOMER_KEY_PROJ: [usize; 3] = [
+        cols::customer::C_W_ID,
+        cols::customer::C_D_ID,
+        cols::customer::C_ID,
+    ];
+
+    /// Key columns a columnar orders stream ships: `(o_w_id, o_d_id,
+    /// o_id, o_c_id)` — the entry-date filter is pushed to the scan, so
+    /// `o_entry_d` itself stays home.
+    pub const ORDER_KEY_PROJ: [usize; 4] = [
+        cols::orders::O_W_ID,
+        cols::orders::O_D_ID,
+        cols::orders::O_ID,
+        cols::orders::O_C_ID,
+    ];
+
+    /// Key columns a columnar new-order stream ships (the whole relation
+    /// is its key).
+    pub const NEWORDER_KEY_PROJ: [usize; 3] = [
+        cols::neworder::NO_W_ID,
+        cols::neworder::NO_D_ID,
+        cols::neworder::NO_O_ID,
+    ];
+
     /// Customer-side filter (`c_state LIKE 'A%'`).
     pub fn customer_filter(&self, t: &Tuple) -> bool {
         match t.get(cols::customer::C_STATE) {
@@ -58,6 +85,24 @@ impl Q3Spec {
     /// New-order side has no predicate (openness is membership itself).
     pub fn neworder_filter(&self, _t: &Tuple) -> bool {
         true
+    }
+
+    /// The customer filter as a pushdown-able columnar predicate
+    /// (addressed to the full customer schema, for evaluation at the
+    /// scan before projection).
+    pub fn customer_pred(&self) -> ColPredicate {
+        ColPredicate::StrPrefix {
+            col: cols::customer::C_STATE,
+            prefix: self.state_prefix.to_string(),
+        }
+    }
+
+    /// The order filter as a pushdown-able columnar predicate.
+    pub fn order_pred(&self) -> ColPredicate {
+        ColPredicate::IntGe {
+            col: cols::orders::O_ENTRY_D,
+            min: self.entry_date_min,
+        }
     }
 
     /// Join-1 build key: customer `(c_w_id, c_d_id, c_id)`.
@@ -156,6 +201,20 @@ mod tests {
         let matching = orders.iter().filter(|t| spec.order_filter(t)).count();
         assert!(matching > 0);
         assert!(matching < orders.len());
+    }
+
+    #[test]
+    fn pushdown_predicates_agree_with_row_filters() {
+        let spec = Q3Spec::default();
+        let db = TpccDb::load(TpccConfig::small(), 4).unwrap();
+        let cust_pred = spec.customer_pred();
+        for t in collect_all(&db.customer) {
+            assert_eq!(cust_pred.matches_tuple(&t), spec.customer_filter(&t));
+        }
+        let ord_pred = spec.order_pred();
+        for t in collect_all(&db.orders) {
+            assert_eq!(ord_pred.matches_tuple(&t), spec.order_filter(&t));
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use anydb::common::metrics::Counter;
 use anydb::common::{AcId, TxnId};
 use anydb::core::component::AnyComponent;
-use anydb::core::event::{Event, OpEnvelope, TxnTracker};
+use anydb::core::event::{Completion, Event, OpEnvelope, TxnTracker};
 use anydb::core::strategy::payment_stage_groups;
 use anydb::txn::sequencer::Sequencer;
 use anydb::workload::tpcc::gen::TxnRequest;
@@ -52,7 +52,9 @@ fn main() {
         req: TxnRequest::Payment(payment(1, 10.0)),
         done: done_tx.clone(),
     });
-    let d = done_rx.recv().unwrap().0[0];
+    let Completion::Txn(d) = done_rx.recv().unwrap().0[0] else {
+        unreachable!("txn completion expected")
+    };
     println!(
         "txn {} ran aggregated on AC 0 (shared-nothing view): ok={}",
         d.txn, d.ok
@@ -77,7 +79,9 @@ fn main() {
             tracker: tracker.clone(),
         }));
     }
-    let d = done_rx.recv().unwrap().0[0];
+    let Completion::Txn(d) = done_rx.recv().unwrap().0[0] else {
+        unreachable!("txn completion expected")
+    };
     println!(
         "txn {} ran disaggregated across ACs 0-2 (pipeline view): ok={}",
         d.txn, d.ok
@@ -91,7 +95,9 @@ fn main() {
         req: TxnRequest::Payment(payment(1, 5.0)),
         done: done_tx.clone(),
     });
-    let d = done_rx.recv().unwrap().0[0];
+    let Completion::Txn(d) = done_rx.recv().unwrap().0[0] else {
+        unreachable!("txn completion expected")
+    };
     println!(
         "txn {} ran on the elastically added AC 3: ok={}",
         d.txn, d.ok

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use anydb::common::metrics::Counter;
 use anydb::common::{AcId, TxnId};
 use anydb::core::component::AnyComponent;
-use anydb::core::event::{DoneBatch, Event, OpDone, OpEnvelope, TxnTracker};
+use anydb::core::event::{Completion, DoneBatch, Event, OpDone, OpEnvelope, TxnTracker};
 use anydb::core::strategy::payment_stage_groups;
 use anydb::txn::sequencer::Sequencer;
 use anydb::workload::tpcc::cols::warehouse;
@@ -15,12 +15,17 @@ use anydb::workload::tpcc::gen::TxnRequest;
 use anydb::workload::tpcc::{CustomerSelector, PaymentParams, TpccConfig, TpccDb};
 use crossbeam::channel::{unbounded, Receiver};
 
-/// Collects `n` completion notices, flattening the batched protocol (ACs
-/// emit one `DoneBatch` per drained chunk per channel).
+/// Collects `n` transaction completion notices, flattening the batched
+/// protocol (ACs emit one `DoneBatch` per drained chunk per channel).
 fn recv_flat(rx: &Receiver<DoneBatch>, n: usize) -> Vec<OpDone> {
     let mut out = Vec::new();
     while out.len() < n {
-        out.extend(rx.recv().expect("completion channel open").0);
+        for c in rx.recv().expect("completion channel open").0 {
+            match c {
+                Completion::Txn(done) => out.push(done),
+                Completion::Query { .. } => panic!("unexpected query completion"),
+            }
+        }
     }
     assert_eq!(out.len(), n, "more completions than expected");
     out

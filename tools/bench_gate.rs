@@ -1,31 +1,35 @@
 //! CI bench regression gate.
 //!
-//! Compares the JSON emitted by `cargo bench --bench abl_adaptive`
-//! (`BENCH_adaptive.json`) against the checked-in baseline
-//! (`tools/bench_baseline.json`) and exits non-zero on regression, so
-//! the batching wins cannot silently rot.
+//! Compares the JSONs emitted by the gated ablations — `abl_adaptive`
+//! (`BENCH_adaptive.json`, transport level), `abl_routing`
+//! (`BENCH_routing.json`, engine level) and `abl_columnar`
+//! (`BENCH_columnar.json`, OLAP stream level) — against the checked-in
+//! baseline (`tools/bench_baseline.json`) and exits non-zero on
+//! regression, so the batching/routing/columnar wins cannot silently
+//! rot. All current files are merged into one metric map before
+//! checking (their key namespaces are disjoint by construction).
 //!
-//! The baseline deliberately pins only **ratio** metrics (adaptive vs.
-//! static(64), batched vs. unbatched, idle-latency ratio): absolute
+//! The baseline deliberately pins only **ratio** metrics: absolute
 //! events/sec vary with the CI host, ratios between two modes measured
-//! in the same run do not. Absolute metrics in the current JSON are
+//! in the same run do not. Absolute metrics in the current JSONs are
 //! reported but not gated. The baseline values are the *acceptance
-//! floors* the batching PRs committed to (batched >= 1.5x unbatched,
-//! adaptive >= 0.95x static-64, adaptive idle latency <= 0.5x
-//! static-64's) — not last-measured ratios — so an improvement to one
-//! mode can never trip the gate on the ratio it appears under.
+//! floors* the PRs committed to (e.g. batched >= 1.5x unbatched,
+//! columnar >= 2x row) — not last-measured ratios — so an improvement
+//! to one mode can never trip the gate on the ratio it appears under;
+//! each bench's header comment records its observed run-to-run
+//! variance and why its floor sits where it does.
 //!
 //! Rules, per baseline key:
 //! * key contains `latency`  → lower is better: fail if
 //!   `current > baseline * (1 + TOLERANCE)`.
 //! * otherwise               → higher is better: fail if
 //!   `current < baseline * (1 - TOLERANCE)`.
-//! * key missing from the current JSON → fail (a silently dropped
+//! * key missing from every current JSON → fail (a silently dropped
 //!   metric is a regression of the gate itself).
 //!
-//! Usage: `bench_gate [baseline.json] [current.json]` (defaults:
-//! `tools/bench_baseline.json`, `BENCH_adaptive.json` — the paths CI
-//! uses from the repo root).
+//! Usage: `bench_gate [baseline.json] [current.json ...]` (defaults:
+//! `tools/bench_baseline.json` and the three `BENCH_*.json` files — the
+//! paths CI uses from the repo root).
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -101,24 +105,50 @@ fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
     parse_flat_json(&text).map_err(|e| format!("{path}: {e}"))
 }
 
+/// The bench-emitted files gated by default (all namespaces disjoint).
+const DEFAULT_CURRENT: [&str; 3] = [
+    "BENCH_adaptive.json",
+    "BENCH_routing.json",
+    "BENCH_columnar.json",
+];
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let baseline_path = args
         .next()
         .unwrap_or_else(|| "tools/bench_baseline.json".into());
-    let current_path = args.next().unwrap_or_else(|| "BENCH_adaptive.json".into());
+    let mut current_paths: Vec<String> = args.collect();
+    if current_paths.is_empty() {
+        current_paths = DEFAULT_CURRENT.iter().map(|s| s.to_string()).collect();
+    }
 
-    let (baseline, current) = match (load(&baseline_path), load(&current_path)) {
-        (Ok(b), Ok(c)) => (b, c),
-        (b, c) => {
-            for err in [b.err(), c.err()].into_iter().flatten() {
-                eprintln!("bench_gate: {err}");
-            }
+    let baseline = match load(&baseline_path) {
+        Ok(b) => b,
+        Err(err) => {
+            eprintln!("bench_gate: {err}");
             return ExitCode::FAILURE;
         }
     };
+    let mut current = BTreeMap::new();
+    let mut failed = false;
+    for path in &current_paths {
+        match load(path) {
+            Ok(map) => current.extend(map),
+            Err(err) => {
+                eprintln!("bench_gate: {err}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
 
-    println!("bench_gate: {} vs baseline {}", current_path, baseline_path);
+    println!(
+        "bench_gate: {} vs baseline {}",
+        current_paths.join(" + "),
+        baseline_path
+    );
     for (key, base) in &baseline {
         let cur = current.get(key).copied();
         println!(
