@@ -1,0 +1,236 @@
+//! Ablation: row vs columnar **HTAP-local** Q3 (PR 4 tentpole), plus the
+//! zero-copy `ColumnBatch::split` microbench.
+//!
+//! All Q3 arms are the fully-aggregated execution an HTAP OLAP worker
+//! runs inline for `Event::QueryQ3` — no streams, one thread, same
+//! database:
+//!
+//! * **row**: `exec_q3_local_rows` — per-row latch, per-`Value` key
+//!   extraction, tuple-keyed hash sets (the PR 3 state of the HTAP path).
+//! * **columnar**: `exec_q3_local` — epoch-validated shared snapshot
+//!   scans (`scan_columns_snapshot_shared`: latch-free chunked
+//!   materialization with filters + key projections pushed down, cached
+//!   per partition and served as zero-copy views while the partition is
+//!   quiescent) feeding dense-bitmap joins over zipped key slices. This
+//!   is the steady-state HTAP number: standing queries ride one shared
+//!   scan, SharedDB-style.
+//! * **columnar cold**: the same execution with every partition of all
+//!   three tables written between queries, so every scan re-materializes
+//!   — the floor the columnar path degrades to under a 100%-write-racing
+//!   OLTP load (reported, not gated: it hovers around the row arm, since
+//!   both are bound by the same per-row tuple cache misses).
+//!
+//! The split microbench pins the zero-copy claim: splitting a batch into
+//! a fixed number of wire batches must cost the same whether the batch
+//! holds 4k or 64k rows (views over shared buffers), where the copying
+//! implementation scaled linearly with the row count.
+//!
+//! Acceptance (gated in CI via `tools/bench_gate.rs`): steady-state
+//! columnar ≥ 1.8× row throughput, and the 64k/4k split-latency ratio
+//! stays ~flat (ceiling 2.0 — the pre-refactor copying split measured
+//! ~16× here). Run-to-run variance: the gated Q3 ratio moved well under
+//! 15% over repeated runs on the 1-core CI host (single-threaded arms,
+//! so scheduler noise largely cancels); the floor 1.8 is the acceptance
+//! threshold, far below the measured value, so normal jitter never trips
+//! the 15%-tolerance gate.
+//!
+//! The run emits `BENCH_htap.json` at the repo root for the gate and the
+//! CI artifact.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use anydb_bench::{bench_json_path, figure_header, median, row, write_flat_json};
+use anydb_common::{ColumnBatch, DataType, PartitionId, Rid, Value};
+use anydb_core::olap::{exec_q3_local, exec_q3_local_rows};
+use anydb_storage::Table;
+use anydb_workload::chbench::Q3Spec;
+use anydb_workload::tpcc::{TpccConfig, TpccDb};
+
+/// Timed repetitions per arm; the median filters scheduler noise.
+const REPS: usize = 5;
+/// Wire batches per split in the microbench (fixed, so only the input
+/// row count varies).
+const SPLIT_PARTS: usize = 16;
+/// Split timing iterations per input size.
+const SPLIT_ITERS: usize = 20_000;
+
+fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+/// Bumps the write epoch of every partition of `table` with an identity
+/// update (rewrites column 0 of slot 0 with its current value): no data
+/// or index changes, but every cached shared scan is invalidated —
+/// exactly what one racing OLTP write per partition does.
+fn dirty_table(table: &Table) {
+    for p in 0..table.partition_count() {
+        let rid = Rid::new(table.id(), PartitionId(p), 0);
+        table
+            .update(rid, |tu| {
+                let v = tu.get(0).clone();
+                tu.set(0, v);
+            })
+            .unwrap();
+    }
+}
+
+/// Invalidates every shared scan in the Q3 working set.
+fn dirty_q3_tables(db: &TpccDb) {
+    dirty_table(&db.customer);
+    dirty_table(&db.neworder);
+    dirty_table(&db.orders);
+}
+
+/// Builds a `(int, int, int, str)` batch of `rows` rows — the key-ish
+/// shape Q3 streams ship, plus a string column so a copying split would
+/// pay arena memcpys too.
+fn split_input(rows: usize) -> ColumnBatch {
+    let types = [DataType::Int, DataType::Int, DataType::Int, DataType::Str];
+    let mut b = ColumnBatch::new(&types);
+    let mut app = b.appender();
+    app.reserve(rows);
+    for i in 0..rows as i64 {
+        app.push_row(&[
+            Value::Int(i % 4),
+            Value::Int(i % 10),
+            Value::Int(i),
+            Value::str("payload"),
+        ])
+        .unwrap();
+    }
+    drop(app);
+    b
+}
+
+/// Median seconds per split of `rows` rows into [`SPLIT_PARTS`] batches.
+fn time_split(rows: usize) -> f64 {
+    let input = split_input(rows);
+    let batch_rows = rows.div_ceil(SPLIT_PARTS);
+    let mut samples = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let start = Instant::now();
+        for _ in 0..SPLIT_ITERS {
+            // Clone is O(columns) on shared buffers; split consumes it.
+            let parts = black_box(input.clone()).split(batch_rows);
+            debug_assert_eq!(parts.len(), SPLIT_PARTS);
+            black_box(parts);
+        }
+        samples.push(start.elapsed().as_secs_f64() / SPLIT_ITERS as f64);
+    }
+    median(samples)
+}
+
+fn main() {
+    figure_header(
+        "Ablation: row vs columnar HTAP-local Q3 + zero-copy split",
+        "Single thread, same database; row arm = per-row latches + tuple\n\
+         hash sets, columnar arm = snapshot scans with pushdown + bitmap\n\
+         joins over key slices. Split: 16 wire batches from 4k vs 64k rows.",
+    );
+
+    // abl_columnar's database scale: long enough to time stably on the
+    // CI host, small enough to load in seconds.
+    let cfg = TpccConfig {
+        warehouses: 4,
+        districts_per_warehouse: 10,
+        customers_per_district: 500,
+        items: 100,
+        orders_per_district: 1000,
+        open_order_fraction: 0.3,
+        lines_per_order: 1,
+        ..TpccConfig::default()
+    };
+    let db = TpccDb::load(cfg, 0x47A9).unwrap();
+    let spec = Q3Spec::default();
+    let input_rows = db.customer.row_count() + db.neworder.row_count() + db.orders.row_count();
+
+    // Warmup both arms (fault in tables, warm the allocator) and check
+    // agreement once — also on a bounded window, so the IntBetween
+    // pushdown path is exercised.
+    let oracle = exec_q3_local_rows(&db, &spec);
+    assert_eq!(exec_q3_local(&db, &spec), oracle, "columnar diverged");
+    let windowed = Q3Spec {
+        entry_date_max: 20091231,
+        ..Q3Spec::default()
+    };
+    assert_eq!(
+        exec_q3_local(&db, &windowed),
+        exec_q3_local_rows(&db, &windowed),
+        "columnar diverged on the bounded window"
+    );
+
+    let mut row_secs = Vec::new();
+    let mut col_secs = Vec::new();
+    let mut cold_secs = Vec::new();
+    for _ in 0..REPS {
+        let (rows, secs) = timed(|| exec_q3_local_rows(&db, &spec));
+        assert_eq!(rows, oracle);
+        row_secs.push(secs);
+        // Cold arm: every partition written since the last query, so all
+        // shared scans re-materialize.
+        dirty_q3_tables(&db);
+        let (rows, secs) = timed(|| exec_q3_local(&db, &spec));
+        assert_eq!(rows, oracle);
+        cold_secs.push(secs);
+        // Steady-state arm: the database is quiescent, the query rides
+        // the shared scans the cold run just materialized.
+        let (rows, secs) = timed(|| exec_q3_local(&db, &spec));
+        assert_eq!(rows, oracle);
+        col_secs.push(secs);
+    }
+    let row_tput = input_rows as f64 / median(row_secs);
+    let col_tput = input_rows as f64 / median(col_secs);
+    let cold_tput = input_rows as f64 / median(cold_secs);
+    let tput_ratio = col_tput / row_tput;
+    let cold_ratio = cold_tput / row_tput;
+
+    let split_4k = time_split(4096);
+    let split_64k = time_split(65536);
+    let split_ratio = split_64k / split_4k;
+
+    let widths = [16usize, 16, 14];
+    row(
+        &["arm".into(), "M rows/s".into(), "Q3 rows".into()],
+        &widths,
+    );
+    for (label, tput) in [
+        ("row", row_tput),
+        ("columnar", col_tput),
+        ("columnar cold", cold_tput),
+    ] {
+        row(
+            &[
+                label.into(),
+                format!("{:.2}", tput / 1e6),
+                format!("{oracle}"),
+            ],
+            &widths,
+        );
+    }
+    println!();
+    println!(
+        "columnar/row throughput: {tput_ratio:.2}x (cold {cold_ratio:.2}x)   \
+         split 4k: {:.2}us   split 64k: {:.2}us   64k/4k: {split_ratio:.2}x",
+        split_4k * 1e6,
+        split_64k * 1e6,
+    );
+    println!("(acceptance: steady-state >= 1.8x, split ratio ~flat <= 2.0)");
+
+    let pairs: Vec<(String, f64)> = vec![
+        ("htap_row_q3_mrows_s".into(), row_tput / 1e6),
+        ("htap_col_q3_mrows_s".into(), col_tput / 1e6),
+        ("htap_col_q3_cold_mrows_s".into(), cold_tput / 1e6),
+        ("ratio_htap_columnar_vs_row_q3".into(), tput_ratio),
+        ("ratio_htap_columnar_cold_vs_row_q3".into(), cold_ratio),
+        ("split_latency_us_4k_rows".into(), split_4k * 1e6),
+        ("split_latency_us_64k_rows".into(), split_64k * 1e6),
+        ("ratio_split_latency_64k_vs_4k_rows".into(), split_ratio),
+    ];
+    let out = bench_json_path("BENCH_HTAP_JSON", "BENCH_htap.json");
+    write_flat_json(&out, &pairs);
+    println!();
+    println!("wrote {}", out.display());
+}

@@ -12,9 +12,24 @@
 //! slices with selection vectors and materialize rows only at the final
 //! output (late materialization).
 //!
-//! The modeled wire size is computable in O(columns) from the vector
+//! ## Shared buffers and views (Arrow-style)
+//!
+//! Column buffers are **immutable and `Arc`-shared** once built: a
+//! [`Column`] is an `(offset, length)` *view* over shared typed buffers,
+//! so [`ColumnBatch::slice`], [`ColumnBatch::split`] and
+//! [`ColumnBatch::project`] are O(columns) metadata operations that never
+//! copy a value — a producer can split a partition's worth of columns
+//! into wire batches for free. Mutation (`push*`) is copy-on-write: it
+//! requires exclusive ownership of the full buffer and re-materializes
+//! the visible window first when the column is shared or truncated
+//! (scans append through a [`BatchAppender`], which pays the exclusivity
+//! check once per scan instead of once per value).
+//!
+//! The modeled wire size is computable in O(columns) from the view
 //! lengths — no per-row accounting — which is what lets producers maintain
 //! batch sizes incrementally instead of re-walking every tuple.
+
+use std::sync::Arc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -28,52 +43,149 @@ const TAG_INT: u8 = 1;
 const TAG_FLOAT: u8 = 2;
 const TAG_STR: u8 = 3;
 
+/// Wire tags for the [`ColPredicate`] codec.
+const PRED_INT_GE: u8 = 1;
+const PRED_STR_PREFIX: u8 = 2;
+const PRED_INT_BETWEEN: u8 = 3;
+const PRED_AND: u8 = 4;
+
 /// Hard cap on decoded batch geometry, so a corrupt header cannot ask the
 /// decoder to reserve gigabytes.
 const MAX_DECODE_ROWS: usize = 1 << 24;
 
-/// Typed value storage of one column. Null positions hold a placeholder
-/// (`0` / `0.0` / empty string); the owning [`Column`]'s bitmap is
-/// authoritative.
-#[derive(Debug, Clone, PartialEq)]
-pub enum ColumnData {
+/// Maximum predicate nesting the decoder accepts (a corrupt `And` chain
+/// must not recurse unboundedly).
+const MAX_PRED_DEPTH: usize = 8;
+
+/// Sets bit `row` in a little-endian byte bitmap, growing it as needed.
+fn bit_set(bits: &mut Vec<u8>, row: usize) {
+    if bits.len() <= row / 8 {
+        bits.resize(row / 8 + 1, 0);
+    }
+    bits[row / 8] |= 1 << (row % 8);
+}
+
+/// Typed value storage of one column: immutable buffers shared between
+/// every view cloned from the same batch. Null positions hold a
+/// placeholder (`0` / `0.0` / empty string); the owning [`Column`]'s
+/// bitmap is authoritative.
+#[derive(Debug, Clone)]
+enum ColumnData {
     /// 64-bit integers.
-    Int(Vec<i64>),
+    Int(Arc<Vec<i64>>),
     /// 64-bit floats.
-    Float(Vec<f64>),
+    Float(Arc<Vec<f64>>),
     /// Strings in a shared arena: value `i` is
-    /// `arena[offsets[i] .. offsets[i + 1]]` (`offsets.len() == rows + 1`).
+    /// `arena[offsets[i] .. offsets[i + 1]]` (`offsets.len() == rows + 1`
+    /// over the *base* buffer; views window into it).
     Str {
-        /// Row boundaries into the arena, monotone, starting at 0.
-        offsets: Vec<u32>,
+        /// Row boundaries into the arena, monotone. `offsets[0]` is 0 for
+        /// owned columns but non-zero for views into a larger buffer.
+        offsets: Arc<Vec<u32>>,
         /// Concatenated string payloads.
-        arena: String,
+        arena: Arc<String>,
     },
 }
 
-/// One column: typed values plus a null bitmap.
-#[derive(Debug, Clone, PartialEq)]
+/// One column: a `(offset, length)` view over shared typed buffers plus a
+/// (shared) null bitmap addressed in *base* row coordinates.
+///
+/// Equality is **logical**: two columns are equal when they expose the
+/// same typed values and null positions, regardless of how their views
+/// window the underlying buffers.
+#[derive(Debug, Clone)]
 pub struct Column {
     data: ColumnData,
-    /// Bit `i` set = row `i` is NULL. Empty while the column has no nulls
-    /// (the common case), sized to `ceil(rows / 8)` after the first null.
-    nulls: Vec<u8>,
+    /// Bit `off + i` set = visible row `i` is NULL. Empty while the base
+    /// buffer has no nulls (the common case). Shared by views; a view of
+    /// a null-free range of a null-carrying buffer still reports
+    /// [`Column::has_nulls`] conservatively (the per-row
+    /// [`Column::is_null`] stays exact).
+    nulls: Arc<Vec<u8>>,
+    /// First visible row in the shared buffers.
+    off: usize,
+    /// Number of visible rows.
+    len: usize,
+}
+
+/// Exclusive append handles onto one column's buffers, produced by
+/// [`Column::col_mut`] after copy-on-write; lets hot loops push values
+/// without re-checking `Arc` uniqueness per value.
+enum ColDataMut<'a> {
+    Int(&'a mut Vec<i64>),
+    Float(&'a mut Vec<f64>),
+    Str {
+        offsets: &'a mut Vec<u32>,
+        arena: &'a mut String,
+    },
+}
+
+/// Mutable append session over one column (see [`BatchAppender`]).
+///
+/// The column's `len` is deliberately *not* updated per push — the
+/// appender fixes every column's length once on drop, which removes a
+/// handful of memory read-modify-writes from each row of a hot scan.
+struct ColMut<'a> {
+    data: ColDataMut<'a>,
+    nulls: &'a mut Vec<u8>,
+    len: &'a mut usize,
+}
+
+impl ColMut<'_> {
+    /// Appends `v`, type-checked against the column type; NULL is allowed
+    /// in any column. `row` is the value's row index (for the null
+    /// bitmap).
+    fn push(&mut self, v: &Value, row: usize) -> DbResult<()> {
+        match (&mut self.data, v) {
+            (ColDataMut::Int(col), Value::Int(i)) => col.push(*i),
+            (ColDataMut::Float(col), Value::Float(f)) => col.push(*f),
+            (ColDataMut::Str { offsets, arena }, Value::Str(s)) => {
+                arena.push_str(s);
+                offsets.push(arena.len() as u32);
+            }
+            (_, Value::Null) => self.push_null(row),
+            _ => return Err(DbError::TypeMismatch("value type vs column type")),
+        }
+        Ok(())
+    }
+
+    /// Appends a NULL at row index `row` (placeholder value + bitmap bit).
+    fn push_null(&mut self, row: usize) {
+        match &mut self.data {
+            ColDataMut::Int(col) => col.push(0),
+            ColDataMut::Float(col) => col.push(0.0),
+            ColDataMut::Str { offsets, arena } => offsets.push(arena.len() as u32),
+        }
+        bit_set(self.nulls, row);
+    }
+
+    /// Pre-sizes the value buffers for `n` more rows (arena growth stays
+    /// amortized — string payload sizes are unknown upfront).
+    fn reserve(&mut self, n: usize) {
+        match &mut self.data {
+            ColDataMut::Int(col) => col.reserve(n),
+            ColDataMut::Float(col) => col.reserve(n),
+            ColDataMut::Str { offsets, .. } => offsets.reserve(n),
+        }
+    }
 }
 
 impl Column {
     /// An empty column of the given type.
     pub fn new(ty: DataType) -> Self {
         let data = match ty {
-            DataType::Int => ColumnData::Int(Vec::new()),
-            DataType::Float => ColumnData::Float(Vec::new()),
+            DataType::Int => ColumnData::Int(Arc::new(Vec::new())),
+            DataType::Float => ColumnData::Float(Arc::new(Vec::new())),
             DataType::Str => ColumnData::Str {
-                offsets: vec![0],
-                arena: String::new(),
+                offsets: Arc::new(vec![0]),
+                arena: Arc::new(String::new()),
             },
         };
         Self {
             data,
-            nulls: Vec::new(),
+            nulls: Arc::new(Vec::new()),
+            off: 0,
+            len: 0,
         }
     }
 
@@ -86,8 +198,18 @@ impl Column {
         }
     }
 
-    /// Number of rows.
+    /// Number of visible rows.
     pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Rows in the shared base buffer (a view may expose fewer).
+    fn base_rows(&self) -> usize {
         match &self.data {
             ColumnData::Int(v) => v.len(),
             ColumnData::Float(v) => v.len(),
@@ -95,31 +217,27 @@ impl Column {
         }
     }
 
-    /// True if the column holds no rows.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// The raw values (`None` if this is not an Int column). Null rows
-    /// hold `0`; consult [`Column::is_null`].
+    /// The raw visible values (`None` if this is not an Int column). Null
+    /// rows hold `0`; consult [`Column::is_null`].
     #[inline]
     pub fn ints(&self) -> Option<&[i64]> {
         match &self.data {
-            ColumnData::Int(v) => Some(v),
+            ColumnData::Int(v) => Some(&v[self.off..self.off + self.len]),
             _ => None,
         }
     }
 
-    /// The raw values (`None` if this is not a Float column).
+    /// The raw visible values (`None` if this is not a Float column).
     #[inline]
     pub fn floats(&self) -> Option<&[f64]> {
         match &self.data {
-            ColumnData::Float(v) => Some(v),
+            ColumnData::Float(v) => Some(&v[self.off..self.off + self.len]),
             _ => None,
         }
     }
 
-    /// The string at `row` (`None` for non-Str columns; empty for nulls).
+    /// The string at visible row `row` (`None` for non-Str columns; empty
+    /// for nulls).
     ///
     /// # Panics
     /// Panics if `row` is out of range.
@@ -127,26 +245,36 @@ impl Column {
     pub fn str_at(&self, row: usize) -> Option<&str> {
         match &self.data {
             ColumnData::Str { offsets, arena } => {
-                Some(&arena[offsets[row] as usize..offsets[row + 1] as usize])
+                let i = self.off + row;
+                assert!(row < self.len, "str_at({row}) of {} rows", self.len);
+                Some(&arena[offsets[i] as usize..offsets[i + 1] as usize])
             }
             _ => None,
         }
     }
 
-    /// True if the value at `row` is NULL.
+    /// True if the value at visible row `row` is NULL.
     #[inline]
     pub fn is_null(&self, row: usize) -> bool {
+        let i = self.off + row;
         self.nulls
-            .get(row / 8)
-            .is_some_and(|b| b & (1 << (row % 8)) != 0)
+            .get(i / 8)
+            .is_some_and(|b| b & (1 << (i % 8)) != 0)
     }
 
-    /// True if the column holds any NULLs.
+    /// True if the column *may* hold NULLs: exact for owned columns,
+    /// conservative for views (the base buffer has nulls, possibly
+    /// outside the view's window). [`Column::is_null`] is always exact.
     pub fn has_nulls(&self) -> bool {
         !self.nulls.is_empty()
     }
 
-    /// Materializes the value at `row`.
+    /// True if any *visible* row is NULL (O(rows) for views).
+    fn has_nulls_in_view(&self) -> bool {
+        !self.nulls.is_empty() && (0..self.len).any(|i| self.is_null(i))
+    }
+
+    /// Materializes the value at visible row `row`.
     ///
     /// # Panics
     /// Panics if `row` is out of range.
@@ -155,86 +283,139 @@ impl Column {
             return Value::Null;
         }
         match &self.data {
-            ColumnData::Int(v) => Value::Int(v[row]),
-            ColumnData::Float(v) => Value::Float(v[row]),
+            ColumnData::Int(_) => Value::Int(self.ints().expect("int column")[row]),
+            ColumnData::Float(_) => Value::Float(self.floats().expect("float column")[row]),
             ColumnData::Str { .. } => Value::str(self.str_at(row).expect("str column")),
+        }
+    }
+
+    /// Re-materializes the visible window into exclusively-owned buffers
+    /// unless this column already *is* the whole, un-shared buffer. After
+    /// this, `off == 0`, `len == base_rows()`, and every `Arc` is unique.
+    fn make_exclusive(&mut self) {
+        let full = self.off == 0 && self.len == self.base_rows();
+        if !(full && Arc::get_mut(&mut self.nulls).is_some()) {
+            let mut fresh = Vec::new();
+            if !self.nulls.is_empty() {
+                for i in 0..self.len {
+                    if self.is_null(i) {
+                        bit_set(&mut fresh, i);
+                    }
+                }
+            }
+            self.nulls = Arc::new(fresh);
+        }
+        match &mut self.data {
+            ColumnData::Int(v) => {
+                if !(full && Arc::get_mut(v).is_some()) {
+                    *v = Arc::new(v[self.off..self.off + self.len].to_vec());
+                }
+            }
+            ColumnData::Float(v) => {
+                if !(full && Arc::get_mut(v).is_some()) {
+                    *v = Arc::new(v[self.off..self.off + self.len].to_vec());
+                }
+            }
+            ColumnData::Str { offsets, arena } => {
+                if !(full && Arc::get_mut(offsets).is_some() && Arc::get_mut(arena).is_some()) {
+                    let base = offsets[self.off];
+                    let end = offsets[self.off + self.len];
+                    let rebased: Vec<u32> = offsets[self.off..=self.off + self.len]
+                        .iter()
+                        .map(|&o| o - base)
+                        .collect();
+                    *arena = Arc::new(arena[base as usize..end as usize].to_string());
+                    *offsets = Arc::new(rebased);
+                }
+            }
+        }
+        self.off = 0;
+    }
+
+    /// An exclusive append session (copy-on-write happens here, once).
+    fn col_mut(&mut self) -> ColMut<'_> {
+        self.make_exclusive();
+        let Column {
+            data, nulls, len, ..
+        } = self;
+        let data = match data {
+            ColumnData::Int(v) => ColDataMut::Int(Arc::get_mut(v).expect("exclusive")),
+            ColumnData::Float(v) => ColDataMut::Float(Arc::get_mut(v).expect("exclusive")),
+            ColumnData::Str { offsets, arena } => ColDataMut::Str {
+                offsets: Arc::get_mut(offsets).expect("exclusive"),
+                arena: Arc::get_mut(arena).expect("exclusive"),
+            },
+        };
+        ColMut {
+            data,
+            nulls: Arc::get_mut(nulls).expect("exclusive"),
+            len,
         }
     }
 
     /// Appends `v`, type-checked against the column type; NULL is allowed
     /// in any column (null-ability is the schema's concern, checked at
-    /// insert — streams just carry what storage holds).
+    /// insert — streams just carry what storage holds). Copy-on-write if
+    /// the column is a shared view; use a [`BatchAppender`] to amortize
+    /// that check over a whole scan.
     pub fn push(&mut self, v: &Value) -> DbResult<()> {
-        match (&mut self.data, v) {
-            (ColumnData::Int(col), Value::Int(i)) => col.push(*i),
-            (ColumnData::Float(col), Value::Float(f)) => col.push(*f),
-            (ColumnData::Str { offsets, arena }, Value::Str(s)) => {
-                arena.push_str(s);
-                offsets.push(arena.len() as u32);
-            }
-            (_, Value::Null) => {
-                self.push_null();
-                return Ok(());
-            }
-            _ => return Err(DbError::TypeMismatch("value type vs column type")),
-        }
+        let row = self.len;
+        let mut m = self.col_mut();
+        m.push(v, row)?;
+        *m.len = row + 1;
         Ok(())
     }
 
     /// Appends a NULL (placeholder value + bitmap bit).
     pub fn push_null(&mut self) {
-        let row = self.len();
-        match &mut self.data {
-            ColumnData::Int(col) => col.push(0),
-            ColumnData::Float(col) => col.push(0.0),
-            ColumnData::Str { offsets, arena } => offsets.push(arena.len() as u32),
-        }
-        self.set_null_bit(row);
-    }
-
-    fn set_null_bit(&mut self, row: usize) {
-        if self.nulls.len() <= row / 8 {
-            self.nulls.resize(row / 8 + 1, 0);
-        }
-        self.nulls[row / 8] |= 1 << (row % 8);
+        let row = self.len;
+        let mut m = self.col_mut();
+        m.push_null(row);
+        *m.len = row + 1;
     }
 
     /// Modeled wire size of this column's payload: one tag + null flag,
-    /// the bitmap when present, and the packed values. O(1).
+    /// the bitmap when (possibly) present, and the packed values. O(1) —
+    /// a view of a null-free window over a null-carrying buffer charges
+    /// for a bitmap it would not strictly need to ship.
     pub fn wire_size(&self) -> usize {
-        let rows = self.len();
         let bitmap = if self.nulls.is_empty() {
             0
         } else {
-            rows.div_ceil(8)
+            self.len.div_ceil(8)
         };
         let payload = match &self.data {
-            ColumnData::Int(_) | ColumnData::Float(_) => 8 * rows,
-            ColumnData::Str { offsets, arena } => 4 * offsets.len() + arena.len(),
+            ColumnData::Int(_) | ColumnData::Float(_) => 8 * self.len,
+            ColumnData::Str { offsets, .. } => {
+                let span = (offsets[self.off + self.len] - offsets[self.off]) as usize;
+                4 * (self.len + 1) + span
+            }
         };
         2 + bitmap + payload
     }
 
-    /// Copies the rows listed in `sel` (in order) into a new column.
+    /// Copies the visible rows listed in `sel` (in order) into a new,
+    /// owned column — selection is inherently a gather, not a view.
     ///
     /// # Panics
     /// Panics if a selection index is out of range.
     pub fn take(&self, sel: &[u32]) -> Column {
-        let mut out = Column::new(self.data_type());
-        match &self.data {
-            ColumnData::Int(v) => {
-                let ColumnData::Int(dst) = &mut out.data else {
-                    unreachable!()
-                };
-                dst.reserve(sel.len());
-                dst.extend(sel.iter().map(|&i| v[i as usize]));
+        let mut nulls = Vec::new();
+        if self.has_nulls() {
+            for (row, &i) in sel.iter().enumerate() {
+                if self.is_null(i as usize) {
+                    bit_set(&mut nulls, row);
+                }
             }
-            ColumnData::Float(v) => {
-                let ColumnData::Float(dst) = &mut out.data else {
-                    unreachable!()
-                };
-                dst.reserve(sel.len());
-                dst.extend(sel.iter().map(|&i| v[i as usize]));
+        }
+        let data = match &self.data {
+            ColumnData::Int(_) => {
+                let v = self.ints().expect("int column");
+                ColumnData::Int(Arc::new(sel.iter().map(|&i| v[i as usize]).collect()))
+            }
+            ColumnData::Float(_) => {
+                let v = self.floats().expect("float column");
+                ColumnData::Float(Arc::new(sel.iter().map(|&i| v[i as usize]).collect()))
             }
             ColumnData::Str { .. } => {
                 let mut dst_offsets = Vec::with_capacity(sel.len() + 1);
@@ -244,44 +425,65 @@ impl Column {
                     dst_arena.push_str(self.str_at(i as usize).expect("str column"));
                     dst_offsets.push(dst_arena.len() as u32);
                 }
-                out.data = ColumnData::Str {
-                    offsets: dst_offsets,
-                    arena: dst_arena,
-                };
-            }
-        }
-        if self.has_nulls() {
-            for (row, &i) in sel.iter().enumerate() {
-                if self.is_null(i as usize) {
-                    out.set_null_bit(row);
+                ColumnData::Str {
+                    offsets: Arc::new(dst_offsets),
+                    arena: Arc::new(dst_arena),
                 }
             }
+        };
+        Column {
+            data,
+            nulls: Arc::new(nulls),
+            off: 0,
+            len: sel.len(),
         }
-        out
     }
 
-    /// Copies rows `lo..hi` into a new column.
+    /// A zero-copy view of visible rows `lo..hi`: shares the underlying
+    /// buffers, adjusting only the window. O(1).
     fn slice(&self, lo: usize, hi: usize) -> Column {
-        let mut out = Column::new(self.data_type());
+        Column {
+            data: self.data.clone(),
+            nulls: self.nulls.clone(),
+            off: self.off + lo,
+            len: hi - lo,
+        }
+    }
+
+    /// True if `self` and `other` are views over the very same base
+    /// buffer (zero-copy sharing witness; test/diagnostic use).
+    pub fn shares_buffer_with(&self, other: &Column) -> bool {
+        match (&self.data, &other.data) {
+            (ColumnData::Int(a), ColumnData::Int(b)) => Arc::ptr_eq(a, b),
+            (ColumnData::Float(a), ColumnData::Float(b)) => Arc::ptr_eq(a, b),
+            (ColumnData::Str { arena: a, .. }, ColumnData::Str { arena: b, .. }) => {
+                Arc::ptr_eq(a, b)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl PartialEq for Column {
+    /// Logical equality: same type, same visible values, same null
+    /// positions — view windows and buffer sharing are representation.
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len || self.data_type() != other.data_type() {
+            return false;
+        }
+        let nulls_agree = if self.nulls.is_empty() && other.nulls.is_empty() {
+            true
+        } else {
+            (0..self.len).all(|i| self.is_null(i) == other.is_null(i))
+        };
+        if !nulls_agree {
+            return false;
+        }
         match &self.data {
-            ColumnData::Int(v) => out.data = ColumnData::Int(v[lo..hi].to_vec()),
-            ColumnData::Float(v) => out.data = ColumnData::Float(v[lo..hi].to_vec()),
-            ColumnData::Str { offsets, arena } => {
-                let base = offsets[lo];
-                out.data = ColumnData::Str {
-                    offsets: offsets[lo..=hi].iter().map(|&o| o - base).collect(),
-                    arena: arena[base as usize..offsets[hi] as usize].to_string(),
-                };
-            }
+            ColumnData::Int(_) => self.ints() == other.ints(),
+            ColumnData::Float(_) => self.floats() == other.floats(),
+            ColumnData::Str { .. } => (0..self.len).all(|i| self.str_at(i) == other.str_at(i)),
         }
-        if self.has_nulls() {
-            for row in lo..hi {
-                if self.is_null(row) {
-                    out.set_null_bit(row - lo);
-                }
-            }
-        }
-        out
     }
 }
 
@@ -289,8 +491,11 @@ impl Column {
 /// per row while the scan still holds the row) or evaluated vectorized
 /// over a [`ColumnBatch`] into a selection vector. The enum is the
 /// deliberately small pushdown language: what a NIC flow / storage AC can
-/// apply without running user code.
-#[derive(Debug, Clone, PartialEq)]
+/// apply without running user code — and it has a wire codec
+/// ([`ColPredicate::encode_into`]) so a flow spec can be shipped to
+/// wherever the scan runs. `Eq + Hash` let predicates key caches (the
+/// shared-scan cache in storage keys on `(partition, proj, pred)`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum ColPredicate {
     /// `col >= min` over Int values; NULLs and non-Int values fail.
     IntGe {
@@ -299,6 +504,16 @@ pub enum ColPredicate {
         /// Inclusive lower bound.
         min: i64,
     },
+    /// `min <= col <= max` over Int values (both bounds inclusive);
+    /// NULLs and non-Int values fail.
+    IntBetween {
+        /// Column position (pre-projection).
+        col: usize,
+        /// Inclusive lower bound.
+        min: i64,
+        /// Inclusive upper bound.
+        max: i64,
+    },
     /// Str value at `col` starts with `prefix`; NULLs and non-Str fail.
     StrPrefix {
         /// Column position (pre-projection).
@@ -306,6 +521,8 @@ pub enum ColPredicate {
         /// Required prefix.
         prefix: String,
     },
+    /// Conjunction: every child must pass. `And(vec![])` passes all rows.
+    And(Vec<ColPredicate>),
 }
 
 impl ColPredicate {
@@ -315,9 +532,13 @@ impl ColPredicate {
             ColPredicate::IntGe { col, min } => {
                 matches!(values.get(*col), Some(Value::Int(v)) if v >= min)
             }
+            ColPredicate::IntBetween { col, min, max } => {
+                matches!(values.get(*col), Some(Value::Int(v)) if v >= min && v <= max)
+            }
             ColPredicate::StrPrefix { col, prefix } => {
                 matches!(values.get(*col), Some(Value::Str(s)) if s.starts_with(prefix.as_str()))
             }
+            ColPredicate::And(ps) => ps.iter().all(|p| p.matches(values)),
         }
     }
 
@@ -326,13 +547,39 @@ impl ColPredicate {
         self.matches(t.values())
     }
 
+    /// Evaluation of one row of a column batch (used to refine `And`
+    /// selections; missing or mistyped columns fail, like
+    /// [`ColPredicate::matches`]).
+    pub fn matches_row(&self, batch: &ColumnBatch, row: usize) -> bool {
+        match self {
+            ColPredicate::IntGe { col, min } => batch
+                .columns()
+                .get(*col)
+                .is_some_and(|c| !c.is_null(row) && c.ints().is_some_and(|v| v[row] >= *min)),
+            ColPredicate::IntBetween { col, min, max } => {
+                batch.columns().get(*col).is_some_and(|c| {
+                    !c.is_null(row) && c.ints().is_some_and(|v| v[row] >= *min && v[row] <= *max)
+                })
+            }
+            ColPredicate::StrPrefix { col, prefix } => batch.columns().get(*col).is_some_and(|c| {
+                !c.is_null(row)
+                    && c.str_at(row)
+                        .is_some_and(|s| s.starts_with(prefix.as_str()))
+            }),
+            ColPredicate::And(ps) => ps.iter().all(|p| p.matches_row(batch, row)),
+        }
+    }
+
     /// Vectorized evaluation: appends the indices of passing rows of
     /// `batch` to `sel`. The predicate's `col` addresses `batch`'s own
     /// column order here (apply [`ColPredicate::at`] after projection).
+    /// Missing or mistyped columns select nothing.
     pub fn select(&self, batch: &ColumnBatch, sel: &mut Vec<u32>) {
         match self {
             ColPredicate::IntGe { col, min } => {
-                let column = batch.column(*col);
+                let Some(column) = batch.columns().get(*col) else {
+                    return;
+                };
                 let Some(vals) = column.ints() else { return };
                 if column.has_nulls() {
                     sel.extend((0..vals.len()).filter_map(|i| {
@@ -346,8 +593,28 @@ impl ColPredicate {
                     );
                 }
             }
+            ColPredicate::IntBetween { col, min, max } => {
+                let Some(column) = batch.columns().get(*col) else {
+                    return;
+                };
+                let Some(vals) = column.ints() else { return };
+                if column.has_nulls() {
+                    sel.extend((0..vals.len()).filter_map(|i| {
+                        (vals[i] >= *min && vals[i] <= *max && !column.is_null(i))
+                            .then_some(i as u32)
+                    }));
+                } else {
+                    sel.extend(
+                        vals.iter()
+                            .enumerate()
+                            .filter_map(|(i, v)| (v >= min && v <= max).then_some(i as u32)),
+                    );
+                }
+            }
             ColPredicate::StrPrefix { col, prefix } => {
-                let column = batch.column(*col);
+                let Some(column) = batch.columns().get(*col) else {
+                    return;
+                };
                 if !matches!(column.data_type(), DataType::Str) {
                     return;
                 }
@@ -361,28 +628,269 @@ impl ColPredicate {
                     }
                 }
             }
+            ColPredicate::And(ps) => {
+                let Some((first, rest)) = ps.split_first() else {
+                    // Empty conjunction: every row passes.
+                    sel.extend((0..batch.rows()).map(|i| i as u32));
+                    return;
+                };
+                let start = sel.len();
+                first.select(batch, sel);
+                if rest.is_empty() {
+                    return;
+                }
+                // Refine the first child's selection in place: the later
+                // children only look at already-selected rows.
+                let mut w = start;
+                for r in start..sel.len() {
+                    let row = sel[r];
+                    if rest.iter().all(|p| p.matches_row(batch, row as usize)) {
+                        sel[w] = row;
+                        w += 1;
+                    }
+                }
+                sel.truncate(w);
+            }
         }
     }
 
     /// The same predicate re-addressed to column position `col` (used
-    /// when a projection reorders columns between scan and flow).
+    /// when a projection reorders columns between scan and flow). For an
+    /// `And`, every child is re-addressed — conjunctions shipped across a
+    /// projection boundary must therefore be single-column.
     pub fn at(&self, col: usize) -> ColPredicate {
         match self {
             ColPredicate::IntGe { min, .. } => ColPredicate::IntGe { col, min: *min },
+            ColPredicate::IntBetween { min, max, .. } => ColPredicate::IntBetween {
+                col,
+                min: *min,
+                max: *max,
+            },
             ColPredicate::StrPrefix { prefix, .. } => ColPredicate::StrPrefix {
                 col,
                 prefix: prefix.clone(),
             },
+            ColPredicate::And(ps) => ColPredicate::And(ps.iter().map(|p| p.at(col)).collect()),
         }
+    }
+
+    /// Nesting depth of the predicate tree: 0 for leaves, one more than
+    /// the deepest child for `And` (an empty `And` counts as depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            ColPredicate::And(ps) => 1 + ps.iter().map(ColPredicate::depth).max().unwrap_or(0),
+            _ => 0,
+        }
+    }
+
+    /// Encodes the predicate in its wire format: one tag byte per node,
+    /// column positions as u32, bounds as i64, prefixes as length-framed
+    /// UTF-8, `And` as a u16 child count followed by the children.
+    ///
+    /// Trees nested deeper than the codec's depth cap are not wire-
+    /// encodable — [`ColPredicate::decode_from`] would reject the bytes —
+    /// and are a construction bug (planners emit flat conjunctions), so
+    /// this is debug-asserted: check [`ColPredicate::depth`] first if a
+    /// predicate comes from an untrusted composer.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        debug_assert!(
+            self.depth() <= MAX_PRED_DEPTH,
+            "predicate tree too deep to roundtrip the wire codec"
+        );
+        self.encode_node(buf);
+    }
+
+    fn encode_node(&self, buf: &mut BytesMut) {
+        match self {
+            ColPredicate::IntGe { col, min } => {
+                buf.put_u8(PRED_INT_GE);
+                buf.put_u32(*col as u32);
+                buf.put_i64(*min);
+            }
+            ColPredicate::IntBetween { col, min, max } => {
+                buf.put_u8(PRED_INT_BETWEEN);
+                buf.put_u32(*col as u32);
+                buf.put_i64(*min);
+                buf.put_i64(*max);
+            }
+            ColPredicate::StrPrefix { col, prefix } => {
+                debug_assert!(prefix.len() <= u16::MAX as usize);
+                buf.put_u8(PRED_STR_PREFIX);
+                buf.put_u32(*col as u32);
+                buf.put_u16(prefix.len() as u16);
+                buf.put_slice(prefix.as_bytes());
+            }
+            ColPredicate::And(ps) => {
+                debug_assert!(ps.len() <= u16::MAX as usize);
+                buf.put_u8(PRED_AND);
+                buf.put_u16(ps.len() as u16);
+                for p in ps {
+                    p.encode_node(buf);
+                }
+            }
+        }
+    }
+
+    /// Encodes into a fresh buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Decodes one predicate, advancing `buf` past the consumed bytes.
+    /// Rejects truncation, unknown tags, non-UTF-8 prefixes, and
+    /// conjunctions nested deeper than the codec's depth cap.
+    pub fn decode_from(buf: &mut impl Buf) -> DbResult<ColPredicate> {
+        Self::decode_depth(buf, 0)
+    }
+
+    fn decode_depth(buf: &mut impl Buf, depth: usize) -> DbResult<ColPredicate> {
+        if depth > MAX_PRED_DEPTH {
+            return Err(DbError::Codec("predicate nesting too deep"));
+        }
+        if buf.remaining() < 1 {
+            return Err(DbError::Codec("predicate tag truncated"));
+        }
+        match buf.get_u8() {
+            PRED_INT_GE => {
+                if buf.remaining() < 4 + 8 {
+                    return Err(DbError::Codec("int-ge predicate truncated"));
+                }
+                let col = buf.get_u32() as usize;
+                let min = buf.get_i64();
+                Ok(ColPredicate::IntGe { col, min })
+            }
+            PRED_INT_BETWEEN => {
+                if buf.remaining() < 4 + 16 {
+                    return Err(DbError::Codec("int-between predicate truncated"));
+                }
+                let col = buf.get_u32() as usize;
+                let min = buf.get_i64();
+                let max = buf.get_i64();
+                Ok(ColPredicate::IntBetween { col, min, max })
+            }
+            PRED_STR_PREFIX => {
+                if buf.remaining() < 4 + 2 {
+                    return Err(DbError::Codec("str-prefix predicate truncated"));
+                }
+                let col = buf.get_u32() as usize;
+                let len = buf.get_u16() as usize;
+                if buf.remaining() < len {
+                    return Err(DbError::Codec("str-prefix payload truncated"));
+                }
+                let mut bytes = vec![0u8; len];
+                buf.copy_to_slice(&mut bytes);
+                let prefix =
+                    String::from_utf8(bytes).map_err(|_| DbError::Codec("str-prefix not utf-8"))?;
+                Ok(ColPredicate::StrPrefix { col, prefix })
+            }
+            PRED_AND => {
+                if buf.remaining() < 2 {
+                    return Err(DbError::Codec("and predicate truncated"));
+                }
+                let n = buf.get_u16() as usize;
+                let mut ps = Vec::with_capacity(n.min(64));
+                for _ in 0..n {
+                    ps.push(Self::decode_depth(buf, depth + 1)?);
+                }
+                Ok(ColPredicate::And(ps))
+            }
+            _ => Err(DbError::Codec("unknown predicate tag")),
+        }
+    }
+
+    /// Decodes from a standalone buffer (must be fully consumed).
+    pub fn decode(bytes: &Bytes) -> DbResult<ColPredicate> {
+        let mut buf = bytes.clone();
+        let p = Self::decode_from(&mut buf)?;
+        if buf.remaining() != 0 {
+            return Err(DbError::Codec("trailing bytes after predicate"));
+        }
+        Ok(p)
     }
 }
 
 /// A column-organized batch of rows — the vectorized counterpart of a
 /// tuple batch. All columns always hold the same number of rows.
+///
+/// Cloning, [`ColumnBatch::slice`], [`ColumnBatch::split`] and
+/// [`ColumnBatch::project`] are zero-copy (shared buffers + view
+/// windows); equality is logical (see [`Column`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColumnBatch {
     columns: Vec<Column>,
     rows: usize,
+}
+
+/// An exclusive append session over a whole [`ColumnBatch`]: the
+/// copy-on-write exclusivity check runs once at construction, and row /
+/// column counters are written back once on drop — so hot scan loops
+/// push row after row at plain `Vec::push` cost.
+pub struct BatchAppender<'a> {
+    cols: Vec<ColMut<'a>>,
+    rows: &'a mut usize,
+    /// Rows the batch held when the session began.
+    start: usize,
+    /// Complete rows appended by this session.
+    added: usize,
+}
+
+impl BatchAppender<'_> {
+    /// Appends one row given in the batch's column order. On `Err` the
+    /// batch is left with ragged columns and must be discarded (see
+    /// [`ColumnBatch::push_row`]).
+    pub fn push_row(&mut self, values: &[Value]) -> DbResult<()> {
+        if values.len() != self.cols.len() {
+            return Err(DbError::SchemaMismatch("row arity vs batch arity"));
+        }
+        let row = self.start + self.added;
+        for (col, v) in self.cols.iter_mut().zip(values) {
+            col.push(v, row)?;
+        }
+        self.added += 1;
+        Ok(())
+    }
+
+    /// Appends the `proj` positions of a full-width row — the projection
+    /// pushdown entry point used by scans: only the projected values are
+    /// ever copied. On `Err` the batch must be discarded.
+    pub fn push_projected(&mut self, values: &[Value], proj: &[usize]) -> DbResult<()> {
+        if proj.len() != self.cols.len() {
+            return Err(DbError::SchemaMismatch("projection arity vs batch arity"));
+        }
+        let row = self.start + self.added;
+        for (col, &i) in self.cols.iter_mut().zip(proj) {
+            let v = values
+                .get(i)
+                .ok_or(DbError::SchemaMismatch("projection index out of range"))?;
+            col.push(v, row)?;
+        }
+        self.added += 1;
+        Ok(())
+    }
+
+    /// Pre-sizes every column's value buffer for `n` more rows.
+    pub fn reserve(&mut self, n: usize) {
+        for col in &mut self.cols {
+            col.reserve(n);
+        }
+    }
+}
+
+impl Drop for BatchAppender<'_> {
+    fn drop(&mut self) {
+        // Publish the session's row count to every column and the batch.
+        // Values of a row abandoned mid-append (type error) sit beyond the
+        // published length and are re-materialized away by the next
+        // copy-on-write — the batch is documented as discard-on-error
+        // regardless.
+        let rows = self.start + self.added;
+        for col in &mut self.cols {
+            *col.len = rows;
+        }
+        *self.rows = rows;
+    }
 }
 
 impl ColumnBatch {
@@ -447,20 +955,26 @@ impl ColumnBatch {
         self.columns.iter().map(Column::data_type).collect()
     }
 
+    /// An exclusive append session (one copy-on-write check for the whole
+    /// batch; scans hold this across every row they materialize).
+    pub fn appender(&mut self) -> BatchAppender<'_> {
+        let Self { columns, rows } = self;
+        let start = *rows;
+        BatchAppender {
+            cols: columns.iter_mut().map(Column::col_mut).collect(),
+            rows,
+            start,
+            added: 0,
+        }
+    }
+
     /// Appends one row given in this batch's column order.
     ///
     /// On `Err` the batch is left with ragged columns and must be
     /// discarded — rows reaching this path were schema-checked at insert,
     /// so a mismatch means the batch was typed for another table.
     pub fn push_row(&mut self, values: &[Value]) -> DbResult<()> {
-        if values.len() != self.columns.len() {
-            return Err(DbError::SchemaMismatch("row arity vs batch arity"));
-        }
-        for (col, v) in self.columns.iter_mut().zip(values) {
-            col.push(v)?;
-        }
-        self.rows += 1;
-        Ok(())
+        self.appender().push_row(values)
     }
 
     /// Appends the `proj` positions of a full-width row — the projection
@@ -468,17 +982,7 @@ impl ColumnBatch {
     /// ever copied. On `Err` the batch must be discarded (see
     /// [`ColumnBatch::push_row`]).
     pub fn push_projected(&mut self, values: &[Value], proj: &[usize]) -> DbResult<()> {
-        if proj.len() != self.columns.len() {
-            return Err(DbError::SchemaMismatch("projection arity vs batch arity"));
-        }
-        for (col, &i) in self.columns.iter_mut().zip(proj) {
-            let v = values
-                .get(i)
-                .ok_or(DbError::SchemaMismatch("projection index out of range"))?;
-            col.push(v)?;
-        }
-        self.rows += 1;
-        Ok(())
+        self.appender().push_projected(values, proj)
     }
 
     /// Materializes row `i` as a tuple (late materialization boundary).
@@ -497,13 +1001,16 @@ impl ColumnBatch {
     /// Builds a batch from tuples with the given column types.
     pub fn from_tuples(types: &[DataType], tuples: &[Tuple]) -> DbResult<Self> {
         let mut out = Self::new(types);
-        for t in tuples {
-            out.push_row(t.values())?;
+        {
+            let mut app = out.appender();
+            for t in tuples {
+                app.push_row(t.values())?;
+            }
         }
         Ok(out)
     }
 
-    /// Modeled wire size in bytes — O(columns), derived from vector
+    /// Modeled wire size in bytes — O(columns), derived from view
     /// lengths, so producers never re-walk rows to size a batch.
     pub fn bytes(&self) -> usize {
         6 + self.columns.iter().map(Column::wire_size).sum::<usize>()
@@ -518,7 +1025,8 @@ impl ColumnBatch {
         }
     }
 
-    /// Keeps only the listed columns, in the given order.
+    /// Keeps only the listed columns, in the given order. Zero-copy: the
+    /// new batch shares the survivors' buffers.
     ///
     /// # Panics
     /// Panics if an index is out of range.
@@ -529,7 +1037,8 @@ impl ColumnBatch {
         }
     }
 
-    /// Copies rows `lo..hi` into a new batch.
+    /// A zero-copy view of rows `lo..hi`: O(columns) metadata, no values
+    /// copied — every view shares the original buffers.
     ///
     /// # Panics
     /// Panics if the range is out of bounds or inverted.
@@ -545,7 +1054,9 @@ impl ColumnBatch {
         }
     }
 
-    /// Splits into batches of at most `batch_rows` rows (wire batching).
+    /// Splits into views of at most `batch_rows` rows (wire batching).
+    /// Zero-copy: O(batches × columns) total, independent of row count —
+    /// this is what keeps the producer path free of per-batch memcpys.
     ///
     /// # Panics
     /// Panics if `batch_rows` is zero.
@@ -571,7 +1082,9 @@ impl ColumnBatch {
     /// Encodes the batch in the columnar wire format: a `(rows, ncols)`
     /// header, then per column one tag byte, a null-bitmap flag (+ bitmap
     /// when set) and the values packed contiguously — replacing the
-    /// per-value tags of the row encoding.
+    /// per-value tags of the row encoding. Views are rebased while
+    /// writing (string offsets shifted, bitmaps repacked), so an encoded
+    /// view is indistinguishable from an encoded copy.
     pub fn encode_into(&self, buf: &mut BytesMut) {
         debug_assert!(self.columns.len() <= u16::MAX as usize);
         buf.put_u32(self.rows as u32);
@@ -582,34 +1095,38 @@ impl ColumnBatch {
                 ColumnData::Float(_) => buf.put_u8(TAG_FLOAT),
                 ColumnData::Str { .. } => buf.put_u8(TAG_STR),
             }
-            if col.nulls.is_empty() {
+            if !col.has_nulls_in_view() {
                 buf.put_u8(0);
             } else {
                 buf.put_u8(1);
-                let want = self.rows.div_ceil(8);
-                buf.put_slice(&col.nulls);
-                // The bitmap is allocated lazily up to the last null row;
-                // pad to the full row count for a self-describing layout.
-                for _ in col.nulls.len()..want {
-                    buf.put_u8(0);
+                // Repack the window's bits into a view-local bitmap padded
+                // to the full row count for a self-describing layout.
+                let mut bm = vec![0u8; self.rows.div_ceil(8)];
+                for i in 0..col.len {
+                    if col.is_null(i) {
+                        bm[i / 8] |= 1 << (i % 8);
+                    }
                 }
+                buf.put_slice(&bm);
             }
             match &col.data {
-                ColumnData::Int(v) => {
-                    for &i in v {
+                ColumnData::Int(_) => {
+                    for &i in col.ints().expect("int column") {
                         buf.put_i64(i);
                     }
                 }
-                ColumnData::Float(v) => {
-                    for &f in v {
+                ColumnData::Float(_) => {
+                    for &f in col.floats().expect("float column") {
                         buf.put_f64(f);
                     }
                 }
                 ColumnData::Str { offsets, arena } => {
-                    for &o in offsets {
-                        buf.put_u32(o);
+                    let base = offsets[col.off];
+                    for &o in &offsets[col.off..=col.off + col.len] {
+                        buf.put_u32(o - base);
                     }
-                    buf.put_slice(arena.as_bytes());
+                    let end = offsets[col.off + col.len];
+                    buf.put_slice(&arena.as_bytes()[base as usize..end as usize]);
                 }
             }
         }
@@ -653,7 +1170,7 @@ impl ColumnBatch {
                 buf.copy_to_slice(&mut bm);
                 // Canonicalize to the builder's lazy form (bits are only
                 // ever set, so an in-memory bitmap never ends in a zero
-                // byte); keeps decoded batches `==` to their originals.
+                // byte).
                 while bm.last() == Some(&0) {
                     bm.pop();
                 }
@@ -666,13 +1183,13 @@ impl ColumnBatch {
                     if buf.remaining() < 8 * rows {
                         return Err(DbError::Codec("int column truncated"));
                     }
-                    ColumnData::Int((0..rows).map(|_| buf.get_i64()).collect())
+                    ColumnData::Int(Arc::new((0..rows).map(|_| buf.get_i64()).collect()))
                 }
                 TAG_FLOAT => {
                     if buf.remaining() < 8 * rows {
                         return Err(DbError::Codec("float column truncated"));
                     }
-                    ColumnData::Float((0..rows).map(|_| buf.get_f64()).collect())
+                    ColumnData::Float(Arc::new((0..rows).map(|_| buf.get_f64()).collect()))
                 }
                 TAG_STR => {
                     if buf.remaining() < 4 * (rows + 1) {
@@ -693,11 +1210,19 @@ impl ColumnBatch {
                     if offsets.iter().any(|&o| !arena.is_char_boundary(o as usize)) {
                         return Err(DbError::Codec("str offset splits a character"));
                     }
-                    ColumnData::Str { offsets, arena }
+                    ColumnData::Str {
+                        offsets: Arc::new(offsets),
+                        arena: Arc::new(arena),
+                    }
                 }
                 _ => return Err(DbError::Codec("unknown column tag")),
             };
-            columns.push(Column { data, nulls });
+            columns.push(Column {
+                data,
+                nulls: Arc::new(nulls),
+                off: 0,
+                len: rows,
+            });
         }
         Ok(ColumnBatch { columns, rows })
     }
@@ -865,6 +1390,66 @@ mod tests {
     }
 
     #[test]
+    fn slice_split_and_project_are_zero_copy() {
+        let mut b = ColumnBatch::new(&types());
+        for i in 0..32 {
+            b.push_row(&[Value::Int(i), Value::Float(0.5), Value::str("zc")])
+                .unwrap();
+        }
+        let view = b.slice(5, 21);
+        for (c, v) in b.columns().iter().zip(view.columns()) {
+            assert!(c.shares_buffer_with(v), "slice must share buffers");
+        }
+        let projected = b.project(&[2, 0]);
+        assert!(projected.column(0).shares_buffer_with(b.column(2)));
+        assert!(projected.column(1).shares_buffer_with(b.column(0)));
+        let original = b.clone();
+        for part in b.split(7) {
+            for (c, v) in original.columns().iter().zip(part.columns()) {
+                assert!(c.shares_buffer_with(v), "split must share buffers");
+            }
+        }
+    }
+
+    #[test]
+    fn views_roundtrip_codec_and_equal_copies() {
+        let b = sample();
+        let view = b.slice(1, 3);
+        // Logical equality with a materialized copy of the same rows.
+        let copy = ColumnBatch::from_tuples(&types(), &view.to_tuples()).unwrap();
+        assert_eq!(view, copy);
+        assert_eq!(copy, view);
+        // The view encodes as if it were the copy.
+        assert_eq!(ColumnBatch::decode(&view.encode()).unwrap(), copy);
+        // A view over the null-free prefix drops the bitmap on the wire.
+        let head = b.slice(0, 1);
+        assert_eq!(
+            ColumnBatch::decode(&head.encode()).unwrap(),
+            ColumnBatch::from_tuples(&types(), &head.to_tuples()).unwrap()
+        );
+    }
+
+    #[test]
+    fn mutating_a_view_copies_on_write() {
+        let mut b = ColumnBatch::new(&[DataType::Int, DataType::Str]);
+        for i in 0..8 {
+            b.push_row(&[Value::Int(i), Value::str("v")]).unwrap();
+        }
+        let baseline = b.to_tuples();
+        let mut view = b.slice(2, 5);
+        view.push_row(&[Value::Int(99), Value::str("new")]).unwrap();
+        assert_eq!(view.rows(), 4);
+        assert_eq!(view.row_tuple(0), baseline[2]);
+        assert_eq!(
+            view.row_tuple(3).values(),
+            &[Value::Int(99), Value::str("new")]
+        );
+        // The original batch is untouched by the view's append.
+        assert_eq!(b.to_tuples(), baseline);
+        assert!(!view.column(0).shares_buffer_with(b.column(0)));
+    }
+
+    #[test]
     fn predicates_row_and_vectorized_agree() {
         let mut b = ColumnBatch::new(&[DataType::Int, DataType::Str]);
         for (i, s) in [(5i64, "Alpha"), (20, "beta"), (30, "Ax"), (1, "A")] {
@@ -873,10 +1458,27 @@ mod tests {
         b.push_row(&[Value::Null, Value::Null]).unwrap();
         for pred in [
             ColPredicate::IntGe { col: 0, min: 10 },
+            ColPredicate::IntBetween {
+                col: 0,
+                min: 2,
+                max: 20,
+            },
             ColPredicate::StrPrefix {
                 col: 1,
                 prefix: "A".into(),
             },
+            ColPredicate::And(vec![
+                ColPredicate::IntBetween {
+                    col: 0,
+                    min: 1,
+                    max: 30,
+                },
+                ColPredicate::StrPrefix {
+                    col: 1,
+                    prefix: "A".into(),
+                },
+            ]),
+            ColPredicate::And(vec![]),
         ] {
             let mut sel = Vec::new();
             pred.select(&b, &mut sel);
@@ -885,7 +1487,14 @@ mod tests {
                 .map(|i| i as u32)
                 .collect();
             assert_eq!(sel, by_row, "{pred:?}");
-            assert!(!sel.contains(&4), "null row must fail {pred:?}");
+            let by_batch_row: Vec<u32> = (0..b.rows())
+                .filter(|&i| pred.matches_row(&b, i))
+                .map(|i| i as u32)
+                .collect();
+            assert_eq!(sel, by_batch_row, "matches_row of {pred:?}");
+            if !matches!(pred, ColPredicate::And(ref ps) if ps.is_empty()) {
+                assert!(!sel.contains(&4), "null row must fail {pred:?}");
+            }
         }
     }
 
@@ -902,6 +1511,110 @@ mod tests {
                 prefix: "A".into()
             }
         );
+        let range = ColPredicate::And(vec![ColPredicate::IntBetween {
+            col: 3,
+            min: 1,
+            max: 9,
+        }]);
+        assert_eq!(
+            range.at(1),
+            ColPredicate::And(vec![ColPredicate::IntBetween {
+                col: 1,
+                min: 1,
+                max: 9
+            }])
+        );
+    }
+
+    #[test]
+    fn predicate_codec_roundtrips() {
+        let preds = [
+            ColPredicate::IntGe { col: 4, min: -7 },
+            ColPredicate::IntBetween {
+                col: 0,
+                min: 20070101,
+                max: 20121231,
+            },
+            ColPredicate::StrPrefix {
+                col: 5,
+                prefix: "Aß漢".into(),
+            },
+            ColPredicate::And(vec![]),
+            ColPredicate::And(vec![
+                ColPredicate::IntGe { col: 1, min: 0 },
+                ColPredicate::And(vec![ColPredicate::StrPrefix {
+                    col: 2,
+                    prefix: String::new(),
+                }]),
+            ]),
+        ];
+        for p in preds {
+            let enc = p.encode();
+            assert_eq!(ColPredicate::decode(&enc).unwrap(), p, "{p:?}");
+            // Every strict prefix must be rejected.
+            for cut in 0..enc.len() {
+                assert!(
+                    ColPredicate::decode(&enc.slice(0..cut)).is_err(),
+                    "{p:?} decoded at cut {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predicate_codec_rejects_bad_input() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(200);
+        assert_eq!(
+            ColPredicate::decode(&buf.freeze()),
+            Err(DbError::Codec("unknown predicate tag"))
+        );
+        // Deep And nesting is bounded.
+        let mut buf = BytesMut::new();
+        for _ in 0..(MAX_PRED_DEPTH + 2) {
+            buf.put_u8(PRED_AND);
+            buf.put_u16(1);
+        }
+        buf.put_u8(PRED_INT_GE);
+        buf.put_u32(0);
+        buf.put_i64(0);
+        assert_eq!(
+            ColPredicate::decode(&buf.freeze()),
+            Err(DbError::Codec("predicate nesting too deep"))
+        );
+        // Non-UTF-8 prefix payload.
+        let mut buf = BytesMut::new();
+        buf.put_u8(PRED_STR_PREFIX);
+        buf.put_u32(0);
+        buf.put_u16(2);
+        buf.put_slice(&[0xFF, 0xFE]);
+        assert_eq!(
+            ColPredicate::decode(&buf.freeze()),
+            Err(DbError::Codec("str-prefix not utf-8"))
+        );
+        // Trailing garbage after a valid predicate.
+        let mut buf = BytesMut::new();
+        ColPredicate::IntGe { col: 0, min: 1 }.encode_into(&mut buf);
+        buf.put_u8(0);
+        assert_eq!(
+            ColPredicate::decode(&buf.freeze()),
+            Err(DbError::Codec("trailing bytes after predicate"))
+        );
+    }
+
+    #[test]
+    fn predicate_depth_cap_is_symmetric_at_the_boundary() {
+        // Exactly MAX_PRED_DEPTH levels of And: encodable AND decodable.
+        let mut p = ColPredicate::IntGe { col: 0, min: 1 };
+        for _ in 0..MAX_PRED_DEPTH {
+            p = ColPredicate::And(vec![p]);
+        }
+        assert_eq!(p.depth(), MAX_PRED_DEPTH);
+        assert_eq!(ColPredicate::decode(&p.encode()).unwrap(), p);
+        // One deeper is not wire-encodable (debug-asserted on encode,
+        // rejected on decode — see `predicate_codec_rejects_bad_input`).
+        let deeper = ColPredicate::And(vec![p]);
+        assert_eq!(deeper.depth(), MAX_PRED_DEPTH + 1);
     }
 
     #[test]
@@ -927,5 +1640,21 @@ mod tests {
             .unwrap();
         // int 8 + float 8 + str offset 4 + 4 arena bytes
         assert_eq!(b.bytes(), empty + 8 + 8 + 4 + 4);
+    }
+
+    #[test]
+    fn appender_amortizes_pushes() {
+        let mut b = ColumnBatch::new(&types());
+        {
+            let mut app = b.appender();
+            app.reserve(16);
+            for i in 0..16 {
+                app.push_row(&[Value::Int(i), Value::Float(i as f64), Value::str("x")])
+                    .unwrap();
+            }
+            assert!(app.push_projected(&[Value::Int(0)], &[0, 0, 0, 0]).is_err());
+        }
+        assert_eq!(b.rows(), 16); // the failed ragged push added no row
+        assert_eq!(b.column(0).ints().unwrap().len(), 16);
     }
 }

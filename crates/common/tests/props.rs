@@ -127,6 +127,148 @@ proptest! {
         let corrupted = bytes::Bytes::copy_from_slice(&enc);
         prop_assert!(ColumnBatch::decode(&corrupted).is_err());
     }
+
+    /// Zero-copy `slice` views are indistinguishable from materialized
+    /// copies of the same rows: equal (logical `==` both ways), same
+    /// tuples, and the same bytes on the wire.
+    #[test]
+    fn slice_views_equal_copying_semantics(
+        seed in any::<u64>(), cols in 1usize..6, rows in 0usize..24,
+        lo_frac in 0.0f64..1.0, hi_frac in 0.0f64..1.0,
+    ) {
+        let (types, tuples) = arbitrary_columnar(seed, cols, rows);
+        let batch = ColumnBatch::from_tuples(&types, &tuples).unwrap();
+        let (mut lo, mut hi) = (
+            (lo_frac * rows as f64) as usize,
+            (hi_frac * rows as f64) as usize,
+        );
+        if lo > hi {
+            std::mem::swap(&mut lo, &mut hi);
+        }
+        let view = batch.slice(lo, hi);
+        let copy = ColumnBatch::from_tuples(&types, &tuples[lo..hi]).unwrap();
+        prop_assert_eq!(&view, &copy);
+        prop_assert_eq!(&copy, &view);
+        prop_assert_eq!(view.to_tuples(), &tuples[lo..hi]);
+        // A view encodes exactly like the copy would (nulls rebased, string
+        // offsets rebased), so decode(encode(view)) == copy.
+        prop_assert_eq!(ColumnBatch::decode(&view.encode()).unwrap(), copy);
+    }
+
+    /// Zero-copy `split` preserves the copying split's observable
+    /// behavior: same part geometry, same rows in order, every part
+    /// sharing the parent's buffers, and codec-roundtrippable.
+    #[test]
+    fn split_views_equal_copying_semantics(
+        seed in any::<u64>(), cols in 1usize..5, rows in 0usize..40, batch_rows in 1usize..12,
+    ) {
+        let (types, tuples) = arbitrary_columnar(seed, cols, rows);
+        let batch = ColumnBatch::from_tuples(&types, &tuples).unwrap();
+        let parts = batch.clone().split(batch_rows);
+        prop_assert_eq!(parts.len(), rows.div_ceil(batch_rows));
+        let mut glued = Vec::new();
+        for part in &parts {
+            prop_assert!(part.rows() <= batch_rows);
+            for (pc, bc) in part.columns().iter().zip(batch.columns()) {
+                prop_assert!(pc.shares_buffer_with(bc), "split copied a buffer");
+            }
+            prop_assert_eq!(ColumnBatch::decode(&part.encode()).unwrap(), part.clone());
+            glued.extend(part.to_tuples());
+        }
+        prop_assert_eq!(glued, tuples);
+    }
+
+    /// Mutating one split view never leaks into its siblings or the
+    /// parent (copy-on-write isolation of shared buffers).
+    #[test]
+    fn split_views_are_isolated_on_write(
+        seed in any::<u64>(), cols in 1usize..4, rows in 2usize..24,
+    ) {
+        let (types, tuples) = arbitrary_columnar(seed, cols, rows);
+        let batch = ColumnBatch::from_tuples(&types, &tuples).unwrap();
+        let batch_rows = (rows / 2).max(1);
+        let mut parts = batch.clone().split(batch_rows);
+        let victim = tuples[0].clone();
+        parts[0].push_row(victim.values()).unwrap();
+        // Parent and the other parts still glue back to the original.
+        prop_assert_eq!(batch.to_tuples(), tuples.clone());
+        let rest: Vec<_> = parts[1..].iter().flat_map(|p| p.to_tuples()).collect();
+        prop_assert_eq!(rest, &tuples[batch_rows..]);
+    }
+
+    /// The predicate wire codec roundtrips arbitrary predicate trees and
+    /// rejects every strict prefix.
+    #[test]
+    fn predicate_codec_roundtrips(seed in any::<u64>(), depth in 0usize..3) {
+        use anydb_common::ColPredicate;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pred = arbitrary_predicate(&mut rng, depth);
+        let enc = pred.encode();
+        prop_assert_eq!(ColPredicate::decode(&enc).unwrap(), pred);
+        for cut in 0..enc.len() {
+            prop_assert!(ColPredicate::decode(&enc.slice(0..cut)).is_err());
+        }
+    }
+
+    /// Vectorized select and row-at-a-time matches agree for arbitrary
+    /// predicate trees over arbitrary batches.
+    #[test]
+    fn predicate_select_matches_rows(seed in any::<u64>(), cols in 1usize..5, rows in 0usize..24, depth in 0usize..3) {
+        let (types, tuples) = arbitrary_columnar(seed, cols, rows);
+        let batch = ColumnBatch::from_tuples(&types, &tuples).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let pred = arbitrary_predicate(&mut rng, depth);
+        let mut sel = Vec::new();
+        pred.select(&batch, &mut sel);
+        let by_row: Vec<u32> = (0..rows)
+            .filter(|&i| pred.matches_tuple(&tuples[i]))
+            .map(|i| i as u32)
+            .collect();
+        prop_assert_eq!(sel, by_row);
+    }
+}
+
+/// Deterministically builds an arbitrary predicate tree of the given
+/// depth (column positions may exceed the batch arity — predicates must
+/// treat that as "no match", never panic).
+fn arbitrary_predicate(rng: &mut StdRng, depth: usize) -> anydb_common::ColPredicate {
+    use anydb_common::ColPredicate;
+    use rand::Rng;
+    let leaf = depth == 0 || rng.random_bool(0.5);
+    if leaf {
+        match rng.random_range(0..3u32) {
+            0 => ColPredicate::IntGe {
+                col: rng.random_range(0..6usize),
+                min: rng.random_range(-500_000..500_000i64),
+            },
+            1 => {
+                let a = rng.random_range(-500_000..500_000i64);
+                let b = rng.random_range(-500_000..500_000i64);
+                ColPredicate::IntBetween {
+                    col: rng.random_range(0..6usize),
+                    min: a.min(b),
+                    max: a.max(b),
+                }
+            }
+            _ => {
+                let len = rng.random_range(0..3usize);
+                let prefix: String = (0..len)
+                    .map(|_| char::from(b'a' + rng.random_range(0..4u8)))
+                    .collect();
+                ColPredicate::StrPrefix {
+                    col: rng.random_range(0..6usize),
+                    prefix,
+                }
+            }
+        }
+    } else {
+        let n = rng.random_range(0..3usize);
+        ColPredicate::And(
+            (0..n)
+                .map(|_| arbitrary_predicate(rng, depth - 1))
+                .collect(),
+        )
+    }
 }
 
 /// Deterministically builds an arbitrary columnar workload: `cols` column

@@ -237,12 +237,16 @@ impl AnyComponent {
                 unreachable!("op groups are dispatched in batches by run()")
             }
             Event::QueryQ3 { query, spec, done } => {
-                // The scan below runs for milliseconds: ship every
+                // The query below can run for milliseconds: ship every
                 // already-collected completion first so drivers blocked
                 // on them do not wait out an OLAP query. (Cheap events
                 // like ExecuteTxn deliberately do NOT flush — that would
                 // degrade the batched protocol to per-txn sends.)
                 completions.flush();
+                // Fully columnar since PR 4: epoch-validated shared
+                // snapshot scans with filter/projection pushdown feeding
+                // vectorized joins — repeated queries over quiescent
+                // partitions ride one cached scan (DESIGN.md §5).
                 let rows = exec_q3_local(&self.db, &spec);
                 // The result joins the batched protocol like any other
                 // completion: grouped into this chunk's DoneBatch.

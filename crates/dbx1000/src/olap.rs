@@ -92,8 +92,8 @@ mod tests {
     fn empty_date_range_yields_zero() {
         let db = TpccDb::load(TpccConfig::small(), 22).unwrap();
         let spec = Q3Spec {
-            state_prefix: 'A',
             entry_date_min: 99_99_99_99,
+            ..Q3Spec::default()
         };
         assert_eq!(exec_q3(&db, &spec), 0);
     }

@@ -26,7 +26,7 @@ pub mod wal;
 pub use catalog::{Catalog, TableSpec};
 pub use index::{HashIndex, OrderedIndex, SecondaryIndexSpec};
 pub use key::{IndexKey, KeyValue};
-pub use partition::Partition;
+pub use partition::{Partition, ScanSnapshot};
 pub use record::Row;
 pub use store::{Partitioner, Store};
 pub use table::Table;

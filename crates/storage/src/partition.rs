@@ -3,16 +3,72 @@
 //! Concurrency design: the outer `RwLock` is held in read mode for any row
 //! access (the per-row `RwLock` provides record latching) and in write mode
 //! only to append. Slots are never removed or moved, so RIDs are stable.
+//!
+//! A monotone **write epoch** ([`Partition::epoch`]) is bumped before every
+//! append and every row mutation. Analytic scans read it on entry and exit:
+//! equal readings certify that the materialized columns are a true
+//! point-in-time image of the partition prefix (see
+//! [`Partition::scan_columns_snapshot`] and [`ScanSnapshot`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use anydb_common::{ColPredicate, ColumnBatch, DbError, DbResult, Tuple};
 use parking_lot::RwLock;
 
 use crate::record::Row;
 
+/// Rows materialized per exclusive chunk by
+/// [`Partition::scan_columns_snapshot`]: large enough to amortize the
+/// outer-lock handoff, small enough that racing OLTP writers are stalled
+/// for microseconds, not a scan's length.
+const SNAPSHOT_CHUNK: usize = 1024;
+
+/// What a [`Partition::scan_columns_snapshot`] observed — the snapshot's
+/// consistency certificate.
+///
+/// The contract (also §5 of DESIGN.md):
+///
+/// 1. **Fixed prefix** — the scan covers exactly the `prefix` rows present
+///    when it began, in slot order; rows appended while it runs are never
+///    visible.
+/// 2. **Row atomicity** — every row is materialized under mutual exclusion
+///    with writers, so no torn row can be observed, ever.
+/// 3. **Epoch certificate** — `epoch_start == epoch_end` proves no write
+///    (append or update) was interleaved anywhere in the partition, i.e.
+///    the whole prefix is one point-in-time image. When they differ, the
+///    scan is still a sequence of per-chunk point-in-time images
+///    (read-committed prefix semantics) and `max_version` bounds the
+///    newest row state it can contain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanSnapshot {
+    /// Rows in the captured prefix (scanned pre-filter).
+    pub prefix: usize,
+    /// Rows that passed the predicate into the output batch.
+    pub matched: usize,
+    /// Partition write epoch when the scan began.
+    pub epoch_start: u64,
+    /// Partition write epoch when the scan finished.
+    pub epoch_end: u64,
+    /// Highest row version observed in the prefix (0 when empty).
+    pub max_version: u64,
+}
+
+impl ScanSnapshot {
+    /// True when the whole prefix is certified as one point-in-time image
+    /// (no write raced the scan).
+    pub fn is_point_in_time(&self) -> bool {
+        self.epoch_start == self.epoch_end
+    }
+}
+
 /// One partition's row store.
 #[derive(Default)]
 pub struct Partition {
     rows: RwLock<Vec<RwLock<Row>>>,
+    /// Write epoch: bumped (before the mutation publishes) on every append
+    /// and row update. `SeqCst` on both sides so a scan whose two readings
+    /// agree cannot have observed an interleaved write.
+    epoch: AtomicU64,
 }
 
 impl Partition {
@@ -24,9 +80,15 @@ impl Partition {
     /// Appends a row, returning its slot.
     pub fn append(&self, tuple: Tuple) -> u32 {
         let mut rows = self.rows.write();
+        self.epoch.fetch_add(1, Ordering::SeqCst);
         let slot = rows.len() as u32;
         rows.push(RwLock::new(Row::new(tuple)));
         slot
+    }
+
+    /// The current write epoch (monotone; see [`ScanSnapshot`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
     }
 
     /// Number of rows.
@@ -44,7 +106,7 @@ impl Partition {
         let rows = self.rows.read();
         let row = rows
             .get(slot as usize)
-            .ok_or(DbError::Internal(format!("slot {slot} out of range")))?;
+            .ok_or_else(|| DbError::Internal(format!("slot {slot} out of range")))?;
         let guard = row.read();
         Ok(f(&guard))
     }
@@ -60,8 +122,12 @@ impl Partition {
         let rows = self.rows.read();
         let row = rows
             .get(slot as usize)
-            .ok_or(DbError::Internal(format!("slot {slot} out of range")))?;
+            .ok_or_else(|| DbError::Internal(format!("slot {slot} out of range")))?;
         let mut guard = row.write();
+        // Bump the epoch *while holding the row latch, before mutating*:
+        // any snapshot scan that observes this write therefore also
+        // observes the bump (see `ScanSnapshot`'s certificate).
+        self.epoch.fetch_add(1, Ordering::SeqCst);
         let mut out = None;
         let version = guard.update(|t| out = Some(f(t)));
         Ok((out.expect("update closure ran"), version))
@@ -98,16 +164,95 @@ impl Partition {
         pred: Option<&ColPredicate>,
         out: &mut ColumnBatch,
     ) -> DbResult<usize> {
+        let mut app = out.appender();
         let rows = self.rows.read();
+        // Pre-size only unfiltered scans: for selective predicates a
+        // full-prefix reservation would pin far more memory than the
+        // matches need (and scan outputs can outlive the scan — the
+        // shared-scan cache holds them).
+        if pred.is_none() {
+            app.reserve(rows.len());
+        }
         for row in rows.iter() {
             let guard = row.read();
             let values = guard.tuple().values();
             if pred.is_some_and(|p| !p.matches(values)) {
                 continue;
             }
-            out.push_projected(values, proj)?;
+            app.push_projected(values, proj)?;
         }
         Ok(rows.len())
+    }
+
+    /// Snapshot-consistent columnar scan: like [`Partition::scan_columns`],
+    /// but materializes a **consistent prefix in one pass** while OLTP
+    /// writes race, and returns a [`ScanSnapshot`] certificate describing
+    /// exactly how consistent the result is.
+    ///
+    /// Mechanics: the prefix length and start epoch are captured once,
+    /// then rows are materialized in [`SNAPSHOT_CHUNK`]-sized chunks under
+    /// the **outer write lock** — total mutual exclusion per chunk, so no
+    /// per-row latch is ever acquired (the row latches are bypassed via
+    /// `get_mut`, which is safe because the outer write guard proves no
+    /// writer holds one). Between chunks the lock is released so racing
+    /// OLTP transactions are stalled at most one chunk's worth of copying,
+    /// not a whole analytic scan. The per-row-latch `scan_columns` remains
+    /// the right tool when an analytic reader must never block writers at
+    /// all; this one trades bounded micro-stalls for a scan with zero
+    /// latch traffic and a checkable consistency certificate.
+    ///
+    /// Consistency contract: see [`ScanSnapshot`]. Errs only if a row's
+    /// values mismatch `out`'s column types (then `out` is ragged and must
+    /// be discarded).
+    pub fn scan_columns_snapshot(
+        &self,
+        proj: &[usize],
+        pred: Option<&ColPredicate>,
+        out: &mut ColumnBatch,
+    ) -> DbResult<ScanSnapshot> {
+        let mut app = out.appender();
+        let mut guard = self.rows.write();
+        let epoch_start = self.epoch.load(Ordering::SeqCst);
+        let prefix = guard.len();
+        // See `scan_columns`: only unfiltered scans pre-size for the
+        // whole prefix — filtered outputs live on in the shared-scan
+        // cache and must not pin a full-prefix reservation.
+        if pred.is_none() {
+            app.reserve(prefix);
+        }
+        let mut matched = 0usize;
+        let mut max_version = 0u64;
+        let mut slot = 0usize;
+        while slot < prefix {
+            let chunk_end = (slot + SNAPSHOT_CHUNK).min(prefix);
+            while slot < chunk_end {
+                // Safe latch bypass: we hold the outer lock exclusively,
+                // so no row latch can be held by anyone else.
+                let row = guard[slot].get_mut();
+                max_version = max_version.max(row.version());
+                let values = row.tuple().values();
+                if pred.is_none_or(|p| p.matches(values)) {
+                    app.push_projected(values, proj)?;
+                    matched += 1;
+                }
+                slot += 1;
+            }
+            if chunk_end < prefix {
+                // Chunk boundary: let stalled writers (and appenders) in.
+                // Slots below `prefix` stay valid — rows are append-only.
+                drop(guard);
+                guard = self.rows.write();
+            }
+        }
+        let epoch_end = self.epoch.load(Ordering::SeqCst);
+        drop(guard);
+        Ok(ScanSnapshot {
+            prefix,
+            matched,
+            epoch_start,
+            epoch_end,
+            max_version,
+        })
     }
 
     /// Collects tuples matching `pred` (convenience for scans).
@@ -196,6 +341,72 @@ mod tests {
         // Type mismatch surfaces as an error, not a panic.
         let mut wrong = ColumnBatch::new(&[DataType::Str]);
         assert!(p.scan_columns(&[0], None, &mut wrong).is_err());
+    }
+
+    #[test]
+    fn snapshot_scan_matches_plain_scan_when_quiescent() {
+        use anydb_common::{ColPredicate, ColumnBatch, DataType};
+        let p = Partition::new();
+        for i in 0..2500 {
+            // More rows than one SNAPSHOT_CHUNK, to cross a chunk boundary.
+            p.append(Tuple::new(vec![Value::Int(i), Value::Int(i * 2)]));
+        }
+        let pred = ColPredicate::IntBetween {
+            col: 0,
+            min: 100,
+            max: 1999,
+        };
+        let mut snap_out = ColumnBatch::new(&[DataType::Int, DataType::Int]);
+        let snap = p
+            .scan_columns_snapshot(&[0, 1], Some(&pred), &mut snap_out)
+            .unwrap();
+        let mut plain_out = ColumnBatch::new(&[DataType::Int, DataType::Int]);
+        p.scan_columns(&[0, 1], Some(&pred), &mut plain_out)
+            .unwrap();
+        assert_eq!(snap_out, plain_out);
+        assert_eq!(snap.prefix, 2500);
+        assert_eq!(snap.matched, 1900);
+        assert_eq!(snap.matched, snap_out.rows());
+        assert!(snap.is_point_in_time(), "no writer raced: {snap:?}");
+        assert_eq!(snap.max_version, 0);
+    }
+
+    #[test]
+    fn snapshot_reports_epoch_movement_and_versions() {
+        use anydb_common::{ColumnBatch, DataType};
+        let p = Partition::new();
+        p.append(t(1));
+        let e0 = p.epoch();
+        p.update(0, |tu| tu.set(0, Value::Int(2))).unwrap();
+        assert!(p.epoch() > e0, "update must bump the epoch");
+        p.append(t(3));
+        let mut out = ColumnBatch::new(&[DataType::Int]);
+        let snap = p.scan_columns_snapshot(&[0], None, &mut out).unwrap();
+        assert_eq!(snap.prefix, 2);
+        assert_eq!(snap.max_version, 1);
+        assert!(snap.is_point_in_time());
+        assert_eq!(out.column(0).ints().unwrap(), &[2, 3]);
+    }
+
+    #[test]
+    fn snapshot_scan_excludes_rows_appended_after_capture() {
+        // The snapshot prefix is fixed at entry; an append racing the scan
+        // lands after the prefix and must not appear. (Deterministic
+        // variant: append between two scans and compare certificates.)
+        use anydb_common::{ColumnBatch, DataType};
+        let p = Partition::new();
+        for i in 0..10 {
+            p.append(t(i));
+        }
+        let mut out = ColumnBatch::new(&[DataType::Int]);
+        let snap = p.scan_columns_snapshot(&[0], None, &mut out).unwrap();
+        p.append(t(99));
+        let mut out2 = ColumnBatch::new(&[DataType::Int]);
+        let snap2 = p.scan_columns_snapshot(&[0], None, &mut out2).unwrap();
+        assert_eq!(snap.prefix, 10);
+        assert_eq!(snap2.prefix, 11);
+        assert!(snap2.epoch_start > snap.epoch_end);
+        assert_eq!(out2.rows(), 11);
     }
 
     #[test]

@@ -23,6 +23,48 @@ proptest! {
         prop_assert_eq!(rejoined, tuples);
     }
 
+    /// The zero-copy producer path conserves data: a columnar scan's
+    /// worth split into view batches and shipped through a `ColFlowSender`
+    /// delivers the same rows in order, and models the same wire bytes as
+    /// the views themselves report.
+    #[test]
+    fn col_flow_split_views_conserve_rows_and_bytes(
+        values in prop::collection::vec(any::<i64>(), 0..120), batch_rows in 1usize..48,
+    ) {
+        use anydb_stream::flow::ColFlowSender;
+        let tuples: Vec<Tuple> = values.iter().map(|v| Tuple::new(vec![Value::Int(*v), Value::str("p")])).collect();
+        let batch = ColumnBatch::from_tuples(&[DataType::Int, DataType::Str], &tuples).unwrap();
+        let expected_bytes: usize = batch.clone().split(batch_rows).iter().map(ColumnBatch::bytes).sum();
+        let (tx, mut rx) = SimLink::channel::<ColumnBatch>(LinkSpec::instant(), 1 << 12);
+        let mut sender = ColFlowSender::new(tx, Flow::identity());
+        let sent = sender.send_split_blocking(batch, batch_rows).unwrap();
+        prop_assert_eq!(sent, values.len().div_ceil(batch_rows));
+        drop(sender);
+        let mut got = Vec::new();
+        let mut got_bytes = 0usize;
+        while let Ok(b) = rx.try_recv() {
+            got_bytes += b.bytes();
+            got.extend(b.to_tuples());
+        }
+        prop_assert_eq!(got, tuples);
+        prop_assert_eq!(got_bytes, expected_bytes);
+    }
+
+    /// Flows applied to zero-copy views give the same answer as flows
+    /// applied to materialized copies of the same rows.
+    #[test]
+    fn flows_on_views_equal_flows_on_copies(
+        values in prop::collection::vec(any::<i64>(), 1..80), threshold in -50i64..50,
+    ) {
+        let tuples: Vec<Tuple> = values.iter().map(|v| Tuple::new(vec![Value::Int(*v)])).collect();
+        let batch = ColumnBatch::from_tuples(&[DataType::Int], &tuples).unwrap();
+        let flow = Flow::identity().filter_col(ColPredicate::IntBetween { col: 0, min: -threshold.abs(), max: threshold.abs() });
+        let (lo, hi) = (values.len() / 4, values.len() - values.len() / 4);
+        let view = batch.slice(lo, hi);
+        let copy = ColumnBatch::from_tuples(&[DataType::Int], &tuples[lo..hi]).unwrap();
+        prop_assert_eq!(flow.apply_columns(view), flow.apply_columns(copy));
+    }
+
     /// Flows are order-preserving filters: output is a subsequence of the
     /// input and exactly the tuples matching the predicate.
     #[test]

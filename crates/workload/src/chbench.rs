@@ -30,6 +30,12 @@ pub struct Q3Spec {
     pub state_prefix: char,
     /// Orders qualify when `o_entry_d >= entry_date_min` (yyyymmdd).
     pub entry_date_min: i64,
+    /// Upper bound of the order date window (inclusive, yyyymmdd).
+    /// `i64::MAX` (the default) leaves the window open-ended — the plain
+    /// CH-benCHmark "since 2007" shape; a finite bound turns the order
+    /// filter into a range whose pushdown form is
+    /// [`ColPredicate::IntBetween`].
+    pub entry_date_max: i64,
 }
 
 impl Default for Q3Spec {
@@ -37,6 +43,7 @@ impl Default for Q3Spec {
         Self {
             state_prefix: 'A',
             entry_date_min: 20070101, // 2007-01-01
+            entry_date_max: i64::MAX, // open-ended window
         }
     }
 }
@@ -77,9 +84,12 @@ impl Q3Spec {
         }
     }
 
-    /// Order-side filter (`o_entry_d >= 2007`).
+    /// Order-side filter (`o_entry_d` within the spec's date window).
     pub fn order_filter(&self, t: &Tuple) -> bool {
-        matches!(t.get(cols::orders::O_ENTRY_D), Value::Int(d) if *d >= self.entry_date_min)
+        matches!(
+            t.get(cols::orders::O_ENTRY_D),
+            Value::Int(d) if *d >= self.entry_date_min && *d <= self.entry_date_max
+        )
     }
 
     /// New-order side has no predicate (openness is membership itself).
@@ -97,11 +107,21 @@ impl Q3Spec {
         }
     }
 
-    /// The order filter as a pushdown-able columnar predicate.
+    /// The order filter as a pushdown-able columnar predicate: the
+    /// open-ended window ships as `IntGe`, a bounded window as the
+    /// `IntBetween` range form.
     pub fn order_pred(&self) -> ColPredicate {
-        ColPredicate::IntGe {
-            col: cols::orders::O_ENTRY_D,
-            min: self.entry_date_min,
+        if self.entry_date_max == i64::MAX {
+            ColPredicate::IntGe {
+                col: cols::orders::O_ENTRY_D,
+                min: self.entry_date_min,
+            }
+        } else {
+            ColPredicate::IntBetween {
+                col: cols::orders::O_ENTRY_D,
+                min: self.entry_date_min,
+                max: self.entry_date_max,
+            }
         }
     }
 
@@ -240,8 +260,8 @@ mod tests {
         let neworders = collect_all(&db.neworder);
         let loose = reference_q3(
             &Q3Spec {
-                state_prefix: 'A',
                 entry_date_min: 0,
+                ..Q3Spec::default()
             },
             &customers,
             &orders,
@@ -249,5 +269,36 @@ mod tests {
         );
         let tight = reference_q3(&Q3Spec::default(), &customers, &orders, &neworders);
         assert!(tight <= loose);
+    }
+
+    #[test]
+    fn bounded_date_window_pushes_down_as_int_between() {
+        let spec = Q3Spec {
+            entry_date_max: 20121231,
+            ..Q3Spec::default()
+        };
+        assert!(matches!(
+            spec.order_pred(),
+            ColPredicate::IntBetween {
+                min: 20070101,
+                max: 20121231,
+                ..
+            }
+        ));
+        // Row filter and pushdown predicate stay in lockstep on real data.
+        let db = TpccDb::load(TpccConfig::small(), 5).unwrap();
+        let pred = spec.order_pred();
+        let mut in_window = 0usize;
+        for t in collect_all(&db.orders) {
+            assert_eq!(pred.matches_tuple(&t), spec.order_filter(&t));
+            in_window += usize::from(spec.order_filter(&t));
+        }
+        // The bounded window is strictly tighter than the open-ended one.
+        let open = collect_all(&db.orders)
+            .iter()
+            .filter(|t| Q3Spec::default().order_filter(t))
+            .count();
+        assert!(in_window <= open);
+        assert!(in_window > 0, "window chosen to keep some orders");
     }
 }

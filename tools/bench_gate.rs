@@ -2,8 +2,10 @@
 //!
 //! Compares the JSONs emitted by the gated ablations — `abl_adaptive`
 //! (`BENCH_adaptive.json`, transport level), `abl_routing`
-//! (`BENCH_routing.json`, engine level) and `abl_columnar`
-//! (`BENCH_columnar.json`, OLAP stream level) — against the checked-in
+//! (`BENCH_routing.json`, engine level), `abl_columnar`
+//! (`BENCH_columnar.json`, OLAP stream level) and `abl_htap`
+//! (`BENCH_htap.json`, HTAP-local level: shared-snapshot columnar Q3 +
+//! the zero-copy split flatness ceiling) — against the checked-in
 //! baseline (`tools/bench_baseline.json`) and exits non-zero on
 //! regression, so the batching/routing/columnar wins cannot silently
 //! rot. All current files are merged into one metric map before
@@ -106,10 +108,11 @@ fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
 }
 
 /// The bench-emitted files gated by default (all namespaces disjoint).
-const DEFAULT_CURRENT: [&str; 3] = [
+const DEFAULT_CURRENT: [&str; 4] = [
     "BENCH_adaptive.json",
     "BENCH_routing.json",
     "BENCH_columnar.json",
+    "BENCH_htap.json",
 ];
 
 fn main() -> ExitCode {
