@@ -1,5 +1,6 @@
-//! Ablation: row vs columnar **HTAP-local** Q3 (PR 4 tentpole), plus the
-//! zero-copy `ColumnBatch::split` microbench.
+//! Ablation: row vs columnar **HTAP-local** Q3 over the per-column
+//! storage mirror (PR 4–5 tentpoles), plus the zero-copy
+//! `ColumnBatch::split` microbench.
 //!
 //! All Q3 arms are the fully-aggregated execution an HTAP OLAP worker
 //! runs inline for `Event::QueryQ3` — no streams, one thread, same
@@ -8,17 +9,23 @@
 //! * **row**: `exec_q3_local_rows` — per-row latch, per-`Value` key
 //!   extraction, tuple-keyed hash sets (the PR 3 state of the HTAP path).
 //! * **columnar**: `exec_q3_local` — epoch-validated shared snapshot
-//!   scans (`scan_columns_snapshot_shared`: latch-free chunked
-//!   materialization with filters + key projections pushed down, cached
-//!   per partition and served as zero-copy views while the partition is
-//!   quiescent) feeding dense-bitmap joins over zipped key slices. This
-//!   is the steady-state HTAP number: standing queries ride one shared
-//!   scan, SharedDB-style.
-//! * **columnar cold**: the same execution with every partition of all
-//!   three tables written between queries, so every scan re-materializes
-//!   — the floor the columnar path degrades to under a 100%-write-racing
-//!   OLTP load (reported, not gated: it hovers around the row arm, since
-//!   both are bound by the same per-row tuple cache misses).
+//!   scans (`scan_columns_snapshot_shared`, served zero-copy while the
+//!   scanned column sets are quiescent) feeding dense-bitmap joins over
+//!   zipped key slices. This is the steady-state HTAP number: standing
+//!   queries ride one shared scan, SharedDB-style.
+//! * **columnar cold**: the same execution with a value-changing write
+//!   landing **inside every table's projection ∪ filter column set** on
+//!   every partition between queries, so every scan re-materializes.
+//!   Since PR 5 re-materialization copies from the partition's column
+//!   mirror (sequential typed-vector reads) instead of walking tuples
+//!   (one cache miss per row), which is what moved this arm from ≈ 1.0×
+//!   row to a gated multiple of it.
+//! * **columnar disjoint-write**: writes between queries (`c_balance`,
+//!   `o_carrier_id`) land **outside** every Q3 column set — with
+//!   column-level epochs the cached shared scans survive and the arm
+//!   must track the steady-state number. This is the shared-cache
+//!   survival metric: OLTP payment/delivery traffic does not evict
+//!   standing analytics.
 //!
 //! The split microbench pins the zero-copy claim: splitting a batch into
 //! a fixed number of wire batches must cost the same whether the batch
@@ -26,13 +33,15 @@
 //! implementation scaled linearly with the row count.
 //!
 //! Acceptance (gated in CI via `tools/bench_gate.rs`): steady-state
-//! columnar ≥ 1.8× row throughput, and the 64k/4k split-latency ratio
-//! stays ~flat (ceiling 2.0 — the pre-refactor copying split measured
-//! ~16× here). Run-to-run variance: the gated Q3 ratio moved well under
-//! 15% over repeated runs on the 1-core CI host (single-threaded arms,
-//! so scheduler noise largely cancels); the floor 1.8 is the acceptance
-//! threshold, far below the measured value, so normal jitter never trips
-//! the 15%-tolerance gate.
+//! columnar ≥ 1.8× row throughput, cold ≥ 2.0× (the mirror's reason to
+//! exist at this scale), disjoint-write ≥ 4.0× (must beat cold by
+//! riding the cache; observed ≈ steady-state), and the 64k/4k
+//! split-latency ratio stays ~flat (ceiling 2.0 — the pre-refactor
+//! copying split measured ~16×). Run-to-run variance: the gated ratios
+//! moved well under 15% over repeated runs on the 1-core CI host
+//! (single-threaded arms, so scheduler noise largely cancels); the
+//! floors sit far below the measured values, so normal jitter never
+//! trips the 15%-tolerance gate.
 //!
 //! The run emits `BENCH_htap.json` at the repo root for the gate and the
 //! CI artifact.
@@ -41,11 +50,11 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use anydb_bench::{bench_json_path, figure_header, median, row, write_flat_json};
-use anydb_common::{ColumnBatch, DataType, PartitionId, Rid, Value};
+use anydb_common::{ColumnBatch, DataType, PartitionId, Rid, Tuple, Value};
 use anydb_core::olap::{exec_q3_local, exec_q3_local_rows};
 use anydb_storage::Table;
 use anydb_workload::chbench::Q3Spec;
-use anydb_workload::tpcc::{TpccConfig, TpccDb};
+use anydb_workload::tpcc::{cols, TpccConfig, TpccDb};
 
 /// Timed repetitions per arm; the median filters scheduler noise.
 const REPS: usize = 5;
@@ -61,27 +70,66 @@ fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
     (r, start.elapsed().as_secs_f64())
 }
 
-/// Bumps the write epoch of every partition of `table` with an identity
-/// update (rewrites column 0 of slot 0 with its current value): no data
-/// or index changes, but every cached shared scan is invalidated —
-/// exactly what one racing OLTP write per partition does.
-fn dirty_table(table: &Table) {
+/// Applies `f` to slot 0 of every partition of `table` — one racing OLTP
+/// write per partition.
+fn write_each_partition(table: &Table, mut f: impl FnMut(&mut Tuple)) {
     for p in 0..table.partition_count() {
         let rid = Rid::new(table.id(), PartitionId(p), 0);
-        table
-            .update(rid, |tu| {
-                let v = tu.get(0).clone();
-                tu.set(0, v);
-            })
+        table.update(rid, |tu| f(tu)).unwrap();
+    }
+}
+
+/// One **value-changing** write per partition inside every table's Q3
+/// projection ∪ filter column set, invalidating all cached shared scans
+/// (column-level epochs ignore writes that change nothing, so the old
+/// identity-update trick would leave the cache warm). The Q3 result is
+/// provably unchanged:
+/// * customer: rewrite `c_state` keeping its first character — the
+///   filter only reads the prefix, the join keys are untouched;
+/// * orders: advance `o_entry_d` by a day — still inside the open-ended
+///   date window;
+/// * neworder: all three columns are join keys, so no in-place write is
+///   result-neutral — append a sentinel row with a fresh **negative**
+///   `no_o_id` instead (no order ever matches it, and the grown prefix
+///   invalidates the partition like any append).
+fn dirty_q3_tables(db: &TpccDb, round: &mut i64) {
+    *round += 1;
+    let n = *round;
+    write_each_partition(&db.customer, |tu| {
+        let state = tu.get(cols::customer::C_STATE).as_str().unwrap();
+        let head = &state[..1];
+        tu.set(cols::customer::C_STATE, Value::str(format!("{head}{n}")));
+    });
+    write_each_partition(&db.orders, |tu| {
+        let d = tu.get(cols::orders::O_ENTRY_D).as_int().unwrap();
+        tu.set(cols::orders::O_ENTRY_D, Value::Int(d + 1));
+    });
+    for w in 1..=db.neworder.partition_count() as i64 {
+        db.neworder
+            .insert(Tuple::new(vec![
+                Value::Int(w),
+                Value::Int(1),
+                Value::Int(-(n * 64 + w)),
+            ]))
             .unwrap();
     }
 }
 
-/// Invalidates every shared scan in the Q3 working set.
-fn dirty_q3_tables(db: &TpccDb) {
-    dirty_table(&db.customer);
-    dirty_table(&db.neworder);
-    dirty_table(&db.orders);
+/// One write per partition to columns **outside** every Q3 column set —
+/// the payment/delivery shape (`c_balance`, `o_carrier_id`). With
+/// column-level epochs the cached shared scans must survive these
+/// untouched. (New-order rows are pure join keys; its real OLTP traffic
+/// is insert/delete, which legitimately invalidates, so it stays
+/// quiescent in this arm.)
+fn dirty_disjoint_columns(db: &TpccDb, round: &mut i64) {
+    *round += 1;
+    let n = *round;
+    write_each_partition(&db.customer, |tu| {
+        tu.set(cols::customer::C_BALANCE, Value::Float(n as f64 + 0.25));
+    });
+    write_each_partition(&db.orders, |tu| {
+        tu.set(cols::orders::O_CARRIER_ID, Value::Int(n));
+    });
 }
 
 /// Builds a `(int, int, int, str)` batch of `rows` rows — the key-ish
@@ -162,16 +210,51 @@ fn main() {
         "columnar diverged on the bounded window"
     );
 
+    // Functional check of the survival claim before timing anything: a
+    // cached customer key scan must be served from the very same buffers
+    // across a disjoint-column write, and re-materialize after a write
+    // inside its column set.
+    let mut dirty_round = 0i64;
+    {
+        let proj = Q3Spec::CUSTOMER_KEY_PROJ;
+        let pred = spec.customer_pred();
+        let p0 = PartitionId(0);
+        let (before, _) = db
+            .customer
+            .scan_columns_snapshot_shared(p0, &proj, Some(&pred))
+            .unwrap();
+        dirty_disjoint_columns(&db, &mut dirty_round);
+        let (after, _) = db
+            .customer
+            .scan_columns_snapshot_shared(p0, &proj, Some(&pred))
+            .unwrap();
+        assert!(
+            after.column(0).shares_buffer_with(before.column(0)),
+            "disjoint-column write must not evict the cached shared scan"
+        );
+        dirty_q3_tables(&db, &mut dirty_round);
+        let (evicted, _) = db
+            .customer
+            .scan_columns_snapshot_shared(p0, &proj, Some(&pred))
+            .unwrap();
+        assert!(
+            !evicted.column(0).shares_buffer_with(before.column(0)),
+            "in-set write must re-materialize the shared scan"
+        );
+    }
+
     let mut row_secs = Vec::new();
     let mut col_secs = Vec::new();
     let mut cold_secs = Vec::new();
+    let mut disjoint_secs = Vec::new();
     for _ in 0..REPS {
         let (rows, secs) = timed(|| exec_q3_local_rows(&db, &spec));
         assert_eq!(rows, oracle);
         row_secs.push(secs);
-        // Cold arm: every partition written since the last query, so all
-        // shared scans re-materialize.
-        dirty_q3_tables(&db);
+        // Cold arm: every partition's Q3 column set written since the
+        // last query, so all shared scans re-materialize (from the
+        // column mirror).
+        dirty_q3_tables(&db, &mut dirty_round);
         let (rows, secs) = timed(|| exec_q3_local(&db, &spec));
         assert_eq!(rows, oracle);
         cold_secs.push(secs);
@@ -180,12 +263,20 @@ fn main() {
         let (rows, secs) = timed(|| exec_q3_local(&db, &spec));
         assert_eq!(rows, oracle);
         col_secs.push(secs);
+        // Disjoint-write arm: OLTP writes race, but only to columns
+        // outside the Q3 sets — the caches must survive.
+        dirty_disjoint_columns(&db, &mut dirty_round);
+        let (rows, secs) = timed(|| exec_q3_local(&db, &spec));
+        assert_eq!(rows, oracle);
+        disjoint_secs.push(secs);
     }
     let row_tput = input_rows as f64 / median(row_secs);
     let col_tput = input_rows as f64 / median(col_secs);
     let cold_tput = input_rows as f64 / median(cold_secs);
+    let disjoint_tput = input_rows as f64 / median(disjoint_secs);
     let tput_ratio = col_tput / row_tput;
     let cold_ratio = cold_tput / row_tput;
+    let disjoint_ratio = disjoint_tput / row_tput;
 
     let split_4k = time_split(4096);
     let split_64k = time_split(65536);
@@ -200,6 +291,7 @@ fn main() {
         ("row", row_tput),
         ("columnar", col_tput),
         ("columnar cold", cold_tput),
+        ("col disjoint-write", disjoint_tput),
     ] {
         row(
             &[
@@ -212,19 +304,25 @@ fn main() {
     }
     println!();
     println!(
-        "columnar/row throughput: {tput_ratio:.2}x (cold {cold_ratio:.2}x)   \
+        "columnar/row throughput: {tput_ratio:.2}x (cold {cold_ratio:.2}x, \
+         disjoint-write {disjoint_ratio:.2}x)   \
          split 4k: {:.2}us   split 64k: {:.2}us   64k/4k: {split_ratio:.2}x",
         split_4k * 1e6,
         split_64k * 1e6,
     );
-    println!("(acceptance: steady-state >= 1.8x, split ratio ~flat <= 2.0)");
+    println!(
+        "(acceptance: steady-state >= 1.8x, cold >= 2.0x, \
+         disjoint-write >= 4.0x, split ratio ~flat <= 2.0)"
+    );
 
     let pairs: Vec<(String, f64)> = vec![
         ("htap_row_q3_mrows_s".into(), row_tput / 1e6),
         ("htap_col_q3_mrows_s".into(), col_tput / 1e6),
         ("htap_col_q3_cold_mrows_s".into(), cold_tput / 1e6),
+        ("htap_col_q3_disjoint_mrows_s".into(), disjoint_tput / 1e6),
         ("ratio_htap_columnar_vs_row_q3".into(), tput_ratio),
         ("ratio_htap_columnar_cold_vs_row_q3".into(), cold_ratio),
+        ("ratio_htap_disjoint_write_vs_row_q3".into(), disjoint_ratio),
         ("split_latency_us_4k_rows".into(), split_4k * 1e6),
         ("split_latency_us_64k_rows".into(), split_64k * 1e6),
         ("ratio_split_latency_64k_vs_4k_rows".into(), split_ratio),

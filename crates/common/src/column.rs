@@ -65,6 +65,18 @@ fn bit_set(bits: &mut Vec<u8>, row: usize) {
     bits[row / 8] |= 1 << (row % 8);
 }
 
+/// Clears bit `row` (no-op when the bitmap never grew that far).
+fn bit_clear(bits: &mut [u8], row: usize) {
+    if let Some(b) = bits.get_mut(row / 8) {
+        *b &= !(1 << (row % 8));
+    }
+}
+
+/// Reads bit `row` of a little-endian byte bitmap.
+fn bit_get(bits: &[u8], row: usize) -> bool {
+    bits.get(row / 8).is_some_and(|b| b & (1 << (row % 8)) != 0)
+}
+
 /// Typed value storage of one column: immutable buffers shared between
 /// every view cloned from the same batch. Null positions hold a
 /// placeholder (`0` / `0.0` / empty string); the owning [`Column`]'s
@@ -167,6 +179,72 @@ impl ColMut<'_> {
             ColDataMut::Float(col) => col.reserve(n),
             ColDataMut::Str { offsets, .. } => offsets.reserve(n),
         }
+    }
+
+    /// Bulk-appends rows `lo..hi` of `store`, landing at destination row
+    /// `dst_start` onward. Int/Float ranges are one `extend_from_slice`
+    /// (the memcpy that replaces a per-row tuple walk); strings copy
+    /// their arena spans contiguously.
+    fn extend_from_store(
+        &mut self,
+        store: &ColumnStore,
+        lo: usize,
+        hi: usize,
+        dst_start: usize,
+    ) -> DbResult<()> {
+        match (&mut self.data, &store.data) {
+            (ColDataMut::Int(col), StoreData::Int(src)) => col.extend_from_slice(&src[lo..hi]),
+            (ColDataMut::Float(col), StoreData::Float(src)) => col.extend_from_slice(&src[lo..hi]),
+            (ColDataMut::Str { offsets, arena }, StoreData::Str { spans, arena: src }) => {
+                for &(off, len) in &spans[lo..hi] {
+                    arena.push_str(&src[off as usize..(off + len) as usize]);
+                    offsets.push(arena.len() as u32);
+                }
+            }
+            _ => return Err(DbError::TypeMismatch("value type vs column type")),
+        }
+        if !store.nulls.is_empty() {
+            for i in lo..hi {
+                if store.is_null(i) {
+                    bit_set(self.nulls, dst_start + (i - lo));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Gathers the rows listed in `sel` from `store` (filtered-scan
+    /// materialization), landing at destination row `dst_start` onward.
+    fn extend_from_store_sel(
+        &mut self,
+        store: &ColumnStore,
+        sel: &[u32],
+        dst_start: usize,
+    ) -> DbResult<()> {
+        match (&mut self.data, &store.data) {
+            (ColDataMut::Int(col), StoreData::Int(src)) => {
+                col.extend(sel.iter().map(|&i| src[i as usize]));
+            }
+            (ColDataMut::Float(col), StoreData::Float(src)) => {
+                col.extend(sel.iter().map(|&i| src[i as usize]));
+            }
+            (ColDataMut::Str { offsets, arena }, StoreData::Str { spans, arena: src }) => {
+                for &i in sel {
+                    let (off, len) = spans[i as usize];
+                    arena.push_str(&src[off as usize..(off + len) as usize]);
+                    offsets.push(arena.len() as u32);
+                }
+            }
+            _ => return Err(DbError::TypeMismatch("value type vs column type")),
+        }
+        if !store.nulls.is_empty() {
+            for (k, &i) in sel.iter().enumerate() {
+                if store.is_null(i as usize) {
+                    bit_set(self.nulls, dst_start + k);
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -487,6 +565,239 @@ impl PartialEq for Column {
     }
 }
 
+/// Typed value storage of one column in the ColumnStore mirror. Strings
+/// live in an append-only arena addressed by per-row `(offset, len)`
+/// spans, so an in-place update appends the new payload and repoints the
+/// span — the old bytes become garbage, which is the classic write-
+/// optimized-column trade (a real system compacts; update volume here is
+/// OLTP-rate, not scan-rate).
+enum StoreData {
+    /// 64-bit integers.
+    Int(Vec<i64>),
+    /// 64-bit floats.
+    Float(Vec<f64>),
+    /// Strings: value `i` is `arena[spans[i].0 .. spans[i].0 + spans[i].1]`.
+    Str {
+        /// `(offset, len)` of each row's payload in the arena.
+        spans: Vec<(u32, u32)>,
+        /// Append-only payload arena (updates append and repoint).
+        arena: String,
+    },
+}
+
+/// Spans address the store arena with `u32` offsets, and the arena is
+/// long-lived and append-only (string updates leave garbage behind), so
+/// a write that would push it past `u32` addressing must fail loudly —
+/// a wrapped offset would silently repoint rows at the wrong bytes. The
+/// panic is the compaction backstop: hitting it means the column has
+/// accumulated ~4 GiB of string writes in one partition and needs arena
+/// compaction (ROADMAP follow-up), not a bigger integer.
+fn check_arena_capacity(arena: &str, incoming: &str) {
+    assert!(
+        arena.len() + incoming.len() <= u32::MAX as usize,
+        "column-store string arena exceeds u32 addressing; compact it"
+    );
+}
+
+/// Mutable, in-place-updatable typed storage of one column — the unit of
+/// the write-through **per-column storage mirror** partitions maintain
+/// (the C-Store/Vertica move). Unlike [`Column`], whose buffers are
+/// immutable and `Arc`-shared between views, a store is uniquely owned
+/// by its writer and supports [`ColumnStore::set`] (OLTP update
+/// write-through) next to [`ColumnStore::push`] (append write-through).
+/// Scans never hand out references into a store: they bulk-copy ranges
+/// into a [`ColumnBatch`] via [`BatchAppender::extend_from_stores`] /
+/// [`BatchAppender::extend_from_stores_sel`] — sequential typed-vector
+/// copies, no per-row tuple walk.
+pub struct ColumnStore {
+    data: StoreData,
+    /// Bit `row` set = row is NULL (lazily grown, like [`Column`]).
+    nulls: Vec<u8>,
+    len: usize,
+}
+
+impl ColumnStore {
+    /// An empty store of the given type.
+    pub fn new(ty: DataType) -> Self {
+        let data = match ty {
+            DataType::Int => StoreData::Int(Vec::new()),
+            DataType::Float => StoreData::Float(Vec::new()),
+            DataType::Str => StoreData::Str {
+                spans: Vec::new(),
+                arena: String::new(),
+            },
+        };
+        Self {
+            data,
+            nulls: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// The store's declared type.
+    pub fn data_type(&self) -> DataType {
+        match &self.data {
+            StoreData::Int(_) => DataType::Int,
+            StoreData::Float(_) => DataType::Float,
+            StoreData::Str { .. } => DataType::Str,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the store holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True if the row is NULL.
+    #[inline]
+    pub fn is_null(&self, row: usize) -> bool {
+        bit_get(&self.nulls, row)
+    }
+
+    /// The raw values (`None` if not an Int store); null rows hold `0`.
+    #[inline]
+    pub fn ints(&self) -> Option<&[i64]> {
+        match &self.data {
+            StoreData::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw values (`None` if not a Float store).
+    #[inline]
+    pub fn floats(&self) -> Option<&[f64]> {
+        match &self.data {
+            StoreData::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string at `row` (`None` for non-Str stores; empty for nulls).
+    ///
+    /// # Panics
+    /// Panics if `row` is out of range.
+    #[inline]
+    pub fn str_at(&self, row: usize) -> Option<&str> {
+        match &self.data {
+            StoreData::Str { spans, arena } => {
+                let (off, len) = spans[row];
+                Some(&arena[off as usize..(off + len) as usize])
+            }
+            _ => None,
+        }
+    }
+
+    /// Materializes the value at `row` (tests/diagnostics).
+    ///
+    /// # Panics
+    /// Panics if `row` is out of range.
+    pub fn value(&self, row: usize) -> Value {
+        if self.is_null(row) {
+            return Value::Null;
+        }
+        match &self.data {
+            StoreData::Int(v) => Value::Int(v[row]),
+            StoreData::Float(v) => Value::Float(v[row]),
+            StoreData::Str { .. } => Value::str(self.str_at(row).expect("str store")),
+        }
+    }
+
+    /// Appends `v`, type-checked; NULL is allowed in any column.
+    pub fn push(&mut self, v: &Value) -> DbResult<()> {
+        let row = self.len;
+        match (&mut self.data, v) {
+            (StoreData::Int(col), Value::Int(i)) => col.push(*i),
+            (StoreData::Float(col), Value::Float(f)) => col.push(*f),
+            (StoreData::Str { spans, arena }, Value::Str(s)) => {
+                check_arena_capacity(arena, s);
+                spans.push((arena.len() as u32, s.len() as u32));
+                arena.push_str(s);
+            }
+            (data, Value::Null) => {
+                match data {
+                    StoreData::Int(col) => col.push(0),
+                    StoreData::Float(col) => col.push(0.0),
+                    StoreData::Str { spans, arena } => spans.push((arena.len() as u32, 0)),
+                }
+                bit_set(&mut self.nulls, row);
+            }
+            _ => return Err(DbError::TypeMismatch("value type vs column type")),
+        }
+        self.len = row + 1;
+        Ok(())
+    }
+
+    /// Pre-sizes the value buffer for `n` more rows.
+    pub fn reserve(&mut self, n: usize) {
+        match &mut self.data {
+            StoreData::Int(col) => col.reserve(n),
+            StoreData::Float(col) => col.reserve(n),
+            StoreData::Str { spans, .. } => spans.reserve(n),
+        }
+    }
+
+    /// Overwrites the value at `row` in place, type-checked. Returns
+    /// whether the stored value actually **changed** — the diff signal
+    /// column-level epochs key off (a write-through of an identical
+    /// value must not invalidate cached scans of this column).
+    ///
+    /// # Panics
+    /// Panics if `row` is out of range.
+    pub fn set(&mut self, row: usize, v: &Value) -> DbResult<bool> {
+        assert!(row < self.len, "set({row}) of {} rows", self.len);
+        let was_null = self.is_null(row);
+        let changed = match (&mut self.data, v) {
+            (StoreData::Int(col), Value::Int(i)) => {
+                let changed = was_null || col[row] != *i;
+                col[row] = *i;
+                changed
+            }
+            (StoreData::Float(col), Value::Float(f)) => {
+                // Bit-level compare: a NaN overwrite must still count as
+                // a change the first time, and -0.0 vs 0.0 are distinct
+                // stored states.
+                let changed = was_null || col[row].to_bits() != f.to_bits();
+                col[row] = *f;
+                changed
+            }
+            (StoreData::Str { spans, arena }, Value::Str(s)) => {
+                let (off, len) = spans[row];
+                let changed = was_null || arena[off as usize..(off + len) as usize] != **s;
+                if changed {
+                    check_arena_capacity(arena, s);
+                    spans[row] = (arena.len() as u32, s.len() as u32);
+                    arena.push_str(s);
+                }
+                changed
+            }
+            (data, Value::Null) => {
+                if !was_null {
+                    match data {
+                        StoreData::Int(col) => col[row] = 0,
+                        StoreData::Float(col) => col[row] = 0.0,
+                        StoreData::Str { spans, .. } => {
+                            spans[row].1 = 0;
+                        }
+                    }
+                }
+                bit_set(&mut self.nulls, row);
+                !was_null
+            }
+            _ => return Err(DbError::TypeMismatch("value type vs column type")),
+        };
+        if changed && was_null && !matches!(v, Value::Null) {
+            bit_clear(&mut self.nulls, row);
+        }
+        Ok(changed)
+    }
+}
+
 /// A columnar predicate that can be *pushed down* to the scan (evaluated
 /// per row while the scan still holds the row) or evaluated vectorized
 /// over a [`ColumnBatch`] into a selection vector. The enum is the
@@ -650,6 +961,99 @@ impl ColPredicate {
                     }
                 }
                 sel.truncate(w);
+            }
+        }
+    }
+
+    /// Row-at-a-time evaluation over mirror stores (indexed by schema
+    /// position, like [`ColPredicate::matches`] over full-width rows);
+    /// missing or mistyped columns fail, NULLs fail.
+    pub fn matches_stores(&self, stores: &[ColumnStore], row: usize) -> bool {
+        match self {
+            ColPredicate::IntGe { col, min } => stores
+                .get(*col)
+                .is_some_and(|s| !s.is_null(row) && s.ints().is_some_and(|v| v[row] >= *min)),
+            ColPredicate::IntBetween { col, min, max } => stores.get(*col).is_some_and(|s| {
+                !s.is_null(row) && s.ints().is_some_and(|v| v[row] >= *min && v[row] <= *max)
+            }),
+            ColPredicate::StrPrefix { col, prefix } => stores.get(*col).is_some_and(|s| {
+                !s.is_null(row)
+                    && s.str_at(row)
+                        .is_some_and(|v| v.starts_with(prefix.as_str()))
+            }),
+            ColPredicate::And(ps) => ps.iter().all(|p| p.matches_stores(stores, row)),
+        }
+    }
+
+    /// Vectorized evaluation over mirror stores: appends the **absolute**
+    /// indices of rows in `lo..hi` passing the predicate to `sel`.
+    /// Column positions address the full schema (stores are the whole
+    /// mirror, pre-projection). Missing or mistyped columns select
+    /// nothing, mirroring [`ColPredicate::select`].
+    pub fn select_stores(&self, stores: &[ColumnStore], lo: usize, hi: usize, sel: &mut Vec<u32>) {
+        match self {
+            ColPredicate::IntGe { col, min } => {
+                let Some(s) = stores.get(*col) else { return };
+                let Some(vals) = s.ints() else { return };
+                sel.extend(
+                    (lo..hi).filter_map(|i| (vals[i] >= *min && !s.is_null(i)).then_some(i as u32)),
+                );
+            }
+            ColPredicate::IntBetween { col, min, max } => {
+                let Some(s) = stores.get(*col) else { return };
+                let Some(vals) = s.ints() else { return };
+                sel.extend((lo..hi).filter_map(|i| {
+                    (vals[i] >= *min && vals[i] <= *max && !s.is_null(i)).then_some(i as u32)
+                }));
+            }
+            ColPredicate::StrPrefix { col, prefix } => {
+                let Some(s) = stores.get(*col) else { return };
+                if !matches!(s.data_type(), DataType::Str) {
+                    return;
+                }
+                for i in lo..hi {
+                    if !s.is_null(i) && s.str_at(i).is_some_and(|v| v.starts_with(prefix.as_str()))
+                    {
+                        sel.push(i as u32);
+                    }
+                }
+            }
+            ColPredicate::And(ps) => {
+                let Some((first, rest)) = ps.split_first() else {
+                    sel.extend((lo..hi).map(|i| i as u32));
+                    return;
+                };
+                let start = sel.len();
+                first.select_stores(stores, lo, hi, sel);
+                if rest.is_empty() {
+                    return;
+                }
+                // Refine the first child's selection in place.
+                let mut w = start;
+                for r in start..sel.len() {
+                    let row = sel[r];
+                    if rest.iter().all(|p| p.matches_stores(stores, row as usize)) {
+                        sel[w] = row;
+                        w += 1;
+                    }
+                }
+                sel.truncate(w);
+            }
+        }
+    }
+
+    /// Appends every column position the predicate reads to `out`
+    /// (duplicates possible). With a projection, `proj ∪ columns` is the
+    /// column set whose epochs certify a filtered scan.
+    pub fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            ColPredicate::IntGe { col, .. }
+            | ColPredicate::IntBetween { col, .. }
+            | ColPredicate::StrPrefix { col, .. } => out.push(*col),
+            ColPredicate::And(ps) => {
+                for p in ps {
+                    p.collect_columns(out);
+                }
             }
         }
     }
@@ -875,6 +1279,44 @@ impl BatchAppender<'_> {
         for col in &mut self.cols {
             col.reserve(n);
         }
+    }
+
+    /// Bulk-appends rows `lo..hi` of each store — `stores` given in the
+    /// batch's column order (i.e. already projected). This is the
+    /// mirror-scan fast path: one typed range copy per column instead of
+    /// one tuple walk per row. On `Err` (arity or type mismatch) the
+    /// batch may be ragged and must be discarded.
+    pub fn extend_from_stores(
+        &mut self,
+        stores: &[&ColumnStore],
+        lo: usize,
+        hi: usize,
+    ) -> DbResult<()> {
+        if stores.len() != self.cols.len() {
+            return Err(DbError::SchemaMismatch("projection arity vs batch arity"));
+        }
+        let dst_start = self.start + self.added;
+        for (col, store) in self.cols.iter_mut().zip(stores) {
+            col.extend_from_store(store, lo, hi, dst_start)?;
+        }
+        self.added += hi - lo;
+        Ok(())
+    }
+
+    /// Gathers the rows listed in `sel` (store row indices) from each
+    /// store — the filtered-scan counterpart of
+    /// [`BatchAppender::extend_from_stores`]. On `Err` the batch must be
+    /// discarded.
+    pub fn extend_from_stores_sel(&mut self, stores: &[&ColumnStore], sel: &[u32]) -> DbResult<()> {
+        if stores.len() != self.cols.len() {
+            return Err(DbError::SchemaMismatch("projection arity vs batch arity"));
+        }
+        let dst_start = self.start + self.added;
+        for (col, store) in self.cols.iter_mut().zip(stores) {
+            col.extend_from_store_sel(store, sel, dst_start)?;
+        }
+        self.added += sel.len();
+        Ok(())
     }
 }
 
@@ -1615,6 +2057,185 @@ mod tests {
         // rejected on decode — see `predicate_codec_rejects_bad_input`).
         let deeper = ColPredicate::And(vec![p]);
         assert_eq!(deeper.depth(), MAX_PRED_DEPTH + 1);
+    }
+
+    #[test]
+    fn column_store_push_set_and_diff() {
+        let mut s = ColumnStore::new(DataType::Str);
+        s.push(&Value::str("alpha")).unwrap();
+        s.push(&Value::Null).unwrap();
+        s.push(&Value::str("")).unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.value(0), Value::str("alpha"));
+        assert_eq!(s.value(1), Value::Null);
+        assert_eq!(s.value(2), Value::str(""));
+        // Identical overwrite reports no change (epoch diff signal).
+        assert!(!s.set(0, &Value::str("alpha")).unwrap());
+        assert!(s.set(0, &Value::str("beta")).unwrap());
+        assert_eq!(s.value(0), Value::str("beta"));
+        // Null transitions both ways are changes; repeated nulls are not.
+        assert!(s.set(0, &Value::Null).unwrap());
+        assert!(!s.set(0, &Value::Null).unwrap());
+        assert!(s.set(1, &Value::str("")).unwrap());
+        assert_eq!(s.value(1), Value::str(""));
+        assert!(!s.is_null(1));
+        // Type mismatch is an error, not a silent write.
+        assert!(s.set(2, &Value::Int(1)).is_err());
+        assert!(s.push(&Value::Float(0.5)).is_err());
+
+        let mut i = ColumnStore::new(DataType::Int);
+        i.push(&Value::Int(7)).unwrap();
+        assert!(!i.set(0, &Value::Int(7)).unwrap());
+        assert!(i.set(0, &Value::Int(8)).unwrap());
+        let mut f = ColumnStore::new(DataType::Float);
+        f.push(&Value::Float(0.0)).unwrap();
+        assert!(!f.set(0, &Value::Float(0.0)).unwrap());
+        assert!(
+            f.set(0, &Value::Float(-0.0)).unwrap(),
+            "-0.0 is a new bit pattern"
+        );
+        assert!(f.set(0, &Value::Float(f64::NAN)).unwrap());
+        assert!(
+            !f.set(0, &Value::Float(f64::NAN)).unwrap(),
+            "same NaN bits: no change"
+        );
+    }
+
+    #[test]
+    fn extend_from_stores_matches_per_row_pushes() {
+        // Build stores with nulls and updated strings (garbage in the
+        // arena), copy ranges and selections into batches, and compare
+        // with the value-at-a-time oracle.
+        let mut ints = ColumnStore::new(DataType::Int);
+        let mut strs = ColumnStore::new(DataType::Str);
+        for i in 0..20i64 {
+            let iv = if i % 5 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i)
+            };
+            let sv = if i % 7 == 0 {
+                Value::Null
+            } else {
+                Value::str(format!("s{i}"))
+            };
+            ints.push(&iv).unwrap();
+            strs.push(&sv).unwrap();
+        }
+        // In-place updates: repointed spans must copy correctly.
+        strs.set(3, &Value::str("replaced-three")).unwrap();
+        ints.set(4, &Value::Int(-4)).unwrap();
+
+        let stores = [&ints, &strs];
+        let mut bulk = ColumnBatch::new(&[DataType::Int, DataType::Str]);
+        {
+            let mut app = bulk.appender();
+            app.extend_from_stores(&stores, 2, 13).unwrap();
+        }
+        let mut oracle = ColumnBatch::new(&[DataType::Int, DataType::Str]);
+        for i in 2..13 {
+            oracle.push_row(&[ints.value(i), strs.value(i)]).unwrap();
+        }
+        assert_eq!(bulk, oracle);
+
+        let sel: Vec<u32> = vec![0, 3, 4, 7, 19];
+        let mut gathered = ColumnBatch::new(&[DataType::Int, DataType::Str]);
+        {
+            let mut app = gathered.appender();
+            app.extend_from_stores_sel(&stores, &sel).unwrap();
+        }
+        let mut oracle = ColumnBatch::new(&[DataType::Int, DataType::Str]);
+        for &i in &sel {
+            let i = i as usize;
+            oracle.push_row(&[ints.value(i), strs.value(i)]).unwrap();
+        }
+        assert_eq!(gathered, oracle);
+
+        // Arity and type mismatches surface as errors.
+        let mut wrong = ColumnBatch::new(&[DataType::Float, DataType::Str]);
+        assert!(wrong.appender().extend_from_stores(&stores, 0, 1).is_err());
+        let mut short = ColumnBatch::new(&[DataType::Int]);
+        assert!(short.appender().extend_from_stores(&stores, 0, 1).is_err());
+    }
+
+    #[test]
+    fn store_predicates_agree_with_row_evaluation() {
+        let mut w = ColumnStore::new(DataType::Int);
+        let mut state = ColumnStore::new(DataType::Str);
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        for (i, s) in [(5i64, "Alpha"), (20, "beta"), (30, "Ax"), (1, "A")] {
+            w.push(&Value::Int(i)).unwrap();
+            state.push(&Value::str(s)).unwrap();
+            rows.push(vec![Value::Int(i), Value::str(s)]);
+        }
+        w.push(&Value::Null).unwrap();
+        state.push(&Value::Null).unwrap();
+        rows.push(vec![Value::Null, Value::Null]);
+        let stores = vec![w, state];
+        for pred in [
+            ColPredicate::IntGe { col: 0, min: 10 },
+            ColPredicate::IntBetween {
+                col: 0,
+                min: 2,
+                max: 20,
+            },
+            ColPredicate::StrPrefix {
+                col: 1,
+                prefix: "A".into(),
+            },
+            ColPredicate::And(vec![
+                ColPredicate::IntGe { col: 0, min: 2 },
+                ColPredicate::StrPrefix {
+                    col: 1,
+                    prefix: "A".into(),
+                },
+            ]),
+            ColPredicate::And(vec![]),
+            ColPredicate::IntGe { col: 9, min: 0 }, // missing column
+            ColPredicate::IntGe { col: 1, min: 0 }, // mistyped column
+        ] {
+            let mut sel = Vec::new();
+            pred.select_stores(&stores, 0, rows.len(), &mut sel);
+            let by_row: Vec<u32> = (0..rows.len())
+                .filter(|&i| pred.matches(&rows[i]))
+                .map(|i| i as u32)
+                .collect();
+            assert_eq!(sel, by_row, "{pred:?}");
+            for (i, row) in rows.iter().enumerate() {
+                assert_eq!(
+                    pred.matches_stores(&stores, i),
+                    pred.matches(row),
+                    "{pred:?} row {i}"
+                );
+            }
+            // A sub-range selects exactly the full selection's overlap.
+            let mut sub = Vec::new();
+            pred.select_stores(&stores, 1, 3, &mut sub);
+            let expect: Vec<u32> = by_row
+                .iter()
+                .copied()
+                .filter(|&i| (1..3).contains(&(i as usize)))
+                .collect();
+            assert_eq!(sub, expect, "{pred:?} subrange");
+        }
+    }
+
+    #[test]
+    fn collect_columns_walks_conjunctions() {
+        let p = ColPredicate::And(vec![
+            ColPredicate::IntGe { col: 4, min: 0 },
+            ColPredicate::And(vec![ColPredicate::StrPrefix {
+                col: 2,
+                prefix: "A".into(),
+            }]),
+        ]);
+        let mut cols = Vec::new();
+        p.collect_columns(&mut cols);
+        cols.sort_unstable();
+        assert_eq!(cols, vec![2, 4]);
+        let mut none = Vec::new();
+        ColPredicate::And(vec![]).collect_columns(&mut none);
+        assert!(none.is_empty());
     }
 
     #[test]

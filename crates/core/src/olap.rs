@@ -669,9 +669,13 @@ fn join_hash(cust: &[ColumnBatch], no: &[ColumnBatch], ord: &[ColumnBatch]) -> u
 
 /// Materializes the key projection of every partition of `table` through
 /// the **shared** snapshot-consistent columnar scan (filter pushed to the
-/// scan), one batch per partition. Quiescent partitions are served
-/// zero-copy from the table's epoch-validated scan cache; any partition
-/// written since its last materialization is rescanned.
+/// scan), one batch per partition. Cached scans are revalidated against
+/// **column-level** epochs: a partition is served zero-copy unless a
+/// write actually changed one of the projected or filtered columns (or
+/// appended a row) since its last materialization — OLTP writes to
+/// unrelated columns (payments rewriting balances) leave the Q3 caches
+/// untouched. Re-materialization copies from the partition's per-column
+/// storage mirror, not the tuple heap.
 fn snapshot_key_batches(
     table: &Table,
     proj: &[usize],
@@ -690,11 +694,13 @@ fn snapshot_key_batches(
 /// execution behind `Event::QueryQ3` on HTAP OLAP workers.
 ///
 /// Each table's join-key projection is materialized per partition via
-/// [`anydb_storage::Table::scan_columns_snapshot_shared`] — a latch-free
-/// consistent-prefix pass with the spec's filters pushed to the scan,
-/// cached per partition and revalidated against the partition write
-/// epoch, so repeated queries over quiescent partitions ride one shared
-/// scan (SharedDB-style) at zero copy cost. The two joins then run over
+/// [`anydb_storage::Table::scan_columns_snapshot_shared`] — a
+/// consistent-prefix pass over the partition's per-column storage mirror
+/// with the spec's filters pushed to the scan, cached per partition and
+/// revalidated against **column-level** write epochs, so repeated
+/// queries ride one shared scan (SharedDB-style) at zero copy cost as
+/// long as no OLTP write touches the projected ∪ filtered columns. The
+/// two joins then run over
 /// packed key slices: bitmap membership when the key domains are dense
 /// (the TPC-C case), hash sets otherwise. [`exec_q3_local_rows`] keeps
 /// the row-at-a-time execution as the baseline arm of `abl_htap`, and

@@ -1,32 +1,58 @@
-//! A horizontal partition: an append-only vector of latched, versioned rows.
+//! A horizontal partition: an append-only vector of latched, versioned rows
+//! plus a write-through **per-column storage mirror**.
 //!
 //! Concurrency design: the outer `RwLock` is held in read mode for any row
 //! access (the per-row `RwLock` provides record latching) and in write mode
 //! only to append. Slots are never removed or moved, so RIDs are stable.
 //!
+//! ## The column mirror (C-Store/Vertica move)
+//!
+//! A partition built with [`Partition::with_types`] additionally keeps every
+//! column in a typed, in-place-updatable vector
+//! ([`anydb_common::ColumnStore`]), maintained **write-through** by
+//! `append`/`update` under the partition's latch/epoch discipline. Columnar
+//! scans copy ranges of those vectors instead of walking tuples, so a cold
+//! analytic scan pays sequential typed-vector reads rather than one
+//! tuple-buffer cache miss per row. The mirror sits behind its own `RwLock`
+//! (acquired *after* the row-store locks, never the other way around):
+//! writers hold it for the duration of one row's write-through, scans hold
+//! it in [`SNAPSHOT_CHUNK`]-row read chunks — racing OLTP writers stall at
+//! most one chunk's worth of copying.
+//!
+//! ## Epochs, global and per column
+//!
 //! A monotone **write epoch** ([`Partition::epoch`]) is bumped before every
-//! append and every row mutation. Analytic scans read it on entry and exit:
-//! equal readings certify that the materialized columns are a true
-//! point-in-time image of the partition prefix (see
-//! [`Partition::scan_columns_snapshot`] and [`ScanSnapshot`]).
+//! append and every row mutation. On top of it the mirror tracks **dirty
+//! state at column granularity**: each column remembers the epoch of the
+//! last write that actually *changed* one of its values (write-through
+//! diffs against the mirror, so overwriting a value with itself invalidates
+//! nothing), and the mirror remembers the epoch of the last append (prefix
+//! growth invalidates every column set). A scan over columns `S = proj ∪
+//! pred` therefore certifies itself against `max(append epoch, column
+//! epochs over S)` ([`ScanSnapshot::cols_epoch_start`]/`cols_epoch_end`,
+//! [`Partition::cols_epoch`]) — OLTP writes to columns outside `S` leave
+//! the certificate, and any cached scan keyed on it, untouched.
+//!
+//! Epoch reads and bumps all happen under the mirror lock (for mirrored
+//! partitions), so equal readings at scan start and end prove no relevant
+//! write interleaved anywhere.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use anydb_common::{ColPredicate, ColumnBatch, DbError, DbResult, Tuple};
+use anydb_common::{ColPredicate, ColumnBatch, ColumnStore, DataType, DbError, DbResult, Tuple};
 use parking_lot::RwLock;
 
 use crate::record::Row;
 
-/// Rows materialized per exclusive chunk by
-/// [`Partition::scan_columns_snapshot`]: large enough to amortize the
-/// outer-lock handoff, small enough that racing OLTP writers are stalled
-/// for microseconds, not a scan's length.
+/// Rows materialized per exclusive chunk by the columnar scans: large
+/// enough to amortize the lock handoff, small enough that racing OLTP
+/// writers are stalled for microseconds, not a scan's length.
 const SNAPSHOT_CHUNK: usize = 1024;
 
 /// What a [`Partition::scan_columns_snapshot`] observed — the snapshot's
 /// consistency certificate.
 ///
-/// The contract (also §5 of DESIGN.md):
+/// The contract (also §6 of DESIGN.md):
 ///
 /// 1. **Fixed prefix** — the scan covers exactly the `prefix` rows present
 ///    when it began, in slot order; rows appended while it runs are never
@@ -39,6 +65,13 @@ const SNAPSHOT_CHUNK: usize = 1024;
 ///    scan is still a sequence of per-chunk point-in-time images
 ///    (read-committed prefix semantics) and `max_version` bounds the
 ///    newest row state it can contain.
+/// 4. **Column-set certificate** — `cols_epoch_start == cols_epoch_end`
+///    proves no write *changed a projected or filtered column* (and
+///    nothing was appended): the scanned projection is one point-in-time
+///    image even if unrelated columns were written mid-scan. This is the
+///    certificate the shared-scan cache revalidates against, which is what
+///    keeps cached OLAP snapshots alive across OLTP writes to disjoint
+///    columns. Un-mirrored partitions fall back to the global epochs here.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScanSnapshot {
     /// Rows in the captured prefix (scanned pre-filter).
@@ -49,46 +82,221 @@ pub struct ScanSnapshot {
     pub epoch_start: u64,
     /// Partition write epoch when the scan finished.
     pub epoch_end: u64,
+    /// Max relevant epoch (appends + projected ∪ filtered columns) when
+    /// the scan began.
+    pub cols_epoch_start: u64,
+    /// Max relevant epoch when the scan finished.
+    pub cols_epoch_end: u64,
     /// Highest row version observed in the prefix (0 when empty).
     pub max_version: u64,
 }
 
 impl ScanSnapshot {
     /// True when the whole prefix is certified as one point-in-time image
-    /// (no write raced the scan).
+    /// (no write anywhere in the partition raced the scan).
     pub fn is_point_in_time(&self) -> bool {
         self.epoch_start == self.epoch_end
     }
+
+    /// True when the scanned **projection** is certified as one
+    /// point-in-time image: no append and no change to a projected or
+    /// filtered column raced the scan (writes to unrelated columns are
+    /// allowed). Implied by [`ScanSnapshot::is_point_in_time`]; this is
+    /// the cacheable condition.
+    pub fn is_cols_point_in_time(&self) -> bool {
+        self.cols_epoch_start == self.cols_epoch_end
+    }
 }
 
-/// One partition's row store.
+/// The column positions a predicate reads (empty for `None`).
+fn pred_columns(pred: Option<&ColPredicate>) -> Vec<usize> {
+    let mut cols = Vec::new();
+    if let Some(p) = pred {
+        p.collect_columns(&mut cols);
+    }
+    cols
+}
+
+/// The write-through column mirror: one [`ColumnStore`] per schema column,
+/// plus the column-granular dirty tracking.
+struct Mirror {
+    cols: Vec<ColumnStore>,
+    /// Per column: the global epoch of the last write that *changed* a
+    /// value of this column (appends included).
+    col_epochs: Vec<u64>,
+    /// Global epoch of the last append (prefix growth invalidates every
+    /// column set).
+    append_epoch: u64,
+    /// Rows mirrored (equals the row store's length whenever both locks
+    /// are free — appends hold both).
+    rows: usize,
+    /// Highest row version written through (scan certificates).
+    max_version: u64,
+}
+
+impl Mirror {
+    fn new(types: &[DataType]) -> Self {
+        Self {
+            cols: types.iter().map(|&ty| ColumnStore::new(ty)).collect(),
+            col_epochs: vec![0; types.len()],
+            append_epoch: 0,
+            rows: 0,
+            max_version: 0,
+        }
+    }
+
+    /// The newest epoch relevant to a scan over `proj ∪ pred_cols`
+    /// (`pred_cols` pre-collected via [`ColPredicate::collect_columns`]).
+    fn scan_epoch(&self, proj: &[usize], pred_cols: &[usize]) -> u64 {
+        let mut e = self.append_epoch;
+        for &c in proj.iter().chain(pred_cols) {
+            if let Some(&ce) = self.col_epochs.get(c) {
+                e = e.max(ce);
+            }
+        }
+        e
+    }
+
+    /// Write-through of a fresh row at epoch `e`.
+    ///
+    /// # Panics
+    /// Panics on arity or type mismatch: mirrored partitions only accept
+    /// schema-checked tuples (the table checks before appending).
+    fn append(&mut self, values: &[anydb_common::Value], e: u64) {
+        assert_eq!(
+            values.len(),
+            self.cols.len(),
+            "mirrored partition fed a tuple of the wrong arity"
+        );
+        for (col, v) in self.cols.iter_mut().zip(values) {
+            col.push(v)
+                .expect("mirrored partition fed a schema-checked tuple");
+        }
+        self.rows += 1;
+        self.append_epoch = e;
+    }
+
+    /// Write-through of an updated row at epoch `e`: every column is
+    /// diffed against the mirror and only columns whose value actually
+    /// changed get their epoch bumped — the column-granular dirty signal.
+    ///
+    /// # Panics
+    /// Panics on arity or type mismatch (see [`Mirror::append`]).
+    fn update(&mut self, slot: usize, values: &[anydb_common::Value], e: u64, version: u64) {
+        assert_eq!(
+            values.len(),
+            self.cols.len(),
+            "mirrored partition fed a tuple of the wrong arity"
+        );
+        for (c, (col, v)) in self.cols.iter_mut().zip(values).enumerate() {
+            let changed = col
+                .set(slot, v)
+                .expect("mirrored partition fed a schema-checked tuple");
+            if changed {
+                self.col_epochs[c] = e;
+            }
+        }
+        self.max_version = self.max_version.max(version);
+    }
+}
+
+/// One partition's row store (plus the optional column mirror).
 #[derive(Default)]
 pub struct Partition {
     rows: RwLock<Vec<RwLock<Row>>>,
-    /// Write epoch: bumped (before the mutation publishes) on every append
-    /// and row update. `SeqCst` on both sides so a scan whose two readings
-    /// agree cannot have observed an interleaved write.
+    /// Write epoch: bumped on every append and row update, in the same
+    /// critical section as the write it stamps. `SeqCst` on both sides so
+    /// a scan whose two readings agree cannot have observed an
+    /// interleaved write. For mirrored partitions every bump happens
+    /// under the mirror's write lock together with the mirror
+    /// write-through (the certificate's atomic unit); for un-mirrored
+    /// partitions the bump sits inside the row latch, and the snapshot
+    /// fallback scan holds the outer write lock, excluding updates
+    /// entirely.
     epoch: AtomicU64,
+    /// The write-through column mirror; `None` for partitions built via
+    /// [`Partition::new`] (columnar scans then fall back to tuple walks).
+    /// Lock order: row-store locks first, mirror last.
+    mirror: Option<RwLock<Mirror>>,
 }
 
 impl Partition {
-    /// Empty partition.
+    /// Empty partition **without** a column mirror: columnar scans fall
+    /// back to per-row tuple walks and column-level epochs degrade to the
+    /// global epoch. Tables always build mirrored partitions; this stays
+    /// for raw row-store use (and as the fallback arm in tests).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Empty partition with a write-through column mirror typed for the
+    /// given schema columns — what [`crate::Table`] builds.
+    pub fn with_types(types: &[DataType]) -> Self {
+        Self {
+            rows: RwLock::new(Vec::new()),
+            epoch: AtomicU64::new(0),
+            mirror: Some(RwLock::new(Mirror::new(types))),
+        }
+    }
+
+    /// True when this partition maintains a column mirror.
+    pub fn has_mirror(&self) -> bool {
+        self.mirror.is_some()
+    }
+
     /// Appends a row, returning its slot.
+    ///
+    /// # Panics
+    /// For mirrored partitions, panics if the tuple does not match the
+    /// mirror's column types (tuples must be schema-checked upstream).
     pub fn append(&self, tuple: Tuple) -> u32 {
+        match self.append_with::<std::convert::Infallible>(tuple, |_| Ok(())) {
+            Ok(slot) => slot,
+            Err(e) => match e {},
+        }
+    }
+
+    /// Appends a row **after** running `reserve` with the slot it will
+    /// occupy, all under the partition's append lock: if `reserve` errs
+    /// (e.g. a primary-key index rejects a duplicate), nothing is
+    /// published — no row, no mirror write, no epoch bump. This is the
+    /// reserve-before-publish primitive [`crate::Table::insert`] uses to
+    /// keep a rejected insert from leaking a ghost row.
+    ///
+    /// # Panics
+    /// See [`Partition::append`].
+    pub fn append_with<E>(
+        &self,
+        tuple: Tuple,
+        reserve: impl FnOnce(u32) -> Result<(), E>,
+    ) -> Result<u32, E> {
         let mut rows = self.rows.write();
-        self.epoch.fetch_add(1, Ordering::SeqCst);
         let slot = rows.len() as u32;
+        reserve(slot)?;
+        let mut mirror = self.mirror.as_ref().map(|m| m.write());
+        let e = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(m) = mirror.as_mut() {
+            m.append(tuple.values(), e);
+        }
         rows.push(RwLock::new(Row::new(tuple)));
-        slot
+        Ok(slot)
     }
 
     /// The current write epoch (monotone; see [`ScanSnapshot`]).
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// The newest epoch relevant to scans over `proj` ∪ `pred`'s columns:
+    /// the max of the last append and the last *value-changing* write to
+    /// each relevant column. Un-mirrored partitions report the global
+    /// epoch (column granularity unknown). This is the O(|columns|)
+    /// revalidation read of the shared-scan cache.
+    pub fn cols_epoch(&self, proj: &[usize], pred: Option<&ColPredicate>) -> u64 {
+        match &self.mirror {
+            Some(m) => m.read().scan_epoch(proj, &pred_columns(pred)),
+            None => self.epoch(),
+        }
     }
 
     /// Number of rows.
@@ -117,19 +325,38 @@ impl Partition {
     }
 
     /// Mutates a row under its exclusive latch; returns `f`'s result and
-    /// the new version.
+    /// the new version. The column mirror is maintained write-through in
+    /// the same critical section, diffing each column so only columns
+    /// whose value actually changed are marked dirty.
+    ///
+    /// # Panics
+    /// For mirrored partitions, panics if `f` leaves the tuple mismatching
+    /// the mirror's column types (updates must preserve the schema).
     pub fn update<R>(&self, slot: u32, f: impl FnOnce(&mut Tuple) -> R) -> DbResult<(R, u64)> {
         let rows = self.rows.read();
         let row = rows
             .get(slot as usize)
             .ok_or_else(|| DbError::Internal(format!("slot {slot} out of range")))?;
         let mut guard = row.write();
-        // Bump the epoch *while holding the row latch, before mutating*:
-        // any snapshot scan that observes this write therefore also
-        // observes the bump (see `ScanSnapshot`'s certificate).
-        self.epoch.fetch_add(1, Ordering::SeqCst);
+        // The caller's closure runs under the row latch only, so updates
+        // to different rows stay concurrent (`Table::update` does
+        // secondary-index maintenance in here). The mirror write lock is
+        // taken *after* — still inside the row latch, so same-row
+        // write-throughs keep version order — and spans just the epoch
+        // bump plus the row's write-through: to a mirror-lock reader the
+        // bump and the mirror write are one atomic event, which is what
+        // makes the epoch certificate truthful and torn rows
+        // unobservable. Mirror scans read only the mirror, so the tuple
+        // heap briefly running ahead of it is invisible to them.
         let mut out = None;
         let version = guard.update(|t| out = Some(f(t)));
+        if let Some(m) = &self.mirror {
+            let mut m = m.write();
+            let e = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+            m.update(slot as usize, guard.tuple().values(), e, version);
+        } else {
+            self.epoch.fetch_add(1, Ordering::SeqCst);
+        }
         Ok((out.expect("update closure ran"), version))
     }
 
@@ -146,19 +373,34 @@ impl Partition {
         }
     }
 
-    /// Columnar scan with projection and filter pushdown: appends the
-    /// `proj` columns of every row passing `pred` directly into `out`'s
-    /// typed column vectors — no per-row [`Tuple`] clone, no post-hoc
-    /// filter pass over already-copied rows. Rows failing `pred` are
-    /// skipped before any value is copied, and only projected values are
-    /// ever touched, so a filtered key-column scan does a fraction of the
-    /// row path's work.
+    /// Columnar scan with projection and filter pushdown: rows passing
+    /// `pred` land in `out`'s typed column vectors, projected to `proj`.
+    /// Returns rows scanned pre-filter.
     ///
-    /// Same consistency as [`Partition::scan`] (per-row latches, a
-    /// consistent prefix under concurrent appends). Returns the number of
-    /// rows scanned (pre-filter); errs only if a row's values mismatch
-    /// `out`'s column types, i.e. `out` was built for another schema.
+    /// Mirrored partitions serve this **from the column mirror**: the
+    /// predicate is evaluated vectorized over the mirror's typed vectors
+    /// and survivors are bulk-copied per column — no per-row tuple walk,
+    /// so a cold scan stops paying a tuple-data cache miss per row. The
+    /// consistency is that of [`Partition::scan_columns_snapshot`] (whose
+    /// certificate this simply discards). Un-mirrored partitions keep the
+    /// historical per-row-latch tuple walk.
+    ///
+    /// Errs only if `proj` is out of range or `out` was typed for another
+    /// schema (then `out` is ragged and must be discarded).
     pub fn scan_columns(
+        &self,
+        proj: &[usize],
+        pred: Option<&ColPredicate>,
+        out: &mut ColumnBatch,
+    ) -> DbResult<usize> {
+        match &self.mirror {
+            Some(m) => self.scan_mirror(m, proj, pred, out).map(|s| s.prefix),
+            None => self.scan_columns_rows(proj, pred, out),
+        }
+    }
+
+    /// The un-mirrored fallback: per-row latches, tuple walk.
+    fn scan_columns_rows(
         &self,
         proj: &[usize],
         pred: Option<&ColPredicate>,
@@ -185,26 +427,117 @@ impl Partition {
     }
 
     /// Snapshot-consistent columnar scan: like [`Partition::scan_columns`],
-    /// but materializes a **consistent prefix in one pass** while OLTP
-    /// writes race, and returns a [`ScanSnapshot`] certificate describing
-    /// exactly how consistent the result is.
+    /// but returns the full [`ScanSnapshot`] certificate describing exactly
+    /// how consistent the result is (global **and** column-set epochs).
     ///
-    /// Mechanics: the prefix length and start epoch are captured once,
-    /// then rows are materialized in [`SNAPSHOT_CHUNK`]-sized chunks under
-    /// the **outer write lock** — total mutual exclusion per chunk, so no
-    /// per-row latch is ever acquired (the row latches are bypassed via
-    /// `get_mut`, which is safe because the outer write guard proves no
-    /// writer holds one). Between chunks the lock is released so racing
-    /// OLTP transactions are stalled at most one chunk's worth of copying,
-    /// not a whole analytic scan. The per-row-latch `scan_columns` remains
-    /// the right tool when an analytic reader must never block writers at
-    /// all; this one trades bounded micro-stalls for a scan with zero
-    /// latch traffic and a checkable consistency certificate.
+    /// Mirrored mechanics: the prefix and start epochs are captured under
+    /// the mirror's read lock, then rows are copied out of the typed
+    /// column vectors in [`SNAPSHOT_CHUNK`]-sized chunks — predicate
+    /// evaluated vectorized, survivors gathered per column. Between chunks
+    /// the lock is released so racing OLTP writers (who take it for one
+    /// row's write-through) are stalled at most one chunk's worth of
+    /// copying. Because writers bump the epochs inside the same lock,
+    /// equal start/end readings certify the image; and because only
+    /// *value-changing* writes touch a column's epoch, a scan raced only
+    /// by writes to unrelated columns still certifies
+    /// [`ScanSnapshot::is_cols_point_in_time`].
     ///
-    /// Consistency contract: see [`ScanSnapshot`]. Errs only if a row's
-    /// values mismatch `out`'s column types (then `out` is ragged and must
-    /// be discarded).
+    /// Un-mirrored partitions fall back to the historical outer-write-lock
+    /// tuple walk (global epochs doubling as the column-set epochs).
+    ///
+    /// Errs only if `proj` is out of range or `out` was typed for another
+    /// schema (then `out` is ragged and must be discarded).
     pub fn scan_columns_snapshot(
+        &self,
+        proj: &[usize],
+        pred: Option<&ColPredicate>,
+        out: &mut ColumnBatch,
+    ) -> DbResult<ScanSnapshot> {
+        match &self.mirror {
+            Some(m) => self.scan_mirror(m, proj, pred, out),
+            None => self.scan_snapshot_rows(proj, pred, out),
+        }
+    }
+
+    /// The mirror-backed columnar scan (both entry points above).
+    fn scan_mirror(
+        &self,
+        mirror: &RwLock<Mirror>,
+        proj: &[usize],
+        pred: Option<&ColPredicate>,
+        out: &mut ColumnBatch,
+    ) -> DbResult<ScanSnapshot> {
+        let pred_cols = pred_columns(pred);
+        let mut app = out.appender();
+        let mut m = mirror.read();
+        let epoch_start = self.epoch.load(Ordering::SeqCst);
+        let cols_epoch_start = m.scan_epoch(proj, &pred_cols);
+        let prefix = m.rows;
+        // See `scan_columns_rows`: only unfiltered scans pre-size for the
+        // whole prefix — filtered outputs live on in the shared-scan
+        // cache and must not pin a full-prefix reservation.
+        if pred.is_none() {
+            app.reserve(prefix);
+        }
+        let mut matched = 0usize;
+        let mut sel: Vec<u32> = Vec::new();
+        let mut lo = 0usize;
+        while lo < prefix {
+            let hi = (lo + SNAPSHOT_CHUNK).min(prefix);
+            // Borrows into the guard die at each chunk's lock handoff, so
+            // the projected store refs are re-resolved per chunk (O(cols)).
+            let stores = {
+                let m = &*m;
+                let mut stores = Vec::with_capacity(proj.len());
+                for &c in proj {
+                    stores.push(
+                        m.cols
+                            .get(c)
+                            .ok_or(DbError::SchemaMismatch("projection index out of range"))?,
+                    );
+                }
+                stores
+            };
+            match pred {
+                None => app.extend_from_stores(&stores, lo, hi)?,
+                Some(p) => {
+                    sel.clear();
+                    p.select_stores(&m.cols, lo, hi, &mut sel);
+                    app.extend_from_stores_sel(&stores, &sel)?;
+                    matched += sel.len();
+                }
+            }
+            lo = hi;
+            if lo < prefix {
+                // Chunk boundary: let stalled writers in. Slots below
+                // `prefix` stay valid — rows are append-only.
+                drop(m);
+                m = mirror.read();
+            }
+        }
+        if pred.is_none() {
+            matched = prefix;
+        }
+        let cols_epoch_end = m.scan_epoch(proj, &pred_cols);
+        let max_version = m.max_version;
+        let epoch_end = self.epoch.load(Ordering::SeqCst);
+        drop(m);
+        Ok(ScanSnapshot {
+            prefix,
+            matched,
+            epoch_start,
+            epoch_end,
+            cols_epoch_start,
+            cols_epoch_end,
+            max_version,
+        })
+    }
+
+    /// The un-mirrored snapshot fallback: a fixed prefix materialized in
+    /// chunks under the **outer write lock** — total mutual exclusion per
+    /// chunk, per-row latches bypassed via `get_mut` (safe because the
+    /// outer write guard proves no writer holds one).
+    fn scan_snapshot_rows(
         &self,
         proj: &[usize],
         pred: Option<&ColPredicate>,
@@ -214,9 +547,6 @@ impl Partition {
         let mut guard = self.rows.write();
         let epoch_start = self.epoch.load(Ordering::SeqCst);
         let prefix = guard.len();
-        // See `scan_columns`: only unfiltered scans pre-size for the
-        // whole prefix — filtered outputs live on in the shared-scan
-        // cache and must not pin a full-prefix reservation.
         if pred.is_none() {
             app.reserve(prefix);
         }
@@ -251,6 +581,10 @@ impl Partition {
             matched,
             epoch_start,
             epoch_end,
+            // No mirror: column granularity unknown, the global epochs
+            // are the (conservative) column-set certificate.
+            cols_epoch_start: epoch_start,
+            cols_epoch_end: epoch_end,
             max_version,
         })
     }
@@ -276,21 +610,28 @@ mod tests {
         Tuple::new(vec![Value::Int(i)])
     }
 
+    /// Both partition flavors, so every test body runs against the mirror
+    /// path and the row-walk fallback.
+    fn both(types: &[DataType]) -> [Partition; 2] {
+        [Partition::with_types(types), Partition::new()]
+    }
+
     #[test]
     fn append_read_update() {
-        let p = Partition::new();
-        let s0 = p.append(t(10));
-        let s1 = p.append(t(20));
-        assert_eq!(s0, 0);
-        assert_eq!(s1, 1);
-        assert_eq!(p.read_tuple(0).unwrap().0, t(10));
-        let ((), v) = p
-            .update(1, |tu| {
-                tu.set(0, Value::Int(21));
-            })
-            .unwrap();
-        assert_eq!(v, 1);
-        assert_eq!(p.read_tuple(1).unwrap(), (t(21), 1));
+        for p in both(&[DataType::Int]) {
+            let s0 = p.append(t(10));
+            let s1 = p.append(t(20));
+            assert_eq!(s0, 0);
+            assert_eq!(s1, 1);
+            assert_eq!(p.read_tuple(0).unwrap().0, t(10));
+            let ((), v) = p
+                .update(1, |tu| {
+                    tu.set(0, Value::Int(21));
+                })
+                .unwrap();
+            assert_eq!(v, 1);
+            assert_eq!(p.read_tuple(1).unwrap(), (t(21), 1));
+        }
     }
 
     #[test]
@@ -315,77 +656,159 @@ mod tests {
     #[test]
     fn scan_columns_pushes_down_filter_and_projection() {
         use anydb_common::{ColPredicate, ColumnBatch, DataType};
-        let p = Partition::new();
-        for i in 0..10 {
+        let types = [DataType::Int, DataType::Str, DataType::Float];
+        for p in both(&types) {
+            for i in 0..10 {
+                p.append(Tuple::new(vec![
+                    Value::Int(i),
+                    Value::str(if i % 2 == 0 { "Even" } else { "odd" }),
+                    Value::Float(i as f64),
+                ]));
+            }
+            // Project (float, int), filter on the string column — the filter
+            // column is not part of the projection.
+            let mut out = ColumnBatch::new(&[DataType::Float, DataType::Int]);
+            let pred = ColPredicate::StrPrefix {
+                col: 1,
+                prefix: "E".into(),
+            };
+            let scanned = p.scan_columns(&[2, 0], Some(&pred), &mut out).unwrap();
+            assert_eq!(scanned, 10);
+            assert_eq!(out.rows(), 5);
+            assert_eq!(out.column(1).ints().unwrap(), &[0, 2, 4, 6, 8]);
+            // No predicate: everything lands.
+            let mut all = ColumnBatch::new(&[DataType::Int]);
+            p.scan_columns(&[0], None, &mut all).unwrap();
+            assert_eq!(all.rows(), 10);
+            // Type mismatch surfaces as an error, not a panic.
+            let mut wrong = ColumnBatch::new(&[DataType::Str]);
+            assert!(p.scan_columns(&[0], None, &mut wrong).is_err());
+            // Out-of-range projection too.
+            let mut oor = ColumnBatch::new(&[DataType::Int]);
+            assert!(p.scan_columns(&[9], None, &mut oor).is_err());
+        }
+    }
+
+    #[test]
+    fn mirror_scan_matches_row_walk_after_updates() {
+        use anydb_common::{ColPredicate, ColumnBatch, DataType};
+        let types = [DataType::Int, DataType::Str, DataType::Float];
+        let p = Partition::with_types(&types);
+        for i in 0..50 {
             p.append(Tuple::new(vec![
                 Value::Int(i),
-                Value::str(if i % 2 == 0 { "Even" } else { "odd" }),
+                Value::str(format!("n{i}")),
                 Value::Float(i as f64),
             ]));
         }
-        // Project (float, int), filter on the string column — the filter
-        // column is not part of the projection.
-        let mut out = ColumnBatch::new(&[DataType::Float, DataType::Int]);
-        let pred = ColPredicate::StrPrefix {
-            col: 1,
-            prefix: "E".into(),
-        };
-        let scanned = p.scan_columns(&[2, 0], Some(&pred), &mut out).unwrap();
-        assert_eq!(scanned, 10);
-        assert_eq!(out.rows(), 5);
-        assert_eq!(out.column(1).ints().unwrap(), &[0, 2, 4, 6, 8]);
-        // No predicate: everything lands.
-        let mut all = ColumnBatch::new(&[DataType::Int]);
-        p.scan_columns(&[0], None, &mut all).unwrap();
-        assert_eq!(all.rows(), 10);
-        // Type mismatch surfaces as an error, not a panic.
-        let mut wrong = ColumnBatch::new(&[DataType::Str]);
-        assert!(p.scan_columns(&[0], None, &mut wrong).is_err());
+        // Mutate through every column type, including repointed strings
+        // and nulls.
+        p.update(7, |tu| tu.set(1, Value::str("renamed-seven")))
+            .unwrap();
+        p.update(9, |tu| tu.set(2, Value::Null)).unwrap();
+        p.update(11, |tu| tu.set(0, Value::Int(-11))).unwrap();
+        let pred = ColPredicate::IntGe { col: 0, min: 5 };
+        let proj = [1usize, 2, 0];
+        let mut out = ColumnBatch::new(&[DataType::Str, DataType::Float, DataType::Int]);
+        p.scan_columns(&proj, Some(&pred), &mut out).unwrap();
+        // Row-walk oracle over the latched row store.
+        let mut oracle = ColumnBatch::new(&[DataType::Str, DataType::Float, DataType::Int]);
+        for tu in p.collect_matching(|tu| pred.matches_tuple(tu)) {
+            oracle
+                .push_row(&[tu.get(1).clone(), tu.get(2).clone(), tu.get(0).clone()])
+                .unwrap();
+        }
+        assert_eq!(out, oracle);
+        assert_eq!(out.column(0).str_at(2), Some("renamed-seven"));
+    }
+
+    #[test]
+    fn column_epochs_track_only_changed_columns() {
+        use anydb_common::{ColPredicate, DataType};
+        let p = Partition::with_types(&[DataType::Int, DataType::Float, DataType::Str]);
+        p.append(Tuple::new(vec![
+            Value::Int(1),
+            Value::Float(1.0),
+            Value::str("a"),
+        ]));
+        let e_all = p.cols_epoch(&[0, 1, 2], None);
+        assert_eq!(e_all, p.epoch(), "append dirties every column set");
+        // Update column 1 only: column sets without it keep their epoch.
+        let e0 = p.cols_epoch(&[0], None);
+        p.update(0, |tu| tu.set(1, Value::Float(2.0))).unwrap();
+        assert_eq!(p.cols_epoch(&[0], None), e0, "col 0 untouched");
+        assert_eq!(p.cols_epoch(&[2], None), e0, "col 2 untouched");
+        assert!(p.cols_epoch(&[1], None) > e0, "col 1 dirtied");
+        assert!(
+            p.cols_epoch(&[0, 1], None) > e0,
+            "any set containing col 1 dirtied"
+        );
+        // The predicate's columns count toward the set.
+        let pred = ColPredicate::IntGe { col: 1, min: 0 };
+        assert!(p.cols_epoch(&[0], Some(&pred.at(1))) > e0);
+        // An identity update changes no value: no column epoch moves,
+        // though the global epoch does.
+        let g = p.epoch();
+        let e1 = p.cols_epoch(&[0, 1, 2], None);
+        p.update(0, |tu| tu.set(1, Value::Float(2.0))).unwrap();
+        assert!(p.epoch() > g);
+        assert_eq!(p.cols_epoch(&[0, 1, 2], None), e1, "no value changed");
+        // A fresh append dirties everything again.
+        p.append(Tuple::new(vec![
+            Value::Int(2),
+            Value::Float(0.0),
+            Value::str("b"),
+        ]));
+        assert!(p.cols_epoch(&[0], None) > e1);
     }
 
     #[test]
     fn snapshot_scan_matches_plain_scan_when_quiescent() {
         use anydb_common::{ColPredicate, ColumnBatch, DataType};
-        let p = Partition::new();
-        for i in 0..2500 {
-            // More rows than one SNAPSHOT_CHUNK, to cross a chunk boundary.
-            p.append(Tuple::new(vec![Value::Int(i), Value::Int(i * 2)]));
+        let types = [DataType::Int, DataType::Int];
+        for p in both(&types) {
+            for i in 0..2500 {
+                // More rows than one SNAPSHOT_CHUNK, to cross a chunk boundary.
+                p.append(Tuple::new(vec![Value::Int(i), Value::Int(i * 2)]));
+            }
+            let pred = ColPredicate::IntBetween {
+                col: 0,
+                min: 100,
+                max: 1999,
+            };
+            let mut snap_out = ColumnBatch::new(&[DataType::Int, DataType::Int]);
+            let snap = p
+                .scan_columns_snapshot(&[0, 1], Some(&pred), &mut snap_out)
+                .unwrap();
+            let mut plain_out = ColumnBatch::new(&[DataType::Int, DataType::Int]);
+            p.scan_columns(&[0, 1], Some(&pred), &mut plain_out)
+                .unwrap();
+            assert_eq!(snap_out, plain_out);
+            assert_eq!(snap.prefix, 2500);
+            assert_eq!(snap.matched, 1900);
+            assert_eq!(snap.matched, snap_out.rows());
+            assert!(snap.is_point_in_time(), "no writer raced: {snap:?}");
+            assert!(snap.is_cols_point_in_time());
+            assert_eq!(snap.max_version, 0);
         }
-        let pred = ColPredicate::IntBetween {
-            col: 0,
-            min: 100,
-            max: 1999,
-        };
-        let mut snap_out = ColumnBatch::new(&[DataType::Int, DataType::Int]);
-        let snap = p
-            .scan_columns_snapshot(&[0, 1], Some(&pred), &mut snap_out)
-            .unwrap();
-        let mut plain_out = ColumnBatch::new(&[DataType::Int, DataType::Int]);
-        p.scan_columns(&[0, 1], Some(&pred), &mut plain_out)
-            .unwrap();
-        assert_eq!(snap_out, plain_out);
-        assert_eq!(snap.prefix, 2500);
-        assert_eq!(snap.matched, 1900);
-        assert_eq!(snap.matched, snap_out.rows());
-        assert!(snap.is_point_in_time(), "no writer raced: {snap:?}");
-        assert_eq!(snap.max_version, 0);
     }
 
     #[test]
     fn snapshot_reports_epoch_movement_and_versions() {
         use anydb_common::{ColumnBatch, DataType};
-        let p = Partition::new();
-        p.append(t(1));
-        let e0 = p.epoch();
-        p.update(0, |tu| tu.set(0, Value::Int(2))).unwrap();
-        assert!(p.epoch() > e0, "update must bump the epoch");
-        p.append(t(3));
-        let mut out = ColumnBatch::new(&[DataType::Int]);
-        let snap = p.scan_columns_snapshot(&[0], None, &mut out).unwrap();
-        assert_eq!(snap.prefix, 2);
-        assert_eq!(snap.max_version, 1);
-        assert!(snap.is_point_in_time());
-        assert_eq!(out.column(0).ints().unwrap(), &[2, 3]);
+        for p in both(&[DataType::Int]) {
+            p.append(t(1));
+            let e0 = p.epoch();
+            p.update(0, |tu| tu.set(0, Value::Int(2))).unwrap();
+            assert!(p.epoch() > e0, "update must bump the epoch");
+            p.append(t(3));
+            let mut out = ColumnBatch::new(&[DataType::Int]);
+            let snap = p.scan_columns_snapshot(&[0], None, &mut out).unwrap();
+            assert_eq!(snap.prefix, 2);
+            assert_eq!(snap.max_version, 1);
+            assert!(snap.is_point_in_time());
+            assert_eq!(out.column(0).ints().unwrap(), &[2, 3]);
+        }
     }
 
     #[test]
@@ -394,19 +817,41 @@ mod tests {
         // lands after the prefix and must not appear. (Deterministic
         // variant: append between two scans and compare certificates.)
         use anydb_common::{ColumnBatch, DataType};
-        let p = Partition::new();
-        for i in 0..10 {
-            p.append(t(i));
+        for p in both(&[DataType::Int]) {
+            for i in 0..10 {
+                p.append(t(i));
+            }
+            let mut out = ColumnBatch::new(&[DataType::Int]);
+            let snap = p.scan_columns_snapshot(&[0], None, &mut out).unwrap();
+            p.append(t(99));
+            let mut out2 = ColumnBatch::new(&[DataType::Int]);
+            let snap2 = p.scan_columns_snapshot(&[0], None, &mut out2).unwrap();
+            assert_eq!(snap.prefix, 10);
+            assert_eq!(snap2.prefix, 11);
+            assert!(snap2.epoch_start > snap.epoch_end);
+            assert!(snap2.cols_epoch_start > snap.cols_epoch_end);
+            assert_eq!(out2.rows(), 11);
         }
+    }
+
+    #[test]
+    fn append_with_reserve_failure_publishes_nothing() {
+        let p = Partition::with_types(&[DataType::Int]);
+        p.append(t(1));
+        let e = p.epoch();
+        let err = p.append_with(t(2), |slot| {
+            assert_eq!(slot, 1, "reserve sees the slot the row would take");
+            Err("rejected")
+        });
+        assert_eq!(err, Err("rejected"));
+        assert_eq!(p.len(), 1, "nothing published");
+        assert_eq!(p.epoch(), e, "no epoch bump — cached scans stay valid");
         let mut out = ColumnBatch::new(&[DataType::Int]);
-        let snap = p.scan_columns_snapshot(&[0], None, &mut out).unwrap();
-        p.append(t(99));
-        let mut out2 = ColumnBatch::new(&[DataType::Int]);
-        let snap2 = p.scan_columns_snapshot(&[0], None, &mut out2).unwrap();
-        assert_eq!(snap.prefix, 10);
-        assert_eq!(snap2.prefix, 11);
-        assert!(snap2.epoch_start > snap.epoch_end);
-        assert_eq!(out2.rows(), 11);
+        p.scan_columns(&[0], None, &mut out).unwrap();
+        assert_eq!(out.rows(), 1, "mirror untouched");
+        // And a successful reserve publishes normally.
+        assert_eq!(p.append_with::<()>(t(2), |_| Ok(())), Ok(1));
+        assert_eq!(p.len(), 2);
     }
 
     #[test]
@@ -421,44 +866,52 @@ mod tests {
 
     #[test]
     fn concurrent_updates_are_isolated_per_row() {
-        let p = std::sync::Arc::new(Partition::new());
-        p.append(t(0));
-        p.append(t(0));
-        let mut handles = Vec::new();
-        for slot in 0..2u32 {
-            let p = p.clone();
-            handles.push(std::thread::spawn(move || {
-                for _ in 0..10_000 {
-                    p.update(slot, |tu| {
-                        let v = tu.get(0).as_int().unwrap();
-                        tu.set(0, Value::Int(v + 1));
-                    })
-                    .unwrap();
-                }
-            }));
+        for base in both(&[DataType::Int]) {
+            let p = std::sync::Arc::new(base);
+            p.append(t(0));
+            p.append(t(0));
+            let mut handles = Vec::new();
+            for slot in 0..2u32 {
+                let p = p.clone();
+                handles.push(std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        p.update(slot, |tu| {
+                            let v = tu.get(0).as_int().unwrap();
+                            tu.set(0, Value::Int(v + 1));
+                        })
+                        .unwrap();
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(p.read_tuple(0).unwrap().0, t(10_000));
+            assert_eq!(p.read_tuple(1).unwrap().0, t(10_000));
         }
-        for h in handles {
-            h.join().unwrap();
-        }
-        assert_eq!(p.read_tuple(0).unwrap().0, t(10_000));
-        assert_eq!(p.read_tuple(1).unwrap().0, t(10_000));
     }
 
     #[test]
     fn concurrent_appends_do_not_lose_rows() {
-        let p = std::sync::Arc::new(Partition::new());
-        let mut handles = Vec::new();
-        for _ in 0..4 {
-            let p = p.clone();
-            handles.push(std::thread::spawn(move || {
-                for i in 0..1000 {
-                    p.append(t(i));
-                }
-            }));
+        for base in both(&[DataType::Int]) {
+            let p = std::sync::Arc::new(base);
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let p = p.clone();
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        p.append(t(i));
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(p.len(), 4000);
+            let mut out = ColumnBatch::new(&[DataType::Int]);
+            let scanned = p.scan_columns(&[0], None, &mut out).unwrap();
+            assert_eq!(scanned, 4000);
+            assert_eq!(out.rows(), 4000, "mirror kept pace with appends");
         }
-        for h in handles {
-            h.join().unwrap();
-        }
-        assert_eq!(p.len(), 4000);
     }
 }

@@ -9,6 +9,7 @@
 use anydb_common::fxmap::FxHashSet;
 use anydb_common::{DbError, DbResult, Rid, TxnId};
 
+use crate::key::IndexKey;
 use crate::store::Store;
 use crate::wal::{LogOp, LogRecord, Wal};
 
@@ -21,6 +22,10 @@ pub struct RecoveryStats {
     pub skipped: usize,
     /// Insert operations applied.
     pub inserts: usize,
+    /// Insert operations the store already contained at the logged RID
+    /// (snapshot taken after the insert, or the log replayed twice) —
+    /// skipped, not re-applied.
+    pub redundant_inserts: usize,
     /// Update operations applied.
     pub updates: usize,
 }
@@ -61,16 +66,31 @@ pub fn replay_records(records: &[LogRecord], store: &Store) -> DbResult<Recovery
                 tuple,
             } => {
                 let t = store.table(*table)?;
-                let rid = t.insert(tuple.clone()).map_err(|e| match e {
+                let want = Rid::new(*table, *partition, *slot);
+                match t.insert(tuple.clone()) {
+                    Ok(rid) => {
+                        if rid != want {
+                            return Err(DbError::CorruptLog(r.lsn));
+                        }
+                        stats.inserts += 1;
+                    }
                     // Idempotence: a row already present (snapshot taken
-                    // after the insert) is fine only if the slot matches.
-                    DbError::DuplicateKey(_) => DbError::CorruptLog(r.lsn),
-                    other => other,
-                })?;
-                if rid != Rid::new(*table, *partition, *slot) {
-                    return Err(DbError::CorruptLog(r.lsn));
+                    // after the insert, or the log replayed twice) is fine
+                    // iff the existing row sits at the logged RID — then
+                    // replay and snapshot agree and the insert is a no-op.
+                    // A duplicate insert leaves no trace in the store (see
+                    // `Table::insert`), so a mismatch is detectable and
+                    // ghost-free.
+                    Err(DbError::DuplicateKey(_)) => {
+                        let pk = IndexKey::from_values(tuple.values(), t.schema().primary_key())
+                            .map_err(|_| DbError::CorruptLog(r.lsn))?;
+                        if t.get_rid(&pk) != Ok(want) {
+                            return Err(DbError::CorruptLog(r.lsn));
+                        }
+                        stats.redundant_inserts += 1;
+                    }
+                    Err(other) => return Err(other),
                 }
-                stats.inserts += 1;
             }
             LogOp::Update { rid, after } => {
                 let t = store.table(rid.table)?;
@@ -220,6 +240,116 @@ mod tests {
         wal.append(TxnId(1), LogOp::Commit);
         let store = fresh_store();
         assert!(matches!(replay(&wal, &store), Err(DbError::CorruptLog(_))));
+    }
+
+    #[test]
+    fn replay_is_idempotent() {
+        // Replaying the same log into the same store twice must be a
+        // no-op the second time: inserts already present at their logged
+        // RIDs are skipped (counted as redundant), updates are full
+        // after-images.
+        let wal = Wal::new();
+        wal.append(
+            TxnId(1),
+            LogOp::Insert {
+                table: TableId(0),
+                partition: PartitionId(0),
+                slot: 0,
+                tuple: tuple(1, 10),
+            },
+        );
+        wal.append(
+            TxnId(1),
+            LogOp::Update {
+                rid: Rid::new(TableId(0), PartitionId(0), 0),
+                after: tuple(1, 11),
+            },
+        );
+        wal.append(TxnId(1), LogOp::Commit);
+        let store = fresh_store();
+        let first = replay(&wal, &store).unwrap();
+        assert_eq!(first.inserts, 1);
+        assert_eq!(first.redundant_inserts, 0);
+        let second = replay(&wal, &store).unwrap();
+        assert_eq!(second.inserts, 0);
+        assert_eq!(second.redundant_inserts, 1);
+        assert_eq!(second.updates, 1);
+        let t = store.table(TableId(0)).unwrap();
+        assert_eq!(t.row_count(), 1, "second replay appended no ghost");
+        let (got, _) = t.read(Rid::new(TableId(0), PartitionId(0), 0)).unwrap();
+        assert_eq!(got, tuple(1, 11));
+    }
+
+    #[test]
+    fn duplicate_at_wrong_slot_is_corrupt_and_ghost_free() {
+        // A logged insert whose key exists at a *different* RID is real
+        // corruption — and the failed replay must not leave a ghost row
+        // behind (regression: the pre-fix insert appended before probing
+        // the index, so every replayed duplicate grew the table).
+        let store = fresh_store();
+        let t = store.table(TableId(0)).unwrap();
+        t.insert(tuple(1, 10)).unwrap(); // occupies slot 0
+        let wal = Wal::new();
+        wal.append(
+            TxnId(1),
+            LogOp::Insert {
+                table: TableId(0),
+                partition: PartitionId(0),
+                slot: 3, // key exists, but at slot 0
+                tuple: tuple(1, 10),
+            },
+        );
+        wal.append(TxnId(1), LogOp::Commit);
+        assert!(matches!(replay(&wal, &store), Err(DbError::CorruptLog(_))));
+        assert_eq!(t.row_count(), 1, "failed replay left no ghost");
+    }
+
+    #[test]
+    fn replay_rebuilds_the_column_mirror() {
+        // The mirror is maintained write-through by the same
+        // insert/update paths replay drives, so a recovered store's
+        // columnar scans must agree with the live store's.
+        use anydb_common::{ColumnBatch, DataType};
+        let live = fresh_store();
+        let wal = Wal::new();
+        let t = live.table(TableId(0)).unwrap();
+        for id in 0..50i64 {
+            let tu = tuple(id, id * 10);
+            let rid = t.insert(tu.clone()).unwrap();
+            wal.append(
+                TxnId(id as u64),
+                LogOp::Insert {
+                    table: TableId(0),
+                    partition: rid.partition,
+                    slot: rid.slot,
+                    tuple: tu,
+                },
+            );
+            if id % 3 == 0 {
+                t.update(rid, |x| x.set(1, Value::Int(-id))).unwrap();
+                wal.append(
+                    TxnId(id as u64),
+                    LogOp::Update {
+                        rid,
+                        after: tuple(id, -id),
+                    },
+                );
+            }
+            wal.append(TxnId(id as u64), LogOp::Commit);
+        }
+        let recovered = fresh_store();
+        replay(&wal, &recovered).unwrap();
+        let rt = recovered.table(TableId(0)).unwrap();
+        let scan = |table: &crate::table::Table| {
+            let mut out = ColumnBatch::new(&[DataType::Int, DataType::Int]);
+            table
+                .scan_columns(PartitionId(0), &[0, 1], None, &mut out)
+                .unwrap();
+            out
+        };
+        let live_cols = scan(&t);
+        assert_eq!(live_cols.rows(), 50);
+        assert_eq!(scan(&rt), live_cols, "mirror rebuilt from the log");
     }
 
     #[test]

@@ -53,8 +53,10 @@ pub struct Table {
     pk_index: Vec<HashIndex>,
     secondaries: Vec<Secondary>,
     by_name: FxHashMap<String, usize>,
-    /// Cached shared scans, revalidated against the partition write epoch
-    /// (see [`Table::scan_columns_snapshot_shared`]).
+    /// Cached shared scans, revalidated against the **column-level**
+    /// write epochs of each entry's projection ∪ filter set (see
+    /// [`Table::scan_columns_snapshot_shared`]). Only point-in-time
+    /// certificates are ever stored.
     scan_cache: Mutex<FxHashMap<SharedScanKey, (ScanSnapshot, ColumnBatch)>>,
 }
 
@@ -69,6 +71,7 @@ impl Table {
     ) -> Self {
         assert!(partition_count > 0, "need at least one partition");
         let n = partition_count as usize;
+        let types: Vec<_> = schema.columns().iter().map(|c| c.ty).collect();
         let mut by_name = FxHashMap::default();
         let secondaries = secondary_specs
             .into_iter()
@@ -87,7 +90,7 @@ impl Table {
             id,
             schema,
             partitioner,
-            partitions: (0..n).map(|_| Partition::new()).collect(),
+            partitions: (0..n).map(|_| Partition::with_types(&types)).collect(),
             pk_index: (0..n).map(|_| HashIndex::new()).collect(),
             secondaries,
             by_name,
@@ -134,14 +137,19 @@ impl Table {
         self.schema.check(tuple.values())?;
         let p = self.partition_of(tuple.values())?;
         let pk = IndexKey::from_values(tuple.values(), self.schema.primary_key())?;
-        // Reserve the pk slot first so duplicate inserts fail before
-        // appending a row. Probe-then-append has a benign race (two
-        // concurrent identical keys), resolved by inserting into the index
-        // before publishing the row and treating index rejection as the
-        // authoritative duplicate check.
-        let slot = self.partitions[p.index()].append(tuple.clone());
+        // Reserve the pk slot *before* the row is published: the index
+        // insert runs inside `append_with`'s critical section with the
+        // slot the row would occupy, so a `DuplicateKey` rejection leaves
+        // nothing behind — no ghost row visible to `row_count()` or
+        // scans, no column-mirror write, no epoch bump to invalidate
+        // cached shared scans. Concurrent identical keys serialize on the
+        // partition's append lock, and the index stays the authoritative
+        // duplicate check.
+        let pi = p.index();
+        let slot = self.partitions[pi].append_with(tuple.clone(), |slot| {
+            self.pk_index[pi].insert(pk, Rid::new(self.id, p, slot))
+        })?;
         let rid = Rid::new(self.id, p, slot);
-        self.pk_index[p.index()].insert(pk, rid)?;
         for sec in &self.secondaries {
             let key = IndexKey::from_values(tuple.values(), &sec.spec.columns)?;
             match &sec.index {
@@ -291,17 +299,27 @@ impl Table {
     /// The first caller for a given `(partition, proj, pred)` shape pays
     /// one [`Table::scan_columns_snapshot`] pass and the result is
     /// cached *together with its certificate*. Later callers revalidate
-    /// in O(1): if the cached image was point-in-time and the partition
-    /// write epoch has not moved since, the cached columns are provably
-    /// identical to what a fresh scan would materialize — they are
-    /// returned as zero-copy views (`Arc` buffer clones, O(columns)).
-    /// Any interleaved write moves the epoch and forces a fresh scan, so
-    /// a stale image can never be served; OLTP-heavy phases therefore
-    /// degrade gracefully to exactly the uncached cost.
+    /// in O(columns): if the cached image was point-in-time **for its
+    /// column set** and no later write changed a projected or filtered
+    /// column (or appended a row) — the column-level epochs of
+    /// [`crate::partition::Partition::cols_epoch`] — the cached columns
+    /// are provably identical to what a fresh scan would materialize, and
+    /// are returned as zero-copy views (`Arc` buffer clones, O(columns)).
+    /// OLTP writes to columns *outside* the projection ∪ filter set
+    /// therefore leave cached OLAP snapshots alive (the HTAP separation:
+    /// payments rewriting balances never invalidate a key-column scan);
+    /// any write inside the set forces a fresh scan, so a stale image can
+    /// never be served, and write-heavy phases degrade gracefully to
+    /// exactly the uncached cost.
     ///
-    /// The cache mutex is held only for the O(1) revalidation and the
-    /// insert — never across the materialization — so one query's cold
-    /// scan cannot stall another query's cache hit. Two queries that
+    /// Only point-in-time certificates are inserted: a read-committed
+    /// result from a raced scan can never be served by the hit path, so
+    /// caching it would only displace serveable entries and push the
+    /// cache toward its blunt clear-all bound.
+    ///
+    /// The cache mutex is held only for the O(columns) revalidation and
+    /// the insert — never across the materialization — so one query's
+    /// cold scan cannot stall another query's cache hit. Two queries that
     /// miss on the same key concurrently both scan and the later insert
     /// wins; each result carries its own valid certificate.
     ///
@@ -318,24 +336,36 @@ impl Table {
         {
             let cache = self.scan_cache.lock();
             if let Some((snap, batch)) = cache.get(&key) {
-                if snap.is_point_in_time() && snap.epoch_end == part.epoch() {
+                if snap.is_cols_point_in_time()
+                    && snap.cols_epoch_end == part.cols_epoch(proj, pred)
+                {
                     return Ok((batch.clone(), *snap));
                 }
             }
         }
         let mut batch = self.column_batch(proj);
         let snap = part.scan_columns_snapshot(proj, pred, &mut batch)?;
-        let mut cache = self.scan_cache.lock();
-        // The cap bounds standing *shapes* per partition: the key space is
-        // per-(partition, proj, pred), so a whole-table scan inserts one
-        // entry per partition and must not count against other partitions.
-        if cache.len() >= SCAN_CACHE_SHAPES_PER_PARTITION * self.partitions.len()
-            && !cache.contains_key(&key)
-        {
-            cache.clear();
+        if snap.is_cols_point_in_time() {
+            let mut cache = self.scan_cache.lock();
+            // The cap bounds standing *shapes* per partition: the key
+            // space is per-(partition, proj, pred), so a whole-table scan
+            // inserts one entry per partition and must not count against
+            // other partitions.
+            if cache.len() >= SCAN_CACHE_SHAPES_PER_PARTITION * self.partitions.len()
+                && !cache.contains_key(&key)
+            {
+                cache.clear();
+            }
+            cache.insert(key, (snap, batch.clone()));
         }
-        cache.insert(key, (snap, batch.clone()));
         Ok((batch, snap))
+    }
+
+    /// Number of cached shared-scan entries (diagnostic: the cache must
+    /// hold only point-in-time certificates, so racing writers never
+    /// inflate it with dead entries).
+    pub fn scan_cache_len(&self) -> usize {
+        self.scan_cache.lock().len()
     }
 
     /// Total rows across partitions.
@@ -439,6 +469,98 @@ mod tests {
             t.insert(row(1, 10, "b", 0.0)),
             Err(DbError::DuplicateKey(TableId(1)))
         );
+    }
+
+    #[test]
+    fn duplicate_insert_leaves_no_ghost_row() {
+        // Regression: the pk slot is reserved before the row is appended,
+        // so a rejected duplicate must leave no trace anywhere — not in
+        // row_count, not in row scans, not in the column mirror, and not
+        // in the write epoch (a ghost used to appear in all of them).
+        let t = table();
+        t.insert(row(1, 10, "alice", 5.0)).unwrap();
+        let p = PartitionId(0);
+        let epoch_before = t.partition(p).unwrap().epoch();
+        let (cached, snap) = t.scan_columns_snapshot_shared(p, &[3], None).unwrap();
+        assert_eq!(
+            t.insert(row(1, 10, "ghost", 99.0)),
+            Err(DbError::DuplicateKey(TableId(1)))
+        );
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.partition_row_count(p).unwrap(), 1);
+        // Row-store scan contents unchanged.
+        let rows = t.partition(p).unwrap().collect_matching(|_| true);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(2), &Value::str("alice"));
+        // Column-mirror scan agrees (no half-written mirror row).
+        let mut out = t.column_batch(&[2, 3]);
+        t.scan_columns(p, &[2, 3], None, &mut out).unwrap();
+        assert_eq!(out.rows(), 1);
+        assert_eq!(out.column(0).str_at(0), Some("alice"));
+        assert_eq!(out.column(1).floats().unwrap(), &[5.0]);
+        // The rejected insert bumped no epoch: the cached shared scan is
+        // still served zero-copy.
+        assert_eq!(t.partition(p).unwrap().epoch(), epoch_before);
+        let (hit, snap2) = t.scan_columns_snapshot_shared(p, &[3], None).unwrap();
+        assert_eq!(snap, snap2);
+        assert!(hit.column(0).shares_buffer_with(cached.column(0)));
+        // And the slot freed by the rejection is reused by the next row.
+        let rid = t.insert(row(1, 11, "bob", 1.0)).unwrap();
+        assert_eq!(rid.slot, 1);
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn shared_scan_survives_writes_to_disjoint_columns() {
+        // The column-level-epoch contract: an OLTP write to a column
+        // outside the cached projection ∪ filter set must not invalidate
+        // the cached shared scan — same certificate, same buffers.
+        let t = table();
+        let rid = t.insert(row(1, 10, "alice", 5.0)).unwrap();
+        t.insert(row(1, 11, "bob", 7.0)).unwrap();
+        let p = PartitionId(0);
+        // Shape: project (balance, id), filter id >= 10 → S = {1, 3}.
+        let pred = ColPredicate::IntGe { col: 1, min: 10 };
+        let proj = [3usize, 1];
+        let (b1, s1) = t
+            .scan_columns_snapshot_shared(p, &proj, Some(&pred))
+            .unwrap();
+        // Write to column 2 (name): outside S, epoch moves globally but
+        // not for this column set.
+        t.update(rid, |tu| tu.set(2, Value::str("renamed")))
+            .unwrap();
+        assert!(t.partition(p).unwrap().epoch() > s1.epoch_end);
+        let (b2, s2) = t
+            .scan_columns_snapshot_shared(p, &proj, Some(&pred))
+            .unwrap();
+        assert_eq!(s1, s2, "certificate unchanged — cache hit");
+        assert!(
+            b2.column(0).shares_buffer_with(b1.column(0)),
+            "served zero-copy from the cache"
+        );
+        // A write *inside* S (the filter column) invalidates.
+        t.update(rid, |tu| tu.set(1, Value::Int(12))).unwrap();
+        let (b3, s3) = t
+            .scan_columns_snapshot_shared(p, &proj, Some(&pred))
+            .unwrap();
+        assert!(s3.cols_epoch_end > s2.cols_epoch_end);
+        assert!(!b3.column(0).shares_buffer_with(b1.column(0)));
+        assert_eq!(b3.column(1).ints().unwrap(), &[12, 11]);
+        // So does a write to a projected column.
+        t.update(rid, |tu| tu.set(3, Value::Float(6.0))).unwrap();
+        let (b4, _) = t
+            .scan_columns_snapshot_shared(p, &proj, Some(&pred))
+            .unwrap();
+        assert!(!b4.column(0).shares_buffer_with(b3.column(0)));
+        assert_eq!(b4.column(0).floats().unwrap(), &[6.0, 7.0]);
+        // And an append always invalidates (the prefix grew), even though
+        // it "writes" every column equally.
+        t.insert(row(1, 13, "carol", 1.0)).unwrap();
+        let (b5, s5) = t
+            .scan_columns_snapshot_shared(p, &proj, Some(&pred))
+            .unwrap();
+        assert_eq!(s5.prefix, 3);
+        assert_eq!(b5.rows(), 3);
     }
 
     #[test]
