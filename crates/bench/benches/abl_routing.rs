@@ -25,6 +25,12 @@
 //! 2.55 / 1.70 — batching or routing rotting to where an event hop
 //! costs what a whole transaction should (the Figure-5 ordering
 //! collapsing), not noise.
+//!
+//! The JSON schema matches the other gated ablations: gated ratios plus
+//! ungated raw values — here the per-strategy medians AND the individual
+//! run samples (`routing_<strategy>_tx_s_runN`), so a tripped gate can
+//! be diagnosed for noise vs. regression straight from the CI artifact,
+//! without special-casing this file anywhere downstream.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -37,8 +43,10 @@ use anydb_workload::tpcc::{TpccConfig, TpccDb};
 /// Runs per strategy; the median filters scheduler noise.
 const REPS: usize = 3;
 
-fn bench_strategy(cfg: &TpccConfig, strategy: Strategy) -> f64 {
-    let runs: Vec<f64> = (0..REPS)
+/// All [`REPS`] per-run throughput samples for one strategy; the caller
+/// gates on their median and reports the raw samples alongside.
+fn bench_strategy(cfg: &TpccConfig, strategy: Strategy) -> Vec<f64> {
+    (0..REPS)
         .map(|rep| {
             let db = Arc::new(TpccDb::load(cfg.clone(), 0xAB2 + rep as u64).unwrap());
             let engine = AnyDbEngine::new(
@@ -53,8 +61,7 @@ fn bench_strategy(cfg: &TpccConfig, strategy: Strategy) -> f64 {
                 .run_phase(PhaseKind::OltpSkewed, Duration::from_millis(300), 3)
                 .tx_per_sec()
         })
-        .collect();
-    median(runs)
+        .collect()
 }
 
 fn main() {
@@ -74,15 +81,18 @@ fn main() {
         &["strategy".into(), "tx/s".into(), "us per txn".into()],
         &widths,
     );
+    // JSON key stems, aligned with the strategy order below.
     let strategies = [
-        Strategy::SharedNothing,
-        Strategy::PreciseIntra,
-        Strategy::StreamingCc,
-        Strategy::StaticIntra,
+        (Strategy::SharedNothing, "shared_nothing"),
+        (Strategy::PreciseIntra, "precise"),
+        (Strategy::StreamingCc, "streaming"),
+        (Strategy::StaticIntra, "static"),
     ];
     let mut rates = Vec::new();
-    for strategy in strategies {
-        let rate = bench_strategy(&cfg, strategy);
+    let mut samples = Vec::new();
+    for (strategy, _) in strategies {
+        let runs = bench_strategy(&cfg, strategy);
+        let rate = median(runs.clone());
         row(
             &[
                 strategy.label().to_string(),
@@ -92,6 +102,7 @@ fn main() {
             &widths,
         );
         rates.push(rate);
+        samples.push(runs);
     }
 
     let sn_vs_static = rates[0] / rates[3];
@@ -102,20 +113,21 @@ fn main() {
     );
     println!("(acceptance: >= 3.0 and >= 2.0 — the Figure-5 ordering must hold with margin)");
 
-    let pairs: Vec<(String, f64)> = vec![
-        ("routing_shared_nothing_tx_s".into(), rates[0]),
-        ("routing_precise_tx_s".into(), rates[1]),
-        ("routing_streaming_tx_s".into(), rates[2]),
-        ("routing_static_tx_s".into(), rates[3]),
-        (
-            "ratio_routing_shared_nothing_vs_static".into(),
-            sn_vs_static,
-        ),
-        (
-            "ratio_routing_streaming_vs_static".into(),
-            streaming_vs_static,
-        ),
-    ];
+    let mut pairs: Vec<(String, f64)> = Vec::new();
+    for (((_, name), rate), runs) in strategies.iter().zip(&rates).zip(&samples) {
+        pairs.push((format!("routing_{name}_tx_s"), *rate));
+        for (i, sample) in runs.iter().enumerate() {
+            pairs.push((format!("routing_{name}_tx_s_run{i}"), *sample));
+        }
+    }
+    pairs.push((
+        "ratio_routing_shared_nothing_vs_static".into(),
+        sn_vs_static,
+    ));
+    pairs.push((
+        "ratio_routing_streaming_vs_static".into(),
+        streaming_vs_static,
+    ));
     let out = bench_json_path("BENCH_ROUTING_JSON", "BENCH_routing.json");
     write_flat_json(&out, &pairs);
     println!();

@@ -77,6 +77,42 @@ fn bit_get(bits: &[u8], row: usize) -> bool {
     bits.get(row / 8).is_some_and(|b| b & (1 << (row % 8)) != 0)
 }
 
+/// Sets bits `lo..hi` of a u64-word selection bitmap (used by the
+/// trivially-true `And(vec![])` in the bitmap evaluators). Whole words
+/// inside the range are written in one store each.
+fn set_bit_range(bits: &mut [u64], lo: usize, hi: usize) {
+    for (w, word) in bits.iter_mut().enumerate() {
+        let word_lo = w * 64;
+        let word_hi = word_lo + 64;
+        if hi <= word_lo || word_hi <= lo {
+            continue;
+        }
+        let start = lo.max(word_lo) - word_lo;
+        let end = hi.min(word_hi) - word_lo;
+        let mask = if end - start == 64 {
+            !0
+        } else {
+            ((1u64 << (end - start)) - 1) << start
+        };
+        *word |= mask;
+    }
+}
+
+/// Expands a u64-word selection bitmap into row indices, appending one
+/// `u32` per set bit to `sel` in ascending order. Set-bit iteration
+/// (`trailing_zeros` + clear-lowest-bit) touches only the words, so
+/// sparse selections cost O(words + ones) instead of O(rows).
+pub fn bitmap_ones(bits: &[u64], sel: &mut Vec<u32>) {
+    for (w, word) in bits.iter().enumerate() {
+        let mut word = *word;
+        let base = (w * 64) as u32;
+        while word != 0 {
+            sel.push(base + word.trailing_zeros());
+            word &= word - 1;
+        }
+    }
+}
+
 /// Typed value storage of one column: immutable buffers shared between
 /// every view cloned from the same batch. Null positions hold a
 /// placeholder (`0` / `0.0` / empty string); the owning [`Column`]'s
@@ -1038,6 +1074,328 @@ impl ColPredicate {
                     }
                 }
                 sel.truncate(w);
+            }
+        }
+    }
+
+    /// Conservative implication test: `true` means every row matching
+    /// `other` also matches `self` (`self ⊇ other` as row sets); `false`
+    /// makes no claim. The test is syntactic — unrelated predicates
+    /// simply fail to compare — so false negatives only cost the caller
+    /// a redundant scan, while a false positive would be a correctness
+    /// bug (the shared-scan cache uses this to serve a request from a
+    /// cached *superset* scan and refine, so served rows must be a
+    /// superset of the requested rows).
+    pub fn covers(&self, other: &ColPredicate) -> bool {
+        match (self, other) {
+            // A conjunction covers `other` iff every conjunct does
+            // (vacuously true for `And(vec![])`, which matches all rows).
+            (ColPredicate::And(ps), _) => ps.iter().all(|p| p.covers(other)),
+            // A leaf covers a conjunction if some single conjunct alone
+            // implies the leaf (sufficient, not necessary: conservative).
+            (_, ColPredicate::And(qs)) => qs.iter().any(|q| self.covers(q)),
+            (
+                ColPredicate::IntGe { col: c1, min: m1 },
+                ColPredicate::IntGe { col: c2, min: m2 },
+            ) => c1 == c2 && m1 <= m2,
+            (
+                ColPredicate::IntGe { col: c1, min: m1 },
+                ColPredicate::IntBetween {
+                    col: c2, min: m2, ..
+                },
+            ) => c1 == c2 && m1 <= m2,
+            (
+                ColPredicate::IntBetween {
+                    col: c1,
+                    min: m1,
+                    max: x1,
+                },
+                ColPredicate::IntBetween {
+                    col: c2,
+                    min: m2,
+                    max: x2,
+                },
+            ) => c1 == c2 && m1 <= m2 && x2 <= x1,
+            (
+                ColPredicate::IntBetween {
+                    col: c1,
+                    min: m1,
+                    max: x1,
+                },
+                ColPredicate::IntGe { col: c2, min: m2 },
+            ) => c1 == c2 && m1 <= m2 && *x1 == i64::MAX,
+            (
+                ColPredicate::StrPrefix {
+                    col: c1,
+                    prefix: p1,
+                },
+                ColPredicate::StrPrefix {
+                    col: c2,
+                    prefix: p2,
+                },
+            ) => c1 == c2 && p2.starts_with(p1.as_str()),
+            _ => false,
+        }
+    }
+
+    /// A hull of the union: the tightest predicate *in the algebra*
+    /// matching every row that `self` or `other` matches. It is a hull,
+    /// not the union — it may admit rows neither input matched (two
+    /// disjoint date windows hull to one spanning window), which is
+    /// exactly what shared execution wants: scan once with the hull,
+    /// refine per query. Same-column leaves widen pairwise; everything
+    /// else falls back through [`ColPredicate::covers`] to the
+    /// trivially-true `And(vec![])`, which is always a valid hull.
+    pub fn union_hull(&self, other: &ColPredicate) -> ColPredicate {
+        match (self, other) {
+            (
+                ColPredicate::IntGe { col: c1, min: m1 },
+                ColPredicate::IntGe { col: c2, min: m2 },
+            ) if c1 == c2 => ColPredicate::IntGe {
+                col: *c1,
+                min: (*m1).min(*m2),
+            },
+            // An open-ended window absorbs a bounded one on the same
+            // column: only the smaller lower bound survives.
+            (
+                ColPredicate::IntGe { col: c1, min: m1 },
+                ColPredicate::IntBetween {
+                    col: c2, min: m2, ..
+                },
+            )
+            | (
+                ColPredicate::IntBetween {
+                    col: c2, min: m2, ..
+                },
+                ColPredicate::IntGe { col: c1, min: m1 },
+            ) if c1 == c2 => ColPredicate::IntGe {
+                col: *c1,
+                min: (*m1).min(*m2),
+            },
+            (
+                ColPredicate::IntBetween {
+                    col: c1,
+                    min: m1,
+                    max: x1,
+                },
+                ColPredicate::IntBetween {
+                    col: c2,
+                    min: m2,
+                    max: x2,
+                },
+            ) if c1 == c2 => ColPredicate::IntBetween {
+                col: *c1,
+                min: (*m1).min(*m2),
+                max: (*x1).max(*x2),
+            },
+            // Longest common prefix. The empty prefix is still a real
+            // constraint: both inputs require a non-NULL Str at `col`,
+            // and so does `StrPrefix { prefix: "" }`.
+            (
+                ColPredicate::StrPrefix {
+                    col: c1,
+                    prefix: p1,
+                },
+                ColPredicate::StrPrefix {
+                    col: c2,
+                    prefix: p2,
+                },
+            ) if c1 == c2 => ColPredicate::StrPrefix {
+                col: *c1,
+                prefix: p1
+                    .chars()
+                    .zip(p2.chars())
+                    .take_while(|(a, b)| a == b)
+                    .map(|(a, _)| a)
+                    .collect(),
+            },
+            _ if self.covers(other) => self.clone(),
+            _ if other.covers(self) => other.clone(),
+            _ => ColPredicate::And(Vec::new()),
+        }
+    }
+
+    /// The same predicate re-addressed from schema positions to the
+    /// column order of a batch scanned with projection `proj` (leaf `col`
+    /// becomes its index *within* `proj`). Returns `None` when the
+    /// predicate reads a column `proj` does not carry — the caller then
+    /// cannot re-evaluate it against the projected batch.
+    pub fn project_columns(&self, proj: &[usize]) -> Option<ColPredicate> {
+        match self {
+            ColPredicate::IntGe { col, min } => Some(ColPredicate::IntGe {
+                col: proj.iter().position(|p| p == col)?,
+                min: *min,
+            }),
+            ColPredicate::IntBetween { col, min, max } => Some(ColPredicate::IntBetween {
+                col: proj.iter().position(|p| p == col)?,
+                min: *min,
+                max: *max,
+            }),
+            ColPredicate::StrPrefix { col, prefix } => Some(ColPredicate::StrPrefix {
+                col: proj.iter().position(|p| p == col)?,
+                prefix: prefix.clone(),
+            }),
+            ColPredicate::And(ps) => Some(ColPredicate::And(
+                ps.iter()
+                    .map(|p| p.project_columns(proj))
+                    .collect::<Option<Vec<_>>>()?,
+            )),
+        }
+    }
+
+    /// Vectorized evaluation into a word bitmap: after the call, bit `i`
+    /// of `bits` is set iff row `i` of `batch` passes. `bits` is cleared
+    /// and resized to `rows.div_ceil(64)` words. Same addressing and
+    /// missing/mistyped-column semantics as [`ColPredicate::select`],
+    /// but the inner loops are branchless (a comparison shifted into the
+    /// word instead of a conditional push), which is what the shared
+    /// pipeline's refinement fan-out wants when one batch is filtered N
+    /// times. Expand with [`bitmap_ones`] when indices are needed.
+    pub fn select_bitmap(&self, batch: &ColumnBatch, bits: &mut Vec<u64>) {
+        let rows = batch.rows();
+        bits.clear();
+        bits.resize(rows.div_ceil(64), 0);
+        self.fill_bitmap(batch, rows, bits);
+    }
+
+    /// Core of [`ColPredicate::select_bitmap`]: ORs passing rows into
+    /// `bits`, which the caller must present zeroed.
+    fn fill_bitmap(&self, batch: &ColumnBatch, rows: usize, bits: &mut [u64]) {
+        match self {
+            ColPredicate::IntGe { col, min } => {
+                let Some(column) = batch.columns().get(*col) else {
+                    return;
+                };
+                let Some(vals) = column.ints() else { return };
+                if column.has_nulls() {
+                    for (i, v) in vals.iter().enumerate() {
+                        let pass = *v >= *min && !column.is_null(i);
+                        bits[i >> 6] |= u64::from(pass) << (i & 63);
+                    }
+                } else {
+                    for (i, v) in vals.iter().enumerate() {
+                        bits[i >> 6] |= u64::from(*v >= *min) << (i & 63);
+                    }
+                }
+            }
+            ColPredicate::IntBetween { col, min, max } => {
+                let Some(column) = batch.columns().get(*col) else {
+                    return;
+                };
+                let Some(vals) = column.ints() else { return };
+                if column.has_nulls() {
+                    for (i, v) in vals.iter().enumerate() {
+                        let pass = *v >= *min && *v <= *max && !column.is_null(i);
+                        bits[i >> 6] |= u64::from(pass) << (i & 63);
+                    }
+                } else {
+                    for (i, v) in vals.iter().enumerate() {
+                        bits[i >> 6] |= u64::from(*v >= *min && *v <= *max) << (i & 63);
+                    }
+                }
+            }
+            ColPredicate::StrPrefix { col, prefix } => {
+                let Some(column) = batch.columns().get(*col) else {
+                    return;
+                };
+                if !matches!(column.data_type(), DataType::Str) {
+                    return;
+                }
+                for i in 0..column.len() {
+                    let pass = !column.is_null(i)
+                        && column
+                            .str_at(i)
+                            .is_some_and(|s| s.starts_with(prefix.as_str()));
+                    bits[i >> 6] |= u64::from(pass) << (i & 63);
+                }
+            }
+            ColPredicate::And(ps) => {
+                let Some((first, rest)) = ps.split_first() else {
+                    set_bit_range(bits, 0, rows);
+                    return;
+                };
+                first.fill_bitmap(batch, rows, bits);
+                if rest.is_empty() {
+                    return;
+                }
+                // Conjunction = word-wise AND of the children's bitmaps.
+                let mut scratch = vec![0u64; bits.len()];
+                for p in rest {
+                    p.fill_bitmap(batch, rows, &mut scratch);
+                    for (w, s) in bits.iter_mut().zip(&scratch) {
+                        *w &= *s;
+                    }
+                    scratch.fill(0);
+                }
+            }
+        }
+    }
+
+    /// Bitmap twin of [`ColPredicate::select_stores`]: after the call,
+    /// bit `i` of `bits` is set iff `i ∈ lo..hi` and row `i` of the
+    /// mirror passes. `bits` is cleared and resized to
+    /// `hi.div_ceil(64)` words — bits index **absolute** row positions,
+    /// like the selection vectors `select_stores` appends.
+    pub fn select_stores_bitmap(
+        &self,
+        stores: &[ColumnStore],
+        lo: usize,
+        hi: usize,
+        bits: &mut Vec<u64>,
+    ) {
+        bits.clear();
+        bits.resize(hi.div_ceil(64), 0);
+        self.fill_stores_bitmap(stores, lo, hi, bits);
+    }
+
+    /// Core of [`ColPredicate::select_stores_bitmap`]: ORs passing rows
+    /// in `lo..hi` into `bits`, which the caller must present zeroed.
+    fn fill_stores_bitmap(&self, stores: &[ColumnStore], lo: usize, hi: usize, bits: &mut [u64]) {
+        match self {
+            ColPredicate::IntGe { col, min } => {
+                let Some(s) = stores.get(*col) else { return };
+                let Some(vals) = s.ints() else { return };
+                for i in lo..hi {
+                    let pass = vals[i] >= *min && !s.is_null(i);
+                    bits[i >> 6] |= u64::from(pass) << (i & 63);
+                }
+            }
+            ColPredicate::IntBetween { col, min, max } => {
+                let Some(s) = stores.get(*col) else { return };
+                let Some(vals) = s.ints() else { return };
+                for i in lo..hi {
+                    let pass = vals[i] >= *min && vals[i] <= *max && !s.is_null(i);
+                    bits[i >> 6] |= u64::from(pass) << (i & 63);
+                }
+            }
+            ColPredicate::StrPrefix { col, prefix } => {
+                let Some(s) = stores.get(*col) else { return };
+                if !matches!(s.data_type(), DataType::Str) {
+                    return;
+                }
+                for i in lo..hi {
+                    let pass = !s.is_null(i)
+                        && s.str_at(i).is_some_and(|v| v.starts_with(prefix.as_str()));
+                    bits[i >> 6] |= u64::from(pass) << (i & 63);
+                }
+            }
+            ColPredicate::And(ps) => {
+                let Some((first, rest)) = ps.split_first() else {
+                    set_bit_range(bits, lo, hi);
+                    return;
+                };
+                first.fill_stores_bitmap(stores, lo, hi, bits);
+                if rest.is_empty() {
+                    return;
+                }
+                let mut scratch = vec![0u64; bits.len()];
+                for p in rest {
+                    p.fill_stores_bitmap(stores, lo, hi, &mut scratch);
+                    for (w, s) in bits.iter_mut().zip(&scratch) {
+                        *w &= *s;
+                    }
+                    scratch.fill(0);
+                }
             }
         }
     }
@@ -2277,5 +2635,294 @@ mod tests {
         }
         assert_eq!(b.rows(), 16); // the failed ragged push added no row
         assert_eq!(b.column(0).ints().unwrap().len(), 16);
+    }
+
+    /// Predicates spanning every variant plus the degenerate shapes
+    /// (empty conjunction, missing column, mistyped column) — the cases
+    /// the bitmap evaluators must agree with the append evaluators on.
+    fn bitmap_preds() -> Vec<ColPredicate> {
+        vec![
+            ColPredicate::IntGe { col: 0, min: 10 },
+            ColPredicate::IntBetween {
+                col: 0,
+                min: 5,
+                max: 25,
+            },
+            ColPredicate::StrPrefix {
+                col: 1,
+                prefix: "A".into(),
+            },
+            ColPredicate::And(vec![
+                ColPredicate::IntGe { col: 0, min: 3 },
+                ColPredicate::StrPrefix {
+                    col: 1,
+                    prefix: "A".into(),
+                },
+            ]),
+            ColPredicate::And(vec![ColPredicate::IntGe { col: 0, min: 20 }]),
+            ColPredicate::And(vec![]),
+            ColPredicate::IntGe { col: 9, min: 0 }, // missing column
+            ColPredicate::IntGe { col: 1, min: 0 }, // mistyped column
+            ColPredicate::StrPrefix {
+                col: 0,
+                prefix: "A".into(),
+            }, // mistyped column
+        ]
+    }
+
+    #[test]
+    fn bitmap_select_agrees_with_append_select() {
+        // 150 rows: multiple bitmap words plus a partial tail word.
+        let mut b = ColumnBatch::new(&[DataType::Int, DataType::Str]);
+        for i in 0..150i64 {
+            let iv = if i % 11 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i % 40)
+            };
+            let sv = if i % 13 == 0 {
+                Value::Null
+            } else if i % 3 == 0 {
+                Value::str(format!("A{i}"))
+            } else {
+                Value::str(format!("b{i}"))
+            };
+            b.push_row(&[iv, sv]).unwrap();
+        }
+        let mut bits = Vec::new();
+        let mut from_bits = Vec::new();
+        for pred in bitmap_preds() {
+            let mut sel = Vec::new();
+            pred.select(&b, &mut sel);
+            pred.select_bitmap(&b, &mut bits);
+            assert_eq!(bits.len(), b.rows().div_ceil(64), "{pred:?}");
+            from_bits.clear();
+            bitmap_ones(&bits, &mut from_bits);
+            assert_eq!(from_bits, sel, "{pred:?}");
+        }
+    }
+
+    #[test]
+    fn stores_bitmap_select_agrees_with_append_select() {
+        let mut ints = ColumnStore::new(DataType::Int);
+        let mut strs = ColumnStore::new(DataType::Str);
+        for i in 0..150i64 {
+            let iv = if i % 11 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i % 40)
+            };
+            let sv = if i % 13 == 0 {
+                Value::Null
+            } else if i % 3 == 0 {
+                Value::str(format!("A{i}"))
+            } else {
+                Value::str(format!("b{i}"))
+            };
+            ints.push(&iv).unwrap();
+            strs.push(&sv).unwrap();
+        }
+        let stores = vec![ints, strs];
+        let mut bits = Vec::new();
+        let mut from_bits = Vec::new();
+        // Ranges crossing word boundaries, word-aligned, and empty.
+        for (lo, hi) in [(0usize, 150usize), (3, 130), (64, 128), (70, 70)] {
+            for pred in bitmap_preds() {
+                let mut sel = Vec::new();
+                pred.select_stores(&stores, lo, hi, &mut sel);
+                pred.select_stores_bitmap(&stores, lo, hi, &mut bits);
+                assert_eq!(bits.len(), hi.div_ceil(64), "{pred:?} {lo}..{hi}");
+                from_bits.clear();
+                bitmap_ones(&bits, &mut from_bits);
+                assert_eq!(from_bits, sel, "{pred:?} {lo}..{hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn covers_is_conservative_implication() {
+        let ge5 = ColPredicate::IntGe { col: 0, min: 5 };
+        let ge7 = ColPredicate::IntGe { col: 0, min: 7 };
+        let ge5_other_col = ColPredicate::IntGe { col: 2, min: 5 };
+        let bt7_9 = ColPredicate::IntBetween {
+            col: 0,
+            min: 7,
+            max: 9,
+        };
+        let bt5_100 = ColPredicate::IntBetween {
+            col: 0,
+            min: 5,
+            max: 100,
+        };
+        let bt5_open = ColPredicate::IntBetween {
+            col: 0,
+            min: 5,
+            max: i64::MAX,
+        };
+        let pa = ColPredicate::StrPrefix {
+            col: 1,
+            prefix: "A".into(),
+        };
+        let pab = ColPredicate::StrPrefix {
+            col: 1,
+            prefix: "AB".into(),
+        };
+        let pempty = ColPredicate::StrPrefix {
+            col: 1,
+            prefix: String::new(),
+        };
+        let all = ColPredicate::And(vec![]);
+
+        assert!(ge5.covers(&ge7));
+        assert!(!ge7.covers(&ge5));
+        assert!(!ge5.covers(&ge5_other_col));
+        assert!(ge5.covers(&bt7_9));
+        assert!(!ge7.covers(&bt5_100));
+        assert!(bt5_100.covers(&bt7_9));
+        assert!(!bt7_9.covers(&bt5_100));
+        // A bounded window never covers an open-ended one — unless its
+        // upper bound literally is i64::MAX.
+        assert!(!bt5_100.covers(&ge7));
+        assert!(bt5_open.covers(&ge7));
+        assert!(pa.covers(&pab));
+        assert!(!pab.covers(&pa));
+        assert!(pempty.covers(&pa));
+        // The empty conjunction matches all rows: covers everything, is
+        // covered by no leaf.
+        assert!(all.covers(&ge5));
+        assert!(all.covers(&all));
+        assert!(!ge5.covers(&all));
+        // Conjunction sides recurse.
+        assert!(ColPredicate::And(vec![ge5.clone()]).covers(&ge7));
+        assert!(ge5.covers(&ColPredicate::And(vec![ge7.clone(), pa.clone()])));
+        assert!(!ge5.covers(&ColPredicate::And(vec![pa.clone()])));
+        // Cross-variant comparisons make no claim.
+        assert!(!pa.covers(&ge5));
+        assert!(!ge5.covers(&pa));
+    }
+
+    #[test]
+    fn union_hull_is_a_hull_of_both_inputs() {
+        let preds = bitmap_preds();
+        // Row oracle: everything either input matches, the hull matches.
+        let rows: Vec<Vec<Value>> = (0..60i64)
+            .map(|i| {
+                vec![
+                    if i % 7 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(i)
+                    },
+                    if i % 2 == 0 {
+                        Value::str(format!("A{i}"))
+                    } else {
+                        Value::str(format!("z{i}"))
+                    },
+                ]
+            })
+            .collect();
+        for p in &preds {
+            for q in &preds {
+                let hull = p.union_hull(q);
+                assert!(hull.covers(p), "{hull:?} must cover {p:?}");
+                assert!(hull.covers(q), "{hull:?} must cover {q:?}");
+                for row in &rows {
+                    if p.matches(row) || q.matches(row) {
+                        assert!(hull.matches(row), "{hull:?} missed a row of {p:?} | {q:?}");
+                    }
+                }
+            }
+        }
+        // Tight shapes, not just the trivial hull.
+        let ge5 = ColPredicate::IntGe { col: 0, min: 5 };
+        let ge9 = ColPredicate::IntGe { col: 0, min: 9 };
+        assert_eq!(ge5.union_hull(&ge9), ge5);
+        let bt1_2 = ColPredicate::IntBetween {
+            col: 0,
+            min: 1,
+            max: 2,
+        };
+        let bt10_20 = ColPredicate::IntBetween {
+            col: 0,
+            min: 10,
+            max: 20,
+        };
+        // Disjoint windows hull to one spanning window (admitting the gap).
+        assert_eq!(
+            bt1_2.union_hull(&bt10_20),
+            ColPredicate::IntBetween {
+                col: 0,
+                min: 1,
+                max: 20
+            }
+        );
+        // Open-ended absorbs bounded: only the smaller min survives.
+        assert_eq!(
+            ge9.union_hull(&bt1_2),
+            ColPredicate::IntGe { col: 0, min: 1 }
+        );
+        let pab = ColPredicate::StrPrefix {
+            col: 1,
+            prefix: "AB".into(),
+        };
+        let pac = ColPredicate::StrPrefix {
+            col: 1,
+            prefix: "AC".into(),
+        };
+        assert_eq!(
+            pab.union_hull(&pac),
+            ColPredicate::StrPrefix {
+                col: 1,
+                prefix: "A".into()
+            }
+        );
+        // Unrelated predicates fall back to the trivially-true hull.
+        let other_col = ColPredicate::IntGe { col: 2, min: 5 };
+        assert_eq!(ge5.union_hull(&other_col), ColPredicate::And(vec![]));
+    }
+
+    #[test]
+    fn project_columns_readdresses_into_projection() {
+        let proj = [2usize, 4, 6];
+        let p = ColPredicate::IntGe { col: 4, min: 9 };
+        assert_eq!(
+            p.project_columns(&proj),
+            Some(ColPredicate::IntGe { col: 1, min: 9 })
+        );
+        let conj = ColPredicate::And(vec![
+            ColPredicate::IntGe { col: 4, min: 9 },
+            ColPredicate::StrPrefix {
+                col: 6,
+                prefix: "A".into(),
+            },
+        ]);
+        assert_eq!(
+            conj.project_columns(&proj),
+            Some(ColPredicate::And(vec![
+                ColPredicate::IntGe { col: 1, min: 9 },
+                ColPredicate::StrPrefix {
+                    col: 2,
+                    prefix: "A".into(),
+                },
+            ]))
+        );
+        // A column the projection does not carry cannot be re-addressed,
+        // even from inside a conjunction.
+        assert_eq!(
+            ColPredicate::IntGe { col: 3, min: 0 }.project_columns(&proj),
+            None
+        );
+        assert_eq!(
+            ColPredicate::And(vec![
+                ColPredicate::IntGe { col: 2, min: 0 },
+                ColPredicate::IntGe { col: 3, min: 0 },
+            ])
+            .project_columns(&proj),
+            None
+        );
+        assert_eq!(
+            ColPredicate::And(vec![]).project_columns(&proj),
+            Some(ColPredicate::And(vec![]))
+        );
     }
 }

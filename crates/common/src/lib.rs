@@ -30,7 +30,7 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
-pub use column::{ColPredicate, Column, ColumnBatch, ColumnStore};
+pub use column::{bitmap_ones, ColPredicate, Column, ColumnBatch, ColumnStore};
 pub use error::{DbError, DbResult};
 pub use ids::{AcId, PartitionId, QueryId, ServerId, TableId, TxnId};
 pub use rid::Rid;

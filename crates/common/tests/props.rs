@@ -226,6 +226,91 @@ proptest! {
             .collect();
         prop_assert_eq!(sel, by_row);
     }
+
+    /// The bitmap evaluator selects exactly the rows the appending
+    /// evaluator selects, for arbitrary predicate trees over arbitrary
+    /// batches (including out-of-range and mistyped columns).
+    #[test]
+    fn predicate_bitmap_select_matches_select(seed in any::<u64>(), cols in 1usize..5, rows in 0usize..80, depth in 0usize..3) {
+        use anydb_common::bitmap_ones;
+        let (types, tuples) = arbitrary_columnar(seed, cols, rows);
+        let batch = ColumnBatch::from_tuples(&types, &tuples).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x515);
+        let pred = arbitrary_predicate(&mut rng, depth);
+        let mut sel = Vec::new();
+        pred.select(&batch, &mut sel);
+        let mut bits = Vec::new();
+        pred.select_bitmap(&batch, &mut bits);
+        let mut from_bits = Vec::new();
+        bitmap_ones(&bits, &mut from_bits);
+        prop_assert_eq!(from_bits, sel);
+    }
+
+    /// `covers` is a sound implication test: whenever it claims
+    /// `p ⊇ q`, every row matching `q` matches `p`. (It is allowed to
+    /// decline to claim — false negatives only cost a scan.)
+    #[test]
+    fn covers_implies_row_subset(seed in any::<u64>(), cols in 1usize..5, rows in 0usize..40, dp in 0usize..3, dq in 0usize..3) {
+        let (_, tuples) = arbitrary_columnar(seed, cols, rows);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0E5);
+        let p = arbitrary_predicate(&mut rng, dp);
+        let q = arbitrary_predicate(&mut rng, dq);
+        if p.covers(&q) {
+            for t in &tuples {
+                prop_assert!(
+                    !q.matches_tuple(t) || p.matches_tuple(t),
+                    "{:?} claims to cover {:?} but missed {:?}", p, q, t
+                );
+            }
+        }
+    }
+
+    /// `union_hull(p, q)` covers every row matched by `p` or `q`, for
+    /// arbitrary predicate pairs (oracle: row-wise `matches`), and the
+    /// syntactic `covers` test agrees it covers both inputs.
+    #[test]
+    fn union_hull_covers_both_inputs(seed in any::<u64>(), cols in 1usize..5, rows in 0usize..40, dp in 0usize..3, dq in 0usize..3) {
+        let (_, tuples) = arbitrary_columnar(seed, cols, rows);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4011);
+        let p = arbitrary_predicate(&mut rng, dp);
+        let q = arbitrary_predicate(&mut rng, dq);
+        let hull = p.union_hull(&q);
+        prop_assert!(hull.covers(&p), "{:?} must cover {:?}", hull, p);
+        prop_assert!(hull.covers(&q), "{:?} must cover {:?}", hull, q);
+        for t in &tuples {
+            if p.matches_tuple(t) || q.matches_tuple(t) {
+                prop_assert!(hull.matches_tuple(t), "{:?} missed a row of {:?} | {:?}", hull, p, q);
+            }
+        }
+    }
+
+    /// Refinement after a superset scan equals a direct scan: scanning
+    /// with `union_hull(p, q)` and re-filtering the survivors with `p`
+    /// yields exactly the rows a direct `p` scan yields — the invariant
+    /// the shared-scan cache's superset serving and the shared Q3
+    /// pipeline's fan-out both rest on.
+    #[test]
+    fn refine_after_superset_scan_equals_direct_scan(seed in any::<u64>(), cols in 1usize..5, rows in 0usize..40, dp in 0usize..3, dq in 0usize..3) {
+        use anydb_common::bitmap_ones;
+        let (types, tuples) = arbitrary_columnar(seed, cols, rows);
+        let batch = ColumnBatch::from_tuples(&types, &tuples).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5CA9);
+        let p = arbitrary_predicate(&mut rng, dp);
+        let q = arbitrary_predicate(&mut rng, dq);
+        let hull = p.union_hull(&q);
+        let mut hull_sel = Vec::new();
+        hull.select(&batch, &mut hull_sel);
+        let superset = batch.take(&hull_sel);
+        let mut bits = Vec::new();
+        p.select_bitmap(&superset, &mut bits);
+        let mut refine_sel = Vec::new();
+        bitmap_ones(&bits, &mut refine_sel);
+        let refined = superset.take(&refine_sel);
+        let mut direct_sel = Vec::new();
+        p.select(&batch, &mut direct_sel);
+        let direct = batch.take(&direct_sel);
+        prop_assert_eq!(refined, direct);
+    }
 }
 
 /// Deterministically builds an arbitrary predicate tree of the given

@@ -33,6 +33,20 @@
 //! as one [`crate::event::DoneBatch`] per driver channel per wakeup —
 //! flushed before the loop blocks, so a waiting driver observes every
 //! completion its events produced.
+//!
+//! ## Query admission windows
+//!
+//! `QueryQ3` events are the OLAP analogue of the op-group coalescing
+//! above: every Q3 request found in one drained chunk is buffered into an
+//! *admission window* and executed as ONE shared pipeline
+//! ([`exec_q3_shared`]) at the end of the chunk — a single hull-predicate
+//! scan per table, one shared build side, per-member refinement at the
+//! probe — with each member still receiving its own
+//! [`Completion::Query`]. The window is the drain chunk, so sharing needs
+//! no global queue, no timers, and no cross-AC coordination: when queries
+//! arrive faster than the AC can execute them the backlog itself grows
+//! the window (the same mechanism that grows op batches), and an idle AC
+//! degrades to singleton windows with the latency of the unshared path.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -49,8 +63,8 @@ use anydb_stream::spsc::PopState;
 use anydb_txn::history::History;
 use anydb_workload::tpcc::TpccDb;
 
-use crate::event::{Completion, CompletionBatcher, Event, OpEnvelope, TxnOp, TxnTracker};
-use crate::olap::exec_q3_local;
+use crate::event::{Completion, CompletionBatcher, Event, OpEnvelope, Q3Member, TxnOp, TxnTracker};
+use crate::olap::exec_q3_shared;
 use crate::ops::{exec_op, exec_whole_txn};
 
 /// Default number of events drained per wakeup when using
@@ -165,6 +179,7 @@ impl AnyComponent {
         let mut backoff = Backoff::new();
         let mut chunk: Vec<Event> = Vec::with_capacity(self.ctrl.max());
         let mut envelopes: Vec<OpEnvelope> = Vec::new();
+        let mut queries: Vec<Q3Member> = Vec::new();
         let mut completions = CompletionBatcher::new();
         'outer: loop {
             chunk.clear();
@@ -172,16 +187,25 @@ impl AnyComponent {
                 Ok(_) => {
                     backoff.reset();
                     // Coalesce runs of consecutive op-group events into one
-                    // amortized dispatch; handle other events in place so
+                    // amortized dispatch, and Q3 requests into one shared
+                    // admission window; handle other events in place so
                     // chunking never reorders them relative to op groups.
                     let mut events = chunk.drain(..);
                     for event in events.by_ref() {
                         match event {
                             Event::OpGroup(env) => envelopes.push(env),
                             Event::OpBatch(mut envs) => envelopes.append(&mut envs),
+                            Event::QueryQ3 { query, spec, done } => {
+                                queries.push(Q3Member { query, spec, done })
+                            }
                             other => {
                                 if !envelopes.is_empty() {
                                     self.dispatch_envelopes(&mut envelopes, &mut completions);
+                                }
+                                if matches!(other, Event::Shutdown) && !queries.is_empty() {
+                                    // Queries admitted ahead of the
+                                    // shutdown still owe results.
+                                    self.exec_query_window(&mut queries, &mut completions);
                                 }
                                 if self.handle(other, &mut completions) {
                                     // Shutdown: events behind it are
@@ -195,6 +219,9 @@ impl AnyComponent {
                     }
                     if !envelopes.is_empty() {
                         self.dispatch_envelopes(&mut envelopes, &mut completions);
+                    }
+                    if !queries.is_empty() {
+                        self.exec_query_window(&mut queries, &mut completions);
                     }
                     // One DoneBatch per driver channel for the whole
                     // chunk; must precede any wait, or drivers blocked on
@@ -236,24 +263,34 @@ impl AnyComponent {
             Event::OpGroup(..) | Event::OpBatch(..) => {
                 unreachable!("op groups are dispatched in batches by run()")
             }
-            Event::QueryQ3 { query, spec, done } => {
-                // The query below can run for milliseconds: ship every
-                // already-collected completion first so drivers blocked
-                // on them do not wait out an OLAP query. (Cheap events
-                // like ExecuteTxn deliberately do NOT flush — that would
-                // degrade the batched protocol to per-txn sends.)
-                completions.flush();
-                // Fully columnar since PR 4: epoch-validated shared
-                // snapshot scans with filter/projection pushdown feeding
-                // vectorized joins — repeated queries over quiescent
-                // partitions ride one cached scan (DESIGN.md §5).
-                let rows = exec_q3_local(&self.db, &spec);
-                // The result joins the batched protocol like any other
-                // completion: grouped into this chunk's DoneBatch.
-                completions.push(&done, Completion::Query { query, rows });
+            Event::QueryQ3 { .. } => {
+                unreachable!("Q3 queries are grouped into admission windows by run()")
             }
         }
         false
+    }
+
+    /// Executes one query admission window: every Q3 request buffered
+    /// while draining the current chunk runs as a single shared pipeline,
+    /// and each member's result joins the batched completion protocol.
+    fn exec_query_window(&self, queries: &mut Vec<Q3Member>, completions: &mut CompletionBatcher) {
+        // The pipeline below can run for milliseconds: ship every
+        // already-collected completion first so drivers blocked on them
+        // do not wait out an OLAP window. (Cheap events like ExecuteTxn
+        // deliberately do NOT flush — that would degrade the batched
+        // protocol to per-txn sends.)
+        completions.flush();
+        // One hull-predicate scan per table, one shared build side,
+        // per-member refinement at the probe (DESIGN.md §7); a singleton
+        // window degrades to the plain columnar path of DESIGN.md §5.
+        let specs: Vec<_> = queries.iter().map(|m| m.spec).collect();
+        let rows = exec_q3_shared(&self.db, &specs);
+        for (member, rows) in queries.drain(..).zip(rows) {
+            let Q3Member { query, done, .. } = member;
+            // The result joins the batched protocol like any other
+            // completion: grouped into this chunk's DoneBatch.
+            completions.push(&done, Completion::Query { query, rows });
+        }
     }
 
     /// Admits or parks every envelope, amortizing gate and parked-heap
@@ -633,6 +670,87 @@ mod tests {
         ));
         tx.send(Event::Shutdown);
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn query_window_members_each_get_their_own_result() {
+        // Several concurrent Q3 requests with different predicates land in
+        // one chunk: the AC executes them as ONE shared admission window,
+        // and every member must receive the result its exact spec demands
+        // (not the hull's).
+        use anydb_common::QueryId;
+        use anydb_workload::chbench::Q3Spec;
+        let db = Arc::new(TpccDb::load(TpccConfig::small(), 50).unwrap());
+        let committed = Arc::new(Counter::new());
+        let (tx, handle) = AnyComponent::spawn_with_chunk(AcId(0), db.clone(), None, committed, 8);
+        let (done_tx, done_rx) = unbounded();
+        let specs = [
+            Q3Spec::default(),
+            Q3Spec {
+                entry_date_max: 20081231,
+                ..Q3Spec::default()
+            },
+            Q3Spec {
+                entry_date_max: 20101231,
+                ..Q3Spec::default()
+            },
+            Q3Spec {
+                state_prefix: 'C',
+                ..Q3Spec::default()
+            },
+        ];
+        tx.send_many(specs.iter().enumerate().map(|(i, spec)| Event::QueryQ3 {
+            query: QueryId(i as u64),
+            spec: *spec,
+            done: done_tx.clone(),
+        }));
+        let mut got = Vec::new();
+        while got.len() < specs.len() {
+            got.extend(done_rx.recv().unwrap().0);
+        }
+        for c in got {
+            match c {
+                Completion::Query {
+                    query: QueryId(i),
+                    rows,
+                } => {
+                    let want = crate::olap::exec_q3_local(&db, &specs[i as usize]);
+                    assert_eq!(rows, want, "window member {i} diverged");
+                }
+                other => panic!("expected query completion, got {other:?}"),
+            }
+        }
+        tx.send(Event::Shutdown);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn queries_ahead_of_shutdown_still_answer() {
+        // A chunk carrying [QueryQ3, Shutdown]: the buffered window must
+        // execute before the AC exits.
+        use anydb_common::QueryId;
+        use anydb_workload::chbench::Q3Spec;
+        let db = Arc::new(TpccDb::load(TpccConfig::small(), 51).unwrap());
+        let committed = Arc::new(Counter::new());
+        let (tx, handle) = AnyComponent::spawn_with_chunk(AcId(0), db, None, committed, 8);
+        let (done_tx, done_rx) = unbounded();
+        tx.send_many([
+            Event::QueryQ3 {
+                query: QueryId(3),
+                spec: Q3Spec::default(),
+                done: done_tx,
+            },
+            Event::Shutdown,
+        ]);
+        handle.join().unwrap();
+        let batch = done_rx.try_recv().expect("query answered before exit");
+        assert!(matches!(
+            batch.0.as_slice(),
+            [Completion::Query {
+                query: QueryId(3),
+                rows: _
+            }]
+        ));
     }
 
     #[test]

@@ -45,6 +45,12 @@ pub struct EngineConfig {
     pub drivers: u32,
     /// Outstanding transactions per driver for pipelined strategies.
     pub window: usize,
+    /// Outstanding OLAP queries during HTAP phases: the driver keeps this
+    /// many Q3 requests (with rotating date windows) in flight against
+    /// the OLAP AC, whose drain chunk groups them into shared admission
+    /// windows — one hull-predicate scan plus per-member refinement
+    /// instead of N independent pipelines (DESIGN.md §7).
+    pub olap_window: usize,
     /// Payment fraction for the shared-nothing mix; decomposed strategies
     /// are payment-only (the paper's Figure 5 workload).
     pub payment_fraction: f64,
@@ -72,6 +78,7 @@ impl Default for EngineConfig {
             acs: 2,
             drivers: 1,
             window: 32,
+            olap_window: 8,
             payment_fraction: 1.0,
             batch: BatchMode::default(),
         }
@@ -119,6 +126,19 @@ fn absorb_completions(batch: DoneBatch, inflight: &mut usize, committed: &Counte
     }
 }
 
+/// Q3 parameters for the windowed OLAP driver: every member shares the
+/// "since 2007" lower bound but rotates among four upper bounds, so a
+/// window of concurrent queries carries genuinely different predicates —
+/// the shared pipeline has to hull-scan and refine per member, not just
+/// deduplicate identical requests.
+fn windowed_q3_spec(qid: u64) -> Q3Spec {
+    const YEAR_ENDS: [i64; 4] = [20081231, 20101231, 20121231, i64::MAX];
+    Q3Spec {
+        entry_date_max: YEAR_ENDS[(qid % 4) as usize],
+        ..Q3Spec::default()
+    }
+}
+
 /// The architecture-less engine.
 pub struct AnyDbEngine {
     db: Arc<TpccDb>,
@@ -130,7 +150,7 @@ pub struct AnyDbEngine {
 impl AnyDbEngine {
     /// Creates an engine over a loaded database.
     pub fn new(db: Arc<TpccDb>, cfg: EngineConfig) -> Self {
-        assert!(cfg.acs > 0 && cfg.drivers > 0 && cfg.window > 0);
+        assert!(cfg.acs > 0 && cfg.drivers > 0 && cfg.window > 0 && cfg.olap_window > 0);
         // Validate the batch range eagerly (the controller asserts it).
         let _ = cfg.batch.controller();
         Self {
@@ -202,29 +222,51 @@ impl AnyDbEngine {
             }
             if let Some((olap_tx, _)) = &olap {
                 let olap_done = &olap_done;
+                let olap_window = self.cfg.olap_window;
                 scope.spawn(move || {
                     let deadline = Instant::now() + duration;
                     let (done_tx, done_rx) = unbounded();
                     let mut qid = 0u64;
-                    while Instant::now() < deadline {
-                        olap_tx.send(Event::QueryQ3 {
-                            query: QueryId(qid),
-                            spec: Q3Spec::default(),
-                            done: done_tx.clone(),
-                        });
-                        qid += 1;
-                        // Query completions arrive on the batched done
-                        // channel like transaction notices (one DoneBatch
-                        // per drained chunk); with one query in flight
-                        // the batch carries exactly its completion.
-                        match done_rx.recv() {
-                            Ok(batch) => {
-                                for c in batch.0 {
-                                    if matches!(c, Completion::Query { .. }) {
-                                        olap_done.incr();
-                                    }
-                                }
+                    let mut inflight = 0usize;
+                    let absorb = |batch: DoneBatch, inflight: &mut usize| {
+                        for c in batch.0 {
+                            if matches!(c, Completion::Query { .. }) {
+                                olap_done.incr();
+                                *inflight -= 1;
                             }
+                        }
+                    };
+                    while Instant::now() < deadline {
+                        // Keep a window of concurrent Q3 requests with
+                        // rotating date windows in flight; whatever slice
+                        // of them lands in one AC drain chunk executes as
+                        // a shared pipeline. One burst send per refill —
+                        // the grouping itself happens at the AC.
+                        if inflight < olap_window {
+                            olap_tx.send_many((inflight..olap_window).map(|_| {
+                                let e = Event::QueryQ3 {
+                                    query: QueryId(qid),
+                                    spec: windowed_q3_spec(qid),
+                                    done: done_tx.clone(),
+                                };
+                                qid += 1;
+                                e
+                            }));
+                            inflight = olap_window;
+                        }
+                        // Query completions arrive on the batched done
+                        // channel like transaction notices: one DoneBatch
+                        // per admission window per chunk.
+                        match done_rx.recv() {
+                            Ok(batch) => absorb(batch, &mut inflight),
+                            Err(_) => return,
+                        }
+                    }
+                    // Wait out the window still in flight (the AC answers
+                    // every admitted query before it shuts down).
+                    while inflight > 0 {
+                        match done_rx.recv() {
+                            Ok(batch) => absorb(batch, &mut inflight),
                             Err(_) => break,
                         }
                     }

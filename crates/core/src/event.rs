@@ -241,6 +241,19 @@ impl std::fmt::Debug for OpEnvelope {
     }
 }
 
+/// One member of a shared-execution admission window: a `QueryQ3` event an
+/// AC has buffered while draining a chunk, waiting to be executed together
+/// with every other Q3 request of the same chunk via one shared pipeline.
+pub struct Q3Member {
+    /// Query id.
+    pub query: QueryId,
+    /// The member's exact parameters (the shared pipeline scans with the
+    /// *hull* of all member predicates and refines back to these).
+    pub spec: Q3Spec,
+    /// Completion channel for this member's `Completion::Query`.
+    pub done: DoneSender,
+}
+
 /// An event consumed by an AnyComponent.
 pub enum Event {
     /// Execute a whole transaction at the receiving AC (the *physically

@@ -34,5 +34,5 @@ pub mod ops;
 pub mod strategy;
 
 pub use engine::{AnyDbEngine, EngineConfig, PhaseResult};
-pub use event::{Event, OpDone, OpEnvelope, TxnOp};
+pub use event::{Event, OpDone, OpEnvelope, Q3Member, TxnOp};
 pub use strategy::Strategy;

@@ -39,7 +39,7 @@ use std::time::{Duration, Instant};
 
 use anydb_common::backoff::Backoff;
 use anydb_common::fxmap::FxHashSet;
-use anydb_common::{ColPredicate, ColumnBatch, PartitionId, Tuple};
+use anydb_common::{bitmap_ones, ColPredicate, ColumnBatch, PartitionId, Tuple};
 use anydb_storage::Table;
 use anydb_stream::batch::Batch;
 use anydb_stream::flow::{ColFlowSender, FlowSender};
@@ -720,6 +720,189 @@ pub fn exec_q3_local(db: &TpccDb, spec: &Q3Spec) -> usize {
     join_bitmap(&cust, &no, &ord).unwrap_or_else(|| join_hash(&cust, &no, &ord))
 }
 
+/// A shared join build side: dense key bitmap when the domains allow
+/// (the TPC-C case), hash set otherwise — the same strategy split as
+/// [`join_bitmap`] / [`join_hash`], packaged so the shared pipeline can
+/// build it **once** and probe it for every member query.
+enum KeySet {
+    Dense(KeyBitmap),
+    Hash(FxHashSet<JoinKey>),
+}
+
+impl KeySet {
+    /// Empty set over the given per-column key ranges: dense bitmap when
+    /// the domain fits [`KEY_BITMAP_MAX_BITS`], hash set otherwise.
+    /// Inserted keys must lie inside `ranges` (dense indexing relies on
+    /// it), which holds for any key drawn from the batches the ranges
+    /// were computed over.
+    fn empty_for(ranges: Option<[(i64, i64); 3]>) -> KeySet {
+        match KeyBitmap::try_new(ranges) {
+            Some(bits) => KeySet::Dense(bits),
+            None => KeySet::Hash(FxHashSet::default()),
+        }
+    }
+
+    fn from_batches(batches: &[ColumnBatch]) -> KeySet {
+        let mut set = KeySet::empty_for(key_ranges(batches));
+        for b in batches {
+            let Some((w, d, id)) = key_columns(b) else {
+                continue;
+            };
+            for ((&w, &d), &id) in w.iter().zip(d).zip(id) {
+                set.insert(w, d, id);
+            }
+        }
+        set
+    }
+
+    #[inline]
+    fn insert(&mut self, w: i64, d: i64, id: i64) {
+        match self {
+            KeySet::Dense(b) => b.insert(w, d, id),
+            KeySet::Hash(h) => {
+                h.insert((w, d, id));
+            }
+        }
+    }
+
+    #[inline]
+    fn contains(&self, w: i64, d: i64, id: i64) -> bool {
+        match self {
+            KeySet::Dense(b) => b.contains(w, d, id),
+            KeySet::Hash(h) => h.contains(&(w, d, id)),
+        }
+    }
+}
+
+/// **Shared multi-query execution** (SharedDB's "one stone"): answers
+/// every spec in `specs` from ONE scan→build→probe pipeline, returning
+/// one Q3 count per spec, each provably equal to what
+/// [`exec_q3_local`] would return for that spec alone.
+///
+/// The sharing plan, per the tentpole:
+///
+/// 1. **Predicate hulls** — per scanned table, the member predicates
+///    fold into one [`ColPredicate::union_hull`] (e.g. N date windows →
+///    one spanning window). The hull matches every row any member
+///    matches, so one hull scan feeds all members.
+/// 2. **One shared scan per table** — via the superset-keyed
+///    [`anydb_storage::Table::scan_columns_snapshot_shared`], under the
+///    *shared* projections ([`Q3Spec::CUSTOMER_SHARED_PROJ`] /
+///    [`Q3Spec::ORDER_SHARED_PROJ`]) that carry the filter columns, so
+///    exact member predicates can be re-checked downstream. This widens
+///    the wire by one column in exchange for replacing N scans with 1.
+/// 3. **One shared build side** — the open-order key set has no
+///    per-member predicate, so one [`KeySet`] (dense bitmap or hash)
+///    serves every member's join-2 probe.
+/// 4. **Selection-vector fan-out at the probe** — each member refines
+///    the hull-scanned batches with its exact predicate via the
+///    branchless [`ColPredicate::select_bitmap`] evaluator, and probes
+///    only its own selected rows.
+///
+/// Total pipeline cost is therefore ~flat in the member count: the
+/// scans and the build are paid once, and only the refinement bitmaps
+/// and probes scale with N — the `abl_shared` ablation gates this.
+///
+/// A single-member group degrades to [`exec_q3_local`] exactly (same
+/// key projections, same cache shapes), so the standing-HTAP singleton
+/// path is byte-identical to the unshared one.
+pub fn exec_q3_shared(db: &TpccDb, specs: &[Q3Spec]) -> Vec<usize> {
+    if specs.is_empty() {
+        return Vec::new();
+    }
+    if specs.len() == 1 {
+        return vec![exec_q3_local(db, &specs[0])];
+    }
+    let cust_hull = specs[1..].iter().fold(specs[0].customer_pred(), |h, s| {
+        h.union_hull(&s.customer_pred())
+    });
+    let ord_hull = specs[1..]
+        .iter()
+        .fold(specs[0].order_pred(), |h, s| h.union_hull(&s.order_pred()));
+    let cust = snapshot_key_batches(
+        &db.customer,
+        &Q3Spec::CUSTOMER_SHARED_PROJ,
+        Some(&cust_hull),
+    );
+    let no = snapshot_key_batches(&db.neworder, &Q3Spec::NEWORDER_KEY_PROJ, None);
+    let ord = snapshot_key_batches(&db.orders, &Q3Spec::ORDER_SHARED_PROJ, Some(&ord_hull));
+
+    // One shared build side for join 2 — predicate-free, member-agnostic.
+    let open = KeySet::from_batches(&no);
+
+    // Member predicates, re-addressed to the shared projections' column
+    // order (the filter columns ride at the tail by construction).
+    let cust_preds: Vec<ColPredicate> = specs
+        .iter()
+        .map(|s| {
+            s.customer_pred()
+                .project_columns(&Q3Spec::CUSTOMER_SHARED_PROJ)
+                .expect("shared customer projection carries the filter column")
+        })
+        .collect();
+    let ord_preds: Vec<ColPredicate> = specs
+        .iter()
+        .map(|s| {
+            s.order_pred()
+                .project_columns(&Q3Spec::ORDER_SHARED_PROJ)
+                .expect("shared orders projection carries the filter column")
+        })
+        .collect();
+
+    // Join-1 build fan-out: each member's exact customer set, refined
+    // from the hull-scanned batches by bitmap select. The per-member
+    // sets share the hull batches' key ranges, so in the dense (TPC-C)
+    // case each is a small bitmap — probe membership stays a bit test
+    // even at large member counts.
+    let cust_ranges = key_ranges(&cust);
+    let mut cust_keys: Vec<KeySet> = specs
+        .iter()
+        .map(|_| KeySet::empty_for(cust_ranges))
+        .collect();
+    let mut bits = Vec::new();
+    let mut sel = Vec::new();
+    for b in &cust {
+        let Some((w, d, id)) = key_columns(b) else {
+            debug_assert!(b.is_empty(), "customer batch violated the key protocol");
+            continue;
+        };
+        for (member, pred) in cust_keys.iter_mut().zip(&cust_preds) {
+            pred.select_bitmap(b, &mut bits);
+            sel.clear();
+            bitmap_ones(&bits, &mut sel);
+            for &i in &sel {
+                let i = i as usize;
+                member.insert(w[i], d[i], id[i]);
+            }
+        }
+    }
+
+    // Probe fan-out: each member probes only its own selected orders.
+    let mut rows = vec![0usize; specs.len()];
+    for b in &ord {
+        let Some((w, d, id)) = key_columns(b) else {
+            debug_assert!(b.is_empty(), "orders batch violated the key protocol");
+            continue;
+        };
+        let Some(c) = int_column(b, 3) else {
+            debug_assert!(false, "orders batch missing o_c_id");
+            continue;
+        };
+        for ((count, member), pred) in rows.iter_mut().zip(&cust_keys).zip(&ord_preds) {
+            pred.select_bitmap(b, &mut bits);
+            sel.clear();
+            bitmap_ones(&bits, &mut sel);
+            for &i in &sel {
+                let i = i as usize;
+                if member.contains(w[i], d[i], c[i]) && open.contains(w[i], d[i], id[i]) {
+                    *count += 1;
+                }
+            }
+        }
+    }
+    rows
+}
+
 /// Row-at-a-time local Q3 under per-row latches — the pre-columnar HTAP
 /// execution, kept as the row-path baseline (`abl_htap`'s slow arm) and
 /// as an independent oracle for the columnar rewrite.
@@ -815,6 +998,99 @@ mod tests {
         let streamed = Q3Compute::new(spec).run_columns(crx, nrx, orx);
         producers.join().unwrap();
         assert_eq!(streamed.rows, expected);
+    }
+
+    #[test]
+    fn shared_execution_matches_independent_execution() {
+        let db = TpccDb::load(TpccConfig::small(), 61).unwrap();
+        // Mixed member shapes: different state prefixes, bounded and
+        // open-ended date windows, and a duplicate member.
+        let specs = vec![
+            Q3Spec::default(),
+            Q3Spec {
+                entry_date_max: 20091231,
+                ..Q3Spec::default()
+            },
+            Q3Spec {
+                state_prefix: 'C',
+                entry_date_min: 20050101,
+                entry_date_max: 20081231,
+            },
+            Q3Spec {
+                state_prefix: 'T',
+                ..Q3Spec::default()
+            },
+            Q3Spec {
+                entry_date_max: 20091231,
+                ..Q3Spec::default()
+            },
+        ];
+        let shared = exec_q3_shared(&db, &specs);
+        assert_eq!(shared.len(), specs.len());
+        let customers = collect_table(&db.customer);
+        let orders = collect_table(&db.orders);
+        let neworders = collect_table(&db.neworder);
+        for (spec, &rows) in specs.iter().zip(&shared) {
+            assert_eq!(
+                rows,
+                reference_q3(spec, &customers, &orders, &neworders),
+                "shared member diverged from the oracle: {spec:?}"
+            );
+            assert_eq!(
+                rows,
+                exec_q3_local(&db, spec),
+                "shared member diverged from independent execution: {spec:?}"
+            );
+        }
+        assert!(shared.iter().any(|&r| r > 0), "degenerate scale");
+        assert_eq!(shared[1], shared[4], "duplicate members must agree");
+        // Degenerate groups: empty, and the singleton passthrough.
+        assert!(exec_q3_shared(&db, &[]).is_empty());
+        assert_eq!(exec_q3_shared(&db, &specs[..1]), vec![shared[0]]);
+    }
+
+    #[test]
+    fn shared_pipeline_scans_each_table_once() {
+        let db = TpccDb::load(TpccConfig::small(), 62).unwrap();
+        let misses = |db: &TpccDb| {
+            [&db.customer, &db.neworder, &db.orders]
+                .iter()
+                .map(|t| t.shared_scan_stats().misses)
+                .sum::<u64>()
+        };
+        let specs: Vec<Q3Spec> = (0..8i64)
+            .map(|i| Q3Spec {
+                entry_date_max: 20071231 + i * 10_000,
+                ..Q3Spec::default()
+            })
+            .collect();
+        let parts = (db.customer.partition_count()
+            + db.neworder.partition_count()
+            + db.orders.partition_count()) as u64;
+        let before = misses(&db);
+        exec_q3_shared(&db, &specs);
+        // 8 member queries cost ONE scan per table partition.
+        assert_eq!(misses(&db) - before, parts);
+        // A second group whose windows sit inside the first group's hull
+        // is answered without any fresh scan at all: the customer and
+        // new-order shapes hit exactly, the narrower orders hull is
+        // served from the cached superset entry by refinement.
+        let after_first = misses(&db);
+        let narrower: Vec<Q3Spec> = (0..4i64)
+            .map(|i| Q3Spec {
+                entry_date_max: 20071231 + i * 10_000,
+                ..Q3Spec::default()
+            })
+            .collect();
+        let shared = exec_q3_shared(&db, &narrower);
+        assert_eq!(misses(&db), after_first, "covered group paid a scan");
+        // And the refined results are still exact.
+        let customers = collect_table(&db.customer);
+        let orders = collect_table(&db.orders);
+        let neworders = collect_table(&db.neworder);
+        for (spec, &rows) in narrower.iter().zip(&shared) {
+            assert_eq!(rows, reference_q3(spec, &customers, &orders, &neworders));
+        }
     }
 
     #[test]

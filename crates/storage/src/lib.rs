@@ -29,5 +29,5 @@ pub use key::{IndexKey, KeyValue};
 pub use partition::{Partition, ScanSnapshot};
 pub use record::Row;
 pub use store::{Partitioner, Store};
-pub use table::Table;
+pub use table::{SharedScanStats, Table};
 pub use wal::{LogOp, LogRecord, Wal};

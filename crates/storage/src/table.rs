@@ -4,9 +4,12 @@
 //! columnar snapshot instead of each paying its own scan pass — served
 //! zero-copy because column buffers are `Arc`-shared.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use anydb_common::fxmap::FxHashMap;
 use anydb_common::{
-    ColPredicate, ColumnBatch, DbError, DbResult, PartitionId, Rid, Schema, TableId, Tuple, Value,
+    bitmap_ones, ColPredicate, ColumnBatch, DbError, DbResult, PartitionId, Rid, Schema, TableId,
+    Tuple, Value,
 };
 use parking_lot::Mutex;
 
@@ -38,6 +41,47 @@ type SharedScanKey = (usize, Vec<usize>, Option<ColPredicate>);
 /// dropped rather than managing an eviction order.
 const SCAN_CACHE_SHAPES_PER_PARTITION: usize = 8;
 
+/// Monotonic outcome counters of
+/// [`Table::scan_columns_snapshot_shared`], read via
+/// [`Table::shared_scan_stats`]. `miss_rows` is the number of rows
+/// *materialized* by cache-miss scans — the deterministic cost model the
+/// shared-execution ablation gates on (wall clock on a noisy 1-core CI
+/// host is not reproducible; rows copied out of the mirror are).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedScanStats {
+    /// Exact-key cache hits served zero-copy.
+    pub hits: u64,
+    /// Requests served by refining a cached **superset** entry (same
+    /// partition and projection, covering predicate).
+    pub superset_hits: u64,
+    /// Fresh scans (no serveable entry).
+    pub misses: u64,
+    /// Rows materialized by those fresh scans.
+    pub miss_rows: u64,
+}
+
+/// Atomic cells behind [`SharedScanStats`] (relaxed: the counters are
+/// diagnostics and cost accounting, not synchronization).
+#[derive(Default)]
+struct SharedScanCounters {
+    hits: AtomicU64,
+    superset_hits: AtomicU64,
+    misses: AtomicU64,
+    miss_rows: AtomicU64,
+}
+
+/// `true` iff a cached entry's predicate (`sup`) provably matches a
+/// superset of the rows `req` matches. `None` is the unfiltered scan,
+/// which covers everything; a filtered entry never covers an unfiltered
+/// request.
+fn covers_opt(sup: Option<&ColPredicate>, req: Option<&ColPredicate>) -> bool {
+    match (sup, req) {
+        (None, _) => true,
+        (Some(_), None) => false,
+        (Some(s), Some(r)) => s.covers(r),
+    }
+}
+
 /// A partitioned table: row storage, a per-partition unique primary-key
 /// index, and any number of secondary indexes.
 ///
@@ -58,6 +102,8 @@ pub struct Table {
     /// [`Table::scan_columns_snapshot_shared`]). Only point-in-time
     /// certificates are ever stored.
     scan_cache: Mutex<FxHashMap<SharedScanKey, (ScanSnapshot, ColumnBatch)>>,
+    /// Outcome counters of the shared-scan path.
+    scan_counters: SharedScanCounters,
 }
 
 impl Table {
@@ -95,6 +141,7 @@ impl Table {
             secondaries,
             by_name,
             scan_cache: Mutex::new(FxHashMap::default()),
+            scan_counters: SharedScanCounters::default(),
         }
     }
 
@@ -317,11 +364,33 @@ impl Table {
     /// caching it would only displace serveable entries and push the
     /// cache toward its blunt clear-all bound.
     ///
+    /// **Superset serving.** An exact key miss does not yet mean a scan:
+    /// a valid entry with the same `(partition, proj)` whose predicate
+    /// [`ColPredicate::covers`] the request holds every row the request
+    /// would materialize (the entry's certificate validates the whole
+    /// projection, and the request's filter columns all sit inside
+    /// `proj` — checked via [`ColPredicate::project_columns`], which
+    /// also re-addresses the predicate to the cached batch's column
+    /// order). The request is then answered by *refining* the cached
+    /// batch with a vectorized bitmap select — O(cached rows) instead of
+    /// O(partition rows + full materialization). This is what makes N
+    /// concurrent queries with near-miss date windows share one scan.
+    /// Refined results are not re-inserted: they would be dominated by
+    /// the entry that served them.
+    ///
+    /// **Dominated-entry eviction.** Inserting a fresh entry first evicts
+    /// same-`(partition, proj)` entries whose predicate the new entry
+    /// covers: any future request they could serve exactly, the new
+    /// entry now serves by refinement, so they are dead weight — and
+    /// without this, a widening stream of hull predicates (the shared
+    /// pipeline's signature) would grow one entry per hull until the
+    /// blunt clear-all fired.
+    ///
     /// The cache mutex is held only for the O(columns) revalidation and
-    /// the insert — never across the materialization — so one query's
-    /// cold scan cannot stall another query's cache hit. Two queries that
-    /// miss on the same key concurrently both scan and the later insert
-    /// wins; each result carries its own valid certificate.
+    /// the insert — never across materialization or refinement — so one
+    /// query's cold scan cannot stall another query's cache hit. Two
+    /// queries that miss on the same key concurrently both scan and the
+    /// later insert wins; each result carries its own valid certificate.
     ///
     /// Callers may freely mutate the returned batch: copy-on-write on
     /// the shared buffers protects the cached image.
@@ -333,20 +402,71 @@ impl Table {
     ) -> DbResult<(ColumnBatch, ScanSnapshot)> {
         let part = self.partition(p)?;
         let key: SharedScanKey = (p.index(), proj.to_vec(), pred.cloned());
+        let mut superset: Option<(ScanSnapshot, ColumnBatch, ColPredicate)> = None;
         {
             let cache = self.scan_cache.lock();
             if let Some((snap, batch)) = cache.get(&key) {
                 if snap.is_cols_point_in_time()
                     && snap.cols_epoch_end == part.cols_epoch(proj, pred)
                 {
-                    return Ok((batch.clone(), *snap));
+                    let served = (batch.clone(), *snap);
+                    drop(cache);
+                    self.scan_counters.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(served);
+                }
+            }
+            if let Some(local) = pred.and_then(|req| req.project_columns(proj)) {
+                let req = pred.expect("local projection implies a predicate");
+                for ((part_idx, eproj, epred), (esnap, ebatch)) in cache.iter() {
+                    if *part_idx != p.index() || eproj != proj {
+                        continue;
+                    }
+                    if !covers_opt(epred.as_ref(), Some(req)) {
+                        continue;
+                    }
+                    if esnap.is_cols_point_in_time()
+                        && esnap.cols_epoch_end == part.cols_epoch(proj, epred.as_ref())
+                    {
+                        // O(columns) clone under the lock; refine after.
+                        superset = Some((*esnap, ebatch.clone(), local));
+                        break;
+                    }
                 }
             }
         }
+        if let Some((esnap, ebatch, local)) = superset {
+            let mut bits = Vec::new();
+            local.select_bitmap(&ebatch, &mut bits);
+            let mut sel = Vec::new();
+            bitmap_ones(&bits, &mut sel);
+            let refined = ebatch.take(&sel);
+            // The entry's certificate transfers: it validates the whole
+            // projection (a superset of what the request reads), and the
+            // refined rows are exactly what a direct scan of the same
+            // prefix would have matched.
+            let mut snap = esnap;
+            snap.matched = refined.rows();
+            self.scan_counters
+                .superset_hits
+                .fetch_add(1, Ordering::Relaxed);
+            return Ok((refined, snap));
+        }
         let mut batch = self.column_batch(proj);
         let snap = part.scan_columns_snapshot(proj, pred, &mut batch)?;
+        self.scan_counters.misses.fetch_add(1, Ordering::Relaxed);
+        self.scan_counters
+            .miss_rows
+            .fetch_add(batch.rows() as u64, Ordering::Relaxed);
         if snap.is_cols_point_in_time() {
             let mut cache = self.scan_cache.lock();
+            // Evict entries the new one dominates (same partition and
+            // projection, predicate covered by the new predicate).
+            cache.retain(|(part_idx, eproj, epred), _| {
+                !(*part_idx == key.0
+                    && *eproj == key.1
+                    && *epred != key.2
+                    && covers_opt(key.2.as_ref(), epred.as_ref()))
+            });
             // The cap bounds standing *shapes* per partition: the key
             // space is per-(partition, proj, pred), so a whole-table scan
             // inserts one entry per partition and must not count against
@@ -359,6 +479,17 @@ impl Table {
             cache.insert(key, (snap, batch.clone()));
         }
         Ok((batch, snap))
+    }
+
+    /// Snapshot of the shared-scan outcome counters (monotonic since
+    /// table creation; subtract two snapshots to meter a window).
+    pub fn shared_scan_stats(&self) -> SharedScanStats {
+        SharedScanStats {
+            hits: self.scan_counters.hits.load(Ordering::Relaxed),
+            superset_hits: self.scan_counters.superset_hits.load(Ordering::Relaxed),
+            misses: self.scan_counters.misses.load(Ordering::Relaxed),
+            miss_rows: self.scan_counters.miss_rows.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of cached shared-scan entries (diagnostic: the cache must
@@ -723,6 +854,107 @@ mod tests {
         assert_eq!(b7.rows(), 2);
         assert_eq!(s7.matched, 2);
         assert_eq!(s7.prefix, 3);
+    }
+
+    #[test]
+    fn superset_entry_serves_covered_requests_after_refinement() {
+        let t = table();
+        for id in 10..30i64 {
+            t.insert(row(
+                1,
+                id,
+                if id % 2 == 0 { "Ann" } else { "bo" },
+                id as f64,
+            ))
+            .unwrap();
+        }
+        let p = PartitionId(0);
+        let proj = [3usize, 1];
+        // Prime the cache with a wide hull predicate.
+        let hull = ColPredicate::IntGe { col: 1, min: 12 };
+        t.scan_columns_snapshot_shared(p, &proj, Some(&hull))
+            .unwrap();
+        let before = t.shared_scan_stats();
+        // A narrower covered request is served by refining the entry...
+        let req = ColPredicate::IntBetween {
+            col: 1,
+            min: 15,
+            max: 20,
+        };
+        let (refined, snap) = t
+            .scan_columns_snapshot_shared(p, &proj, Some(&req))
+            .unwrap();
+        let after = t.shared_scan_stats();
+        assert_eq!(after.superset_hits, before.superset_hits + 1);
+        assert_eq!(after.misses, before.misses, "no fresh scan");
+        // ...and equals a direct scan, certificate included.
+        let mut direct = t.column_batch(&proj);
+        let dsnap = t
+            .scan_columns_snapshot(p, &proj, Some(&req), &mut direct)
+            .unwrap();
+        assert_eq!(refined, direct);
+        assert_eq!(snap.matched, dsnap.matched);
+        assert_eq!(snap.prefix, dsnap.prefix);
+        // An *uncovered* (wider) request misses and scans fresh.
+        let wider = ColPredicate::IntGe { col: 1, min: 10 };
+        let (b, _) = t
+            .scan_columns_snapshot_shared(p, &proj, Some(&wider))
+            .unwrap();
+        let end = t.shared_scan_stats();
+        assert_eq!(end.misses, after.misses + 1);
+        assert_eq!(b.rows(), 20);
+        // A request whose filter column the projection does not carry can
+        // never be served by refinement (the filter cannot be re-checked
+        // against the cached batch).
+        let off_proj = ColPredicate::StrPrefix {
+            col: 2,
+            prefix: "A".into(),
+        };
+        t.scan_columns_snapshot_shared(p, &proj, Some(&off_proj))
+            .unwrap();
+        assert_eq!(t.shared_scan_stats().superset_hits, end.superset_hits);
+    }
+
+    #[test]
+    fn dominating_insert_evicts_dominated_entries() {
+        let t = table();
+        for id in 0..20i64 {
+            t.insert(row(1, id, "x", id as f64)).unwrap();
+        }
+        let p = PartitionId(0);
+        let proj = [3usize, 1];
+        // A widening stream of hulls — the shared pipeline's signature —
+        // must keep exactly one standing entry, not one per hull.
+        let hulls: Vec<ColPredicate> = (0..3i64)
+            .map(|i| ColPredicate::IntBetween {
+                col: 1,
+                min: 5 - i,
+                max: 10 + i,
+            })
+            .collect();
+        for h in &hulls {
+            t.scan_columns_snapshot_shared(p, &proj, Some(h)).unwrap();
+        }
+        assert_eq!(t.scan_cache_len(), 1, "dominated hulls must be evicted");
+        // The survivor is the widest: a narrower repeat is a superset hit.
+        let before = t.shared_scan_stats();
+        t.scan_columns_snapshot_shared(p, &proj, Some(&hulls[0]))
+            .unwrap();
+        assert_eq!(
+            t.shared_scan_stats().superset_hits,
+            before.superset_hits + 1
+        );
+        // An unfiltered scan of the same projection dominates everything.
+        t.scan_columns_snapshot_shared(p, &proj, None).unwrap();
+        assert_eq!(t.scan_cache_len(), 1);
+        // ...but an exact repeat still hits zero-copy, and a different
+        // projection is untouched by eviction.
+        let hits = t.shared_scan_stats().hits;
+        t.scan_columns_snapshot_shared(p, &proj, None).unwrap();
+        assert_eq!(t.shared_scan_stats().hits, hits + 1);
+        t.scan_columns_snapshot_shared(p, &[2], None).unwrap();
+        t.scan_columns_snapshot_shared(p, &proj, None).unwrap();
+        assert_eq!(t.scan_cache_len(), 2);
     }
 
     #[test]

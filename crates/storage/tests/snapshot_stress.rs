@@ -264,6 +264,11 @@ fn racing_writer_scans_leave_the_cache_clean() {
     //    (disjoint from the writer's columns) stays a zero-copy cache hit
     //    through the entire storm — its column-set certificate is clean
     //    even while the partition's global epoch races ahead.
+    // 3. **Dominated-entry eviction**: a widening chain of hull
+    //    predicates (the shared Q3 pipeline's signature) holds at most
+    //    one standing entry, because each inserted hull evicts the hulls
+    //    it covers — the cache stays bounded even though every round
+    //    uses a predicate never seen before.
     let t = Arc::new(wide_pair_table());
     for i in 0..INIT_ROWS as i64 {
         t.insert(Tuple::new(vec![
@@ -333,10 +338,24 @@ fn racing_writer_scans_leave_the_cache_clean() {
                 }
             }
         }
-        // (1) Cache bound: the standing `c` entry plus at most one entry
-        // per contested shape that ever reported a cacheable certificate.
+        // (3) Widening hull over the contested column: never seen
+        // before, so it can only be answered by refining a valid
+        // superset entry (the unfiltered `[1]` shape) or by a fresh
+        // scan. Whenever it inserts, it dominates — and must evict —
+        // every hull before it, so the whole chain contributes at most
+        // ONE standing entry. Without dominated-entry eviction this
+        // would add an entry per round and blow the bound below.
+        let hull = ColPredicate::IntGe {
+            col: 1,
+            min: -(round as i64),
+        };
+        t.scan_columns_snapshot_shared(p, &[1], Some(&hull))
+            .unwrap();
+        // (1) Cache bound: the standing `c` entry, at most one entry per
+        // contested shape that ever reported a cacheable certificate,
+        // and at most one standing hull from the widening chain.
         assert!(
-            t.scan_cache_len() <= 1 + cacheable.min(shapes.len()),
+            t.scan_cache_len() <= 2 + cacheable.min(shapes.len()),
             "round {round}: {} entries with only {cacheable} cacheable scans",
             t.scan_cache_len()
         );

@@ -76,6 +76,29 @@ impl Q3Spec {
         cols::neworder::NO_O_ID,
     ];
 
+    /// Customer projection for **shared** multi-query execution: the join
+    /// keys plus `c_state`, the filter column itself. A shared scan runs
+    /// with the *hull* of the member predicates pushed down, so each
+    /// member must be able to re-check its exact state prefix against the
+    /// scanned batch — the filter column has to ride along.
+    pub const CUSTOMER_SHARED_PROJ: [usize; 4] = [
+        cols::customer::C_W_ID,
+        cols::customer::C_D_ID,
+        cols::customer::C_ID,
+        cols::customer::C_STATE,
+    ];
+
+    /// Orders projection for **shared** multi-query execution: the join
+    /// keys plus `o_entry_d`, so each member's exact date window can be
+    /// refined against the hull-scanned batch.
+    pub const ORDER_SHARED_PROJ: [usize; 5] = [
+        cols::orders::O_W_ID,
+        cols::orders::O_D_ID,
+        cols::orders::O_ID,
+        cols::orders::O_C_ID,
+        cols::orders::O_ENTRY_D,
+    ];
+
     /// Customer-side filter (`c_state LIKE 'A%'`).
     pub fn customer_filter(&self, t: &Tuple) -> bool {
         match t.get(cols::customer::C_STATE) {

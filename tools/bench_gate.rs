@@ -3,13 +3,17 @@
 //! Compares the JSONs emitted by the gated ablations — `abl_adaptive`
 //! (`BENCH_adaptive.json`, transport level), `abl_routing`
 //! (`BENCH_routing.json`, engine level), `abl_columnar`
-//! (`BENCH_columnar.json`, OLAP stream level) and `abl_htap`
+//! (`BENCH_columnar.json`, OLAP stream level), `abl_htap`
 //! (`BENCH_htap.json`, HTAP-local level: shared-snapshot columnar Q3 +
-//! the zero-copy split flatness ceiling) — against the checked-in
+//! the zero-copy split flatness ceiling) and `abl_shared`
+//! (`BENCH_shared.json`, multi-query level: shared-pipeline cost
+//! scaling at N=32 concurrent Q3 members) — against the checked-in
 //! baseline (`tools/bench_baseline.json`) and exits non-zero on
-//! regression, so the batching/routing/columnar wins cannot silently
-//! rot. All current files are merged into one metric map before
-//! checking (their key namespaces are disjoint by construction).
+//! regression, so the batching/routing/columnar/sharing wins cannot
+//! silently rot. Every bench emits the same flat schema (gated `ratio_*`
+//! keys plus ungated raw values, no per-file exceptions), and all
+//! current files are merged into one metric map before checking (their
+//! key namespaces are disjoint by construction).
 //!
 //! The baseline deliberately pins only **ratio** metrics: absolute
 //! events/sec vary with the CI host, ratios between two modes measured
@@ -30,7 +34,7 @@
 //!   metric is a regression of the gate itself).
 //!
 //! Usage: `bench_gate [baseline.json] [current.json ...]` (defaults:
-//! `tools/bench_baseline.json` and the three `BENCH_*.json` files — the
+//! `tools/bench_baseline.json` and the five `BENCH_*.json` files — the
 //! paths CI uses from the repo root).
 
 use std::collections::BTreeMap;
@@ -108,11 +112,12 @@ fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
 }
 
 /// The bench-emitted files gated by default (all namespaces disjoint).
-const DEFAULT_CURRENT: [&str; 4] = [
+const DEFAULT_CURRENT: [&str; 5] = [
     "BENCH_adaptive.json",
     "BENCH_routing.json",
     "BENCH_columnar.json",
     "BENCH_htap.json",
+    "BENCH_shared.json",
 ];
 
 fn main() -> ExitCode {
