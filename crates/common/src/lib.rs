@@ -9,6 +9,8 @@
 //! * [`column`] — columnar (struct-of-arrays) batches with pushdown
 //!   predicates and a one-tag-per-column wire encoding for OLAP streams,
 //! * [`rid`] — record identifiers (partition, slot),
+//! * [`scan`] — the remote scan wire protocol: pushed-down scan requests
+//!   and certified columnar replies,
 //! * [`ids`] — strongly typed identifiers used across the system,
 //! * [`fxmap`] — FxHash-style fast hash maps for hot lookup paths,
 //! * [`dist`] — Zipfian / hot-spot / NURand distributions for workloads,
@@ -26,6 +28,7 @@ pub mod fxmap;
 pub mod ids;
 pub mod metrics;
 pub mod rid;
+pub mod scan;
 pub mod schema;
 pub mod tuple;
 pub mod value;
@@ -34,6 +37,7 @@ pub use column::{bitmap_ones, ColPredicate, Column, ColumnBatch, ColumnStore};
 pub use error::{DbError, DbResult};
 pub use ids::{AcId, PartitionId, QueryId, ServerId, TableId, TxnId};
 pub use rid::Rid;
+pub use scan::{ScanReply, ScanRequest, ScanSnapshot};
 pub use schema::{ColumnDef, DataType, Schema};
 pub use tuple::Tuple;
 pub use value::Value;

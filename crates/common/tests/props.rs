@@ -311,6 +311,96 @@ proptest! {
         let direct = batch.take(&direct_sel);
         prop_assert_eq!(refined, direct);
     }
+
+    /// The scan-request wire codec roundtrips arbitrary requests (every
+    /// flag combination, arbitrary predicate trees) and rejects every
+    /// strict prefix of a valid encoding.
+    #[test]
+    fn scan_request_codec_roundtrips(
+        seed in any::<u64>(), depth in 0usize..3, has_pred in any::<bool>(),
+        part in proptest::option::of(0u32..16), nproj in 0usize..6,
+        batch_rows in 0usize..512, shared in any::<bool>(),
+    ) {
+        use anydb_common::{PartitionId, ScanRequest};
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let req = ScanRequest {
+            partition: part.map(PartitionId),
+            proj: (0..nproj).map(|_| rng.random_range(0..32usize)).collect(),
+            pred: has_pred.then(|| arbitrary_predicate(&mut rng, depth)),
+            batch_rows,
+            shared,
+        };
+        let enc = req.encode();
+        prop_assert_eq!(ScanRequest::decode(&enc).unwrap(), req);
+        for cut in 0..enc.len() {
+            prop_assert!(
+                ScanRequest::decode(&enc.slice(0..cut)).is_err(),
+                "request decode succeeded at cut {} of {}", cut, enc.len()
+            );
+        }
+    }
+
+    /// Corrupting a scan request's message tag or setting an unknown
+    /// flag bit must be rejected, never misinterpreted — the request
+    /// comes off a wire from another AC.
+    #[test]
+    fn scan_request_codec_rejects_unknown_tags_and_flags(
+        seed in any::<u64>(), depth in 0usize..3, tag_xor in 1u8..255, flag_bit in 3u32..8,
+    ) {
+        use anydb_common::ScanRequest;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let req = ScanRequest {
+            partition: None,
+            proj: vec![0, 2],
+            pred: Some(arbitrary_predicate(&mut rng, depth)),
+            batch_rows: 64,
+            shared: true,
+        };
+        use bytes::Buf;
+        let mut enc = req.encode().chunk().to_vec();
+        enc[0] ^= tag_xor;
+        prop_assert!(ScanRequest::decode(&bytes::Bytes::copy_from_slice(&enc)).is_err());
+        let mut enc = req.encode().chunk().to_vec();
+        enc[1] |= 1 << flag_bit; // a flag this codec version doesn't know
+        prop_assert!(ScanRequest::decode(&bytes::Bytes::copy_from_slice(&enc)).is_err());
+    }
+
+    /// The scan-reply wire codec roundtrips arbitrary (snapshot, batch)
+    /// payloads, rejects every strict prefix, and rejects a corrupted
+    /// message tag.
+    #[test]
+    fn scan_reply_codec_roundtrips(
+        seed in any::<u64>(), cols in 1usize..5, rows in 0usize..16, part in 0u32..8,
+    ) {
+        use anydb_common::{PartitionId, ScanReply, ScanSnapshot};
+        use rand::Rng;
+        let (types, tuples) = arbitrary_columnar(seed, cols, rows);
+        let batch = ColumnBatch::from_tuples(&types, &tuples).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9E1);
+        let snapshot = ScanSnapshot {
+            prefix: rng.random_range(0..1_000_000usize),
+            matched: rng.random_range(0..1_000_000usize),
+            epoch_start: rng.random(),
+            epoch_end: rng.random(),
+            cols_epoch_start: rng.random(),
+            cols_epoch_end: rng.random(),
+            max_version: rng.random(),
+        };
+        let reply = ScanReply { partition: PartitionId(part), snapshot, batch };
+        let enc = reply.encode();
+        prop_assert_eq!(&ScanReply::decode(&enc).unwrap(), &reply);
+        for cut in 0..enc.len() {
+            prop_assert!(
+                ScanReply::decode(&enc.slice(0..cut)).is_err(),
+                "reply decode succeeded at cut {} of {}", cut, enc.len()
+            );
+        }
+        use bytes::Buf;
+        let mut corrupted = enc.chunk().to_vec();
+        corrupted[0] ^= 0x11;
+        prop_assert!(ScanReply::decode(&bytes::Bytes::copy_from_slice(&corrupted)).is_err());
+    }
 }
 
 /// Deterministically builds an arbitrary predicate tree of the given

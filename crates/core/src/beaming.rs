@@ -23,19 +23,37 @@
 //! builds and probes straight from the column slices
 //! ([`Q3Compute::run_columns`]). See `crate::olap` for the stream
 //! protocol and DESIGN.md §3 for why pushdown lives at the scan.
+//!
+//! ## Local vs remote dispatch
+//!
+//! The *architecture* decides how a scan's pushdown reaches storage
+//! (DESIGN.md §8). **Aggregated** means compute and storage share a
+//! server: the producer thread calls the scan in-process and hands
+//! `ColumnBatch`es over a NUMA-class link — no serialization, because
+//! none would happen on real hardware either. **Disaggregated** means
+//! storage is a *remote* AC: the predicate and projection must actually
+//! cross the wire, so each stream opens a scan connection, ships an
+//! encoded [`anydb_common::ScanRequest`], and the storage side decodes,
+//! scans locally (mirror and shared-scan cache unchanged), and streams
+//! back encoded [`anydb_common::ScanReply`] frames that
+//! [`Q3Compute::run_wire`] decodes and joins.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use anydb_common::{ColPredicate, ColumnBatch};
+use anydb_common::{ColPredicate, ColumnBatch, ScanRequest};
 use anydb_storage::Table;
 use anydb_stream::flow::{ColFlowSender, Flow};
-use anydb_stream::link::{LinkSpec, SimLink};
+use anydb_stream::link::{LinkReceiver, LinkSpec, SimLink};
+use anydb_stream::remote::scan_connection;
 use anydb_workload::chbench::Q3Spec;
 use anydb_workload::tpcc::TpccDb;
+use bytes::Bytes;
 
-use crate::olap::{stream_scan_columns, Q3Compute};
+use crate::olap::{
+    request_remote_scan, serve_scan_stream, stream_scan_columns, Q3Compute, Q3ComputeResult,
+};
 
 /// Which streams are beamed ahead of query compilation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -157,10 +175,7 @@ fn spawn_producer(
     pred: Option<ColPredicate>,
     cfg: &BeamingConfig,
     ring: usize,
-) -> (
-    anydb_stream::link::LinkReceiver<ColumnBatch>,
-    JoinHandle<usize>,
-) {
+) -> (LinkReceiver<ColumnBatch>, JoinHandle<usize>) {
     let link = cfg.link;
     let host_rate = cfg.host_filter_bytes_per_sec;
     let batch_rows = cfg.batch_rows;
@@ -237,9 +252,84 @@ fn stream_scan_columns_throttled(
     scanned
 }
 
+/// Spawns a **remote** storage AC serving `table` over the scan wire
+/// protocol, and opens the pushed-down scan against it: the projection
+/// and predicate travel as an encoded [`ScanRequest`] frame, the server
+/// thread decodes and scans locally ([`serve_scan_stream`]), and only
+/// surviving encoded columns come back. The en-route [`Flow`] slot of
+/// the frame is the identity — Q3's filtering is already in the pushed
+/// predicate, so there is nothing left for the NIC to do per batch.
+///
+/// No host-side throttle: the scan runs on the remote storage AC's
+/// cores, which this model does not charge to the querying side (on the
+/// paper's disaggregated links the pushdown is NIC-offloaded anyway).
+fn spawn_remote_producer(
+    db: &Arc<TpccDb>,
+    table: fn(&TpccDb) -> &Table,
+    proj: &'static [usize],
+    pred: Option<ColPredicate>,
+    cfg: &BeamingConfig,
+    ring: usize,
+) -> (LinkReceiver<Bytes>, JoinHandle<usize>) {
+    let (requester, responder) = scan_connection(cfg.link, ring);
+    let db = db.clone();
+    let handle = std::thread::spawn(move || serve_scan_stream(table(&db), responder));
+    let req = ScanRequest {
+        partition: None,
+        proj: proj.to_vec(),
+        pred,
+        batch_rows: cfg.batch_rows,
+        // Beaming runs are private scans: every Figure-6 point meters
+        // its own full transfer, never a cached image.
+        shared: false,
+    };
+    let (rx, _request_bytes) = request_remote_scan(requester, &req, &Flow::identity());
+    (rx, handle)
+}
+
 /// Runs one Figure-6 data point: admits Q3, beams per `cfg.variant`,
 /// "compiles" for `cfg.compile_time`, executes, and reports timings.
+///
+/// Dispatch rule (DESIGN.md §8): collocated storage (aggregated) hands
+/// batches over in-process; remote storage (disaggregated) goes through
+/// the scan wire protocol.
 pub fn run_q3(db: &Arc<TpccDb>, spec: Q3Spec, cfg: &BeamingConfig) -> BeamingResult {
+    match cfg.arch {
+        ArchMode::Aggregated => run_q3_streams(db, spec, cfg, spawn_producer, |spec, c, n, o| {
+            Q3Compute::new(spec).run_columns(c, n, o)
+        }),
+        ArchMode::Disaggregated => {
+            run_q3_streams(db, spec, cfg, spawn_remote_producer, |spec, c, n, o| {
+                Q3Compute::new(spec).run_wire(c, n, o)
+            })
+        }
+    }
+}
+
+/// How one Q3 producer stream comes to exist: table selector, key
+/// projection, pushdown predicate, config, ring size → a receiver of
+/// stream payloads plus the producer's rows-scanned handle. The two
+/// implementations are [`spawn_producer`] (in-process batches) and
+/// [`spawn_remote_producer`] (encoded wire frames).
+type SpawnFn<T> = fn(
+    &Arc<TpccDb>,
+    fn(&TpccDb) -> &Table,
+    &'static [usize],
+    Option<ColPredicate>,
+    &BeamingConfig,
+    usize,
+) -> (LinkReceiver<T>, JoinHandle<usize>);
+
+/// The variant/compile-window orchestration, generic over how producers
+/// are spawned and consumed (in-process `ColumnBatch` hand-off vs
+/// encoded wire frames — same early/late beaming logic either way).
+fn run_q3_streams<T: Send + 'static>(
+    db: &Arc<TpccDb>,
+    spec: Q3Spec,
+    cfg: &BeamingConfig,
+    spawn: SpawnFn<T>,
+    compute: fn(Q3Spec, LinkReceiver<T>, LinkReceiver<T>, LinkReceiver<T>) -> Q3ComputeResult,
+) -> BeamingResult {
     let ring = 1 << 13;
     let t0 = Instant::now();
 
@@ -258,7 +348,7 @@ pub fn run_q3(db: &Arc<TpccDb>, spec: Q3Spec, cfg: &BeamingConfig) -> BeamingRes
     let mut no_rx = None;
     let mut ord_rx = None;
     if beam_build {
-        let (rx, h) = spawn_producer(
+        let (rx, h) = spawn(
             db,
             |db| &db.customer,
             &Q3Spec::CUSTOMER_KEY_PROJ,
@@ -268,7 +358,7 @@ pub fn run_q3(db: &Arc<TpccDb>, spec: Q3Spec, cfg: &BeamingConfig) -> BeamingRes
         );
         cust_rx = Some(rx);
         early.push(h);
-        let (rx, h) = spawn_producer(
+        let (rx, h) = spawn(
             db,
             |db| &db.neworder,
             &Q3Spec::NEWORDER_KEY_PROJ,
@@ -280,7 +370,7 @@ pub fn run_q3(db: &Arc<TpccDb>, spec: Q3Spec, cfg: &BeamingConfig) -> BeamingRes
         early.push(h);
     }
     if beam_probe {
-        let (rx, h) = spawn_producer(
+        let (rx, h) = spawn(
             db,
             |db| &db.orders,
             &Q3Spec::ORDER_KEY_PROJ,
@@ -299,7 +389,7 @@ pub fn run_q3(db: &Arc<TpccDb>, spec: Q3Spec, cfg: &BeamingConfig) -> BeamingRes
     // "passively pull data when needed" baseline behavior.
     let mut late: Vec<JoinHandle<usize>> = Vec::new();
     if cust_rx.is_none() {
-        let (rx, h) = spawn_producer(
+        let (rx, h) = spawn(
             db,
             |db| &db.customer,
             &Q3Spec::CUSTOMER_KEY_PROJ,
@@ -309,7 +399,7 @@ pub fn run_q3(db: &Arc<TpccDb>, spec: Q3Spec, cfg: &BeamingConfig) -> BeamingRes
         );
         cust_rx = Some(rx);
         late.push(h);
-        let (rx, h) = spawn_producer(
+        let (rx, h) = spawn(
             db,
             |db| &db.neworder,
             &Q3Spec::NEWORDER_KEY_PROJ,
@@ -321,7 +411,7 @@ pub fn run_q3(db: &Arc<TpccDb>, spec: Q3Spec, cfg: &BeamingConfig) -> BeamingRes
         late.push(h);
     }
     if ord_rx.is_none() {
-        let (rx, h) = spawn_producer(
+        let (rx, h) = spawn(
             db,
             |db| &db.orders,
             &Q3Spec::ORDER_KEY_PROJ,
@@ -335,7 +425,8 @@ pub fn run_q3(db: &Arc<TpccDb>, spec: Q3Spec, cfg: &BeamingConfig) -> BeamingRes
 
     // The consuming AC executes the two joins, vectorized over the key
     // columns.
-    let result = Q3Compute::new(spec).run_columns(
+    let result = compute(
+        spec,
         cust_rx.expect("customer stream"),
         no_rx.expect("neworder stream"),
         ord_rx.expect("orders stream"),

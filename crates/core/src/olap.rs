@@ -38,14 +38,18 @@
 use std::time::{Duration, Instant};
 
 use anydb_common::backoff::Backoff;
-use anydb_common::fxmap::FxHashSet;
-use anydb_common::{bitmap_ones, ColPredicate, ColumnBatch, PartitionId, Tuple};
+use anydb_common::fxmap::{FxHashMap, FxHashSet};
+use anydb_common::{
+    bitmap_ones, ColPredicate, ColumnBatch, DbResult, PartitionId, ScanReply, ScanRequest, Tuple,
+};
 use anydb_storage::Table;
 use anydb_stream::batch::Batch;
-use anydb_stream::flow::{ColFlowSender, FlowSender};
+use anydb_stream::flow::{ColFlowSender, Flow, FlowSender, FlowStage};
 use anydb_stream::link::{LinkReceiver, RecvState};
+use anydb_stream::remote::{ScanRequester, ScanResponder};
 use anydb_workload::chbench::Q3Spec;
 use anydb_workload::tpcc::TpccDb;
+use bytes::{Bytes, BytesMut};
 
 /// Scans every partition of `table`, batches rows (`batch_rows` each) and
 /// pushes them through the flow. Closes the stream by dropping the sender.
@@ -375,9 +379,11 @@ fn key_columns(batch: &ColumnBatch) -> Option<(&[i64], &[i64], &[i64])> {
     ))
 }
 
-impl Q3Sink<ColumnBatch> for ColSink {
-    fn absorb(&mut self, stream: Q3Stream, batch: ColumnBatch, builds_closed: bool) {
-        self.join.bytes[stream as usize] += batch.bytes();
+impl ColSink {
+    /// The join work of [`Q3Sink::absorb`], without the byte accounting —
+    /// shared with [`WireSink`], which charges the *encoded frame* length
+    /// instead of the in-memory batch estimate.
+    fn absorb_cols(&mut self, stream: Q3Stream, batch: ColumnBatch, builds_closed: bool) {
         if batch.is_empty() {
             return;
         }
@@ -421,9 +427,47 @@ impl Q3Sink<ColumnBatch> for ColSink {
             }
         }
     }
+}
+
+impl Q3Sink<ColumnBatch> for ColSink {
+    fn absorb(&mut self, stream: Q3Stream, batch: ColumnBatch, builds_closed: bool) {
+        self.join.bytes[stream as usize] += batch.bytes();
+        self.absorb_cols(stream, batch, builds_closed);
+    }
 
     fn close_builds(&mut self) {
         self.join.close_builds();
+    }
+}
+
+/// Wire-frame sink: the consumer end of the remote scan protocol
+/// (DESIGN.md §8). Each frame is one encoded [`ScanReply`]; the sink
+/// charges the stream its **encoded length** (the bytes the link
+/// actually carried), decodes, and feeds the batch through the shared
+/// columnar join. The reply's [`anydb_common::ScanSnapshot`] certificate
+/// is where a consistency policy would plug in; Q3's monotone counters
+/// accept any certified prefix (read-committed or point-in-time), so no
+/// reply is ever rejected here.
+#[derive(Default)]
+struct WireSink {
+    inner: ColSink,
+}
+
+impl Q3Sink<Bytes> for WireSink {
+    fn absorb(&mut self, stream: Q3Stream, frame: Bytes, builds_closed: bool) {
+        self.inner.join.bytes[stream as usize] += frame.len();
+        match ScanReply::decode(&frame) {
+            Ok(reply) => self.inner.absorb_cols(stream, reply.batch, builds_closed),
+            Err(_) => {
+                // A garbled frame off a modeled link is a protocol bug,
+                // not an input condition; skip it in release builds.
+                debug_assert!(false, "undecodable scan reply on Q3 stream");
+            }
+        }
+    }
+
+    fn close_builds(&mut self) {
+        self.inner.join.close_builds();
     }
 }
 
@@ -475,6 +519,119 @@ impl Q3Compute {
             stream_bytes: sink.join.bytes,
         }
     }
+
+    /// Runs the vectorized pipeline over **remote scan protocol** reply
+    /// streams: each frame is one encoded [`ScanReply`] (DESIGN.md §8),
+    /// decoded here and joined exactly like [`Q3Compute::run_columns`].
+    /// `stream_bytes` reports the encoded frame lengths — the bytes the
+    /// modeled links actually carried.
+    pub fn run_wire(
+        &self,
+        customers: LinkReceiver<Bytes>,
+        neworders: LinkReceiver<Bytes>,
+        orders: LinkReceiver<Bytes>,
+    ) -> Q3ComputeResult {
+        let mut sink = WireSink::default();
+        let (build, probe) = consume_streams(&mut sink, customers, neworders, orders);
+        Q3ComputeResult {
+            rows: sink.inner.join.rows,
+            build,
+            probe,
+            stream_bytes: sink.inner.join.bytes,
+        }
+    }
+}
+
+/// Encodes one remote scan call: the [`ScanRequest`] immediately followed
+/// by an en-route [`Flow`] spec ([`Flow::identity`] for "none"). This is
+/// the frame a compute AC ships to open a remote pushed-down scan; the
+/// storage side splits it back apart with the same two codecs.
+///
+/// Fails only if `flow` contains a stage with no wire form (an opaque
+/// closure filter).
+pub fn encode_remote_scan(req: &ScanRequest, flow: &Flow) -> DbResult<Bytes> {
+    let mut buf = BytesMut::new();
+    req.encode_into(&mut buf);
+    flow.encode_into(&mut buf)?;
+    Ok(buf.freeze())
+}
+
+/// `true` iff every [`FlowStage::Project`] in `flow` stays in bounds when
+/// the stages run over batches that start with `arity` columns. Decoded
+/// flows come off a wire, and [`ColumnBatch::project`] panics on
+/// out-of-range positions — the serve loop must reject, not crash.
+fn flow_projections_in_bounds(flow: &Flow, mut arity: usize) -> bool {
+    for stage in flow.stages() {
+        if let FlowStage::Project(cols) = stage {
+            if cols.iter().any(|&c| c >= arity) {
+                return false;
+            }
+            arity = cols.len();
+        }
+    }
+    true
+}
+
+/// The storage-AC side of the remote scan protocol: serves request
+/// frames off `responder` until the requester hangs up. Each frame is
+/// decoded ([`ScanRequest`] + en-route [`Flow`]), answered by the local
+/// [`Table::serve_scan`] (mirror and shared-scan cache untouched by the
+/// wire), the flow applied to every reply batch — this is the NIC-offload
+/// stage: on an offload link nobody pays for it — and the surviving
+/// encoded columns shipped back as one pipelined burst per request.
+///
+/// Returns total rows scanned pre-filter (producer accounting).
+/// Malformed frames and invalid requests are skipped (debug-asserted):
+/// a garbled message off a modeled link is a protocol bug, not load.
+pub fn serve_scan_stream(table: &Table, mut responder: ScanResponder) -> usize {
+    let mut scanned = 0usize;
+    while let Some(frame) = responder.recv_request_blocking() {
+        let mut buf = frame;
+        let Ok(req) = ScanRequest::decode_from(&mut buf) else {
+            debug_assert!(false, "undecodable scan request frame");
+            continue;
+        };
+        let flow = match Flow::decode(&buf) {
+            Ok(flow) if flow_projections_in_bounds(&flow, req.proj.len()) => flow,
+            _ => {
+                debug_assert!(false, "bad flow spec in scan request frame");
+                continue;
+            }
+        };
+        let Ok((replies, rows)) = table.serve_scan(&req) else {
+            debug_assert!(false, "unserveable scan request");
+            continue;
+        };
+        scanned += rows;
+        let frames = replies.into_iter().map(|mut reply| {
+            if !flow.is_empty() {
+                reply.batch = flow.apply_columns(reply.batch);
+            }
+            reply.encode()
+        });
+        if responder.send_replies(frames).is_err() {
+            break; // requester gone mid-burst
+        }
+    }
+    scanned
+}
+
+/// Opens one remote pushed-down scan as a compute AC would: ships the
+/// encoded `(request, flow)` frame, closes the request direction, and
+/// returns the reply stream to drain plus the request bytes charged to
+/// the wire. Panics on a flow with no wire form (caller bug).
+pub fn request_remote_scan(
+    mut requester: ScanRequester,
+    req: &ScanRequest,
+    flow: &Flow,
+) -> (LinkReceiver<Bytes>, usize) {
+    let frame = encode_remote_scan(req, flow).expect("flow has no wire form");
+    // An Err means the storage side is already gone; the returned reply
+    // receiver will report Disconnected, which consumers treat as
+    // end-of-stream — no separate handling needed here.
+    let _ = requester.send_request(frame);
+    let bytes = requester.bytes_sent();
+    (requester.finish_requests(), bytes)
 }
 
 /// Cap on the dense-domain join bitmap, in bits (2 MiB of bitmap). TPC-C
@@ -849,13 +1006,21 @@ pub fn exec_q3_shared(db: &TpccDb, specs: &[Q3Spec]) -> Vec<usize> {
         })
         .collect();
 
-    // Join-1 build fan-out: each member's exact customer set, refined
-    // from the hull-scanned batches by bitmap select. The per-member
-    // sets share the hull batches' key ranges, so in the dense (TPC-C)
-    // case each is a small bitmap — probe membership stays a bit test
-    // even at large member counts.
+    // Members with *identical* predicates collapse into one group before
+    // any fan-out (PR 6's noted headroom: N identical windows used to
+    // pay N selection-vector passes and N key-set builds for the same
+    // answer). `ColPredicate` is `Eq + Hash`, so grouping is one map
+    // pass per side.
+    let (cust_group_of, cust_group_preds) = dedup_predicates(&cust_preds);
+    let (ord_group_of, ord_group_preds) = dedup_predicates(&ord_preds);
+
+    // Join-1 build fan-out: each *distinct* customer predicate's exact
+    // key set, refined from the hull-scanned batches by bitmap select.
+    // The sets share the hull batches' key ranges, so in the dense
+    // (TPC-C) case each is a small bitmap — probe membership stays a bit
+    // test even at large member counts.
     let cust_ranges = key_ranges(&cust);
-    let mut cust_keys: Vec<KeySet> = specs
+    let mut cust_keys: Vec<KeySet> = cust_group_preds
         .iter()
         .map(|_| KeySet::empty_for(cust_ranges))
         .collect();
@@ -866,7 +1031,7 @@ pub fn exec_q3_shared(db: &TpccDb, specs: &[Q3Spec]) -> Vec<usize> {
             debug_assert!(b.is_empty(), "customer batch violated the key protocol");
             continue;
         };
-        for (member, pred) in cust_keys.iter_mut().zip(&cust_preds) {
+        for (member, &pred) in cust_keys.iter_mut().zip(&cust_group_preds) {
             pred.select_bitmap(b, &mut bits);
             sel.clear();
             bitmap_ones(&bits, &mut sel);
@@ -877,8 +1042,25 @@ pub fn exec_q3_shared(db: &TpccDb, specs: &[Q3Spec]) -> Vec<usize> {
         }
     }
 
-    // Probe fan-out: each member probes only its own selected orders.
-    let mut rows = vec![0usize; specs.len()];
+    // Probe fan-out runs once per distinct `(order window, customer
+    // set)` pair — members identical on both sides share the entire
+    // probe, not just the selection pass. Pairs are bucketed under
+    // their order group so each distinct order predicate pays exactly
+    // one selection-vector pass per batch.
+    let mut pair_of = vec![0usize; specs.len()];
+    let mut pairs_by_ord_group: Vec<Vec<(usize, usize)>> = vec![Vec::new(); ord_group_preds.len()];
+    let mut npairs = 0usize;
+    {
+        let mut index: FxHashMap<(usize, usize), usize> = FxHashMap::default();
+        for (m, (&og, &cg)) in ord_group_of.iter().zip(&cust_group_of).enumerate() {
+            pair_of[m] = *index.entry((og, cg)).or_insert_with(|| {
+                pairs_by_ord_group[og].push((npairs, cg));
+                npairs += 1;
+                npairs - 1
+            });
+        }
+    }
+    let mut pair_rows = vec![0usize; npairs];
     for b in &ord {
         let Some((w, d, id)) = key_columns(b) else {
             debug_assert!(b.is_empty(), "orders batch violated the key protocol");
@@ -888,19 +1070,40 @@ pub fn exec_q3_shared(db: &TpccDb, specs: &[Q3Spec]) -> Vec<usize> {
             debug_assert!(false, "orders batch missing o_c_id");
             continue;
         };
-        for ((count, member), pred) in rows.iter_mut().zip(&cust_keys).zip(&ord_preds) {
+        for (pred, pairs) in ord_group_preds.iter().zip(&pairs_by_ord_group) {
             pred.select_bitmap(b, &mut bits);
             sel.clear();
             bitmap_ones(&bits, &mut sel);
-            for &i in &sel {
-                let i = i as usize;
-                if member.contains(w[i], d[i], c[i]) && open.contains(w[i], d[i], id[i]) {
-                    *count += 1;
+            for &(pair, cg) in pairs {
+                let member = &cust_keys[cg];
+                let count = &mut pair_rows[pair];
+                for &i in &sel {
+                    let i = i as usize;
+                    if member.contains(w[i], d[i], c[i]) && open.contains(w[i], d[i], id[i]) {
+                        *count += 1;
+                    }
                 }
             }
         }
     }
-    rows
+    pair_of.into_iter().map(|p| pair_rows[p]).collect()
+}
+
+/// Groups equal predicates: returns, per input position, the index of
+/// its group, plus one representative reference per group (first
+/// occurrence order). The fan-out loops of [`exec_q3_shared`] then run
+/// per *group* instead of per member.
+fn dedup_predicates(preds: &[ColPredicate]) -> (Vec<usize>, Vec<&ColPredicate>) {
+    let mut group_of = Vec::with_capacity(preds.len());
+    let mut reps: Vec<&ColPredicate> = Vec::new();
+    let mut index: FxHashMap<&ColPredicate, usize> = FxHashMap::default();
+    for pred in preds {
+        group_of.push(*index.entry(pred).or_insert_with(|| {
+            reps.push(pred);
+            reps.len() - 1
+        }));
+    }
+    (group_of, reps)
 }
 
 /// Row-at-a-time local Q3 under per-row latches — the pre-columnar HTAP
@@ -958,6 +1161,7 @@ mod tests {
     use super::*;
     use anydb_stream::flow::Flow;
     use anydb_stream::link::{LinkSpec, SimLink};
+    use anydb_stream::remote::scan_connection;
     use anydb_workload::chbench::reference_q3;
     use anydb_workload::tpcc::TpccConfig;
 
@@ -1335,5 +1539,120 @@ mod tests {
     fn collect_table_sees_all_rows() {
         let db = TpccDb::load(TpccConfig::small(), 54).unwrap();
         assert_eq!(collect_table(&db.warehouse).len(), db.warehouse.row_count());
+    }
+
+    /// Opens a scan connection over an instant link, spawns the serve
+    /// loop for `table`, ships one pushed-down request (the same shape
+    /// the beaming layer's remote producer sends), and returns the reply
+    /// stream plus the server handle.
+    fn remote_stream(
+        db: &std::sync::Arc<TpccDb>,
+        table: fn(&TpccDb) -> &Table,
+        proj: &'static [usize],
+        pred: Option<ColPredicate>,
+    ) -> (LinkReceiver<Bytes>, std::thread::JoinHandle<usize>) {
+        let (requester, responder) = scan_connection(LinkSpec::instant(), 1 << 14);
+        let db = db.clone();
+        let server = std::thread::spawn(move || serve_scan_stream(table(&db), responder));
+        let req = ScanRequest {
+            partition: None,
+            proj: proj.to_vec(),
+            pred,
+            batch_rows: 128,
+            shared: false,
+        };
+        let (rx, request_bytes) = request_remote_scan(requester, &req, &Flow::identity());
+        assert!(request_bytes > 0, "the cost of asking must be charged");
+        (rx, server)
+    }
+
+    #[test]
+    fn remote_wire_q3_matches_local() {
+        // The full remote protocol — encode request, serve at the
+        // storage side, decode replies — agrees with local execution.
+        let db = std::sync::Arc::new(TpccDb::load(TpccConfig::small(), 63).unwrap());
+        let spec = Q3Spec::default();
+        let expected = exec_q3_local(&db, &spec);
+        assert!(expected > 0, "degenerate scale");
+        let (crx, ch) = remote_stream(
+            &db,
+            |db| &db.customer,
+            &Q3Spec::CUSTOMER_KEY_PROJ,
+            Some(spec.customer_pred()),
+        );
+        let (nrx, nh) = remote_stream(&db, |db| &db.neworder, &Q3Spec::NEWORDER_KEY_PROJ, None);
+        let (orx, oh) = remote_stream(
+            &db,
+            |db| &db.orders,
+            &Q3Spec::ORDER_KEY_PROJ,
+            Some(spec.order_pred()),
+        );
+        let result = Q3Compute::new(spec).run_wire(crx, nrx, orx);
+        assert_eq!(result.rows, expected);
+        // Wire accounting is on encoded frames, so every stream paid.
+        assert!(result.stream_bytes.iter().all(|&b| b > 0));
+        // The serve side reports full pre-filter scan work.
+        let scanned: usize = [ch, nh, oh].into_iter().map(|h| h.join().unwrap()).sum();
+        let total = db.customer.row_count() + db.neworder.row_count() + db.orders.row_count();
+        assert_eq!(scanned, total);
+    }
+
+    #[test]
+    fn serve_scan_stream_applies_en_route_flows() {
+        // A Project stage in the request's flow spec runs at the storage
+        // side: replies come back already narrowed.
+        let db = std::sync::Arc::new(TpccDb::load(TpccConfig::small(), 64).unwrap());
+        let (requester, responder) = scan_connection(LinkSpec::instant(), 1 << 12);
+        let server = {
+            let db = db.clone();
+            std::thread::spawn(move || serve_scan_stream(&db.orders, responder))
+        };
+        let req = ScanRequest {
+            partition: None,
+            proj: Q3Spec::ORDER_KEY_PROJ.to_vec(),
+            pred: None,
+            batch_rows: 0,
+            shared: false,
+        };
+        // Keep only the last key column, en route.
+        let flow = Flow::identity().project(vec![3]);
+        let (mut rx, _) = request_remote_scan(requester, &req, &flow);
+        let mut narrowed = Vec::new();
+        while let Some(frame) = rx.recv_blocking() {
+            let reply = ScanReply::decode(&frame).unwrap();
+            assert_eq!(reply.batch.columns().len(), 1, "flow ran before encoding");
+            narrowed.push(reply);
+        }
+        server.join().unwrap();
+        // Same request served locally, projected after the fact, agrees
+        // partition by partition.
+        let (wide, _) = db.orders.serve_scan(&req).unwrap();
+        assert_eq!(narrowed.len(), wide.len());
+        for (got, want) in narrowed.iter().zip(&wide) {
+            assert_eq!(got.partition, want.partition);
+            assert_eq!(got.snapshot, want.snapshot);
+            assert_eq!(got.batch, want.batch.project(&[3]));
+        }
+    }
+
+    #[test]
+    fn shared_identical_members_collapse_to_one_fan_out() {
+        // Duplicate members at every position: the dedup must map each
+        // back to its group's single fan-out result, in member order.
+        let db = TpccDb::load(TpccConfig::small(), 65).unwrap();
+        let a = Q3Spec::default();
+        let b = Q3Spec {
+            entry_date_max: 20091231,
+            ..Q3Spec::default()
+        };
+        let specs = vec![a, b, a, b, a, a];
+        let shared = exec_q3_shared(&db, &specs);
+        let ra = exec_q3_local(&db, &a);
+        let rb = exec_q3_local(&db, &b);
+        assert!(
+            ra > 0 && rb > 0 && ra != rb,
+            "seed keeps the specs distinct"
+        );
+        assert_eq!(shared, vec![ra, rb, ra, rb, ra, ra]);
     }
 }

@@ -40,6 +40,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use anydb_common::{ColPredicate, ColumnBatch, ColumnStore, DataType, DbError, DbResult, Tuple};
+// The certificate type lives in `anydb_common::scan` since it ships
+// inside `ScanReply` wire messages; storage re-exports it unchanged.
+pub use anydb_common::ScanSnapshot;
 use parking_lot::RwLock;
 
 use crate::record::Row;
@@ -48,65 +51,6 @@ use crate::record::Row;
 /// enough to amortize the lock handoff, small enough that racing OLTP
 /// writers are stalled for microseconds, not a scan's length.
 const SNAPSHOT_CHUNK: usize = 1024;
-
-/// What a [`Partition::scan_columns_snapshot`] observed — the snapshot's
-/// consistency certificate.
-///
-/// The contract (also §6 of DESIGN.md):
-///
-/// 1. **Fixed prefix** — the scan covers exactly the `prefix` rows present
-///    when it began, in slot order; rows appended while it runs are never
-///    visible.
-/// 2. **Row atomicity** — every row is materialized under mutual exclusion
-///    with writers, so no torn row can be observed, ever.
-/// 3. **Epoch certificate** — `epoch_start == epoch_end` proves no write
-///    (append or update) was interleaved anywhere in the partition, i.e.
-///    the whole prefix is one point-in-time image. When they differ, the
-///    scan is still a sequence of per-chunk point-in-time images
-///    (read-committed prefix semantics) and `max_version` bounds the
-///    newest row state it can contain.
-/// 4. **Column-set certificate** — `cols_epoch_start == cols_epoch_end`
-///    proves no write *changed a projected or filtered column* (and
-///    nothing was appended): the scanned projection is one point-in-time
-///    image even if unrelated columns were written mid-scan. This is the
-///    certificate the shared-scan cache revalidates against, which is what
-///    keeps cached OLAP snapshots alive across OLTP writes to disjoint
-///    columns. Un-mirrored partitions fall back to the global epochs here.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ScanSnapshot {
-    /// Rows in the captured prefix (scanned pre-filter).
-    pub prefix: usize,
-    /// Rows that passed the predicate into the output batch.
-    pub matched: usize,
-    /// Partition write epoch when the scan began.
-    pub epoch_start: u64,
-    /// Partition write epoch when the scan finished.
-    pub epoch_end: u64,
-    /// Max relevant epoch (appends + projected ∪ filtered columns) when
-    /// the scan began.
-    pub cols_epoch_start: u64,
-    /// Max relevant epoch when the scan finished.
-    pub cols_epoch_end: u64,
-    /// Highest row version observed in the prefix (0 when empty).
-    pub max_version: u64,
-}
-
-impl ScanSnapshot {
-    /// True when the whole prefix is certified as one point-in-time image
-    /// (no write anywhere in the partition raced the scan).
-    pub fn is_point_in_time(&self) -> bool {
-        self.epoch_start == self.epoch_end
-    }
-
-    /// True when the scanned **projection** is certified as one
-    /// point-in-time image: no append and no change to a projected or
-    /// filtered column raced the scan (writes to unrelated columns are
-    /// allowed). Implied by [`ScanSnapshot::is_point_in_time`]; this is
-    /// the cacheable condition.
-    pub fn is_cols_point_in_time(&self) -> bool {
-        self.cols_epoch_start == self.cols_epoch_end
-    }
-}
 
 /// The column positions a predicate reads (empty for `None`).
 fn pred_columns(pred: Option<&ColPredicate>) -> Vec<usize> {

@@ -8,8 +8,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use anydb_common::fxmap::FxHashMap;
 use anydb_common::{
-    bitmap_ones, ColPredicate, ColumnBatch, DbError, DbResult, PartitionId, Rid, Schema, TableId,
-    Tuple, Value,
+    bitmap_ones, ColPredicate, ColumnBatch, DbError, DbResult, PartitionId, Rid, ScanReply,
+    ScanRequest, Schema, TableId, Tuple, Value,
 };
 use parking_lot::Mutex;
 
@@ -479,6 +479,70 @@ impl Table {
             cache.insert(key, (snap, batch.clone()));
         }
         Ok((batch, snap))
+    }
+
+    /// Serves a decoded [`ScanRequest`] — the storage-AC side of the
+    /// remote scan protocol (DESIGN.md §8).
+    ///
+    /// Runs the requested pushdown scan over one partition (or all of
+    /// them), splits each partition's surviving rows into zero-copy
+    /// reply batches of at most `batch_rows` rows (`0` = unsplit), and
+    /// returns the replies in `(partition, batch)` order, every one
+    /// carrying its partition's [`ScanSnapshot`] certificate. The second
+    /// return value is the total rows scanned pre-filter (the producer
+    /// accounting the beaming pipeline reports).
+    ///
+    /// `shared` requests ride the shared-scan cache like local callers
+    /// ([`Table::scan_columns_snapshot_shared`]); private requests pay a
+    /// fresh snapshot scan. Either way the mirror and cache semantics are
+    /// exactly the local ones — the wire changes *where* the scan runs,
+    /// not what it observes.
+    ///
+    /// Requests arrive off a wire, so plan-shape invariants that local
+    /// callers get to assume are validated here: a projection index past
+    /// the schema is an error, never a panic. (Predicate columns outside
+    /// the schema are fine by construction — predicates treat them as
+    /// "no match".) An empty partition produces one reply with an empty
+    /// batch, so every partition's certificate always reaches the
+    /// requester.
+    pub fn serve_scan(&self, req: &ScanRequest) -> DbResult<(Vec<ScanReply>, usize)> {
+        let arity = self.schema.columns().len();
+        if req.proj.iter().any(|&c| c >= arity) {
+            return Err(DbError::Codec("scan request projection out of range"));
+        }
+        let parts: Vec<PartitionId> = match req.partition {
+            Some(p) => {
+                self.check_partition(p)?;
+                vec![p]
+            }
+            None => (0..self.partition_count()).map(PartitionId).collect(),
+        };
+        let mut replies = Vec::new();
+        let mut scanned = 0usize;
+        for p in parts {
+            let (batch, snapshot) = if req.shared {
+                self.scan_columns_snapshot_shared(p, &req.proj, req.pred.as_ref())?
+            } else {
+                let mut out = self.column_batch(&req.proj);
+                let snap = self.scan_columns_snapshot(p, &req.proj, req.pred.as_ref(), &mut out)?;
+                (out, snap)
+            };
+            scanned += snapshot.prefix;
+            if req.batch_rows == 0 || batch.rows() <= req.batch_rows {
+                replies.push(ScanReply {
+                    partition: p,
+                    snapshot,
+                    batch,
+                });
+            } else {
+                replies.extend(batch.split(req.batch_rows).into_iter().map(|b| ScanReply {
+                    partition: p,
+                    snapshot,
+                    batch: b,
+                }));
+            }
+        }
+        Ok((replies, scanned))
     }
 
     /// Snapshot of the shared-scan outcome counters (monotonic since
@@ -975,5 +1039,104 @@ mod tests {
             t.get_rid(&int_keys(&[1, 99])),
             Err(DbError::KeyNotFound(TableId(1)))
         );
+    }
+
+    #[test]
+    fn serve_scan_matches_local_scans_and_splits() {
+        let t = table();
+        for w in 1..=4i64 {
+            for id in 0..6 {
+                t.insert(row(w, id, if id % 2 == 0 { "aa" } else { "zz" }, id as f64))
+                    .unwrap();
+            }
+        }
+        let pred = ColPredicate::StrPrefix {
+            col: 2,
+            prefix: "a".into(),
+        };
+        // All partitions, unsplit: one certified reply per partition,
+        // each equal to the local pushdown scan of that partition.
+        let req = ScanRequest {
+            partition: None,
+            proj: vec![1, 2],
+            pred: Some(pred.clone()),
+            batch_rows: 0,
+            shared: false,
+        };
+        let (replies, scanned) = t.serve_scan(&req).unwrap();
+        assert_eq!(replies.len(), 4);
+        assert_eq!(scanned, 24);
+        for reply in &replies {
+            let mut local = t.column_batch(&req.proj);
+            let snap = t
+                .scan_columns_snapshot(reply.partition, &req.proj, Some(&pred), &mut local)
+                .unwrap();
+            assert_eq!(reply.batch, local);
+            assert_eq!(reply.snapshot, snap);
+            assert_eq!(reply.batch.rows(), 3);
+        }
+        // Split replies glue back to the unsplit batch and repeat the
+        // partition's certificate on every frame.
+        let split_req = ScanRequest {
+            partition: Some(PartitionId(1)),
+            batch_rows: 2,
+            ..req.clone()
+        };
+        let (split, _) = t.serve_scan(&split_req).unwrap();
+        assert_eq!(split.len(), 2);
+        assert_eq!(split[0].batch.rows(), 2);
+        assert_eq!(split[1].batch.rows(), 1);
+        assert!(split
+            .iter()
+            .all(|r| r.snapshot == split[0].snapshot && r.partition == PartitionId(1)));
+        // Shared requests ride the cache: a repeat is a hit, not a scan.
+        let shared_req = ScanRequest {
+            shared: true,
+            ..req.clone()
+        };
+        let misses = t.shared_scan_stats().misses;
+        t.serve_scan(&shared_req).unwrap();
+        t.serve_scan(&shared_req).unwrap();
+        let stats = t.shared_scan_stats();
+        assert_eq!(stats.misses, misses + 4);
+        assert_eq!(stats.hits, 4);
+    }
+
+    #[test]
+    fn serve_scan_validates_wire_input() {
+        let t = table();
+        t.insert(row(1, 1, "a", 0.0)).unwrap();
+        let base = ScanRequest {
+            partition: None,
+            proj: vec![0],
+            pred: None,
+            batch_rows: 0,
+            shared: false,
+        };
+        // Out-of-range projection is an error (never the local panic).
+        assert_eq!(
+            t.serve_scan(&ScanRequest {
+                proj: vec![0, 4],
+                ..base.clone()
+            }),
+            Err(DbError::Codec("scan request projection out of range"))
+        );
+        // Unknown partition is the usual storage error.
+        assert!(t
+            .serve_scan(&ScanRequest {
+                partition: Some(PartitionId(9)),
+                ..base.clone()
+            })
+            .is_err());
+        // Predicate columns past the schema mean "no match", not a fault.
+        let (replies, _) = t
+            .serve_scan(&ScanRequest {
+                pred: Some(ColPredicate::IntGe { col: 40, min: 0 }),
+                ..base
+            })
+            .unwrap();
+        assert!(replies.iter().all(|r| r.batch.rows() == 0));
+        // Empty partitions still certify: 4 replies for 1 row inserted.
+        assert_eq!(replies.len(), 4);
     }
 }

@@ -13,11 +13,17 @@
 
 use std::sync::Arc;
 
-use anydb_common::{ColPredicate, ColumnBatch, Tuple};
+use anydb_common::{ColPredicate, ColumnBatch, DbError, DbResult, Tuple};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::batch::Batch;
 use crate::link::LinkSender;
 use crate::spsc::PushError;
+
+/// Wire tag of a [`FlowStage::FilterCol`] stage.
+const FLOW_FILTER_COL: u8 = 1;
+/// Wire tag of a [`FlowStage::Project`] stage.
+const FLOW_PROJECT: u8 = 2;
 
 /// One transformation stage.
 #[derive(Clone)]
@@ -85,6 +91,91 @@ impl Flow {
     /// True for the identity flow.
     pub fn is_empty(&self) -> bool {
         self.stages.is_empty()
+    }
+
+    /// The stages, in application order.
+    pub fn stages(&self) -> &[FlowStage] {
+        &self.stages
+    }
+
+    /// Encodes the flow spec for the wire (DESIGN.md §8): a u16 stage
+    /// count, then one tagged stage each — `FilterCol` through the
+    /// [`ColPredicate`] codec, `Project` as a u16-counted list of u32
+    /// column positions.
+    ///
+    /// Only the relational stages are wire-encodable; an opaque
+    /// [`FlowStage::Filter`] closure has no serial form and is an error —
+    /// the caller chose a stage a remote NIC cannot run.
+    pub fn encode_into(&self, buf: &mut BytesMut) -> DbResult<()> {
+        debug_assert!(self.stages.len() <= u16::MAX as usize);
+        buf.put_u16(self.stages.len() as u16);
+        for stage in &self.stages {
+            match stage {
+                FlowStage::Filter(_) => {
+                    return Err(DbError::Codec("opaque row filter is not wire-encodable"));
+                }
+                FlowStage::FilterCol(pred) => {
+                    buf.put_u8(FLOW_FILTER_COL);
+                    pred.encode_into(buf);
+                }
+                FlowStage::Project(cols) => {
+                    debug_assert!(cols.len() <= u16::MAX as usize);
+                    buf.put_u8(FLOW_PROJECT);
+                    buf.put_u16(cols.len() as u16);
+                    for &c in cols {
+                        buf.put_u32(c as u32);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Encodes into a fresh buffer.
+    pub fn encode(&self) -> DbResult<Bytes> {
+        let mut buf = BytesMut::new();
+        self.encode_into(&mut buf)?;
+        Ok(buf.freeze())
+    }
+
+    /// Decodes one flow spec, advancing `buf` past the consumed bytes.
+    /// Rejects truncation and unknown stage tags.
+    pub fn decode_from(buf: &mut impl Buf) -> DbResult<Flow> {
+        if buf.remaining() < 2 {
+            return Err(DbError::Codec("flow stage count truncated"));
+        }
+        let n = buf.get_u16() as usize;
+        let mut stages = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            if buf.remaining() < 1 {
+                return Err(DbError::Codec("flow stage tag truncated"));
+            }
+            stages.push(match buf.get_u8() {
+                FLOW_FILTER_COL => FlowStage::FilterCol(ColPredicate::decode_from(buf)?),
+                FLOW_PROJECT => {
+                    if buf.remaining() < 2 {
+                        return Err(DbError::Codec("flow projection count truncated"));
+                    }
+                    let ncols = buf.get_u16() as usize;
+                    if buf.remaining() < ncols * 4 {
+                        return Err(DbError::Codec("flow projection truncated"));
+                    }
+                    FlowStage::Project((0..ncols).map(|_| buf.get_u32() as usize).collect())
+                }
+                _ => return Err(DbError::Codec("unknown flow stage tag")),
+            });
+        }
+        Ok(Flow { stages })
+    }
+
+    /// Decodes from a standalone buffer (must be fully consumed).
+    pub fn decode(bytes: &Bytes) -> DbResult<Flow> {
+        let mut buf = bytes.clone();
+        let flow = Self::decode_from(&mut buf)?;
+        if buf.remaining() != 0 {
+            return Err(DbError::Codec("trailing bytes after flow spec"));
+        }
+        Ok(flow)
     }
 
     /// Applies all stages to a row batch. The wire size is maintained
@@ -305,7 +396,7 @@ impl ColFlowSender {
 mod tests {
     use super::*;
     use crate::link::{LinkSpec, SimLink};
-    use anydb_common::Value;
+    use anydb_common::{DataType, Value};
 
     fn t2(a: i64, s: &str) -> Tuple {
         Tuple::new(vec![Value::Int(a), Value::str(s)])
@@ -440,5 +531,57 @@ mod tests {
             .unwrap();
         let got = rx.try_recv().unwrap();
         assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn flow_codec_roundtrips_by_behavior() {
+        // FlowStage holds closures, so equality is behavioral: the
+        // decoded flow must transform batches exactly like the original.
+        let flow = Flow::identity()
+            .filter_col(ColPredicate::IntGe { col: 0, min: 3 })
+            .project(vec![1, 0])
+            .filter_col(ColPredicate::StrPrefix {
+                col: 0,
+                prefix: "x".into(),
+            });
+        let enc = flow.encode().unwrap();
+        let dec = Flow::decode(&enc).unwrap();
+        assert_eq!(dec.len(), 3);
+        let tuples: Vec<Tuple> = (0..8).map(|i| t2(i, "x")).collect();
+        let batch = ColumnBatch::from_tuples(&[DataType::Int, DataType::Str], &tuples).unwrap();
+        assert_eq!(
+            dec.apply_columns(batch.clone()),
+            flow.apply_columns(batch.clone())
+        );
+        assert_eq!(dec.apply_columns(batch).rows(), 5);
+        // The identity flow is two bytes of stage count.
+        let identity = Flow::identity().encode().unwrap();
+        assert_eq!(identity.len(), 2);
+        assert!(Flow::decode(&identity).unwrap().is_empty());
+    }
+
+    #[test]
+    fn flow_codec_rejects_closures_truncation_and_unknown_tags() {
+        assert!(Flow::identity().filter(|_| true).encode().is_err());
+        let flow = Flow::identity()
+            .filter_col(ColPredicate::IntBetween {
+                col: 2,
+                min: 0,
+                max: 9,
+            })
+            .project(vec![0, 2]);
+        let enc = flow.encode().unwrap();
+        for cut in 0..enc.len() {
+            assert!(
+                Flow::decode(&enc.slice(0..cut)).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        let mut bad_tag = enc.chunk().to_vec();
+        bad_tag[2] = 0xEE; // first stage tag sits after the u16 count
+        assert!(Flow::decode(&Bytes::copy_from_slice(&bad_tag)).is_err());
+        let mut trailing = enc.chunk().to_vec();
+        trailing.push(0);
+        assert!(Flow::decode(&Bytes::copy_from_slice(&trailing)).is_err());
     }
 }

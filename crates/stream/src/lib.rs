@@ -29,6 +29,7 @@ pub mod flow;
 pub mod inbox;
 pub mod link;
 pub mod network;
+pub mod remote;
 pub mod spsc;
 
 pub use batch::Batch;
@@ -36,4 +37,5 @@ pub use beam::{BeamId, BeamReader, BeamRegistry};
 pub use inbox::{Inbox, InboxSender};
 pub use link::{LinkReceiver, LinkSender, LinkSpec, RecvState, SimLink};
 pub use network::{LinkClass, Topology};
+pub use remote::{scan_connection, ScanRequester, ScanResponder};
 pub use spsc::{spsc_channel, PopState, SpscConsumer, SpscProducer};

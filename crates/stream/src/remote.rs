@@ -1,0 +1,164 @@
+//! The scan connection: request/reply link plumbing for remote
+//! pushed-down scans (DESIGN.md §8).
+//!
+//! A connection is a pair of modeled [`SimLink`]s over the *same*
+//! [`LinkSpec`] — one carrying encoded `ScanRequest` frames toward the
+//! storage AC, one carrying encoded `ScanReply` frames back. Frames are
+//! opaque [`Bytes`] here: the stream layer moves and meters them, the
+//! endpoints (`anydb_common::scan` codecs, `anydb_core`'s serve loop)
+//! decide what they mean. Every transfer is charged its **actual encoded
+//! length**, so what the ablations report as "wire bytes" is exactly what
+//! the codec produced, not an estimate.
+//!
+//! Shutdown is by drop, like every stream in the system: the requester
+//! dropping its sender ends the storage side's request loop; the storage
+//! side dropping its reply sender is end-of-stream for the consumer.
+
+use bytes::Bytes;
+
+use crate::link::{LinkReceiver, LinkSender, LinkSpec, SimLink};
+
+/// The compute-AC end of a scan connection: sends request frames, hands
+/// out the reply stream.
+pub struct ScanRequester {
+    req_tx: Option<LinkSender<Bytes>>,
+    reply_rx: Option<LinkReceiver<Bytes>>,
+    bytes_sent: usize,
+}
+
+/// The storage-AC end of a scan connection: receives request frames,
+/// ships reply frames.
+pub struct ScanResponder {
+    req_rx: LinkReceiver<Bytes>,
+    reply_tx: LinkSender<Bytes>,
+    bytes_sent: usize,
+}
+
+/// Opens a scan connection over `spec` (both directions modeled with the
+/// same link class, as a full-duplex NIC would) with `ring` slots of
+/// buffering per direction.
+pub fn scan_connection(spec: LinkSpec, ring: usize) -> (ScanRequester, ScanResponder) {
+    let (req_tx, req_rx) = SimLink::channel::<Bytes>(spec, ring);
+    let (reply_tx, reply_rx) = SimLink::channel::<Bytes>(spec, ring);
+    (
+        ScanRequester {
+            req_tx: Some(req_tx),
+            reply_rx: Some(reply_rx),
+            bytes_sent: 0,
+        },
+        ScanResponder {
+            req_rx,
+            reply_tx,
+            bytes_sent: 0,
+        },
+    )
+}
+
+impl ScanRequester {
+    /// Ships one encoded request frame, charged its encoded length.
+    /// `Err` means the storage side hung up.
+    pub fn send_request(&mut self, frame: Bytes) -> Result<(), Bytes> {
+        let tx = self.req_tx.as_mut().expect("requests already finished");
+        let bytes = frame.len();
+        tx.send_blocking(frame, bytes)?;
+        self.bytes_sent += bytes;
+        Ok(())
+    }
+
+    /// Signals no-more-requests (drops the request sender, which ends the
+    /// responder's [`ScanResponder::recv_request_blocking`] loop) and
+    /// returns the reply stream for draining.
+    pub fn finish_requests(&mut self) -> LinkReceiver<Bytes> {
+        self.req_tx = None;
+        self.reply_rx.take().expect("reply stream already taken")
+    }
+
+    /// Request bytes shipped so far (the "cost of asking" an ablation
+    /// must charge against pushdown's savings).
+    pub fn bytes_sent(&self) -> usize {
+        self.bytes_sent
+    }
+}
+
+impl ScanResponder {
+    /// Blocks for the next request frame; `None` means the requester
+    /// dropped its sender and no more requests will ever arrive.
+    pub fn recv_request_blocking(&mut self) -> Option<Bytes> {
+        self.req_rx.recv_blocking()
+    }
+
+    /// Ships one encoded reply frame, charged its encoded length. `Err`
+    /// means the requester hung up.
+    pub fn send_reply(&mut self, frame: Bytes) -> Result<(), Bytes> {
+        let bytes = frame.len();
+        self.reply_tx.send_blocking(frame, bytes)?;
+        self.bytes_sent += bytes;
+        Ok(())
+    }
+
+    /// Ships a burst of reply frames as pipelined transfers (each keeps
+    /// its own serialized wire time, the group costs one clock read —
+    /// see [`LinkSender::send_pipelined_blocking`]). Returns
+    /// `Err(undelivered)` on requester disconnect.
+    pub fn send_replies(&mut self, frames: impl IntoIterator<Item = Bytes>) -> Result<(), usize> {
+        let mut total = 0usize;
+        let items: Vec<(Bytes, usize)> = frames
+            .into_iter()
+            .map(|f| {
+                let bytes = f.len();
+                total += bytes;
+                (f, bytes)
+            })
+            .collect();
+        self.reply_tx.send_pipelined_blocking(items)?;
+        self.bytes_sent += total;
+        Ok(())
+    }
+
+    /// Reply bytes shipped so far.
+    pub fn bytes_sent(&self) -> usize {
+        self.bytes_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Buf;
+
+    #[test]
+    fn request_reply_roundtrip_and_drop_shutdown() {
+        let (mut requester, mut responder) = scan_connection(LinkSpec::instant(), 8);
+        requester
+            .send_request(Bytes::from_static(b"ask-1"))
+            .unwrap();
+        assert_eq!(requester.bytes_sent(), 5);
+        let got = responder.recv_request_blocking().unwrap();
+        assert_eq!(got.chunk(), b"ask-1");
+        responder
+            .send_replies([Bytes::from_static(b"row"), Bytes::from_static(b"rows")])
+            .unwrap();
+        assert_eq!(responder.bytes_sent(), 7);
+        let mut replies = requester.finish_requests();
+        // The dropped request sender ends the responder's loop.
+        assert!(responder.recv_request_blocking().is_none());
+        drop(responder);
+        assert_eq!(replies.recv_blocking().unwrap().chunk(), b"row");
+        assert_eq!(replies.recv_blocking().unwrap().chunk(), b"rows");
+        // Responder dropped after its burst: end-of-stream.
+        assert!(replies.recv_blocking().is_none());
+    }
+
+    #[test]
+    fn disconnects_surface_as_errors() {
+        let (mut requester, responder) = scan_connection(LinkSpec::instant(), 4);
+        drop(responder);
+        assert!(requester.send_request(Bytes::from_static(b"x")).is_err());
+
+        let (requester, mut responder) = scan_connection(LinkSpec::instant(), 4);
+        drop(requester);
+        assert!(responder.recv_request_blocking().is_none());
+        assert!(responder.send_reply(Bytes::from_static(b"y")).is_err());
+        assert_eq!(responder.bytes_sent(), 0);
+    }
+}

@@ -5,15 +5,17 @@
 //! (`BENCH_routing.json`, engine level), `abl_columnar`
 //! (`BENCH_columnar.json`, OLAP stream level), `abl_htap`
 //! (`BENCH_htap.json`, HTAP-local level: shared-snapshot columnar Q3 +
-//! the zero-copy split flatness ceiling) and `abl_shared`
+//! the zero-copy split flatness ceiling), `abl_shared`
 //! (`BENCH_shared.json`, multi-query level: shared-pipeline cost
-//! scaling at N=32 concurrent Q3 members) — against the checked-in
+//! scaling at N=32 concurrent Q3 members) and `abl_pushdown`
+//! (`BENCH_pushdown.json`, remote-scan level: predicate pushdown vs
+//! ship-then-filter on modeled wire bytes) — against the checked-in
 //! baseline (`tools/bench_baseline.json`) and exits non-zero on
-//! regression, so the batching/routing/columnar/sharing wins cannot
-//! silently rot. Every bench emits the same flat schema (gated `ratio_*`
-//! keys plus ungated raw values, no per-file exceptions), and all
-//! current files are merged into one metric map before checking (their
-//! key namespaces are disjoint by construction).
+//! regression, so the batching/routing/columnar/sharing/pushdown wins
+//! cannot silently rot. Every bench emits the same flat schema (gated
+//! `ratio_*` keys plus ungated raw values, no per-file exceptions), and
+//! all current files are merged into one metric map before checking
+//! (their key namespaces are disjoint by construction).
 //!
 //! The baseline deliberately pins only **ratio** metrics: absolute
 //! events/sec vary with the CI host, ratios between two modes measured
@@ -34,8 +36,14 @@
 //!   metric is a regression of the gate itself).
 //!
 //! Usage: `bench_gate [baseline.json] [current.json ...]` (defaults:
-//! `tools/bench_baseline.json` and the five `BENCH_*.json` files — the
+//! `tools/bench_baseline.json` and the six `BENCH_*.json` files — the
 //! paths CI uses from the repo root).
+//!
+//! When `$GITHUB_STEP_SUMMARY` is set (as it is on every GitHub Actions
+//! step), the gate additionally appends its verdict as a markdown table
+//! — metric, baseline, current, current/baseline ratio, PASS/FAIL — so
+//! a failed run explains itself on the job's summary page without
+//! digging through logs.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -106,18 +114,88 @@ fn check(baseline: &BTreeMap<String, f64>, current: &BTreeMap<String, f64>) -> V
     failures
 }
 
+/// Renders the gate's full verdict as a GitHub-flavored markdown table.
+/// One row per baseline metric, in baseline order: the committed floor
+/// (or ceiling for latency keys), the measured value, their ratio, and
+/// the same PASS/FAIL decision [`check`] makes. Missing metrics FAIL
+/// with an em-dash instead of a number, mirroring the gate rule.
+fn render_summary_table(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+) -> String {
+    let mut out = String::from(
+        "### Bench regression gate\n\n\
+         | metric | baseline | current | current/baseline | verdict |\n\
+         |---|---:|---:|---:|---|\n",
+    );
+    for (key, base) in baseline {
+        let bound = if lower_is_better(key) {
+            "ceiling"
+        } else {
+            "floor"
+        };
+        match current.get(key) {
+            Some(cur) => {
+                let pass = if lower_is_better(key) {
+                    *cur <= base * (1.0 + TOLERANCE)
+                } else {
+                    *cur >= base * (1.0 - TOLERANCE)
+                };
+                let verdict = if pass { "PASS" } else { "**FAIL**" };
+                out.push_str(&format!(
+                    "| `{key}` | {base:.4} ({bound}) | {cur:.4} | {:.2}x | {verdict} |\n",
+                    cur / base
+                ));
+            }
+            None => out.push_str(&format!(
+                "| `{key}` | {base:.4} ({bound}) | — | — | **FAIL** (missing) |\n"
+            )),
+        }
+    }
+    out.push_str(&format!(
+        "\n{} gated metrics, ±{:.0}% tolerance.\n",
+        baseline.len(),
+        TOLERANCE * 100.0
+    ));
+    out
+}
+
+/// Appends the markdown verdict to the file `$GITHUB_STEP_SUMMARY`
+/// names, when CI provides one. Best-effort: a summary that cannot be
+/// written must never change the gate's exit code.
+fn write_step_summary(table: &str) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write;
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        Ok(mut f) => {
+            let _ = f.write_all(table.as_bytes());
+        }
+        Err(err) => eprintln!("bench_gate: cannot append step summary to {path}: {err}"),
+    }
+}
+
 fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     parse_flat_json(&text).map_err(|e| format!("{path}: {e}"))
 }
 
 /// The bench-emitted files gated by default (all namespaces disjoint).
-const DEFAULT_CURRENT: [&str; 5] = [
+const DEFAULT_CURRENT: [&str; 6] = [
     "BENCH_adaptive.json",
     "BENCH_routing.json",
     "BENCH_columnar.json",
     "BENCH_htap.json",
     "BENCH_shared.json",
+    "BENCH_pushdown.json",
 ];
 
 fn main() -> ExitCode {
@@ -166,6 +244,7 @@ fn main() -> ExitCode {
     }
 
     let failures = check(&baseline, &current);
+    write_step_summary(&render_summary_table(&baseline, &current));
     if failures.is_empty() {
         println!(
             "bench_gate: OK ({} gated metrics within {:.0}% of baseline)",
@@ -240,5 +319,37 @@ mod tests {
         let base = map(&[("ratio_x", 1.0)]);
         let cur = map(&[("ratio_x", 1.0), ("spsc_static1_mev_s", 74.0)]);
         assert!(check(&base, &cur).is_empty());
+    }
+
+    #[test]
+    fn summary_table_mirrors_the_gate_verdicts() {
+        let base = map(&[
+            ("ratio_ok", 2.0),
+            ("ratio_bad", 4.0),
+            ("ratio_idle_latency_x", 0.2),
+        ]);
+        let cur = map(&[
+            ("ratio_ok", 2.1),
+            ("ratio_bad", 1.0),
+            ("ratio_idle_latency_x", 0.9),
+        ]);
+        let table = render_summary_table(&base, &cur);
+        // One markdown row per gated metric, header included.
+        assert_eq!(table.matches("\n| `ratio_").count(), 3);
+        assert!(table.contains("| `ratio_ok` | 2.0000 (floor) | 2.1000 | 1.05x | PASS |"));
+        assert!(table.contains("| `ratio_bad` | 4.0000 (floor) | 1.0000 | 0.25x | **FAIL** |"));
+        // Latency keys gate as ceilings, and gate upward.
+        assert!(table
+            .contains("| `ratio_idle_latency_x` | 0.2000 (ceiling) | 0.9000 | 4.50x | **FAIL** |"));
+        assert!(table.contains("3 gated metrics"));
+        // The table and check() must never disagree on pass/fail counts.
+        assert_eq!(table.matches("**FAIL**").count(), check(&base, &cur).len());
+    }
+
+    #[test]
+    fn summary_table_flags_missing_metrics() {
+        let base = map(&[("ratio_x", 1.0)]);
+        let table = render_summary_table(&base, &BTreeMap::new());
+        assert!(table.contains("| `ratio_x` | 1.0000 (floor) | — | — | **FAIL** (missing) |"));
     }
 }
