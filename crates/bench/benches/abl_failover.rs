@@ -1,0 +1,322 @@
+//! Ablation: replicated storage ACs — commit-ack modes and failover
+//! (PR 8 tentpole; DESIGN.md §9).
+//!
+//! The paper's §2.3 argues fault tolerance composes onto the AC fabric:
+//! storage ACs stream their log, replacements replay it. This ablation
+//! prices that claim on the insert path:
+//!
+//! * **unreplicated** — a lone primary storage AC, commit acked at local
+//!   WAL append; the zero-durability baseline,
+//! * **async** — a follower mirrors the WAL over a modeled link but the
+//!   ack still releases at local append (replication trails behind),
+//! * **sync** — the ack releases only once the follower's replicated LSN
+//!   covers the commit: every "yes" the client hears is already durable
+//!   on the follower, and that durability is what a crash cannot take
+//!   back.
+//!
+//! The fourth arm buys the proof: a sync pair under load, primary
+//! crashed mid-run, follower promoted on lease expiry, driver re-routed
+//! and re-submitting. **Lost acked commits must be zero** — asserted
+//! bit-identically across every rep (it is an invariant, not a
+//! distribution) — and the client-visible stall (longest gap between
+//! consecutive acks, spanning lease expiry + promotion + re-submission)
+//! is reported.
+//!
+//! Gated via `tools/bench_gate.rs`: unreplicated and async throughput
+//! each at least match sync (floors at 1.0 — sync does strictly more
+//! work per ack), and `ratio_failover_zero_lost` = 1/(1+lost) pinned at
+//! 1.0, which only holds when lost == 0. Wall-clock throughputs are
+//! medians over reps; the run emits `BENCH_failover.json` for the gate
+//! and the CI artifact.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use anydb_bench::{bench_json_path, figure_header, median, row, write_flat_json};
+use anydb_common::DbError;
+use anydb_core::replica::{
+    drive_inserts, repl_connection, repl_store, repl_tuple, run_follower, run_primary,
+    FollowerExit, PrimaryExit, ReplConfig, ReplMetrics, ReplMode, Router, REPL_TABLE,
+};
+use anydb_storage::Wal;
+use anydb_stream::LinkSpec;
+
+/// Timed repetitions per arm; throughputs take the median, the lost-
+/// commit count must be identical (zero) in every rep.
+const REPS: usize = 3;
+/// Inserts per throughput arm.
+const LOAD_OPS: i64 = 1500;
+/// Inserts in the failover arm.
+const FAILOVER_OPS: i64 = 800;
+/// Commits acked before the failover arm pulls the plug.
+const CRASH_AFTER_COMMITS: u64 = 200;
+/// Driver in-flight window.
+const WINDOW: usize = 32;
+
+/// The replication link: real latency so sync's ack round-trip is a
+/// genuine cost, not a scheduling artifact.
+fn repl_link() -> LinkSpec {
+    LinkSpec {
+        latency: Duration::from_micros(50),
+        bytes_per_sec: 1e9,
+        offload: false,
+    }
+}
+
+/// Runs one no-crash load arm and returns acked inserts per second.
+/// `replicated: false` boots a lone primary (degraded/unreplicated).
+fn throughput_arm(mode: ReplMode, replicated: bool) -> f64 {
+    let cfg = ReplConfig {
+        mode,
+        batch_ops: 32,
+        heartbeat_every: Duration::from_millis(5),
+        lease: Duration::from_secs(5),
+    };
+    let metrics = Arc::new(ReplMetrics::new());
+    let store_p = Arc::new(repl_store());
+    let wal_p = Arc::new(Wal::new());
+    let (ops_tx, ops_rx) = crossbeam::channel::unbounded();
+    let (joins_tx, joins_rx) = crossbeam::channel::unbounded();
+    let crash = Arc::new(AtomicBool::new(false));
+    let router = Arc::new(Router::new(ops_tx));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let follower = if replicated {
+        let (p_end, f_end) = repl_connection(repl_link(), 1 << 10);
+        assert!(joins_tx.send(p_end).is_ok());
+        let (metrics, stop) = (Arc::clone(&metrics), Arc::clone(&stop));
+        Some(thread::spawn(move || {
+            let store = repl_store();
+            let wal = Wal::new();
+            run_follower(&store, &wal, f_end, &cfg, &metrics, &stop)
+        }))
+    } else {
+        None
+    };
+    let primary = {
+        let (store, wal, metrics, crash) = (
+            Arc::clone(&store_p),
+            Arc::clone(&wal_p),
+            Arc::clone(&metrics),
+            Arc::clone(&crash),
+        );
+        thread::spawn(move || {
+            run_primary(&store, &wal, &ops_rx, &joins_rx, &cfg, &crash, &metrics, 1)
+        })
+    };
+
+    let start = Instant::now();
+    let stats = drive_inserts(
+        &router,
+        0..LOAD_OPS,
+        WINDOW,
+        Duration::from_secs(10),
+        Duration::from_secs(120),
+    );
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(stats.failed, 0, "arm acked an insert as failed");
+    assert_eq!(
+        stats.acked_ids.len() as i64,
+        LOAD_OPS,
+        "arm finished without every insert acked"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    if let Some(f) = follower {
+        f.join().unwrap();
+    }
+    drop(router);
+    drop(joins_tx);
+    assert_eq!(primary.join().unwrap(), PrimaryExit::Stopped);
+    LOAD_OPS as f64 / secs
+}
+
+/// Runs the failover arm: sync pair, crash mid-load, promotion, driver
+/// re-routed. Returns `(stall ms, lost acked commits)` — lost counts
+/// acked ids that are NOT durable on the surviving primary.
+fn failover_arm() -> (f64, u64) {
+    let cfg = ReplConfig {
+        mode: ReplMode::Sync,
+        batch_ops: 32,
+        heartbeat_every: Duration::from_millis(5),
+        lease: Duration::from_millis(100),
+    };
+    let metrics = Arc::new(ReplMetrics::new());
+    let store_a = Arc::new(repl_store());
+    let wal_a = Arc::new(Wal::new());
+    let store_b = Arc::new(repl_store());
+    let wal_b = Arc::new(Wal::new());
+    let (a_end, b_end) = repl_connection(repl_link(), 1 << 10);
+
+    let (ops1_tx, ops1_rx) = crossbeam::channel::unbounded();
+    let (joins1_tx, joins1_rx) = crossbeam::channel::unbounded();
+    assert!(joins1_tx.send(a_end).is_ok());
+    let crash_a = Arc::new(AtomicBool::new(false));
+    let router = Arc::new(Router::new(ops1_tx));
+
+    let node_a = {
+        let (store, wal, metrics, crash) = (
+            Arc::clone(&store_a),
+            Arc::clone(&wal_a),
+            Arc::clone(&metrics),
+            Arc::clone(&crash_a),
+        );
+        thread::spawn(move || {
+            run_primary(
+                &store, &wal, &ops1_rx, &joins1_rx, &cfg, &crash, &metrics, 1,
+            )
+        })
+    };
+    let (ops2_tx, ops2_rx) = crossbeam::channel::unbounded();
+    let (joins2_tx, joins2_rx) = crossbeam::channel::unbounded();
+    let stop_b = Arc::new(AtomicBool::new(false));
+    let node_b = {
+        let (store, wal, metrics, stop, router) = (
+            Arc::clone(&store_b),
+            Arc::clone(&wal_b),
+            Arc::clone(&metrics),
+            Arc::clone(&stop_b),
+            Arc::clone(&router),
+        );
+        thread::spawn(move || {
+            let exit = run_follower(&store, &wal, b_end, &cfg, &metrics, &stop);
+            if exit == FollowerExit::Promoted {
+                router.reroute(ops2_tx);
+                drop(router); // release the rerouted sender with the clients'
+                let crash_b = AtomicBool::new(false);
+                run_primary(
+                    &store, &wal, &ops2_rx, &joins2_rx, &cfg, &crash_b, &metrics, 2,
+                );
+            }
+            exit
+        })
+    };
+
+    let driver = {
+        let router = Arc::clone(&router);
+        thread::spawn(move || {
+            drive_inserts(
+                &router,
+                0..FAILOVER_OPS,
+                WINDOW,
+                Duration::from_millis(400),
+                Duration::from_secs(120),
+            )
+        })
+    };
+
+    // Pull the plug once a healthy chunk of commits is acked.
+    let armed = Instant::now();
+    while metrics.commits.get() < CRASH_AFTER_COMMITS {
+        assert!(
+            armed.elapsed() < Duration::from_secs(60),
+            "failover arm never reached crash volume"
+        );
+        thread::sleep(Duration::from_millis(1));
+    }
+    crash_a.store(true, Ordering::Relaxed);
+    assert_eq!(node_a.join().unwrap(), PrimaryExit::Crashed);
+
+    let stats = driver.join().unwrap();
+    assert_eq!(stats.failed, 0, "an insert was acked as failed");
+    assert_eq!(
+        stats.acked_ids.len() as i64,
+        FAILOVER_OPS,
+        "driver finished without every insert acked"
+    );
+
+    // The headline audit: acked ⇒ durable on the survivor. A re-insert
+    // of a surviving row is recognized at its primary key.
+    let table_b = store_b.table(REPL_TABLE).unwrap();
+    let mut lost = 0u64;
+    for &id in &stats.acked_ids {
+        match table_b.insert(repl_tuple(id)) {
+            Err(DbError::DuplicateKey(_)) => {}
+            _ => lost += 1,
+        }
+    }
+
+    drop(router);
+    drop(joins2_tx);
+    assert_eq!(node_b.join().unwrap(), FollowerExit::Promoted);
+    (stats.max_ack_gap.as_secs_f64() * 1e3, lost)
+}
+
+fn main() {
+    figure_header(
+        "Ablation: replication ack modes and failover",
+        "Single-row insert commits through a replicated storage AC pair.\n\
+         unreplicated = lone primary; async = WAL shipped, ack at local\n\
+         append; sync = ack only once the follower's replicated LSN\n\
+         covers the commit. failover = sync pair, primary crashed\n\
+         mid-load, follower promoted on lease expiry. Gated on sync\n\
+         paying for its durability and on zero lost acked commits.",
+    );
+
+    let mut unrep = Vec::new();
+    let mut asyn = Vec::new();
+    let mut sync = Vec::new();
+    let mut stalls = Vec::new();
+    let mut losts = Vec::new();
+    for _ in 0..REPS {
+        unrep.push(throughput_arm(ReplMode::Async, false));
+        asyn.push(throughput_arm(ReplMode::Async, true));
+        sync.push(throughput_arm(ReplMode::Sync, true));
+        let (stall_ms, lost) = failover_arm();
+        stalls.push(stall_ms);
+        losts.push(lost);
+    }
+    // Zero lost acked commits is an invariant, not a distribution: every
+    // rep must produce the identical count, and that count must be zero.
+    assert!(
+        losts.windows(2).all(|w| w[0] == w[1]),
+        "lost-commit count not identical across reps: {losts:?}"
+    );
+    assert_eq!(losts[0], 0, "failover lost acked commits: {losts:?}");
+
+    let unrep_tx = median(unrep.clone());
+    let async_tx = median(asyn.clone());
+    let sync_tx = median(sync.clone());
+    let stall_ms = median(stalls.clone());
+    let ratio_unrep = unrep_tx / sync_tx;
+    let ratio_async = async_tx / sync_tx;
+    let zero_lost = 1.0 / (1.0 + losts[0] as f64);
+
+    let widths = [14usize, 16, 14];
+    row(
+        &["arm".into(), "acked ops/s".into(), "stall ms".into()],
+        &widths,
+    );
+    for (label, tx, stall) in [
+        ("unreplicated", unrep_tx, String::new()),
+        ("async", async_tx, String::new()),
+        ("sync", sync_tx, String::new()),
+        ("failover", sync_tx, format!("{stall_ms:.1}")),
+    ] {
+        row(&[label.into(), format!("{tx:.0}"), stall], &widths);
+    }
+    println!();
+    println!(
+        "unrep/sync: {ratio_unrep:.2}x   async/sync: {ratio_async:.2}x   \
+         lost acked commits: {} (every rep)",
+        losts[0]
+    );
+    println!("(acceptance: both ratios >= 1.0 within gate tolerance; lost == 0 exactly)");
+
+    let pairs: Vec<(String, f64)> = vec![
+        ("failover_unrep_tx_ops_s".into(), unrep_tx),
+        ("failover_async_tx_ops_s".into(), async_tx),
+        ("failover_sync_tx_ops_s".into(), sync_tx),
+        ("failover_stall_ms".into(), stall_ms),
+        ("failover_lost_commits".into(), losts[0] as f64),
+        ("ratio_failover_unrep_vs_sync_tx".into(), ratio_unrep),
+        ("ratio_failover_async_vs_sync_tx".into(), ratio_async),
+        ("ratio_failover_zero_lost".into(), zero_lost),
+    ];
+    let out = bench_json_path("BENCH_FAILOVER_JSON", "BENCH_failover.json");
+    write_flat_json(&out, &pairs);
+    println!();
+    println!("wrote {}", out.display());
+}

@@ -41,6 +41,10 @@ pub enum DbError {
     Codec(&'static str),
     /// A stream endpoint was closed / disconnected.
     StreamClosed,
+    /// A remote peer answered with an explicit error reply.
+    Remote(String),
+    /// A deadline expired before the operation (or its retries) finished.
+    Timeout(&'static str),
     /// A bounded queue was full and the send policy was fail-fast.
     QueueFull,
     /// The engine or a component was shut down.
@@ -73,6 +77,8 @@ impl fmt::Display for DbError {
             DbError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
             DbError::Codec(m) => write!(f, "codec error: {m}"),
             DbError::StreamClosed => write!(f, "stream closed"),
+            DbError::Remote(m) => write!(f, "remote error: {m}"),
+            DbError::Timeout(m) => write!(f, "timed out: {m}"),
             DbError::QueueFull => write!(f, "queue full"),
             DbError::Shutdown => write!(f, "engine shut down"),
             DbError::CorruptLog(lsn) => write!(f, "corrupt log entry at lsn {lsn}"),

@@ -11,6 +11,8 @@
 //! * [`rid`] — record identifiers (partition, slot),
 //! * [`scan`] — the remote scan wire protocol: pushed-down scan requests
 //!   and certified columnar replies,
+//! * [`repl`] — WAL records and the replication wire protocol that ships
+//!   them from a primary storage AC to its follower,
 //! * [`ids`] — strongly typed identifiers used across the system,
 //! * [`fxmap`] — FxHash-style fast hash maps for hot lookup paths,
 //! * [`dist`] — Zipfian / hot-spot / NURand distributions for workloads,
@@ -27,6 +29,7 @@ pub mod error;
 pub mod fxmap;
 pub mod ids;
 pub mod metrics;
+pub mod repl;
 pub mod rid;
 pub mod scan;
 pub mod schema;
@@ -36,8 +39,9 @@ pub mod value;
 pub use column::{bitmap_ones, ColPredicate, Column, ColumnBatch, ColumnStore};
 pub use error::{DbError, DbResult};
 pub use ids::{AcId, PartitionId, QueryId, ServerId, TableId, TxnId};
+pub use repl::{LogOp, LogRecord, ReplMsg};
 pub use rid::Rid;
-pub use scan::{ScanReply, ScanRequest, ScanSnapshot};
+pub use scan::{ScanError, ScanReply, ScanRequest, ScanSnapshot};
 pub use schema::{ColumnDef, DataType, Schema};
 pub use tuple::Tuple;
 pub use value::Value;

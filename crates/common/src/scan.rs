@@ -29,6 +29,8 @@ use crate::ids::PartitionId;
 pub const MSG_SCAN_REQUEST: u8 = 0xA1;
 /// Message tag of an encoded [`ScanReply`].
 pub const MSG_SCAN_REPLY: u8 = 0xA2;
+/// Message tag of an encoded [`ScanError`].
+pub const MSG_SCAN_ERROR: u8 = 0xA3;
 
 /// Request flag: a predicate follows the projection.
 const FLAG_PRED: u8 = 1 << 0;
@@ -315,6 +317,70 @@ impl ScanReply {
     }
 }
 
+/// A serving AC's refusal, as a message: the request frame could not be
+/// decoded or could not be served, and *why*. Without this, a remote
+/// caller whose request was malformed would wait on a reply stream that
+/// never produces anything and learn nothing when it times out — the
+/// server knew the reason and dropped it on the floor (the pre-PR-8
+/// `debug_assert!` + skip behavior, which is silence in release builds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanError {
+    /// Human-readable reason, bounded by the codec at `u16::MAX` bytes.
+    pub reason: String,
+}
+
+impl ScanError {
+    /// Builds an error reply from any displayable cause.
+    pub fn new(reason: impl std::fmt::Display) -> Self {
+        let mut reason = reason.to_string();
+        reason.truncate(u16::MAX as usize);
+        Self { reason }
+    }
+
+    /// Encodes the error: message tag, length-framed UTF-8 reason.
+    pub fn encode_into(&self, buf: &mut BytesMut) {
+        buf.put_u8(MSG_SCAN_ERROR);
+        buf.put_u16(self.reason.len() as u16);
+        buf.put_slice(self.reason.as_bytes());
+    }
+
+    /// Encodes into a fresh buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Decodes one error reply, advancing `buf`.
+    pub fn decode_from(buf: &mut impl Buf) -> DbResult<ScanError> {
+        if buf.remaining() < 1 + 2 {
+            return Err(DbError::Codec("scan error header truncated"));
+        }
+        if buf.get_u8() != MSG_SCAN_ERROR {
+            return Err(DbError::Codec("not a scan error"));
+        }
+        let len = buf.get_u16() as usize;
+        if buf.remaining() < len {
+            return Err(DbError::Codec("scan error reason truncated"));
+        }
+        let mut bytes = vec![0u8; len];
+        buf.copy_to_slice(&mut bytes);
+        let reason =
+            String::from_utf8(bytes).map_err(|_| DbError::Codec("scan error reason not utf-8"))?;
+        Ok(ScanError { reason })
+    }
+
+    /// Decodes from a standalone frame (must be fully consumed).
+    pub fn decode(bytes: &Bytes) -> DbResult<ScanError> {
+        let mut buf = bytes.clone();
+        let err = Self::decode_from(&mut buf)?;
+        if buf.remaining() != 0 {
+            return Err(DbError::Codec("trailing bytes after scan error"));
+        }
+        Ok(err)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,6 +515,25 @@ mod tests {
         let mut trailing = enc.chunk().to_vec();
         trailing.push(0);
         assert!(ScanReply::decode(&Bytes::copy_from_slice(&trailing)).is_err());
+    }
+
+    #[test]
+    fn scan_error_roundtrips_and_rejects_prefixes() {
+        let err = ScanError::new(DbError::Codec("unknown scan request flags"));
+        let enc = err.encode();
+        assert_eq!(ScanError::decode(&enc).unwrap(), err);
+        for cut in 0..enc.len() {
+            assert!(
+                ScanError::decode(&enc.slice(0..cut)).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        let mut bad_tag = enc.chunk().to_vec();
+        bad_tag[0] = MSG_SCAN_REPLY;
+        assert!(ScanError::decode(&Bytes::copy_from_slice(&bad_tag)).is_err());
+        let mut trailing = enc.chunk().to_vec();
+        trailing.push(0);
+        assert!(ScanError::decode(&Bytes::copy_from_slice(&trailing)).is_err());
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! * [`olap`] — streaming Q3 operators (filtered scans feeding data
 //!   streams, hash joins consuming them),
 //! * [`beaming`] — the data-beaming experiment of §4 / Figure 6,
+//! * [`replica`] — replicated storage ACs: WAL shipping over modeled
+//!   links, sync/async commit acks, lease-based failover, catch-up
+//!   (§2.3's fault-tolerance sketch made concrete; DESIGN.md §9),
 //! * [`strategy`] — transaction decomposition per execution strategy.
 //!
 //! The engine executes *for real* (threads, queues, storage mutations) and
@@ -31,8 +34,13 @@ pub mod engine;
 pub mod event;
 pub mod olap;
 pub mod ops;
+pub mod replica;
 pub mod strategy;
 
 pub use engine::{AnyDbEngine, EngineConfig, PhaseResult};
 pub use event::{Event, OpDone, OpEnvelope, Q3Member, TxnOp};
+pub use replica::{
+    drive_inserts, recover_replica, repl_connection, run_follower, run_primary, ClientOp,
+    DriveStats, FollowerExit, PrimaryExit, ReplConfig, ReplMetrics, ReplMode, Router,
+};
 pub use strategy::Strategy;

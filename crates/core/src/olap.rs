@@ -39,17 +39,20 @@ use std::time::{Duration, Instant};
 
 use anydb_common::backoff::Backoff;
 use anydb_common::fxmap::{FxHashMap, FxHashSet};
+use anydb_common::metrics::Counter;
+use anydb_common::scan::MSG_SCAN_ERROR;
 use anydb_common::{
-    bitmap_ones, ColPredicate, ColumnBatch, DbResult, PartitionId, ScanReply, ScanRequest, Tuple,
+    bitmap_ones, ColPredicate, ColumnBatch, DbError, DbResult, PartitionId, ScanError, ScanReply,
+    ScanRequest, Tuple,
 };
 use anydb_storage::Table;
 use anydb_stream::batch::Batch;
 use anydb_stream::flow::{ColFlowSender, Flow, FlowSender, FlowStage};
-use anydb_stream::link::{LinkReceiver, RecvState};
+use anydb_stream::link::{DeadlineRecv, LinkReceiver, RecvState};
 use anydb_stream::remote::{ScanRequester, ScanResponder};
 use anydb_workload::chbench::Q3Spec;
 use anydb_workload::tpcc::TpccDb;
-use bytes::{Bytes, BytesMut};
+use bytes::{Buf, Bytes, BytesMut};
 
 /// Scans every partition of `table`, batches rows (`batch_rows` each) and
 /// pushes them through the flow. Closes the stream by dropping the sender.
@@ -572,6 +575,33 @@ fn flow_projections_in_bounds(flow: &Flow, mut arity: usize) -> bool {
     true
 }
 
+/// Observability counters for one scan-serving loop. A garbled or
+/// unserveable request used to vanish into a `debug_assert` (silent in
+/// release, leaving the requester to hang on a reply that never comes);
+/// now every rejection is counted here *and* answered with an encoded
+/// [`anydb_common::scan::ScanError`] frame so the remote caller fails
+/// with a reason.
+#[derive(Debug, Default)]
+pub struct ScanServeMetrics {
+    /// Request frames that could not be decoded or validated.
+    pub dropped_frames: Counter,
+    /// [`anydb_common::scan::ScanError`] replies shipped back.
+    pub error_replies: Counter,
+    /// Requests served successfully.
+    pub served: Counter,
+}
+
+impl ScanServeMetrics {
+    /// Fresh zeroed counters.
+    pub const fn new() -> Self {
+        Self {
+            dropped_frames: Counter::new(),
+            error_replies: Counter::new(),
+            served: Counter::new(),
+        }
+    }
+}
+
 /// The storage-AC side of the remote scan protocol: serves request
 /// frames off `responder` until the requester hangs up. Each frame is
 /// decoded ([`ScanRequest`] + en-route [`Flow`]), answered by the local
@@ -581,28 +611,52 @@ fn flow_projections_in_bounds(flow: &Flow, mut arity: usize) -> bool {
 /// encoded columns shipped back as one pipelined burst per request.
 ///
 /// Returns total rows scanned pre-filter (producer accounting).
-/// Malformed frames and invalid requests are skipped (debug-asserted):
-/// a garbled message off a modeled link is a protocol bug, not load.
-pub fn serve_scan_stream(table: &Table, mut responder: ScanResponder) -> usize {
+/// Malformed or unserveable frames are counted in `metrics` and answered
+/// with a [`anydb_common::scan::ScanError`] frame — the remote caller
+/// gets a reason instead of waiting forever on a reply stream that will
+/// never produce its partition.
+pub fn serve_scan_stream_metered(
+    table: &Table,
+    mut responder: ScanResponder,
+    metrics: &ScanServeMetrics,
+) -> usize {
     let mut scanned = 0usize;
     while let Some(frame) = responder.recv_request_blocking() {
         let mut buf = frame;
-        let Ok(req) = ScanRequest::decode_from(&mut buf) else {
-            debug_assert!(false, "undecodable scan request frame");
-            continue;
+        let reject = |responder: &mut ScanResponder, reason: &str| {
+            metrics.dropped_frames.incr();
+            let err = ScanError::new(reason).encode();
+            if responder.send_reply(err).is_ok() {
+                metrics.error_replies.incr();
+            }
         };
-        let flow = match Flow::decode(&buf) {
-            Ok(flow) if flow_projections_in_bounds(&flow, req.proj.len()) => flow,
-            _ => {
-                debug_assert!(false, "bad flow spec in scan request frame");
+        let req = match ScanRequest::decode_from(&mut buf) {
+            Ok(req) => req,
+            Err(e) => {
+                reject(&mut responder, &format!("undecodable scan request: {e}"));
                 continue;
             }
         };
-        let Ok((replies, rows)) = table.serve_scan(&req) else {
-            debug_assert!(false, "unserveable scan request");
-            continue;
+        let flow = match Flow::decode(&buf) {
+            Ok(flow) if flow_projections_in_bounds(&flow, req.proj.len()) => flow,
+            Ok(_) => {
+                reject(&mut responder, "flow projection out of bounds");
+                continue;
+            }
+            Err(e) => {
+                reject(&mut responder, &format!("undecodable flow spec: {e}"));
+                continue;
+            }
+        };
+        let (replies, rows) = match table.serve_scan(&req) {
+            Ok(ok) => ok,
+            Err(e) => {
+                reject(&mut responder, &format!("unserveable scan: {e}"));
+                continue;
+            }
         };
         scanned += rows;
+        metrics.served.incr();
         let frames = replies.into_iter().map(|mut reply| {
             if !flow.is_empty() {
                 reply.batch = flow.apply_columns(reply.batch);
@@ -614,6 +668,12 @@ pub fn serve_scan_stream(table: &Table, mut responder: ScanResponder) -> usize {
         }
     }
     scanned
+}
+
+/// [`serve_scan_stream_metered`] with throwaway counters, for callers
+/// that only want the serve loop.
+pub fn serve_scan_stream(table: &Table, responder: ScanResponder) -> usize {
+    serve_scan_stream_metered(table, responder, &ScanServeMetrics::new())
 }
 
 /// Opens one remote pushed-down scan as a compute AC would: ships the
@@ -632,6 +692,141 @@ pub fn request_remote_scan(
     let _ = requester.send_request(frame);
     let bytes = requester.bytes_sent();
     (requester.finish_requests(), bytes)
+}
+
+/// Retry/timeout policy for [`request_scan_with_retry`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Maximum attempts (first try included). At least 1.
+    pub attempts: usize,
+    /// Per-attempt deadline: an attempt whose reply stream has not
+    /// completed by then is abandoned and re-issued.
+    pub deadline: Duration,
+}
+
+impl RetryPolicy {
+    /// One try, generous deadline — the "reliable link" policy.
+    pub const fn single(deadline: Duration) -> Self {
+        Self {
+            attempts: 1,
+            deadline,
+        }
+    }
+}
+
+/// What a retried scan went through (for tests and scenario audits).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanRetryStats {
+    /// Attempts issued (1 = first try succeeded).
+    pub attempts: usize,
+    /// Attempts abandoned on their deadline.
+    pub timeouts: usize,
+    /// Attempts whose reply stream ended incomplete (lost frames,
+    /// storage-side disconnect mid-burst, torn reply bytes).
+    pub incomplete: usize,
+}
+
+/// Checks that a completed reply stream really is the whole answer: every
+/// reply's batch rows must add up to its partition's certified
+/// `snapshot.matched` count, and (when the caller knows the topology)
+/// every expected partition must have reported in. This is what makes
+/// re-issuing safe to *decide*: a stream that lost frames to a faulty
+/// link is detectably short, never silently truncated.
+fn scan_replies_complete(replies: &[ScanReply], expect_partitions: Option<usize>) -> bool {
+    // Zero replies is indistinguishable from total loss: a served table
+    // always answers with at least one certified (possibly empty) reply
+    // per partition.
+    if replies.is_empty() {
+        return false;
+    }
+    let mut per_part: FxHashMap<PartitionId, (usize, usize)> = FxHashMap::default();
+    for r in replies {
+        let e = per_part
+            .entry(r.partition)
+            .or_insert((0, r.snapshot.matched));
+        e.0 += r.batch.rows();
+        e.1 = r.snapshot.matched;
+    }
+    if let Some(n) = expect_partitions {
+        if per_part.len() != n {
+            return false;
+        }
+    }
+    per_part.values().all(|&(got, want)| got == want)
+}
+
+/// Issues a remote pushed-down scan with per-request deadlines and
+/// bounded, backed-off retries (DESIGN.md §9.4).
+///
+/// `connect` opens a fresh requester per attempt (a retry must not trust
+/// a connection that just timed out). Each attempt ships the encoded
+/// request, then drains the reply stream under `policy.deadline`:
+///
+/// * a [`anydb_common::scan::ScanError`] frame fails the call
+///   immediately with [`DbError::Remote`] — the storage AC answered; the
+///   request itself is bad, and retrying it would get the same answer;
+/// * a torn frame, deadline expiry, or an incomplete stream (fewer rows
+///   than the [`ScanSnapshot`] certificates promise, or a missing
+///   partition) abandons the attempt and re-issues after a backoff.
+///
+/// Re-issuing is safe because scans are read-only and every reply carries
+/// its partition's certificate: the caller keeps only the last complete
+/// attempt, so a duplicate execution changes nothing downstream.
+///
+/// [`ScanSnapshot`]: anydb_common::ScanSnapshot
+pub fn request_scan_with_retry(
+    mut connect: impl FnMut() -> ScanRequester,
+    req: &ScanRequest,
+    flow: &Flow,
+    expect_partitions: Option<usize>,
+    policy: RetryPolicy,
+) -> DbResult<(Vec<ScanReply>, ScanRetryStats)> {
+    let mut stats = ScanRetryStats::default();
+    let mut backoff = Backoff::new();
+    for _ in 0..policy.attempts.max(1) {
+        stats.attempts += 1;
+        let (mut rx, _bytes) = request_remote_scan(connect(), req, flow);
+        let deadline = Instant::now() + policy.deadline;
+        let mut replies: Vec<ScanReply> = Vec::new();
+        let outcome = loop {
+            match rx.recv_deadline(deadline) {
+                DeadlineRecv::Msg(frame) => {
+                    if frame.chunk().first() == Some(&MSG_SCAN_ERROR) {
+                        let reason = ScanError::decode(&frame)
+                            .map(|e| e.reason)
+                            .unwrap_or_else(|_| "torn scan error frame".to_string());
+                        return Err(DbError::Remote(reason));
+                    }
+                    match ScanReply::decode(&frame) {
+                        Ok(reply) => replies.push(reply),
+                        // Torn reply bytes: this stream cannot be
+                        // trusted; abandon the attempt.
+                        Err(_) => break AttemptOutcome::Incomplete,
+                    }
+                }
+                DeadlineRecv::TimedOut => break AttemptOutcome::TimedOut,
+                DeadlineRecv::Disconnected => {
+                    if scan_replies_complete(&replies, expect_partitions) {
+                        break AttemptOutcome::Complete;
+                    }
+                    break AttemptOutcome::Incomplete;
+                }
+            }
+        };
+        match outcome {
+            AttemptOutcome::Complete => return Ok((replies, stats)),
+            AttemptOutcome::TimedOut => stats.timeouts += 1,
+            AttemptOutcome::Incomplete => stats.incomplete += 1,
+        }
+        backoff.wait();
+    }
+    Err(DbError::Timeout("remote scan retries exhausted"))
+}
+
+enum AttemptOutcome {
+    Complete,
+    TimedOut,
+    Incomplete,
 }
 
 /// Cap on the dense-domain join bitmap, in bits (2 MiB of bitmap). TPC-C
@@ -1159,9 +1354,10 @@ pub fn collect_table(table: &Table) -> Vec<Tuple> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use anydb_stream::fault::FaultSpec;
     use anydb_stream::flow::Flow;
     use anydb_stream::link::{LinkSpec, SimLink};
-    use anydb_stream::remote::scan_connection;
+    use anydb_stream::remote::{scan_connection, scan_connection_faulty};
     use anydb_workload::chbench::reference_q3;
     use anydb_workload::tpcc::TpccConfig;
 
@@ -1633,6 +1829,167 @@ mod tests {
             assert_eq!(got.snapshot, want.snapshot);
             assert_eq!(got.batch, want.batch.project(&[3]));
         }
+    }
+
+    #[test]
+    fn malformed_frames_get_error_replies_and_are_counted() {
+        // A garbled request frame must not silently vanish: the serve
+        // loop counts it and answers with an encoded ScanError so the
+        // remote caller fails with a reason instead of hanging.
+        let db = std::sync::Arc::new(TpccDb::load(TpccConfig::small(), 66).unwrap());
+        let (mut requester, responder) = scan_connection(LinkSpec::instant(), 1 << 10);
+        let metrics = std::sync::Arc::new(ScanServeMetrics::new());
+        let server = {
+            let db = db.clone();
+            let metrics = metrics.clone();
+            std::thread::spawn(move || serve_scan_stream_metered(&db.orders, responder, &metrics))
+        };
+        requester
+            .send_request(Bytes::copy_from_slice(b"\xff garbage frame"))
+            .unwrap();
+        let mut rx = requester.finish_requests();
+        let frame = rx.recv_blocking().expect("an error reply, not silence");
+        assert_eq!(frame.chunk().first(), Some(&MSG_SCAN_ERROR));
+        let err = anydb_common::ScanError::decode(&frame).unwrap();
+        assert!(
+            err.reason.contains("undecodable scan request"),
+            "unhelpful reason: {}",
+            err.reason
+        );
+        assert!(rx.recv_blocking().is_none());
+        assert_eq!(server.join().unwrap(), 0);
+        assert_eq!(metrics.dropped_frames.get(), 1);
+        assert_eq!(metrics.error_replies.get(), 1);
+        assert_eq!(metrics.served.get(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_flow_is_rejected_with_a_reason() {
+        let db = std::sync::Arc::new(TpccDb::load(TpccConfig::small(), 67).unwrap());
+        let (requester, responder) = scan_connection(LinkSpec::instant(), 1 << 10);
+        let metrics = std::sync::Arc::new(ScanServeMetrics::new());
+        let server = {
+            let db = db.clone();
+            let metrics = metrics.clone();
+            std::thread::spawn(move || serve_scan_stream_metered(&db.orders, responder, &metrics))
+        };
+        let req = ScanRequest {
+            partition: None,
+            proj: Q3Spec::ORDER_KEY_PROJ.to_vec(),
+            pred: None,
+            batch_rows: 0,
+            shared: false,
+        };
+        // Projection position 99 is out of bounds for a 4-column reply.
+        let flow = Flow::identity().project(vec![99]);
+        let got = request_scan_with_retry(
+            || {
+                let (requester, _) = scan_connection(LinkSpec::instant(), 4);
+                requester
+            },
+            &req,
+            &flow,
+            None,
+            RetryPolicy::single(Duration::from_secs(5)),
+        );
+        // That retry call used a throwaway connection (storage side
+        // dropped): it must fail cleanly, not hang.
+        assert!(got.is_err());
+        // Now the real connection: the server answers with ScanError.
+        let (mut rx, _) = request_remote_scan(requester, &req, &flow);
+        let frame = rx.recv_blocking().expect("an error reply");
+        let err = anydb_common::ScanError::decode(&frame).unwrap();
+        assert!(err.reason.contains("projection out of bounds"));
+        drop(rx);
+        server.join().unwrap();
+        assert_eq!(metrics.dropped_frames.get(), 1);
+    }
+
+    #[test]
+    fn retry_reissues_until_a_complete_certified_stream() {
+        // Attempt 1 rides a link that drops every reply frame; the
+        // certificate audit detects the hole and the request is
+        // re-issued over a healthy connection.
+        let db = std::sync::Arc::new(TpccDb::load(TpccConfig::small(), 68).unwrap());
+        let parts = db.orders.partition_count() as usize;
+        let req = ScanRequest {
+            partition: None,
+            proj: Q3Spec::ORDER_KEY_PROJ.to_vec(),
+            pred: None,
+            batch_rows: 128,
+            shared: false,
+        };
+        let attempt = std::cell::Cell::new(0usize);
+        let connect = || {
+            let lossy = attempt.get() == 0;
+            attempt.set(attempt.get() + 1);
+            let (requester, responder) = if lossy {
+                scan_connection_faulty(
+                    LinkSpec::instant(),
+                    1 << 14,
+                    FaultSpec::new(3).drop_prob(1.0),
+                )
+            } else {
+                scan_connection(LinkSpec::instant(), 1 << 14)
+            };
+            let db = db.clone();
+            std::thread::spawn(move || serve_scan_stream(&db.orders, responder));
+            requester
+        };
+        let policy = RetryPolicy {
+            attempts: 3,
+            deadline: Duration::from_secs(10),
+        };
+        let (replies, stats) =
+            request_scan_with_retry(connect, &req, &Flow::identity(), Some(parts), policy)
+                .expect("second attempt must complete");
+        assert_eq!(stats.attempts, 2);
+        assert_eq!(stats.incomplete, 1);
+        assert_eq!(stats.timeouts, 0);
+        // The retried answer is the full certified scan.
+        let total: usize = replies.iter().map(|r| r.batch.rows()).sum();
+        assert_eq!(total, db.orders.row_count());
+    }
+
+    #[test]
+    fn retry_times_out_against_a_silent_server() {
+        // The storage side receives requests but never answers (and
+        // never hangs up): every attempt must expire on its deadline and
+        // the call must surface a typed timeout, not block forever.
+        let db = std::sync::Arc::new(TpccDb::load(TpccConfig::small(), 69).unwrap());
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut servers = Vec::new();
+        let conns = std::cell::RefCell::new(Vec::new());
+        let connect = || {
+            let (requester, mut responder) = scan_connection(LinkSpec::instant(), 1 << 10);
+            let stop = stop.clone();
+            conns.borrow_mut().push(std::thread::spawn(move || {
+                let _got = responder.recv_request_blocking();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }));
+            requester
+        };
+        let req = ScanRequest {
+            partition: None,
+            proj: Q3Spec::ORDER_KEY_PROJ.to_vec(),
+            pred: None,
+            batch_rows: 0,
+            shared: false,
+        };
+        let policy = RetryPolicy {
+            attempts: 2,
+            deadline: Duration::from_millis(50),
+        };
+        let got = request_scan_with_retry(connect, &req, &Flow::identity(), None, policy);
+        assert_eq!(got, Err(DbError::Timeout("remote scan retries exhausted")));
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        servers.append(&mut conns.borrow_mut());
+        for s in servers {
+            s.join().unwrap();
+        }
+        let _ = db; // table unused: nothing was ever served
     }
 
     #[test]

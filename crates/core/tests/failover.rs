@@ -1,0 +1,292 @@
+//! Failover under load (PR 8 headline): a primary/follower pair of
+//! storage ACs with sync WAL shipping, a client driver inserting through
+//! the [`Router`], a crash injected mid-load, lease-based promotion, and
+//! a rejoin of the crashed ex-primary as the new follower.
+//!
+//! The contract under audit: **every commit acked to the client survives
+//! the failover** (sync acks release only once the follower's replicated
+//! LSN covers them), the client-visible stall is bounded, and the
+//! ex-primary's divergent unreplicated tail is discarded on rejoin
+//! before it catches up from the new primary's WAL.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use anydb_common::DbError;
+use anydb_core::replica::{
+    drive_inserts, recover_replica, repl_connection, repl_store, repl_tuple, run_follower,
+    run_primary, FollowerExit, PrimaryExit, ReplConfig, ReplMetrics, ReplMode, Router, REPL_TABLE,
+};
+use anydb_storage::Wal;
+use anydb_stream::{FaultSpec, LinkSpec};
+
+/// Polls `cond` with a deadline; panics with `what` on expiry.
+fn wait_for(what: &str, timeout: Duration, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn failover_under_load_loses_no_acked_commit() {
+    const TOTAL: i64 = 800;
+    const CRASH_AFTER_COMMITS: u64 = 200;
+
+    let cfg = ReplConfig {
+        mode: ReplMode::Sync,
+        batch_ops: 32,
+        heartbeat_every: Duration::from_millis(10),
+        lease: Duration::from_millis(150),
+    };
+    let metrics = Arc::new(ReplMetrics::new());
+
+    // Node A: boot primary. Node B: follower over an instant link.
+    let store_a = Arc::new(repl_store());
+    let wal_a = Arc::new(Wal::new());
+    let store_b = Arc::new(repl_store());
+    let wal_b = Arc::new(Wal::new());
+    let (a_end, b_end) = repl_connection(LinkSpec::instant(), 256);
+
+    let (ops1_tx, ops1_rx) = crossbeam::channel::unbounded();
+    let (joins1_tx, joins1_rx) = crossbeam::channel::unbounded();
+    assert!(joins1_tx.send(a_end).is_ok());
+    let crash_a = Arc::new(AtomicBool::new(false));
+    let router = Arc::new(Router::new(ops1_tx));
+
+    let node_a = {
+        let (store, wal, metrics, crash) = (
+            Arc::clone(&store_a),
+            Arc::clone(&wal_a),
+            Arc::clone(&metrics),
+            Arc::clone(&crash_a),
+        );
+        thread::spawn(move || {
+            run_primary(
+                &store, &wal, &ops1_rx, &joins1_rx, &cfg, &crash, &metrics, 1,
+            )
+        })
+    };
+
+    // Node B's second life: on promotion it re-routes the driver to its
+    // own op channel and runs its own primary term.
+    let (ops2_tx, ops2_rx) = crossbeam::channel::unbounded();
+    let (joins2_tx, joins2_rx) = crossbeam::channel::unbounded();
+    let stop_b = Arc::new(AtomicBool::new(false));
+    let node_b = {
+        let (store, wal, metrics, stop, router) = (
+            Arc::clone(&store_b),
+            Arc::clone(&wal_b),
+            Arc::clone(&metrics),
+            Arc::clone(&stop_b),
+            Arc::clone(&router),
+        );
+        thread::spawn(move || {
+            let exit = run_follower(&store, &wal, b_end, &cfg, &metrics, &stop);
+            if exit == FollowerExit::Promoted {
+                router.reroute(ops2_tx);
+                // Drop this thread's Router handle: once every client
+                // drops theirs the rerouted op sender goes with it, which
+                // is what lets this primary term observe shutdown.
+                drop(router);
+                let crash_b = AtomicBool::new(false);
+                run_primary(
+                    &store, &wal, &ops2_rx, &joins2_rx, &cfg, &crash_b, &metrics, 2,
+                );
+            }
+            exit
+        })
+    };
+
+    let driver = {
+        let router = Arc::clone(&router);
+        thread::spawn(move || {
+            drive_inserts(
+                &router,
+                0..TOTAL,
+                16,
+                Duration::from_millis(600),
+                Duration::from_secs(60),
+            )
+        })
+    };
+
+    // Crash the primary mid-load, once a healthy chunk of commits acked.
+    wait_for("mid-load commit volume", Duration::from_secs(30), || {
+        metrics.commits.get() >= CRASH_AFTER_COMMITS
+    });
+    crash_a.store(true, Ordering::Relaxed);
+    assert_eq!(node_a.join().unwrap(), PrimaryExit::Crashed);
+
+    // Rejoin: replay A's log truncated at the replicated watermark (its
+    // unreplicated tail was never acked and must not resurrect), then
+    // catch up from B as the new follower.
+    let store_a2 = Arc::new(repl_store());
+    let wal_a2 = Arc::new(Wal::new());
+    let recovered = recover_replica(
+        wal_a.serialize(),
+        metrics.watermark(),
+        &store_a2,
+        &wal_a2,
+        &metrics,
+    )
+    .expect("ex-primary log replays clean under the watermark");
+    assert!(
+        wal_a2.next_lsn() <= metrics.watermark().max(1),
+        "recovery kept records past the watermark"
+    );
+    assert!(recovered.committed > 0, "crash lost the replicated prefix");
+
+    let (b_to_a2, a2_end) = repl_connection(LinkSpec::instant(), 256);
+    assert!(joins2_tx.send(b_to_a2).is_ok());
+    let stop_a2 = Arc::new(AtomicBool::new(false));
+    let node_a2 = {
+        let (store, wal, metrics, stop) = (
+            Arc::clone(&store_a2),
+            Arc::clone(&wal_a2),
+            Arc::clone(&metrics),
+            Arc::clone(&stop_a2),
+        );
+        thread::spawn(move || run_follower(&store, &wal, a2_end, &cfg, &metrics, &stop))
+    };
+
+    // The driver rides out the crash: submit retries while the router
+    // points at the dead node, ack-timeout re-submission for the window
+    // that died with it.
+    let stats = driver.join().unwrap();
+    assert_eq!(stats.failed, 0, "an insert was acked as failed");
+    assert_eq!(
+        stats.acked_ids,
+        (0..TOTAL).collect::<Vec<_>>(),
+        "driver finished without every id acked"
+    );
+    assert!(
+        stats.resubmits > 0,
+        "crash mid-window should force at least one re-submission"
+    );
+    // Client-visible stall: lease expiry + promotion + re-route +
+    // re-submission. Bounded generously for a loaded 1-core CI host.
+    assert!(
+        stats.max_ack_gap < Duration::from_secs(10),
+        "failover stall {:?} unbounded",
+        stats.max_ack_gap
+    );
+
+    // THE audit: every acked id is durable on the surviving primary. A
+    // re-insert of an acked row must be recognized at its primary key.
+    let table_b = store_b.table(REPL_TABLE).unwrap();
+    for &id in &stats.acked_ids {
+        match table_b.insert(repl_tuple(id)) {
+            Err(DbError::DuplicateKey(_)) => {}
+            other => panic!("acked id {id} lost in failover: {other:?}"),
+        }
+    }
+
+    // The rejoined ex-primary catches up to the new primary's WAL tail.
+    let target = wal_b.next_lsn();
+    wait_for("ex-primary catch-up", Duration::from_secs(10), || {
+        wal_a2.next_lsn() >= target
+    });
+    assert_eq!(
+        store_a2.table(REPL_TABLE).unwrap().row_count(),
+        table_b.row_count(),
+        "caught-up follower disagrees with primary on row count"
+    );
+
+    assert_eq!(metrics.promotions.get(), 1, "exactly one promotion");
+    assert!(metrics.catchups.get() >= 2, "join + rejoin both catch up");
+    assert!(
+        metrics.replay_inserts.get() > 0 && metrics.replay_committed.get() > 0,
+        "RecoveryStats never surfaced into the metrics layer"
+    );
+
+    // Teardown, promotion-free: stop the follower first (B just sees a
+    // dead link and degrades), then close B's op feed.
+    stop_a2.store(true, Ordering::Relaxed);
+    assert_eq!(node_a2.join().unwrap(), FollowerExit::Stopped);
+    drop(router);
+    drop(joins2_tx);
+    assert_eq!(node_b.join().unwrap(), FollowerExit::Promoted);
+}
+
+#[test]
+fn lossy_ship_link_converges_through_gap_repair() {
+    const TOTAL: i64 = 300;
+
+    let cfg = ReplConfig {
+        mode: ReplMode::Sync,
+        batch_ops: 16,
+        heartbeat_every: Duration::from_millis(10),
+        lease: Duration::from_secs(2),
+    };
+    let metrics = Arc::new(ReplMetrics::new());
+
+    let store_a = Arc::new(repl_store());
+    let wal_a = Arc::new(Wal::new());
+    let store_b = Arc::new(repl_store());
+    let wal_b = Arc::new(Wal::new());
+
+    // Forty percent of ship-direction frames (records AND heartbeats)
+    // vanish. Sync commits can then only release through the repair
+    // loop: follower detects the hole, asks CatchupFrom, primary ships
+    // the tail again, idempotent replay absorbs the overlap.
+    let (mut a_end, b_end) = repl_connection(LinkSpec::instant(), 256);
+    a_end.tx.inject_faults(FaultSpec::new(0xF01).drop_prob(0.4));
+
+    let (ops_tx, ops_rx) = crossbeam::channel::unbounded();
+    let (joins_tx, joins_rx) = crossbeam::channel::unbounded();
+    assert!(joins_tx.send(a_end).is_ok());
+    let crash = Arc::new(AtomicBool::new(false));
+    let router = Arc::new(Router::new(ops_tx));
+
+    let primary = {
+        let (store, wal, metrics, crash) = (
+            Arc::clone(&store_a),
+            Arc::clone(&wal_a),
+            Arc::clone(&metrics),
+            Arc::clone(&crash),
+        );
+        thread::spawn(move || {
+            run_primary(&store, &wal, &ops_rx, &joins_rx, &cfg, &crash, &metrics, 1)
+        })
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let follower = {
+        let (store, wal, metrics, stop) = (
+            Arc::clone(&store_b),
+            Arc::clone(&wal_b),
+            Arc::clone(&metrics),
+            Arc::clone(&stop),
+        );
+        thread::spawn(move || run_follower(&store, &wal, b_end, &cfg, &metrics, &stop))
+    };
+
+    let stats = drive_inserts(
+        &router,
+        0..TOTAL,
+        16,
+        Duration::from_secs(5),
+        Duration::from_secs(60),
+    );
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.acked_ids, (0..TOTAL).collect::<Vec<_>>());
+
+    // Every ack implies follower durability, loss or no loss.
+    assert_eq!(
+        store_b.table(REPL_TABLE).unwrap().row_count() as i64,
+        TOTAL,
+        "sync-acked commits missing on the follower"
+    );
+    assert_eq!(wal_b.next_lsn(), wal_a.next_lsn());
+
+    // Stop the follower before closing the primary's op feed so the
+    // teardown races can't manufacture a promotion.
+    stop.store(true, Ordering::Relaxed);
+    follower.join().unwrap();
+    drop(router);
+    assert_eq!(primary.join().unwrap(), PrimaryExit::Stopped);
+    assert_eq!(metrics.promotions.get(), 0);
+}

@@ -6,52 +6,23 @@
 //! append-only sequence of records (kept in memory, optionally serialized
 //! to the tuple wire format to mimic durable bytes), consumed by
 //! [`crate::recovery`].
+//!
+//! Since PR 8 the record types and their codec live in
+//! [`anydb_common::repl`] (re-exported here): log records are also the
+//! payload of the replication wire protocol — a primary ships them to a
+//! follower in the same encoding it would write to disk. This module
+//! keeps the in-memory container plus the replication-facing views: the
+//! tail from an LSN (what a catch-up ships) and verbatim extension with
+//! shipped records (how a follower's log mirrors its primary's).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use anydb_common::{DbError, DbResult, PartitionId, Rid, TableId, Tuple, TxnId};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use anydb_common::repl::{decode_records_from, encode_records_into};
+use anydb_common::{DbError, DbResult, TxnId};
+use bytes::{Buf, Bytes, BytesMut};
 use parking_lot::Mutex;
 
-/// One logged operation.
-#[derive(Debug, Clone, PartialEq)]
-pub enum LogOp {
-    /// A new row was appended. The RID is logged so replay can verify it
-    /// reproduces identical physical placement.
-    Insert {
-        /// Table inserted into.
-        table: TableId,
-        /// Partition the row went to.
-        partition: PartitionId,
-        /// Slot the row landed in.
-        slot: u32,
-        /// The full row image.
-        tuple: Tuple,
-    },
-    /// A row was overwritten; `after` is the full after-image (physical
-    /// redo logging — simple and idempotent).
-    Update {
-        /// The updated record.
-        rid: Rid,
-        /// Full after-image.
-        after: Tuple,
-    },
-    /// Transaction committed; its earlier records become redo-able.
-    Commit,
-    /// Transaction aborted; its earlier records are ignored by replay.
-    Abort,
-}
-
-/// A log record: sequence number, owning transaction, operation.
-#[derive(Debug, Clone, PartialEq)]
-pub struct LogRecord {
-    /// Monotonically increasing log sequence number.
-    pub lsn: u64,
-    /// The transaction the operation belongs to.
-    pub txn: TxnId,
-    /// The operation.
-    pub op: LogOp,
-}
+pub use anydb_common::repl::{LogOp, LogRecord};
 
 /// An append-only, thread-safe write-ahead log.
 #[derive(Default)]
@@ -83,6 +54,13 @@ impl Wal {
         self.len() == 0
     }
 
+    /// The next LSN this log will assign — equivalently, one past the
+    /// highest LSN it holds. A follower sends this as its
+    /// `CatchupFrom` point: everything below is already applied locally.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn.load(Ordering::Relaxed)
+    }
+
     /// Snapshot of all records ordered by LSN. (Appends are racy relative
     /// to each other but each record is atomic; recovery runs quiesced.)
     pub fn snapshot(&self) -> Vec<LogRecord> {
@@ -91,97 +69,69 @@ impl Wal {
         v
     }
 
-    /// Serializes the whole log to bytes ("what would hit disk").
+    /// The log tail: every record with `lsn >= from`, ordered by LSN.
+    /// This is what a primary ships to answer a `CatchupFrom { from }`.
+    pub fn tail_from(&self, from: u64) -> Vec<LogRecord> {
+        let mut v: Vec<LogRecord> = self
+            .records
+            .lock()
+            .iter()
+            .filter(|r| r.lsn >= from)
+            .cloned()
+            .collect();
+        v.sort_by_key(|r| r.lsn);
+        v
+    }
+
+    /// Extends the log with records shipped from a primary, keeping their
+    /// original LSNs (a follower's log is a verbatim mirror, not a
+    /// re-numbering). Records this log already holds (an overlapping
+    /// retransmitted tail) are skipped. Advances `next_lsn` past the
+    /// highest appended LSN so a later promotion continues the primary's
+    /// sequence instead of reusing it.
+    pub fn extend_shipped(&self, records: &[LogRecord]) {
+        if records.is_empty() {
+            return;
+        }
+        let mut guard = self.records.lock();
+        let have = self.next_lsn.load(Ordering::Relaxed);
+        let mut max = have;
+        for r in records {
+            if r.lsn < have {
+                continue;
+            }
+            max = max.max(r.lsn + 1);
+            guard.push(r.clone());
+        }
+        self.next_lsn.fetch_max(max, Ordering::Relaxed);
+    }
+
+    /// Serializes the whole log to bytes ("what would hit disk") in the
+    /// [`anydb_common::repl`] record encoding.
     pub fn serialize(&self) -> Bytes {
         let records = self.snapshot();
         let mut buf = BytesMut::new();
-        buf.put_u64(records.len() as u64);
-        for r in &records {
-            buf.put_u64(r.lsn);
-            buf.put_u64(r.txn.raw());
-            match &r.op {
-                LogOp::Insert {
-                    table,
-                    partition,
-                    slot,
-                    tuple,
-                } => {
-                    buf.put_u8(0);
-                    buf.put_u32(table.raw());
-                    buf.put_u32(partition.raw());
-                    buf.put_u32(*slot);
-                    tuple.encode_into(&mut buf);
-                }
-                LogOp::Update { rid, after } => {
-                    buf.put_u8(1);
-                    buf.put_u32(rid.table.raw());
-                    buf.put_u32(rid.partition.raw());
-                    buf.put_u32(rid.slot);
-                    after.encode_into(&mut buf);
-                }
-                LogOp::Commit => buf.put_u8(2),
-                LogOp::Abort => buf.put_u8(3),
-            }
-        }
+        encode_records_into(&records, &mut buf);
         buf.freeze()
     }
 
-    /// Parses a serialized log back into records.
+    /// Parses a serialized log back into records. Corrupt or truncated
+    /// bytes are a [`DbError::Codec`] — never a panic (the same hardened
+    /// codec rejects torn batches on the replication wire).
     pub fn deserialize(mut bytes: Bytes) -> DbResult<Vec<LogRecord>> {
-        if bytes.remaining() < 8 {
-            return Err(DbError::Codec("log header truncated"));
+        let records = decode_records_from(&mut bytes)?;
+        if bytes.remaining() != 0 {
+            return Err(DbError::Codec("trailing bytes after log"));
         }
-        let n = bytes.get_u64() as usize;
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            if bytes.remaining() < 17 {
-                return Err(DbError::Codec("log record truncated"));
-            }
-            let lsn = bytes.get_u64();
-            let txn = TxnId(bytes.get_u64());
-            let tag = bytes.get_u8();
-            let op = match tag {
-                0 => {
-                    if bytes.remaining() < 12 {
-                        return Err(DbError::CorruptLog(lsn));
-                    }
-                    let table = TableId(bytes.get_u32());
-                    let partition = PartitionId(bytes.get_u32());
-                    let slot = bytes.get_u32();
-                    let tuple = Tuple::decode_from(&mut bytes)?;
-                    LogOp::Insert {
-                        table,
-                        partition,
-                        slot,
-                        tuple,
-                    }
-                }
-                1 => {
-                    if bytes.remaining() < 12 {
-                        return Err(DbError::CorruptLog(lsn));
-                    }
-                    let rid = Rid::new(
-                        TableId(bytes.get_u32()),
-                        PartitionId(bytes.get_u32()),
-                        bytes.get_u32(),
-                    );
-                    let after = Tuple::decode_from(&mut bytes)?;
-                    LogOp::Update { rid, after }
-                }
-                2 => LogOp::Commit,
-                3 => LogOp::Abort,
-                _ => return Err(DbError::CorruptLog(lsn)),
-            };
-            out.push(LogRecord { lsn, txn, op });
-        }
-        Ok(out)
+        Ok(records)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use anydb_common::Value;
+    use anydb_common::{PartitionId, Rid, TableId, Tuple, Value};
+    use bytes::BufMut;
 
     fn tuple(i: i64) -> Tuple {
         Tuple::new(vec![Value::Int(i), Value::str("x")])
@@ -194,6 +144,7 @@ mod tests {
         let b = wal.append(TxnId(2), LogOp::Abort);
         assert!(a < b);
         assert_eq!(wal.len(), 2);
+        assert_eq!(wal.next_lsn(), 2);
     }
 
     #[test]
@@ -229,7 +180,42 @@ mod tests {
         buf.put_u64(0);
         buf.put_u64(0);
         buf.put_u8(9); // bogus tag
-        assert_eq!(Wal::deserialize(buf.freeze()), Err(DbError::CorruptLog(0)));
+        assert_eq!(
+            Wal::deserialize(buf.freeze()),
+            Err(DbError::Codec("unknown log op tag"))
+        );
+    }
+
+    #[test]
+    fn tail_from_returns_suffix() {
+        let wal = Wal::new();
+        for t in 0..5u64 {
+            wal.append(TxnId(t), LogOp::Commit);
+        }
+        let tail = wal.tail_from(3);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].lsn, 3);
+        assert_eq!(tail[1].lsn, 4);
+        assert!(wal.tail_from(99).is_empty());
+        assert_eq!(wal.tail_from(0).len(), 5);
+    }
+
+    #[test]
+    fn extend_shipped_mirrors_lsns_and_skips_overlap() {
+        let primary = Wal::new();
+        for t in 0..4u64 {
+            primary.append(TxnId(t), LogOp::Commit);
+        }
+        let follower = Wal::new();
+        follower.extend_shipped(&primary.tail_from(0));
+        assert_eq!(follower.next_lsn(), 4);
+        assert_eq!(follower.snapshot(), primary.snapshot());
+        // A retransmitted overlapping tail appends nothing twice.
+        follower.extend_shipped(&primary.tail_from(2));
+        assert_eq!(follower.len(), 4);
+        // Promotion continues the sequence rather than reusing LSN 4.
+        let lsn = follower.append(TxnId(9), LogOp::Commit);
+        assert_eq!(lsn, 4);
     }
 
     #[test]

@@ -1,0 +1,286 @@
+//! Deterministic fault injection for modeled links.
+//!
+//! Everything the fault-tolerance layer must survive — lost frames,
+//! latency spikes, a link going dark — can be provoked on demand by
+//! arming a [`FaultSpec`] on a [`crate::link::LinkSender`]. Faults are
+//! decided *at the sender*, per message, by a seed-driven RNG: the same
+//! spec over the same send sequence makes the same decisions, so a
+//! failing scenario reproduces by rerunning it (the same determinism
+//! contract as the workload generators).
+//!
+//! Three failure shapes, composable in one spec:
+//!
+//! * **drops** — a per-message Bernoulli (`drop_prob`) plus an optional
+//!   blackout window (`drop_window`, relative to arming) in which *every*
+//!   message is lost. A dropped message is consumed and reported as sent
+//!   — lossy-link semantics; the receiver just never sees it.
+//! * **delay spikes** — with `delay_prob`, a message's modeled delivery
+//!   time gets `delay_spike` added on top of the link's latency/bandwidth
+//!   model (queueing in a congested switch).
+//! * **cuts** — after `cut_after_msgs` sends and/or at `cut_at` (relative
+//!   to arming), the link goes dark permanently: sends fail exactly like
+//!   a receiver disconnect, which is how consumers already learn about
+//!   teardown.
+//!
+//! What is deliberately *not* here: receiver-side faults (a drop is
+//! indistinguishable from sender-side loss) and storage-AC crashes —
+//! those are a control-flow switch on the component loop
+//! (`anydb_core::replica`), not a link property.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Declarative fault plan for one link direction. Disabled by default;
+/// builder methods switch individual failure shapes on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Seed for the per-message fault RNG.
+    pub seed: u64,
+    /// Probability a message is silently dropped.
+    pub drop_prob: f64,
+    /// Blackout window `[from, until)` relative to arming: every message
+    /// sent inside it is dropped.
+    pub drop_window: Option<(Duration, Duration)>,
+    /// Probability a delivered message gets the spike added.
+    pub delay_prob: f64,
+    /// Extra modeled delivery delay for spiked messages.
+    pub delay_spike: Duration,
+    /// Permanently cut the link after this many send attempts.
+    pub cut_after_msgs: Option<u64>,
+    /// Permanently cut the link at this instant (relative to arming).
+    pub cut_at: Option<Duration>,
+}
+
+impl FaultSpec {
+    /// A spec that injects nothing (the identity plan to build from).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_prob: 0.0,
+            drop_window: None,
+            delay_prob: 0.0,
+            delay_spike: Duration::ZERO,
+            cut_after_msgs: None,
+            cut_at: None,
+        }
+    }
+
+    /// Drops each message independently with probability `p`.
+    pub fn drop_prob(mut self, p: f64) -> Self {
+        self.drop_prob = p;
+        self
+    }
+
+    /// Drops every message sent in `[from, until)` after arming.
+    pub fn drop_window(mut self, from: Duration, until: Duration) -> Self {
+        self.drop_window = Some((from, until));
+        self
+    }
+
+    /// Adds `spike` to the modeled delivery time with probability `p`.
+    pub fn delay(mut self, p: f64, spike: Duration) -> Self {
+        self.delay_prob = p;
+        self.delay_spike = spike;
+        self
+    }
+
+    /// Cuts the link permanently after `n` send attempts.
+    pub fn cut_after_msgs(mut self, n: u64) -> Self {
+        self.cut_after_msgs = Some(n);
+        self
+    }
+
+    /// Cuts the link permanently `at` after arming.
+    pub fn cut_at(mut self, at: Duration) -> Self {
+        self.cut_at = Some(at);
+        self
+    }
+
+    /// True if the spec ever needs a clock (pure-probability specs skip
+    /// `Instant::now` on the send path).
+    fn needs_clock(&self) -> bool {
+        self.drop_window.is_some() || self.cut_at.is_some()
+    }
+}
+
+/// What the armed fault state decided for one send attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver, with this much injected extra delay (usually zero).
+    Deliver(Duration),
+    /// Silently consume the message (lossy link).
+    Drop,
+    /// The link is dark: fail the send like a disconnect.
+    Cut,
+}
+
+/// Counters of what an armed spec actually did (read back by tests and
+/// scenario audits via [`crate::link::LinkSender::fault_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages that went through (possibly delayed).
+    pub delivered: u64,
+    /// Messages silently dropped.
+    pub dropped: u64,
+    /// Delivered messages that got the delay spike.
+    pub delayed: u64,
+    /// Send attempts refused because the link was cut.
+    pub refused: u64,
+}
+
+/// The armed, stateful form of a [`FaultSpec`].
+pub struct FaultState {
+    spec: FaultSpec,
+    rng: StdRng,
+    armed_at: Option<Instant>,
+    sends: u64,
+    cut: bool,
+    stats: FaultStats,
+}
+
+impl FaultState {
+    /// Arms `spec`. The clock (for windows/timed cuts) starts now.
+    pub fn new(spec: FaultSpec) -> Self {
+        let armed_at = spec.needs_clock().then(Instant::now);
+        Self {
+            rng: StdRng::seed_from_u64(spec.seed),
+            spec,
+            armed_at,
+            sends: 0,
+            cut: false,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Decides the fate of the next message. Called once per send
+    /// attempt; the decision sequence is a pure function of the spec and
+    /// the attempt index (plus wall position for windowed shapes).
+    pub fn decide(&mut self) -> FaultAction {
+        self.sends += 1;
+        if !self.cut {
+            if let Some(n) = self.spec.cut_after_msgs {
+                if self.sends > n {
+                    self.cut = true;
+                }
+            }
+        }
+        let since_armed = self.armed_at.map(|t| t.elapsed());
+        if !self.cut {
+            if let (Some(at), Some(since)) = (self.spec.cut_at, since_armed) {
+                if since >= at {
+                    self.cut = true;
+                }
+            }
+        }
+        if self.cut {
+            self.stats.refused += 1;
+            return FaultAction::Cut;
+        }
+        // Draw the Bernoullis unconditionally so the decision sequence
+        // does not depend on whether a window was active at the time.
+        let dropped = self.spec.drop_prob > 0.0 && self.rng.random_bool(self.spec.drop_prob);
+        let delayed = self.spec.delay_prob > 0.0 && self.rng.random_bool(self.spec.delay_prob);
+        let in_window = match (self.spec.drop_window, since_armed) {
+            (Some((from, until)), Some(since)) => since >= from && since < until,
+            _ => false,
+        };
+        if dropped || in_window {
+            self.stats.dropped += 1;
+            return FaultAction::Drop;
+        }
+        self.stats.delivered += 1;
+        if delayed {
+            self.stats.delayed += 1;
+            FaultAction::Deliver(self.spec.delay_spike)
+        } else {
+            FaultAction::Deliver(Duration::ZERO)
+        }
+    }
+
+    /// What the armed spec has done so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// True once a cut has fired.
+    pub fn is_cut(&self) -> bool {
+        self.cut
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decisions(spec: FaultSpec, n: usize) -> Vec<FaultAction> {
+        let mut st = FaultState::new(spec);
+        (0..n).map(|_| st.decide()).collect()
+    }
+
+    #[test]
+    fn no_faults_by_default() {
+        let got = decisions(FaultSpec::new(1), 100);
+        assert!(got
+            .iter()
+            .all(|a| *a == FaultAction::Deliver(Duration::ZERO)));
+    }
+
+    #[test]
+    fn drop_decisions_are_deterministic_per_seed() {
+        let a = decisions(FaultSpec::new(42).drop_prob(0.3), 200);
+        let b = decisions(FaultSpec::new(42).drop_prob(0.3), 200);
+        assert_eq!(a, b);
+        let c = decisions(FaultSpec::new(43).drop_prob(0.3), 200);
+        assert_ne!(a, c, "different seeds should differ somewhere");
+        let dropped = a.iter().filter(|x| **x == FaultAction::Drop).count();
+        assert!((20..=120).contains(&dropped), "p=0.3 of 200: {dropped}");
+    }
+
+    #[test]
+    fn delay_spikes_ride_on_deliveries() {
+        let spike = Duration::from_millis(5);
+        let got = decisions(FaultSpec::new(7).delay(0.5, spike), 100);
+        let spiked = got
+            .iter()
+            .filter(|a| **a == FaultAction::Deliver(spike))
+            .count();
+        assert!(spiked > 10, "p=0.5 of 100 spiked only {spiked}");
+        assert!(got.iter().all(|a| !matches!(a, FaultAction::Drop)));
+    }
+
+    #[test]
+    fn cut_after_msgs_is_permanent() {
+        let mut st = FaultState::new(FaultSpec::new(1).cut_after_msgs(3));
+        for _ in 0..3 {
+            assert!(matches!(st.decide(), FaultAction::Deliver(_)));
+        }
+        for _ in 0..5 {
+            assert_eq!(st.decide(), FaultAction::Cut);
+        }
+        assert!(st.is_cut());
+        assert_eq!(st.stats().delivered, 3);
+        assert_eq!(st.stats().refused, 5);
+    }
+
+    #[test]
+    fn drop_window_blacks_out_everything_inside() {
+        let mut st = FaultState::new(
+            FaultSpec::new(1).drop_window(Duration::ZERO, Duration::from_millis(20)),
+        );
+        assert_eq!(st.decide(), FaultAction::Drop);
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(matches!(st.decide(), FaultAction::Deliver(_)));
+        assert_eq!(st.stats().dropped, 1);
+        assert_eq!(st.stats().delivered, 1);
+    }
+
+    #[test]
+    fn cut_at_fires_on_the_clock() {
+        let mut st = FaultState::new(FaultSpec::new(1).cut_at(Duration::from_millis(10)));
+        assert!(matches!(st.decide(), FaultAction::Deliver(_)));
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(st.decide(), FaultAction::Cut);
+    }
+}

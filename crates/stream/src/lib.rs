@@ -12,6 +12,8 @@
 //! * [`inbox`] — a multi-producer event inbox used as an AC's event queue,
 //! * [`link`] — [`link::SimLink`]: an SPSC ring with a latency/bandwidth
 //!   delivery model, simulating NUMA links, InfiniBand/DPI flows, and TCP,
+//! * [`fault`] — deterministic, seed-driven fault injection for those
+//!   links: drop windows, delay spikes, and permanent cuts,
 //! * [`network`] — link classes and the simulated server topology,
 //! * [`batch`] — tuple batches (the unit shipped on data streams),
 //! * [`flow`] — DPI-style flows that filter/project/partition *en route*
@@ -25,6 +27,7 @@
 pub mod adaptive;
 pub mod batch;
 pub mod beam;
+pub mod fault;
 pub mod flow;
 pub mod inbox;
 pub mod link;
@@ -34,8 +37,9 @@ pub mod spsc;
 
 pub use batch::Batch;
 pub use beam::{BeamId, BeamReader, BeamRegistry};
+pub use fault::{FaultAction, FaultSpec, FaultState, FaultStats};
 pub use inbox::{Inbox, InboxSender};
-pub use link::{LinkReceiver, LinkSender, LinkSpec, RecvState, SimLink};
+pub use link::{DeadlineRecv, LinkReceiver, LinkSender, LinkSpec, RecvState, SimLink};
 pub use network::{LinkClass, Topology};
-pub use remote::{scan_connection, ScanRequester, ScanResponder};
+pub use remote::{scan_connection, scan_connection_faulty, ScanRequester, ScanResponder};
 pub use spsc::{spsc_channel, PopState, SpscConsumer, SpscProducer};

@@ -17,6 +17,7 @@
 
 use std::time::{Duration, Instant};
 
+use crate::fault::{FaultAction, FaultSpec, FaultState, FaultStats};
 use crate::spsc::{spsc_channel, PopState, PushError, SpscConsumer, SpscProducer};
 
 /// Delivery model parameters for one link direction.
@@ -71,9 +72,22 @@ impl SimLink {
                 ring: tx,
                 spec,
                 busy_until: None,
+                faults: None,
             },
             LinkReceiver { ring: rx, spec },
         )
+    }
+
+    /// Like [`SimLink::channel`] but with a [`FaultSpec`] armed on the
+    /// sender from the first message.
+    pub fn faulty_channel<T>(
+        spec: LinkSpec,
+        cap: usize,
+        faults: FaultSpec,
+    ) -> (LinkSender<T>, LinkReceiver<T>) {
+        let (mut tx, rx) = Self::channel(spec, cap);
+        tx.inject_faults(faults);
+        (tx, rx)
     }
 }
 
@@ -88,6 +102,9 @@ pub struct LinkSender<T> {
     ring: SpscProducer<Timed<T>>,
     spec: LinkSpec,
     busy_until: Option<Instant>,
+    /// Armed fault plan; `None` (the default) costs nothing on the send
+    /// path beyond one branch.
+    faults: Option<Box<FaultState>>,
 }
 
 /// Receiving half of a simulated link. Single consumer.
@@ -107,11 +124,63 @@ pub enum RecvState {
     Disconnected,
 }
 
+/// Result of a deadline-bounded receive ([`LinkReceiver::recv_deadline`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineRecv<T> {
+    /// A message was delivered in time.
+    Msg(T),
+    /// The deadline passed with nothing delivered. The link may still be
+    /// healthy (slow, lossy, or idle) — that ambiguity is exactly what
+    /// lease-based failure detection must decide on.
+    TimedOut,
+    /// The sender is gone and everything sent has been received.
+    Disconnected,
+}
+
 impl<T> LinkSender<T> {
+    /// Arms a fault plan on this sender. Every subsequent send consults
+    /// it: drops consume the message silently (the send *succeeds* — a
+    /// lossy link acks nothing), cuts fail the send exactly like a
+    /// receiver disconnect, and delay spikes stretch the modeled delivery
+    /// time. Re-arming replaces the previous plan.
+    pub fn inject_faults(&mut self, spec: FaultSpec) {
+        self.faults = Some(Box::new(FaultState::new(spec)));
+    }
+
+    /// What the armed fault plan has done so far (zeroes if none armed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats()).unwrap_or_default()
+    }
+
+    #[inline]
+    fn fault_decide(&mut self) -> FaultAction {
+        match &mut self.faults {
+            Some(f) => f.decide(),
+            None => FaultAction::Deliver(Duration::ZERO),
+        }
+    }
+
+    /// Pushes an injected delay spike onto a computed delivery time. An
+    /// instant link's `None` must materialize into a real timestamp —
+    /// the spike is the whole point of the fault.
+    #[inline]
+    fn spiked(deliver_at: Option<Instant>, extra: Duration) -> Option<Instant> {
+        if extra.is_zero() {
+            deliver_at
+        } else {
+            Some(deliver_at.unwrap_or_else(Instant::now) + extra)
+        }
+    }
+
     /// Sends `item` whose modeled wire size is `bytes`. Fails if the ring
     /// is full (backpressure) or the receiver is gone.
     pub fn send(&mut self, item: T, bytes: usize) -> Result<(), PushError<T>> {
-        let deliver_at = self.compute_deliver_at(bytes);
+        let extra = match self.fault_decide() {
+            FaultAction::Deliver(extra) => extra,
+            FaultAction::Drop => return Ok(()),
+            FaultAction::Cut => return Err(PushError::Disconnected(item)),
+        };
+        let deliver_at = Self::spiked(self.compute_deliver_at(bytes), extra);
         self.ring
             .push(Timed { deliver_at, item })
             .map_err(|e| match e {
@@ -123,7 +192,12 @@ impl<T> LinkSender<T> {
     /// Sends, spinning under backpressure. Returns the item if the
     /// receiver disconnected.
     pub fn send_blocking(&mut self, item: T, bytes: usize) -> Result<(), T> {
-        let deliver_at = self.compute_deliver_at(bytes);
+        let extra = match self.fault_decide() {
+            FaultAction::Deliver(extra) => extra,
+            FaultAction::Drop => return Ok(()),
+            FaultAction::Cut => return Err(item),
+        };
+        let deliver_at = Self::spiked(self.compute_deliver_at(bytes), extra);
         self.ring
             .push_blocking(Timed { deliver_at, item })
             .map_err(|t| t.item)
@@ -144,7 +218,13 @@ impl<T> LinkSender<T> {
     /// delivery times so the receiver can overlap consumption with the
     /// rest of the transfer.
     pub fn send_many_blocking(&mut self, items: Vec<T>, total_bytes: usize) -> Result<(), usize> {
-        let deliver_at = self.compute_deliver_at(total_bytes);
+        // One fault decision for the batch: it is one wire message.
+        let extra = match self.fault_decide() {
+            FaultAction::Deliver(extra) => extra,
+            FaultAction::Drop => return Ok(()),
+            FaultAction::Cut => return Err(items.len()),
+        };
+        let deliver_at = Self::spiked(self.compute_deliver_at(total_bytes), extra);
         let timed: Vec<Timed<T>> = items
             .into_iter()
             .map(|item| Timed { deliver_at, item })
@@ -167,22 +247,44 @@ impl<T> LinkSender<T> {
         } else {
             Some(Instant::now())
         };
-        let timed: Vec<Timed<T>> = items
-            .into_iter()
-            .map(|(item, bytes)| {
-                let deliver_at = now.map(|now| {
-                    let start = match self.busy_until {
-                        Some(b) if b > now => b,
-                        _ => now,
-                    };
-                    let busy = start + self.spec.transfer_time(bytes);
-                    self.busy_until = Some(busy);
-                    busy + self.spec.latency
-                });
-                Timed { deliver_at, item }
-            })
-            .collect();
-        self.push_all(timed)
+        // Each transfer is a separate wire message, so each gets its own
+        // fault decision: drops skip the item, a cut refuses it and
+        // everything after it (reported like a mid-batch disconnect).
+        let mut cut_remaining = 0usize;
+        let mut items = items.into_iter();
+        let mut timed: Vec<Timed<T>> = Vec::new();
+        for (item, bytes) in items.by_ref() {
+            let extra = match self.fault_decide() {
+                FaultAction::Deliver(extra) => extra,
+                FaultAction::Drop => continue,
+                FaultAction::Cut => {
+                    cut_remaining = 1;
+                    break;
+                }
+            };
+            let deliver_at = now.map(|now| {
+                let start = match self.busy_until {
+                    Some(b) if b > now => b,
+                    _ => now,
+                };
+                let busy = start + self.spec.transfer_time(bytes);
+                self.busy_until = Some(busy);
+                busy + self.spec.latency
+            });
+            timed.push(Timed {
+                deliver_at: Self::spiked(deliver_at, extra),
+                item,
+            });
+        }
+        if cut_remaining > 0 {
+            cut_remaining += items.count();
+        }
+        let pushed = self.push_all(timed);
+        match (pushed, cut_remaining) {
+            (Ok(()), 0) => Ok(()),
+            (Ok(()), n) => Err(n),
+            (Err(left), n) => Err(left + n),
+        }
     }
 
     fn push_all(&mut self, mut timed: Vec<Timed<T>>) -> Result<(), usize> {
@@ -283,6 +385,37 @@ impl<T> LinkReceiver<T> {
                     }
                 }
                 Err(RecvState::Empty) => backoff.wait(),
+            }
+        }
+    }
+
+    /// Receives with a deadline: waits like [`LinkReceiver::recv_blocking`]
+    /// but gives up at `deadline`. A message that would be *delivered*
+    /// after the deadline counts as a timeout — the caller's clock, not
+    /// the wire's, decides. This is what failure detection (leases) and
+    /// request retries are built on.
+    pub fn recv_deadline(&mut self, deadline: Instant) -> DeadlineRecv<T> {
+        let mut backoff = anydb_common::backoff::Backoff::new();
+        loop {
+            match self.try_recv() {
+                Ok(v) => return DeadlineRecv::Msg(v),
+                Err(RecvState::Disconnected) => return DeadlineRecv::Disconnected,
+                Err(RecvState::NotReady(at)) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return DeadlineRecv::TimedOut;
+                    }
+                    let until = at.min(deadline);
+                    if until > now {
+                        std::thread::sleep(until - now);
+                    }
+                }
+                Err(RecvState::Empty) => {
+                    if Instant::now() >= deadline {
+                        return DeadlineRecv::TimedOut;
+                    }
+                    backoff.wait();
+                }
             }
         }
     }
@@ -543,6 +676,80 @@ mod tests {
         assert_eq!(rx.drain_ready_max(&mut out, 100), 6);
         assert_eq!(out, (0..10).collect::<Vec<_>>());
         assert_eq!(rx.drain_ready_max(&mut out, 4), 0);
+    }
+
+    #[test]
+    fn dropped_sends_succeed_but_never_arrive() {
+        let faults = FaultSpec::new(5).drop_prob(1.0);
+        let (mut tx, mut rx) = SimLink::faulty_channel(LinkSpec::instant(), 8, faults);
+        for i in 0..10u8 {
+            tx.send_blocking(i, 1).unwrap();
+        }
+        assert_eq!(rx.try_recv(), Err(RecvState::Empty));
+        assert_eq!(tx.fault_stats().dropped, 10);
+        assert_eq!(tx.fault_stats().delivered, 0);
+    }
+
+    #[test]
+    fn cut_link_fails_sends_like_disconnect() {
+        let faults = FaultSpec::new(5).cut_after_msgs(2);
+        let (mut tx, mut rx) = SimLink::faulty_channel(LinkSpec::instant(), 8, faults);
+        tx.send_blocking(1u8, 1).unwrap();
+        tx.send_blocking(2u8, 1).unwrap();
+        assert_eq!(tx.send_blocking(3u8, 1), Err(3));
+        // The two pre-cut messages still arrive; the receiver then just
+        // sees silence (the sender is alive, the link is dark).
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(RecvState::Empty));
+    }
+
+    #[test]
+    fn delay_spike_stretches_instant_links() {
+        let faults = FaultSpec::new(5).delay(1.0, Duration::from_millis(20));
+        let (mut tx, mut rx) = SimLink::faulty_channel(LinkSpec::instant(), 8, faults);
+        tx.send_blocking(9u8, 1).unwrap();
+        assert!(matches!(rx.try_recv(), Err(RecvState::NotReady(_))));
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(rx.try_recv(), Ok(9));
+        assert_eq!(tx.fault_stats().delayed, 1);
+    }
+
+    #[test]
+    fn pipelined_send_reports_cut_remainder() {
+        let faults = FaultSpec::new(5).cut_after_msgs(1);
+        let (mut tx, _rx) = SimLink::faulty_channel(LinkSpec::instant(), 8, faults);
+        let items: Vec<(u8, usize)> = (0..5).map(|i| (i, 1)).collect();
+        assert_eq!(tx.send_pipelined_blocking(items), Err(4));
+    }
+
+    #[test]
+    fn recv_deadline_times_out_then_delivers() {
+        let (mut tx, mut rx) = SimLink::channel::<u8>(LinkSpec::instant(), 8);
+        let deadline = Instant::now() + Duration::from_millis(10);
+        assert_eq!(rx.recv_deadline(deadline), DeadlineRecv::TimedOut);
+        tx.send_blocking(4u8, 1).unwrap();
+        let deadline = Instant::now() + Duration::from_millis(100);
+        assert_eq!(rx.recv_deadline(deadline), DeadlineRecv::Msg(4));
+        drop(tx);
+        let deadline = Instant::now() + Duration::from_millis(100);
+        assert_eq!(rx.recv_deadline(deadline), DeadlineRecv::Disconnected);
+    }
+
+    #[test]
+    fn recv_deadline_expires_on_in_flight_message() {
+        let spec = LinkSpec {
+            latency: Duration::from_millis(50),
+            bytes_per_sec: f64::INFINITY,
+            offload: false,
+        };
+        let (mut tx, mut rx) = SimLink::channel(spec, 8);
+        tx.send(1u8, 0).unwrap();
+        // Delivery is 50ms out; a 5ms deadline must not wait for it.
+        let start = Instant::now();
+        let got = rx.recv_deadline(start + Duration::from_millis(5));
+        assert_eq!(got, DeadlineRecv::TimedOut);
+        assert!(start.elapsed() < Duration::from_millis(45));
     }
 
     #[test]

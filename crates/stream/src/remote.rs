@@ -16,6 +16,7 @@
 
 use bytes::Bytes;
 
+use crate::fault::FaultSpec;
 use crate::link::{LinkReceiver, LinkSender, LinkSpec, SimLink};
 
 /// The compute-AC end of a scan connection: sends request frames, hands
@@ -52,6 +53,20 @@ pub fn scan_connection(spec: LinkSpec, ring: usize) -> (ScanRequester, ScanRespo
             bytes_sent: 0,
         },
     )
+}
+
+/// Like [`scan_connection`] but with `reply_faults` armed on the reply
+/// direction: reply frames can be dropped, delayed, or cut off entirely.
+/// This is how the retry layer is exercised — requests get through, the
+/// answers go missing.
+pub fn scan_connection_faulty(
+    spec: LinkSpec,
+    ring: usize,
+    reply_faults: FaultSpec,
+) -> (ScanRequester, ScanResponder) {
+    let (requester, mut responder) = scan_connection(spec, ring);
+    responder.reply_tx.inject_faults(reply_faults);
+    (requester, responder)
 }
 
 impl ScanRequester {

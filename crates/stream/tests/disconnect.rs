@@ -1,0 +1,191 @@
+//! Disconnect-path coverage (PR 8 satellite): every blocking consumer of
+//! a modeled link must treat the other side vanishing *mid-burst* as
+//! graceful teardown — `Err`/`None`, never a panic, never a hang. These
+//! are exactly the paths a promotion exercises: the new primary drops its
+//! follower-facing links while the ex-primary (or a lagging requester) is
+//! still mid-send.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use anydb_stream::link::DeadlineRecv;
+use anydb_stream::remote::scan_connection;
+use anydb_stream::{FaultSpec, LinkSpec, SimLink};
+use bytes::Bytes;
+
+/// A link spec slow enough that a burst is still in flight when the
+/// other end disappears, fast enough for a 1-core CI host.
+fn slow() -> LinkSpec {
+    LinkSpec {
+        latency: Duration::from_micros(200),
+        bytes_per_sec: 50.0 * 1024.0 * 1024.0,
+        offload: false,
+    }
+}
+
+#[test]
+fn sender_burst_survives_receiver_drop_mid_burst() {
+    // Small ring so the sender is actually blocked on backpressure when
+    // the receiver goes away.
+    let (mut tx, mut rx) = SimLink::channel::<u64>(slow(), 4);
+    let producer = thread::spawn(move || {
+        let mut sent = 0u64;
+        for i in 0..10_000u64 {
+            match tx.send_blocking(i, 64) {
+                Ok(()) => sent += 1,
+                Err(returned) => {
+                    // Graceful teardown: the refused item comes back.
+                    assert_eq!(returned, i);
+                    return sent;
+                }
+            }
+        }
+        sent
+    });
+    // Consume a little, then vanish mid-burst.
+    for _ in 0..16 {
+        if rx.recv_blocking().is_none() {
+            break;
+        }
+    }
+    drop(rx);
+    let sent = producer.join().expect("producer must not panic");
+    assert!(sent < 10_000, "receiver drop never surfaced to the sender");
+}
+
+#[test]
+fn receiver_drains_tail_then_sees_none_after_sender_drop() {
+    let (mut tx, mut rx) = SimLink::channel::<u64>(slow(), 64);
+    let producer = thread::spawn(move || {
+        for i in 0..40u64 {
+            tx.send_blocking(i, 256).unwrap();
+        }
+        // Sender drops here with messages still in flight.
+    });
+    producer.join().unwrap();
+    let mut got = Vec::new();
+    // recv_blocking must hand over every in-flight message, then report
+    // end-of-stream — not hang waiting for a sender that is gone.
+    while let Some(v) = rx.recv_blocking() {
+        got.push(v);
+    }
+    assert_eq!(got, (0..40).collect::<Vec<_>>());
+}
+
+#[test]
+fn send_many_mid_burst_disconnect_reports_remainder() {
+    let (mut tx, mut rx) = SimLink::channel::<u32>(slow(), 4);
+    let producer = thread::spawn(move || {
+        let mut shipped = 0usize;
+        loop {
+            match tx.send_many_blocking((0..8u32).collect(), 8 * 1024) {
+                Ok(()) => shipped += 8,
+                Err(remaining) => {
+                    assert!(remaining > 0 && remaining <= 8);
+                    return shipped;
+                }
+            }
+        }
+    });
+    for _ in 0..12 {
+        if rx.recv_blocking().is_none() {
+            break;
+        }
+    }
+    drop(rx);
+    producer.join().expect("bulk sender must not panic");
+}
+
+#[test]
+fn pipelined_mid_burst_disconnect_reports_remainder() {
+    let (mut tx, mut rx) = SimLink::channel::<u32>(slow(), 4);
+    let producer = thread::spawn(move || loop {
+        let burst: Vec<(u32, usize)> = (0..8u32).map(|i| (i, 4 * 1024)).collect();
+        if let Err(remaining) = tx.send_pipelined_blocking(burst) {
+            assert!(remaining > 0 && remaining <= 8);
+            return;
+        }
+    });
+    for _ in 0..12 {
+        if rx.recv_blocking().is_none() {
+            break;
+        }
+    }
+    drop(rx);
+    producer.join().expect("pipelined sender must not panic");
+}
+
+#[test]
+fn recv_deadline_handles_sender_drop_while_waiting() {
+    let (tx, mut rx) = SimLink::channel::<u8>(slow(), 4);
+    let dropper = thread::spawn(move || {
+        thread::sleep(Duration::from_millis(20));
+        drop(tx);
+    });
+    // Generous deadline: the outcome must be Disconnected (the drop
+    // arrives first), not a timeout and certainly not a hang.
+    let got = rx.recv_deadline(Instant::now() + Duration::from_secs(10));
+    assert_eq!(got, DeadlineRecv::Disconnected);
+    dropper.join().unwrap();
+}
+
+#[test]
+fn scan_requester_mid_burst_responder_drop_is_an_err() {
+    let (mut requester, mut responder) = scan_connection(slow(), 4);
+    let storage = thread::spawn(move || {
+        // Serve one request, then crash (drop) with more inbound.
+        let _ = responder.recv_request_blocking();
+    });
+    let mut refused = false;
+    for _ in 0..1_000 {
+        if requester
+            .send_request(Bytes::from_static(b"scan-me"))
+            .is_err()
+        {
+            refused = true;
+            break;
+        }
+    }
+    storage.join().expect("responder must not panic");
+    assert!(refused, "responder drop never surfaced to the requester");
+}
+
+#[test]
+fn scan_responder_mid_burst_requester_drop_is_an_err() {
+    let (requester, mut responder) = scan_connection(slow(), 4);
+    drop(requester);
+    // No requests will ever arrive…
+    assert!(responder.recv_request_blocking().is_none());
+    // …and reply bursts are refused with the undelivered count.
+    let frames = (0..8).map(|_| Bytes::from_static(b"reply-frame"));
+    match responder.send_replies(frames) {
+        Err(n) => assert!(n > 0 && n <= 8),
+        Ok(()) => panic!("burst to a dropped requester reported success"),
+    }
+}
+
+#[test]
+fn faulty_link_disconnect_still_graceful() {
+    // Faults and disconnects compose: a lossy link whose receiver drops
+    // mid-burst still tears down with Err, and dropped messages still
+    // count as successes (lossy-link semantics).
+    let faults = FaultSpec::new(11).drop_prob(0.5);
+    let (mut tx, rx) = SimLink::faulty_channel::<u64>(LinkSpec::instant(), 4, faults);
+    drop(rx);
+    let mut outcome = None;
+    for i in 0..64u64 {
+        match tx.send_blocking(i, 8) {
+            Ok(()) => {} // fault-dropped: consumed, no receiver needed
+            Err(v) => {
+                outcome = Some(v);
+                break;
+            }
+        }
+    }
+    assert!(
+        outcome.is_some(),
+        "disconnect never surfaced on faulty link"
+    );
+    let stats = tx.fault_stats();
+    assert!(stats.dropped > 0, "p=0.5 of 64 sends dropped none");
+}

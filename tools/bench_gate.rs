@@ -7,12 +7,15 @@
 //! (`BENCH_htap.json`, HTAP-local level: shared-snapshot columnar Q3 +
 //! the zero-copy split flatness ceiling), `abl_shared`
 //! (`BENCH_shared.json`, multi-query level: shared-pipeline cost
-//! scaling at N=32 concurrent Q3 members) and `abl_pushdown`
+//! scaling at N=32 concurrent Q3 members), `abl_pushdown`
 //! (`BENCH_pushdown.json`, remote-scan level: predicate pushdown vs
-//! ship-then-filter on modeled wire bytes) — against the checked-in
+//! ship-then-filter on modeled wire bytes) and `abl_failover`
+//! (`BENCH_failover.json`, replication level: sync/async/unreplicated
+//! commit-ack throughput plus the zero-lost-acked-commits invariant
+//! under a mid-load primary crash) — against the checked-in
 //! baseline (`tools/bench_baseline.json`) and exits non-zero on
-//! regression, so the batching/routing/columnar/sharing/pushdown wins
-//! cannot silently rot. Every bench emits the same flat schema (gated
+//! regression, so the batching/routing/columnar/sharing/pushdown/
+//! replication wins cannot silently rot. Every bench emits the same flat schema (gated
 //! `ratio_*` keys plus ungated raw values, no per-file exceptions), and
 //! all current files are merged into one metric map before checking
 //! (their key namespaces are disjoint by construction).
@@ -36,7 +39,7 @@
 //!   metric is a regression of the gate itself).
 //!
 //! Usage: `bench_gate [baseline.json] [current.json ...]` (defaults:
-//! `tools/bench_baseline.json` and the six `BENCH_*.json` files — the
+//! `tools/bench_baseline.json` and the seven `BENCH_*.json` files — the
 //! paths CI uses from the repo root).
 //!
 //! When `$GITHUB_STEP_SUMMARY` is set (as it is on every GitHub Actions
@@ -189,13 +192,14 @@ fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
 }
 
 /// The bench-emitted files gated by default (all namespaces disjoint).
-const DEFAULT_CURRENT: [&str; 6] = [
+const DEFAULT_CURRENT: [&str; 7] = [
     "BENCH_adaptive.json",
     "BENCH_routing.json",
     "BENCH_columnar.json",
     "BENCH_htap.json",
     "BENCH_shared.json",
     "BENCH_pushdown.json",
+    "BENCH_failover.json",
 ];
 
 fn main() -> ExitCode {
