@@ -1,0 +1,381 @@
+//! Ablation: sharded multi-node TPC-C — scale-out, 2PC cost, and
+//! zero-lost recovery (PR 9 tentpole; DESIGN.md §10).
+//!
+//! The paper's architecture-less pitch is that the same AC fabric spans
+//! machines: place warehouses across nodes, route new-orders to their
+//! home shard, and pay two-phase commit only when an order's supply
+//! lines cross shards. This ablation prices the claim:
+//!
+//! * **scale-out** — all-local new-orders on 1, 2, and 4 shard nodes.
+//!   Commits are latency-bound via the modeled group-commit fsync
+//!   (`commit_latency`), so adding nodes divides the serial fsync train
+//!   even on a one-core CI host: 2 nodes must at least match 1,
+//! * **2PC cost** — on 2 nodes, an all-single-shard stream vs an
+//!   all-cross-shard stream (every order carries one remote supply
+//!   line). Cross-shard orders pay prepare/vote/decide round trips and
+//!   fsync on both shards; single-shard throughput must at least match,
+//! * **crash recovery** — 2 nodes, the coordinator crashes on its first
+//!   cross-shard order *after logging the commit decision*, a
+//!   replacement recovers from the durable WAL (finishing the apply and
+//!   re-delivering the decision) and the driver's re-submissions finish
+//!   the run. **Lost acked orders must be zero** — asserted
+//!   bit-identically across every rep (it is an invariant, not a
+//!   distribution) — and the client-visible stall is reported.
+//!
+//! Gated via `tools/bench_gate.rs`: `ratio_shard_scaleout_2v1` and
+//! `ratio_shard_singleshard_vs_sync2pc_tx` floored at 1.0, and
+//! `ratio_shard_zero_lost` = 1/(1+lost) pinned at 1.0, which only holds
+//! when lost == 0. Wall-clock throughputs are medians over reps; the
+//! run emits `BENCH_shard.json` for the gate and the CI artifact.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use anydb_bench::{bench_json_path, figure_header, median, row, write_flat_json};
+use anydb_core::shard::{
+    audit_order, drive_orders, peer_pair, shard_mesh, shard_store, CrashPoint, NodeExit,
+    OrderVisibility, PeerEnd, ShardConfig, ShardMap, ShardMetrics, ShardNode, ShardOp, ShardRouter,
+};
+use anydb_storage::Wal;
+use anydb_stream::LinkSpec;
+use anydb_workload::tpcc::NewOrderParams;
+use crossbeam::channel::Sender as ChanSender;
+
+/// Timed repetitions per arm; throughputs take the median, the lost-
+/// order count must be identical (zero) in every rep.
+const REPS: usize = 3;
+/// New-orders per throughput arm.
+const LOAD_OPS: usize = 1200;
+/// New-orders in the crash-recovery arm.
+const CRASH_OPS: usize = 200;
+/// Driver in-flight window for the throughput arms.
+const WINDOW: usize = 32;
+
+/// Bench tuning: client ops applied per node loop iteration are capped
+/// well under the window so every iteration pays the fsync sleep — the
+/// run is latency-bound and scale-out divides the sleep train.
+fn bench_cfg() -> ShardConfig {
+    ShardConfig {
+        batch_ops: 8,
+        commit_latency: Duration::from_micros(500),
+        // Generous: healthy links on a loaded host must not retransmit.
+        retransmit_every: Duration::from_millis(100),
+        ..ShardConfig::default()
+    }
+}
+
+/// A launched shard node (bench-side mirror of the chaos harness).
+struct NodeHandle {
+    ops_tx: ChanSender<ShardOp>,
+    peer_joins: ChanSender<PeerEnd>,
+    handle: thread::JoinHandle<NodeExit>,
+}
+
+fn launch(sn: ShardNode, peers: Vec<PeerEnd>) -> NodeHandle {
+    let (ops_tx, ops_rx) = crossbeam::channel::unbounded();
+    let (pj_tx, pj_rx) = crossbeam::channel::unbounded();
+    let (_rj_tx, rj_rx) = crossbeam::channel::unbounded();
+    let handle = thread::spawn(move || {
+        let mut sn = sn;
+        let crash = AtomicBool::new(false);
+        let stop = AtomicBool::new(false);
+        sn.run(&ops_rx, peers, &pj_rx, &rj_rx, &crash, &stop)
+    });
+    NodeHandle {
+        ops_tx,
+        peer_joins: pj_tx,
+        handle,
+    }
+}
+
+/// The first warehouse the map places on `node`.
+fn warehouse_on(map: &ShardMap, node: u32) -> i64 {
+    (1..).find(|&w| map.node_of(w) == node).unwrap()
+}
+
+fn order(w: i64, supply: Vec<i64>) -> NewOrderParams {
+    let lines = supply
+        .iter()
+        .enumerate()
+        .map(|(i, _)| (100 + i as i64, 5))
+        .collect();
+    NewOrderParams {
+        w_id: w,
+        d_id: 1,
+        c_id: 7,
+        lines,
+        supply,
+        entry_date: 20_260_808,
+        rollback: false,
+    }
+}
+
+/// Boots `nodes` shard nodes over a full mesh, runs `orders` to
+/// completion, and returns acked orders per second.
+fn throughput_arm(nodes: u32, orders: &[NewOrderParams]) -> f64 {
+    let map = ShardMap::new(nodes);
+    let mut mesh = shard_mesh(nodes, 1 << 10);
+    let mut handles = Vec::new();
+    let mut slots = Vec::new();
+    for node in 0..nodes {
+        let sn = ShardNode::new(
+            node,
+            map,
+            Arc::new(shard_store()),
+            Arc::new(Wal::new()),
+            bench_cfg(),
+            Arc::new(ShardMetrics::default()),
+        );
+        let h = launch(sn, std::mem::take(&mut mesh[node as usize]));
+        slots.push(h.ops_tx.clone());
+        handles.push(h);
+    }
+    let router = ShardRouter::new(map, slots);
+    let start = Instant::now();
+    let stats = drive_orders(
+        &router,
+        orders,
+        WINDOW,
+        Duration::from_secs(10),
+        Duration::from_secs(120),
+    );
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(stats.failed, 0, "arm acked an order as failed");
+    assert_eq!(
+        stats.acked_ids.len(),
+        orders.len(),
+        "arm finished without every order acked"
+    );
+    drop(router);
+    for h in handles {
+        drop(h.ops_tx);
+        assert_eq!(h.handle.join().unwrap(), NodeExit::Stopped);
+    }
+    orders.len() as f64 / secs
+}
+
+/// All-local orders spread evenly over the cluster's warehouses.
+fn local_orders(map: &ShardMap, total: usize) -> Vec<NewOrderParams> {
+    let homes: Vec<i64> = (0..map.nodes()).map(|n| warehouse_on(map, n)).collect();
+    (0..total)
+        .map(|i| {
+            let w = homes[i % homes.len()];
+            order(w, vec![w, w])
+        })
+        .collect()
+}
+
+/// Every order homes alternately on each of 2 nodes and carries one
+/// remote supply line: the all-2PC stream.
+fn cross_orders(map: &ShardMap, total: usize) -> Vec<NewOrderParams> {
+    let w0 = warehouse_on(map, 0);
+    let w1 = warehouse_on(map, 1);
+    (0..total)
+        .map(|i| {
+            let (home, other) = if i.is_multiple_of(2) {
+                (w0, w1)
+            } else {
+                (w1, w0)
+            };
+            order(home, vec![home, other])
+        })
+        .collect()
+}
+
+/// Runs the crash-recovery arm: the coordinator of an all-cross stream
+/// crashes after logging its first commit decision, a replacement
+/// recovers from the durable WAL, links are rebuilt, the driver
+/// re-submits. Returns `(stall ms, lost acked orders)` — lost counts
+/// acked ids that are NOT fully visible across the surviving stores.
+fn crash_arm() -> (f64, u64) {
+    let map = ShardMap::new(2);
+    let w0 = warehouse_on(&map, 0);
+    let w1 = warehouse_on(&map, 1);
+    let orders: Vec<_> = (0..CRASH_OPS).map(|_| order(w0, vec![w0, w1])).collect();
+
+    let mut mesh = shard_mesh(2, 1 << 10);
+    let wal0 = Arc::new(Wal::new());
+    let crash_cfg = ShardConfig {
+        crash_at: Some(CrashPoint::AfterDecideLogged),
+        ..bench_cfg()
+    };
+    let n0 = launch(
+        ShardNode::new(
+            0,
+            map,
+            Arc::new(shard_store()),
+            Arc::clone(&wal0),
+            crash_cfg,
+            Arc::new(ShardMetrics::default()),
+        ),
+        std::mem::take(&mut mesh[0]),
+    );
+    let store1 = Arc::new(shard_store());
+    let n1 = launch(
+        ShardNode::new(
+            1,
+            map,
+            Arc::clone(&store1),
+            Arc::new(Wal::new()),
+            bench_cfg(),
+            Arc::new(ShardMetrics::default()),
+        ),
+        std::mem::take(&mut mesh[1]),
+    );
+
+    let router = Arc::new(ShardRouter::new(
+        map,
+        vec![n0.ops_tx.clone(), n1.ops_tx.clone()],
+    ));
+    let driver = {
+        let router = Arc::clone(&router);
+        let orders = orders.clone();
+        thread::spawn(move || {
+            drive_orders(
+                &router,
+                &orders,
+                WINDOW,
+                Duration::from_millis(400),
+                Duration::from_secs(120),
+            )
+        })
+    };
+
+    // The coordinator vanishes on order #1; recover a replacement from
+    // its durable log and splice it back into mesh and router.
+    assert_eq!(n0.handle.join().unwrap(), NodeExit::Crashed);
+    drop(n0.ops_tx);
+    let records = Wal::deserialize(wal0.serialize()).unwrap();
+    let store0b = Arc::new(shard_store());
+    let wal0b = Arc::new(Wal::new());
+    wal0b.extend_shipped(&records);
+    let recovered = ShardNode::recover(
+        0,
+        map,
+        Arc::clone(&store0b),
+        wal0b,
+        bench_cfg(),
+        Arc::new(ShardMetrics::default()),
+    )
+    .unwrap();
+    let (end0, end1) = peer_pair(LinkSpec::instant(), 1 << 10, 0, 1);
+    assert!(n1.peer_joins.send(end1).is_ok());
+    let n0b = launch(recovered, vec![end0]);
+    router.reroute(0, n0b.ops_tx.clone());
+
+    let stats = driver.join().unwrap();
+    assert_eq!(stats.failed, 0, "an order was acked as failed");
+    assert_eq!(
+        stats.acked_ids.len(),
+        orders.len(),
+        "driver finished without every order acked (resubmits={})",
+        stats.resubmits
+    );
+
+    drop(router);
+    drop(n0b.ops_tx);
+    drop(n1.ops_tx);
+    assert_eq!(n0b.handle.join().unwrap(), NodeExit::Stopped);
+    assert_eq!(n1.handle.join().unwrap(), NodeExit::Stopped);
+
+    // The headline audit: acked ⇒ fully visible across the survivors.
+    let stores = vec![store0b, store1];
+    let mut lost = 0u64;
+    for &id in &stats.acked_ids {
+        let p = &orders[(id - 1) as usize];
+        if audit_order(&stores, &map, p, id) != OrderVisibility::Full {
+            lost += 1;
+        }
+    }
+    (stats.max_ack_gap.as_secs_f64() * 1e3, lost)
+}
+
+fn main() {
+    figure_header(
+        "Ablation: sharded TPC-C scale-out, 2PC cost, crash recovery",
+        "New-orders routed to their home shard over modeled links.\n\
+         scale-N = all-local orders on N nodes, commits latency-bound by\n\
+         the modeled group-commit fsync; single/cross = 2 nodes, all\n\
+         single-shard vs all cross-shard (presumed-abort 2PC); crash =\n\
+         coordinator dies after logging its first commit decision, a\n\
+         replacement recovers from the WAL. Gated on scale-out paying\n\
+         off, on 2PC costing something, and on zero lost acked orders.",
+    );
+
+    let mut scale = [Vec::new(), Vec::new(), Vec::new()];
+    let mut single = Vec::new();
+    let mut cross = Vec::new();
+    let mut stalls = Vec::new();
+    let mut losts = Vec::new();
+    for _ in 0..REPS {
+        for (slot, nodes) in [1u32, 2, 4].into_iter().enumerate() {
+            let map = ShardMap::new(nodes);
+            scale[slot].push(throughput_arm(nodes, &local_orders(&map, LOAD_OPS)));
+        }
+        let map = ShardMap::new(2);
+        single.push(throughput_arm(2, &local_orders(&map, LOAD_OPS)));
+        cross.push(throughput_arm(2, &cross_orders(&map, LOAD_OPS)));
+        let (stall_ms, lost) = crash_arm();
+        stalls.push(stall_ms);
+        losts.push(lost);
+    }
+    // Zero lost acked orders is an invariant, not a distribution: every
+    // rep must produce the identical count, and that count must be zero.
+    assert!(
+        losts.windows(2).all(|w| w[0] == w[1]),
+        "lost-order count not identical across reps: {losts:?}"
+    );
+    assert_eq!(losts[0], 0, "crash arm lost acked orders: {losts:?}");
+
+    let scale_tx: Vec<f64> = scale.iter().map(|reps| median(reps.clone())).collect();
+    let single_tx = median(single.clone());
+    let cross_tx = median(cross.clone());
+    let stall_ms = median(stalls.clone());
+    let ratio_2v1 = scale_tx[1] / scale_tx[0];
+    let ratio_4v1 = scale_tx[2] / scale_tx[0];
+    let ratio_single = single_tx / cross_tx;
+    let zero_lost = 1.0 / (1.0 + losts[0] as f64);
+
+    let widths = [16usize, 16, 14];
+    row(
+        &["arm".into(), "acked orders/s".into(), "stall ms".into()],
+        &widths,
+    );
+    for (label, tx, stall) in [
+        ("1 node", scale_tx[0], String::new()),
+        ("2 nodes", scale_tx[1], String::new()),
+        ("4 nodes", scale_tx[2], String::new()),
+        ("single-shard", single_tx, String::new()),
+        ("sync-2PC", cross_tx, String::new()),
+        ("crash+recover", cross_tx, format!("{stall_ms:.1}")),
+    ] {
+        row(&[label.into(), format!("{tx:.0}"), stall], &widths);
+    }
+    println!();
+    println!(
+        "2v1: {ratio_2v1:.2}x   4v1: {ratio_4v1:.2}x   single/2PC: {ratio_single:.2}x   \
+         lost acked orders: {} (every rep)",
+        losts[0]
+    );
+    println!("(acceptance: 2v1 and single/2PC >= 1.0 within gate tolerance; lost == 0 exactly)");
+
+    let pairs: Vec<(String, f64)> = vec![
+        ("shard_scale1_tx_ops_s".into(), scale_tx[0]),
+        ("shard_scale2_tx_ops_s".into(), scale_tx[1]),
+        ("shard_scale4_tx_ops_s".into(), scale_tx[2]),
+        ("shard_singleshard_tx_ops_s".into(), single_tx),
+        ("shard_sync2pc_tx_ops_s".into(), cross_tx),
+        ("shard_crash_stall_ms".into(), stall_ms),
+        ("shard_lost_orders".into(), losts[0] as f64),
+        ("ratio_shard_scaleout_2v1".into(), ratio_2v1),
+        ("ratio_shard_scaleout_4v1".into(), ratio_4v1),
+        ("ratio_shard_singleshard_vs_sync2pc_tx".into(), ratio_single),
+        ("ratio_shard_zero_lost".into(), zero_lost),
+    ];
+    let out = bench_json_path("BENCH_SHARD_JSON", "BENCH_shard.json");
+    write_flat_json(&out, &pairs);
+    println!();
+    println!("wrote {}", out.display());
+}

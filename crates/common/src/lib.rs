@@ -13,6 +13,8 @@
 //!   and certified columnar replies,
 //! * [`repl`] — WAL records and the replication wire protocol that ships
 //!   them from a primary storage AC to its follower,
+//! * [`commit`] — the two-phase-commit wire protocol that makes
+//!   cross-shard transactions atomic over modeled links,
 //! * [`ids`] — strongly typed identifiers used across the system,
 //! * [`fxmap`] — FxHash-style fast hash maps for hot lookup paths,
 //! * [`dist`] — Zipfian / hot-spot / NURand distributions for workloads,
@@ -24,6 +26,7 @@
 
 pub mod backoff;
 pub mod column;
+pub mod commit;
 pub mod dist;
 pub mod error;
 pub mod fxmap;
@@ -37,8 +40,10 @@ pub mod tuple;
 pub mod value;
 
 pub use column::{bitmap_ones, ColPredicate, Column, ColumnBatch, ColumnStore};
+pub use commit::{CommitMsg, PrepOp};
 pub use error::{DbError, DbResult};
 pub use ids::{AcId, PartitionId, QueryId, ServerId, TableId, TxnId};
+pub use metrics::RobustSnapshot;
 pub use repl::{LogOp, LogRecord, ReplMsg};
 pub use rid::Rid;
 pub use scan::{ScanError, ScanReply, ScanRequest, ScanSnapshot};

@@ -133,6 +133,105 @@ impl std::fmt::Debug for Histogram {
     }
 }
 
+macro_rules! robust_snapshot {
+    ($($(#[$doc:meta])* $field:ident,)*) => {
+        /// A uniform snapshot of every robustness counter in the system:
+        /// link fault injection, remote-scan serving and retry, WAL
+        /// replication, and two-phase commit. Each subsystem converts its
+        /// own metrics type into one of these (`FaultStats::snapshot`,
+        /// `ReplMetrics::snapshot`, ...); chaos tests [`merge`] them and
+        /// assert on one struct instead of plumbing several.
+        ///
+        /// [`merge`]: RobustSnapshot::merge
+        #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+        pub struct RobustSnapshot {
+            $($(#[$doc])* pub $field: u64,)*
+        }
+
+        impl RobustSnapshot {
+            /// Accumulates `other` into `self`, field by field (saturating,
+            /// so merged reports can never wrap).
+            pub fn merge(&mut self, other: &RobustSnapshot) {
+                $(self.$field = self.$field.saturating_add(other.$field);)*
+            }
+
+            /// Every field as a `(name, value)` pair, in declaration order.
+            pub fn fields(&self) -> Vec<(&'static str, u64)> {
+                vec![$((stringify!($field), self.$field)),*]
+            }
+
+            /// A compact one-line report of the non-zero counters, e.g.
+            /// `"frames_dropped=12 retry_attempts=3"`. Empty string when
+            /// nothing fired.
+            pub fn report(&self) -> String {
+                self.fields()
+                    .into_iter()
+                    .filter(|&(_, v)| v != 0)
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            }
+        }
+    };
+}
+
+robust_snapshot! {
+    /// Frames a faulty link delivered (possibly delayed).
+    frames_delivered,
+    /// Frames a faulty link silently dropped.
+    frames_dropped,
+    /// Frames a faulty link delayed by an injected spike.
+    frames_delayed,
+    /// Sends refused by a cut link.
+    sends_refused,
+    /// Scan replies served by a storage AC.
+    scans_served,
+    /// Scan reply frames dropped server-side before sending.
+    scan_frames_dropped,
+    /// Scan error replies sent instead of data.
+    scan_error_replies,
+    /// Remote-scan request attempts issued (first tries + retries).
+    retry_attempts,
+    /// Remote-scan attempts that hit the per-attempt deadline.
+    retry_timeouts,
+    /// Remote-scan attempts abandoned mid-stream (torn reply set).
+    retry_incomplete,
+    /// Remote-scan requests that exhausted every attempt.
+    retries_exhausted,
+    /// Transactions committed through a replicated primary.
+    repl_commits,
+    /// WAL record batches shipped primary → follower.
+    repl_batches_shipped,
+    /// Follower acks processed by a primary.
+    repl_acks,
+    /// Heartbeats sent by primaries.
+    repl_heartbeats,
+    /// Catch-up requests served (joins, rejoins, gap repairs).
+    repl_catchups,
+    /// LSN gaps a follower detected on its ship link.
+    repl_gaps,
+    /// Corrupt replication frames rejected by a follower.
+    repl_corrupt_frames,
+    /// Follower promotions (lease expiries acted on).
+    repl_promotions,
+    /// 2PC prepares sent by coordinators.
+    twopc_prepares,
+    /// 2PC no-votes received (staging refused somewhere).
+    twopc_votes_no,
+    /// 2PC commit decisions logged.
+    twopc_commits,
+    /// 2PC abort decisions logged.
+    twopc_aborts,
+    /// 2PC protocol frames retransmitted (lost or unacked).
+    twopc_retransmits,
+    /// Decision queries answered for in-doubt participants.
+    twopc_decide_queries,
+    /// In-doubt transactions resolved by the presumed-abort rule.
+    twopc_presumed_aborts,
+    /// Corrupt 2PC frames rejected by a shard node.
+    twopc_corrupt_frames,
+}
+
 /// Measures throughput over a window: `tx/s = taken / elapsed`.
 #[derive(Debug)]
 pub struct ThroughputWindow {
@@ -221,6 +320,39 @@ mod tests {
         let r = w.rate(100);
         assert!(r > 0.0);
         assert!(r < 100.0 / 0.004);
+    }
+
+    #[test]
+    fn robust_snapshot_merge_and_report() {
+        let mut a = RobustSnapshot {
+            frames_dropped: 2,
+            retry_attempts: 1,
+            ..Default::default()
+        };
+        let b = RobustSnapshot {
+            frames_dropped: 3,
+            twopc_presumed_aborts: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.frames_dropped, 5);
+        assert_eq!(a.retry_attempts, 1);
+        assert_eq!(a.twopc_presumed_aborts, 1);
+        assert_eq!(
+            a.report(),
+            "frames_dropped=5 retry_attempts=1 twopc_presumed_aborts=1"
+        );
+        assert_eq!(RobustSnapshot::default().report(), "");
+    }
+
+    #[test]
+    fn robust_snapshot_merge_saturates() {
+        let mut a = RobustSnapshot {
+            repl_commits: u64::MAX - 1,
+            ..Default::default()
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.repl_commits, u64::MAX);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use crate::commit::{decode_prep_ops_from, encode_prep_ops_into, PrepOp};
 use crate::error::{DbError, DbResult};
 use crate::ids::{PartitionId, TableId, TxnId};
 use crate::rid::Rid;
@@ -48,6 +49,10 @@ const OP_UPDATE: u8 = 1;
 const OP_COMMIT: u8 = 2;
 /// Op tag: abort.
 const OP_ABORT: u8 = 3;
+/// Op tag: 2PC prepare (staged cross-shard writes).
+const OP_PREPARE: u8 = 4;
+/// Op tag: 2PC decision.
+const OP_DECIDE: u8 = 5;
 
 /// One logged operation.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,6 +81,28 @@ pub enum LogOp {
     Commit,
     /// Transaction aborted; its earlier records are ignored by replay.
     Abort,
+    /// A cross-shard transaction's writes are staged (2PC phase one).
+    /// Logged by every participant before it votes yes, and by the
+    /// coordinator before it solicits votes, so staged state survives a
+    /// crash: recovery finds Prepare records without a matching
+    /// [`LogOp::Decide`] and re-asks `coord` for the outcome
+    /// (presumed-abort if the coordinator never logged a decision).
+    Prepare {
+        /// The coordinating shard node, for in-doubt recovery queries.
+        coord: u32,
+        /// The staged writes, replayable on decide-commit.
+        ops: Vec<PrepOp>,
+    },
+    /// The 2PC outcome for a staged transaction. On the coordinator,
+    /// `parts` lists the remote participants the decision still must
+    /// reach (re-delivery set after a coordinator crash); participants
+    /// log it with an empty `parts`.
+    Decide {
+        /// `true` = commit the staged writes, `false` = discard them.
+        commit: bool,
+        /// Remote participant nodes owed this decision (coordinator only).
+        parts: Vec<u32>,
+    },
 }
 
 /// A log record: sequence number, owning transaction, operation.
@@ -120,6 +147,19 @@ impl LogRecord {
             }
             LogOp::Commit => buf.put_u8(OP_COMMIT),
             LogOp::Abort => buf.put_u8(OP_ABORT),
+            LogOp::Prepare { coord, ops } => {
+                buf.put_u8(OP_PREPARE);
+                buf.put_u32(*coord);
+                encode_prep_ops_into(ops, buf);
+            }
+            LogOp::Decide { commit, parts } => {
+                buf.put_u8(OP_DECIDE);
+                buf.put_u8(u8::from(*commit));
+                buf.put_u32(parts.len() as u32);
+                for p in parts {
+                    buf.put_u32(*p);
+                }
+            }
         }
     }
 
@@ -162,6 +202,30 @@ impl LogRecord {
             }
             OP_COMMIT => LogOp::Commit,
             OP_ABORT => LogOp::Abort,
+            OP_PREPARE => {
+                if buf.remaining() < 4 {
+                    return Err(DbError::Codec("log prepare truncated"));
+                }
+                let coord = buf.get_u32();
+                let ops = decode_prep_ops_from(buf)?;
+                LogOp::Prepare { coord, ops }
+            }
+            OP_DECIDE => {
+                if buf.remaining() < 5 {
+                    return Err(DbError::Codec("log decide truncated"));
+                }
+                let commit = match buf.get_u8() {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(DbError::Codec("log decide flag corrupt")),
+                };
+                let n = buf.get_u32() as usize;
+                if n > buf.remaining() / 4 {
+                    return Err(DbError::Codec("log decide count exceeds payload"));
+                }
+                let parts = (0..n).map(|_| buf.get_u32()).collect();
+                LogOp::Decide { commit, parts }
+            }
             _ => return Err(DbError::Codec("unknown log op tag")),
         };
         Ok(LogRecord { lsn, txn, op })
@@ -337,6 +401,25 @@ mod tests {
                 lsn: 13,
                 txn: TxnId(4),
                 op: LogOp::Abort,
+            },
+            LogRecord {
+                lsn: 14,
+                txn: TxnId(5),
+                op: LogOp::Prepare {
+                    coord: 2,
+                    ops: vec![PrepOp {
+                        table: TableId(1),
+                        tuple: Tuple::new(vec![Value::Int(8)]),
+                    }],
+                },
+            },
+            LogRecord {
+                lsn: 15,
+                txn: TxnId(5),
+                op: LogOp::Decide {
+                    commit: true,
+                    parts: vec![0, 3],
+                },
             },
         ]
     }

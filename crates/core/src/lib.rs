@@ -21,6 +21,10 @@
 //! * [`replica`] — replicated storage ACs: WAL shipping over modeled
 //!   links, sync/async commit acks, lease-based failover, catch-up
 //!   (§2.3's fault-tolerance sketch made concrete; DESIGN.md §9),
+//! * [`shard`] — sharded multi-node TPC-C: jump-consistent warehouse
+//!   placement, cross-shard new-orders under presumed-abort 2PC over
+//!   modeled links, coordinator/participant crash recovery, and
+//!   replicated per-shard storage (DESIGN.md §10),
 //! * [`strategy`] — transaction decomposition per execution strategy.
 //!
 //! The engine executes *for real* (threads, queues, storage mutations) and
@@ -35,6 +39,7 @@ pub mod event;
 pub mod olap;
 pub mod ops;
 pub mod replica;
+pub mod shard;
 pub mod strategy;
 
 pub use engine::{AnyDbEngine, EngineConfig, PhaseResult};
@@ -42,5 +47,9 @@ pub use event::{Event, OpDone, OpEnvelope, Q3Member, TxnOp};
 pub use replica::{
     drive_inserts, recover_replica, repl_connection, run_follower, run_primary, ClientOp,
     DriveStats, FollowerExit, PrimaryExit, ReplConfig, ReplMetrics, ReplMode, Router,
+};
+pub use shard::{
+    audit_order, drive_orders, peer_pair, shard_mesh, shard_store, CrashPoint, NodeExit,
+    OrderVisibility, PeerEnd, ShardConfig, ShardMap, ShardMetrics, ShardNode, ShardOp, ShardRouter,
 };
 pub use strategy::Strategy;

@@ -39,7 +39,7 @@ use std::time::{Duration, Instant};
 
 use anydb_common::backoff::Backoff;
 use anydb_common::fxmap::{FxHashMap, FxHashSet};
-use anydb_common::metrics::Counter;
+use anydb_common::metrics::{Counter, RobustSnapshot};
 use anydb_common::scan::MSG_SCAN_ERROR;
 use anydb_common::{
     bitmap_ones, ColPredicate, ColumnBatch, DbError, DbResult, PartitionId, ScanError, ScanReply,
@@ -600,6 +600,16 @@ impl ScanServeMetrics {
             served: Counter::new(),
         }
     }
+
+    /// This serve loop's contribution to the unified robustness snapshot.
+    pub fn snapshot(&self) -> RobustSnapshot {
+        RobustSnapshot {
+            scans_served: self.served.get(),
+            scan_frames_dropped: self.dropped_frames.get(),
+            scan_error_replies: self.error_replies.get(),
+            ..Default::default()
+        }
+    }
 }
 
 /// The storage-AC side of the remote scan protocol: serves request
@@ -702,6 +712,13 @@ pub struct RetryPolicy {
     /// Per-attempt deadline: an attempt whose reply stream has not
     /// completed by then is abandoned and re-issued.
     pub deadline: Duration,
+    /// Upper bound on the deterministic jitter added before each retry.
+    /// Zero disables jitter. Concurrent requesters sharing one deadline
+    /// re-collide on a cut link forever without this — distinct seeds
+    /// de-phase their retry storms.
+    pub jitter: Duration,
+    /// Seed for the jitter sequence (pick per requester).
+    pub seed: u64,
 }
 
 impl RetryPolicy {
@@ -710,11 +727,33 @@ impl RetryPolicy {
         Self {
             attempts: 1,
             deadline,
+            jitter: Duration::ZERO,
+            seed: 0,
         }
+    }
+
+    /// The jitter slept before re-issuing after `attempt` failed
+    /// attempts: a pure splitmix-style hash of `(seed, attempt)` scaled
+    /// into `[0, jitter)`, so the sequence is reproducible per seed and
+    /// two requesters with different seeds draw unrelated delays.
+    pub fn jitter_before(&self, attempt: usize) -> Duration {
+        if self.jitter.is_zero() {
+            return Duration::ZERO;
+        }
+        let mut z = self
+            .seed
+            .wrapping_add((attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let frac = (z >> 11) as f64 / (1u64 << 53) as f64;
+        self.jitter.mul_f64(frac)
     }
 }
 
 /// What a retried scan went through (for tests and scenario audits).
+/// Passed *into* [`request_scan_with_retry`] by mutable reference so the
+/// counters survive — and accumulate across — failed calls.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ScanRetryStats {
     /// Attempts issued (1 = first try succeeded).
@@ -724,6 +763,21 @@ pub struct ScanRetryStats {
     /// Attempts whose reply stream ended incomplete (lost frames,
     /// storage-side disconnect mid-burst, torn reply bytes).
     pub incomplete: usize,
+    /// Calls that ran out of attempts entirely.
+    pub exhausted: usize,
+}
+
+impl ScanRetryStats {
+    /// This requester's contribution to the unified robustness snapshot.
+    pub fn snapshot(&self) -> RobustSnapshot {
+        RobustSnapshot {
+            retry_attempts: self.attempts as u64,
+            retry_timeouts: self.timeouts as u64,
+            retry_incomplete: self.incomplete as u64,
+            retries_exhausted: self.exhausted as u64,
+            ..Default::default()
+        }
+    }
 }
 
 /// Checks that a completed reply stream really is the whole answer: every
@@ -780,10 +834,19 @@ pub fn request_scan_with_retry(
     flow: &Flow,
     expect_partitions: Option<usize>,
     policy: RetryPolicy,
-) -> DbResult<(Vec<ScanReply>, ScanRetryStats)> {
-    let mut stats = ScanRetryStats::default();
+    stats: &mut ScanRetryStats,
+) -> DbResult<Vec<ScanReply>> {
     let mut backoff = Backoff::new();
-    for _ in 0..policy.attempts.max(1) {
+    for failed in 0..policy.attempts.max(1) {
+        if failed > 0 {
+            // De-phase concurrent requesters before re-issuing: without
+            // jitter, callers that timed out together retry together and
+            // re-collide on whatever cut them off.
+            let j = policy.jitter_before(failed);
+            if !j.is_zero() {
+                std::thread::sleep(j);
+            }
+        }
         stats.attempts += 1;
         let (mut rx, _bytes) = request_remote_scan(connect(), req, flow);
         let deadline = Instant::now() + policy.deadline;
@@ -814,12 +877,13 @@ pub fn request_scan_with_retry(
             }
         };
         match outcome {
-            AttemptOutcome::Complete => return Ok((replies, stats)),
+            AttemptOutcome::Complete => return Ok(replies),
             AttemptOutcome::TimedOut => stats.timeouts += 1,
             AttemptOutcome::Incomplete => stats.incomplete += 1,
         }
         backoff.wait();
     }
+    stats.exhausted += 1;
     Err(DbError::Timeout("remote scan retries exhausted"))
 }
 
@@ -1891,6 +1955,7 @@ mod tests {
             &flow,
             None,
             RetryPolicy::single(Duration::from_secs(5)),
+            &mut ScanRetryStats::default(),
         );
         // That retry call used a throwaway connection (storage side
         // dropped): it must fail cleanly, not hang.
@@ -1939,13 +2004,23 @@ mod tests {
         let policy = RetryPolicy {
             attempts: 3,
             deadline: Duration::from_secs(10),
+            jitter: Duration::from_millis(2),
+            seed: 0xA11CE,
         };
-        let (replies, stats) =
-            request_scan_with_retry(connect, &req, &Flow::identity(), Some(parts), policy)
-                .expect("second attempt must complete");
+        let mut stats = ScanRetryStats::default();
+        let replies = request_scan_with_retry(
+            connect,
+            &req,
+            &Flow::identity(),
+            Some(parts),
+            policy,
+            &mut stats,
+        )
+        .expect("second attempt must complete");
         assert_eq!(stats.attempts, 2);
         assert_eq!(stats.incomplete, 1);
         assert_eq!(stats.timeouts, 0);
+        assert_eq!(stats.exhausted, 0);
         // The retried answer is the full certified scan.
         let total: usize = replies.iter().map(|r| r.batch.rows()).sum();
         assert_eq!(total, db.orders.row_count());
@@ -1981,15 +2056,48 @@ mod tests {
         let policy = RetryPolicy {
             attempts: 2,
             deadline: Duration::from_millis(50),
+            jitter: Duration::from_millis(2),
+            seed: 7,
         };
-        let got = request_scan_with_retry(connect, &req, &Flow::identity(), None, policy);
+        let mut stats = ScanRetryStats::default();
+        let got =
+            request_scan_with_retry(connect, &req, &Flow::identity(), None, policy, &mut stats);
         assert_eq!(got, Err(DbError::Timeout("remote scan retries exhausted")));
+        // The stats out-parameter survives the error path — this is why
+        // it is an out-parameter: the old return-tuple shape lost every
+        // counter exactly when a scenario audit needed them most.
+        assert_eq!(stats.attempts, 2);
+        assert_eq!(stats.timeouts, 2);
+        assert_eq!(stats.exhausted, 1);
+        assert_eq!(stats.snapshot().retries_exhausted, 1);
         stop.store(true, std::sync::atomic::Ordering::Relaxed);
         servers.append(&mut conns.borrow_mut());
         for s in servers {
             s.join().unwrap();
         }
         let _ = db; // table unused: nothing was ever served
+    }
+
+    #[test]
+    fn retry_jitter_is_deterministic_per_seed_and_bounded() {
+        let policy = |seed| RetryPolicy {
+            attempts: 5,
+            deadline: Duration::from_secs(1),
+            jitter: Duration::from_millis(10),
+            seed,
+        };
+        let a: Vec<_> = (1..5).map(|i| policy(1).jitter_before(i)).collect();
+        let b: Vec<_> = (1..5).map(|i| policy(1).jitter_before(i)).collect();
+        assert_eq!(a, b, "same seed, same jitter sequence");
+        let c: Vec<_> = (1..5).map(|i| policy(2).jitter_before(i)).collect();
+        assert_ne!(a, c, "different seeds must de-phase");
+        for d in a {
+            assert!(d < Duration::from_millis(10), "jitter {d:?} out of bound");
+        }
+        assert_eq!(
+            RetryPolicy::single(Duration::from_secs(1)).jitter_before(3),
+            Duration::ZERO
+        );
     }
 
     #[test]

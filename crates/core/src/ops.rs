@@ -277,6 +277,7 @@ mod tests {
                 d_id: 1,
                 c_id: 1,
                 lines: vec![(1, 1)],
+                supply: vec![1],
                 entry_date: 20_200_101,
                 rollback: false,
             }),
@@ -292,6 +293,7 @@ mod tests {
                 d_id: 1,
                 c_id: 1,
                 lines: vec![(1, 1)],
+                supply: vec![1],
                 entry_date: 20_200_101,
                 rollback: true,
             }),

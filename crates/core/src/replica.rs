@@ -42,7 +42,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use anydb_common::metrics::Counter;
+use anydb_common::metrics::{Counter, RobustSnapshot};
 use anydb_common::repl::ReplMsg;
 use anydb_common::{ColumnDef, DataType, Schema};
 use anydb_common::{DbError, DbResult, TableId, Tuple, TxnId, Value};
@@ -158,6 +158,21 @@ impl ReplMetrics {
     pub fn watermark(&self) -> u64 {
         self.replicated_lsn.load(Ordering::Relaxed)
     }
+
+    /// This group's contribution to the unified robustness snapshot.
+    pub fn snapshot(&self) -> RobustSnapshot {
+        RobustSnapshot {
+            repl_commits: self.commits.get(),
+            repl_batches_shipped: self.batches_shipped.get(),
+            repl_acks: self.acks.get(),
+            repl_heartbeats: self.heartbeats.get(),
+            repl_catchups: self.catchups.get(),
+            repl_gaps: self.gaps.get(),
+            repl_corrupt_frames: self.corrupt_frames.get(),
+            repl_promotions: self.promotions.get(),
+            ..Default::default()
+        }
+    }
 }
 
 /// One client operation: insert `tuple` into `table`, answer on `done`
@@ -261,17 +276,18 @@ pub enum FollowerExit {
     Stopped,
 }
 
-struct FollowerSlot {
-    tx: LinkSender<Bytes>,
-    rx: LinkReceiver<Bytes>,
-    acked: u64,
-    dead: bool,
+pub(crate) struct FollowerSlot {
+    pub(crate) tx: LinkSender<Bytes>,
+    pub(crate) rx: LinkReceiver<Bytes>,
+    pub(crate) acked: u64,
+    pub(crate) dead: bool,
 }
 
 /// Ships `records` to one follower as [`ReplMsg::Records`] frames,
 /// chunked at transaction boundaries so every frame replays standalone.
-/// Returns `false` if the link died.
-fn ship_records(
+/// Returns `false` if the link died. Shared with the shard tier, whose
+/// nodes ship their WALs (2PC records included) the same way.
+pub(crate) fn ship_records(
     slot: &mut FollowerSlot,
     records: &[LogRecord],
     chunk_ops: usize,

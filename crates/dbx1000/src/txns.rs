@@ -340,6 +340,7 @@ mod tests {
             d_id: 1,
             c_id: 1,
             lines: vec![(1, 2), (2, 3)],
+            supply: vec![2, 2],
             entry_date: 20_200_102,
             rollback: false,
         };
@@ -364,6 +365,7 @@ mod tests {
             d_id: 2,
             c_id: 1,
             lines: vec![(1, 1)],
+            supply: vec![1],
             entry_date: 20_200_102,
             rollback: true,
         };

@@ -28,6 +28,7 @@ pub use index::{HashIndex, OrderedIndex, SecondaryIndexSpec};
 pub use key::{IndexKey, KeyValue};
 pub use partition::{Partition, ScanSnapshot};
 pub use record::Row;
+pub use recovery::{replay, replay_records, twopc_scan, PcTxn, RecoveryStats};
 pub use store::{Partitioner, Store};
 pub use table::{SharedScanStats, Table};
 pub use wal::{LogOp, LogRecord, Wal};

@@ -6,7 +6,8 @@
 //! transactions are skipped; updates are full after-images, so replay is
 //! idempotent.
 
-use anydb_common::fxmap::FxHashSet;
+use anydb_common::commit::PrepOp;
+use anydb_common::fxmap::{FxHashMap, FxHashSet};
 use anydb_common::{DbError, DbResult, Rid, TxnId};
 
 use crate::key::IndexKey;
@@ -101,10 +102,84 @@ pub fn replay_records(records: &[LogRecord], store: &Store) -> DbResult<Recovery
                 .map_err(|_| DbError::CorruptLog(r.lsn))?;
                 stats.updates += 1;
             }
-            LogOp::Commit | LogOp::Abort => {}
+            // 2PC bookkeeping records carry no redo work of their own:
+            // the writes a Decide(commit) authorizes are re-logged as
+            // ordinary Insert records when applied, so redo replays those.
+            // [`twopc_scan`] is the pass that interprets these records.
+            LogOp::Commit | LogOp::Abort | LogOp::Prepare { .. } | LogOp::Decide { .. } => {}
         }
     }
     Ok(stats)
+}
+
+/// The recovered 2PC state of one distributed transaction, extracted
+/// from a WAL by [`twopc_scan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcTxn {
+    /// The distributed transaction.
+    pub txn: TxnId,
+    /// Coordinating node recorded in the (latest) Prepare record.
+    pub coord: u32,
+    /// The staged writes from that Prepare record.
+    pub ops: Vec<PrepOp>,
+    /// The decision, if one was logged after the latest Prepare. `None`
+    /// means in-doubt: a participant must re-ask `coord`, a coordinator
+    /// presumes abort.
+    pub decision: Option<bool>,
+    /// Remote participants the decision was still owed to (from the
+    /// coordinator's Decide record; empty on participants).
+    pub parts: Vec<u32>,
+    /// Whether the staged writes were already applied (a Commit record
+    /// for the transaction follows the decision). A decided-commit
+    /// transaction with `applied == false` crashed between logging the
+    /// decision and applying it — recovery must apply `ops` now.
+    pub applied: bool,
+}
+
+/// Scans a log for two-phase-commit state: for every transaction with a
+/// Prepare record, the latest staged ops, the decision (if logged), and
+/// whether the decided writes were applied. A Prepare *after* a Decide
+/// supersedes it (a fresh attempt under a reused transaction id), which
+/// is why this is a single ordered pass rather than a set union.
+pub fn twopc_scan(records: &[LogRecord]) -> Vec<PcTxn> {
+    let mut order: Vec<TxnId> = Vec::new();
+    let mut state: FxHashMap<TxnId, PcTxn> = FxHashMap::default();
+    for r in records {
+        match &r.op {
+            LogOp::Prepare { coord, ops } => {
+                if !state.contains_key(&r.txn) {
+                    order.push(r.txn);
+                }
+                state.insert(
+                    r.txn,
+                    PcTxn {
+                        txn: r.txn,
+                        coord: *coord,
+                        ops: ops.clone(),
+                        decision: None,
+                        parts: Vec::new(),
+                        applied: false,
+                    },
+                );
+            }
+            LogOp::Decide { commit, parts } => {
+                if let Some(pc) = state.get_mut(&r.txn) {
+                    pc.decision = Some(*commit);
+                    pc.parts = parts.clone();
+                    pc.applied = false;
+                }
+            }
+            LogOp::Commit => {
+                if let Some(pc) = state.get_mut(&r.txn) {
+                    if pc.decision.is_some() {
+                        pc.applied = true;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    order.into_iter().filter_map(|t| state.remove(&t)).collect()
 }
 
 #[cfg(test)]
@@ -350,6 +425,177 @@ mod tests {
         let live_cols = scan(&t);
         assert_eq!(live_cols.rows(), 50);
         assert_eq!(scan(&rt), live_cols, "mirror rebuilt from the log");
+    }
+
+    fn prep_ops(id: i64) -> Vec<PrepOp> {
+        vec![PrepOp {
+            table: TableId(0),
+            tuple: tuple(id, id * 10),
+        }]
+    }
+
+    #[test]
+    fn twopc_records_replay_twice_without_side_effects() {
+        // Satellite: double-replay idempotence over Prepare/Decide. A log
+        // holding the full 2PC lifecycle of one committed cross-shard
+        // transaction — Prepare, Decide, then the applied Insert+Commit —
+        // replays into the same store twice with identical visible state,
+        // and the 2PC records themselves redo nothing.
+        let wal = Wal::new();
+        wal.append(
+            TxnId(1),
+            LogOp::Prepare {
+                coord: 0,
+                ops: prep_ops(1),
+            },
+        );
+        wal.append(
+            TxnId(1),
+            LogOp::Decide {
+                commit: true,
+                parts: vec![1],
+            },
+        );
+        wal.append(
+            TxnId(1),
+            LogOp::Insert {
+                table: TableId(0),
+                partition: PartitionId(0),
+                slot: 0,
+                tuple: tuple(1, 10),
+            },
+        );
+        wal.append(TxnId(1), LogOp::Commit);
+        // And one staged-but-undecided transaction: replay must not leak
+        // its ops into the store on either pass.
+        wal.append(
+            TxnId(2),
+            LogOp::Prepare {
+                coord: 1,
+                ops: prep_ops(2),
+            },
+        );
+
+        let store = fresh_store();
+        let first = replay(&wal, &store).unwrap();
+        assert_eq!(first.committed, 1);
+        assert_eq!(first.skipped, 1, "staged txn counted as in-flight");
+        assert_eq!(first.inserts, 1);
+        let second = replay(&wal, &store).unwrap();
+        assert_eq!(second.inserts, 0);
+        assert_eq!(second.redundant_inserts, 1);
+        let t = store.table(TableId(0)).unwrap();
+        assert_eq!(t.row_count(), 1, "double replay appended no ghost");
+        let (got, _) = t.read(Rid::new(TableId(0), PartitionId(0), 0)).unwrap();
+        assert_eq!(got, tuple(1, 10));
+
+        // The serialized round-trip carries the 2PC records intact.
+        let from_bytes = Wal::deserialize(wal.serialize()).unwrap();
+        assert_eq!(from_bytes, wal.snapshot());
+    }
+
+    #[test]
+    fn twopc_scan_classifies_every_lifecycle_stage() {
+        let wal = Wal::new();
+        // txn 1: decided commit and fully applied.
+        wal.append(
+            TxnId(1),
+            LogOp::Prepare {
+                coord: 0,
+                ops: prep_ops(1),
+            },
+        );
+        wal.append(
+            TxnId(1),
+            LogOp::Decide {
+                commit: true,
+                parts: vec![2],
+            },
+        );
+        wal.append(
+            TxnId(1),
+            LogOp::Insert {
+                table: TableId(0),
+                partition: PartitionId(0),
+                slot: 0,
+                tuple: tuple(1, 10),
+            },
+        );
+        wal.append(TxnId(1), LogOp::Commit);
+        // txn 2: decided commit but the crash hit before the apply.
+        wal.append(
+            TxnId(2),
+            LogOp::Prepare {
+                coord: 0,
+                ops: prep_ops(2),
+            },
+        );
+        wal.append(
+            TxnId(2),
+            LogOp::Decide {
+                commit: true,
+                parts: Vec::new(),
+            },
+        );
+        // txn 3: staged, in doubt (no decision).
+        wal.append(
+            TxnId(3),
+            LogOp::Prepare {
+                coord: 7,
+                ops: prep_ops(3),
+            },
+        );
+        // txn 4: decided abort.
+        wal.append(
+            TxnId(4),
+            LogOp::Prepare {
+                coord: 0,
+                ops: prep_ops(4),
+            },
+        );
+        wal.append(
+            TxnId(4),
+            LogOp::Decide {
+                commit: false,
+                parts: Vec::new(),
+            },
+        );
+        // txn 5: aborted first attempt, then a fresh Prepare supersedes
+        // the old decision — it is in doubt again.
+        wal.append(
+            TxnId(5),
+            LogOp::Prepare {
+                coord: 1,
+                ops: prep_ops(5),
+            },
+        );
+        wal.append(
+            TxnId(5),
+            LogOp::Decide {
+                commit: false,
+                parts: Vec::new(),
+            },
+        );
+        wal.append(
+            TxnId(5),
+            LogOp::Prepare {
+                coord: 1,
+                ops: prep_ops(50),
+            },
+        );
+
+        let scan = twopc_scan(&wal.snapshot());
+        assert_eq!(scan.len(), 5);
+        assert_eq!(scan[0].decision, Some(true));
+        assert!(scan[0].applied);
+        assert_eq!(scan[0].parts, vec![2]);
+        assert_eq!(scan[1].decision, Some(true));
+        assert!(!scan[1].applied, "crash before apply must be visible");
+        assert_eq!(scan[2].decision, None);
+        assert_eq!(scan[2].coord, 7);
+        assert_eq!(scan[3].decision, Some(false));
+        assert_eq!(scan[4].decision, None, "re-prepare supersedes decide");
+        assert_eq!(scan[4].ops, prep_ops(50));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! applies whatever bytes a faulty link delivers; its only defenses are
 //! `DbError` rejections.
 
+use anydb_common::commit::PrepOp;
 use anydb_common::repl::{LogOp, ReplMsg};
 use anydb_common::{DbError, PartitionId, Rid, TableId, Tuple, TxnId, Value};
 use anydb_storage::Wal;
@@ -12,12 +13,13 @@ use bytes::{Buf, Bytes};
 use proptest::prelude::*;
 
 /// Builds a log of `n` records whose shapes are driven by `shape_seed`,
-/// mixing all four ops and both tuple value types.
+/// mixing all six ops (including the 2PC `Prepare`/`Decide` records a
+/// sharded node logs) and both tuple value types.
 fn build_wal(n: usize, shape_seed: u64) -> Wal {
     let wal = Wal::new();
     for i in 0..n {
         let txn = TxnId((shape_seed ^ i as u64) % 7);
-        let op = match (shape_seed.wrapping_mul(31).wrapping_add(i as u64)) % 4 {
+        let op = match (shape_seed.wrapping_mul(31).wrapping_add(i as u64)) % 6 {
             0 => LogOp::Insert {
                 table: TableId((i % 3) as u32),
                 partition: PartitionId((i % 2) as u32),
@@ -29,7 +31,20 @@ fn build_wal(n: usize, shape_seed: u64) -> Wal {
                 after: Tuple::new(vec![Value::Null, Value::Float(i as f64)]),
             },
             2 => LogOp::Commit,
-            _ => LogOp::Abort,
+            3 => LogOp::Abort,
+            4 => LogOp::Prepare {
+                coord: (i % 4) as u32,
+                ops: (0..i % 3)
+                    .map(|k| PrepOp {
+                        table: TableId(k as u32),
+                        tuple: Tuple::new(vec![Value::Int(k as i64), Value::Null]),
+                    })
+                    .collect(),
+            },
+            _ => LogOp::Decide {
+                commit: i.is_multiple_of(2),
+                parts: (0..i % 3).map(|k| k as u32).collect(),
+            },
         };
         wal.append(txn, op);
     }

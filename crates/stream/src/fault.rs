@@ -29,6 +29,7 @@
 
 use std::time::{Duration, Instant};
 
+use anydb_common::metrics::RobustSnapshot;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -128,6 +129,20 @@ pub struct FaultStats {
     pub delayed: u64,
     /// Send attempts refused because the link was cut.
     pub refused: u64,
+}
+
+impl FaultStats {
+    /// This link direction's contribution to the unified robustness
+    /// snapshot (see [`RobustSnapshot::merge`]).
+    pub fn snapshot(&self) -> RobustSnapshot {
+        RobustSnapshot {
+            frames_delivered: self.delivered,
+            frames_dropped: self.dropped,
+            frames_delayed: self.delayed,
+            sends_refused: self.refused,
+            ..Default::default()
+        }
+    }
 }
 
 /// The armed, stateful form of a [`FaultSpec`].

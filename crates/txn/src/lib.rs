@@ -11,6 +11,8 @@
 //!   serialized by consistent event order, not by blocking synchronization,
 //! * [`history`] — operation histories and a conflict-graph
 //!   serializability checker used throughout the test suites,
+//! * [`twopc`] — pure two-phase-commit coordinator state (vote
+//!   collection, retransmission timers) driven by the shard node loop,
 //! * [`ts`] — timestamp/transaction-id oracles.
 
 pub mod history;
@@ -18,9 +20,11 @@ pub mod lock;
 pub mod occ;
 pub mod sequencer;
 pub mod ts;
+pub mod twopc;
 
 pub use history::{History, Op};
 pub use lock::{LockManager, LockMode, LockPolicy};
 pub use occ::OccManager;
 pub use sequencer::{OrderGate, SeqNo, Sequencer};
 pub use ts::TxnIdGen;
+pub use twopc::{CoordVotes, Retransmit};

@@ -1,0 +1,157 @@
+//! Pure two-phase-commit coordinator state: vote collection and
+//! retransmission timers, with no I/O so every transition is unit
+//! testable. The shard node loop (`anydb_core::shard`) drives these
+//! against real links; the protocol itself is documented in DESIGN.md
+//! §10 and the wire messages live in `anydb_common::commit`.
+
+use std::time::{Duration, Instant};
+
+use anydb_common::fxmap::FxHashSet;
+
+/// Vote collection for one distributed transaction at its coordinator.
+///
+/// Votes are idempotent (a retransmitted Prepare provokes a duplicate
+/// Vote, which must not double-count) and a single no-vote is final:
+/// once any participant refuses, the outcome is abort no matter what
+/// arrives later.
+#[derive(Debug, Clone)]
+pub struct CoordVotes {
+    participants: Vec<u32>,
+    yes: FxHashSet<u32>,
+    refused: bool,
+}
+
+impl CoordVotes {
+    /// Starts collecting votes from `participants` (remote nodes only —
+    /// the coordinator's own staging is its implicit yes).
+    pub fn new(participants: Vec<u32>) -> Self {
+        Self {
+            participants,
+            yes: FxHashSet::default(),
+            refused: false,
+        }
+    }
+
+    /// The remote participants of this transaction.
+    pub fn participants(&self) -> &[u32] {
+        &self.participants
+    }
+
+    /// Records a vote from `node`. Unknown nodes and duplicates are
+    /// absorbed silently (retransmission makes duplicates routine).
+    pub fn record(&mut self, node: u32, yes: bool) {
+        if !self.participants.contains(&node) {
+            return;
+        }
+        if yes {
+            self.yes.insert(node);
+        } else {
+            self.refused = true;
+        }
+    }
+
+    /// Nodes that have not voted yes yet (the Prepare retransmission
+    /// set while the outcome is open).
+    pub fn unvoted(&self) -> Vec<u32> {
+        self.participants
+            .iter()
+            .copied()
+            .filter(|n| !self.yes.contains(n))
+            .collect()
+    }
+
+    /// The decision, if one is forced: `Some(false)` as soon as any
+    /// participant refuses, `Some(true)` once every participant voted
+    /// yes, `None` while votes are still outstanding.
+    pub fn decision(&self) -> Option<bool> {
+        if self.refused {
+            Some(false)
+        } else if self.yes.len() == self.participants.len() {
+            Some(true)
+        } else {
+            None
+        }
+    }
+}
+
+/// A retransmission timer: fires at most once per `every`, starting one
+/// period after creation (the original send covers the first period).
+#[derive(Debug, Clone)]
+pub struct Retransmit {
+    every: Duration,
+    last: Instant,
+}
+
+impl Retransmit {
+    /// A timer whose first due time is `now + every`.
+    pub fn new(every: Duration, now: Instant) -> Self {
+        Self { every, last: now }
+    }
+
+    /// True (and re-arms) if a full period elapsed since the last fire.
+    /// Callers re-send whatever is still outstanding when this trips.
+    pub fn due(&mut self, now: Instant) -> bool {
+        if now.duration_since(self.last) >= self.every {
+            self.last = now;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unanimous_yes_commits() {
+        let mut v = CoordVotes::new(vec![1, 2]);
+        assert_eq!(v.decision(), None);
+        v.record(1, true);
+        assert_eq!(v.decision(), None);
+        assert_eq!(v.unvoted(), vec![2]);
+        v.record(2, true);
+        assert_eq!(v.decision(), Some(true));
+        assert!(v.unvoted().is_empty());
+    }
+
+    #[test]
+    fn a_single_no_is_final() {
+        let mut v = CoordVotes::new(vec![1, 2, 3]);
+        v.record(2, false);
+        assert_eq!(v.decision(), Some(false));
+        // Later yes votes cannot resurrect the transaction.
+        v.record(1, true);
+        v.record(3, true);
+        assert_eq!(v.decision(), Some(false));
+    }
+
+    #[test]
+    fn duplicate_and_stray_votes_are_absorbed() {
+        let mut v = CoordVotes::new(vec![1]);
+        v.record(1, true);
+        v.record(1, true); // retransmitted Prepare → duplicate Vote
+        v.record(9, false); // not a participant
+        assert_eq!(v.decision(), Some(true));
+    }
+
+    #[test]
+    fn no_participants_is_an_immediate_commit() {
+        // A purely local transaction that went through the 2PC path
+        // anyway has nothing to wait for.
+        assert_eq!(CoordVotes::new(Vec::new()).decision(), Some(true));
+    }
+
+    #[test]
+    fn retransmit_fires_once_per_period() {
+        let t0 = Instant::now();
+        let mut r = Retransmit::new(Duration::from_millis(10), t0);
+        assert!(!r.due(t0));
+        assert!(!r.due(t0 + Duration::from_millis(9)));
+        assert!(r.due(t0 + Duration::from_millis(10)));
+        // Re-armed: not due again until another full period passes.
+        assert!(!r.due(t0 + Duration::from_millis(19)));
+        assert!(r.due(t0 + Duration::from_millis(25)));
+    }
+}

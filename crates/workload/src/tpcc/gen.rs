@@ -54,6 +54,11 @@ pub struct NewOrderParams {
     pub c_id: i64,
     /// `(item id, quantity)` per line.
     pub lines: Vec<(i64, i64)>,
+    /// Supply warehouse per line, parallel to `lines`. Equal to `w_id`
+    /// for home-supplied lines; a remote warehouse makes the new-order a
+    /// *cross-warehouse* transaction (TPC-C §2.4.1.5 models 1% remote
+    /// lines; the sharded engine's 2PC path is exercised through this).
+    pub supply: Vec<i64>,
     /// Entry date (yyyymmdd).
     pub entry_date: i64,
     /// TPC-C §2.4.1.4: 1% of new-orders carry an invalid item and must
@@ -134,6 +139,7 @@ pub struct NewOrderGen {
     warehouse_dist: HotSpot,
     cust_id: NuRand,
     item_id: NuRand,
+    remote_item_prob: f64,
     rng: StdRng,
 }
 
@@ -152,8 +158,19 @@ impl NewOrderGen {
             warehouse_dist,
             cust_id,
             item_id,
+            remote_item_prob: 0.0,
             rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// Gives each order line probability `p` of drawing a *remote*
+    /// supply warehouse (uniform over the others; no-op with a single
+    /// warehouse). Zero by default so the partitionable phases stay
+    /// perfectly partitionable.
+    pub fn with_remote_mix(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.remote_item_prob = p;
+        self
     }
 
     /// Next new-order.
@@ -176,17 +193,34 @@ impl NewOrderGen {
         let c_id = self.cust_id.sample(&mut self.rng) as i64;
         let ol_cnt = self.rng.random_range(5..=15);
         let mut lines = Vec::with_capacity(ol_cnt);
+        let mut supply = Vec::with_capacity(ol_cnt);
+        let warehouses = self.cfg.warehouses as i64;
         for _ in 0..ol_cnt {
             lines.push((
                 self.item_id.sample(&mut self.rng) as i64,
                 self.rng.random_range(1..=10),
             ));
+            let remote = self.remote_item_prob > 0.0
+                && warehouses > 1
+                && self.rng.random_bool(self.remote_item_prob);
+            supply.push(if remote {
+                // Uniform over the other warehouses: skip past w_id.
+                let pick = self.rng.random_range(1..warehouses);
+                if pick >= w_id {
+                    pick + 1
+                } else {
+                    pick
+                }
+            } else {
+                w_id
+            });
         }
         NewOrderParams {
             w_id,
             d_id,
             c_id,
             lines,
+            supply,
             entry_date: 20200101, // 2020-01-01
             rollback: self.rng.random_bool(0.01),
         }
@@ -230,6 +264,13 @@ impl MixGen {
             payment_fraction,
             rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// Passes a remote supply-warehouse probability through to the
+    /// new-order generator (see [`NewOrderGen::with_remote_mix`]).
+    pub fn with_remote_mix(mut self, p: f64) -> Self {
+        self.neworder = self.neworder.with_remote_mix(p);
+        self
     }
 
     /// Next request.
@@ -317,6 +358,39 @@ mod tests {
                 assert!((1..=10).contains(qty));
             }
         }
+    }
+
+    #[test]
+    fn neworder_supply_is_home_by_default() {
+        let c = cfg();
+        let mut g = NewOrderGen::new(c.clone(), HotSpot::uniform(c.warehouses as u64), 11);
+        for _ in 0..200 {
+            let n = g.next();
+            assert_eq!(n.supply.len(), n.lines.len());
+            assert!(n.supply.iter().all(|&s| s == n.w_id));
+        }
+    }
+
+    #[test]
+    fn remote_mix_draws_other_warehouses_at_the_requested_rate() {
+        let c = cfg();
+        assert!(c.warehouses > 1, "needs several warehouses to be remote");
+        let mut g = NewOrderGen::new(c.clone(), HotSpot::uniform(c.warehouses as u64), 12)
+            .with_remote_mix(0.3);
+        let (mut total, mut remote) = (0usize, 0usize);
+        for _ in 0..2000 {
+            let n = g.next();
+            assert_eq!(n.supply.len(), n.lines.len());
+            for &s in &n.supply {
+                assert!((1..=c.warehouses as i64).contains(&s));
+                total += 1;
+                if s != n.w_id {
+                    remote += 1;
+                }
+            }
+        }
+        let frac = remote as f64 / total as f64;
+        assert!((0.25..=0.35).contains(&frac), "remote fraction {frac}");
     }
 
     #[test]

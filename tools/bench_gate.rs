@@ -9,13 +9,16 @@
 //! (`BENCH_shared.json`, multi-query level: shared-pipeline cost
 //! scaling at N=32 concurrent Q3 members), `abl_pushdown`
 //! (`BENCH_pushdown.json`, remote-scan level: predicate pushdown vs
-//! ship-then-filter on modeled wire bytes) and `abl_failover`
+//! ship-then-filter on modeled wire bytes), `abl_failover`
 //! (`BENCH_failover.json`, replication level: sync/async/unreplicated
 //! commit-ack throughput plus the zero-lost-acked-commits invariant
-//! under a mid-load primary crash) — against the checked-in
+//! under a mid-load primary crash) and `abl_shard`
+//! (`BENCH_shard.json`, sharding level: multi-node scale-out, the
+//! single-shard vs sync-2PC cost split, and the zero-lost-acked-orders
+//! invariant under a mid-2PC coordinator crash) — against the checked-in
 //! baseline (`tools/bench_baseline.json`) and exits non-zero on
 //! regression, so the batching/routing/columnar/sharing/pushdown/
-//! replication wins cannot silently rot. Every bench emits the same flat schema (gated
+//! replication/sharding wins cannot silently rot. Every bench emits the same flat schema (gated
 //! `ratio_*` keys plus ungated raw values, no per-file exceptions), and
 //! all current files are merged into one metric map before checking
 //! (their key namespaces are disjoint by construction).
@@ -39,7 +42,7 @@
 //!   metric is a regression of the gate itself).
 //!
 //! Usage: `bench_gate [baseline.json] [current.json ...]` (defaults:
-//! `tools/bench_baseline.json` and the seven `BENCH_*.json` files — the
+//! `tools/bench_baseline.json` and the eight `BENCH_*.json` files — the
 //! paths CI uses from the repo root).
 //!
 //! When `$GITHUB_STEP_SUMMARY` is set (as it is on every GitHub Actions
@@ -192,7 +195,7 @@ fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
 }
 
 /// The bench-emitted files gated by default (all namespaces disjoint).
-const DEFAULT_CURRENT: [&str; 7] = [
+const DEFAULT_CURRENT: [&str; 8] = [
     "BENCH_adaptive.json",
     "BENCH_routing.json",
     "BENCH_columnar.json",
@@ -200,6 +203,7 @@ const DEFAULT_CURRENT: [&str; 7] = [
     "BENCH_shared.json",
     "BENCH_pushdown.json",
     "BENCH_failover.json",
+    "BENCH_shard.json",
 ];
 
 fn main() -> ExitCode {
