@@ -31,7 +31,10 @@
 //! * every message may be lost: coordinators retransmit Prepare/Decide
 //!   on a [`Retransmit`] timer, staged participants re-ask the outcome
 //!   with [`CommitMsg::DecideQuery`] — retransmission *is* the repair
-//!   path, as for replication catch-up;
+//!   path, as for replication catch-up. A query for a still-undecided
+//!   transaction is answered with a fresh Prepare, never counted as a
+//!   vote: queries are ungated, and only the watermark-gated Vote
+//!   proves the participant's Prepare record is durable;
 //! * a coordinator that recovers with a staged-but-undecided transaction
 //!   **presumes abort** (it logs `Decide{commit: false}` so later
 //!   queries get a consistent answer); a participant asked about a
@@ -480,6 +483,10 @@ pub struct ShardNode {
     staged: FxHashMap<TxnId, Staged>,
     /// Every outcome this node knows, as coordinator or participant —
     /// the answer book for DecideQueries and idempotent re-submissions.
+    /// Commit outcomes are retained for the node's lifetime (they
+    /// answer client re-submissions after a lost ack — intentional for
+    /// the modeled harness); abort outcomes are dropped once settled,
+    /// since the presumed-abort rule re-derives them on demand.
     decided: FxHashMap<TxnId, bool>,
     coord: FxHashMap<TxnId, CoordTxn>,
 }
@@ -890,9 +897,13 @@ impl ShardNode {
                 parts: Vec::new(),
             },
         );
-        self.decided.insert(txn, commit);
+        // Commit outcomes must be remembered (they dedupe retransmitted
+        // Decides and back idempotent re-acks); an abort needs no map
+        // entry — a duplicate abort-Decide is acked via the no-staged
+        // path, and presumed abort answers any later question.
         let mut last = dlsn;
         if commit {
+            self.decided.insert(txn, commit);
             last = self.apply_ops(txn, &s.ops);
             ctx.applied = true;
         }
@@ -905,10 +916,26 @@ impl ShardNode {
         if let Some(&out) = self.decided.get(&txn) {
             ctx.out_now
                 .push((from, CommitMsg::Decide { txn, commit: out }.encode()));
-        } else if self.coord.contains_key(&txn) {
-            // Still collecting votes: the query proves the participant
-            // staged durably — an implicit yes vote.
-            self.on_vote(from, txn, true, ctx);
+        } else if let Some(c) = self.coord.get(&txn) {
+            // Still collecting votes. The query is NOT a vote: queries
+            // are sent ungated while Votes gate on the participant's
+            // follower watermark, so counting it would let a commit
+            // decision rest on a Prepare record a promoted follower
+            // might not hold. Re-send the Prepare instead — the
+            // participant re-votes through its durability gate.
+            if c.votes.participants().contains(&from) {
+                let ops = c.remote_ops.get(&from).cloned().unwrap_or_default();
+                ctx.out_now.push((
+                    from,
+                    CommitMsg::Prepare {
+                        txn,
+                        coord: self.node,
+                        ops,
+                    }
+                    .encode(),
+                ));
+                self.metrics.retransmits.incr();
+            }
         } else {
             // Never heard of it: presumed abort, logged so every later
             // query gets the same answer.
@@ -1127,7 +1154,15 @@ impl ShardNode {
             for (to, frame) in ctx.out_now.drain(..) {
                 send_to(&mut peers, to, frame);
             }
-            gated.append(&mut ctx.out_gated);
+            // Merge this iteration's gated sends, skipping frames
+            // already queued for the same peer: retransmission while
+            // the watermark lags would otherwise accumulate identical
+            // (participant, txn) Decides unboundedly.
+            for send in ctx.out_gated.drain(..) {
+                if !gated.iter().any(|(to, _, f)| *to == send.0 && *f == send.2) {
+                    gated.push(send);
+                }
+            }
             gated.retain(|(to, lsn, frame)| {
                 if covered(*lsn) {
                     send_to(&mut peers, *to, frame.clone());
@@ -1167,6 +1202,14 @@ impl ShardNode {
                 progressed = true;
                 let mut c = self.coord.remove(&txn).expect("listed above");
                 let ok = c.decided.unwrap_or(false);
+                if !ok {
+                    // Settled abort: every participant acked, so nobody
+                    // re-asks with staged state — drop the entry and let
+                    // presumed abort re-derive the answer if a straggler
+                    // ever queries. Keeps the decided map from growing
+                    // with every aborted transaction forever.
+                    self.decided.remove(&txn);
+                }
                 if let Some(done) = c.done.take() {
                     if ok {
                         if c.cross {

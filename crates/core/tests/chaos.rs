@@ -433,12 +433,14 @@ fn coordinator_crash_at_every_protocol_step_recovers() {
     }
 }
 
-/// Participant failover under load: node 1 runs with a sync follower;
-/// it crashes mid-load, the follower promotes (lease expiry), a
-/// replacement node adopts the mirrored store/WAL, rebuilds its peer
-/// link, and the cluster finishes the run with every acked order intact.
-#[test]
-fn participant_failover_under_load_loses_no_acked_order() {
+/// Participant failover under load, shared by the clean-link and
+/// lagging-follower scenarios: node 1 runs with a sync follower (its
+/// WAL-shipping direction optionally fault-injected); it crashes
+/// mid-load, the follower promotes (lease expiry), a replacement node
+/// adopts the mirrored store/WAL, rebuilds its peer link, and the
+/// cluster finishes the run with every acked order intact. Returns the
+/// merged snapshot for scenario-specific assertions.
+fn run_participant_failover(tag: &str, ship_fault: Option<FaultSpec>) -> RobustSnapshot {
     let map = ShardMap::new(2);
     let orders = mixed_orders(&map, 150);
 
@@ -485,8 +487,13 @@ fn participant_failover_under_load_loses_no_acked_order() {
     );
 
     // Node 1's sync follower: a storage AC mirroring the shard WAL, 2PC
-    // records included.
-    let (p_end, f_end) = repl_connection(LinkSpec::instant(), 256);
+    // records included. Faults on the shipping direction make the
+    // follower trail the primary, so Votes/DecideAcks/client acks sit
+    // behind the durability gate until catch-up repairs the holes.
+    let (mut p_end, f_end) = repl_connection(LinkSpec::instant(), 256);
+    if let Some(spec) = ship_fault {
+        p_end.tx.inject_faults(spec);
+    }
     assert!(n1.repl_joins.send(p_end).is_ok());
     let store_f = Arc::new(shard_store());
     let wal_f = Arc::new(Wal::new());
@@ -522,7 +529,10 @@ fn participant_failover_under_load_loses_no_acked_order() {
     // Crash node 1 once a healthy chunk of its commits acked.
     let deadline = Instant::now() + Duration::from_secs(30);
     while m1.local_commits.get() + m1.cross_commits.get() < 20 {
-        assert!(Instant::now() < deadline, "node 1 never reached mid-load");
+        assert!(
+            Instant::now() < deadline,
+            "{tag}: node 1 never reached mid-load"
+        );
         thread::sleep(Duration::from_millis(1));
     }
     n1.crash.store(true, Ordering::Relaxed);
@@ -554,7 +564,7 @@ fn participant_failover_under_load_loses_no_acked_order() {
     assert_eq!(
         stats.acked_ids.len(),
         orders.len(),
-        "driver finished short (resubmits={})",
+        "{tag}: driver finished short (resubmits={})",
         stats.resubmits
     );
 
@@ -570,10 +580,45 @@ fn participant_failover_under_load_loses_no_acked_order() {
     audit(&stores, &map, &orders, &stats);
 
     let snap = merged_snapshot(&[m0, m1, m1b]);
-    assert!(snap.repl_batches_shipped > 0, "the follower never fed");
+    assert!(
+        snap.repl_batches_shipped > 0,
+        "{tag}: the follower never fed"
+    );
     assert!(
         snap.repl_acks > 0,
-        "sync gating needs follower acks to have flowed"
+        "{tag}: sync gating needs follower acks to have flowed"
     );
     assert!(!snap.report().is_empty());
+    snap
+}
+
+/// Participant failover over a clean replication link: the baseline
+/// scenario — crash, lease promotion, replacement, nothing lost.
+#[test]
+fn participant_failover_under_load_loses_no_acked_order() {
+    run_participant_failover("clean-link", None);
+}
+
+/// Participant failover while the sync follower *trails*: loss and delay
+/// spikes on the WAL-shipping direction hold the ack watermark behind
+/// the ask timer, so staged participants fire DecideQueries while their
+/// Votes are still gated — the coordinator must answer those queries
+/// with a re-sent Prepare (never count them as votes) or a promoted
+/// follower could miss a Prepare the decision relied on.
+#[test]
+fn participant_failover_with_lagging_follower_keeps_votes_durable() {
+    for (name, seed) in pinned_seeds() {
+        let snap = run_participant_failover(
+            name,
+            Some(
+                FaultSpec::new(seed ^ 0x0F01_0000)
+                    .drop_prob(0.2)
+                    .delay(0.3, Duration::from_millis(25)),
+            ),
+        );
+        assert!(
+            snap.repl_catchups > 0,
+            "seed {name}: the lagging follower never needed catch-up repair"
+        );
+    }
 }
