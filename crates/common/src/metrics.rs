@@ -133,25 +133,26 @@ impl std::fmt::Debug for Histogram {
     }
 }
 
-macro_rules! robust_snapshot {
-    ($($(#[$doc:meta])* $field:ident,)*) => {
-        /// A uniform snapshot of every robustness counter in the system:
-        /// link fault injection, remote-scan serving and retry, WAL
-        /// replication, and two-phase commit. Each subsystem converts its
-        /// own metrics type into one of these (`FaultStats::snapshot`,
-        /// `ReplMetrics::snapshot`, ...); chaos tests [`merge`] them and
-        /// assert on one struct instead of plumbing several.
-        ///
-        /// [`merge`]: RobustSnapshot::merge
+/// Generates a flat counter-snapshot struct: every field a `u64`, with
+/// saturating [`merge`], declaration-ordered [`fields`], and a one-line
+/// non-zero [`report`]. [`RobustSnapshot`] (fault/replication/2PC
+/// counters) and [`LoadSnapshot`] (the morph controller's load signals)
+/// are both instances, so tests and reports treat them uniformly.
+macro_rules! counter_snapshot {
+    (
+        $(#[$sdoc:meta])*
+        $name:ident { $($(#[$doc:meta])* $field:ident,)* }
+    ) => {
+        $(#[$sdoc])*
         #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-        pub struct RobustSnapshot {
+        pub struct $name {
             $($(#[$doc])* pub $field: u64,)*
         }
 
-        impl RobustSnapshot {
+        impl $name {
             /// Accumulates `other` into `self`, field by field (saturating,
             /// so merged reports can never wrap).
-            pub fn merge(&mut self, other: &RobustSnapshot) {
+            pub fn merge(&mut self, other: &$name) {
                 $(self.$field = self.$field.saturating_add(other.$field);)*
             }
 
@@ -175,7 +176,16 @@ macro_rules! robust_snapshot {
     };
 }
 
-robust_snapshot! {
+counter_snapshot! {
+    /// A uniform snapshot of every robustness counter in the system:
+    /// link fault injection, remote-scan serving and retry, WAL
+    /// replication, and two-phase commit. Each subsystem converts its
+    /// own metrics type into one of these (`FaultStats::snapshot`,
+    /// `ReplMetrics::snapshot`, ...); chaos tests [`merge`] them and
+    /// assert on one struct instead of plumbing several.
+    ///
+    /// [`merge`]: RobustSnapshot::merge
+    RobustSnapshot {
     /// Frames a faulty link delivered (possibly delayed).
     frames_delivered,
     /// Frames a faulty link silently dropped.
@@ -230,6 +240,80 @@ robust_snapshot! {
     twopc_presumed_aborts,
     /// Corrupt 2PC frames rejected by a shard node.
     twopc_corrupt_frames,
+    }
+}
+
+counter_snapshot! {
+    /// One observation window of the load signals the system already
+    /// collects — queue-depth mirrors, completion counts, the OLTP/OLAP
+    /// mix — in the same flat-counter shape as [`RobustSnapshot`], so
+    /// windows [`merge`] into longer horizons and report uniformly.
+    ///
+    /// Drivers build one per transaction window and feed it to the morph
+    /// controller (`anydb_core::morph`); derived signals like
+    /// [`hot_share`] and [`olap_fraction`] are computed on the merged
+    /// counters, never sampled separately, so a snapshot carried across a
+    /// thread or merged over a phase cannot disagree with itself.
+    ///
+    /// [`merge`]: LoadSnapshot::merge
+    /// [`hot_share`]: LoadSnapshot::hot_share
+    /// [`olap_fraction`]: LoadSnapshot::olap_fraction
+    LoadSnapshot {
+    /// Transactions committed during the window.
+    oltp_committed,
+    /// OLAP queries completed during the window.
+    olap_completed,
+    /// OLAP queries admitted (sent into an admission window).
+    olap_admitted,
+    /// Transaction windows this snapshot covers.
+    windows,
+    /// Queue-depth sampling rounds taken (one round reads every AC's
+    /// depth mirror once).
+    depth_samples,
+    /// Backlog attributable to the hottest home partition, summed over
+    /// sampling rounds. Under home-warehouse routing this is just the
+    /// deepest single-AC queue; samplers running decomposed strategies
+    /// attribute the (stage-spread) backlog back to home partitions so
+    /// the skew signal stays comparable across execution strategies.
+    depth_hot,
+    /// Backlog across all ACs, summed over sampling rounds.
+    depth_total,
+    }
+}
+
+impl LoadSnapshot {
+    /// The hottest AC's share of the total queued backlog, the skew
+    /// signal: ~1.0 when one AC owns every queued event (a skewed phase
+    /// routed shared-nothing), ~1/n under uniform routing. `None` when no
+    /// backlog was observed — an empty queue says the current plan keeps
+    /// up, not that the load is uniform.
+    pub fn hot_share(&self) -> Option<f64> {
+        if self.depth_total == 0 {
+            None
+        } else {
+            Some(self.depth_hot as f64 / self.depth_total as f64)
+        }
+    }
+
+    /// Fraction of completed work that was analytical, in `[0, 1]`; 0.0
+    /// when nothing completed.
+    pub fn olap_fraction(&self) -> f64 {
+        let total = self.olap_completed + self.oltp_committed;
+        if total == 0 {
+            0.0
+        } else {
+            self.olap_completed as f64 / total as f64
+        }
+    }
+
+    /// Mean total backlog per sampling round; 0.0 with no samples.
+    pub fn mean_backlog(&self) -> f64 {
+        if self.depth_samples == 0 {
+            0.0
+        } else {
+            self.depth_total as f64 / self.depth_samples as f64
+        }
+    }
 }
 
 /// Measures throughput over a window: `tx/s = taken / elapsed`.
@@ -353,6 +437,81 @@ mod tests {
         };
         a.merge(&a.clone());
         assert_eq!(a.repl_commits, u64::MAX);
+    }
+
+    #[test]
+    fn load_snapshot_merge_and_report() {
+        let mut a = LoadSnapshot {
+            oltp_committed: 100,
+            depth_samples: 1,
+            depth_hot: 8,
+            depth_total: 8,
+            windows: 1,
+            ..Default::default()
+        };
+        let b = LoadSnapshot {
+            oltp_committed: 50,
+            olap_completed: 10,
+            depth_samples: 1,
+            depth_hot: 2,
+            depth_total: 8,
+            windows: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.oltp_committed, 150);
+        assert_eq!(a.olap_completed, 10);
+        assert_eq!(a.depth_samples, 2);
+        assert_eq!(a.depth_hot, 10);
+        assert_eq!(a.depth_total, 16);
+        assert_eq!(
+            a.report(),
+            "oltp_committed=150 olap_completed=10 windows=2 \
+             depth_samples=2 depth_hot=10 depth_total=16"
+        );
+        assert_eq!(LoadSnapshot::default().report(), "");
+    }
+
+    #[test]
+    fn load_snapshot_merge_saturates() {
+        let mut a = LoadSnapshot {
+            depth_total: u64::MAX - 1,
+            ..Default::default()
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.depth_total, u64::MAX);
+    }
+
+    #[test]
+    fn load_snapshot_derived_signals() {
+        // No backlog observed: the skew signal is absent, not zero.
+        assert_eq!(LoadSnapshot::default().hot_share(), None);
+        assert_eq!(LoadSnapshot::default().olap_fraction(), 0.0);
+        assert_eq!(LoadSnapshot::default().mean_backlog(), 0.0);
+
+        let skewed = LoadSnapshot {
+            depth_hot: 32,
+            depth_total: 32,
+            depth_samples: 2,
+            ..Default::default()
+        };
+        assert_eq!(skewed.hot_share(), Some(1.0));
+        assert_eq!(skewed.mean_backlog(), 16.0);
+
+        let uniform = LoadSnapshot {
+            depth_hot: 8,
+            depth_total: 32,
+            depth_samples: 1,
+            ..Default::default()
+        };
+        assert_eq!(uniform.hot_share(), Some(0.25));
+
+        let htap = LoadSnapshot {
+            oltp_committed: 75,
+            olap_completed: 25,
+            ..Default::default()
+        };
+        assert!((htap.olap_fraction() - 0.25).abs() < 1e-12);
     }
 
     #[test]

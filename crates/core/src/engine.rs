@@ -3,17 +3,45 @@
 //! The engine realizes the paper's per-query architecture freedom in its
 //! simplest honest form: the *routing decision* — which AC an event goes
 //! to, whole transactions vs. op groups, pipelined vs. per-op round trips
-//! — is taken per transaction according to the configured
-//! [`Strategy`], over one shared pool of generic ACs. Switching strategy
-//! requires no reconfiguration of the components themselves; they just
-//! receive different events (§2.1: "shift its architecture just in an
-//! instant").
+//! — is taken per transaction window according to the
+//! [`DispatchPlan`], over one shared pool of generic ACs. Switching
+//! strategy requires no reconfiguration of the components themselves;
+//! they just receive different events (§2.1: "shift its architecture
+//! just in an instant").
+//!
+//! ## Live morphing
+//!
+//! With [`EngineConfig::morph`] set, the configured strategy is only the
+//! *initial* plan: driver 0 runs a [`MorphController`] over the phase's
+//! load telemetry and installs new strategies into the plan while the
+//! phase runs. Plans are epoch-tagged and adopted only at transaction-
+//! window boundaries, under a swap protocol that keeps mixed-mode
+//! execution off the data (DESIGN.md §11):
+//!
+//! 1. A driver noticing a newer plan epoch first **drains** its own
+//!    in-flight transactions — they finish under the plan that admitted
+//!    them, and their completions count normally.
+//! 2. It then **rendezvouses** with every other driver at a [`SwapSync`]
+//!    barrier. Only when all drivers have drained does anyone admit under
+//!    the new plan, so whole-transaction execution (no order gates) and
+//!    decomposed stage execution (gate-ordered) never interleave on the
+//!    same warehouses — that overlap is the one torn-routing schedule
+//!    that could break serializability.
+//! 3. Stamp density survives the gap: nothing stamps the sequencer while
+//!    a shared-nothing plan runs, and every pipelined stamp's envelopes
+//!    were fully consumed before the swap, so the order gates resume
+//!    exactly where the sequencer does.
+//!
+//! Static strategies are the degenerate case: a plan that is never
+//! re-installed, one epoch, `PhaseResult::strategies == [cfg.strategy]`.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use anydb_common::metrics::Counter;
+use anydb_common::metrics::{Counter, LoadSnapshot};
 use anydb_common::{AcId, QueryId};
+use anydb_stream::adaptive::AdaptiveBatch;
 use anydb_stream::inbox::InboxSender;
 use anydb_txn::history::History;
 use anydb_txn::sequencer::Sequencer;
@@ -22,12 +50,14 @@ use anydb_workload::chbench::Q3Spec;
 use anydb_workload::phases::{Phase, PhaseKind, PhaseSchedule};
 use anydb_workload::tpcc::gen::{MixGen, PaymentGen};
 use anydb_workload::tpcc::TpccDb;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, TryRecvError};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
 use crate::component::AnyComponent;
 use crate::event::{Completion, DoneBatch, Event, OpEnvelope, TxnTracker};
+use crate::morph::{MorphConfig, MorphController};
 use crate::strategy::{
-    payment_precise_groups, payment_stage_groups, stage_ac, BatchMode, DispatchBatcher, Strategy,
+    payment_precise_groups, payment_stage_groups, stage_ac, BatchMode, DispatchBatcher,
+    DispatchPlan, Strategy,
 };
 
 /// Completion groups pulled per `try_recv_many` crossing when a driver
@@ -37,7 +67,10 @@ const COMPLETION_CHUNK: usize = 32;
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Execution strategy for this run.
+    /// Execution strategy for this run — the whole run's when [`morph`]
+    /// is `None`, the initial plan otherwise.
+    ///
+    /// [`morph`]: EngineConfig::morph
     pub strategy: Strategy,
     /// Number of worker ACs (the paper's precise intra-txn result uses 2).
     pub acs: u32,
@@ -50,6 +83,11 @@ pub struct EngineConfig {
     /// the OLAP AC, whose drain chunk groups them into shared admission
     /// windows — one hull-predicate scan plus per-member refinement
     /// instead of N independent pipelines (DESIGN.md §7).
+    ///
+    /// This is a *live* knob now, not a constant: the phase scales it by
+    /// its OLAP stream count ([`PhaseKind::olap_streams`]), and when
+    /// morphing is on the controller re-targets it every window from the
+    /// observed OLTP/OLAP mix.
     pub olap_window: usize,
     /// Payment fraction for the shared-nothing mix; decomposed strategies
     /// are payment-only (the paper's Figure 5 workload).
@@ -62,13 +100,20 @@ pub struct EngineConfig {
     /// This is the throughput/latency knob of the batched event streams.
     /// [`BatchMode::Static`]`(1)` restores per-event dispatch (lowest
     /// latency, highest per-event overhead); larger static values
-    /// amortize the queue handshake and gate lookups over the group. The
-    /// default, [`BatchMode::Adaptive`], sizes batches online from the
-    /// queues' depth mirrors — deep under load, per-event when idle — so
-    /// the knob no longer has to be tuned per workload phase at all,
-    /// which is the workload-management adaptation the paper's routing
-    /// argument extends to execution parameters.
+    /// amortize the queue handshake and gate lookups over the group.
+    /// [`BatchMode::Adaptive`], the default, sizes batches online from
+    /// the queues' depth mirrors — deep under load, per-event when idle.
+    /// [`BatchMode::Slo`] instead steers against a p99 queueing-delay
+    /// budget, fed by each driver's measured per-window drain wait.
     pub batch: BatchMode,
+    /// Live workload morphing: when set, driver 0 runs a
+    /// [`MorphController`] over the phase's telemetry and re-installs the
+    /// dispatch plan at window boundaries ([`acs`] in the morph config is
+    /// overridden with the engine's real AC count). `None` pins the plan
+    /// for the whole run.
+    ///
+    /// [`acs`]: MorphConfig::acs
+    pub morph: Option<MorphConfig>,
 }
 
 impl Default for EngineConfig {
@@ -81,6 +126,7 @@ impl Default for EngineConfig {
             olap_window: 8,
             payment_fraction: 1.0,
             batch: BatchMode::default(),
+            morph: None,
         }
     }
 }
@@ -94,6 +140,12 @@ pub struct PhaseResult {
     pub olap_queries: u64,
     /// Wall-clock duration.
     pub elapsed: Duration,
+    /// Every strategy the dispatch plan carried, in install order. A
+    /// static run records exactly its configured strategy; a morphing run
+    /// records the sequence the controller actually executed.
+    pub strategies: Vec<Strategy>,
+    /// Plan switches taken during the phase (`strategies.len() - 1`).
+    pub switches: u64,
 }
 
 impl PhaseResult {
@@ -104,6 +156,158 @@ impl PhaseResult {
         } else {
             self.committed as f64 / self.elapsed.as_secs_f64()
         }
+    }
+}
+
+/// Rendezvous for plan swaps: no driver admits under a new plan epoch
+/// until every active driver has drained the transactions it admitted
+/// under the old one. Without this, one driver could run whole
+/// transactions at a home-warehouse AC while another still has the same
+/// warehouses' ops decomposed across stage ACs — the gates order only the
+/// decomposed side, so the interleaving would be unserializable.
+///
+/// At most one install can be gathering at a time: the installer (driver
+/// 0) rendezvouses at its own install's barrier before it can install
+/// again. Arrivals use a timed wait purely as a safety valve — a peer
+/// that exits early retires and wakes everyone.
+struct SwapSync {
+    state: Mutex<SwapState>,
+    cv: Condvar,
+}
+
+struct SwapState {
+    /// Drivers still running (arrivals wait only for live peers).
+    active: usize,
+    /// Barrier generation currently gathering (= plan epoch).
+    epoch: u64,
+    /// Drivers arrived at `epoch`, drained.
+    arrived: usize,
+}
+
+impl SwapSync {
+    fn new(active: usize) -> Self {
+        Self {
+            state: Mutex::new(SwapState {
+                active,
+                epoch: 0,
+                arrived: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Called by a driver that has drained its in-flight work and wants
+    /// to admit under plan epoch `e`; blocks until every active driver
+    /// has done the same.
+    fn arrive(&self, e: u64) {
+        let mut st = self.state.lock().unwrap();
+        if e > st.epoch {
+            st.epoch = e;
+            st.arrived = 0;
+        } else if e < st.epoch {
+            // A barrier that already released; the drain this driver just
+            // did is all the newer one needs from it.
+            return;
+        }
+        st.arrived += 1;
+        if st.arrived >= st.active {
+            self.cv.notify_all();
+            return;
+        }
+        while st.epoch == e && st.arrived < st.active {
+            let (g, _) = self.cv.wait_timeout(st, Duration::from_millis(1)).unwrap();
+            st = g;
+        }
+    }
+
+    /// A driver leaving the phase stops counting toward the barrier.
+    fn retire(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.active = st.active.saturating_sub(1);
+        self.cv.notify_all();
+    }
+}
+
+/// Retires the driver on every exit path — deadline, channel disconnect,
+/// or panic — so peers waiting at a swap barrier are never stranded.
+struct Retire<'a>(&'a SwapSync);
+
+impl Drop for Retire<'_> {
+    fn drop(&mut self) {
+        self.0.retire();
+    }
+}
+
+/// Everything one phase's drivers share.
+struct PhaseShared<'a> {
+    senders: &'a [InboxSender<Event>],
+    committed: &'a Counter,
+    sequencer: &'a Sequencer,
+    plan: &'a DispatchPlan,
+    swap: &'a SwapSync,
+    /// Live OLAP admission target, read by the query driver per refill
+    /// and re-targeted by the morph controller.
+    olap_window: &'a AtomicUsize,
+    olap_done: &'a Counter,
+    olap_admitted: &'a Counter,
+}
+
+/// Minimum admissions behind one skew-attribution sample. The admission
+/// mix is an *estimate* of the home-partition distribution; below this
+/// many observations it carries no signal (a handful of txns sharing a
+/// home by chance would read as total skew against the whole backlog),
+/// so counters accumulate across windows until the estimate is earned.
+const MIX_SAMPLE_MIN: u64 = 64;
+
+/// Per-driver state that survives plan swaps: the generators keep their
+/// RNG positions, the batch controllers keep their levels, and the done
+/// channel keeps collecting completions admitted under any epoch.
+struct DriverState {
+    mix: MixGen,
+    pay: PaymentGen,
+    done_tx: Sender<DoneBatch>,
+    done_rx: Receiver<DoneBatch>,
+    inflight: usize,
+    ready: Vec<DoneBatch>,
+    /// Whole-transaction batch controller (shared-nothing windows).
+    ctrl: AdaptiveBatch,
+    /// Envelope batcher (pipelined windows).
+    batcher: DispatchBatcher,
+    /// Per-AC whole-transaction buffers (shared-nothing windows).
+    pending: Vec<Vec<Event>>,
+    /// Admissions since the last attribution sample, bucketed by *home*
+    /// AC (the AC the txn's warehouse would route to under
+    /// shared-nothing) — the strategy-invariant skew signal. Accumulates
+    /// across windows until [`MIX_SAMPLE_MIN`] admissions back the mix.
+    admitted: Vec<u64>,
+    /// Telemetry accumulated since the last controller observation:
+    /// `(samples, hot, total)` per [`LoadSnapshot`]'s depth fields.
+    depth: (u64, u64, u64),
+}
+
+impl DriverState {
+    /// Folds one post-flush telemetry sample into the accumulators: real
+    /// queued backlog from the AC depth mirrors, attributed to home
+    /// partitions by this window's admission mix. Under shared-nothing
+    /// routing the hot partition's backlog *is* the hot AC's queue;
+    /// decomposed windows spread the same work over stage ACs, so the
+    /// attribution keeps the skew signal comparable across strategies —
+    /// without it the controller would see skew vanish the moment it
+    /// decomposed, and ping-pong.
+    fn sample_depths(&mut self, senders: &[InboxSender<Event>]) {
+        let admitted: u64 = self.admitted.iter().sum();
+        if admitted < MIX_SAMPLE_MIN {
+            // Too few admissions to estimate a mix: a steady-state window
+            // admits only what just completed, and three txns that happen
+            // to share a home would read as total skew against the whole
+            // backlog. Keep accumulating; stalled windows add nothing.
+            return;
+        }
+        let hot_admitted = self.admitted.iter().copied().max().unwrap_or(0);
+        self.admitted.iter_mut().for_each(|c| *c = 0);
+        let total: u64 = senders.iter().map(|s| s.len() as u64).sum();
+        let hot = (total as f64 * hot_admitted as f64 / admitted as f64).round() as u64;
+        self.depth = (self.depth.0 + 1, self.depth.1 + hot, self.depth.2 + total);
     }
 }
 
@@ -151,8 +355,12 @@ impl AnyDbEngine {
     /// Creates an engine over a loaded database.
     pub fn new(db: Arc<TpccDb>, cfg: EngineConfig) -> Self {
         assert!(cfg.acs > 0 && cfg.drivers > 0 && cfg.window > 0 && cfg.olap_window > 0);
-        // Validate the batch range eagerly (the controller asserts it).
+        // Validate the batch range and morph config eagerly (their
+        // constructors assert).
         let _ = cfg.batch.controller();
+        if let Some(mc) = cfg.morph {
+            let _ = MorphController::new(cfg.strategy, MorphConfig { acs: cfg.acs, ..mc });
+        }
         Self {
             db,
             cfg,
@@ -175,8 +383,9 @@ impl AnyDbEngine {
     /// Runs one phase for `duration`.
     pub fn run_phase(&self, kind: PhaseKind, duration: Duration, seed: u64) -> PhaseResult {
         let started = Instant::now();
-        let committed = Arc::new(Counter::new());
-        let olap_done = Arc::new(Counter::new());
+        let committed = Counter::new();
+        let olap_done = Counter::new();
+        let olap_admitted = Counter::new();
 
         // Boot the worker ACs.
         let n_acs = self.cfg.acs as usize;
@@ -208,21 +417,43 @@ impl AnyDbEngine {
             None
         };
 
-        let sequencer = Arc::new(Sequencer::new(self.db.cfg.warehouses as usize));
+        let sequencer = Sequencer::new(self.db.cfg.warehouses as usize);
+        let plan = DispatchPlan::new(self.cfg.strategy);
+        let swap = SwapSync::new(self.cfg.drivers as usize);
+        // The OLAP admission knob starts from the config scaled by the
+        // phase's stream count; the morph controller re-targets it live.
+        let olap_window = AtomicUsize::new(self.cfg.olap_window * kind.olap_streams().max(1));
 
+        let shared = PhaseShared {
+            senders: &senders,
+            committed: &committed,
+            sequencer: &sequencer,
+            plan: &plan,
+            swap: &swap,
+            olap_window: &olap_window,
+            olap_done: &olap_done,
+            olap_admitted: &olap_admitted,
+        };
         std::thread::scope(|scope| {
+            let shared = &shared;
             for d in 0..self.cfg.drivers {
-                let senders = &senders;
-                let committed = &committed;
-                let sequencer = &sequencer;
                 let seed = seed ^ (d as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                // Driver 0 hosts the controller; the others only follow
+                // the plan it installs.
+                let morph = if d == 0 { self.cfg.morph } else { None }.map(|mc| {
+                    MorphController::new(
+                        self.cfg.strategy,
+                        MorphConfig {
+                            acs: self.cfg.acs,
+                            ..mc
+                        },
+                    )
+                });
                 scope.spawn(move || {
-                    self.drive(kind, duration, seed, senders, committed, sequencer);
+                    self.drive(kind, duration, seed, shared, morph);
                 });
             }
             if let Some((olap_tx, _)) = &olap {
-                let olap_done = &olap_done;
-                let olap_window = self.cfg.olap_window;
                 scope.spawn(move || {
                     let deadline = Instant::now() + duration;
                     let (done_tx, done_rx) = unbounded();
@@ -231,7 +462,7 @@ impl AnyDbEngine {
                     let absorb = |batch: DoneBatch, inflight: &mut usize| {
                         for c in batch.0 {
                             if matches!(c, Completion::Query { .. }) {
-                                olap_done.incr();
+                                shared.olap_done.incr();
                                 *inflight -= 1;
                             }
                         }
@@ -241,9 +472,13 @@ impl AnyDbEngine {
                         // rotating date windows in flight; whatever slice
                         // of them lands in one AC drain chunk executes as
                         // a shared pipeline. One burst send per refill —
-                        // the grouping itself happens at the AC.
-                        if inflight < olap_window {
-                            olap_tx.send_many((inflight..olap_window).map(|_| {
+                        // the grouping itself happens at the AC. The
+                        // target is re-read every refill: it moves under
+                        // the morph controller.
+                        let target = shared.olap_window.load(Ordering::Relaxed).max(1);
+                        if inflight < target {
+                            shared.olap_admitted.add((target - inflight) as u64);
+                            olap_tx.send_many((inflight..target).map(|_| {
                                 let e = Event::QueryQ3 {
                                     query: QueryId(qid),
                                     spec: windowed_q3_spec(qid),
@@ -252,7 +487,7 @@ impl AnyDbEngine {
                                 qid += 1;
                                 e
                             }));
-                            inflight = olap_window;
+                            inflight = target;
                         }
                         // Query completions arrive on the batched done
                         // channel like transaction notices: one DoneBatch
@@ -292,6 +527,8 @@ impl AnyDbEngine {
             committed: committed.get(),
             olap_queries: olap_done.get(),
             elapsed: started.elapsed(),
+            strategies: plan.history(),
+            switches: plan.switches(),
         }
     }
 
@@ -314,82 +551,234 @@ impl AnyDbEngine {
             .collect()
     }
 
+    /// The unified driver loop: consult the plan at every transaction-
+    /// window boundary, pump one admission window under the strategy it
+    /// names, and (driver 0 only) feed the morph controller.
     fn drive(
         &self,
         kind: PhaseKind,
         duration: Duration,
         seed: u64,
-        senders: &[InboxSender<Event>],
-        committed: &Counter,
-        sequencer: &Sequencer,
+        sh: &PhaseShared<'_>,
+        mut morph: Option<MorphController>,
     ) {
-        match self.cfg.strategy {
-            Strategy::SharedNothing => {
-                self.drive_shared_nothing(kind, duration, seed, senders, committed)
-            }
-            Strategy::StreamingCc | Strategy::PreciseIntra => {
-                self.drive_pipelined(kind, duration, seed, senders, committed, sequencer)
-            }
-            Strategy::StaticIntra => {
-                self.drive_static(kind, duration, seed, senders, committed, sequencer)
-            }
-        }
-    }
-
-    /// Whole transactions routed to the AC owning the home warehouse.
-    fn drive_shared_nothing(
-        &self,
-        kind: PhaseKind,
-        duration: Duration,
-        seed: u64,
-        senders: &[InboxSender<Event>],
-        committed: &Counter,
-    ) {
-        let n_acs = senders.len() as i64;
-        let mut gen = MixGen::new(
-            self.db.cfg.clone(),
-            kind.warehouse_dist(self.db.cfg.warehouses),
-            self.cfg.payment_fraction,
-            seed,
-        );
+        let _retire = Retire(sh.swap);
         let (done_tx, done_rx) = unbounded();
-        let deadline = Instant::now() + duration;
-        let mut inflight = 0usize;
-        let mut ctrl = self.cfg.batch.controller();
-        let mut ready: Vec<DoneBatch> = Vec::new();
-        // Whole-transaction events grouped per home-warehouse AC; each
-        // group crosses the event stream as one bulk inbox insert.
-        let mut pending: Vec<Vec<Event>> = (0..n_acs).map(|_| Vec::new()).collect();
+        let mut st = DriverState {
+            mix: MixGen::new(
+                self.db.cfg.clone(),
+                kind.warehouse_dist(self.db.cfg.warehouses),
+                self.cfg.payment_fraction,
+                seed,
+            ),
+            pay: PaymentGen::new(
+                self.db.cfg.clone(),
+                kind.warehouse_dist(self.db.cfg.warehouses),
+                seed,
+            ),
+            done_tx,
+            done_rx,
+            inflight: 0,
+            ready: Vec::new(),
+            ctrl: self.cfg.batch.controller(),
+            batcher: DispatchBatcher::new(sh.senders.len(), self.cfg.batch),
+            pending: (0..sh.senders.len()).map(|_| Vec::new()).collect(),
+            admitted: vec![0; sh.senders.len()],
+            depth: (0, 0, 0),
+        };
+        let started = Instant::now();
+        let deadline = started + duration;
+        let (mut epoch, mut strategy) = sh.plan.current();
+        // Controller baselines for per-window counter deltas.
+        let mut seen = (0u64, 0u64, 0u64);
+
         while Instant::now() < deadline {
-            // Deepest destination backlog is the batch-size signal: ACs
-            // that are behind justify bigger groups, idle ACs do not.
-            ctrl.observe(senders.iter().map(InboxSender::len).max().unwrap_or(0));
-            while inflight < self.cfg.window {
-                let w = gen.next_warehouse();
-                let req = gen.next_for_warehouse(w);
-                let ac = ((w - 1).rem_euclid(n_acs)) as usize;
-                pending[ac].push(Event::ExecuteTxn {
-                    txn: self.ids.next(),
-                    req,
-                    done: done_tx.clone(),
-                });
-                if pending[ac].len() >= ctrl.current() {
-                    senders[ac].send_many(pending[ac].drain(..));
-                }
-                inflight += 1;
+            // Window boundary: adopt a newer plan if one was installed.
+            // In-flight transactions admitted under the old plan drain
+            // first (their completions count normally), then all drivers
+            // rendezvous so decomposed and whole-transaction windows
+            // never interleave on the same data.
+            let (e, s) = sh.plan.current();
+            if e != epoch {
+                self.drain_completions(&st.done_rx, &mut st.inflight, sh.committed);
+                sh.swap.arrive(e);
+                (epoch, strategy) = (e, s);
             }
-            // Everything buffered must be visible before we wait, or the
-            // window never drains.
-            for (ac, events) in pending.iter_mut().enumerate() {
-                if !events.is_empty() {
-                    senders[ac].send_many(events.drain(..));
+            // One admission window under the current plan.
+            let alive = match strategy {
+                Strategy::SharedNothing => self.pump_shared_nothing(&mut st, sh),
+                Strategy::StreamingCc | Strategy::PreciseIntra => {
+                    self.pump_pipelined(strategy, &mut st, sh)
                 }
-            }
-            if !self.wait_completions(&done_rx, &mut ready, &mut inflight, committed) {
+                Strategy::StaticIntra => self.pump_static(&mut st, sh),
+            };
+            if !alive {
                 return;
             }
+            // Driver 0: fold this window's telemetry into a LoadSnapshot
+            // and let the controller re-target plan and OLAP window.
+            if let Some(m) = morph.as_mut() {
+                let now = (
+                    sh.committed.get(),
+                    sh.olap_done.get(),
+                    sh.olap_admitted.get(),
+                );
+                let snap = LoadSnapshot {
+                    oltp_committed: now.0 - seen.0,
+                    olap_completed: now.1 - seen.1,
+                    olap_admitted: now.2 - seen.2,
+                    windows: 1,
+                    depth_samples: st.depth.0,
+                    depth_hot: st.depth.1,
+                    depth_total: st.depth.2,
+                };
+                seen = now;
+                st.depth = (0, 0, 0);
+                let decision = m.observe(started.elapsed(), &snap);
+                sh.olap_window
+                    .store(decision.olap_window, Ordering::Relaxed);
+                if let Some(next) = decision.switch_to {
+                    sh.plan.install(next);
+                }
+            }
         }
-        self.drain_completions(&done_rx, &mut inflight, committed);
+        self.drain_completions(&st.done_rx, &mut st.inflight, sh.committed);
+    }
+
+    /// One shared-nothing admission window: whole transactions routed to
+    /// the AC owning the home warehouse. Returns `false` if the done
+    /// channel disconnected.
+    fn pump_shared_nothing(&self, st: &mut DriverState, sh: &PhaseShared<'_>) -> bool {
+        let n_acs = sh.senders.len() as i64;
+        // Deepest destination backlog is the batch-size signal: ACs
+        // that are behind justify bigger groups, idle ACs do not.
+        st.ctrl
+            .observe(sh.senders.iter().map(InboxSender::len).max().unwrap_or(0));
+        while st.inflight < self.cfg.window {
+            let w = st.mix.next_warehouse();
+            let req = st.mix.next_for_warehouse(w);
+            let ac = ((w - 1).rem_euclid(n_acs)) as usize;
+            st.admitted[ac] += 1;
+            st.pending[ac].push(Event::ExecuteTxn {
+                txn: self.ids.next(),
+                req,
+                done: st.done_tx.clone(),
+            });
+            if st.pending[ac].len() >= st.ctrl.current() {
+                sh.senders[ac].send_many(st.pending[ac].drain(..));
+            }
+            st.inflight += 1;
+        }
+        // Everything buffered must be visible before we wait, or the
+        // window never drains.
+        for (ac, events) in st.pending.iter_mut().enumerate() {
+            if !events.is_empty() {
+                sh.senders[ac].send_many(events.drain(..));
+            }
+        }
+        st.sample_depths(sh.senders);
+        let waited = Instant::now();
+        let alive =
+            self.wait_completions(&st.done_rx, &mut st.ready, &mut st.inflight, sh.committed);
+        // The drain wait is the driver's observable bound on queueing
+        // delay this window — what the SLO batch mode steers against.
+        st.ctrl.observe_delay(waited.elapsed());
+        alive
+    }
+
+    /// One pipelined admission window (streaming CC / precise intra-txn):
+    /// all op groups dispatched at once; stage ACs pipeline in stamp
+    /// order. Returns `false` if the done channel disconnected.
+    fn pump_pipelined(
+        &self,
+        strategy: Strategy,
+        st: &mut DriverState,
+        sh: &PhaseShared<'_>,
+    ) -> bool {
+        // Feed the dispatch batcher the deepest stage backlog once per
+        // window: group size follows load.
+        st.batcher
+            .observe(sh.senders.iter().map(InboxSender::len).max().unwrap_or(0));
+        while st.inflight < self.cfg.window {
+            let p = st.pay.next();
+            let domain = (p.w_id - 1) as u32;
+            let groups: Vec<(u32, Vec<crate::event::TxnOp>)> = match strategy {
+                Strategy::StreamingCc => payment_stage_groups(&p),
+                Strategy::PreciseIntra => payment_precise_groups(&p).to_vec(),
+                _ => unreachable!("pump_pipelined handles pipelined strategies"),
+            };
+            let txn = self.ids.next();
+            st.admitted[(domain as i64).rem_euclid(sh.senders.len() as i64) as usize] += 1;
+            // Stamp-then-send must not be interleaved with anything
+            // blocking: gate density depends on every stamp's events
+            // reaching the stage ACs. Buffering in the batcher is safe
+            // — it never blocks and is fully flushed before we wait.
+            let seq = sh.sequencer.stamp(domain as usize);
+            let tracker = TxnTracker::new(txn, groups.len() as u32, st.done_tx.clone());
+            for (stage, ops) in groups {
+                st.batcher.push(
+                    stage_ac(stage, sh.senders.len()),
+                    OpEnvelope {
+                        txn,
+                        stage,
+                        domain,
+                        seq,
+                        ops,
+                        tracker: tracker.clone(),
+                    },
+                    sh.senders,
+                );
+            }
+            st.inflight += 1;
+        }
+        st.batcher.flush_all(sh.senders);
+        st.sample_depths(sh.senders);
+        let waited = Instant::now();
+        let alive =
+            self.wait_completions(&st.done_rx, &mut st.ready, &mut st.inflight, sh.committed);
+        st.batcher.observe_delay(waited.elapsed());
+        alive
+    }
+
+    /// One naive static intra-txn transaction: one round trip per op
+    /// group — the overhead the paper shows dominating in Figure 5.
+    /// Synchronous, so nothing is ever in flight across a plan swap.
+    fn pump_static(&self, st: &mut DriverState, sh: &PhaseShared<'_>) -> bool {
+        let p = st.pay.next();
+        let domain = (p.w_id - 1) as u32;
+        let txn = self.ids.next();
+        st.admitted[(domain as i64).rem_euclid(sh.senders.len() as i64) as usize] += 1;
+        let seq = sh.sequencer.stamp(domain as usize);
+        let mut ok = true;
+        for (stage, ops) in payment_stage_groups(&p) {
+            let tracker = TxnTracker::new(txn, 1, st.done_tx.clone());
+            let ac = stage_ac(stage, sh.senders.len());
+            sh.senders[ac].send(Event::OpGroup(OpEnvelope {
+                txn,
+                stage,
+                domain,
+                seq,
+                ops,
+                tracker,
+            }));
+            // One round trip per op group (the naive strategy being
+            // measured): the batch protocol degenerates to singleton
+            // DoneBatches here.
+            match st.done_rx.recv() {
+                Ok(batch) => {
+                    ok &= batch.0.iter().all(|c| match c {
+                        Completion::Txn(done) => done.ok,
+                        Completion::Query { .. } => true,
+                    })
+                }
+                Err(_) => return false,
+            }
+        }
+        if ok {
+            sh.committed.incr();
+        }
+        st.sample_depths(sh.senders);
+        true
     }
 
     /// Blocks briefly for completions, then bulk-drains whatever else is
@@ -422,7 +811,8 @@ impl AnyDbEngine {
         }
     }
 
-    /// Final drain after the deadline: waits out every in-flight txn.
+    /// Final drain after the deadline or before a plan swap: waits out
+    /// every in-flight txn.
     fn drain_completions(
         &self,
         done_rx: &Receiver<DoneBatch>,
@@ -433,124 +823,6 @@ impl AnyDbEngine {
             match done_rx.recv() {
                 Ok(batch) => absorb_completions(batch, inflight, committed),
                 Err(_) => break,
-            }
-        }
-    }
-
-    /// Streaming CC / precise intra-txn: all op groups dispatched at
-    /// once; stage ACs pipeline in stamp order.
-    fn drive_pipelined(
-        &self,
-        kind: PhaseKind,
-        duration: Duration,
-        seed: u64,
-        senders: &[InboxSender<Event>],
-        committed: &Counter,
-        sequencer: &Sequencer,
-    ) {
-        let mut gen = PaymentGen::new(
-            self.db.cfg.clone(),
-            kind.warehouse_dist(self.db.cfg.warehouses),
-            seed,
-        );
-        let (done_tx, done_rx) = unbounded();
-        let deadline = Instant::now() + duration;
-        let mut inflight = 0usize;
-        let mut ready: Vec<DoneBatch> = Vec::new();
-        let mut batcher = DispatchBatcher::new(senders.len(), self.cfg.batch);
-        while Instant::now() < deadline {
-            // Feed the dispatch batcher the deepest stage backlog once
-            // per window: group size follows load.
-            batcher.observe(senders.iter().map(InboxSender::len).max().unwrap_or(0));
-            while inflight < self.cfg.window {
-                let p = gen.next();
-                let domain = (p.w_id - 1) as u32;
-                let groups: Vec<(u32, Vec<crate::event::TxnOp>)> = match self.cfg.strategy {
-                    Strategy::StreamingCc => payment_stage_groups(&p),
-                    Strategy::PreciseIntra => payment_precise_groups(&p).to_vec(),
-                    _ => unreachable!("drive_pipelined handles pipelined strategies"),
-                };
-                let txn = self.ids.next();
-                // Stamp-then-send must not be interleaved with anything
-                // blocking: gate density depends on every stamp's events
-                // reaching the stage ACs. Buffering in the batcher is safe
-                // — it never blocks and is fully flushed before we wait.
-                let seq = sequencer.stamp(domain as usize);
-                let tracker = TxnTracker::new(txn, groups.len() as u32, done_tx.clone());
-                for (stage, ops) in groups {
-                    batcher.push(
-                        stage_ac(stage, senders.len()),
-                        OpEnvelope {
-                            txn,
-                            stage,
-                            domain,
-                            seq,
-                            ops,
-                            tracker: tracker.clone(),
-                        },
-                        senders,
-                    );
-                }
-                inflight += 1;
-            }
-            batcher.flush_all(senders);
-            if !self.wait_completions(&done_rx, &mut ready, &mut inflight, committed) {
-                return;
-            }
-        }
-        self.drain_completions(&done_rx, &mut inflight, committed);
-    }
-
-    /// Naive static intra-txn parallelism: one round trip per op group —
-    /// the overhead the paper shows dominating in Figure 5.
-    fn drive_static(
-        &self,
-        kind: PhaseKind,
-        duration: Duration,
-        seed: u64,
-        senders: &[InboxSender<Event>],
-        committed: &Counter,
-        sequencer: &Sequencer,
-    ) {
-        let mut gen = PaymentGen::new(
-            self.db.cfg.clone(),
-            kind.warehouse_dist(self.db.cfg.warehouses),
-            seed,
-        );
-        let (done_tx, done_rx) = unbounded();
-        let deadline = Instant::now() + duration;
-        while Instant::now() < deadline {
-            let p = gen.next();
-            let domain = (p.w_id - 1) as u32;
-            let txn = self.ids.next();
-            let seq = sequencer.stamp(domain as usize);
-            let mut ok = true;
-            for (stage, ops) in payment_stage_groups(&p) {
-                let tracker = TxnTracker::new(txn, 1, done_tx.clone());
-                let ac = stage_ac(stage, senders.len());
-                senders[ac].send(Event::OpGroup(OpEnvelope {
-                    txn,
-                    stage,
-                    domain,
-                    seq,
-                    ops,
-                    tracker,
-                }));
-                // One round trip per op group (the naive strategy being
-                // measured): the batch protocol degenerates to singleton
-                // DoneBatches here.
-                match done_rx.recv() {
-                    Ok(batch) => {
-                        ok &= batch.0.iter().all(|c| match c {
-                            Completion::Txn(done) => done.ok,
-                            Completion::Query { .. } => true,
-                        })
-                    }
-                    Err(_) => return,
-                }
-            }
-            if ok {
-                committed.incr();
             }
         }
     }
@@ -578,6 +850,17 @@ mod tests {
         let e = engine(strategy);
         let r = e.run_phase(kind, Duration::from_millis(100), 1);
         (e, r)
+    }
+
+    /// An eager morph config for short test phases: switch on the first
+    /// qualified window, hold 5ms after each switch.
+    fn eager_morph() -> MorphConfig {
+        MorphConfig {
+            dwell: Duration::from_millis(5),
+            min_backlog: 8,
+            improvement: 1.0,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -610,6 +893,100 @@ mod tests {
         let (_, r) = run_short(Strategy::SharedNothing, PhaseKind::HtapSkewed);
         assert!(r.olap_queries > 0);
         assert!(r.committed > 0);
+    }
+
+    #[test]
+    fn static_run_records_its_single_strategy() {
+        let (_, r) = run_short(Strategy::PreciseIntra, PhaseKind::OltpSkewed);
+        assert_eq!(r.strategies, vec![Strategy::PreciseIntra]);
+        assert_eq!(r.switches, 0);
+    }
+
+    #[test]
+    fn olap_heavy_phase_scales_admission() {
+        let (_, r) = run_short(Strategy::SharedNothing, PhaseKind::OlapHeavy);
+        assert!(r.olap_queries > 0, "olap {}", r.olap_queries);
+        assert!(r.committed > 0);
+    }
+
+    #[test]
+    fn morphing_escapes_shared_nothing_under_skew() {
+        // Everything lands on warehouse 1's AC: the attributed hot share
+        // is ~1.0, so the controller must decompose — and since the
+        // admission mix stays skewed, it must not flap back.
+        let db = Arc::new(TpccDb::load(TpccConfig::small(), 70).unwrap());
+        let e = AnyDbEngine::new(
+            db,
+            EngineConfig {
+                strategy: Strategy::SharedNothing,
+                acs: 2,
+                window: 256,
+                morph: Some(eager_morph()),
+                ..Default::default()
+            },
+        );
+        let r = e.run_phase(PhaseKind::OltpSkewed, Duration::from_millis(200), 21);
+        assert!(r.switches >= 1, "no switch: {:?}", r.strategies);
+        assert_eq!(r.strategies[0], Strategy::SharedNothing);
+        assert_eq!(
+            *r.strategies.last().unwrap(),
+            Strategy::StreamingCc,
+            "{:?}",
+            r.strategies
+        );
+        assert!(r.committed > 100, "committed {}", r.committed);
+    }
+
+    #[test]
+    fn morphing_reverts_to_shared_nothing_when_load_spreads() {
+        let db = Arc::new(TpccDb::load(TpccConfig::small(), 71).unwrap());
+        let e = AnyDbEngine::new(
+            db,
+            EngineConfig {
+                strategy: Strategy::StreamingCc,
+                acs: 2,
+                window: 256,
+                morph: Some(eager_morph()),
+                ..Default::default()
+            },
+        );
+        let r = e.run_phase(PhaseKind::OltpPartitionable, Duration::from_millis(200), 22);
+        assert!(r.switches >= 1, "no switch: {:?}", r.strategies);
+        assert_eq!(
+            *r.strategies.last().unwrap(),
+            Strategy::SharedNothing,
+            "{:?}",
+            r.strategies
+        );
+        assert!(r.committed > 100, "committed {}", r.committed);
+    }
+
+    #[test]
+    fn morphing_run_is_serializable_across_live_swaps() {
+        // Two drivers crossing at least one plan swap: the drain + swap
+        // barrier must keep whole-transaction and decomposed execution
+        // from ever interleaving on the same warehouses.
+        let db = Arc::new(TpccDb::load(TpccConfig::small(), 72).unwrap());
+        let hist = Arc::new(History::new());
+        let e = AnyDbEngine::new(
+            db,
+            EngineConfig {
+                strategy: Strategy::SharedNothing,
+                acs: 2,
+                drivers: 2,
+                window: 128,
+                morph: Some(eager_morph()),
+                ..Default::default()
+            },
+        )
+        .with_history(hist.clone());
+        let r = e.run_phase(PhaseKind::OltpSkewed, Duration::from_millis(250), 23);
+        assert!(r.switches >= 1, "no swap exercised: {:?}", r.strategies);
+        assert!(!hist.is_empty());
+        assert!(
+            hist.is_serializable(),
+            "live morphing produced a non-serializable history"
+        );
     }
 
     #[test]
@@ -651,6 +1028,58 @@ mod tests {
         }
         // Relative tolerance: fast runs push the sums past 1e8, where a
         // fixed 1e-6 is below f64 accumulation noise.
+        let tol = (w_delta.abs() * 1e-12).max(1e-6);
+        assert!(
+            (w_delta - d_delta).abs() < tol,
+            "warehouse delta {w_delta} != district delta {d_delta}"
+        );
+        assert!(w_delta > 0.0);
+    }
+
+    #[test]
+    fn money_invariant_holds_across_live_morphing() {
+        // Same conservation law, but with the plan swapping mid-phase:
+        // a transaction torn across the swap would break it.
+        let db = Arc::new(TpccDb::load(TpccConfig::small(), 73).unwrap());
+        let e = AnyDbEngine::new(
+            db,
+            EngineConfig {
+                strategy: Strategy::SharedNothing,
+                acs: 2,
+                window: 256,
+                morph: Some(eager_morph()),
+                ..Default::default()
+            },
+        );
+        let r = e.run_phase(PhaseKind::OltpSkewed, Duration::from_millis(200), 24);
+        assert!(r.switches >= 1);
+        let db = e.db();
+        let mut w_delta = 0.0;
+        for w in 1..=db.cfg.warehouses as i64 {
+            let ytd = db
+                .warehouse
+                .read(db.warehouse_rid(w).unwrap())
+                .unwrap()
+                .0
+                .get(warehouse::W_YTD)
+                .as_float()
+                .unwrap();
+            w_delta += ytd - 300_000.0;
+        }
+        let mut d_delta = 0.0;
+        for w in 1..=db.cfg.warehouses as i64 {
+            for d in 1..=db.cfg.districts_per_warehouse as i64 {
+                let ytd = db
+                    .district
+                    .read(db.district_rid(w, d).unwrap())
+                    .unwrap()
+                    .0
+                    .get(anydb_workload::tpcc::cols::district::D_YTD)
+                    .as_float()
+                    .unwrap();
+                d_delta += ytd - 30_000.0;
+            }
+        }
         let tol = (w_delta.abs() * 1e-12).max(1e-6);
         assert!(
             (w_delta - d_delta).abs() < tol,
@@ -757,6 +1186,32 @@ mod tests {
         )
         .with_history(hist.clone());
         let r = e.run_phase(PhaseKind::OltpSkewed, Duration::from_millis(150), 13);
+        assert!(r.committed > 100, "committed {}", r.committed);
+        assert!(!hist.is_empty());
+        assert!(hist.is_serializable());
+    }
+
+    #[test]
+    fn slo_batching_commits_and_is_serializable() {
+        // The SLO mode steers batch size against the measured per-window
+        // drain wait; wherever it lands, execution must stay correct.
+        let db = Arc::new(TpccDb::load(TpccConfig::small(), 67).unwrap());
+        let hist = Arc::new(History::new());
+        let e = AnyDbEngine::new(
+            db,
+            EngineConfig {
+                strategy: Strategy::StreamingCc,
+                acs: 2,
+                drivers: 2,
+                batch: BatchMode::Slo {
+                    budget: Duration::from_micros(500),
+                    max: 256,
+                },
+                ..Default::default()
+            },
+        )
+        .with_history(hist.clone());
+        let r = e.run_phase(PhaseKind::OltpSkewed, Duration::from_millis(150), 14);
         assert!(r.committed > 100, "committed {}", r.committed);
         assert!(!hist.is_empty());
         assert!(hist.is_serializable());

@@ -25,7 +25,11 @@
 //!   placement, cross-shard new-orders under presumed-abort 2PC over
 //!   modeled links, coordinator/participant crash recovery, and
 //!   replicated per-shard storage (DESIGN.md §10),
-//! * [`strategy`] — transaction decomposition per execution strategy.
+//! * [`strategy`] — transaction decomposition per execution strategy, and
+//!   the epoch-tagged [`strategy::DispatchPlan`] drivers route through,
+//! * [`morph`] — the live-morphing controller: watches load telemetry and
+//!   re-installs the dispatch plan at transaction-window boundaries with
+//!   dwell/deadband hysteresis (DESIGN.md §11).
 //!
 //! The engine executes *for real* (threads, queues, storage mutations) and
 //! is verified for serializability and TPC-C invariants; the companion
@@ -36,6 +40,7 @@ pub mod beaming;
 pub mod component;
 pub mod engine;
 pub mod event;
+pub mod morph;
 pub mod olap;
 pub mod ops;
 pub mod replica;
@@ -44,6 +49,7 @@ pub mod strategy;
 
 pub use engine::{AnyDbEngine, EngineConfig, PhaseResult};
 pub use event::{Event, OpDone, OpEnvelope, Q3Member, TxnOp};
+pub use morph::{MorphConfig, MorphController, MorphDecision};
 pub use replica::{
     drive_inserts, recover_replica, repl_connection, run_follower, run_primary, ClientOp,
     DriveStats, FollowerExit, PrimaryExit, ReplConfig, ReplMetrics, ReplMode, Router,
@@ -52,4 +58,4 @@ pub use shard::{
     audit_order, drive_orders, peer_pair, shard_mesh, shard_store, CrashPoint, NodeExit,
     OrderVisibility, PeerEnd, ShardConfig, ShardMap, ShardMetrics, ShardNode, ShardOp, ShardRouter,
 };
-pub use strategy::Strategy;
+pub use strategy::{DispatchPlan, Strategy};

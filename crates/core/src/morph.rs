@@ -1,0 +1,355 @@
+//! The workload-morphing controller: the paper's headline loop, closed.
+//!
+//! The engine has had four execution strategies and the telemetry to
+//! choose between them (queue-depth mirrors, completion rates, the
+//! OLTP/OLAP mix) since PR 2 — but the choice stayed a constructor
+//! argument. [`MorphController`] watches that telemetry through
+//! [`LoadSnapshot`] windows and decides, live, which strategy the
+//! dispatch plan should carry and how wide the OLAP admission window
+//! should be — §2.1's "shift its architecture just in an instant",
+//! grounded in Evolutionary Data Systems and Database-Agnostic Workload
+//! Management (PAPERS.md).
+//!
+//! ## Signals
+//!
+//! * **Skew** — the hottest home partition's share of the total queued
+//!   backlog ([`LoadSnapshot::hot_share`]). Under shared-nothing routing
+//!   a fully skewed workload parks every queued event on the one AC
+//!   owning the hot warehouse (share → 1.0); a partitionable one spreads
+//!   backlog evenly (share → 1/n). Decomposed strategies spread even a
+//!   skewed workload across stage ACs, so samplers attribute backlog
+//!   back to home partitions by admission mix — keeping the signal
+//!   strategy-invariant (no feedback thrash). No backlog at all means
+//!   the current plan is keeping up, which is evidence *for* it, not
+//!   against it.
+//! * **OLAP mix** — the analytical fraction of completed work
+//!   ([`LoadSnapshot::olap_fraction`]) steers the query admission window
+//!   between its configured bounds.
+//!
+//! ## Hysteresis (never thrash)
+//!
+//! Three guards keep the controller from oscillating:
+//!
+//! 1. **Dwell time** — after any switch, no further switch for
+//!    [`MorphConfig::dwell`], however the signals move.
+//! 2. **Deadband** — switching toward decomposition requires
+//!    `hot_share >= skew_high`; switching back requires
+//!    `hot_share <= skew_low`. Between the thresholds the controller
+//!    holds, so a workload sitting *at* a threshold cannot flip-flop.
+//! 3. **Improvement threshold** — decomposition must also predict a real
+//!    gain: the hot AC owns `hot_share` of all queued work, so spreading
+//!    it over the stage pipeline is worth about `hot_share × acs`; below
+//!    [`MorphConfig::improvement`] the switch is not taken.
+//!
+//! Both hysteresis properties — at most one switch per dwell window, and
+//! convergence (a constant workload switches at most once, ever) — are
+//! property-tested in `tests/morph_props.rs`.
+
+use std::time::Duration;
+
+use anydb_common::metrics::LoadSnapshot;
+
+use crate::strategy::Strategy;
+
+/// Tuning for the morph controller. The defaults fit the engine's
+/// default shape (2 ACs, OLAP window 8); [`AnyDbEngine::run_phase`]
+/// overrides [`acs`] with the engine's real AC count so the improvement
+/// model always prices the actual pipeline width.
+///
+/// [`AnyDbEngine::run_phase`]: crate::engine::AnyDbEngine::run_phase
+/// [`acs`]: MorphConfig::acs
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MorphConfig {
+    /// Minimum time between strategy switches.
+    pub dwell: Duration,
+    /// Hot-share at or above which decomposition becomes a candidate.
+    pub skew_high: f64,
+    /// Hot-share at or below which shared-nothing becomes a candidate.
+    pub skew_low: f64,
+    /// Predicted speedup (`hot_share × acs`) a switch to decomposition
+    /// must clear.
+    pub improvement: f64,
+    /// Total queued backlog below which no switch is considered: an
+    /// unloaded system is already served by whatever plan it runs.
+    pub min_backlog: u64,
+    /// Worker-AC count the improvement model prices the pipeline at.
+    pub acs: u32,
+    /// Bounds for the steered OLAP admission window `(narrow, wide)`.
+    pub olap_window: (usize, usize),
+}
+
+impl Default for MorphConfig {
+    fn default() -> Self {
+        Self {
+            dwell: Duration::from_millis(25),
+            skew_high: 0.85,
+            skew_low: 0.55,
+            improvement: 1.5,
+            min_backlog: 16,
+            acs: 2,
+            olap_window: (8, 32),
+        }
+    }
+}
+
+/// What the controller wants after one observation window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MorphDecision {
+    /// `Some(next)` iff the controller switched strategy this window —
+    /// the caller installs it into the dispatch plan.
+    pub switch_to: Option<Strategy>,
+    /// The OLAP admission window to run with (always valid, whether or
+    /// not a switch happened).
+    pub olap_window: usize,
+}
+
+/// The controller itself: current strategy, switch clock, and the
+/// hysteresis state. Pure in `(now, snapshot)` — time is an argument,
+/// not read from a clock — so the sim drives it in virtual time and the
+/// property tests replay arbitrary histories deterministically.
+#[derive(Debug, Clone)]
+pub struct MorphController {
+    cfg: MorphConfig,
+    current: Strategy,
+    /// When the last switch happened (elapsed time supplied by the
+    /// caller); `None` until the first switch.
+    last_switch: Option<Duration>,
+    switches: u64,
+}
+
+impl MorphController {
+    /// A controller starting from `initial` under `cfg`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < skew_low < skew_high <= 1` and the OLAP window
+    /// bounds are ordered and positive — a controller with an inverted
+    /// deadband could thrash by construction.
+    pub fn new(initial: Strategy, cfg: MorphConfig) -> Self {
+        assert!(
+            0.0 < cfg.skew_low && cfg.skew_low < cfg.skew_high && cfg.skew_high <= 1.0,
+            "deadband inverted: low {} high {}",
+            cfg.skew_low,
+            cfg.skew_high
+        );
+        assert!(
+            0 < cfg.olap_window.0 && cfg.olap_window.0 <= cfg.olap_window.1,
+            "olap window bounds inverted: {:?}",
+            cfg.olap_window
+        );
+        assert!(cfg.acs > 0, "controller needs at least one AC");
+        Self {
+            cfg,
+            current: initial,
+            last_switch: None,
+            switches: 0,
+        }
+    }
+
+    /// The strategy the controller currently stands behind.
+    pub fn current(&self) -> Strategy {
+        self.current
+    }
+
+    /// Switches taken so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &MorphConfig {
+        &self.cfg
+    }
+
+    /// Feeds one observation window taken at elapsed time `now` and
+    /// returns the controller's decision. `now` values must be
+    /// monotonically non-decreasing across calls.
+    pub fn observe(&mut self, now: Duration, snap: &LoadSnapshot) -> MorphDecision {
+        let olap_window = self.olap_window_for(snap);
+        let mut switch_to = None;
+        if let Some(target) = self.target(snap) {
+            if target != self.current && self.dwell_elapsed(now) {
+                self.current = target;
+                self.last_switch = Some(now);
+                self.switches += 1;
+                switch_to = Some(target);
+            }
+        }
+        MorphDecision {
+            switch_to,
+            olap_window,
+        }
+    }
+
+    fn dwell_elapsed(&self, now: Duration) -> bool {
+        match self.last_switch {
+            None => true,
+            Some(at) => now.saturating_sub(at) >= self.cfg.dwell,
+        }
+    }
+
+    /// The strategy the signals argue for, or `None` to hold: too little
+    /// backlog to justify anything, a hot-share inside the deadband, or a
+    /// decomposition whose predicted gain is not worth a swap.
+    fn target(&self, snap: &LoadSnapshot) -> Option<Strategy> {
+        if snap.depth_total < self.cfg.min_backlog {
+            return None;
+        }
+        let hot = snap.hot_share()?;
+        if hot >= self.cfg.skew_high {
+            let gain = hot * self.cfg.acs as f64;
+            (gain >= self.cfg.improvement).then_some(Strategy::StreamingCc)
+        } else if hot <= self.cfg.skew_low {
+            Some(Strategy::SharedNothing)
+        } else {
+            None
+        }
+    }
+
+    /// Linear interpolation of the admission window over the observed
+    /// OLAP fraction: all-OLTP runs at the narrow bound, all-OLAP at the
+    /// wide one.
+    fn olap_window_for(&self, snap: &LoadSnapshot) -> usize {
+        let (narrow, wide) = self.cfg.olap_window;
+        narrow + ((wide - narrow) as f64 * snap.olap_fraction()).round() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed(backlog: u64) -> LoadSnapshot {
+        LoadSnapshot {
+            oltp_committed: 100,
+            depth_samples: 1,
+            depth_hot: backlog,
+            depth_total: backlog,
+            windows: 1,
+            ..Default::default()
+        }
+    }
+
+    fn uniform(backlog: u64, acs: u64) -> LoadSnapshot {
+        LoadSnapshot {
+            oltp_committed: 100,
+            depth_samples: 1,
+            depth_hot: backlog / acs,
+            depth_total: backlog,
+            windows: 1,
+            ..Default::default()
+        }
+    }
+
+    fn ctl() -> MorphController {
+        MorphController::new(
+            Strategy::SharedNothing,
+            MorphConfig {
+                acs: 4,
+                ..Default::default()
+            },
+        )
+    }
+
+    const MS: Duration = Duration::from_millis(1);
+
+    #[test]
+    fn skew_triggers_decomposition_and_uniform_reverts() {
+        let mut c = ctl();
+        let d = c.observe(Duration::ZERO, &skewed(64));
+        assert_eq!(d.switch_to, Some(Strategy::StreamingCc));
+        assert_eq!(c.current(), Strategy::StreamingCc);
+        // After the dwell, a uniform signal brings shared-nothing back.
+        let d = c.observe(c.config().dwell + MS, &uniform(64, 4));
+        assert_eq!(d.switch_to, Some(Strategy::SharedNothing));
+        assert_eq!(c.switches(), 2);
+    }
+
+    #[test]
+    fn dwell_blocks_an_immediate_flip() {
+        let mut c = ctl();
+        assert!(c.observe(Duration::ZERO, &skewed(64)).switch_to.is_some());
+        // Signals reversed inside the dwell window: the controller holds.
+        let d = c.observe(c.config().dwell - MS, &uniform(64, 4));
+        assert_eq!(d.switch_to, None);
+        assert_eq!(c.current(), Strategy::StreamingCc);
+    }
+
+    #[test]
+    fn no_backlog_means_no_switch() {
+        let mut c = ctl();
+        // Deep skew but below min_backlog: the plan is keeping up.
+        let d = c.observe(Duration::ZERO, &skewed(8));
+        assert_eq!(d.switch_to, None);
+        // And a snapshot with no depth data at all holds too.
+        let d = c.observe(MS, &LoadSnapshot::default());
+        assert_eq!(d.switch_to, None);
+        assert_eq!(c.current(), Strategy::SharedNothing);
+    }
+
+    #[test]
+    fn deadband_holds_between_thresholds() {
+        let mut c = ctl();
+        let mid = LoadSnapshot {
+            depth_samples: 1,
+            depth_hot: 70,
+            depth_total: 100,
+            ..Default::default()
+        };
+        for i in 0..20u64 {
+            let d = c.observe(Duration::from_millis(i * 10), &mid);
+            assert_eq!(d.switch_to, None);
+        }
+        assert_eq!(c.switches(), 0);
+    }
+
+    #[test]
+    fn improvement_threshold_vetoes_pointless_decomposition() {
+        // One AC: decomposing cannot help (gain = hot × 1 < threshold).
+        let mut c = MorphController::new(
+            Strategy::SharedNothing,
+            MorphConfig {
+                acs: 1,
+                ..Default::default()
+            },
+        );
+        let d = c.observe(Duration::ZERO, &skewed(64));
+        assert_eq!(d.switch_to, None);
+        assert_eq!(c.current(), Strategy::SharedNothing);
+    }
+
+    #[test]
+    fn olap_window_tracks_the_mix() {
+        let mut c = ctl();
+        let (narrow, wide) = c.config().olap_window;
+        // Pure OLTP: narrow.
+        assert_eq!(c.observe(Duration::ZERO, &skewed(8)).olap_window, narrow);
+        // All-OLAP completions: wide.
+        let olap = LoadSnapshot {
+            olap_completed: 50,
+            olap_admitted: 50,
+            ..Default::default()
+        };
+        assert_eq!(c.observe(MS, &olap).olap_window, wide);
+        // An even mix lands in between.
+        let mixed = LoadSnapshot {
+            oltp_committed: 50,
+            olap_completed: 50,
+            ..Default::default()
+        };
+        let w = c.observe(2 * MS, &mixed).olap_window;
+        assert!(w > narrow && w < wide, "mixed window {w}");
+    }
+
+    #[test]
+    #[should_panic(expected = "deadband inverted")]
+    fn inverted_deadband_panics() {
+        MorphController::new(
+            Strategy::SharedNothing,
+            MorphConfig {
+                skew_low: 0.9,
+                skew_high: 0.5,
+                ..Default::default()
+            },
+        );
+    }
+}

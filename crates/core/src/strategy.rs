@@ -12,6 +12,10 @@
 //! * **streaming CC** (§3.3): per-stage ACs consuming ops of all
 //!   transactions in one consistent stamp order, forming a pipeline.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
 pub use anydb_stream::adaptive::AdaptiveBatch;
 use anydb_stream::inbox::InboxSender;
 use anydb_workload::tpcc::gen::PaymentParams;
@@ -35,6 +39,14 @@ pub enum Strategy {
 }
 
 impl Strategy {
+    /// Every strategy, in discriminant order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::SharedNothing,
+        Strategy::StaticIntra,
+        Strategy::PreciseIntra,
+        Strategy::StreamingCc,
+    ];
+
     /// Label used by the figure harnesses (matches the paper's legend).
     pub fn label(self) -> &'static str {
         match self {
@@ -43,6 +55,112 @@ impl Strategy {
             Strategy::PreciseIntra => "AnyDB Precise Intra-Txn",
             Strategy::StreamingCc => "AnyDB Streaming CC",
         }
+    }
+
+    /// The plan-cell code (fits in [`DispatchPlan`]'s low byte).
+    fn code(self) -> u64 {
+        match self {
+            Strategy::SharedNothing => 0,
+            Strategy::StaticIntra => 1,
+            Strategy::PreciseIntra => 2,
+            Strategy::StreamingCc => 3,
+        }
+    }
+
+    /// Inverse of [`Strategy::code`].
+    fn from_code(code: u64) -> Strategy {
+        match code {
+            0 => Strategy::SharedNothing,
+            1 => Strategy::StaticIntra,
+            2 => Strategy::PreciseIntra,
+            3 => Strategy::StreamingCc,
+            other => unreachable!("corrupt plan cell: strategy code {other}"),
+        }
+    }
+}
+
+/// The live, swappable routing decision: which [`Strategy`] drivers use
+/// to decompose and route the *next* transactions they admit.
+///
+/// The plan packs `(epoch << 8) | strategy code` into one `AtomicU64`, so
+/// consulting it at a transaction-window boundary is a single acquire
+/// load — no lock on the admission path. [`install`] bumps the epoch
+/// under an internal mutex (serializing concurrent controllers and
+/// keeping the install history consistent) and publishes the new word
+/// with a release store.
+///
+/// The epoch is the swap protocol's token: a driver that reads a *newer*
+/// epoch than the one it admitted its in-flight transactions under must
+/// first drain those to zero (their completions are tracked on the same
+/// done channel regardless of epoch), then rendezvous with the other
+/// drivers, and only then admit under the new strategy — so the system
+/// never executes two strategies' decompositions against the same data
+/// concurrently (no torn routing; see `engine.rs` and DESIGN.md §11).
+///
+/// A static run is the degenerate case: one epoch, never reinstalled.
+///
+/// [`install`]: DispatchPlan::install
+#[derive(Debug)]
+pub struct DispatchPlan {
+    cell: AtomicU64,
+    /// Every strategy ever installed, in order (the executed sequence
+    /// [`crate::engine::PhaseResult`] reports).
+    installs: Mutex<Vec<Strategy>>,
+}
+
+impl DispatchPlan {
+    /// A plan starting at `initial`, epoch 0.
+    pub fn new(initial: Strategy) -> Self {
+        Self {
+            cell: AtomicU64::new(initial.code()),
+            installs: Mutex::new(vec![initial]),
+        }
+    }
+
+    /// The current `(epoch, strategy)` pair — one atomic load.
+    #[inline]
+    pub fn current(&self) -> (u64, Strategy) {
+        let word = self.cell.load(Ordering::Acquire);
+        (word >> 8, Strategy::from_code(word & 0xFF))
+    }
+
+    /// The strategy currently in effect.
+    pub fn strategy(&self) -> Strategy {
+        self.current().1
+    }
+
+    /// The current epoch (bumped once per effective [`install`]).
+    ///
+    /// [`install`]: DispatchPlan::install
+    pub fn epoch(&self) -> u64 {
+        self.current().0
+    }
+
+    /// Installs `next` as the live strategy, bumping the epoch. Returns
+    /// `false` (and leaves the epoch alone) when `next` is already the
+    /// current strategy — re-affirming a plan is not a swap and must not
+    /// force drivers through a drain barrier.
+    pub fn install(&self, next: Strategy) -> bool {
+        let mut installs = self.installs.lock().expect("plan history poisoned");
+        let (epoch, cur) = self.current();
+        if cur == next {
+            return false;
+        }
+        self.cell
+            .store(((epoch + 1) << 8) | next.code(), Ordering::Release);
+        installs.push(next);
+        true
+    }
+
+    /// Every strategy installed so far, in execution order (the first
+    /// entry is the initial strategy).
+    pub fn history(&self) -> Vec<Strategy> {
+        self.installs.lock().expect("plan history poisoned").clone()
+    }
+
+    /// Number of strategy swaps performed (installs after the first).
+    pub fn switches(&self) -> u64 {
+        (self.installs.lock().expect("plan history poisoned").len() - 1) as u64
     }
 }
 
@@ -174,6 +292,20 @@ pub enum BatchMode {
         /// Loaded-side cap.
         max: usize,
     },
+    /// Latency-target batch size: grow the batch until the measured p99
+    /// queueing delay reaches `budget`, shed it the moment the budget is
+    /// blown. Drivers feed the controller their window drain time (the
+    /// delay a newly admitted event experiences) through
+    /// [`DispatchBatcher::observe_delay`]; consumers that only see
+    /// backlog (the AC drain loop) keep steering the same controller by
+    /// depth over `[1, max]`. This gives the morph controller a real SLO
+    /// knob instead of a size range.
+    Slo {
+        /// p99 queueing-delay budget.
+        budget: Duration,
+        /// Loaded-side cap.
+        max: usize,
+    },
 }
 
 impl BatchMode {
@@ -188,6 +320,7 @@ impl BatchMode {
         match self {
             BatchMode::Static(n) => AdaptiveBatch::fixed(n),
             BatchMode::Adaptive { min, max } => AdaptiveBatch::new(min, max),
+            BatchMode::Slo { budget, max } => AdaptiveBatch::with_slo(1, max, budget),
         }
     }
 
@@ -195,7 +328,7 @@ impl BatchMode {
     pub fn max(self) -> usize {
         match self {
             BatchMode::Static(n) => n,
-            BatchMode::Adaptive { max, .. } => max,
+            BatchMode::Adaptive { max, .. } | BatchMode::Slo { max, .. } => max,
         }
     }
 }
@@ -240,6 +373,12 @@ impl DispatchBatcher {
     /// queue); returns the batch size now in effect.
     pub fn observe(&mut self, depth: usize) -> usize {
         self.ctrl.observe(depth)
+    }
+
+    /// Feeds the controller one measured p99 queueing delay (SLO modes
+    /// only; a no-op otherwise). Returns the batch size now in effect.
+    pub fn observe_delay(&mut self, p99: Duration) -> usize {
+        self.ctrl.observe_delay(p99)
     }
 
     /// The flush threshold currently in effect.
@@ -376,6 +515,68 @@ mod tests {
         let adaptive = BatchMode::default().controller();
         assert_eq!((adaptive.min(), adaptive.max()), (1, 64));
         assert_eq!(BatchMode::default().max(), 64);
+        let slo = BatchMode::Slo {
+            budget: Duration::from_millis(2),
+            max: 128,
+        };
+        let ctrl = slo.controller();
+        assert_eq!((ctrl.min(), ctrl.max()), (1, 128));
+        assert_eq!(ctrl.slo(), Some(Duration::from_millis(2)));
+        assert_eq!(slo.max(), 128);
+    }
+
+    #[test]
+    fn plan_codes_roundtrip_every_strategy() {
+        for s in Strategy::ALL {
+            assert_eq!(Strategy::from_code(s.code()), s);
+        }
+    }
+
+    #[test]
+    fn plan_install_bumps_epoch_and_records_history() {
+        let plan = DispatchPlan::new(Strategy::SharedNothing);
+        assert_eq!(plan.current(), (0, Strategy::SharedNothing));
+        assert_eq!(plan.switches(), 0);
+
+        // Re-affirming the current strategy is not a swap.
+        assert!(!plan.install(Strategy::SharedNothing));
+        assert_eq!(plan.epoch(), 0);
+
+        assert!(plan.install(Strategy::StreamingCc));
+        assert_eq!(plan.current(), (1, Strategy::StreamingCc));
+        assert!(plan.install(Strategy::SharedNothing));
+        assert_eq!(plan.current(), (2, Strategy::SharedNothing));
+        assert_eq!(
+            plan.history(),
+            vec![
+                Strategy::SharedNothing,
+                Strategy::StreamingCc,
+                Strategy::SharedNothing
+            ]
+        );
+        assert_eq!(plan.switches(), 2);
+    }
+
+    #[test]
+    fn plan_reads_are_consistent_under_concurrent_installs() {
+        use std::sync::Arc;
+        let plan = Arc::new(DispatchPlan::new(Strategy::SharedNothing));
+        let reader = {
+            let plan = plan.clone();
+            std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    // The packed word always unpacks to a valid strategy
+                    // (from_code would panic on a torn read).
+                    let (_, s) = plan.current();
+                    assert!(Strategy::ALL.contains(&s));
+                }
+            })
+        };
+        for i in 0..1000u64 {
+            plan.install(Strategy::ALL[(i % 4) as usize]);
+        }
+        reader.join().unwrap();
+        assert_eq!(plan.epoch(), plan.switches());
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Property tests for the morph controller's hysteresis guarantees.
+//!
+//! The controller is pure in `(now, snapshot)`, so these replay random
+//! telemetry histories deterministically and check the two invariants the
+//! live engine relies on (DESIGN.md §11):
+//!
+//! 1. **Never thrash**: no two switches ever land within one dwell
+//!    window, whatever the signals do.
+//! 2. **Convergence**: a constant workload produces at most one switch,
+//!    ever — the controller settles and stays settled.
+
+use std::time::Duration;
+
+use anydb_common::metrics::LoadSnapshot;
+use anydb_core::morph::{MorphConfig, MorphController};
+use anydb_core::strategy::Strategy as Exec;
+use proptest::prelude::*;
+
+/// A random but valid telemetry window: arbitrary backlog up to 4096
+/// events, the hot partition owning an arbitrary share of it.
+fn snapshots() -> impl Strategy<Value = LoadSnapshot> {
+    (0u64..4096, 0u64..101).prop_map(|(total, hot_pct)| LoadSnapshot {
+        oltp_committed: 100,
+        depth_samples: 1,
+        depth_hot: total * hot_pct / 100,
+        depth_total: total,
+        windows: 1,
+        ..Default::default()
+    })
+}
+
+fn cfg(dwell_ms: u64) -> MorphConfig {
+    MorphConfig {
+        dwell: Duration::from_millis(dwell_ms),
+        min_backlog: 8,
+        improvement: 1.0,
+        acs: 4,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever telemetry arrives and however irregular the observation
+    /// cadence, two switches are never taken within one dwell window.
+    #[test]
+    fn never_switches_twice_within_a_dwell_window(
+        snaps in prop::collection::vec(snapshots(), 1..64),
+        gaps in prop::collection::vec(0u64..10, 1..64),
+        dwell_ms in 1u64..50,
+    ) {
+        let mut c = MorphController::new(Exec::SharedNothing, cfg(dwell_ms));
+        let dwell = Duration::from_millis(dwell_ms);
+        let mut now = Duration::ZERO;
+        let mut last_switch: Option<Duration> = None;
+        for (snap, gap) in snaps.iter().zip(gaps.iter().cycle()) {
+            now += Duration::from_millis(*gap);
+            let d = c.observe(now, snap);
+            if d.switch_to.is_some() {
+                if let Some(prev) = last_switch {
+                    prop_assert!(
+                        now - prev >= dwell,
+                        "switches {:?} apart inside a {:?} dwell",
+                        now - prev,
+                        dwell
+                    );
+                }
+                last_switch = Some(now);
+            }
+        }
+    }
+
+    /// A constant workload converges: at most one switch over any number
+    /// of observations, from any starting strategy.
+    #[test]
+    fn constant_workload_switches_at_most_once(
+        snap in snapshots(),
+        start in 0usize..Exec::ALL.len(),
+        observations in 2usize..128,
+    ) {
+        let start = Exec::ALL[start];
+        let mut c = MorphController::new(start, cfg(5));
+        for i in 0..observations {
+            // Well past the dwell each time: dwell never masks a would-be
+            // thrash here, so any oscillation would show as switches.
+            c.observe(Duration::from_millis(i as u64 * 100), &snap);
+        }
+        prop_assert!(
+            c.switches() <= 1,
+            "constant workload produced {} switches (start {:?}, end {:?})",
+            c.switches(),
+            start,
+            c.current()
+        );
+    }
+
+    /// The steered OLAP window always lands inside its configured bounds.
+    #[test]
+    fn olap_window_stays_in_bounds(
+        snaps in prop::collection::vec(snapshots(), 1..32),
+        olap in prop::collection::vec(0u64..1000, 1..32),
+    ) {
+        let mut c = MorphController::new(Exec::SharedNothing, cfg(5));
+        let (narrow, wide) = c.config().olap_window;
+        for (i, (snap, q)) in snaps.iter().zip(olap.iter().cycle()).enumerate() {
+            let mut snap = *snap;
+            snap.olap_completed = *q;
+            let d = c.observe(Duration::from_millis(i as u64), &snap);
+            prop_assert!(d.olap_window >= narrow && d.olap_window <= wide);
+        }
+    }
+}

@@ -175,17 +175,21 @@ impl Simulator {
         // executor time (and running slower from interference).
         // AnyDB: a dedicated OLAP AC; worker budgets untouched.
         let mut budget = vec![horizon_ns; n];
-        let olap_queries = if kind.has_olap() {
+        // The phase's concurrent stream count scales the analytics load:
+        // HTAP phases run one stream, the OLAP-heavy batch window several.
+        let streams = kind.olap_streams() as u64;
+        let olap_queries = if streams > 0 {
             if locked {
                 let q = (self.cost.olap_q3_ns as f64 * self.olap_interference) as u64;
-                let total = horizon_ns / q;
-                // Each TE loses its round-robin share of query time.
+                let total = (horizon_ns / q) * streams;
+                // Each TE loses its round-robin share of query time — a
+                // heavy batch window can consume a coupled TE entirely.
                 for b in budget.iter_mut() {
-                    *b -= (total / n as u64) * q;
+                    *b = b.saturating_sub((total / n as u64) * q);
                 }
                 total
             } else {
-                horizon_ns / self.cost.olap_q3_ns
+                (horizon_ns / self.cost.olap_q3_ns) * streams
             }
         } else {
             0
@@ -243,13 +247,10 @@ impl Simulator {
         let mut coord_free = 0u64;
         let mut committed = 0u64;
 
-        // AnyDB routes OLAP to a dedicated AC in HTAP phases: the OLTP
-        // pipeline is unaffected.
-        let olap_queries = if kind.has_olap() {
-            horizon_ns / c.olap_q3_ns
-        } else {
-            0
-        };
+        // AnyDB routes OLAP to dedicated ACs in HTAP phases: the OLTP
+        // pipeline is unaffected, and the batch window's extra streams
+        // just mean more dedicated ACs (the elasticity of §4).
+        let olap_queries = (horizon_ns / c.olap_q3_ns) * kind.olap_streams() as u64;
 
         loop {
             let p = gen.next();

@@ -1,7 +1,13 @@
-//! Figure scenarios: the series the paper plots.
+//! Figure scenarios: the series the paper plots, plus the day-in-the-life
+//! morphing comparison (DESIGN.md §11) — the *real*
+//! [`MorphController`] driven in virtual time against every static
+//! strategy.
 
 use std::time::Duration;
 
+use anydb_common::metrics::LoadSnapshot;
+use anydb_core::morph::{MorphConfig, MorphController};
+use anydb_core::strategy::Strategy;
 use anydb_workload::phases::{PhaseKind, PhaseSchedule};
 use anydb_workload::tpcc::TpccConfig;
 
@@ -138,6 +144,118 @@ pub fn figure5_series(
         .collect()
 }
 
+/// The engine strategy priced as its simulated counterpart, with the
+/// exact entity counts `figure5_series` uses for each arm.
+fn sim_strategy(s: Strategy, workers: u32) -> SimStrategy {
+    match s {
+        Strategy::SharedNothing => SimStrategy::SharedNothing { acs: workers },
+        Strategy::StreamingCc => SimStrategy::StreamingCc { acs: workers },
+        Strategy::StaticIntra => SimStrategy::StaticIntra { acs: workers + 1 },
+        Strategy::PreciseIntra => SimStrategy::PreciseIntra { acs: 2 },
+    }
+}
+
+fn static_label(s: Strategy) -> &'static str {
+    match s {
+        Strategy::SharedNothing => "AnyDB Shared-Nothing",
+        Strategy::StreamingCc => "AnyDB Streaming CC",
+        Strategy::StaticIntra => "AnyDB Static Intra-Txn",
+        Strategy::PreciseIntra => "AnyDB Precise Intra-Txn",
+    }
+}
+
+/// The day-in-the-life comparison (DESIGN.md §11).
+#[derive(Debug, Clone)]
+pub struct DaySeries {
+    /// `(label, series)` arms: "AnyDB Morphing" first, then one static
+    /// arm per [`Strategy`] in `Strategy::ALL` order.
+    pub arms: Vec<(String, Vec<SeriesPoint>)>,
+    /// Plan switches the controller took over the day.
+    pub morph_switches: u64,
+    /// The strategy the morphing arm actually ran, per phase.
+    pub morph_sequence: Vec<Strategy>,
+}
+
+/// The morphing engine against every static strategy over the
+/// [`PhaseSchedule::day_in_the_life`] schedule.
+///
+/// The morphing arm runs the *real* [`MorphController`] — the same code
+/// the live engine hosts on driver 0 — in virtual time: each phase feeds
+/// it one telemetry window synthesized from the phase's observable shape
+/// (skew concentrates the queued backlog on one home partition, a
+/// partitionable mix spreads it; exactly what the live engine samples),
+/// and the phase then executes under whatever plan the controller stands
+/// behind. No static arm can win the whole day — that is the claim the
+/// bench gate holds (`abl_morph`).
+pub fn day_in_the_life_series(workers: u32, horizon: Duration, seed: u64) -> DaySeries {
+    let sim = Simulator::new(
+        CostModel::default(),
+        TpccConfig {
+            warehouses: workers,
+            ..TpccConfig::default()
+        },
+    );
+    let schedule = PhaseSchedule::day_in_the_life();
+
+    // One controller across the whole day; a sim phase is one big
+    // transaction window, so the dwell spans half a phase — switches at
+    // phase boundaries stay possible, thrash inside one is not.
+    let mut ctl = MorphController::new(
+        Strategy::SharedNothing,
+        MorphConfig {
+            acs: workers,
+            dwell: horizon / 2,
+            ..MorphConfig::default()
+        },
+    );
+    let mut morph = Vec::new();
+    let mut morph_sequence = Vec::new();
+    for phase in schedule.phases() {
+        let backlog = 64u64;
+        let hot = if phase.kind.is_skewed() {
+            backlog
+        } else {
+            backlog / workers.max(1) as u64
+        };
+        let snap = LoadSnapshot {
+            oltp_committed: 100,
+            olap_completed: phase.kind.olap_streams() as u64,
+            depth_samples: 1,
+            depth_hot: hot,
+            depth_total: backlog,
+            windows: 1,
+            ..Default::default()
+        };
+        ctl.observe(horizon * phase.index, &snap);
+        morph_sequence.push(ctl.current());
+        let r = sim.run_phase(
+            sim_strategy(ctl.current(), workers),
+            phase.kind,
+            horizon,
+            seed ^ phase.index as u64,
+        );
+        morph.push(SeriesPoint {
+            phase: phase.index,
+            phase_label: phase.kind.label(),
+            mtps: r.tx_per_sec() / 1e6,
+            olap_qps: r.olap_queries as f64 / horizon.as_secs_f64(),
+        });
+    }
+
+    let mut arms = vec![("AnyDB Morphing".to_string(), morph)];
+    for s in Strategy::ALL {
+        arms.push((
+            static_label(s).to_string(),
+            run_series(&sim, &schedule, |_| sim_strategy(s, workers), horizon, seed),
+        ));
+    }
+    DaySeries {
+        arms,
+        morph_switches: ctl.switches(),
+        morph_sequence,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,5 +319,45 @@ mod tests {
         assert!(base4[p].mtps < stat[p].mtps);
         assert!(stat[p].mtps < precise[p].mtps);
         assert!(precise[p].mtps < streaming[p].mtps);
+    }
+
+    #[test]
+    fn day_in_the_life_morphing_beats_every_static() {
+        let day = day_in_the_life_series(4, H, 44);
+        assert_eq!(day.arms.len(), 5);
+        assert_eq!(day.arms[0].0, "AnyDB Morphing");
+        let total = |s: &[SeriesPoint]| s.iter().map(|p| p.mtps).sum::<f64>();
+        let morph = &day.arms[0].1;
+        // End-to-end: morphing at least matches the best static day.
+        for (label, series) in &day.arms[1..] {
+            assert!(
+                total(morph) >= total(series) * 0.999,
+                "{label} won the day: {} vs morph {}",
+                total(series),
+                total(morph)
+            );
+            // And every static strategy loses at least one phase to it.
+            assert!(
+                morph
+                    .iter()
+                    .zip(series)
+                    .any(|(m, s)| m.mtps > s.mtps * 1.05),
+                "{label} never clearly beaten"
+            );
+        }
+        // The controller actually morphed: SN through the morning, CC for
+        // the rush, back for the spread-out evening — at least 2 switches.
+        assert!(day.morph_switches >= 2, "switches {}", day.morph_switches);
+        assert_eq!(day.morph_sequence.len(), 12);
+        assert_eq!(day.morph_sequence[0], Strategy::SharedNothing);
+        assert!(day.morph_sequence.contains(&Strategy::StreamingCc));
+    }
+
+    #[test]
+    fn day_in_the_life_is_deterministic() {
+        let a = day_in_the_life_series(4, H, 45);
+        let b = day_in_the_life_series(4, H, 45);
+        assert_eq!(a.morph_sequence, b.morph_sequence);
+        assert_eq!(a.arms, b.arms);
     }
 }

@@ -16,8 +16,10 @@
 //! tuple-buffer cache miss per row. The mirror sits behind its own `RwLock`
 //! (acquired *after* the row-store locks, never the other way around):
 //! writers hold it for the duration of one row's write-through, scans hold
-//! it in [`SNAPSHOT_CHUNK`]-row read chunks — racing OLTP writers stall at
-//! most one chunk's worth of copying.
+//! it in read chunks paced by a writer-aware controller ([`ChunkPacer`],
+//! starting at [`SNAPSHOT_CHUNK`] rows) — racing OLTP writers stall at
+//! most one chunk's worth of copying, and the chunk shrinks while writers
+//! are actually queueing behind the scan.
 //!
 //! ## Epochs, global and per column
 //!
@@ -49,8 +51,51 @@ use crate::record::Row;
 
 /// Rows materialized per exclusive chunk by the columnar scans: large
 /// enough to amortize the lock handoff, small enough that racing OLTP
-/// writers are stalled for microseconds, not a scan's length.
+/// writers are stalled for microseconds, not a scan's length. This is the
+/// [`ChunkPacer`]'s starting point, not a fixed size.
 const SNAPSHOT_CHUNK: usize = 1024;
+
+/// Writer-aware chunk pacing for the snapshot scans.
+///
+/// A fixed chunk forces one stall/amortization trade-off on every
+/// workload phase. The pacer adapts it per scan from the one signal the
+/// scan can observe for free: whether the partition's write epoch moved
+/// while the lock was released at a chunk boundary. Writers slipping in
+/// at the handoff were very likely queued *behind* the scan, so the next
+/// chunk halves (shorter stalls for the writers still coming); a quiet
+/// handoff doubles it back (nobody is waiting — spend the lock hold on
+/// amortization). Multiplicative in both directions, like the event
+/// streams' `AdaptiveBatch`, so it spans its whole range in a few
+/// boundaries of a long scan.
+#[derive(Debug)]
+struct ChunkPacer {
+    chunk: usize,
+}
+
+impl ChunkPacer {
+    const MIN: usize = 128;
+    const MAX: usize = 8192;
+
+    fn new() -> Self {
+        Self {
+            chunk: SNAPSHOT_CHUNK,
+        }
+    }
+
+    fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// Feeds one lock-handoff observation: did the write epoch move while
+    /// the scan let go of the lock?
+    fn observe(&mut self, writers_slipped: bool) {
+        self.chunk = if writers_slipped {
+            (self.chunk / 2).max(Self::MIN)
+        } else {
+            (self.chunk * 2).min(Self::MAX)
+        };
+    }
+}
 
 /// The column positions a predicate reads (empty for `None`).
 fn pred_columns(pred: Option<&ColPredicate>) -> Vec<usize> {
@@ -425,9 +470,10 @@ impl Partition {
         }
         let mut matched = 0usize;
         let mut sel: Vec<u32> = Vec::new();
+        let mut pacer = ChunkPacer::new();
         let mut lo = 0usize;
         while lo < prefix {
-            let hi = (lo + SNAPSHOT_CHUNK).min(prefix);
+            let hi = (lo + pacer.chunk()).min(prefix);
             // Borrows into the guard die at each chunk's lock handoff, so
             // the projected store refs are re-resolved per chunk (O(cols)).
             let stores = {
@@ -454,9 +500,14 @@ impl Partition {
             lo = hi;
             if lo < prefix {
                 // Chunk boundary: let stalled writers in. Slots below
-                // `prefix` stay valid — rows are append-only.
+                // `prefix` stay valid — rows are append-only. The epoch
+                // delta across the handoff is the pacer's signal: writers
+                // bump it under this same lock, so movement here means
+                // they were queueing behind the scan.
+                let before = self.epoch.load(Ordering::SeqCst);
                 drop(m);
                 m = mirror.read();
+                pacer.observe(self.epoch.load(Ordering::SeqCst) != before);
             }
         }
         if pred.is_none() {
@@ -496,9 +547,10 @@ impl Partition {
         }
         let mut matched = 0usize;
         let mut max_version = 0u64;
+        let mut pacer = ChunkPacer::new();
         let mut slot = 0usize;
         while slot < prefix {
-            let chunk_end = (slot + SNAPSHOT_CHUNK).min(prefix);
+            let chunk_end = (slot + pacer.chunk()).min(prefix);
             while slot < chunk_end {
                 // Safe latch bypass: we hold the outer lock exclusively,
                 // so no row latch can be held by anyone else.
@@ -514,8 +566,10 @@ impl Partition {
             if chunk_end < prefix {
                 // Chunk boundary: let stalled writers (and appenders) in.
                 // Slots below `prefix` stay valid — rows are append-only.
+                let before = self.epoch.load(Ordering::SeqCst);
                 drop(guard);
                 guard = self.rows.write();
+                pacer.observe(self.epoch.load(Ordering::SeqCst) != before);
             }
         }
         let epoch_end = self.epoch.load(Ordering::SeqCst);
@@ -856,6 +910,49 @@ mod tests {
             let scanned = p.scan_columns(&[0], None, &mut out).unwrap();
             assert_eq!(scanned, 4000);
             assert_eq!(out.rows(), 4000, "mirror kept pace with appends");
+        }
+    }
+
+    #[test]
+    fn chunk_pacer_sheds_under_writer_pressure_and_recovers() {
+        let mut p = ChunkPacer::new();
+        assert_eq!(p.chunk(), SNAPSHOT_CHUNK);
+        // Writers queueing at every handoff: shrink to the floor, never
+        // below it.
+        for _ in 0..10 {
+            p.observe(true);
+        }
+        assert_eq!(p.chunk(), ChunkPacer::MIN);
+        // Quiet handoffs: grow to the ceiling, never past it.
+        for _ in 0..10 {
+            p.observe(false);
+        }
+        assert_eq!(p.chunk(), ChunkPacer::MAX);
+    }
+
+    #[test]
+    fn paced_scan_stays_consistent_under_concurrent_writes() {
+        // A scan crossing many (small) chunk boundaries while writers
+        // race it must still return only fully published rows.
+        for base in both(&[DataType::Int]) {
+            let p = std::sync::Arc::new(base);
+            for i in 0..5000 {
+                p.append(t(i));
+            }
+            let writer = {
+                let p = p.clone();
+                std::thread::spawn(move || {
+                    for i in 0..2000 {
+                        p.append(t(100_000 + i));
+                    }
+                })
+            };
+            let mut out = ColumnBatch::new(&[DataType::Int]);
+            let snap = p.scan_columns_snapshot(&[0], None, &mut out).unwrap();
+            writer.join().unwrap();
+            // Every row the scan returned is a real, complete row.
+            assert_eq!(out.rows(), snap.prefix);
+            assert!(snap.prefix >= 5000);
         }
     }
 }

@@ -29,6 +29,9 @@ pub struct AdaptiveBatch {
     min: usize,
     max: usize,
     cur: usize,
+    /// p99 queueing-delay budget in nanoseconds (the SLO mode); `None`
+    /// for depth-only controllers.
+    slo_ns: Option<u64>,
 }
 
 impl AdaptiveBatch {
@@ -40,7 +43,27 @@ impl AdaptiveBatch {
     pub fn new(min: usize, max: usize) -> Self {
         assert!(min >= 1, "batch size must be positive");
         assert!(min <= max, "adaptive range inverted: {min} > {max}");
-        Self { min, max, cur: min }
+        Self {
+            min,
+            max,
+            cur: min,
+            slo_ns: None,
+        }
+    }
+
+    /// A latency-target controller: same `[min, max]` range, but callers
+    /// that can measure delay steer it through [`observe_delay`] against a
+    /// p99 queueing-delay `budget` — grow the batch while latency is
+    /// comfortably inside the budget, shrink the moment it is blown.
+    /// Depth observations ([`observe`]) still work, so the same controller
+    /// serves consumers that only see backlog (the AC drain loop).
+    ///
+    /// [`observe`]: AdaptiveBatch::observe
+    /// [`observe_delay`]: AdaptiveBatch::observe_delay
+    pub fn with_slo(min: usize, max: usize, budget: std::time::Duration) -> Self {
+        let mut c = Self::new(min, max);
+        c.slo_ns = Some(budget.as_nanos().min(u64::MAX as u128) as u64);
+        c
     }
 
     /// A pinned controller: `current` is always `n` (static batching).
@@ -82,6 +105,34 @@ impl AdaptiveBatch {
             self.cur = (self.cur * 2).min(self.max);
         } else if depth == 0 {
             self.cur = (self.cur / 2).max(self.min);
+        }
+        self.cur
+    }
+
+    /// The p99 queueing-delay budget, when this controller has one.
+    pub fn slo(&self) -> Option<std::time::Duration> {
+        self.slo_ns.map(std::time::Duration::from_nanos)
+    }
+
+    /// Feeds one measured p99 queueing delay and returns the adjusted
+    /// batch size. A no-op on controllers without an SLO budget.
+    ///
+    /// * `p99 > budget`: the target is blown — shrink (halve, floored at
+    ///   `min`) to shed queueing delay immediately.
+    /// * `p99 <= budget / 2`: comfortably inside the target — grow
+    ///   (double, capped at `max`) and spend the slack on amortization.
+    /// * otherwise: hold — the half-budget deadband keeps the controller
+    ///   from oscillating right at the target.
+    #[inline]
+    pub fn observe_delay(&mut self, p99: std::time::Duration) -> usize {
+        let Some(budget) = self.slo_ns else {
+            return self.cur;
+        };
+        let p99 = p99.as_nanos().min(u64::MAX as u128) as u64;
+        if p99 > budget {
+            self.cur = (self.cur / 2).max(self.min);
+        } else if p99 <= budget / 2 {
+            self.cur = (self.cur * 2).min(self.max);
         }
         self.cur
     }
@@ -140,5 +191,58 @@ mod tests {
     #[should_panic(expected = "inverted")]
     fn inverted_range_panics() {
         AdaptiveBatch::new(9, 3);
+    }
+
+    #[test]
+    fn slo_grows_within_budget_and_respects_max() {
+        use std::time::Duration;
+        let mut c = AdaptiveBatch::with_slo(1, 64, Duration::from_millis(1));
+        assert_eq!(c.slo(), Some(Duration::from_millis(1)));
+        // Comfortably inside the budget: grow toward max, never past it.
+        for _ in 0..20 {
+            c.observe_delay(Duration::from_micros(100));
+        }
+        assert_eq!(c.current(), 64);
+    }
+
+    #[test]
+    fn slo_sheds_batch_when_budget_blown() {
+        use std::time::Duration;
+        let mut c = AdaptiveBatch::with_slo(1, 64, Duration::from_millis(1));
+        for _ in 0..10 {
+            c.observe_delay(Duration::from_micros(10));
+        }
+        assert_eq!(c.current(), 64);
+        // Budget blown: shrink all the way back to min, never below.
+        for _ in 0..10 {
+            c.observe_delay(Duration::from_millis(5));
+        }
+        assert_eq!(c.current(), 1);
+    }
+
+    #[test]
+    fn slo_holds_in_the_deadband() {
+        use std::time::Duration;
+        let mut c = AdaptiveBatch::with_slo(1, 64, Duration::from_millis(1));
+        c.observe_delay(Duration::from_micros(10));
+        c.observe_delay(Duration::from_micros(10));
+        let level = c.current();
+        assert!(level > 1);
+        // Between budget/2 and budget: no movement either way.
+        c.observe_delay(Duration::from_micros(800));
+        assert_eq!(c.current(), level);
+    }
+
+    #[test]
+    fn delay_observations_are_noops_without_slo() {
+        use std::time::Duration;
+        let mut c = AdaptiveBatch::new(1, 64);
+        assert_eq!(c.slo(), None);
+        c.observe_delay(Duration::from_micros(1));
+        assert_eq!(c.current(), 1);
+        c.observe(usize::MAX);
+        let level = c.current();
+        c.observe_delay(Duration::from_secs(10));
+        assert_eq!(c.current(), level);
     }
 }

@@ -18,13 +18,17 @@ pub enum PhaseKind {
     HtapSkewed,
     /// Uniform OLTP plus a concurrent CH-Q3 stream.
     HtapPartitionable,
+    /// The analytics batch window: uniform (light) OLTP under several
+    /// concurrent CH-Q3 streams — the "night" regime of the
+    /// day-in-the-life schedule.
+    OlapHeavy,
 }
 
 impl PhaseKind {
     /// The warehouse distribution for this regime.
     pub fn warehouse_dist(self, warehouses: u32) -> HotSpot {
         match self {
-            PhaseKind::OltpPartitionable | PhaseKind::HtapPartitionable => {
+            PhaseKind::OltpPartitionable | PhaseKind::HtapPartitionable | PhaseKind::OlapHeavy => {
                 HotSpot::uniform(warehouses as u64)
             }
             PhaseKind::OltpSkewed | PhaseKind::HtapSkewed => HotSpot::single(warehouses as u64),
@@ -33,7 +37,18 @@ impl PhaseKind {
 
     /// Whether a concurrent OLAP stream runs.
     pub fn has_olap(self) -> bool {
-        matches!(self, PhaseKind::HtapSkewed | PhaseKind::HtapPartitionable)
+        self.olap_streams() > 0
+    }
+
+    /// How many concurrent OLAP query streams the regime carries: 0 for
+    /// pure OLTP, 1 for the HTAP phases, several for the OLAP-heavy batch
+    /// window (engines scale their query admission accordingly).
+    pub fn olap_streams(self) -> usize {
+        match self {
+            PhaseKind::OltpPartitionable | PhaseKind::OltpSkewed => 0,
+            PhaseKind::HtapSkewed | PhaseKind::HtapPartitionable => 1,
+            PhaseKind::OlapHeavy => 4,
+        }
     }
 
     /// Whether OLTP access is skewed to one warehouse.
@@ -48,6 +63,7 @@ impl PhaseKind {
             PhaseKind::OltpSkewed => "OLTP skewed",
             PhaseKind::HtapSkewed => "HTAP skewed",
             PhaseKind::HtapPartitionable => "HTAP partitionable",
+            PhaseKind::OlapHeavy => "OLAP heavy",
         }
     }
 }
@@ -80,6 +96,33 @@ impl PhaseSchedule {
             phases: kinds
                 .iter()
                 .flat_map(|&k| std::iter::repeat_n(k, 3))
+                .enumerate()
+                .map(|(i, kind)| Phase {
+                    index: i as u32,
+                    kind,
+                })
+                .collect(),
+        }
+    }
+
+    /// A 12-phase operational day, the morphing controller's end-to-end
+    /// scenario: partitionable OLTP through the morning, a skewed midday
+    /// rush (everyone hits the hot warehouse), an HTAP afternoon (reports
+    /// start while the rush tails off, then access spreads out again),
+    /// and an OLAP-heavy night batch window. No single static strategy is
+    /// right for the whole day — that is the point.
+    pub fn day_in_the_life() -> Self {
+        let blocks: [(PhaseKind, usize); 5] = [
+            (PhaseKind::OltpPartitionable, 3),
+            (PhaseKind::OltpSkewed, 2),
+            (PhaseKind::HtapSkewed, 2),
+            (PhaseKind::HtapPartitionable, 2),
+            (PhaseKind::OlapHeavy, 3),
+        ];
+        Self {
+            phases: blocks
+                .iter()
+                .flat_map(|&(k, n)| std::iter::repeat_n(k, n))
                 .enumerate()
                 .map(|(i, kind)| Phase {
                     index: i as u32,
@@ -171,5 +214,34 @@ mod tests {
     fn labels_match_figure() {
         assert_eq!(PhaseKind::HtapSkewed.label(), "HTAP skewed");
         assert!(PhaseKind::HtapSkewed.has_olap());
+    }
+
+    #[test]
+    fn olap_streams_scale_with_regime() {
+        assert_eq!(PhaseKind::OltpPartitionable.olap_streams(), 0);
+        assert_eq!(PhaseKind::OltpSkewed.olap_streams(), 0);
+        assert_eq!(PhaseKind::HtapSkewed.olap_streams(), 1);
+        assert_eq!(PhaseKind::HtapPartitionable.olap_streams(), 1);
+        assert!(PhaseKind::OlapHeavy.olap_streams() > 1);
+        assert!(PhaseKind::OlapHeavy.has_olap());
+        assert!(!PhaseKind::OlapHeavy.is_skewed());
+    }
+
+    #[test]
+    fn day_in_the_life_covers_the_regimes_in_order() {
+        let s = PhaseSchedule::day_in_the_life();
+        assert_eq!(s.len(), 12);
+        assert_eq!(s.phases()[0].kind, PhaseKind::OltpPartitionable);
+        assert_eq!(s.phases()[3].kind, PhaseKind::OltpSkewed);
+        assert_eq!(s.phases()[5].kind, PhaseKind::HtapSkewed);
+        assert_eq!(s.phases()[7].kind, PhaseKind::HtapPartitionable);
+        assert_eq!(s.phases()[9].kind, PhaseKind::OlapHeavy);
+        assert_eq!(s.phases()[11].index, 11);
+        // The day must contain both skew regimes and both OLAP loads, or
+        // one static strategy could win it end to end.
+        assert!(s.phases().iter().any(|p| p.kind.is_skewed()));
+        assert!(s.phases().iter().any(|p| !p.kind.is_skewed()));
+        assert!(s.phases().iter().any(|p| p.kind.olap_streams() > 1));
+        assert!(s.phases().iter().any(|p| !p.kind.has_olap()));
     }
 }

@@ -15,7 +15,10 @@
 //! under a mid-load primary crash) and `abl_shard`
 //! (`BENCH_shard.json`, sharding level: multi-node scale-out, the
 //! single-shard vs sync-2PC cost split, and the zero-lost-acked-orders
-//! invariant under a mid-2PC coordinator crash) — against the checked-in
+//! invariant under a mid-2PC coordinator crash) and `abl_morph`
+//! (`BENCH_morph.json`, adaptivity level: the morphing engine vs every
+//! static strategy over the day-in-the-life schedule, in deterministic
+//! virtual time) — against the checked-in
 //! baseline (`tools/bench_baseline.json`) and exits non-zero on
 //! regression, so the batching/routing/columnar/sharing/pushdown/
 //! replication/sharding wins cannot silently rot. Every bench emits the same flat schema (gated
@@ -42,7 +45,7 @@
 //!   metric is a regression of the gate itself).
 //!
 //! Usage: `bench_gate [baseline.json] [current.json ...]` (defaults:
-//! `tools/bench_baseline.json` and the eight `BENCH_*.json` files — the
+//! `tools/bench_baseline.json` and the nine `BENCH_*.json` files — the
 //! paths CI uses from the repo root).
 //!
 //! When `$GITHUB_STEP_SUMMARY` is set (as it is on every GitHub Actions
@@ -195,7 +198,7 @@ fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
 }
 
 /// The bench-emitted files gated by default (all namespaces disjoint).
-const DEFAULT_CURRENT: [&str; 8] = [
+const DEFAULT_CURRENT: [&str; 9] = [
     "BENCH_adaptive.json",
     "BENCH_routing.json",
     "BENCH_columnar.json",
@@ -204,6 +207,7 @@ const DEFAULT_CURRENT: [&str; 8] = [
     "BENCH_pushdown.json",
     "BENCH_failover.json",
     "BENCH_shard.json",
+    "BENCH_morph.json",
 ];
 
 fn main() -> ExitCode {
